@@ -1,0 +1,540 @@
+//! Generic simulated-annealing kernel.
+//!
+//! ASTRX/OBLX's sizing engine "is based on a simulated annealing algorithm"
+//! (paper §3); this crate is that engine, kept deliberately generic so the
+//! tests can exercise it on analytic functions and `ape-oblx` can drive it
+//! on circuit cost functions.
+//!
+//! Two layers:
+//!
+//! * [`anneal`] — the core loop over any state type, cost closure and move
+//!   generator, with geometric or adaptive cooling;
+//! * [`VectorRanges`] — the box-constrained `Vec<f64>` state space used by
+//!   circuit sizing (each design variable confined to an interval, moves
+//!   scaled by temperature), matching the interval semantics of the paper's
+//!   experiments (wide "blind" intervals vs APE-seeded ±20 % intervals).
+//!
+//! # Example
+//!
+//! ```
+//! use ape_anneal::{anneal, AnnealOptions, Schedule, VectorRanges};
+//!
+//! // Minimise (x-3)² + (y+1)² over the box [-10,10]².
+//! let ranges = VectorRanges::new(vec![(-10.0, 10.0), (-10.0, 10.0)]).unwrap();
+//! let opts = AnnealOptions { seed: 7, ..AnnealOptions::default() };
+//! let result = anneal(
+//!     ranges.center(),
+//!     |s| (s[0] - 3.0).powi(2) + (s[1] + 1.0).powi(2),
+//!     |s, t, rng| ranges.neighbor(s, t, rng),
+//!     &opts,
+//! );
+//! assert!(result.best_cost < 1e-2);
+//! assert!((result.best_state[0] - 3.0).abs() < 0.1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Cooling schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Schedule {
+    /// Classic geometric cooling: `T ← α·T` every `moves_per_temp` moves.
+    Geometric {
+        /// Starting temperature.
+        t0: f64,
+        /// Cooling factor in (0, 1).
+        alpha: f64,
+        /// Moves evaluated at each temperature.
+        moves_per_temp: usize,
+        /// Temperature at which the run stops.
+        t_min: f64,
+    },
+    /// Acceptance-ratio-controlled cooling: α adapts to hold the acceptance
+    /// rate near 44 % (Lam-style rule of thumb) early and anneal out late.
+    Adaptive {
+        /// Starting temperature.
+        t0: f64,
+        /// Moves evaluated at each temperature.
+        moves_per_temp: usize,
+        /// Temperature at which the run stops.
+        t_min: f64,
+    },
+}
+
+impl Schedule {
+    /// A geometric schedule scaled to an initial cost magnitude: starts hot
+    /// enough to accept almost everything, cools at 0.92.
+    pub fn geometric_auto(initial_cost: f64, moves_per_temp: usize) -> Self {
+        let scale = initial_cost.abs().max(1.0);
+        Schedule::Geometric {
+            t0: scale,
+            alpha: 0.92,
+            moves_per_temp,
+            t_min: scale * 1e-7,
+        }
+    }
+}
+
+/// Options for an annealing run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnnealOptions {
+    /// Cooling schedule.
+    pub schedule: Schedule,
+    /// Hard ceiling on cost evaluations (the paper's "fixed budget").
+    pub max_evals: usize,
+    /// RNG seed — same seed, same trajectory.
+    pub seed: u64,
+    /// Stop early when the best cost falls to or below this value.
+    pub target_cost: f64,
+}
+
+impl Default for AnnealOptions {
+    fn default() -> Self {
+        AnnealOptions {
+            schedule: Schedule::Geometric {
+                t0: 10.0,
+                alpha: 0.92,
+                moves_per_temp: 60,
+                t_min: 1e-7,
+            },
+            max_evals: 50_000,
+            seed: 0xA9E5_EED,
+            target_cost: f64::NEG_INFINITY,
+        }
+    }
+}
+
+/// Outcome of an annealing run.
+#[derive(Debug, Clone)]
+pub struct AnnealResult<S> {
+    /// Best state visited.
+    pub best_state: S,
+    /// Cost of the best state.
+    pub best_cost: f64,
+    /// Total cost evaluations performed.
+    pub evals: usize,
+    /// Moves accepted.
+    pub accepted: usize,
+    /// `(evaluation index, best cost so far)` trace for convergence plots.
+    pub history: Vec<(usize, f64)>,
+}
+
+/// Runs simulated annealing from `initial`.
+///
+/// `cost` maps a state to a scalar to minimise; `neighbor` proposes a move
+/// given the current state, the *temperature fraction* `t/t0 ∈ (0, 1]`
+/// (useful for shrinking move sizes as the system cools) and the RNG.
+///
+/// The run is fully deterministic for a fixed seed.
+pub fn anneal<S, C, M>(initial: S, mut cost: C, mut neighbor: M, opts: &AnnealOptions) -> AnnealResult<S>
+where
+    S: Clone,
+    C: FnMut(&S) -> f64,
+    M: FnMut(&S, f64, &mut StdRng) -> S,
+{
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let (t0, mut alpha, moves_per_temp, t_min, adaptive) = match opts.schedule {
+        Schedule::Geometric {
+            t0,
+            alpha,
+            moves_per_temp,
+            t_min,
+        } => (t0, alpha, moves_per_temp, t_min, false),
+        Schedule::Adaptive {
+            t0,
+            moves_per_temp,
+            t_min,
+        } => (t0, 0.95, moves_per_temp, t_min, true),
+    };
+
+    let mut current = initial.clone();
+    let mut current_cost = cost(&current);
+    let mut best_state = current.clone();
+    let mut best_cost = current_cost;
+    let mut evals = 1usize;
+    let mut accepted = 0usize;
+    let mut history = vec![(0usize, best_cost)];
+
+    let mut t = t0.max(1e-300);
+    while t > t_min && evals < opts.max_evals && best_cost > opts.target_cost {
+        let mut accepted_here = 0usize;
+        for _ in 0..moves_per_temp {
+            if evals >= opts.max_evals || best_cost <= opts.target_cost {
+                break;
+            }
+            let cand = neighbor(&current, t / t0, &mut rng);
+            let cand_cost = cost(&cand);
+            evals += 1;
+            let delta = cand_cost - current_cost;
+            let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / t).exp();
+            if accept {
+                current = cand;
+                current_cost = cand_cost;
+                accepted += 1;
+                accepted_here += 1;
+                if current_cost < best_cost {
+                    best_cost = current_cost;
+                    best_state = current.clone();
+                    history.push((evals, best_cost));
+                }
+            }
+        }
+        if adaptive {
+            // Hold acceptance near 44 %: cool faster when too hot (high
+            // acceptance), slower when freezing.
+            let ratio = accepted_here as f64 / moves_per_temp.max(1) as f64;
+            alpha = if ratio > 0.6 {
+                0.85
+            } else if ratio > 0.3 {
+                0.92
+            } else {
+                0.97
+            };
+        }
+        t *= alpha;
+    }
+    history.push((evals, best_cost));
+    AnnealResult {
+        best_state,
+        best_cost,
+        evals,
+        accepted,
+        history,
+    }
+}
+
+/// Box constraints for a `Vec<f64>` design space with temperature-scaled
+/// moves — the state space circuit sizing uses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VectorRanges {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+}
+
+impl VectorRanges {
+    /// Creates ranges from `(lo, hi)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` with a message when any `lo > hi` or a bound is not
+    /// finite.
+    pub fn new(pairs: Vec<(f64, f64)>) -> Result<Self, String> {
+        for (k, (lo, hi)) in pairs.iter().enumerate() {
+            if !(lo.is_finite() && hi.is_finite() && lo <= hi) {
+                return Err(format!("bad range #{k}: [{lo}, {hi}]"));
+            }
+        }
+        Ok(VectorRanges {
+            lo: pairs.iter().map(|p| p.0).collect(),
+            hi: pairs.iter().map(|p| p.1).collect(),
+        })
+    }
+
+    /// Number of design variables.
+    pub fn len(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// `true` for an empty design space.
+    pub fn is_empty(&self) -> bool {
+        self.lo.is_empty()
+    }
+
+    /// Lower bounds.
+    pub fn lower(&self) -> &[f64] {
+        &self.lo
+    }
+
+    /// Upper bounds.
+    pub fn upper(&self) -> &[f64] {
+        &self.hi
+    }
+
+    /// Midpoint of every range — a deterministic starting state.
+    pub fn center(&self) -> Vec<f64> {
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .map(|(l, h)| 0.5 * (l + h))
+            .collect()
+    }
+
+    /// A uniformly random state inside the box.
+    pub fn sample(&self, rng: &mut StdRng) -> Vec<f64> {
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .map(|(l, h)| if h > l { rng.gen_range(*l..*h) } else { *l })
+            .collect()
+    }
+
+    /// Clamps a state into the box.
+    pub fn clamp(&self, mut s: Vec<f64>) -> Vec<f64> {
+        for ((v, l), h) in s.iter_mut().zip(&self.lo).zip(&self.hi) {
+            *v = v.clamp(*l, *h);
+        }
+        s
+    }
+
+    /// `true` when `s` lies inside the box (inclusive).
+    pub fn contains(&self, s: &[f64]) -> bool {
+        s.len() == self.len()
+            && s.iter()
+                .zip(self.lo.iter().zip(&self.hi))
+                .all(|(v, (l, h))| *v >= *l && *v <= *h)
+    }
+
+    /// Temperature-scaled move: perturbs 1–3 random coordinates by up to
+    /// `temp_frac · 40 %` of their range, clamped to the box.
+    pub fn neighbor(&self, s: &[f64], temp_frac: f64, rng: &mut StdRng) -> Vec<f64> {
+        let mut out = s.to_vec();
+        if self.is_empty() {
+            return out;
+        }
+        let k = 1 + rng.gen_range(0..3usize.min(self.len()));
+        for _ in 0..k {
+            let i = rng.gen_range(0..self.len());
+            let span = self.hi[i] - self.lo[i];
+            if span <= 0.0 {
+                continue;
+            }
+            let sigma = span * 0.4 * temp_frac.clamp(0.01, 1.0);
+            let step = (rng.gen::<f64>() * 2.0 - 1.0) * sigma;
+            out[i] = (out[i] + step).clamp(self.lo[i], self.hi[i]);
+        }
+        out
+    }
+
+    /// Builds ranges centred on `point` spanning ±`frac` (the paper's
+    /// APE-seeded "±20 %" intervals), intersected with `outer` bounds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`VectorRanges::new`] errors; falls back to the outer
+    /// range for coordinates whose tightened interval would be empty.
+    pub fn around(point: &[f64], frac: f64, outer: &VectorRanges) -> Result<Self, String> {
+        let pairs = point
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                let half = p.abs() * frac;
+                let lo = (p - half).max(outer.lo[i]);
+                let hi = (p + half).min(outer.hi[i]);
+                if lo <= hi {
+                    (lo, hi)
+                } else {
+                    (outer.lo[i], outer.hi[i])
+                }
+            })
+            .collect();
+        VectorRanges::new(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_opts(seed: u64) -> AnnealOptions {
+        AnnealOptions {
+            schedule: Schedule::Geometric {
+                t0: 10.0,
+                alpha: 0.9,
+                moves_per_temp: 50,
+                t_min: 1e-8,
+            },
+            max_evals: 30_000,
+            seed,
+            target_cost: f64::NEG_INFINITY,
+        }
+    }
+
+    #[test]
+    fn minimizes_quadratic() {
+        let ranges = VectorRanges::new(vec![(-5.0, 5.0); 3]).unwrap();
+        let r = anneal(
+            ranges.center(),
+            |s| s.iter().map(|x| (x - 1.0) * (x - 1.0)).sum(),
+            |s, t, rng| ranges.neighbor(s, t, rng),
+            &quick_opts(1),
+        );
+        assert!(r.best_cost < 1e-2, "cost {}", r.best_cost);
+        for x in &r.best_state {
+            assert!((x - 1.0).abs() < 0.1);
+        }
+    }
+
+    #[test]
+    fn escapes_local_minima() {
+        // Double well: f(x) = (x²-1)² + 0.3x has a local minimum near x=+1
+        // and the global one near x=-1.
+        let start = VectorRanges::new(vec![(0.5, 1.5)]).unwrap();
+        let full = VectorRanges::new(vec![(-2.0, 2.0)]).unwrap();
+        let r = anneal(
+            start.center(),
+            |s| {
+                let x = s[0];
+                (x * x - 1.0).powi(2) + 0.3 * x
+            },
+            |s, t, rng| full.neighbor(s, t, rng),
+            &quick_opts(3),
+        );
+        assert!(r.best_state[0] < 0.0, "stuck at {}", r.best_state[0]);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let ranges = VectorRanges::new(vec![(-5.0, 5.0); 4]).unwrap();
+        let run = |seed| {
+            anneal(
+                ranges.center(),
+                |s| s.iter().map(|x| x * x).sum(),
+                |s, t, rng| ranges.neighbor(s, t, rng),
+                &quick_opts(seed),
+            )
+        };
+        let a = run(42);
+        let b = run(42);
+        let c = run(43);
+        assert_eq!(a.best_state, b.best_state);
+        assert_eq!(a.evals, b.evals);
+        // Different seeds almost surely diverge somewhere.
+        assert!(a.best_state != c.best_state || a.accepted != c.accepted);
+    }
+
+    #[test]
+    fn respects_bounds_always() {
+        let ranges = VectorRanges::new(vec![(0.0, 1.0), (10.0, 20.0)]).unwrap();
+        let mut violations = 0;
+        let r = anneal(
+            ranges.center(),
+            |s| {
+                if !ranges.contains(s) {
+                    violations += 1;
+                }
+                s[0] + s[1]
+            },
+            |s, t, rng| ranges.neighbor(s, t, rng),
+            &quick_opts(9),
+        );
+        assert_eq!(violations, 0);
+        assert!(ranges.contains(&r.best_state));
+    }
+
+    #[test]
+    fn early_stop_at_target() {
+        let ranges = VectorRanges::new(vec![(-5.0, 5.0)]).unwrap();
+        let opts = AnnealOptions {
+            target_cost: 0.5,
+            ..quick_opts(5)
+        };
+        let r = anneal(
+            ranges.center(),
+            |s| s[0].abs(),
+            |s, t, rng| ranges.neighbor(s, t, rng),
+            &opts,
+        );
+        assert!(r.best_cost <= 0.5);
+        assert!(r.evals < opts.max_evals);
+    }
+
+    #[test]
+    fn eval_budget_respected() {
+        let ranges = VectorRanges::new(vec![(-5.0, 5.0)]).unwrap();
+        let opts = AnnealOptions {
+            max_evals: 100,
+            ..quick_opts(5)
+        };
+        let r = anneal(
+            ranges.center(),
+            |s| s[0] * s[0],
+            |s, t, rng| ranges.neighbor(s, t, rng),
+            &opts,
+        );
+        assert!(r.evals <= 100);
+    }
+
+    #[test]
+    fn adaptive_schedule_also_minimizes() {
+        let ranges = VectorRanges::new(vec![(-5.0, 5.0); 2]).unwrap();
+        let opts = AnnealOptions {
+            schedule: Schedule::Adaptive {
+                t0: 10.0,
+                moves_per_temp: 50,
+                t_min: 1e-8,
+            },
+            ..quick_opts(11)
+        };
+        let r = anneal(
+            ranges.center(),
+            |s| s.iter().map(|x| (x + 2.0) * (x + 2.0)).sum(),
+            |s, t, rng| ranges.neighbor(s, t, rng),
+            &opts,
+        );
+        assert!(r.best_cost < 1e-2, "cost {}", r.best_cost);
+    }
+
+    #[test]
+    fn around_builds_tight_intervals() {
+        let outer = VectorRanges::new(vec![(0.0, 100.0), (0.0, 100.0)]).unwrap();
+        let tight = VectorRanges::around(&[50.0, 10.0], 0.2, &outer).unwrap();
+        assert!(tight.contains(&[45.0, 9.0]));
+        assert!(!tight.contains(&[30.0, 9.0]));
+        assert!(!tight.contains(&[45.0, 20.0]));
+    }
+
+    #[test]
+    fn history_is_monotone_decreasing() {
+        let ranges = VectorRanges::new(vec![(-5.0, 5.0); 2]).unwrap();
+        let r = anneal(
+            ranges.center(),
+            |s| s.iter().map(|x| x * x).sum(),
+            |s, t, rng| ranges.neighbor(s, t, rng),
+            &quick_opts(2),
+        );
+        for w in r.history.windows(2) {
+            assert!(w[1].1 <= w[0].1);
+        }
+    }
+
+    #[test]
+    fn bad_ranges_rejected() {
+        assert!(VectorRanges::new(vec![(1.0, 0.0)]).is_err());
+        assert!(VectorRanges::new(vec![(0.0, f64::NAN)]).is_err());
+    }
+
+    #[test]
+    fn geometric_auto_scales_to_cost() {
+        let s = Schedule::geometric_auto(5000.0, 10);
+        match s {
+            Schedule::Geometric { t0, .. } => assert_eq!(t0, 5000.0),
+            _ => panic!("wrong schedule"),
+        }
+    }
+
+    #[test]
+    fn narrow_intervals_converge_faster() {
+        // The paper's core claim in miniature: an APE-style ±20 % interval
+        // around the optimum reaches a given cost in fewer evaluations than
+        // decade-wide blind intervals.
+        let blind = VectorRanges::new(vec![(-100.0, 100.0); 4]).unwrap();
+        let seeded = VectorRanges::around(&[3.1, 3.1, 3.1, 3.1], 0.2, &blind).unwrap();
+        let cost = |s: &Vec<f64>| s.iter().map(|x| (x - 3.0) * (x - 3.0)).sum::<f64>();
+        let opts = AnnealOptions {
+            target_cost: 1e-3,
+            max_evals: 200_000,
+            ..quick_opts(21)
+        };
+        let blind_run = anneal(blind.center(), cost, |s, t, rng| blind.neighbor(s, t, rng), &opts);
+        let seeded_run = anneal(seeded.center(), cost, |s, t, rng| seeded.neighbor(s, t, rng), &opts);
+        assert!(
+            seeded_run.evals < blind_run.evals,
+            "seeded {} vs blind {}",
+            seeded_run.evals,
+            blind_run.evals
+        );
+    }
+}

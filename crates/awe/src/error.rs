@@ -1,0 +1,66 @@
+//! Error type for AWE reduction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while computing moments or Padé reductions.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AweError {
+    /// The requested approximation order is unusable.
+    InvalidOrder {
+        /// The offending order.
+        q: usize,
+    },
+    /// The conductance matrix is singular; moments cannot be computed.
+    SingularSystem,
+    /// The Hankel moment matrix is singular: the response has fewer
+    /// observable poles than requested.
+    DegenerateMoments {
+        /// Requested order.
+        q: usize,
+    },
+    /// Polynomial root finding did not converge.
+    RootsFailed {
+        /// Degree of the polynomial.
+        degree: usize,
+    },
+    /// The reduced model has right-half-plane poles (a known AWE failure
+    /// mode); callers usually retry at a lower order.
+    UnstableModel {
+        /// Order of the unstable model.
+        order: usize,
+    },
+}
+
+impl fmt::Display for AweError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AweError::InvalidOrder { q } => write!(f, "invalid awe order {q} (need 1..=8)"),
+            AweError::SingularSystem => write!(f, "singular conductance matrix"),
+            AweError::DegenerateMoments { q } => {
+                write!(f, "moment matrix singular at order {q}; response has fewer poles")
+            }
+            AweError::RootsFailed { degree } => {
+                write!(f, "root finding failed for degree-{degree} polynomial")
+            }
+            AweError::UnstableModel { order } => {
+                write!(f, "order-{order} reduced model has unstable poles")
+            }
+        }
+    }
+}
+
+impl Error for AweError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traits() {
+        fn assert_traits<T: Send + Sync + std::error::Error>() {}
+        assert_traits::<AweError>();
+        assert!(AweError::SingularSystem.to_string().contains("singular"));
+    }
+}

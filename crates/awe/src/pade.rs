@@ -1,0 +1,161 @@
+//! Padé reduction from moments to a pole/residue model.
+//!
+//! With `H(s) = Σᵢ kᵢ/(s − pᵢ)` the moments satisfy
+//! `mⱼ = −Σᵢ kᵢ/pᵢ^(j+1)`. Writing `bᵢ = 1/pᵢ` and `cᵢ = −kᵢ·bᵢ`, the
+//! moment sequence is a power sum `mⱼ = Σᵢ cᵢ·bᵢʲ`, so the `bᵢ` are the
+//! roots of the characteristic polynomial obtained from the Hankel system
+//! of moments — the classic AWE construction.
+
+use crate::error::AweError;
+use crate::model::ReducedModel;
+use crate::poly;
+use ape_spice::linalg::Matrix;
+use ape_spice::Complex;
+
+/// Reduces `2q` scalar moments to a `q`-pole [`ReducedModel`].
+///
+/// # Errors
+///
+/// * [`AweError::InvalidOrder`] unless `1 ≤ q ≤ 8` and `moments.len() ≥ 2q`.
+/// * [`AweError::DegenerateMoments`] when the Hankel matrix is singular.
+/// * [`AweError::RootsFailed`] if the characteristic roots cannot be found.
+pub fn pade_reduce(moments: &[f64], q: usize) -> Result<ReducedModel, AweError> {
+    if q == 0 || q > 8 || moments.len() < 2 * q {
+        return Err(AweError::InvalidOrder { q });
+    }
+    // Hankel solve for characteristic coefficients a₀..a_{q−1}:
+    //   Σᵢ aᵢ·m_{j+i} = −m_{j+q},  j = 0..q−1.
+    let mut h = Matrix::<f64>::zeros(q);
+    let mut rhs = vec![0.0; q];
+    for j in 0..q {
+        for i in 0..q {
+            h[(j, i)] = moments[j + i];
+        }
+        rhs[j] = -moments[j + q];
+    }
+    let a = h.solve(&rhs).ok_or(AweError::DegenerateMoments { q })?;
+
+    // Characteristic polynomial bᵠ + a_{q−1}·b^{q−1} + … + a₀ = 0.
+    let mut coeffs = a.clone();
+    coeffs.push(1.0);
+    let b_roots = poly::roots(&coeffs)?;
+
+    // Reject b ≈ 0 (pole at infinity → degenerate).
+    for b in &b_roots {
+        if b.norm() < 1e-30 {
+            return Err(AweError::DegenerateMoments { q });
+        }
+    }
+
+    // Residue recovery: Vandermonde in b, Σᵢ cᵢ·bᵢʲ = mⱼ, j = 0..q−1.
+    let mut v = Matrix::<Complex>::zeros(q);
+    let mut mrhs = vec![Complex::ZERO; q];
+    for j in 0..q {
+        for (i, b) in b_roots.iter().enumerate() {
+            let mut val = Complex::ONE; // bᵢʲ
+            for _ in 0..j {
+                val = val * *b;
+            }
+            v[(j, i)] = val;
+        }
+        mrhs[j] = Complex::real(moments[j]);
+    }
+    let c = v.solve(&mrhs).ok_or(AweError::DegenerateMoments { q })?;
+
+    let mut poles = Vec::with_capacity(q);
+    let mut residues = Vec::with_capacity(q);
+    for (b, ci) in b_roots.iter().zip(&c) {
+        let p = b.inv();
+        let k = -(*ci) * p; // kᵢ = −cᵢ·pᵢ
+        poles.push(p);
+        residues.push(k);
+    }
+    Ok(ReducedModel::new(poles, residues))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Construct moments from a known pole/residue set and recover it.
+    fn moments_of(poles: &[f64], residues: &[f64], count: usize) -> Vec<f64> {
+        (0..count)
+            .map(|j| {
+                -poles
+                    .iter()
+                    .zip(residues)
+                    .map(|(p, k)| k / p.powi(j as i32 + 1))
+                    .sum::<f64>()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_single_pole() {
+        // H(s) = 1/(1+s/w) = w/(s+w) → pole −w, residue w... with gain 1:
+        // k/(s−p) with p = −w, k = w gives H(0) = −k/p = 1.
+        let w = 2.0 * std::f64::consts::PI * 1e5;
+        let m = moments_of(&[-w], &[w], 2);
+        let model = pade_reduce(&m, 1).unwrap();
+        assert!((model.poles()[0].re + w).abs() / w < 1e-9);
+        assert!((model.dc_gain() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recovers_two_real_poles() {
+        let p = [-1e4, -1e7];
+        let k = [9.9e3, 1.3e6];
+        let m = moments_of(&p, &k, 4);
+        let model = pade_reduce(&m, 2).unwrap();
+        let mut got: Vec<f64> = model.poles().iter().map(|z| z.re).collect();
+        got.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((got[0] + 1e7).abs() / 1e7 < 1e-6, "{got:?}");
+        assert!((got[1] + 1e4).abs() / 1e4 < 1e-6, "{got:?}");
+        assert!(model.is_stable());
+    }
+
+    #[test]
+    fn recovers_complex_pair_via_eval() {
+        // Build moments of a 2nd-order resonant system by expanding
+        // H(s) = 1/(1 + s/(Q w0) + s²/w0²) around s = 0.
+        let w0 = 1e6;
+        let q_factor = 2.0;
+        // Power-series coefficients via long division of 1 by the denom.
+        let d = [1.0, 1.0 / (q_factor * w0), 1.0 / (w0 * w0)];
+        let mut m = vec![0.0; 4];
+        m[0] = 1.0;
+        for j in 1..4 {
+            let mut acc = 0.0;
+            for i in 1..=j.min(2) {
+                acc -= d[i] * m[j - i];
+            }
+            m[j] = acc;
+        }
+        let model = pade_reduce(&m, 2).unwrap();
+        assert!(model.is_stable());
+        // |p| = w0 for a resonant pair.
+        for p in model.poles() {
+            assert!((p.norm() - w0).abs() / w0 < 1e-6, "pole {p}");
+        }
+        // Check the model evaluates correctly at s = j·w0/10.
+        let s = Complex::new(0.0, w0 / 10.0);
+        let exact = Complex::ONE
+            / (Complex::ONE + s * (1.0 / (q_factor * w0)) + s * s * (1.0 / (w0 * w0)));
+        let approx = model.eval(s);
+        assert!((exact - approx).norm() < 1e-6 * exact.norm());
+    }
+
+    #[test]
+    fn rejects_bad_orders() {
+        assert!(pade_reduce(&[1.0, 2.0], 0).is_err());
+        assert!(pade_reduce(&[1.0], 1).is_err());
+        assert!(pade_reduce(&[1.0; 20], 9).is_err());
+    }
+
+    #[test]
+    fn degenerate_moments_detected() {
+        // All-zero moments → singular Hankel.
+        let err = pade_reduce(&[0.0, 0.0, 0.0, 0.0], 2).unwrap_err();
+        assert!(matches!(err, AweError::DegenerateMoments { .. }));
+    }
+}

@@ -1,0 +1,169 @@
+//! Polynomial root finding via the Durand-Kerner (Weierstrass) iteration.
+//!
+//! Degrees in AWE stay tiny (q ≤ 8), where Durand-Kerner is simple and
+//! reliable.
+
+use crate::error::AweError;
+use ape_spice::Complex;
+
+/// Finds all (complex) roots of the real-coefficient polynomial
+/// `c[0] + c[1]·x + … + c[n]·xⁿ`.
+///
+/// # Errors
+///
+/// * [`AweError::InvalidOrder`] for empty/constant input or a zero leading
+///   coefficient.
+/// * [`AweError::RootsFailed`] if the iteration does not converge.
+///
+/// # Example
+///
+/// ```
+/// use ape_awe::polynomial_roots;
+/// // x² - 3x + 2 = (x-1)(x-2)
+/// let mut r = polynomial_roots(&[2.0, -3.0, 1.0])?;
+/// r.sort_by(|a, b| a.re.partial_cmp(&b.re).unwrap());
+/// assert!((r[0].re - 1.0).abs() < 1e-9 && r[0].im.abs() < 1e-9);
+/// assert!((r[1].re - 2.0).abs() < 1e-9);
+/// # Ok::<(), ape_awe::AweError>(())
+/// ```
+pub fn roots(coeffs: &[f64]) -> Result<Vec<Complex>, AweError> {
+    let n = coeffs.len().saturating_sub(1);
+    if n == 0 {
+        return Err(AweError::InvalidOrder { q: 0 });
+    }
+    let lead = coeffs[n];
+    if lead == 0.0 || !lead.is_finite() {
+        return Err(AweError::InvalidOrder { q: n });
+    }
+    // Normalise to monic.
+    let monic: Vec<f64> = coeffs.iter().map(|c| c / lead).collect();
+
+    if n == 1 {
+        return Ok(vec![Complex::real(-monic[0])]);
+    }
+    if n == 2 {
+        // Quadratic formula with complex discriminant.
+        let (c0, c1) = (monic[0], monic[1]);
+        let disc = c1 * c1 - 4.0 * c0;
+        return Ok(if disc >= 0.0 {
+            let s = disc.sqrt();
+            vec![
+                Complex::real((-c1 + s) / 2.0),
+                Complex::real((-c1 - s) / 2.0),
+            ]
+        } else {
+            let s = (-disc).sqrt();
+            vec![
+                Complex::new(-c1 / 2.0, s / 2.0),
+                Complex::new(-c1 / 2.0, -s / 2.0),
+            ]
+        });
+    }
+
+    // Durand-Kerner from a spiral of distinct starting points whose radius
+    // follows the Cauchy root bound.
+    let bound = 1.0
+        + monic[..n]
+            .iter()
+            .map(|c| c.abs())
+            .fold(0.0, f64::max);
+    let mut z: Vec<Complex> = (0..n)
+        .map(|k| {
+            let ang = 2.0 * std::f64::consts::PI * k as f64 / n as f64 + 0.4;
+            Complex::new(ang.cos(), ang.sin()) * (0.5 * bound)
+        })
+        .collect();
+    let eval = |x: Complex| {
+        let mut acc = Complex::ONE; // monic leading term accumulated via Horner
+        for k in (0..n).rev() {
+            acc = acc * x + Complex::real(monic[k]);
+        }
+        acc
+    };
+    for _ in 0..500 {
+        let mut worst = 0.0f64;
+        for i in 0..n {
+            let mut denom = Complex::ONE;
+            for j in 0..n {
+                if i != j {
+                    denom = denom * (z[i] - z[j]);
+                }
+            }
+            if denom.norm() < 1e-300 {
+                // Perturb coincident estimates.
+                z[i] += Complex::new(1e-6, 1e-6);
+                continue;
+            }
+            let delta = eval(z[i]) / denom;
+            z[i] -= delta;
+            worst = worst.max(delta.norm());
+        }
+        if worst < 1e-13 * bound.max(1.0) {
+            return Ok(z);
+        }
+    }
+    Err(AweError::RootsFailed { degree: n })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted_re(mut r: Vec<Complex>) -> Vec<Complex> {
+        r.sort_by(|a, b| {
+            a.re.partial_cmp(&b.re)
+                .unwrap()
+                .then(a.im.partial_cmp(&b.im).unwrap())
+        });
+        r
+    }
+
+    #[test]
+    fn linear() {
+        let r = roots(&[5.0, 2.0]).unwrap();
+        assert!((r[0].re + 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quadratic_complex_pair() {
+        // x² + 1 → ±j
+        let r = sorted_re(roots(&[1.0, 0.0, 1.0]).unwrap());
+        assert!((r[0].norm() - 1.0).abs() < 1e-9);
+        assert!((r[0].im + r[1].im).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cubic_known_roots() {
+        // (x-1)(x-2)(x-3) = x³ - 6x² + 11x - 6
+        let r = sorted_re(roots(&[-6.0, 11.0, -6.0, 1.0]).unwrap());
+        for (root, expect) in r.iter().zip([1.0, 2.0, 3.0]) {
+            assert!((root.re - expect).abs() < 1e-8, "{root} vs {expect}");
+            assert!(root.im.abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn quartic_with_complex_pairs() {
+        // (x²+1)(x²+4) = x⁴ + 5x² + 4 → ±j, ±2j
+        let r = roots(&[4.0, 0.0, 5.0, 0.0, 1.0]).unwrap();
+        let mut mags: Vec<f64> = r.iter().map(|z| z.norm()).collect();
+        mags.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((mags[0] - 1.0).abs() < 1e-7);
+        assert!((mags[3] - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn widely_spread_real_roots() {
+        // Pole constellations in circuits span decades: (x+1)(x+1e6)
+        let r = sorted_re(roots(&[1e6, 1e6 + 1.0, 1.0]).unwrap());
+        assert!((r[0].re + 1e6).abs() / 1e6 < 1e-6);
+        assert!((r[1].re + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rejects_degenerate() {
+        assert!(roots(&[1.0]).is_err());
+        assert!(roots(&[1.0, 0.0]).is_err());
+        assert!(roots(&[]).is_err());
+    }
+}

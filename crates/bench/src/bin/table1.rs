@@ -1,0 +1,60 @@
+//! Regenerates **Table 1**: stand-alone ASTRX/OBLX-style synthesis of the
+//! ten op-amp specifications, started blind over decade-wide intervals.
+//!
+//! Usage: `cargo run --release -p ape-bench --bin table1 [evals]`
+
+use ape_bench::specs::table1_opamps;
+use ape_bench::{fmt_val, render_table};
+use ape_netlist::Technology;
+use ape_oblx::{synthesize, InitialPoint, SynthesisOptions};
+
+fn main() {
+    let evals: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400);
+    let tech = Technology::default_1p2um();
+    println!("Table 1: stand-alone synthesis (blind intervals), {evals} evaluations each\n");
+    let mut rows = Vec::new();
+    for task in table1_opamps() {
+        let opts = SynthesisOptions {
+            max_evals: evals,
+            seed: 1000 + task.name.as_bytes()[2] as u64,
+            ..SynthesisOptions::default()
+        };
+        let out = synthesize(&tech, task.topology, &task.spec, &InitialPoint::Blind, &opts)
+            .expect("spec is well-formed");
+        let (gain, ugf, area, power, comment) = match &out.audit {
+            Some(a) => (
+                a.measured.dc_gain.unwrap_or(0.0),
+                a.measured.ugf_hz.unwrap_or(0.0) * 1e-6,
+                a.measured.gate_area_um2(),
+                a.measured.power_mw(),
+                if a.meets_spec() {
+                    "Meets spec".to_string()
+                } else {
+                    a.violations.join("; ")
+                },
+            ),
+            None => (0.0, 0.0, 0.0, 0.0, "doesn't work.".to_string()),
+        };
+        rows.push(vec![
+            task.name.to_string(),
+            format!("{:.0}", task.spec.gain),
+            format!("{:.1}", task.spec.ugf_hz * 1e-6),
+            fmt_val(gain),
+            fmt_val(ugf),
+            fmt_val(area),
+            fmt_val(power),
+            format!("{:.2}", out.wall.as_secs_f64()),
+            comment,
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["ckt", "spec gain", "spec UGF MHz", "gain", "UGF MHz", "area um2", "power mW", "CPU s", "comments"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,61 @@
+//! Regenerates **Table 2**: APE estimate vs simulation for the basic
+//! analog component library.
+//!
+//! Usage: `cargo run --release -p ape-bench --bin table2`
+
+use ape_bench::rows::table2_rows;
+use ape_bench::{fmt_val, render_table};
+use ape_netlist::Technology;
+
+fn main() {
+    let tech = Technology::default_1p2um();
+    println!("Table 2: estimation vs simulation for basic analog circuits\n");
+    let rows = table2_rows(&tech).expect("table 2 computes on the default process");
+    let mut printable = Vec::new();
+    for row in &rows {
+        let cell = |name: &str, est: bool| -> String {
+            row.metric(name)
+                .map(|m| fmt_val(if est { m.est } else { m.sim }))
+                .unwrap_or_default()
+        };
+        printable.push(vec![
+            row.name.clone(),
+            cell("area", true),
+            cell("area", false),
+            cell("ugf", true),
+            cell("ugf", false),
+            cell("power", true),
+            cell("power", false),
+            cell("gain", true),
+            cell("gain", false),
+            cell("current", true),
+            cell("current", false),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Topology", "area est", "area sim", "UGF est", "UGF sim", "P est mW",
+                "P sim mW", "gain est", "gain sim", "I est uA", "I sim uA",
+            ],
+            &printable
+        )
+    );
+    // Accuracy summary like the paper's narrative claim.
+    let mut worst: f64 = 0.0;
+    let mut count = 0usize;
+    let mut total = 0.0;
+    for row in &rows {
+        for m in &row.metrics {
+            worst = worst.max(m.rel_err());
+            total += m.rel_err();
+            count += 1;
+        }
+    }
+    println!(
+        "\n{count} metrics compared; mean |est-sim|/sim = {:.1} %, worst = {:.1} %",
+        100.0 * total / count as f64,
+        100.0 * worst
+    );
+}

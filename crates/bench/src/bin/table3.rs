@@ -1,0 +1,54 @@
+//! Regenerates **Table 3**: APE estimate vs simulation for four sized
+//! operational amplifiers.
+//!
+//! Usage: `cargo run --release -p ape-bench --bin table3`
+
+use ape_bench::rows::table3_row;
+use ape_bench::specs::table3_opamps;
+use ape_bench::{fmt_val, render_table};
+use ape_netlist::Technology;
+
+fn main() {
+    let tech = Technology::default_1p2um();
+    println!("Table 3: estimation vs simulation of op-amps\n");
+    println!("Note: OpAmp1-3 topology: Wilson, DiffCMOS, output buffer; OpAmp4: Mirror, DiffCMOS\n");
+    let mut printable = Vec::new();
+    for task in table3_opamps() {
+        let row = table3_row(&tech, &task).expect("table 3 row computes");
+        let cell = |name: &str, est: bool| -> String {
+            row.metric(name)
+                .map(|m| fmt_val(if est { m.est } else { m.sim }))
+                .unwrap_or_default()
+        };
+        printable.push(vec![
+            row.name.clone(),
+            cell("power", true),
+            cell("power", false),
+            cell("adm", true),
+            cell("adm", false),
+            cell("ugf", true),
+            cell("ugf", false),
+            cell("itail", true),
+            cell("itail", false),
+            cell("zout", true),
+            cell("zout", false),
+            cell("area", true),
+            cell("area", false),
+            cell("cmrr", true),
+            cell("cmrr", false),
+            cell("slew", true),
+            cell("slew", false),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Circuit", "P est mW", "P sim", "Adm est", "Adm sim", "UGF est MHz", "UGF sim",
+                "Itail est uA", "Itail sim", "Zout est k", "Zout sim", "area est um2",
+                "area sim", "CMRR est dB", "CMRR sim", "SR est V/us", "SR sim",
+            ],
+            &printable
+        )
+    );
+}

@@ -1,0 +1,94 @@
+//! Regenerates **Table 4**: the same ten op-amp specifications as Table 1,
+//! synthesized with the APE-generated initial point and ±20 % intervals.
+//!
+//! With `--with-blind`, the blind (Table 1) run is repeated for each
+//! circuit to compute the speed-up column the paper reports.
+//!
+//! Usage: `cargo run --release -p ape-bench --bin table4 [evals] [--with-blind]`
+
+use ape_bench::specs::table1_opamps;
+use ape_bench::{fmt_val, render_table};
+use ape_core::opamp::OpAmp;
+use ape_netlist::Technology;
+use ape_oblx::{design_point_from_ape, synthesize, InitialPoint, SynthesisOptions};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let evals: usize = args
+        .iter()
+        .skip(1)
+        .find_map(|s| s.parse().ok())
+        .unwrap_or(400);
+    let with_blind = args.iter().any(|a| a == "--with-blind");
+    let tech = Technology::default_1p2um();
+    println!("Table 4: APE-seeded synthesis (+/-20% intervals), {evals} evaluation budget\n");
+
+    // The paper's headline: APE itself is essentially free.
+    let t_ape = Instant::now();
+    let designs: Vec<OpAmp> = table1_opamps()
+        .iter()
+        .map(|task| OpAmp::design(&tech, task.topology, task.spec).expect("APE sizes every spec"))
+        .collect();
+    let ape_time = t_ape.elapsed();
+    println!(
+        "APE sizing time for all ten op-amps: {:.4} s (paper: 0.12 s on an Ultra Sparc 30)\n",
+        ape_time.as_secs_f64()
+    );
+
+    let mut rows = Vec::new();
+    for (task, ape_design) in table1_opamps().iter().zip(&designs) {
+        let seed = 1000 + task.name.as_bytes()[2] as u64;
+        let opts = SynthesisOptions {
+            max_evals: evals,
+            seed,
+            ..SynthesisOptions::default()
+        };
+        let init = InitialPoint::ApeSeeded {
+            point: design_point_from_ape(&tech, ape_design),
+            interval_frac: 0.2,
+        };
+        let out = synthesize(&tech, task.topology, &task.spec, &init, &opts)
+            .expect("spec is well-formed");
+        let (gain, ugf, area, power, comment) = match &out.audit {
+            Some(a) => (
+                a.measured.dc_gain.unwrap_or(0.0),
+                a.measured.ugf_hz.unwrap_or(0.0) * 1e-6,
+                a.measured.gate_area_um2(),
+                a.measured.power_mw(),
+                if a.meets_spec() {
+                    "Meets spec".to_string()
+                } else {
+                    a.violations.join("; ")
+                },
+            ),
+            None => (0.0, 0.0, 0.0, 0.0, "doesn't work.".to_string()),
+        };
+        let speedup = if with_blind {
+            let blind = synthesize(&tech, task.topology, &task.spec, &InitialPoint::Blind, &opts)
+                .expect("spec is well-formed");
+            let s = 100.0 * (1.0 - out.wall.as_secs_f64() / blind.wall.as_secs_f64().max(1e-9));
+            format!("{s:.1}%")
+        } else {
+            "-".to_string()
+        };
+        rows.push(vec![
+            task.name.to_string(),
+            fmt_val(gain),
+            fmt_val(ugf),
+            fmt_val(area),
+            fmt_val(power),
+            format!("{:.2}", out.wall.as_secs_f64()),
+            format!("{}", out.evals),
+            speedup,
+            comment,
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["ckt", "gain", "UGF MHz", "area um2", "power mW", "CPU s", "evals", "speed-up", "comments"],
+            &rows
+        )
+    );
+}

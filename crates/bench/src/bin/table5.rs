@@ -1,0 +1,238 @@
+//! Regenerates **Table 5**: the five analog-module design examples —
+//! sample-and-hold, audio amplifier, 4-bit flash ADC, 4th-order Sallen-Key
+//! low-pass and 2nd-order Sallen-Key band-pass.
+//!
+//! Columns, as in the paper:
+//! * `spec`      — the requirement;
+//! * `ASTRX sim` — simulate the module whose internal op-amp was
+//!   synthesized *blind* (stand-alone engine, no presizing);
+//! * `APE est`   — APE's analytical estimate;
+//! * `APE sim`   — simulate the APE-sized module netlist;
+//! * `APE+A/O`   — simulate the module after the APE-seeded (±20 %)
+//!   synthesis refined its op-amp.
+//!
+//! Substitution note (see `DESIGN.md`): the original work re-synthesized the
+//! whole module; here the synthesis engine's template covers the op-amp, so
+//! the passive network keeps APE's values and the active core is what gets
+//! blind- or seeded-synthesized.
+//!
+//! Usage: `cargo run --release -p ape-bench --bin table5 [evals] [--netlists]`
+
+use ape_bench::{fmt_val, render_table};
+use ape_core::module::{AudioAmplifier, FlashAdc, SallenKeyBandPass, SallenKeyLowPass, SampleHold};
+use ape_core::opamp::OpAmp;
+use ape_netlist::{Circuit, Technology};
+use ape_spice::{ac_sweep, dc_operating_point, decade_frequencies, measure, transient, TranOptions};
+use ape_oblx::{
+    apply_point_to_opamp, design_point_from_ape, synthesize, InitialPoint, SynthesisOptions,
+};
+
+/// Synthesizes an op-amp for the module, blind or seeded from the APE fit.
+fn synthesized_opamp(tech: &Technology, ape: &OpAmp, blind: bool, evals: usize, seed: u64) -> OpAmp {
+    let init = if blind {
+        InitialPoint::Blind
+    } else {
+        InitialPoint::ApeSeeded {
+            point: design_point_from_ape(tech, ape),
+            interval_frac: 0.2,
+        }
+    };
+    let opts = SynthesisOptions {
+        max_evals: evals,
+        seed,
+        ..SynthesisOptions::default()
+    };
+    match synthesize(tech, ape.topology, &ape.spec, &init, &opts) {
+        Ok(out) => apply_point_to_opamp(tech, ape, &out.best),
+        Err(_) => ape.clone(),
+    }
+}
+
+/// AC gain + bandwidth of a module testbench, `(gain, f3db)`.
+fn gain_bw(tech: &Technology, tb: &Circuit) -> (f64, f64) {
+    let out = tb.find_node("out").expect("testbench has out");
+    match dc_operating_point(tb, tech) {
+        Ok(op) => match ac_sweep(tb, tech, &op, &decade_frequencies(10.0, 1e8, 10)) {
+            Ok(sweep) => (
+                measure::dc_gain(&sweep, out),
+                measure::bandwidth_3db(&sweep, out).unwrap_or(0.0),
+            ),
+            Err(_) => (f64::NAN, f64::NAN),
+        },
+        Err(_) => (f64::NAN, f64::NAN),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let evals: usize = args.iter().skip(1).find_map(|s| s.parse().ok()).unwrap_or(800);
+    let netlists = args.iter().any(|a| a == "--netlists");
+    let tech = Technology::default_1p2um();
+    println!("Table 5: design examples ({} synthesis evaluations per op-amp)\n", evals);
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut push = |ckt: &str, param: &str, spec: String, astrx: f64, est: f64, sim: f64, aosim: f64| {
+        rows.push(vec![
+            ckt.into(),
+            param.into(),
+            spec,
+            fmt_val(astrx),
+            fmt_val(est),
+            fmt_val(sim),
+            fmt_val(aosim),
+        ]);
+    };
+
+    // ---- Sample & hold ---------------------------------------------------
+    {
+        let sh = SampleHold::design(&tech, 2.0, 40e3, 10e-12).expect("s&h designs");
+        let blind = {
+            let mut m = sh.clone();
+            m.opamp = synthesized_opamp(&tech, &sh.opamp, true, evals, 51);
+            m
+        };
+        let seeded = {
+            let mut m = sh.clone();
+            m.opamp = synthesized_opamp(&tech, &sh.opamp, false, evals, 52);
+            m
+        };
+        let (g_sim, bw_sim) = gain_bw(&tech, &sh.testbench_tracking(&tech).expect("tb"));
+        let (g_bl, bw_bl) = gain_bw(&tech, &blind.testbench_tracking(&tech).expect("tb"));
+        let (g_ao, bw_ao) = gain_bw(&tech, &seeded.testbench_tracking(&tech).expect("tb"));
+        push("s&h", "gain", "2.0".into(), g_bl, sh.perf.dc_gain.unwrap_or(0.0), g_sim, g_ao);
+        push("s&h", "BW kHz", "20".into(), bw_bl * 1e-3, sh.perf.bw_hz.unwrap_or(0.0) * 1e-3, bw_sim * 1e-3, bw_ao * 1e-3);
+        push("s&h", "area um2", "500".into(), f64::NAN, sh.perf.gate_area_um2(), sh.testbench_tracking(&tech).expect("tb").total_gate_area() * 1e12, f64::NAN);
+        if netlists {
+            println!("--- s&h netlist (Figure 3b) ---\n{}", sh.testbench_tracking(&tech).expect("tb").to_spice_deck(&tech));
+        }
+    }
+
+    // ---- Audio amplifier ---------------------------------------------------
+    {
+        let amp = AudioAmplifier::design(&tech, 100.0, 20e3, 10e-12).expect("amp designs");
+        let blind = {
+            let mut m = amp.clone();
+            m.opamp = synthesized_opamp(&tech, &amp.opamp, true, evals, 53);
+            m
+        };
+        let seeded = {
+            let mut m = amp.clone();
+            m.opamp = synthesized_opamp(&tech, &amp.opamp, false, evals, 54);
+            m
+        };
+        let (g_sim, bw_sim) = gain_bw(&tech, &amp.testbench(&tech).expect("tb"));
+        let (g_bl, bw_bl) = gain_bw(&tech, &blind.testbench(&tech).expect("tb"));
+        let (g_ao, bw_ao) = gain_bw(&tech, &seeded.testbench(&tech).expect("tb"));
+        push("amp", "gain", "100".into(), g_bl, amp.perf.dc_gain.unwrap_or(0.0), g_sim, g_ao);
+        push("amp", "BW kHz", "20".into(), bw_bl * 1e-3, amp.perf.bw_hz.unwrap_or(0.0) * 1e-3, bw_sim * 1e-3, bw_ao * 1e-3);
+        push("amp", "area um2", "1000".into(), f64::NAN, amp.perf.gate_area_um2(), amp.testbench(&tech).expect("tb").total_gate_area() * 1e12, f64::NAN);
+        if netlists {
+            println!("--- audio amp netlist (Figure 3a) ---\n{}", amp.testbench(&tech).expect("tb").to_spice_deck(&tech));
+        }
+    }
+
+    // ---- 4-bit flash ADC ---------------------------------------------------
+    {
+        let adc = FlashAdc::design(&tech, 4, 5e-6).expect("adc designs");
+        let delay_sim = |cmp_amp: &OpAmp| -> f64 {
+            let mut cmp = adc.comparator.clone();
+            cmp.opamp = cmp_amp.clone();
+            let Ok(tb) = cmp.testbench_step(&tech, 1e-6) else { return f64::NAN };
+            let Ok(op) = dc_operating_point(&tb, &tech) else { return f64::NAN };
+            let Ok(tr) = transient(&tb, &tech, &op, TranOptions::new(5e-8, 16e-6)) else {
+                return f64::NAN;
+            };
+            let out = tb.find_node("out").expect("tb has out");
+            measure::crossing_time(&tr, out, tech.vdd / 2.0, true)
+                .map(|t| (t - 1e-6) * 1e6)
+                .unwrap_or(f64::NAN)
+        };
+        let blind_amp = synthesized_opamp(&tech, &adc.comparator.opamp, true, evals, 55);
+        let seeded_amp = synthesized_opamp(&tech, &adc.comparator.opamp, false, evals, 56);
+        push("adc", "bits", "4".into(), 4.0, 4.0, 4.0, 4.0);
+        push(
+            "adc",
+            "delay us",
+            "5".into(),
+            delay_sim(&blind_amp),
+            adc.perf.delay_s.unwrap_or(0.0) * 1e6,
+            delay_sim(&adc.comparator.opamp),
+            delay_sim(&seeded_amp),
+        );
+        let (full_tb, _) = adc.testbench_dc(&tech, 2.5).expect("adc tb");
+        push("adc", "area um2", "5000".into(), f64::NAN, adc.perf.gate_area_um2(), full_tb.total_gate_area() * 1e12, f64::NAN);
+        if netlists {
+            println!("--- flash ADC netlist (Figure 3e) ---\n{}", full_tb.to_spice_deck(&tech));
+        }
+    }
+
+    // ---- 4th-order Sallen-Key Butterworth LPF ------------------------------
+    {
+        let lpf = SallenKeyLowPass::design(&tech, 1e3, 4, 10e-12).expect("lpf designs");
+        let swap = |blind: bool, seed: u64| {
+            let mut m = lpf.clone();
+            for (k, st) in m.stages.iter_mut().enumerate() {
+                st.opamp = synthesized_opamp(&tech, &st.opamp, blind, evals, seed + k as u64);
+            }
+            m
+        };
+        let blind = swap(true, 57);
+        let seeded = swap(false, 67);
+        let (g_sim, f3_sim) = gain_bw(&tech, &lpf.testbench(&tech).expect("tb"));
+        let (g_bl, f3_bl) = gain_bw(&tech, &blind.testbench(&tech).expect("tb"));
+        let (g_ao, f3_ao) = gain_bw(&tech, &seeded.testbench(&tech).expect("tb"));
+        push("lpf", "f3db kHz", "1".into(), f3_bl * 1e-3, lpf.perf.bw_hz.unwrap_or(0.0) * 1e-3, f3_sim * 1e-3, f3_ao * 1e-3);
+        push("lpf", "f20db kHz", "1.78".into(), f64::NAN, lpf.frequency_at_attenuation(20.0) * 1e-3, f64::NAN, f64::NAN);
+        push("lpf", "gain", "2.57".into(), g_bl, lpf.perf.dc_gain.unwrap_or(0.0), g_sim, g_ao);
+        push("lpf", "area um2", "10000".into(), f64::NAN, lpf.perf.gate_area_um2(), lpf.testbench(&tech).expect("tb").total_gate_area() * 1e12, f64::NAN);
+        if netlists {
+            println!("--- LPF netlist (Figure 3c) ---\n{}", lpf.testbench(&tech).expect("tb").to_spice_deck(&tech));
+        }
+    }
+
+    // ---- 2nd-order Sallen-Key BPF -------------------------------------------
+    {
+        let bpf = SallenKeyBandPass::design(&tech, 1e3, 1.0, 10e-12).expect("bpf designs");
+        let peak_f0 = |tb: &Circuit| -> (f64, f64) {
+            let out = tb.find_node("out").expect("tb has out");
+            let Ok(op) = dc_operating_point(tb, &tech) else { return (f64::NAN, f64::NAN) };
+            let Ok(sweep) = ac_sweep(tb, &tech, &op, &decade_frequencies(20.0, 50e3, 30)) else {
+                return (f64::NAN, f64::NAN);
+            };
+            let mags = sweep.magnitude(out);
+            let (k, peak) = mags
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                .map(|(k, m)| (k, *m))
+                .unwrap_or((0, f64::NAN));
+            (peak, sweep.freqs[k])
+        };
+        let swap = |blind: bool, seed: u64| {
+            let mut m = bpf.clone();
+            m.opamp = synthesized_opamp(&tech, &bpf.opamp, blind, evals, seed);
+            m
+        };
+        let blind = swap(true, 77);
+        let seeded = swap(false, 78);
+        let (pk_sim, f0_sim) = peak_f0(&bpf.testbench(&tech).expect("tb"));
+        let (pk_bl, f0_bl) = peak_f0(&blind.testbench(&tech).expect("tb"));
+        let (pk_ao, f0_ao) = peak_f0(&seeded.testbench(&tech).expect("tb"));
+        push("bpf", "f0 kHz", "1".into(), f0_bl * 1e-3, bpf.f0 * 1e-3, f0_sim * 1e-3, f0_ao * 1e-3);
+        push("bpf", "gain", "1.83".into(), pk_bl, bpf.perf.dc_gain.unwrap_or(0.0), pk_sim, pk_ao);
+        push("bpf", "BW kHz", "1".into(), f64::NAN, bpf.perf.bw_hz.unwrap_or(0.0) * 1e-3, f64::NAN, f64::NAN);
+        push("bpf", "area um2", "5000".into(), f64::NAN, bpf.perf.gate_area_um2(), bpf.testbench(&tech).expect("tb").total_gate_area() * 1e12, f64::NAN);
+        if netlists {
+            println!("--- BPF netlist (Figure 3d) ---\n{}", bpf.testbench(&tech).expect("tb").to_spice_deck(&tech));
+        }
+    }
+
+    println!(
+        "{}",
+        render_table(
+            &["ckt", "param", "spec", "ASTRX sim", "APE est", "APE sim", "APE+A/O sim"],
+            &rows
+        )
+    );
+    println!("\n(NaN cells: quantity not re-measured for that column, as in the paper's blanks.)");
+}

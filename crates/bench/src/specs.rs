@@ -1,0 +1,102 @@
+//! The paper's specification sets.
+
+use ape_core::basic::MirrorTopology;
+use ape_core::opamp::{OpAmpSpec, OpAmpTopology};
+
+/// One op-amp synthesis task from Table 1.
+#[derive(Debug, Clone, Copy)]
+pub struct OpAmpTask {
+    /// Circuit name (`oa0` … `oa9`).
+    pub name: &'static str,
+    /// The performance specification.
+    pub spec: OpAmpSpec,
+    /// The fixed topology selections.
+    pub topology: OpAmpTopology,
+}
+
+/// The ten operational-amplifier specifications of Table 1.
+///
+/// Columns taken from the paper: Gain (abs), UGF (MHz), Area (µm²),
+/// Ibias (µA), current-source topology, buffer, Zout (kΩ), CL (pF).
+pub fn table1_opamps() -> Vec<OpAmpTask> {
+    let t = |cs, buf| OpAmpTopology::miller(cs, buf);
+    let s = |gain: f64, ugf_mhz: f64, area_um2: f64, ibias_ua: f64, z_kohm: Option<f64>| OpAmpSpec {
+        gain,
+        ugf_hz: ugf_mhz * 1e6,
+        area_max_m2: area_um2 * 1e-12,
+        ibias: ibias_ua * 1e-6,
+        zout_ohm: z_kohm.map(|z| z * 1e3),
+        cl: 10e-12,
+    };
+    use MirrorTopology::{Simple, Wilson};
+    vec![
+        OpAmpTask { name: "oa0", spec: s(200.0, 1.3, 5000.0, 1.0, Some(1.0)), topology: t(Wilson, true) },
+        OpAmpTask { name: "oa1", spec: s(70.0, 3.0, 3000.0, 2.0, Some(1.0)), topology: t(Wilson, true) },
+        OpAmpTask { name: "oa2", spec: s(100.0, 2.5, 2000.0, 1.5, Some(2.0)), topology: t(Wilson, true) },
+        OpAmpTask { name: "oa3", spec: s(250.0, 8.0, 1000.0, 1.0, None), topology: t(Simple, false) },
+        OpAmpTask { name: "oa4", spec: s(150.0, 3.0, 1000.0, 100.0, None), topology: t(Simple, false) },
+        OpAmpTask { name: "oa5", spec: s(200.0, 8.0, 5000.0, 10.0, None), topology: t(Simple, false) },
+        OpAmpTask { name: "oa6", spec: s(50.0, 10.0, 200.0, 10.0, None), topology: t(Simple, false) },
+        OpAmpTask { name: "oa7", spec: s(200.0, 3.0, 6000.0, 1.0, Some(1.0)), topology: t(Simple, true) },
+        OpAmpTask { name: "oa8", spec: s(100.0, 2.0, 1000.0, 1.0, Some(10.0)), topology: t(Simple, true) },
+        OpAmpTask { name: "oa9", spec: s(200.0, 5.0, 5000.0, 10.0, Some(10.0)), topology: t(Simple, true) },
+    ]
+}
+
+/// The four op-amps of Table 3 (estimation-accuracy study).
+///
+/// Paper note 1: OpAmp1–3 use the Wilson bias + buffered topology,
+/// OpAmp4 the simple mirror without buffer. Specs approximate the sized
+/// values reported in the paper's table.
+pub fn table3_opamps() -> Vec<OpAmpTask> {
+    use MirrorTopology::{Simple, Wilson};
+    let t = |cs, buf| OpAmpTopology::miller(cs, buf);
+    let s = |gain: f64, ugf_mhz: f64, ibias_ua: f64, z_kohm: Option<f64>| OpAmpSpec {
+        gain,
+        ugf_hz: ugf_mhz * 1e6,
+        area_max_m2: 5000e-12,
+        ibias: ibias_ua * 1e-6,
+        zout_ohm: z_kohm.map(|z| z * 1e3),
+        cl: 10e-12,
+    };
+    vec![
+        OpAmpTask { name: "OpAmp1", spec: s(206.0, 1.3, 1.0, Some(1.0)), topology: t(Wilson, true) },
+        OpAmpTask { name: "OpAmp2", spec: s(374.0, 8.0, 2.0, Some(1.0)), topology: t(Wilson, true) },
+        OpAmpTask { name: "OpAmp3", spec: s(167.0, 12.4, 1.5, Some(2.0)), topology: t(Wilson, true) },
+        OpAmpTask { name: "OpAmp4", spec: s(514.0, 2.6, 1.0, None), topology: t(Simple, false) },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_shape() {
+        let tasks = table1_opamps();
+        assert_eq!(tasks.len(), 10);
+        // Wilson rows are oa0..oa2; buffered rows are oa0..2 and oa7..9.
+        assert_eq!(
+            tasks
+                .iter()
+                .filter(|t| t.topology.current_source == MirrorTopology::Wilson)
+                .count(),
+            3
+        );
+        assert_eq!(tasks.iter().filter(|t| t.topology.buffer).count(), 6);
+        // All loads are 10 pF as in the paper.
+        assert!(tasks.iter().all(|t| (t.spec.cl - 10e-12).abs() < 1e-18));
+        // oa4 carries the 100 µA bias.
+        assert!((tasks[4].spec.ibias - 100e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table3_topologies() {
+        let tasks = table3_opamps();
+        assert_eq!(tasks.len(), 4);
+        assert!(tasks[..3]
+            .iter()
+            .all(|t| t.topology.current_source == MirrorTopology::Wilson && t.topology.buffer));
+        assert!(!tasks[3].topology.buffer);
+    }
+}

@@ -1,0 +1,140 @@
+//! Performance attributes attached to every sized object.
+//!
+//! The paper describes each sized component as "an object which contains the
+//! size and performance parameters", propagated up the hierarchy. This
+//! module is that object's attribute sheet.
+
+use std::fmt;
+
+/// Performance attributes of a sized analog object.
+///
+/// Fields that do not apply to a component are `None`; `power_w` and
+/// `gate_area_m2` always apply.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Performance {
+    /// DC (low-frequency) voltage gain, V/V, signed (negative = inverting).
+    pub dc_gain: Option<f64>,
+    /// Unity-gain frequency, hertz.
+    pub ugf_hz: Option<f64>,
+    /// −3 dB bandwidth, hertz.
+    pub bw_hz: Option<f64>,
+    /// Static power dissipation, watts.
+    pub power_w: f64,
+    /// Total MOS gate area, square metres.
+    pub gate_area_m2: f64,
+    /// Output impedance, ohms.
+    pub zout_ohm: Option<f64>,
+    /// Common-mode rejection ratio, decibels.
+    pub cmrr_db: Option<f64>,
+    /// Slew rate, volts/second.
+    pub slew_v_per_s: Option<f64>,
+    /// Bias / quiescent branch current, amperes.
+    pub ibias_a: Option<f64>,
+    /// Generated DC output voltage, volts (bias generators).
+    pub vout_v: Option<f64>,
+    /// Response delay, seconds (comparators, ADCs, S&H).
+    pub delay_s: Option<f64>,
+}
+
+impl Performance {
+    /// Gate area in square micrometres, the unit the paper tabulates.
+    pub fn gate_area_um2(&self) -> f64 {
+        self.gate_area_m2 * 1e12
+    }
+
+    /// Power in milliwatts, the unit the paper tabulates.
+    pub fn power_mw(&self) -> f64 {
+        self.power_w * 1e3
+    }
+
+    /// UGF in megahertz, the unit the paper tabulates.
+    pub fn ugf_mhz(&self) -> Option<f64> {
+        self.ugf_hz.map(|f| f * 1e-6)
+    }
+
+    /// Slew rate in V/µs, the unit the paper tabulates.
+    pub fn slew_v_per_us(&self) -> Option<f64> {
+        self.slew_v_per_s.map(|s| s * 1e-6)
+    }
+
+    /// Gain magnitude in decibels.
+    pub fn gain_db(&self) -> Option<f64> {
+        self.dc_gain.map(|g| 20.0 * g.abs().max(1e-30).log10())
+    }
+}
+
+impl fmt::Display for Performance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "P={:.3}mW area={:.1}um2",
+            self.power_mw(),
+            self.gate_area_um2()
+        )?;
+        if let Some(g) = self.dc_gain {
+            write!(f, " A={g:.2}")?;
+        }
+        if let Some(u) = self.ugf_mhz() {
+            write!(f, " UGF={u:.3}MHz")?;
+        }
+        if let Some(b) = self.bw_hz {
+            write!(f, " BW={:.3}kHz", b * 1e-3)?;
+        }
+        Ok(())
+    }
+}
+
+/// Relative error between an estimate and a reference, as used in the
+/// est-vs-sim accuracy gates of the integration tests.
+pub fn relative_error(estimate: f64, reference: f64) -> f64 {
+    if reference == 0.0 {
+        if estimate == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        ((estimate - reference) / reference).abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions() {
+        let p = Performance {
+            dc_gain: Some(-100.0),
+            ugf_hz: Some(2.5e6),
+            power_w: 0.5e-3,
+            gate_area_m2: 150e-12,
+            slew_v_per_s: Some(2e6),
+            ..Performance::default()
+        };
+        assert!((p.power_mw() - 0.5).abs() < 1e-12);
+        assert!((p.gate_area_um2() - 150.0).abs() < 1e-9);
+        assert!((p.ugf_mhz().unwrap() - 2.5).abs() < 1e-12);
+        assert!((p.slew_v_per_us().unwrap() - 2.0).abs() < 1e-12);
+        assert!((p.gain_db().unwrap() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_mentions_core_fields() {
+        let p = Performance {
+            dc_gain: Some(10.0),
+            power_w: 1e-3,
+            gate_area_m2: 1e-12,
+            ..Performance::default()
+        };
+        let s = p.to_string();
+        assert!(s.contains("mW") && s.contains("A=10"));
+    }
+
+    #[test]
+    fn relative_error_edge_cases() {
+        assert_eq!(relative_error(1.0, 2.0), 0.5);
+        assert_eq!(relative_error(0.0, 0.0), 0.0);
+        assert!(relative_error(1.0, 0.0).is_infinite());
+    }
+}

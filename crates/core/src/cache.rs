@@ -1,0 +1,256 @@
+//! Sized-transistor object cache.
+//!
+//! Paper §4.1: *"The sized transistor is saved as an object which contains
+//! the size and performance parameters. Several objects can be generated
+//! with different operating points as they are needed to construct the
+//! other levels in the circuit hierarchy."*
+//!
+//! Different specifications hit the same transistor-level operating points
+//! over and over (bias mirrors at standard overdrives, pairs at standard
+//! gm/Id); the cache makes those repeat solves free.
+
+use crate::error::ApeError;
+use ape_mos::sizing::{size_for_gm_id_at, size_for_id_vov_at, SizedMos};
+use ape_netlist::{MosModelCard, MosPolarity, Technology};
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Cache statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Requests answered from the cache.
+    pub hits: usize,
+    /// Requests that ran the numeric solver.
+    pub misses: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Request {
+    GmId,
+    IdVov,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Key {
+    req: Request,
+    polarity: MosPolarity,
+    // Quantized to 0.1 % so physically-identical requests share an entry
+    // while distinct operating points stay distinct.
+    a: u64,
+    b: u64,
+    l: u64,
+    vds: u64,
+    vsb: u64,
+}
+
+fn quant(x: f64) -> u64 {
+    if x == 0.0 {
+        return 0;
+    }
+    // ~0.1 % relative quantization: keep the exponent and 10 bits of mantissa.
+    let bits = x.to_bits();
+    bits >> 42
+}
+
+/// A memoizing wrapper over the level-1 sizing solvers.
+///
+/// # Example
+///
+/// ```
+/// use ape_netlist::Technology;
+/// use ape_core::cache::SizingCache;
+/// # fn main() -> Result<(), ape_core::ApeError> {
+/// let tech = Technology::default_1p2um();
+/// let cache = SizingCache::new(&tech);
+/// let a = cache.size_for_gm_id(false, 100e-6, 10e-6, 2.4e-6)?;
+/// let b = cache.size_for_gm_id(false, 100e-6, 10e-6, 2.4e-6)?;
+/// assert_eq!(a.geometry, b.geometry);
+/// assert_eq!(cache.stats().hits, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SizingCache {
+    tech: Technology,
+    entries: RefCell<HashMap<Key, SizedMos>>,
+    stats: RefCell<CacheStats>,
+}
+
+impl SizingCache {
+    /// Creates an empty cache bound to a technology.
+    pub fn new(tech: &Technology) -> Self {
+        SizingCache {
+            tech: tech.clone(),
+            entries: RefCell::new(HashMap::new()),
+            stats: RefCell::new(CacheStats::default()),
+        }
+    }
+
+    /// The bound technology.
+    pub fn technology(&self) -> &Technology {
+        &self.tech
+    }
+
+    /// Current hit/miss statistics.
+    pub fn stats(&self) -> CacheStats {
+        *self.stats.borrow()
+    }
+
+    /// Number of distinct sized objects held.
+    pub fn len(&self) -> usize {
+        self.entries.borrow().len()
+    }
+
+    /// `true` when no objects are cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.borrow().is_empty()
+    }
+
+    /// Empties the cache (statistics are kept).
+    pub fn clear(&self) {
+        self.entries.borrow_mut().clear();
+    }
+
+    fn card(&self, pmos: bool) -> Result<&MosModelCard, ApeError> {
+        if pmos {
+            self.tech.pmos().ok_or(ApeError::MissingModel("PMOS"))
+        } else {
+            self.tech.nmos().ok_or(ApeError::MissingModel("NMOS"))
+        }
+    }
+
+    fn lookup_or<F>(&self, key: Key, solve: F) -> Result<SizedMos, ApeError>
+    where
+        F: FnOnce() -> Result<SizedMos, ApeError>,
+    {
+        if let Some(hit) = self.entries.borrow().get(&key) {
+            self.stats.borrow_mut().hits += 1;
+            return Ok(*hit);
+        }
+        self.stats.borrow_mut().misses += 1;
+        let solved = solve()?;
+        self.entries.borrow_mut().insert(key, solved);
+        Ok(solved)
+    }
+
+    /// Cached [`size_for_gm_id_at`] at default biases (`vds = vdd/2`,
+    /// `vsb = 0`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the solver's errors (errors are not cached).
+    pub fn size_for_gm_id(
+        &self,
+        pmos: bool,
+        gm: f64,
+        id: f64,
+        l: f64,
+    ) -> Result<SizedMos, ApeError> {
+        let vds = self.tech.vdd / 2.0;
+        let card = self.card(pmos)?;
+        let key = Key {
+            req: Request::GmId,
+            polarity: card.polarity,
+            a: quant(gm),
+            b: quant(id),
+            l: quant(l),
+            vds: quant(vds),
+            vsb: 0,
+        };
+        self.lookup_or(key, || {
+            size_for_gm_id_at(card, gm, id, l, vds, 0.0).map_err(ApeError::from)
+        })
+    }
+
+    /// Cached [`size_for_id_vov_at`] at explicit biases.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the solver's errors (errors are not cached).
+    pub fn size_for_id_vov(
+        &self,
+        pmos: bool,
+        id: f64,
+        vov: f64,
+        l: f64,
+        vds: f64,
+        vsb: f64,
+    ) -> Result<SizedMos, ApeError> {
+        let card = self.card(pmos)?;
+        let key = Key {
+            req: Request::IdVov,
+            polarity: card.polarity,
+            a: quant(id),
+            b: quant(vov),
+            l: quant(l),
+            vds: quant(vds),
+            vsb: quant(vsb),
+        };
+        self.lookup_or(key, || {
+            size_for_id_vov_at(card, id, vov, l, vds, vsb).map_err(ApeError::from)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeat_requests_hit() {
+        let tech = Technology::default_1p2um();
+        let cache = SizingCache::new(&tech);
+        for _ in 0..5 {
+            cache.size_for_gm_id(false, 100e-6, 10e-6, 2.4e-6).unwrap();
+        }
+        let s = cache.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 4);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_points_stay_distinct() {
+        let tech = Technology::default_1p2um();
+        let cache = SizingCache::new(&tech);
+        let a = cache.size_for_gm_id(false, 100e-6, 10e-6, 2.4e-6).unwrap();
+        let b = cache.size_for_gm_id(false, 200e-6, 10e-6, 2.4e-6).unwrap();
+        let c = cache.size_for_gm_id(true, 100e-6, 10e-6, 2.4e-6).unwrap();
+        assert!(a.geometry.w != b.geometry.w);
+        assert!(a.geometry.w != c.geometry.w);
+        assert_eq!(cache.stats().misses, 3);
+    }
+
+    #[test]
+    fn cached_results_match_direct_solver() {
+        let tech = Technology::default_1p2um();
+        let cache = SizingCache::new(&tech);
+        let cached = cache
+            .size_for_id_vov(false, 50e-6, 0.35, 2.4e-6, 1.2, 0.0)
+            .unwrap();
+        let direct =
+            size_for_id_vov_at(tech.nmos().unwrap(), 50e-6, 0.35, 2.4e-6, 1.2, 0.0).unwrap();
+        assert_eq!(cached.geometry, direct.geometry);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let tech = Technology::default_1p2um();
+        let cache = SizingCache::new(&tech);
+        // Absurd vov → infeasible, twice: both runs reach the solver.
+        assert!(cache.size_for_gm_id(false, 1e-6, 1e-3, 2.4e-6).is_err());
+        assert!(cache.size_for_gm_id(false, 1e-6, 1e-3, 2.4e-6).is_err());
+        assert_eq!(cache.stats().misses, 2);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn clear_keeps_stats() {
+        let tech = Technology::default_1p2um();
+        let cache = SizingCache::new(&tech);
+        cache.size_for_gm_id(false, 100e-6, 10e-6, 2.4e-6).unwrap();
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().misses, 1);
+    }
+}

@@ -1,0 +1,84 @@
+//! Error type for the estimator.
+
+use ape_mos::MosError;
+use ape_netlist::NetlistError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while sizing or estimating a component.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ApeError {
+    /// A specification value is non-physical or out of the supported range.
+    BadSpec {
+        /// Which parameter.
+        param: &'static str,
+        /// Explanation.
+        message: String,
+    },
+    /// The specification is internally inconsistent or unreachable in this
+    /// technology (e.g. gain requiring a subthreshold gm beyond `Id/(n·VT)`).
+    Infeasible {
+        /// Which component could not be sized.
+        component: &'static str,
+        /// Explanation.
+        message: String,
+    },
+    /// A device-level sizing call failed.
+    Device(MosError),
+    /// Netlist emission failed (programming error in a topology template).
+    Netlist(NetlistError),
+    /// The technology lacks a required model card.
+    MissingModel(&'static str),
+}
+
+impl fmt::Display for ApeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApeError::BadSpec { param, message } => write!(f, "bad spec `{param}`: {message}"),
+            ApeError::Infeasible { component, message } => {
+                write!(f, "infeasible spec for {component}: {message}")
+            }
+            ApeError::Device(e) => write!(f, "device sizing failed: {e}"),
+            ApeError::Netlist(e) => write!(f, "netlist emission failed: {e}"),
+            ApeError::MissingModel(kind) => write!(f, "technology lacks a {kind} model card"),
+        }
+    }
+}
+
+impl Error for ApeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ApeError::Device(e) => Some(e),
+            ApeError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<MosError> for ApeError {
+    fn from(e: MosError) -> Self {
+        ApeError::Device(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<NetlistError> for ApeError {
+    fn from(e: NetlistError) -> Self {
+        ApeError::Netlist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traits_and_source() {
+        fn assert_traits<T: Send + Sync + Error>() {}
+        assert_traits::<ApeError>();
+        let e = ApeError::Device(MosError::InvalidInput("x".into()));
+        assert!(e.source().is_some());
+    }
+}

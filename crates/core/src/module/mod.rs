@@ -1,0 +1,106 @@
+//! Level 4 of the APE hierarchy: the analog module library.
+//!
+//! Paper §4.4: *"The library consists of circuits such as inverting
+//! amplifiers, integrators, comparators, analog-to-digital converters,
+//! digital-to-analog converters, filters, sample-and-hold circuits,
+//! adders, etc. The performance parameters of these components are
+//! estimated using the operational amplifier estimation attributes and the
+//! equations in the component library which relate the ideal behavior of
+//! the component with the non-ideal characteristics of the opamp."*
+//!
+//! Every module here owns one or more sized [`OpAmp`]s, corrects its ideal
+//! transfer by the op-amp non-idealities (finite gain, finite GBW, output
+//! impedance, slew), and emits a full transistor-level testbench.
+
+mod adc;
+mod amplifier;
+mod dac;
+mod filter;
+mod integrator;
+mod sample_hold;
+
+pub use adc::{Comparator, FlashAdc};
+pub use amplifier::{AudioAmplifier, InvertingAmplifier, NonInvertingAmplifier};
+pub use dac::R2rDac;
+pub use filter::{SallenKeyBandPass, SallenKeyLowPass};
+pub use integrator::{Integrator, SummingAmplifier};
+pub use sample_hold::SampleHold;
+
+use crate::error::ApeError;
+use crate::opamp::OpAmp;
+use ape_netlist::{Circuit, NodeId, Technology};
+
+/// Feedback-network resistance scale used across the module library, ohms.
+pub(crate) const R_FEEDBACK: f64 = 20e3;
+
+/// Builds a non-inverting gain-`k` amplifier around `amp` into `ckt`:
+/// `input` drives the (+) input, the divider `RB`/`RA` from `out` to `vref`
+/// sets the gain `k = 1 + RB/RA`. For `k = 1` the output is tied straight
+/// back (a voltage follower).
+///
+/// # Errors
+///
+/// * [`ApeError::BadSpec`] for `k < 1`.
+/// * Netlist errors for duplicate prefixes.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn noninverting_into(
+    ckt: &mut Circuit,
+    tech: &Technology,
+    amp: &OpAmp,
+    prefix: &str,
+    input: NodeId,
+    out: NodeId,
+    vref: NodeId,
+    vdd: NodeId,
+    k: f64,
+) -> Result<(), ApeError> {
+    if !(k.is_finite() && k >= 1.0) {
+        return Err(ApeError::BadSpec {
+            param: "k",
+            message: format!("non-inverting gain must be >= 1, got {k}"),
+        });
+    }
+    if (k - 1.0).abs() < 1e-9 {
+        amp.build_into(ckt, tech, prefix, input, out, out, vdd)?;
+        return Ok(());
+    }
+    let fb = ckt.fresh_node(&format!("{prefix}_fb"));
+    amp.build_into(ckt, tech, prefix, input, fb, out, vdd)?;
+    let ra = R_FEEDBACK;
+    let rb = (k - 1.0) * ra;
+    ckt.add_resistor(&format!("{prefix}.RA"), fb, vref, ra)?;
+    ckt.add_resistor(&format!("{prefix}.RB"), out, fb, rb)?;
+    Ok(())
+}
+
+/// Closed-loop gain of a non-inverting stage with nominal gain `k` under
+/// finite open-loop gain `a_ol` — the paper's "ideal behaviour corrected by
+/// op-amp non-idealities" primitive.
+pub(crate) fn noninverting_gain_actual(k: f64, a_ol: f64) -> f64 {
+    k / (1.0 + k / a_ol)
+}
+
+/// Closed-loop −3 dB bandwidth of a non-inverting stage with noise gain `k`
+/// fed by an op-amp with unity-gain frequency `ugf`.
+pub(crate) fn noninverting_bw(k: f64, ugf: f64) -> f64 {
+    ugf / k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gain_correction_approaches_ideal() {
+        assert!((noninverting_gain_actual(2.0, 1e9) - 2.0).abs() < 1e-6);
+        // A = 100, k = 2 → 2/(1+0.02) ≈ 1.9608
+        let g = noninverting_gain_actual(2.0, 100.0);
+        assert!((g - 1.9608).abs() < 1e-3);
+    }
+
+    #[test]
+    fn bandwidth_scales_inverse_noise_gain() {
+        assert_eq!(noninverting_bw(2.0, 2e6), 1e6);
+        assert_eq!(noninverting_bw(1.0, 2e6), 2e6);
+    }
+}

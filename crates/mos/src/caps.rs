@@ -1,0 +1,154 @@
+//! MOS capacitance models: Meyer intrinsic caps plus junction capacitances.
+//!
+//! These feed the AC and transient analyses in `ape-spice`, and the pole
+//! estimates used by the estimator in `ape-core` (a dominant pole at
+//! `g/(C_gs + C_load)` is what sets UGF and bandwidth estimates).
+
+use crate::eval::Region;
+use ape_netlist::{MosGeometry, MosModelCard};
+
+/// Default drain/source diffusion extent used to derive junction areas when
+/// the layout is not known, metres. Typical for a 1.2 µm process.
+pub const DIFFUSION_LENGTH: f64 = 3.0e-6;
+
+/// The intrinsic + overlap capacitances of a MOSFET at an operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MosCaps {
+    /// Gate-source capacitance, farads.
+    pub cgs: f64,
+    /// Gate-drain capacitance, farads.
+    pub cgd: f64,
+    /// Gate-bulk capacitance, farads.
+    pub cgb: f64,
+    /// Drain-bulk junction capacitance, farads.
+    pub cdb: f64,
+    /// Source-bulk junction capacitance, farads.
+    pub csb: f64,
+}
+
+impl MosCaps {
+    /// Total capacitance seen looking into the gate with source and drain
+    /// at AC ground, farads.
+    pub fn gate_total(&self) -> f64 {
+        self.cgs + self.cgd + self.cgb
+    }
+}
+
+/// Meyer partition of the intrinsic gate capacitance by region, including
+/// the overlap terms.
+///
+/// * Saturation: `cgs = 2/3·W·L·Cox + overlap`, `cgd = overlap` only.
+/// * Triode: the channel splits evenly, `1/2` each side.
+/// * Subthreshold: the channel is absent; the gate sees the bulk.
+///
+/// # Example
+///
+/// ```
+/// use ape_netlist::{Technology, MosGeometry};
+/// use ape_mos::{meyer_caps, Region};
+/// let tech = Technology::default_1p2um();
+/// let nmos = tech.nmos().unwrap();
+/// let caps = meyer_caps(nmos, &MosGeometry::new(10e-6, 2.4e-6), Region::Saturation);
+/// assert!(caps.cgs > caps.cgd);
+/// ```
+pub fn meyer_caps(card: &MosModelCard, geom: &MosGeometry, region: Region) -> MosCaps {
+    let w = geom.w * geom.m;
+    let leff = card.leff(geom.l);
+    let cox_area = card.cox() * w * leff;
+    let c_ov_s = card.cgso * w;
+    let c_ov_d = card.cgdo * w;
+    let c_ov_b = card.cgbo * geom.l * geom.m;
+    let (ci_gs, ci_gd, ci_gb) = match region {
+        Region::Saturation => (2.0 / 3.0 * cox_area, 0.0, 0.0),
+        Region::Triode => (0.5 * cox_area, 0.5 * cox_area, 0.0),
+        Region::Subthreshold => (0.0, 0.0, cox_area),
+    };
+    MosCaps {
+        cgs: ci_gs + c_ov_s,
+        cgd: ci_gd + c_ov_d,
+        cgb: ci_gb + c_ov_b,
+        cdb: 0.0,
+        csb: 0.0,
+    }
+}
+
+/// Reverse-biased junction capacitances of the drain and source diffusions.
+///
+/// Areas are derived from the device width and [`DIFFUSION_LENGTH`]; the
+/// voltage dependence follows the SPICE grading law
+/// `C = C0 / (1 + V_rev/pb)^mj`, with the forward-bias side clamped.
+pub fn junction_caps(card: &MosModelCard, geom: &MosGeometry, vdb_rev: f64, vsb_rev: f64) -> (f64, f64) {
+    let w = geom.w * geom.m;
+    let area = w * DIFFUSION_LENGTH;
+    let perim = 2.0 * (w + DIFFUSION_LENGTH);
+    let one = |vrev: f64| {
+        let vr = vrev.max(-0.4); // clamp forward bias to keep the model defined
+        let denom_a = (1.0 + vr / card.pb).max(0.1);
+        let denom_p = (1.0 + vr / card.pb).max(0.1);
+        card.cj * area / denom_a.powf(card.mj) + card.cjsw * perim / denom_p.powf(card.mjsw)
+    };
+    (one(vdb_rev), one(vsb_rev))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ape_netlist::Technology;
+
+    fn card() -> MosModelCard {
+        Technology::default_1p2um().nmos().unwrap().clone()
+    }
+
+    #[test]
+    fn saturation_partition() {
+        let c = card();
+        let g = MosGeometry::new(10e-6, 2.4e-6);
+        let caps = meyer_caps(&c, &g, Region::Saturation);
+        let cox_area = c.cox() * 10e-6 * c.leff(2.4e-6);
+        assert!((caps.cgs - (2.0 / 3.0 * cox_area + c.cgso * 10e-6)).abs() < 1e-18);
+        assert!((caps.cgd - c.cgdo * 10e-6).abs() < 1e-20);
+    }
+
+    #[test]
+    fn triode_splits_evenly() {
+        let c = card();
+        let g = MosGeometry::new(10e-6, 2.4e-6);
+        let caps = meyer_caps(&c, &g, Region::Triode);
+        assert!((caps.cgs - caps.cgd).abs() < 1e-18);
+    }
+
+    #[test]
+    fn subthreshold_gate_sees_bulk() {
+        let c = card();
+        let g = MosGeometry::new(10e-6, 2.4e-6);
+        let caps = meyer_caps(&c, &g, Region::Subthreshold);
+        assert!(caps.cgb > caps.cgs);
+        assert!(caps.cgb > caps.cgd);
+    }
+
+    #[test]
+    fn junction_caps_shrink_with_reverse_bias() {
+        let c = card();
+        let g = MosGeometry::new(10e-6, 2.4e-6);
+        let (cdb0, _) = junction_caps(&c, &g, 0.0, 0.0);
+        let (cdb5, _) = junction_caps(&c, &g, 5.0, 0.0);
+        assert!(cdb5 < cdb0);
+        assert!(cdb5 > 0.0);
+    }
+
+    #[test]
+    fn multiplicity_scales_caps() {
+        let c = card();
+        let g1 = MosGeometry::new(10e-6, 2.4e-6);
+        let g2 = MosGeometry { m: 2.0, ..g1 };
+        let a = meyer_caps(&c, &g1, Region::Saturation);
+        let b = meyer_caps(&c, &g2, Region::Saturation);
+        assert!((b.cgs - 2.0 * a.cgs).abs() / b.cgs < 1e-12);
+    }
+
+    #[test]
+    fn gate_total_is_sum() {
+        let caps = MosCaps { cgs: 1.0, cgd: 2.0, cgb: 3.0, cdb: 0.0, csb: 0.0 };
+        assert_eq!(caps.gate_total(), 6.0);
+    }
+}

@@ -1,0 +1,59 @@
+//! Error type for device-model operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the sizing solvers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MosError {
+    /// The requested (gm, Id) pair implies a non-physical overdrive voltage.
+    InfeasibleBias {
+        /// Description of the violated relation.
+        message: String,
+    },
+    /// The solved width or length falls outside the technology limits.
+    GeometryOutOfRange {
+        /// Which dimension, `"W"` or `"L"`.
+        dimension: &'static str,
+        /// The solved value in metres.
+        value: f64,
+    },
+    /// An iterative inner solve failed to converge.
+    NoConvergence {
+        /// What was being solved.
+        what: String,
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+    /// An input parameter is non-physical (negative current, NaN, ...).
+    InvalidInput(String),
+}
+
+impl fmt::Display for MosError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MosError::InfeasibleBias { message } => write!(f, "infeasible bias point: {message}"),
+            MosError::GeometryOutOfRange { dimension, value } => {
+                write!(f, "solved {dimension} = {value:.3e} m is outside technology limits")
+            }
+            MosError::NoConvergence { what, iterations } => {
+                write!(f, "no convergence solving {what} after {iterations} iterations")
+            }
+            MosError::InvalidInput(m) => write!(f, "invalid input: {m}"),
+        }
+    }
+}
+
+impl Error for MosError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync_display() {
+        fn assert_send_sync<T: Send + Sync + std::fmt::Display>() {}
+        assert_send_sync::<MosError>();
+    }
+}

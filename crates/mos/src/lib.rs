@@ -1,0 +1,55 @@
+//! MOS transistor device models for the APE reproduction.
+//!
+//! This crate is the *lowest level of the APE hierarchy* (paper §4.1): it
+//! evaluates SPICE-style device equations (Level 1, 2, 3 and a simplified
+//! BSIM) and — crucially for the estimator — *inverts* them, sizing a device
+//! from electrical constraints such as (gm, Id) or (Id, Vov).
+//!
+//! The same equations serve two masters:
+//!
+//! * `ape-spice` calls [`evaluate`] inside its Newton-Raphson loop, so the
+//!   numerical simulator solves exactly these models;
+//! * `ape-core` calls the closed-form [`sizing`] solvers, so the analytical
+//!   estimator sizes against exactly these models.
+//!
+//! Est-vs-sim discrepancies therefore come only from the estimator's
+//! simplified *composition* equations, which is precisely the error the
+//! paper's Tables 2, 3 and 5 measure.
+//!
+//! # Example
+//!
+//! Size an NMOS for `gm = 100 µS` at `Id = 10 µA`, then verify by evaluating
+//! the forward model at the returned operating point:
+//!
+//! ```
+//! use ape_netlist::Technology;
+//! use ape_mos::{sizing, evaluate, BiasPoint};
+//!
+//! # fn main() -> Result<(), ape_mos::MosError> {
+//! let tech = Technology::default_1p2um();
+//! let nmos = tech.nmos().expect("nmos card");
+//! let sized = sizing::size_for_gm_id(nmos, 100e-6, 10e-6, 2.4e-6)?;
+//! let eval = evaluate(
+//!     nmos,
+//!     &sized.geometry,
+//!     BiasPoint { vgs: sized.vgs, vds: 2.5, vsb: 0.0 },
+//! );
+//! assert!((eval.gm - 100e-6).abs() / 100e-6 < 0.05);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod caps;
+mod error;
+mod eval;
+pub mod sizing;
+
+pub use caps::{junction_caps, meyer_caps, MosCaps};
+pub use error::MosError;
+pub use eval::{evaluate, lambda_eff, BiasPoint, DeviceEval, Region, LAMBDA_REF_LENGTH};
+
+/// Thermal voltage kT/q at 300 K, volts.
+pub const VT_THERMAL: f64 = 0.025_852;

@@ -1,0 +1,461 @@
+//! Inverse device solvers — the "transistor sizing process" of paper §4.1.
+//!
+//! > *"The transistor sizing process consists in solving these symbolic
+//! > equations such that the constraints are met. For example, if a
+//! > transistor is specified by a given transconductance gm (Gain) and a
+//! > drain current, APE estimates the transistor size, the output drain
+//! > conductance and the parasite capacitances."*
+//!
+//! Each solver starts from the closed-form square-law inversion and then
+//! refines numerically against the full forward model of the card's level,
+//! so sizing stays accurate for Level 2/3/BSIM cards too.
+
+use crate::caps::{junction_caps, meyer_caps, MosCaps};
+use crate::error::MosError;
+use crate::eval::{evaluate, BiasPoint, Region};
+use ape_netlist::{MosGeometry, MosModelCard};
+
+/// A sized transistor: geometry plus the operating point and small-signal
+/// parameters it was sized at. This is the "sized transistor object" the
+/// paper saves and reuses across the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SizedMos {
+    /// Solved geometry.
+    pub geometry: MosGeometry,
+    /// Gate-source bias (physical sign: negative for PMOS), volts.
+    pub vgs: f64,
+    /// Drain-source bias assumed during sizing (physical sign), volts.
+    pub vds: f64,
+    /// Source-bulk bias assumed during sizing (physical sign), volts.
+    pub vsb: f64,
+    /// Threshold voltage magnitude at this body bias, volts.
+    pub vth: f64,
+    /// Overdrive voltage magnitude, volts.
+    pub vov: f64,
+    /// Drain current magnitude, amperes.
+    pub ids: f64,
+    /// Transconductance, siemens.
+    pub gm: f64,
+    /// Output conductance, siemens.
+    pub gds: f64,
+    /// Bulk transconductance, siemens.
+    pub gmb: f64,
+    /// Capacitances at the operating point.
+    pub caps: MosCaps,
+}
+
+impl SizedMos {
+    /// Gate area of the sized device, square metres.
+    pub fn gate_area(&self) -> f64 {
+        self.geometry.gate_area()
+    }
+
+    /// Intrinsic voltage gain `gm/gds` of the device.
+    pub fn intrinsic_gain(&self) -> f64 {
+        self.gm / self.gds
+    }
+}
+
+fn check_finite_positive(name: &str, v: f64) -> Result<(), MosError> {
+    if !(v.is_finite() && v > 0.0) {
+        return Err(MosError::InvalidInput(format!(
+            "{name} must be positive and finite, got {v}"
+        )));
+    }
+    Ok(())
+}
+
+/// Packages the result of a converged sizing at a normalised operating point.
+fn finish(card: &MosModelCard, geom: MosGeometry, vgs_n: f64, vds_n: f64, vsb_n: f64) -> SizedMos {
+    let s = card.polarity.sign();
+    let bias = BiasPoint {
+        vgs: s * vgs_n,
+        vds: s * vds_n,
+        vsb: s * vsb_n,
+    };
+    let e = evaluate(card, &geom, bias);
+    let mut caps = meyer_caps(card, &geom, e.region);
+    // Junction reverse biases: approximate the drain at vds above the
+    // source, bulk at the source rail.
+    let (cdb, csb) = junction_caps(card, &geom, vds_n + vsb_n, vsb_n);
+    caps.cdb = cdb;
+    caps.csb = csb;
+    SizedMos {
+        geometry: geom,
+        vgs: bias.vgs,
+        vds: bias.vds,
+        vsb: bias.vsb,
+        vth: e.vth,
+        vov: e.vov,
+        ids: e.ids.abs(),
+        gm: e.gm,
+        gds: e.gds,
+        gmb: e.gmb,
+        caps,
+    }
+}
+
+/// Sizes a device to deliver transconductance `gm` at drain current `id`
+/// (both magnitudes), with drawn length `l`.
+///
+/// Uses the square-law relations `Vov = 2·Id/gm` and
+/// `W/L = gm² / (2·KP·Id)` as the seed, then Newton-refines (W, Vgs) so the
+/// *full* model of the card's level hits (gm, Id) at `vds = vds_assume`.
+///
+/// # Errors
+///
+/// * [`MosError::InvalidInput`] for non-positive `gm`, `id` or `l`.
+/// * [`MosError::InfeasibleBias`] when `Vov = 2Id/gm` is out of the useful
+///   strong-inversion range (≈ 50 mV … 2.5 V).
+/// * [`MosError::NoConvergence`] if the refinement stalls.
+///
+/// # Example
+///
+/// ```
+/// use ape_netlist::Technology;
+/// use ape_mos::sizing::size_for_gm_id;
+/// # fn main() -> Result<(), ape_mos::MosError> {
+/// let tech = Technology::default_1p2um();
+/// let m = size_for_gm_id(tech.nmos().unwrap(), 50e-6, 5e-6, 2.4e-6)?;
+/// assert!(m.geometry.w > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn size_for_gm_id(
+    card: &MosModelCard,
+    gm: f64,
+    id: f64,
+    l: f64,
+) -> Result<SizedMos, MosError> {
+    size_for_gm_id_at(card, gm, id, l, 2.5, 0.0)
+}
+
+/// Like [`size_for_gm_id`] but with explicit drain-source and source-bulk
+/// bias magnitudes assumed during sizing.
+///
+/// # Errors
+///
+/// Same as [`size_for_gm_id`].
+pub fn size_for_gm_id_at(
+    card: &MosModelCard,
+    gm: f64,
+    id: f64,
+    l: f64,
+    vds_assume: f64,
+    vsb_assume: f64,
+) -> Result<SizedMos, MosError> {
+    check_finite_positive("gm", gm)?;
+    check_finite_positive("id", id)?;
+    check_finite_positive("l", l)?;
+    let vov = 2.0 * id / gm;
+    if !(0.03..=3.0).contains(&vov) {
+        return Err(MosError::InfeasibleBias {
+            message: format!("vov = 2·Id/gm = {vov:.3} V outside [0.03, 3.0] V"),
+        });
+    }
+    // Square-law seed.
+    let leff = card.leff(l);
+    let mut w = gm * gm / (2.0 * card.kp * id) * leff;
+    w = w.max(0.2e-6);
+    let vth0 = threshold(card, vsb_assume);
+    let mut vgs = vth0 + vov;
+
+    // 2-D damped Newton on (ln W, vgs) matching (ln Id, ln gm).
+    let mut it = 0usize;
+    loop {
+        let geom = MosGeometry::new(w, l);
+        let e = eval_norm(card, &geom, vgs, vds_assume, vsb_assume);
+        let f1 = (e.ids / id).ln();
+        let f2 = (e.gm / gm).ln();
+        if f1.abs() < 1e-7 && f2.abs() < 1e-7 {
+            return Ok(finish(card, geom, vgs, vds_assume, vsb_assume));
+        }
+        if it >= 80 {
+            return Err(MosError::NoConvergence {
+                what: format!("(W, Vgs) for gm={gm:.3e}, id={id:.3e}"),
+                iterations: it,
+            });
+        }
+        // Finite-difference Jacobian in (ln w, vgs).
+        let dw = 1e-4;
+        let dv = 1e-5;
+        let ew = eval_norm(card, &MosGeometry::new(w * (1.0 + dw), l), vgs, vds_assume, vsb_assume);
+        let ev = eval_norm(card, &MosGeometry::new(w, l), vgs + dv, vds_assume, vsb_assume);
+        let j11 = ((ew.ids / e.ids).ln()) / dw;
+        let j21 = ((ew.gm / e.gm).ln()) / dw;
+        let j12 = ((ev.ids / e.ids).ln()) / dv;
+        let j22 = ((ev.gm / e.gm).ln()) / dv;
+        let det = j11 * j22 - j12 * j21;
+        if det.abs() < 1e-12 {
+            return Err(MosError::NoConvergence {
+                what: "singular sizing jacobian".into(),
+                iterations: it,
+            });
+        }
+        let dlw = (-f1 * j22 + f2 * j12) / det;
+        let dvg = (-f2 * j11 + f1 * j21) / det;
+        // Damp steps to keep the iteration inside the model's domain.
+        let dlw = dlw.clamp(-1.0, 1.0);
+        let dvg = dvg.clamp(-0.3, 0.3);
+        w *= dlw.exp();
+        w = w.clamp(0.05e-6, 0.1);
+        vgs = (vgs + dvg).clamp(vth0 - 0.2, vth0 + 3.5);
+        it += 1;
+    }
+}
+
+/// Sizes a device to carry `id` at overdrive `vov` (both magnitudes) with
+/// drawn length `l` — the mirror/bias-branch sizing primitive.
+///
+/// # Errors
+///
+/// * [`MosError::InvalidInput`] for non-positive inputs.
+/// * [`MosError::NoConvergence`] if the width refinement stalls.
+pub fn size_for_id_vov(
+    card: &MosModelCard,
+    id: f64,
+    vov: f64,
+    l: f64,
+) -> Result<SizedMos, MosError> {
+    size_for_id_vov_at(card, id, vov, l, 2.5, 0.0)
+}
+
+/// Like [`size_for_id_vov`] with explicit assumed biases.
+///
+/// # Errors
+///
+/// Same as [`size_for_id_vov`].
+pub fn size_for_id_vov_at(
+    card: &MosModelCard,
+    id: f64,
+    vov: f64,
+    l: f64,
+    vds_assume: f64,
+    vsb_assume: f64,
+) -> Result<SizedMos, MosError> {
+    check_finite_positive("id", id)?;
+    check_finite_positive("vov", vov)?;
+    check_finite_positive("l", l)?;
+    if vov > 3.0 {
+        return Err(MosError::InfeasibleBias {
+            message: format!("vov = {vov} V too large"),
+        });
+    }
+    let leff = card.leff(l);
+    let vth0 = threshold(card, vsb_assume);
+    let vgs = vth0 + vov;
+    let mut w = (2.0 * id * leff / (card.kp * vov * vov)).max(0.2e-6);
+    // 1-D multiplicative update: Id is proportional to W at fixed bias.
+    for _ in 0..60 {
+        let e = eval_norm(card, &MosGeometry::new(w, l), vgs, vds_assume, vsb_assume);
+        let ratio = id / e.ids;
+        if (ratio - 1.0).abs() < 1e-9 {
+            return Ok(finish(card, MosGeometry::new(w, l), vgs, vds_assume, vsb_assume));
+        }
+        w = (w * ratio).clamp(0.05e-6, 0.1);
+    }
+    Err(MosError::NoConvergence {
+        what: format!("W for id={id:.3e} at vov={vov}"),
+        iterations: 60,
+    })
+}
+
+/// Solves the gate-source voltage magnitude that makes a *given* geometry
+/// carry current `id` (magnitude) at the assumed biases. Monotonicity of
+/// `Ids(Vgs)` makes bisection exact.
+///
+/// # Errors
+///
+/// * [`MosError::InvalidInput`] for non-positive `id`.
+/// * [`MosError::InfeasibleBias`] if even `vgs = vth + 4 V` cannot carry `id`.
+pub fn vgs_for_id(
+    card: &MosModelCard,
+    geom: &MosGeometry,
+    id: f64,
+    vds_assume: f64,
+    vsb_assume: f64,
+) -> Result<f64, MosError> {
+    check_finite_positive("id", id)?;
+    let vth0 = threshold(card, vsb_assume);
+    let mut lo = vth0 - 0.5;
+    let mut hi = vth0 + 4.0;
+    let f = |vgs: f64| eval_norm(card, geom, vgs, vds_assume, vsb_assume).ids - id;
+    if f(hi) < 0.0 {
+        return Err(MosError::InfeasibleBias {
+            message: format!("geometry too small to carry {id:.3e} A"),
+        });
+    }
+    for _ in 0..100 {
+        let mid = 0.5 * (lo + hi);
+        if f(mid) > 0.0 {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Ok(card.polarity.sign() * 0.5 * (lo + hi))
+}
+
+/// Threshold voltage magnitude at source-bulk bias `vsb` (magnitude).
+pub fn threshold(card: &MosModelCard, vsb: f64) -> f64 {
+    let phi = card.phi.max(0.1);
+    card.vto.abs() + card.gamma * ((phi + vsb.max(0.0)).sqrt() - phi.sqrt())
+}
+
+/// Normalised evaluation helper: biases given as magnitudes in the N-frame.
+fn eval_norm(
+    card: &MosModelCard,
+    geom: &MosGeometry,
+    vgs_n: f64,
+    vds_n: f64,
+    vsb_n: f64,
+) -> NormEval {
+    let s = card.polarity.sign();
+    let e = evaluate(
+        card,
+        geom,
+        BiasPoint {
+            vgs: s * vgs_n,
+            vds: s * vds_n,
+            vsb: s * vsb_n,
+        },
+    );
+    NormEval {
+        ids: e.ids.abs().max(1e-18),
+        gm: e.gm.max(1e-18),
+        region: e.region,
+    }
+}
+
+struct NormEval {
+    ids: f64,
+    gm: f64,
+    #[allow(dead_code)]
+    region: Region,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ape_netlist::{MosLevel, Technology};
+
+    fn nmos() -> MosModelCard {
+        Technology::default_1p2um().nmos().unwrap().clone()
+    }
+
+    fn pmos() -> MosModelCard {
+        Technology::default_1p2um().pmos().unwrap().clone()
+    }
+
+    #[test]
+    fn gm_id_sizing_hits_targets() {
+        let card = nmos();
+        for (gm, id) in [(50e-6, 5e-6), (100e-6, 10e-6), (1e-3, 200e-6), (20e-6, 1e-6)] {
+            let m = size_for_gm_id(&card, gm, id, 2.4e-6).unwrap();
+            assert!((m.gm - gm).abs() / gm < 1e-4, "gm {} vs {}", m.gm, gm);
+            assert!((m.ids - id).abs() / id < 1e-4, "id {} vs {}", m.ids, id);
+        }
+    }
+
+    #[test]
+    fn gm_id_sizing_works_for_pmos() {
+        let card = pmos();
+        let m = size_for_gm_id(&card, 100e-6, 10e-6, 2.4e-6).unwrap();
+        assert!((m.gm - 100e-6).abs() / 100e-6 < 1e-4);
+        assert!(m.vgs < 0.0, "pmos vgs must be negative, got {}", m.vgs);
+        // PMOS needs ~3x the width of NMOS for the same gm/id.
+        let mn = size_for_gm_id(&nmos(), 100e-6, 10e-6, 2.4e-6).unwrap();
+        assert!(m.geometry.w > 2.0 * mn.geometry.w);
+    }
+
+    #[test]
+    fn infeasible_vov_rejected() {
+        let card = nmos();
+        // vov = 2*id/gm = 2*100u/10u = 20 V: absurd.
+        let err = size_for_gm_id(&card, 10e-6, 100e-6, 2.4e-6).unwrap_err();
+        assert!(matches!(err, MosError::InfeasibleBias { .. }));
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        let card = nmos();
+        assert!(size_for_gm_id(&card, -1.0, 1e-6, 2e-6).is_err());
+        assert!(size_for_gm_id(&card, 1e-6, f64::NAN, 2e-6).is_err());
+        assert!(size_for_id_vov(&card, 0.0, 0.2, 2e-6).is_err());
+    }
+
+    #[test]
+    fn id_vov_sizing_hits_current() {
+        let card = nmos();
+        let m = size_for_id_vov(&card, 100e-6, 0.5, 2.4e-6).unwrap();
+        assert!((m.ids - 100e-6).abs() / 100e-6 < 1e-6);
+        // Square law check: W ≈ 2 Id Leff / (kp vov²)
+        let w_sq = 2.0 * 100e-6 * card.leff(2.4e-6) / (card.kp * 0.25);
+        assert!((m.geometry.w - w_sq).abs() / w_sq < 0.2);
+    }
+
+    #[test]
+    fn vgs_for_id_bisection() {
+        let card = nmos();
+        let geom = MosGeometry::new(20e-6, 2.4e-6);
+        let vgs = vgs_for_id(&card, &geom, 50e-6, 2.5, 0.0).unwrap();
+        let e = evaluate(&card, &geom, BiasPoint { vgs, vds: 2.5, vsb: 0.0 });
+        assert!((e.ids - 50e-6).abs() / 50e-6 < 1e-6);
+    }
+
+    #[test]
+    fn vgs_for_id_infeasible() {
+        let card = nmos();
+        let geom = MosGeometry::new(1e-6, 10e-6);
+        assert!(vgs_for_id(&card, &geom, 1.0, 2.5, 0.0).is_err());
+    }
+
+    #[test]
+    fn sizing_consistent_across_levels() {
+        // Level 3 needs more width for the same (gm, id) because mobility
+        // degradation weakens the device.
+        let t1 = Technology::default_1p2um();
+        let t3 = t1.with_level(MosLevel::Level3);
+        let m1 = size_for_gm_id(t1.nmos().unwrap(), 200e-6, 20e-6, 2.4e-6).unwrap();
+        let m3 = size_for_gm_id(t3.nmos().unwrap(), 200e-6, 20e-6, 2.4e-6).unwrap();
+        assert!((m1.gm - 200e-6).abs() / 200e-6 < 1e-4);
+        assert!((m3.gm - 200e-6).abs() / 200e-6 < 1e-4);
+        assert!(m3.geometry.w > m1.geometry.w);
+    }
+
+    #[test]
+    fn sized_mos_reports_caps_and_gain() {
+        let m = size_for_gm_id(&nmos(), 100e-6, 10e-6, 2.4e-6).unwrap();
+        assert!(m.caps.cgs > 0.0);
+        assert!(m.caps.cdb > 0.0);
+        assert!(m.intrinsic_gain() > 10.0);
+        assert!(m.gate_area() > 0.0);
+    }
+
+    #[test]
+    fn threshold_increases_with_vsb() {
+        let card = nmos();
+        assert!(threshold(&card, 2.0) > threshold(&card, 0.0));
+        assert!((threshold(&card, 0.0) - card.vto).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roundtrip_property_many_points() {
+        // size → evaluate → the spec comes back (sampled grid, not proptest,
+        // to keep the unit suite fast; the proptest version lives in
+        // tests/proptests.rs of the crate).
+        let card = nmos();
+        for k in 1..8 {
+            let id = 1e-6 * (k as f64) * 3.0;
+            let gm = id * 12.0; // vov ≈ 0.17 V
+            let m = size_for_gm_id(&card, gm, id, 1.8e-6).unwrap();
+            let e = evaluate(
+                &card,
+                &m.geometry,
+                BiasPoint { vgs: m.vgs, vds: 2.5, vsb: 0.0 },
+            );
+            assert!((e.gm - gm).abs() / gm < 1e-3);
+            assert!((e.ids - id).abs() / id < 1e-3);
+        }
+    }
+}

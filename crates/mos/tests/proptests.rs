@@ -1,0 +1,113 @@
+//! Property-based tests over the device models: the forward evaluation must
+//! be finite, sign-correct and continuous everywhere the simulator can land
+//! during Newton iterations.
+
+use ape_mos::{evaluate, meyer_caps, BiasPoint, Region};
+use ape_netlist::{MosGeometry, MosLevel, Technology};
+use proptest::prelude::*;
+
+fn any_level() -> impl Strategy<Value = MosLevel> {
+    prop_oneof![
+        Just(MosLevel::Level1),
+        Just(MosLevel::Level2),
+        Just(MosLevel::Level3),
+        Just(MosLevel::Bsim),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Never NaN/∞, for any bias the Newton solver might visit — including
+    /// reversed conduction and forward body bias.
+    #[test]
+    fn evaluation_always_finite(
+        level in any_level(),
+        w_um in 0.5f64..500.0,
+        l_um in 0.6f64..40.0,
+        vgs in -6.0f64..6.0,
+        vds in -6.0f64..6.0,
+        vsb in -1.0f64..6.0,
+        pmos in any::<bool>(),
+    ) {
+        let tech = Technology::default_1p2um().with_level(level);
+        let card = if pmos { tech.pmos().unwrap() } else { tech.nmos().unwrap() };
+        let g = MosGeometry::new(w_um * 1e-6, l_um * 1e-6);
+        let e = evaluate(card, &g, BiasPoint { vgs, vds, vsb });
+        prop_assert!(e.ids.is_finite(), "ids not finite");
+        prop_assert!(e.gm.is_finite() && e.gds.is_finite() && e.gmb.is_finite());
+        prop_assert!(e.vth.is_finite() && e.vdsat.is_finite());
+    }
+
+    /// Zero vds means (near) zero current, any level, any polarity.
+    #[test]
+    fn zero_vds_zero_current(
+        level in any_level(),
+        w_um in 1.0f64..100.0,
+        vgs in -5.0f64..5.0,
+        pmos in any::<bool>(),
+    ) {
+        let tech = Technology::default_1p2um().with_level(level);
+        let card = if pmos { tech.pmos().unwrap() } else { tech.nmos().unwrap() };
+        let g = MosGeometry::new(w_um * 1e-6, 2.4e-6);
+        let e = evaluate(card, &g, BiasPoint { vgs, vds: 0.0, vsb: 0.0 });
+        prop_assert!(e.ids.abs() < 1e-12, "ids {} at vds=0", e.ids);
+    }
+
+    /// The characteristic is continuous in vds across the whole range
+    /// (region boundaries included): no jump bigger than the local slope
+    /// allows.
+    #[test]
+    fn continuity_in_vds(
+        level in any_level(),
+        w_um in 1.0f64..100.0,
+        vgs in 0.8f64..3.0,
+        vds0 in 0.0f64..4.9,
+    ) {
+        let tech = Technology::default_1p2um().with_level(level);
+        let card = tech.nmos().unwrap();
+        let g = MosGeometry::new(w_um * 1e-6, 2.4e-6);
+        let h = 1e-4;
+        let e0 = evaluate(card, &g, BiasPoint { vgs, vds: vds0, vsb: 0.0 });
+        let e1 = evaluate(card, &g, BiasPoint { vgs, vds: vds0 + h, vsb: 0.0 });
+        let di = (e1.ids - e0.ids).abs();
+        // Bound the step by a generous multiple of the local conductance.
+        let bound = (e0.gds.abs() + e0.gm.abs() + 1e-6) * h * 50.0 + 1e-12;
+        prop_assert!(di < bound, "jump {di} at vds {vds0} (bound {bound})");
+    }
+
+    /// Capacitances are non-negative and scale with width.
+    #[test]
+    fn caps_positive_and_scale(
+        w_um in 1.0f64..200.0,
+        l_um in 1.2f64..20.0,
+        region in prop_oneof![
+            Just(Region::Saturation), Just(Region::Triode), Just(Region::Subthreshold)
+        ],
+    ) {
+        let tech = Technology::default_1p2um();
+        let card = tech.nmos().unwrap();
+        let g1 = MosGeometry::new(w_um * 1e-6, l_um * 1e-6);
+        let g2 = MosGeometry::new(2.0 * w_um * 1e-6, l_um * 1e-6);
+        let c1 = meyer_caps(card, &g1, region);
+        let c2 = meyer_caps(card, &g2, region);
+        prop_assert!(c1.cgs >= 0.0 && c1.cgd >= 0.0 && c1.cgb >= 0.0);
+        prop_assert!(c2.gate_total() > c1.gate_total());
+    }
+
+    /// Saturation current grows with drawn width at fixed bias.
+    #[test]
+    fn current_monotone_in_width(
+        level in any_level(),
+        w_um in 1.0f64..100.0,
+        vgs in 1.2f64..3.0,
+    ) {
+        let tech = Technology::default_1p2um().with_level(level);
+        let card = tech.nmos().unwrap();
+        let a = evaluate(card, &MosGeometry::new(w_um * 1e-6, 2.4e-6),
+                         BiasPoint { vgs, vds: 2.5, vsb: 0.0 });
+        let b = evaluate(card, &MosGeometry::new(1.5 * w_um * 1e-6, 2.4e-6),
+                         BiasPoint { vgs, vds: 2.5, vsb: 0.0 });
+        prop_assert!(b.ids > a.ids);
+    }
+}

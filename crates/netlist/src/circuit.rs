@@ -1,0 +1,804 @@
+//! The [`Circuit`] container and builder API.
+
+use crate::element::{Element, ElementKind, MosGeometry, MosPolarity, SourceWaveform};
+use crate::error::NetlistError;
+use crate::node::NodeId;
+use crate::process::Technology;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A flat circuit: named nodes plus a list of elements.
+///
+/// Nodes are created through [`Circuit::node`], which interns a name and
+/// returns a dense [`NodeId`]. Elements are appended through the `add_*`
+/// builder methods, each of which validates its parameters.
+///
+/// # Example
+///
+/// ```
+/// use ape_netlist::Circuit;
+/// # fn main() -> Result<(), ape_netlist::NetlistError> {
+/// let mut ckt = Circuit::new("rc");
+/// let n1 = ckt.node("in");
+/// let n2 = ckt.node("out");
+/// ckt.add_vdc("V1", n1, Circuit::GROUND, 1.0);
+/// ckt.add_resistor("R1", n1, n2, 1e3)?;
+/// ckt.add_capacitor("C1", n2, Circuit::GROUND, 1e-9)?;
+/// ckt.validate()?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Circuit {
+    /// Human-readable circuit title.
+    pub title: String,
+    node_names: Vec<String>,
+    name_to_node: BTreeMap<String, NodeId>,
+    elements: Vec<Element>,
+}
+
+/// Summary statistics of a circuit, used in reports and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CircuitStats {
+    /// Number of nodes including ground.
+    pub nodes: usize,
+    /// Total element count.
+    pub elements: usize,
+    /// Number of MOSFET instances.
+    pub mosfets: usize,
+    /// Number of independent sources.
+    pub sources: usize,
+}
+
+impl Circuit {
+    /// The ground node, shared by all circuits.
+    pub const GROUND: NodeId = NodeId::GROUND;
+
+    /// Creates an empty circuit containing only the ground node.
+    pub fn new(title: &str) -> Self {
+        Circuit {
+            title: title.to_string(),
+            node_names: vec!["0".to_string()],
+            name_to_node: BTreeMap::from([(String::from("0"), NodeId::GROUND)]),
+            elements: Vec::new(),
+        }
+    }
+
+    /// Interns `name` and returns its node id, creating the node if new.
+    ///
+    /// The names `"0"`, `"gnd"` and `"GND"` all map to ground.
+    pub fn node(&mut self, name: &str) -> NodeId {
+        if name == "0" || name.eq_ignore_ascii_case("gnd") {
+            return NodeId::GROUND;
+        }
+        if let Some(&id) = self.name_to_node.get(name) {
+            return id;
+        }
+        let id = NodeId::new(self.node_names.len() as u32);
+        self.node_names.push(name.to_string());
+        self.name_to_node.insert(name.to_string(), id);
+        id
+    }
+
+    /// Creates a fresh node with a generated unique name using `prefix`.
+    pub fn fresh_node(&mut self, prefix: &str) -> NodeId {
+        let mut k = self.node_names.len();
+        loop {
+            let candidate = format!("{prefix}_{k}");
+            if !self.name_to_node.contains_key(&candidate) {
+                return self.node(&candidate);
+            }
+            k += 1;
+        }
+    }
+
+    /// Looks up a node id by name without creating it.
+    pub fn find_node(&self, name: &str) -> Option<NodeId> {
+        if name == "0" || name.eq_ignore_ascii_case("gnd") {
+            return Some(NodeId::GROUND);
+        }
+        self.name_to_node.get(name).copied()
+    }
+
+    /// Name of a node id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this circuit.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.node_names[usize::from(id)]
+    }
+
+    /// Number of nodes including ground.
+    pub fn num_nodes(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// The elements in insertion order.
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    /// Finds an element by instance name.
+    pub fn element(&self, name: &str) -> Option<&Element> {
+        self.elements.iter().find(|e| e.name == name)
+    }
+
+    /// Mutable access to an element by instance name.
+    pub fn element_mut(&mut self, name: &str) -> Option<&mut Element> {
+        self.elements.iter_mut().find(|e| e.name == name)
+    }
+
+    /// Removes an element by name, returning it if present.
+    pub fn remove_element(&mut self, name: &str) -> Option<Element> {
+        let idx = self.elements.iter().position(|e| e.name == name)?;
+        Some(self.elements.remove(idx))
+    }
+
+    fn push(&mut self, e: Element) -> Result<(), NetlistError> {
+        if self.elements.iter().any(|x| x.name == e.name) {
+            return Err(NetlistError::DuplicateElement(e.name));
+        }
+        for n in e.nodes() {
+            if usize::from(n) >= self.node_names.len() {
+                return Err(NetlistError::UnknownNode {
+                    element: e.name,
+                    node: n.index(),
+                });
+            }
+        }
+        self.elements.push(e);
+        Ok(())
+    }
+
+    /// Adds a resistor.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-positive or non-finite resistance and duplicate names.
+    pub fn add_resistor(&mut self, name: &str, a: NodeId, b: NodeId, ohms: f64) -> Result<(), NetlistError> {
+        if !(ohms.is_finite() && ohms > 0.0) {
+            return Err(NetlistError::InvalidParameter {
+                element: name.to_string(),
+                message: format!("resistance must be positive and finite, got {ohms}"),
+            });
+        }
+        self.push(Element {
+            name: name.to_string(),
+            a,
+            b,
+            kind: ElementKind::Resistor { ohms },
+        })
+    }
+
+    /// Adds a capacitor.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-positive or non-finite capacitance and duplicate names.
+    pub fn add_capacitor(&mut self, name: &str, a: NodeId, b: NodeId, farads: f64) -> Result<(), NetlistError> {
+        if !(farads.is_finite() && farads > 0.0) {
+            return Err(NetlistError::InvalidParameter {
+                element: name.to_string(),
+                message: format!("capacitance must be positive and finite, got {farads}"),
+            });
+        }
+        self.push(Element {
+            name: name.to_string(),
+            a,
+            b,
+            kind: ElementKind::Capacitor { farads },
+        })
+    }
+
+    /// Adds an inductor.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-positive or non-finite inductance and duplicate names.
+    pub fn add_inductor(&mut self, name: &str, a: NodeId, b: NodeId, henries: f64) -> Result<(), NetlistError> {
+        if !(henries.is_finite() && henries > 0.0) {
+            return Err(NetlistError::InvalidParameter {
+                element: name.to_string(),
+                message: format!("inductance must be positive and finite, got {henries}"),
+            });
+        }
+        self.push(Element {
+            name: name.to_string(),
+            a,
+            b,
+            kind: ElementKind::Inductor { henries },
+        })
+    }
+
+    /// Adds a DC voltage source with zero AC magnitude.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate element name (DC rails are added early by
+    /// construction code that owns its namespace).
+    pub fn add_vdc(&mut self, name: &str, pos: NodeId, neg: NodeId, volts: f64) {
+        self.add_vsource(name, pos, neg, volts, 0.0, SourceWaveform::Dc)
+            .expect("duplicate voltage source name");
+    }
+
+    /// Adds a voltage source with full control of DC, AC magnitude and waveform.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on duplicate names or dangling nodes.
+    pub fn add_vsource(
+        &mut self,
+        name: &str,
+        pos: NodeId,
+        neg: NodeId,
+        dc: f64,
+        ac_mag: f64,
+        waveform: SourceWaveform,
+    ) -> Result<(), NetlistError> {
+        self.push(Element {
+            name: name.to_string(),
+            a: pos,
+            b: neg,
+            kind: ElementKind::VoltageSource { dc, ac_mag, waveform },
+        })
+    }
+
+    /// Adds a DC current source flowing from `pos` through the source to `neg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on duplicate names or dangling nodes.
+    pub fn add_idc(&mut self, name: &str, pos: NodeId, neg: NodeId, amps: f64) -> Result<(), NetlistError> {
+        self.add_isource(name, pos, neg, amps, 0.0, SourceWaveform::Dc)
+    }
+
+    /// Adds a current source with full control of DC, AC magnitude and waveform.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on duplicate names or dangling nodes.
+    pub fn add_isource(
+        &mut self,
+        name: &str,
+        pos: NodeId,
+        neg: NodeId,
+        dc: f64,
+        ac_mag: f64,
+        waveform: SourceWaveform,
+    ) -> Result<(), NetlistError> {
+        self.push(Element {
+            name: name.to_string(),
+            a: pos,
+            b: neg,
+            kind: ElementKind::CurrentSource { dc, ac_mag, waveform },
+        })
+    }
+
+    /// Adds a voltage-controlled voltage source `v(a,b) = gain · v(cp,cn)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on duplicate names or dangling nodes.
+    pub fn add_vcvs(
+        &mut self,
+        name: &str,
+        a: NodeId,
+        b: NodeId,
+        cp: NodeId,
+        cn: NodeId,
+        gain: f64,
+    ) -> Result<(), NetlistError> {
+        self.push(Element {
+            name: name.to_string(),
+            a,
+            b,
+            kind: ElementKind::Vcvs { gain, cp, cn },
+        })
+    }
+
+    /// Adds a voltage-controlled current source `i(a→b) = gm · v(cp,cn)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on duplicate names or dangling nodes.
+    pub fn add_vccs(
+        &mut self,
+        name: &str,
+        a: NodeId,
+        b: NodeId,
+        cp: NodeId,
+        cn: NodeId,
+        gm: f64,
+    ) -> Result<(), NetlistError> {
+        self.push(Element {
+            name: name.to_string(),
+            a,
+            b,
+            kind: ElementKind::Vccs { gm, cp, cn },
+        })
+    }
+
+    /// Adds a MOSFET. Terminal order matches SPICE: drain, gate, source, bulk.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-positive W or L and duplicate names.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_mosfet(
+        &mut self,
+        name: &str,
+        drain: NodeId,
+        gate: NodeId,
+        source: NodeId,
+        bulk: NodeId,
+        polarity: MosPolarity,
+        model: &str,
+        geometry: MosGeometry,
+    ) -> Result<(), NetlistError> {
+        if !(geometry.w.is_finite() && geometry.w > 0.0 && geometry.l.is_finite() && geometry.l > 0.0) {
+            return Err(NetlistError::InvalidParameter {
+                element: name.to_string(),
+                message: format!("W and L must be positive, got W={} L={}", geometry.w, geometry.l),
+            });
+        }
+        if !(geometry.m.is_finite() && geometry.m >= 1.0) {
+            return Err(NetlistError::InvalidParameter {
+                element: name.to_string(),
+                message: format!("multiplicity must be >= 1, got {}", geometry.m),
+            });
+        }
+        self.push(Element {
+            name: name.to_string(),
+            a: drain,
+            b: gate,
+            kind: ElementKind::Mosfet {
+                polarity,
+                model: model.to_string(),
+                geometry,
+                source,
+                bulk,
+            },
+        })
+    }
+
+    /// Adds a voltage-controlled switch between `a` and `b`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `ron >= roff` or non-positive resistances.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_switch(
+        &mut self,
+        name: &str,
+        a: NodeId,
+        b: NodeId,
+        cp: NodeId,
+        cn: NodeId,
+        vt: f64,
+        ron: f64,
+        roff: f64,
+    ) -> Result<(), NetlistError> {
+        if !(ron > 0.0 && roff > ron) {
+            return Err(NetlistError::InvalidParameter {
+                element: name.to_string(),
+                message: format!("need 0 < ron < roff, got ron={ron} roff={roff}"),
+            });
+        }
+        self.push(Element {
+            name: name.to_string(),
+            a,
+            b,
+            kind: ElementKind::Switch { cp, cn, vt, ron, roff },
+        })
+    }
+
+    /// Merges every element and node of `other` into `self`, prefixing
+    /// element names and non-ground node names with `prefix` (hierarchical
+    /// subcircuit flattening). `port_map` maps node names of `other` onto
+    /// existing nodes of `self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a prefixed element name collides.
+    pub fn instantiate(
+        &mut self,
+        prefix: &str,
+        other: &Circuit,
+        port_map: &[(&str, NodeId)],
+    ) -> Result<(), NetlistError> {
+        let mut translate: BTreeMap<NodeId, NodeId> = BTreeMap::new();
+        translate.insert(NodeId::GROUND, NodeId::GROUND);
+        for (port, outer) in port_map {
+            if let Some(inner) = other.find_node(port) {
+                translate.insert(inner, *outer);
+            }
+        }
+        for idx in 1..other.num_nodes() {
+            let inner = NodeId::new(idx as u32);
+            translate.entry(inner).or_insert_with(|| {
+                let name = format!("{prefix}.{}", other.node_name(inner));
+                // Inline Circuit::node to placate the borrow checker.
+                if let Some(&id) = self.name_to_node.get(&name) {
+                    id
+                } else {
+                    let id = NodeId::new(self.node_names.len() as u32);
+                    self.node_names.push(name.clone());
+                    self.name_to_node.insert(name, id);
+                    id
+                }
+            });
+        }
+        for e in other.elements() {
+            let mut ne = e.clone();
+            ne.name = format!("{prefix}.{}", e.name);
+            ne.a = translate[&e.a];
+            ne.b = translate[&e.b];
+            match &mut ne.kind {
+                ElementKind::Vcvs { cp, cn, .. }
+                | ElementKind::Vccs { cp, cn, .. }
+                | ElementKind::Switch { cp, cn, .. } => {
+                    *cp = translate[cp];
+                    *cn = translate[cn];
+                }
+                ElementKind::Mosfet { source, bulk, .. } => {
+                    *source = translate[source];
+                    *bulk = translate[bulk];
+                }
+                _ => {}
+            }
+            self.push(ne)?;
+        }
+        Ok(())
+    }
+
+    /// Structural validity check: at least one element, every non-ground node
+    /// attached to at least one element, and (to avoid singular systems)
+    /// every node needs a DC path of at least one connection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::Invalid`] describing the first problem found.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        if self.elements.is_empty() {
+            return Err(NetlistError::Invalid("circuit has no elements".into()));
+        }
+        let mut degree = vec![0usize; self.num_nodes()];
+        for e in &self.elements {
+            for n in e.nodes() {
+                degree[usize::from(n)] += 1;
+            }
+        }
+        for (idx, d) in degree.iter().enumerate().skip(1) {
+            if *d == 0 {
+                return Err(NetlistError::Invalid(format!(
+                    "node `{}` is not connected to any element",
+                    self.node_names[idx]
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Summary statistics.
+    pub fn stats(&self) -> CircuitStats {
+        let mut s = CircuitStats {
+            nodes: self.num_nodes(),
+            elements: self.elements.len(),
+            ..CircuitStats::default()
+        };
+        for e in &self.elements {
+            match e.kind {
+                ElementKind::Mosfet { .. } => s.mosfets += 1,
+                ElementKind::VoltageSource { .. } | ElementKind::CurrentSource { .. } => {
+                    s.sources += 1
+                }
+                _ => {}
+            }
+        }
+        s
+    }
+
+    /// Total MOS gate area of the circuit in square metres.
+    pub fn total_gate_area(&self) -> f64 {
+        self.elements
+            .iter()
+            .filter_map(|e| match &e.kind {
+                ElementKind::Mosfet { geometry, .. } => Some(geometry.gate_area()),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Renders the circuit as a SPICE deck, including the technology's
+    /// `.model` cards.
+    ///
+    /// Hierarchical element names (e.g. `X1.MB1` from subcircuit flattening)
+    /// are prefixed with the SPICE type letter so the deck re-parses:
+    /// `MX1.MB1`, `IX1.IB`, and so on.
+    pub fn to_spice_deck(&self, tech: &Technology) -> String {
+        let type_letter = |kind: &ElementKind| match kind {
+            ElementKind::Resistor { .. } => 'R',
+            ElementKind::Capacitor { .. } => 'C',
+            ElementKind::Inductor { .. } => 'L',
+            ElementKind::VoltageSource { .. } => 'V',
+            ElementKind::CurrentSource { .. } => 'I',
+            ElementKind::Vcvs { .. } => 'E',
+            ElementKind::Vccs { .. } => 'G',
+            ElementKind::Mosfet { .. } => 'M',
+            ElementKind::Switch { .. } => 'S',
+            #[allow(unreachable_patterns)] // the enum is non_exhaustive
+            _ => 'X',
+        };
+        let deck_name = |e: &Element| {
+            let want = type_letter(&e.kind);
+            if e.name
+                .chars()
+                .next()
+                .map(|c| c.eq_ignore_ascii_case(&want))
+                .unwrap_or(false)
+            {
+                e.name.clone()
+            } else {
+                format!("{want}{}", e.name)
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&format!("* {}\n", self.title));
+        for e in &self.elements {
+            let an = self.node_name(e.a);
+            let bn = self.node_name(e.b);
+            let ename = deck_name(e);
+            let line = match &e.kind {
+                ElementKind::Resistor { ohms } => format!("{} {} {} {:.6e}", ename, an, bn, ohms),
+                ElementKind::Capacitor { farads } => {
+                    format!("{} {} {} {:.6e}", ename, an, bn, farads)
+                }
+                ElementKind::Inductor { henries } => {
+                    format!("{} {} {} {:.6e}", ename, an, bn, henries)
+                }
+                ElementKind::VoltageSource { dc, ac_mag, .. } => {
+                    format!("{} {} {} DC {:.6e} AC {:.3e}", ename, an, bn, dc, ac_mag)
+                }
+                ElementKind::CurrentSource { dc, ac_mag, .. } => {
+                    format!("{} {} {} DC {:.6e} AC {:.3e}", ename, an, bn, dc, ac_mag)
+                }
+                ElementKind::Vcvs { gain, cp, cn } => format!(
+                    "{} {} {} {} {} {:.6e}",
+                    ename,
+                    an,
+                    bn,
+                    self.node_name(*cp),
+                    self.node_name(*cn),
+                    gain
+                ),
+                ElementKind::Vccs { gm, cp, cn } => format!(
+                    "{} {} {} {} {} {:.6e}",
+                    ename,
+                    an,
+                    bn,
+                    self.node_name(*cp),
+                    self.node_name(*cn),
+                    gm
+                ),
+                ElementKind::Mosfet {
+                    model,
+                    geometry,
+                    source,
+                    bulk,
+                    ..
+                } => format!(
+                    "{} {} {} {} {} {} W={:.9e} L={:.9e} M={}",
+                    ename,
+                    an,
+                    bn,
+                    self.node_name(*source),
+                    self.node_name(*bulk),
+                    model,
+                    geometry.w,
+                    geometry.l,
+                    geometry.m
+                ),
+                ElementKind::Switch { cp, cn, vt, ron, roff } => format!(
+                    "{} {} {} {} {} SW vt={:.3} ron={:.3e} roff={:.3e}",
+                    ename,
+                    an,
+                    bn,
+                    self.node_name(*cp),
+                    self.node_name(*cn),
+                    vt,
+                    ron,
+                    roff
+                ),
+            };
+            out.push_str(&line);
+            out.push('\n');
+        }
+        for card in tech.models() {
+            out.push_str(&card.to_spice());
+            out.push('\n');
+        }
+        out.push_str(".end\n");
+        out
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.stats();
+        write!(
+            f,
+            "{} ({} nodes, {} elements, {} mosfets)",
+            self.title, s.nodes, s.elements, s.mosfets
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rc() -> Circuit {
+        let mut c = Circuit::new("rc");
+        let a = c.node("in");
+        let b = c.node("out");
+        c.add_vdc("V1", a, Circuit::GROUND, 1.0);
+        c.add_resistor("R1", a, b, 1e3).unwrap();
+        c.add_capacitor("C1", b, Circuit::GROUND, 1e-9).unwrap();
+        c
+    }
+
+    #[test]
+    fn node_interning_is_stable() {
+        let mut c = Circuit::new("t");
+        let a = c.node("x");
+        let a2 = c.node("x");
+        assert_eq!(a, a2);
+        assert_eq!(c.num_nodes(), 2);
+        assert_eq!(c.node("gnd"), Circuit::GROUND);
+        assert_eq!(c.node("0"), Circuit::GROUND);
+    }
+
+    #[test]
+    fn fresh_node_never_collides() {
+        let mut c = Circuit::new("t");
+        c.node("n_1");
+        let f = c.fresh_node("n");
+        assert_ne!(c.node_name(f), "n_1");
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut c = rc();
+        let a = c.node("in");
+        let err = c.add_resistor("R1", a, Circuit::GROUND, 1.0).unwrap_err();
+        assert_eq!(err, NetlistError::DuplicateElement("R1".into()));
+    }
+
+    #[test]
+    fn negative_resistance_rejected() {
+        let mut c = Circuit::new("t");
+        let a = c.node("a");
+        assert!(c.add_resistor("R1", a, Circuit::GROUND, -5.0).is_err());
+        assert!(c.add_resistor("R2", a, Circuit::GROUND, f64::NAN).is_err());
+        assert!(c.add_capacitor("C1", a, Circuit::GROUND, 0.0).is_err());
+    }
+
+    #[test]
+    fn validate_catches_dangling_node() {
+        let mut c = rc();
+        c.node("orphan");
+        let err = c.validate().unwrap_err();
+        assert!(err.to_string().contains("orphan"));
+    }
+
+    #[test]
+    fn validate_ok_on_good_circuit() {
+        assert!(rc().validate().is_ok());
+    }
+
+    #[test]
+    fn stats_counts() {
+        let mut c = rc();
+        let g = c.node("g");
+        c.add_mosfet(
+            "M1",
+            c.find_node("out").unwrap(),
+            g,
+            Circuit::GROUND,
+            Circuit::GROUND,
+            MosPolarity::Nmos,
+            "CMOSN",
+            MosGeometry::new(10e-6, 2e-6),
+        )
+        .unwrap();
+        let s = c.stats();
+        assert_eq!(s.mosfets, 1);
+        assert_eq!(s.sources, 1);
+        assert_eq!(s.elements, 4);
+    }
+
+    #[test]
+    fn gate_area_sums_mosfets() {
+        let mut c = Circuit::new("t");
+        let d = c.node("d");
+        let g = c.node("g");
+        c.add_mosfet(
+            "M1",
+            d,
+            g,
+            Circuit::GROUND,
+            Circuit::GROUND,
+            MosPolarity::Nmos,
+            "CMOSN",
+            MosGeometry::new(10e-6, 2e-6),
+        )
+        .unwrap();
+        c.add_mosfet(
+            "M2",
+            d,
+            g,
+            Circuit::GROUND,
+            Circuit::GROUND,
+            MosPolarity::Pmos,
+            "CMOSP",
+            MosGeometry::new(30e-6, 2e-6),
+        )
+        .unwrap();
+        assert!((c.total_gate_area() - 80e-12).abs() < 1e-24);
+    }
+
+    #[test]
+    fn instantiate_flattens_with_prefix() {
+        let mut inner = Circuit::new("cell");
+        let i = inner.node("in");
+        let o = inner.node("out");
+        inner.add_resistor("R1", i, o, 100.0).unwrap();
+        inner.add_capacitor("C1", o, Circuit::GROUND, 1e-12).unwrap();
+
+        let mut top = Circuit::new("top");
+        let a = top.node("a");
+        let b = top.node("b");
+        top.add_vdc("V1", a, Circuit::GROUND, 1.0);
+        top.instantiate("X1", &inner, &[("in", a), ("out", b)]).unwrap();
+        assert!(top.element("X1.R1").is_some());
+        assert!(top.element("X1.C1").is_some());
+        // R1 of the instance connects a-b through the port map.
+        let r = top.element("X1.R1").unwrap();
+        assert_eq!(r.a, a);
+        assert_eq!(r.b, b);
+        assert!(top.validate().is_ok());
+    }
+
+    #[test]
+    fn instantiate_creates_internal_nodes() {
+        let mut inner = Circuit::new("cell");
+        let i = inner.node("in");
+        let mid = inner.node("mid");
+        inner.add_resistor("R1", i, mid, 1.0).unwrap();
+        inner.add_resistor("R2", mid, Circuit::GROUND, 1.0).unwrap();
+
+        let mut top = Circuit::new("top");
+        let a = top.node("a");
+        top.add_vdc("V", a, Circuit::GROUND, 1.0);
+        top.instantiate("X", &inner, &[("in", a)]).unwrap();
+        assert!(top.find_node("X.mid").is_some());
+    }
+
+    #[test]
+    fn spice_deck_contains_everything() {
+        let deck = rc().to_spice_deck(&Technology::default_1p2um());
+        assert!(deck.contains("* rc"));
+        assert!(deck.contains("R1 in out"));
+        assert!(deck.contains(".model CMOSN"));
+        assert!(deck.trim_end().ends_with(".end"));
+    }
+
+    #[test]
+    fn remove_element_works() {
+        let mut c = rc();
+        assert!(c.remove_element("R1").is_some());
+        assert!(c.element("R1").is_none());
+        assert!(c.remove_element("R1").is_none());
+    }
+}

@@ -1,0 +1,139 @@
+//! Process corners: systematic fast/slow shifts of the technology cards.
+//!
+//! Fabrication spreads move threshold voltages and transconductance
+//! together across a wafer; designs are signed off at the worst-case
+//! corners. A corner shifts every card's `vto` by ∓50 mV and scales `kp`
+//! by ±12 % (fast = lower threshold magnitude, higher mobility).
+
+use crate::process::Technology;
+use crate::MosPolarity;
+
+/// The five classic process corners.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Corner {
+    /// Typical NMOS, typical PMOS (the nominal cards).
+    #[default]
+    Tt,
+    /// Fast NMOS, fast PMOS.
+    Ff,
+    /// Slow NMOS, slow PMOS.
+    Ss,
+    /// Fast NMOS, slow PMOS.
+    Fs,
+    /// Slow NMOS, fast PMOS.
+    Sf,
+}
+
+impl Corner {
+    /// All five corners, typical first.
+    pub fn all() -> [Corner; 5] {
+        [Corner::Tt, Corner::Ff, Corner::Ss, Corner::Fs, Corner::Sf]
+    }
+
+    /// Speed signs `(nmos, pmos)`: `+1` fast, `0` typical, `-1` slow.
+    fn signs(self) -> (f64, f64) {
+        match self {
+            Corner::Tt => (0.0, 0.0),
+            Corner::Ff => (1.0, 1.0),
+            Corner::Ss => (-1.0, -1.0),
+            Corner::Fs => (1.0, -1.0),
+            Corner::Sf => (-1.0, 1.0),
+        }
+    }
+}
+
+impl std::fmt::Display for Corner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Corner::Tt => write!(f, "TT"),
+            Corner::Ff => write!(f, "FF"),
+            Corner::Ss => write!(f, "SS"),
+            Corner::Fs => write!(f, "FS"),
+            Corner::Sf => write!(f, "SF"),
+        }
+    }
+}
+
+/// Threshold shift magnitude per corner step, volts.
+pub const CORNER_DVTO: f64 = 0.05;
+/// Relative transconductance change per corner step.
+pub const CORNER_DKP: f64 = 0.12;
+
+impl Technology {
+    /// Returns a copy of this technology shifted to `corner`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ape_netlist::{Corner, Technology};
+    /// let tt = Technology::default_1p2um();
+    /// let ss = tt.corner(Corner::Ss);
+    /// let (n_tt, n_ss) = (tt.nmos().unwrap(), ss.nmos().unwrap());
+    /// assert!(n_ss.vto > n_tt.vto); // slow NMOS: higher threshold
+    /// assert!(n_ss.kp < n_tt.kp);   // and less drive
+    /// ```
+    pub fn corner(&self, corner: Corner) -> Technology {
+        let (sn, sp) = corner.signs();
+        let mut t = self.clone();
+        t.name = format!("{}-{}", self.name, corner);
+        let names: Vec<String> = t.models().map(|c| c.name.clone()).collect();
+        for name in names {
+            // Look up polarity first, then mutate through insert.
+            let Some(card) = t.model(&name) else { continue };
+            let s = match card.polarity {
+                MosPolarity::Nmos => sn,
+                MosPolarity::Pmos => sp,
+            };
+            let mut c = card.clone();
+            // Fast: |vto| down, kp up. vto keeps its sign.
+            c.vto -= c.vto.signum() * s * CORNER_DVTO;
+            c.kp *= 1.0 + s * CORNER_DKP;
+            t.insert_model(c);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typical_corner_is_identity() {
+        let tt = Technology::default_1p2um();
+        let same = tt.corner(Corner::Tt);
+        assert_eq!(tt.nmos().unwrap().vto, same.nmos().unwrap().vto);
+        assert_eq!(tt.pmos().unwrap().kp, same.pmos().unwrap().kp);
+    }
+
+    #[test]
+    fn fast_and_slow_move_opposite() {
+        let tt = Technology::default_1p2um();
+        let ff = tt.corner(Corner::Ff);
+        let ss = tt.corner(Corner::Ss);
+        let n = tt.nmos().unwrap();
+        assert!(ff.nmos().unwrap().vto < n.vto);
+        assert!(ss.nmos().unwrap().vto > n.vto);
+        assert!(ff.nmos().unwrap().kp > n.kp);
+        assert!(ss.nmos().unwrap().kp < n.kp);
+        // PMOS threshold is negative: fast means smaller magnitude.
+        let p = tt.pmos().unwrap();
+        assert!(ff.pmos().unwrap().vto > p.vto);
+        assert!(ss.pmos().unwrap().vto < p.vto);
+    }
+
+    #[test]
+    fn cross_corners_split_polarity() {
+        let tt = Technology::default_1p2um();
+        let fs = tt.corner(Corner::Fs);
+        assert!(fs.nmos().unwrap().kp > tt.nmos().unwrap().kp);
+        assert!(fs.pmos().unwrap().kp < tt.pmos().unwrap().kp);
+    }
+
+    #[test]
+    fn display_and_all() {
+        assert_eq!(Corner::all().len(), 5);
+        assert_eq!(Corner::Ff.to_string(), "FF");
+        assert_eq!(Corner::default(), Corner::Tt);
+    }
+}

@@ -1,0 +1,389 @@
+//! Circuit elements.
+
+use crate::node::NodeId;
+use std::fmt;
+
+/// Channel polarity of a MOSFET.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MosPolarity {
+    /// N-channel device.
+    Nmos,
+    /// P-channel device.
+    Pmos,
+}
+
+impl MosPolarity {
+    /// Sign convention multiplier: `+1` for NMOS, `-1` for PMOS.
+    ///
+    /// PMOS equations are evaluated on sign-flipped terminal voltages.
+    pub fn sign(self) -> f64 {
+        match self {
+            MosPolarity::Nmos => 1.0,
+            MosPolarity::Pmos => -1.0,
+        }
+    }
+}
+
+impl fmt::Display for MosPolarity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MosPolarity::Nmos => write!(f, "NMOS"),
+            MosPolarity::Pmos => write!(f, "PMOS"),
+        }
+    }
+}
+
+/// Physical geometry of a MOSFET instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MosGeometry {
+    /// Drawn channel width in metres.
+    pub w: f64,
+    /// Drawn channel length in metres.
+    pub l: f64,
+    /// Parallel device multiplicity.
+    pub m: f64,
+}
+
+impl MosGeometry {
+    /// Creates a geometry with multiplicity 1.
+    pub fn new(w: f64, l: f64) -> Self {
+        MosGeometry { w, l, m: 1.0 }
+    }
+
+    /// Effective aspect ratio `m * W / L`.
+    pub fn aspect(&self) -> f64 {
+        self.m * self.w / self.l
+    }
+
+    /// Gate area `m * W * L` in square metres.
+    pub fn gate_area(&self) -> f64 {
+        self.m * self.w * self.l
+    }
+}
+
+/// Time-domain waveform of an independent source.
+///
+/// The `dc` value used by operating-point analysis is carried separately on
+/// the element; this enum describes the transient shape.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SourceWaveform {
+    /// Constant at the DC value.
+    Dc,
+    /// Trapezoidal pulse: `v1` → `v2` with delay, rise, fall, width, period.
+    Pulse {
+        /// Initial value.
+        v1: f64,
+        /// Pulsed value.
+        v2: f64,
+        /// Delay before the first edge, seconds.
+        delay: f64,
+        /// Rise time, seconds.
+        rise: f64,
+        /// Fall time, seconds.
+        fall: f64,
+        /// Pulse width, seconds.
+        width: f64,
+        /// Repetition period, seconds (`f64::INFINITY` for single-shot).
+        period: f64,
+    },
+    /// Sinusoid `offset + ampl * sin(2π f (t - delay))` for `t >= delay`.
+    Sin {
+        /// DC offset.
+        offset: f64,
+        /// Amplitude.
+        ampl: f64,
+        /// Frequency in hertz.
+        freq: f64,
+        /// Start delay in seconds.
+        delay: f64,
+    },
+    /// Piece-wise linear list of `(time, value)` corner points.
+    Pwl(Vec<(f64, f64)>),
+}
+
+impl SourceWaveform {
+    /// Evaluates the waveform at time `t`, given the element's DC value.
+    pub fn value_at(&self, t: f64, dc: f64) -> f64 {
+        match self {
+            SourceWaveform::Dc => dc,
+            SourceWaveform::Pulse {
+                v1,
+                v2,
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+            } => {
+                if t < *delay {
+                    return *v1;
+                }
+                let mut tau = t - delay;
+                if period.is_finite() && *period > 0.0 {
+                    tau %= period;
+                }
+                let rise = rise.max(1e-15);
+                let fall = fall.max(1e-15);
+                if tau < rise {
+                    v1 + (v2 - v1) * tau / rise
+                } else if tau < rise + width {
+                    *v2
+                } else if tau < rise + width + fall {
+                    v2 + (v1 - v2) * (tau - rise - width) / fall
+                } else {
+                    *v1
+                }
+            }
+            SourceWaveform::Sin {
+                offset,
+                ampl,
+                freq,
+                delay,
+            } => {
+                if t < *delay {
+                    *offset
+                } else {
+                    offset + ampl * (2.0 * std::f64::consts::PI * freq * (t - delay)).sin()
+                }
+            }
+            SourceWaveform::Pwl(points) => {
+                if points.is_empty() {
+                    return dc;
+                }
+                if t <= points[0].0 {
+                    return points[0].1;
+                }
+                for pair in points.windows(2) {
+                    let (t0, v0) = pair[0];
+                    let (t1, v1) = pair[1];
+                    if t <= t1 {
+                        if t1 <= t0 {
+                            return v1;
+                        }
+                        return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+                    }
+                }
+                points[points.len() - 1].1
+            }
+        }
+    }
+}
+
+/// The element variants a [`crate::Circuit`] can contain.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ElementKind {
+    /// Linear resistor (ohms).
+    Resistor {
+        /// Resistance in ohms; must be positive.
+        ohms: f64,
+    },
+    /// Linear capacitor (farads).
+    Capacitor {
+        /// Capacitance in farads; must be positive.
+        farads: f64,
+    },
+    /// Linear inductor (henries).
+    Inductor {
+        /// Inductance in henries; must be positive.
+        henries: f64,
+    },
+    /// Independent voltage source.
+    VoltageSource {
+        /// DC value in volts.
+        dc: f64,
+        /// Small-signal AC magnitude (volts) used by AC analysis.
+        ac_mag: f64,
+        /// Transient waveform.
+        waveform: SourceWaveform,
+    },
+    /// Independent current source (flows from node `a` through the source to node `b`).
+    CurrentSource {
+        /// DC value in amperes.
+        dc: f64,
+        /// Small-signal AC magnitude (amperes).
+        ac_mag: f64,
+        /// Transient waveform.
+        waveform: SourceWaveform,
+    },
+    /// Voltage-controlled voltage source `v(a,b) = gain * v(cp,cn)`.
+    Vcvs {
+        /// Voltage gain.
+        gain: f64,
+        /// Positive controlling node.
+        cp: NodeId,
+        /// Negative controlling node.
+        cn: NodeId,
+    },
+    /// Voltage-controlled current source `i(a→b) = gm * v(cp,cn)`.
+    Vccs {
+        /// Transconductance in siemens.
+        gm: f64,
+        /// Positive controlling node.
+        cp: NodeId,
+        /// Negative controlling node.
+        cn: NodeId,
+    },
+    /// MOS transistor. Terminals: `a` = drain, `b` = gate; source/bulk below.
+    Mosfet {
+        /// Channel polarity.
+        polarity: MosPolarity,
+        /// Name of the model card in the [`crate::Technology`].
+        model: String,
+        /// Device geometry.
+        geometry: MosGeometry,
+        /// Source terminal.
+        source: NodeId,
+        /// Bulk terminal.
+        bulk: NodeId,
+    },
+    /// Voltage-controlled ideal switch between nodes `a` and `b`.
+    Switch {
+        /// Positive controlling node.
+        cp: NodeId,
+        /// Negative controlling node.
+        cn: NodeId,
+        /// Control threshold voltage: above → on.
+        vt: f64,
+        /// On-resistance in ohms.
+        ron: f64,
+        /// Off-resistance in ohms.
+        roff: f64,
+    },
+}
+
+/// A named two-(or more-)terminal element instance.
+///
+/// `a` and `b` are the primary terminal pair (for a MOSFET they are drain and
+/// gate; source and bulk live in the variant). This layout keeps the common
+/// case — two-terminal branches — flat and cache-friendly for the simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Element {
+    /// Unique instance name, e.g. `"R1"` or `"M3"`.
+    pub name: String,
+    /// First terminal (positive node / drain).
+    pub a: NodeId,
+    /// Second terminal (negative node / gate).
+    pub b: NodeId,
+    /// The element variant and its parameters.
+    pub kind: ElementKind,
+}
+
+impl Element {
+    /// All nodes this element touches, in terminal order.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        match &self.kind {
+            ElementKind::Vcvs { cp, cn, .. }
+            | ElementKind::Vccs { cp, cn, .. }
+            | ElementKind::Switch { cp, cn, .. } => vec![self.a, self.b, *cp, *cn],
+            ElementKind::Mosfet { source, bulk, .. } => vec![self.a, self.b, *source, *bulk],
+            _ => vec![self.a, self.b],
+        }
+    }
+
+    /// `true` if this element adds a branch current unknown to the MNA system
+    /// (voltage sources, VCVS, inductors).
+    pub fn needs_branch_current(&self) -> bool {
+        matches!(
+            self.kind,
+            ElementKind::VoltageSource { .. } | ElementKind::Vcvs { .. } | ElementKind::Inductor { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polarity_signs() {
+        assert_eq!(MosPolarity::Nmos.sign(), 1.0);
+        assert_eq!(MosPolarity::Pmos.sign(), -1.0);
+    }
+
+    #[test]
+    fn geometry_aspect_and_area() {
+        let g = MosGeometry::new(10e-6, 2e-6);
+        assert!((g.aspect() - 5.0).abs() < 1e-12);
+        assert!((g.gate_area() - 20e-12).abs() < 1e-24);
+        let g2 = MosGeometry { m: 4.0, ..g };
+        assert!((g2.aspect() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pulse_waveform_shape() {
+        let w = SourceWaveform::Pulse {
+            v1: 0.0,
+            v2: 5.0,
+            delay: 1e-6,
+            rise: 1e-7,
+            fall: 1e-7,
+            width: 1e-6,
+            period: f64::INFINITY,
+        };
+        assert_eq!(w.value_at(0.0, 0.0), 0.0);
+        assert!((w.value_at(1.05e-6, 0.0) - 2.5).abs() < 1e-9);
+        assert_eq!(w.value_at(1.5e-6, 0.0), 5.0);
+        assert_eq!(w.value_at(5.0e-6, 0.0), 0.0);
+    }
+
+    #[test]
+    fn sin_waveform_shape() {
+        let w = SourceWaveform::Sin {
+            offset: 2.5,
+            ampl: 1.0,
+            freq: 1e3,
+            delay: 0.0,
+        };
+        assert!((w.value_at(0.0, 0.0) - 2.5).abs() < 1e-12);
+        assert!((w.value_at(0.25e-3, 0.0) - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pwl_interpolates() {
+        let w = SourceWaveform::Pwl(vec![(0.0, 0.0), (1.0, 10.0), (2.0, 10.0)]);
+        assert_eq!(w.value_at(-1.0, 0.0), 0.0);
+        assert!((w.value_at(0.5, 0.0) - 5.0).abs() < 1e-12);
+        assert_eq!(w.value_at(1.5, 0.0), 10.0);
+        assert_eq!(w.value_at(3.0, 0.0), 10.0);
+    }
+
+    #[test]
+    fn pulse_periodic_repeats() {
+        let w = SourceWaveform::Pulse {
+            v1: 0.0,
+            v2: 1.0,
+            delay: 0.0,
+            rise: 1e-9,
+            fall: 1e-9,
+            width: 0.5e-6,
+            period: 1e-6,
+        };
+        assert_eq!(w.value_at(0.25e-6, 0.0), 1.0);
+        assert_eq!(w.value_at(1.25e-6, 0.0), 1.0);
+        assert_eq!(w.value_at(0.75e-6, 0.0), 0.0);
+        assert_eq!(w.value_at(1.75e-6, 0.0), 0.0);
+    }
+
+    #[test]
+    fn branch_current_flags() {
+        let v = Element {
+            name: "V1".into(),
+            a: NodeId::new(1),
+            b: NodeId::GROUND,
+            kind: ElementKind::VoltageSource {
+                dc: 1.0,
+                ac_mag: 0.0,
+                waveform: SourceWaveform::Dc,
+            },
+        };
+        assert!(v.needs_branch_current());
+        let r = Element {
+            name: "R1".into(),
+            a: NodeId::new(1),
+            b: NodeId::GROUND,
+            kind: ElementKind::Resistor { ohms: 1.0 },
+        };
+        assert!(!r.needs_branch_current());
+    }
+}

@@ -1,0 +1,81 @@
+//! Error type for netlist construction and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, validating or parsing a netlist.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A numeric literal could not be parsed.
+    ParseValue(String),
+    /// A netlist line could not be parsed; carries line number and message.
+    ParseLine {
+        /// 1-based line number in the source deck.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// An element referenced a node id that was never created.
+    UnknownNode {
+        /// Name of the offending element.
+        element: String,
+        /// The dangling node id.
+        node: u32,
+    },
+    /// An element referenced a MOS model name absent from the technology.
+    UnknownModel(String),
+    /// Two elements share the same name.
+    DuplicateElement(String),
+    /// An element parameter is out of its physical domain
+    /// (e.g. negative resistance or zero channel length).
+    InvalidParameter {
+        /// Name of the offending element.
+        element: String,
+        /// Description of the violated constraint.
+        message: String,
+    },
+    /// The circuit failed a structural validity check.
+    Invalid(String),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::ParseValue(s) => write!(f, "invalid numeric literal `{s}`"),
+            NetlistError::ParseLine { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            NetlistError::UnknownNode { element, node } => {
+                write!(f, "element `{element}` references unknown node {node}")
+            }
+            NetlistError::UnknownModel(m) => write!(f, "unknown MOS model `{m}`"),
+            NetlistError::DuplicateElement(n) => write!(f, "duplicate element name `{n}`"),
+            NetlistError::InvalidParameter { element, message } => {
+                write!(f, "invalid parameter on `{element}`: {message}")
+            }
+            NetlistError::Invalid(m) => write!(f, "invalid circuit: {m}"),
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_without_period() {
+        let e = NetlistError::ParseValue("xy".into());
+        let msg = e.to_string();
+        assert!(msg.starts_with("invalid"));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

@@ -1,0 +1,53 @@
+//! Circuit netlist representation for the APE reproduction.
+//!
+//! This crate is the shared vocabulary of the workspace: every other crate
+//! (the device models in `ape-mos`, the simulator in `ape-spice`, the
+//! synthesis engine in `ape-oblx` and the estimator in `ape-core`) speaks in
+//! terms of the [`Circuit`] type defined here.
+//!
+//! The representation intentionally mirrors a classic SPICE deck:
+//!
+//! * a set of named nodes (ground is always node `0`),
+//! * a list of [`Element`]s (resistors, capacitors, sources, MOSFETs, ...),
+//! * a [`Technology`] holding the MOS model cards of a fabrication process.
+//!
+//! # Example
+//!
+//! Build a resistive divider and print it as a SPICE deck:
+//!
+//! ```
+//! use ape_netlist::{Circuit, Technology};
+//!
+//! # fn main() -> Result<(), ape_netlist::NetlistError> {
+//! let mut ckt = Circuit::new("divider");
+//! let vin = ckt.node("in");
+//! let vout = ckt.node("out");
+//! ckt.add_vdc("V1", vin, Circuit::GROUND, 5.0);
+//! ckt.add_resistor("R1", vin, vout, 10e3)?;
+//! ckt.add_resistor("R2", vout, Circuit::GROUND, 10e3)?;
+//! assert_eq!(ckt.num_nodes(), 3); // ground + 2
+//! println!("{}", ckt.to_spice_deck(&Technology::default_1p2um()));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod circuit;
+mod corners;
+mod element;
+mod error;
+mod node;
+mod parse;
+mod process;
+mod units;
+
+pub use circuit::{Circuit, CircuitStats};
+pub use corners::{Corner, CORNER_DKP, CORNER_DVTO};
+pub use element::{Element, ElementKind, MosGeometry, MosPolarity, SourceWaveform};
+pub use error::NetlistError;
+pub use node::NodeId;
+pub use parse::parse_spice;
+pub use process::{MosLevel, MosModelCard, Technology};
+pub use units::{format_si, parse_value};

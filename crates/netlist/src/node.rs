@@ -1,0 +1,93 @@
+//! Node identifiers.
+
+use std::fmt;
+
+/// Identifier of a circuit node.
+///
+/// Node `0` is always the ground/reference node. Identifiers are dense:
+/// a circuit with `n` nodes uses ids `0..n`, which lets the simulator map a
+/// node directly to a matrix row (`id - 1` for non-ground nodes).
+///
+/// # Example
+///
+/// ```
+/// use ape_netlist::NodeId;
+/// let n = NodeId::new(3);
+/// assert_eq!(n.index(), 3);
+/// assert!(!n.is_ground());
+/// assert!(NodeId::GROUND.is_ground());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// The ground (reference) node, always id `0`.
+    pub const GROUND: NodeId = NodeId(0);
+
+    /// Creates a node id from a raw index.
+    pub fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// Raw dense index of this node (`0` is ground).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Returns `true` if this is the ground node.
+    pub fn is_ground(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Row of this node in a reduced MNA matrix, or `None` for ground.
+    ///
+    /// Non-ground node `k` occupies row `k - 1` because ground is eliminated.
+    pub fn matrix_row(self) -> Option<usize> {
+        if self.is_ground() {
+            None
+        } else {
+            Some(self.0 as usize - 1)
+        }
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<NodeId> for usize {
+    fn from(n: NodeId) -> usize {
+        n.0 as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_is_zero() {
+        assert_eq!(NodeId::GROUND.index(), 0);
+        assert!(NodeId::GROUND.is_ground());
+        assert_eq!(NodeId::GROUND.matrix_row(), None);
+    }
+
+    #[test]
+    fn matrix_row_offsets_by_one() {
+        assert_eq!(NodeId::new(1).matrix_row(), Some(0));
+        assert_eq!(NodeId::new(7).matrix_row(), Some(6));
+    }
+
+    #[test]
+    fn display_is_index() {
+        assert_eq!(NodeId::new(42).to_string(), "42");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert_eq!(NodeId::default(), NodeId::GROUND);
+    }
+}

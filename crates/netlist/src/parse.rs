@@ -1,0 +1,411 @@
+//! A small SPICE-deck parser.
+//!
+//! Supports the element cards needed by the reproduction (`R`, `C`, `L`,
+//! `V`, `I`, `E`, `G`, `M`), `.model` cards for NMOS/PMOS and the usual deck
+//! conventions: the first line is the title, `*` starts a comment, `+`
+//! continues the previous card, `.end` terminates the deck.
+
+use crate::circuit::Circuit;
+use crate::element::{MosGeometry, MosPolarity, SourceWaveform};
+use crate::error::NetlistError;
+use crate::process::{MosLevel, MosModelCard, Technology};
+use crate::units::parse_value;
+
+/// Parses a SPICE deck into a [`Circuit`] plus the [`Technology`] assembled
+/// from its `.model` cards (cards start from [`Technology::default_1p2um`]
+/// defaults, overridden per parameter).
+///
+/// # Errors
+///
+/// Returns [`NetlistError::ParseLine`] with a 1-based line number for any
+/// malformed card.
+///
+/// # Example
+///
+/// ```
+/// use ape_netlist::parse_spice;
+/// # fn main() -> Result<(), ape_netlist::NetlistError> {
+/// let deck = "\
+/// * divider
+/// V1 in 0 DC 5
+/// R1 in out 10k
+/// R2 out 0 10k
+/// .end
+/// ";
+/// let (ckt, _tech) = parse_spice(deck)?;
+/// assert_eq!(ckt.elements().len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_spice(deck: &str) -> Result<(Circuit, Technology), NetlistError> {
+    // Join continuation lines first, remembering original line numbers.
+    let mut cards: Vec<(usize, String)> = Vec::new();
+    for (idx, raw) in deck.lines().enumerate() {
+        let line = raw.trim_end();
+        if let Some(rest) = line.strip_prefix('+') {
+            if let Some(last) = cards.last_mut() {
+                last.1.push(' ');
+                last.1.push_str(rest.trim());
+                continue;
+            }
+        }
+        cards.push((idx + 1, line.to_string()));
+    }
+
+    let title = cards
+        .first()
+        .map(|(_, l)| l.trim_start_matches('*').trim().to_string())
+        .unwrap_or_default();
+    let mut ckt = Circuit::new(if title.is_empty() { "untitled" } else { &title });
+    let mut tech = Technology::new("from-deck", 5.0, 0.0, 1.2e-6, 1.8e-6);
+    let mut saw_model = false;
+
+    for (lineno, card) in cards.iter().skip(1) {
+        let line = card.trim();
+        if line.is_empty() || line.starts_with('*') {
+            continue;
+        }
+        let lower = line.to_ascii_lowercase();
+        if lower.starts_with(".end") {
+            break;
+        }
+        if lower.starts_with(".model") {
+            parse_model(line, *lineno, &mut tech)?;
+            saw_model = true;
+            continue;
+        }
+        if line.starts_with('.') {
+            // Other dot-cards (.op, .ac …) are analysis directives; the
+            // simulator API drives analyses, so we skip them here.
+            continue;
+        }
+        parse_element(line, *lineno, &mut ckt)?;
+    }
+    if !saw_model {
+        tech = Technology::default_1p2um();
+    }
+    Ok((ckt, tech))
+}
+
+fn err(line: usize, message: impl Into<String>) -> NetlistError {
+    NetlistError::ParseLine {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_model(line: &str, lineno: usize, tech: &mut Technology) -> Result<(), NetlistError> {
+    // .model NAME NMOS|PMOS (key=value ...)
+    let cleaned = line.replace(['(', ')'], " ");
+    let mut tok = cleaned.split_whitespace();
+    tok.next(); // .model
+    let name = tok.next().ok_or_else(|| err(lineno, "missing model name"))?;
+    let kind = tok
+        .next()
+        .ok_or_else(|| err(lineno, "missing model type"))?
+        .to_ascii_uppercase();
+    let polarity = match kind.as_str() {
+        "NMOS" => MosPolarity::Nmos,
+        "PMOS" => MosPolarity::Pmos,
+        other => return Err(err(lineno, format!("unsupported model type `{other}`"))),
+    };
+    let mut card = MosModelCard::generic(name, polarity);
+    for kv in tok {
+        let Some((k, v)) = kv.split_once('=') else {
+            continue;
+        };
+        let key = k.trim().to_ascii_lowercase();
+        if key == "level" {
+            card.level = match v.trim() {
+                "1" => MosLevel::Level1,
+                "2" => MosLevel::Level2,
+                "3" => MosLevel::Level3,
+                "bsim" | "4" => MosLevel::Bsim,
+                other => return Err(err(lineno, format!("unsupported level `{other}`"))),
+            };
+            continue;
+        }
+        let val = parse_value(v.trim()).map_err(|e| err(lineno, e.to_string()))?;
+        match key.as_str() {
+            "vto" => card.vto = val,
+            "kp" => card.kp = val,
+            "gamma" => card.gamma = val,
+            "phi" => card.phi = val,
+            "lambda" => card.lambda = val,
+            "tox" => card.tox = val,
+            "u0" => card.u0 = val * 1e-4, // SPICE writes cm²/Vs
+            "ld" => card.ld = val,
+            "cgso" => card.cgso = val,
+            "cgdo" => card.cgdo = val,
+            "cgbo" => card.cgbo = val,
+            "cj" => card.cj = val,
+            "cjsw" => card.cjsw = val,
+            "mj" => card.mj = val,
+            "mjsw" => card.mjsw = val,
+            "pb" => card.pb = val,
+            "theta" => card.theta = val,
+            "vmax" => card.vmax = val,
+            "eta" => card.eta = val,
+            "nfs" => card.nfs = val,
+            "kappa" => card.kappa = val,
+            _ => {} // unknown parameters are ignored, as SPICE does
+        }
+    }
+    tech.insert_model(card);
+    Ok(())
+}
+
+fn parse_element(line: &str, lineno: usize, ckt: &mut Circuit) -> Result<(), NetlistError> {
+    let toks: Vec<&str> = line.split_whitespace().collect();
+    if toks.len() < 3 {
+        return Err(err(lineno, "element card needs a name and nodes"));
+    }
+    let name = toks[0];
+    let first = name
+        .chars()
+        .next()
+        .ok_or_else(|| err(lineno, "empty element name"))?
+        .to_ascii_uppercase();
+    let map_err = |e: NetlistError| err(lineno, e.to_string());
+    match first {
+        'R' | 'C' | 'L' => {
+            if toks.len() < 4 {
+                return Err(err(lineno, "two-terminal card needs 2 nodes and a value"));
+            }
+            let a = ckt.node(toks[1]);
+            let b = ckt.node(toks[2]);
+            let v = parse_value(toks[3]).map_err(|e| err(lineno, e.to_string()))?;
+            match first {
+                'R' => ckt.add_resistor(name, a, b, v).map_err(map_err),
+                'C' => ckt.add_capacitor(name, a, b, v).map_err(map_err),
+                _ => ckt.add_inductor(name, a, b, v).map_err(map_err),
+            }
+        }
+        'V' | 'I' => {
+            let a = ckt.node(toks[1]);
+            let b = ckt.node(toks[2]);
+            let (dc, ac) = parse_source_values(&toks[3..], lineno)?;
+            if first == 'V' {
+                ckt.add_vsource(name, a, b, dc, ac, SourceWaveform::Dc)
+                    .map_err(map_err)
+            } else {
+                ckt.add_isource(name, a, b, dc, ac, SourceWaveform::Dc)
+                    .map_err(map_err)
+            }
+        }
+        'E' | 'G' => {
+            if toks.len() < 6 {
+                return Err(err(lineno, "controlled source needs 4 nodes and a gain"));
+            }
+            let a = ckt.node(toks[1]);
+            let b = ckt.node(toks[2]);
+            let cp = ckt.node(toks[3]);
+            let cn = ckt.node(toks[4]);
+            let g = parse_value(toks[5]).map_err(|e| err(lineno, e.to_string()))?;
+            if first == 'E' {
+                ckt.add_vcvs(name, a, b, cp, cn, g).map_err(map_err)
+            } else {
+                ckt.add_vccs(name, a, b, cp, cn, g).map_err(map_err)
+            }
+        }
+        'S' => {
+            if toks.len() < 6 {
+                return Err(err(lineno, "switch needs 4 nodes and parameters"));
+            }
+            let a = ckt.node(toks[1]);
+            let b = ckt.node(toks[2]);
+            let cp = ckt.node(toks[3]);
+            let cn = ckt.node(toks[4]);
+            let mut vt = 2.5;
+            let mut ron = 1e3;
+            let mut roff = 1e12;
+            for kv in &toks[5..] {
+                let Some((k, v)) = kv.split_once('=') else { continue };
+                let val = parse_value(v).map_err(|e| err(lineno, e.to_string()))?;
+                match k.to_ascii_lowercase().as_str() {
+                    "vt" => vt = val,
+                    "ron" => ron = val,
+                    "roff" => roff = val,
+                    _ => {}
+                }
+            }
+            ckt.add_switch(name, a, b, cp, cn, vt, ron, roff).map_err(map_err)
+        }
+        'M' => {
+            if toks.len() < 6 {
+                return Err(err(lineno, "mosfet needs 4 nodes and a model"));
+            }
+            let d = ckt.node(toks[1]);
+            let g = ckt.node(toks[2]);
+            let s = ckt.node(toks[3]);
+            let bk = ckt.node(toks[4]);
+            let model = toks[5];
+            let polarity = if model.to_ascii_uppercase().contains('P') {
+                MosPolarity::Pmos
+            } else {
+                MosPolarity::Nmos
+            };
+            let mut w = 10e-6;
+            let mut l = 2e-6;
+            let mut m = 1.0;
+            for kv in &toks[6..] {
+                let Some((k, v)) = kv.split_once('=') else {
+                    continue;
+                };
+                let val = parse_value(v).map_err(|e| err(lineno, e.to_string()))?;
+                match k.to_ascii_uppercase().as_str() {
+                    "W" => w = val,
+                    "L" => l = val,
+                    "M" => m = val,
+                    _ => {}
+                }
+            }
+            ckt.add_mosfet(name, d, g, s, bk, polarity, model, MosGeometry { w, l, m })
+                .map_err(map_err)
+        }
+        other => Err(err(lineno, format!("unsupported element prefix `{other}`"))),
+    }
+}
+
+fn parse_source_values(toks: &[&str], lineno: usize) -> Result<(f64, f64), NetlistError> {
+    // Accept "5", "DC 5", "DC 5 AC 1", "AC 1".
+    let mut dc = 0.0;
+    let mut ac = 0.0;
+    let mut i = 0;
+    while i < toks.len() {
+        match toks[i].to_ascii_uppercase().as_str() {
+            "DC" => {
+                i += 1;
+                if i < toks.len() {
+                    dc = parse_value(toks[i]).map_err(|e| err(lineno, e.to_string()))?;
+                }
+            }
+            "AC" => {
+                i += 1;
+                if i < toks.len() {
+                    ac = parse_value(toks[i]).map_err(|e| err(lineno, e.to_string()))?;
+                }
+            }
+            v => {
+                dc = parse_value(v).map_err(|e| err(lineno, e.to_string()))?;
+            }
+        }
+        i += 1;
+    }
+    Ok((dc, ac))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::ElementKind;
+
+    #[test]
+    fn parses_divider() {
+        let deck = "* t\nV1 in 0 DC 5\nR1 in out 10k\nR2 out 0 10k\n.end\n";
+        let (c, _) = parse_spice(deck).unwrap();
+        assert_eq!(c.elements().len(), 3);
+        assert_eq!(c.title, "t");
+        let r1 = c.element("R1").unwrap();
+        assert!(matches!(r1.kind, ElementKind::Resistor { ohms } if ohms == 10e3));
+    }
+
+    #[test]
+    fn parses_source_forms() {
+        let deck = "* t\nV1 a 0 5\nV2 b 0 DC 2 AC 1\nI1 a b 10u\nR1 a 0 1\nR2 b 0 1\n";
+        let (c, _) = parse_spice(deck).unwrap();
+        match &c.element("V2").unwrap().kind {
+            ElementKind::VoltageSource { dc, ac_mag, .. } => {
+                assert_eq!(*dc, 2.0);
+                assert_eq!(*ac_mag, 1.0);
+            }
+            other => panic!("wrong kind {other:?}"),
+        }
+        match &c.element("I1").unwrap().kind {
+            ElementKind::CurrentSource { dc, .. } => {
+                assert!((dc - 10e-6).abs() < 1e-15)
+            }
+            other => panic!("wrong kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_mosfet_and_model() {
+        let deck = "\
+* amp
+M1 d g 0 0 CMOSN W=20u L=2u
+R1 d vdd 10k
+V1 vdd 0 5
+V2 g 0 1.5
+.model CMOSN NMOS (level=1 vto=0.7 kp=80u lambda=0.05)
+.end
+";
+        let (c, t) = parse_spice(deck).unwrap();
+        let m = c.element("M1").unwrap();
+        match &m.kind {
+            ElementKind::Mosfet {
+                polarity, geometry, ..
+            } => {
+                assert_eq!(*polarity, MosPolarity::Nmos);
+                assert!((geometry.w - 20e-6).abs() < 1e-12);
+            }
+            other => panic!("wrong kind {other:?}"),
+        }
+        let card = t.model("CMOSN").unwrap();
+        assert_eq!(card.vto, 0.7);
+        assert!((card.kp - 80e-6).abs() < 1e-12);
+        assert!((card.lambda - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn continuation_lines_join() {
+        let deck = "* t\nR1 a 0\n+ 1k\n";
+        let (c, _) = parse_spice(deck).unwrap();
+        assert!(matches!(
+            c.element("R1").unwrap().kind,
+            ElementKind::Resistor { ohms } if ohms == 1e3
+        ));
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let deck = "* t\nR1 a 0 1k\nQ1 a b c\n";
+        let e = parse_spice(deck).unwrap_err();
+        match e {
+            NetlistError::ParseLine { line, .. } => assert_eq!(line, 3),
+            other => panic!("wrong error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn controlled_sources_parse() {
+        let deck = "* t\nE1 o 0 a 0 100\nG1 o 0 a 0 1m\nR1 a 0 1\nR2 o 0 1\n";
+        let (c, _) = parse_spice(deck).unwrap();
+        assert!(matches!(c.element("E1").unwrap().kind, ElementKind::Vcvs { gain, .. } if gain == 100.0));
+        assert!(matches!(c.element("G1").unwrap().kind, ElementKind::Vccs { gm, .. } if gm == 1e-3));
+    }
+
+    #[test]
+    fn no_model_cards_falls_back_to_default_tech() {
+        let deck = "* t\nR1 a 0 1k\n";
+        let (_, t) = parse_spice(deck).unwrap();
+        assert!(t.nmos().is_some());
+    }
+
+    #[test]
+    fn roundtrip_deck_reparses() {
+        let deck = "\
+* roundtrip
+V1 in 0 DC 5 AC 1
+R1 in out 4.7k
+C1 out 0 10p
+M1 out in 0 0 CMOSN W=10u L=1.2u M=1
+.end
+";
+        let (c1, t1) = parse_spice(deck).unwrap();
+        let printed = c1.to_spice_deck(&t1);
+        let (c2, _) = parse_spice(&printed).unwrap();
+        assert_eq!(c1.elements().len(), c2.elements().len());
+        assert_eq!(c1.num_nodes(), c2.num_nodes());
+    }
+}

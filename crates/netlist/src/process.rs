@@ -1,0 +1,378 @@
+//! Fabrication-process description: MOS model cards and technology bundles.
+//!
+//! APE ties every sizing decision to the fabrication process (paper §4.1:
+//! "the sizing process is tied to the fabrication process parameters"). A
+//! [`Technology`] bundles one NMOS and one PMOS [`MosModelCard`] plus the
+//! supply voltage and layout minima.
+
+use crate::element::MosPolarity;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Which SPICE MOS model equations a card requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MosLevel {
+    /// Level 1 — Shichman-Hodges square law.
+    #[default]
+    Level1,
+    /// Level 2 — analytic model with mobility degradation and subthreshold.
+    Level2,
+    /// Level 3 — semi-empirical short-channel model.
+    Level3,
+    /// Simplified BSIM-style model (velocity saturation + DIBL).
+    Bsim,
+}
+
+impl fmt::Display for MosLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MosLevel::Level1 => write!(f, "level=1"),
+            MosLevel::Level2 => write!(f, "level=2"),
+            MosLevel::Level3 => write!(f, "level=3"),
+            MosLevel::Bsim => write!(f, "level=bsim"),
+        }
+    }
+}
+
+/// A SPICE-style MOS model card.
+///
+/// All values are SI. `kp` is the process transconductance `µ Cox`, the
+/// quantity that appears in the paper's equation (2): `gm = sqrt(4 KP (W/L) |Ids| / 2)`
+/// (with the factor conventions of the square law `Ids = KP/2 (W/L) Vov²`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MosModelCard {
+    /// Model name as referenced by MOSFET instances, e.g. `"CMOSN"`.
+    pub name: String,
+    /// Channel polarity.
+    pub polarity: MosPolarity,
+    /// Equation set to use.
+    pub level: MosLevel,
+    /// Zero-bias threshold voltage, volts (negative for PMOS).
+    pub vto: f64,
+    /// Process transconductance `µ₀ Cox`, A/V².
+    pub kp: f64,
+    /// Body-effect coefficient, √V.
+    pub gamma: f64,
+    /// Surface potential `2φ_F`, volts.
+    pub phi: f64,
+    /// Channel-length modulation, 1/V.
+    pub lambda: f64,
+    /// Gate-oxide thickness, metres.
+    pub tox: f64,
+    /// Low-field mobility, m²/(V·s).
+    pub u0: f64,
+    /// Lateral diffusion, metres (reduces effective L by `2·ld`).
+    pub ld: f64,
+    /// Gate-source overlap capacitance, F/m of width.
+    pub cgso: f64,
+    /// Gate-drain overlap capacitance, F/m of width.
+    pub cgdo: f64,
+    /// Gate-bulk overlap capacitance, F/m of length.
+    pub cgbo: f64,
+    /// Zero-bias bulk junction capacitance, F/m².
+    pub cj: f64,
+    /// Zero-bias sidewall junction capacitance, F/m.
+    pub cjsw: f64,
+    /// Bulk junction grading coefficient.
+    pub mj: f64,
+    /// Sidewall grading coefficient.
+    pub mjsw: f64,
+    /// Bulk junction potential, volts.
+    pub pb: f64,
+    /// Mobility-degradation coefficient θ (Level 3 / BSIM), 1/V.
+    pub theta: f64,
+    /// Maximum carrier drift velocity, m/s (0 disables velocity saturation).
+    pub vmax: f64,
+    /// Static-feedback (DIBL) coefficient η (Level 3 / BSIM).
+    pub eta: f64,
+    /// Subthreshold swing ideality factor (Level 2+).
+    pub nfs: f64,
+    /// Saturation-region empirical factor κ (Level 3).
+    pub kappa: f64,
+}
+
+impl MosModelCard {
+    /// Gate-oxide capacitance per unit area `ε_ox / tox`, F/m².
+    pub fn cox(&self) -> f64 {
+        const EPS_OX: f64 = 3.9 * 8.854_187_8128e-12;
+        EPS_OX / self.tox
+    }
+
+    /// Effective channel length for a drawn length `l` (metres).
+    pub fn leff(&self, l: f64) -> f64 {
+        (l - 2.0 * self.ld).max(0.05e-6)
+    }
+
+    /// Builds a generic card with sensible defaults for the given polarity,
+    /// to be customised field-by-field.
+    pub fn generic(name: &str, polarity: MosPolarity) -> Self {
+        let sign = polarity.sign();
+        MosModelCard {
+            name: name.to_string(),
+            polarity,
+            level: MosLevel::Level1,
+            vto: sign * 0.75,
+            kp: if polarity == MosPolarity::Nmos {
+                73e-6
+            } else {
+                24e-6
+            },
+            gamma: 0.45,
+            phi: 0.7,
+            lambda: 0.04,
+            tox: 21.2e-9,
+            u0: if polarity == MosPolarity::Nmos {
+                0.045
+            } else {
+                0.015
+            },
+            ld: 0.15e-6,
+            cgso: 2.2e-10,
+            cgdo: 2.2e-10,
+            cgbo: 1.0e-10,
+            cj: 3.0e-4,
+            cjsw: 3.0e-10,
+            mj: 0.5,
+            mjsw: 0.33,
+            pb: 0.8,
+            theta: 0.0,
+            vmax: 0.0,
+            eta: 0.0,
+            nfs: 0.0,
+            kappa: 0.2,
+        }
+    }
+
+    /// Renders the card as a SPICE `.model` line.
+    pub fn to_spice(&self) -> String {
+        format!(
+            ".model {} {} ({} vto={:.6} kp={:.6e} gamma={:.4} phi={:.4} lambda={:.6} tox={:.4e} u0={:.4e} ld={:.4e} cgso={:.4e} cgdo={:.4e} cj={:.4e} cjsw={:.4e})",
+            self.name,
+            self.polarity,
+            self.level,
+            self.vto,
+            self.kp,
+            self.gamma,
+            self.phi,
+            self.lambda,
+            self.tox,
+            self.u0 * 1e4, // SPICE u0 convention: cm^2/(V s)
+            self.ld,
+            self.cgso,
+            self.cgdo,
+            self.cj,
+            self.cjsw,
+        )
+    }
+}
+
+/// A complete fabrication technology: model cards plus global constants.
+///
+/// # Example
+///
+/// ```
+/// use ape_netlist::{Technology, MosPolarity};
+/// let tech = Technology::default_1p2um();
+/// let nmos = tech.model("CMOSN").expect("nmos card");
+/// assert_eq!(nmos.polarity, MosPolarity::Nmos);
+/// assert!(tech.vdd > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Technology {
+    /// Technology name, e.g. `"generic-1.2um"`.
+    pub name: String,
+    /// Positive supply rail, volts.
+    pub vdd: f64,
+    /// Negative supply rail, volts (0 for single-supply).
+    pub vss: f64,
+    /// Minimum drawn channel length, metres.
+    pub lmin: f64,
+    /// Minimum drawn channel width, metres.
+    pub wmin: f64,
+    /// Maximum practical drawn width, metres (layout sanity bound).
+    pub wmax: f64,
+    cards: BTreeMap<String, MosModelCard>,
+}
+
+impl Technology {
+    /// Creates an empty technology with the given supplies and layout minima.
+    pub fn new(name: &str, vdd: f64, vss: f64, lmin: f64, wmin: f64) -> Self {
+        Technology {
+            name: name.to_string(),
+            vdd,
+            vss,
+            lmin,
+            wmin,
+            wmax: 2000e-6,
+            cards: BTreeMap::new(),
+        }
+    }
+
+    /// Adds (or replaces) a model card, returning the previous card if any.
+    pub fn insert_model(&mut self, card: MosModelCard) -> Option<MosModelCard> {
+        self.cards.insert(card.name.clone(), card)
+    }
+
+    /// Looks up a model card by name.
+    pub fn model(&self, name: &str) -> Option<&MosModelCard> {
+        self.cards.get(name)
+    }
+
+    /// The NMOS card of a two-card CMOS technology, if present.
+    pub fn nmos(&self) -> Option<&MosModelCard> {
+        self.cards
+            .values()
+            .find(|c| c.polarity == MosPolarity::Nmos)
+    }
+
+    /// The PMOS card of a two-card CMOS technology, if present.
+    pub fn pmos(&self) -> Option<&MosModelCard> {
+        self.cards
+            .values()
+            .find(|c| c.polarity == MosPolarity::Pmos)
+    }
+
+    /// Iterates over all model cards in name order.
+    pub fn models(&self) -> impl Iterator<Item = &MosModelCard> {
+        self.cards.values()
+    }
+
+    /// Representative mid-1990s 1.2 µm single-well CMOS process, 5 V supply.
+    ///
+    /// This is the default process for the whole reproduction: the paper's
+    /// circuits (op-amps around 0.2–0.5 mW at 1–100 µA bias, gate areas of
+    /// 10²–10³ µm²) are natural in this technology node.
+    pub fn default_1p2um() -> Self {
+        let mut t = Technology::new("generic-1.2um", 5.0, 0.0, 1.2e-6, 1.8e-6);
+        let mut n = MosModelCard::generic("CMOSN", MosPolarity::Nmos);
+        n.vto = 0.75;
+        n.kp = 73e-6;
+        n.gamma = 0.45;
+        n.lambda = 0.04;
+        let mut p = MosModelCard::generic("CMOSP", MosPolarity::Pmos);
+        p.vto = -0.85;
+        p.kp = 24e-6;
+        p.gamma = 0.55;
+        p.lambda = 0.05;
+        t.insert_model(n);
+        t.insert_model(p);
+        t
+    }
+
+    /// A 0.5 µm CMOS process (3.3 V) for cross-process experiments.
+    pub fn default_0p5um() -> Self {
+        let mut t = Technology::new("generic-0.5um", 3.3, 0.0, 0.5e-6, 0.9e-6);
+        let mut n = MosModelCard::generic("CMOSN", MosPolarity::Nmos);
+        n.vto = 0.65;
+        n.kp = 115e-6;
+        n.tox = 9.5e-9;
+        n.lambda = 0.06;
+        n.ld = 0.06e-6;
+        n.theta = 0.15;
+        n.vmax = 1.6e5;
+        let mut p = MosModelCard::generic("CMOSP", MosPolarity::Pmos);
+        p.vto = -0.9;
+        p.kp = 38e-6;
+        p.tox = 9.5e-9;
+        p.lambda = 0.08;
+        p.ld = 0.06e-6;
+        p.theta = 0.12;
+        p.vmax = 1.0e5;
+        t.insert_model(n);
+        t.insert_model(p);
+        t
+    }
+
+    /// Returns a copy of this technology with every card switched to `level`.
+    ///
+    /// Used by the model-level ablation experiments.
+    pub fn with_level(&self, level: MosLevel) -> Self {
+        let mut t = self.clone();
+        let names: Vec<String> = t.cards.keys().cloned().collect();
+        for name in names {
+            if let Some(card) = t.cards.get_mut(&name) {
+                card.level = level;
+                // Levels above 1 need non-zero second-order coefficients to
+                // differ from the square law; supply mild defaults if unset.
+                if level != MosLevel::Level1 && card.theta == 0.0 {
+                    card.theta = 0.06;
+                }
+                if matches!(level, MosLevel::Level3 | MosLevel::Bsim) && card.vmax == 0.0 {
+                    card.vmax = 1.5e5;
+                }
+                if matches!(level, MosLevel::Level3 | MosLevel::Bsim) && card.eta == 0.0 {
+                    card.eta = 0.02;
+                }
+            }
+        }
+        t
+    }
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        Technology::default_1p2um()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_process_has_both_polarities() {
+        let t = Technology::default_1p2um();
+        assert!(t.nmos().is_some());
+        assert!(t.pmos().is_some());
+        assert_eq!(t.nmos().unwrap().name, "CMOSN");
+        assert_eq!(t.pmos().unwrap().name, "CMOSP");
+    }
+
+    #[test]
+    fn cox_matches_hand_calculation() {
+        let n = MosModelCard::generic("N", MosPolarity::Nmos);
+        // eps_ox / tox = 3.9 * 8.854e-12 / 21.2e-9 ≈ 1.63e-3 F/m²
+        let cox = n.cox();
+        assert!((cox - 1.629e-3).abs() / 1.629e-3 < 0.01, "cox = {cox}");
+    }
+
+    #[test]
+    fn leff_clamps_positive() {
+        let n = MosModelCard::generic("N", MosPolarity::Nmos);
+        assert!(n.leff(2e-6) < 2e-6);
+        assert!(n.leff(0.0) > 0.0);
+    }
+
+    #[test]
+    fn model_lookup_by_name() {
+        let t = Technology::default_1p2um();
+        assert!(t.model("CMOSN").is_some());
+        assert!(t.model("NOPE").is_none());
+        assert_eq!(t.models().count(), 2);
+    }
+
+    #[test]
+    fn with_level_sets_second_order_params() {
+        let t = Technology::default_1p2um().with_level(MosLevel::Level3);
+        let n = t.nmos().unwrap();
+        assert_eq!(n.level, MosLevel::Level3);
+        assert!(n.theta > 0.0);
+        assert!(n.vmax > 0.0);
+    }
+
+    #[test]
+    fn spice_rendering_mentions_key_params() {
+        let n = MosModelCard::generic("CMOSN", MosPolarity::Nmos);
+        let s = n.to_spice();
+        assert!(s.contains(".model CMOSN NMOS"));
+        assert!(s.contains("vto="));
+        assert!(s.contains("kp="));
+    }
+
+    #[test]
+    fn pmos_threshold_is_negative() {
+        let t = Technology::default_1p2um();
+        assert!(t.pmos().unwrap().vto < 0.0);
+        assert!(t.nmos().unwrap().vto > 0.0);
+    }
+}

@@ -1,0 +1,215 @@
+//! Engineering-notation value parsing and formatting.
+//!
+//! SPICE decks write `10u` for ten microvolts and `1.5MEG` for 1.5 MΩ; this
+//! module converts between those strings and `f64`.
+
+use crate::error::NetlistError;
+
+/// Parses a SPICE-style numeric literal with an optional engineering suffix.
+///
+/// Recognised suffixes (case-insensitive): `t`, `g`, `meg`, `k`, `m`, `u`,
+/// `n`, `p`, `f`. Any trailing unit letters after the suffix are ignored,
+/// matching SPICE behaviour (`10uF` parses as `10e-6`). Note `m` is milli and
+/// `meg` is mega, as in SPICE.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::ParseValue`] if the mantissa is not a valid float.
+///
+/// # Example
+///
+/// ```
+/// use ape_netlist::parse_value;
+/// # fn main() -> Result<(), ape_netlist::NetlistError> {
+/// assert_eq!(parse_value("2.5k")?, 2.5e3);
+/// assert_eq!(parse_value("1meg")?, 1.0e6);
+/// assert!((parse_value("10uF")? - 10.0e-6).abs() < 1e-15);
+/// assert_eq!(parse_value("-3.3")?, -3.3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_value(text: &str) -> Result<f64, NetlistError> {
+    let s = text.trim();
+    if s.is_empty() {
+        return Err(NetlistError::ParseValue(text.to_string()));
+    }
+    // Split mantissa (digits, sign, dot, exponent) from the suffix.
+    let mut split = s.len();
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    // Optional sign.
+    if bytes[i] == b'+' || bytes[i] == b'-' {
+        i += 1;
+    }
+    let mut seen_digit = false;
+    while i < s.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_digit() || c == '.' {
+            seen_digit |= c.is_ascii_digit();
+            i += 1;
+        } else if (c == 'e' || c == 'E') && seen_digit {
+            // Could be an exponent ("1e3") or the start of a unit. Accept it
+            // as an exponent only when followed by a digit or sign+digit.
+            let next = bytes.get(i + 1).copied().map(|b| b as char);
+            let next2 = bytes.get(i + 2).copied().map(|b| b as char);
+            match (next, next2) {
+                (Some(d), _) if d.is_ascii_digit() => {
+                    i += 2;
+                    while i < s.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                (Some('+'), Some(d)) | (Some('-'), Some(d)) if d.is_ascii_digit() => {
+                    i += 3;
+                    while i < s.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                _ => {}
+            }
+            split = i;
+            break;
+        } else {
+            break;
+        }
+    }
+    if i <= s.len() {
+        split = i;
+    }
+    let (mant, suffix) = s.split_at(split);
+    let base: f64 = mant
+        .parse()
+        .map_err(|_| NetlistError::ParseValue(text.to_string()))?;
+    let mult = suffix_multiplier(suffix);
+    Ok(base * mult)
+}
+
+fn suffix_multiplier(suffix: &str) -> f64 {
+    let lower = suffix.to_ascii_lowercase();
+    if lower.starts_with("meg") {
+        return 1e6;
+    }
+    if lower.starts_with("mil") {
+        return 25.4e-6;
+    }
+    match lower.chars().next() {
+        Some('t') => 1e12,
+        Some('g') => 1e9,
+        Some('k') => 1e3,
+        Some('m') => 1e-3,
+        Some('u') => 1e-6,
+        Some('n') => 1e-9,
+        Some('p') => 1e-12,
+        Some('f') => 1e-15,
+        _ => 1.0,
+    }
+}
+
+/// Formats a value in engineering notation with an SI prefix.
+///
+/// Intended for human-readable reports; `format_si(2.2e-6, "F")` yields
+/// `"2.2uF"` (the micro prefix is spelled `u` to stay ASCII, as SPICE does).
+///
+/// # Example
+///
+/// ```
+/// use ape_netlist::format_si;
+/// assert_eq!(format_si(4.7e3, "ohm"), "4.7kohm");
+/// assert_eq!(format_si(0.0, "V"), "0V");
+/// ```
+pub fn format_si(value: f64, unit: &str) -> String {
+    if value == 0.0 {
+        return format!("0{unit}");
+    }
+    let mag = value.abs();
+    let (scaled, prefix) = if mag >= 1e12 {
+        (value / 1e12, "T")
+    } else if mag >= 1e9 {
+        (value / 1e9, "G")
+    } else if mag >= 1e6 {
+        // SPICE parses a bare `M` as milli; mega must be spelled `meg`.
+        (value / 1e6, "meg")
+    } else if mag >= 1e3 {
+        (value / 1e3, "k")
+    } else if mag >= 1.0 {
+        (value, "")
+    } else if mag >= 1e-3 {
+        (value / 1e-3, "m")
+    } else if mag >= 1e-6 {
+        (value / 1e-6, "u")
+    } else if mag >= 1e-9 {
+        (value / 1e-9, "n")
+    } else if mag >= 1e-12 {
+        (value / 1e-12, "p")
+    } else {
+        (value / 1e-15, "f")
+    };
+    // Trim trailing zeros from a fixed 4-significant-digit rendering.
+    let mut num = format!("{scaled:.4}");
+    while num.contains('.') && (num.ends_with('0') || num.ends_with('.')) {
+        num.pop();
+    }
+    format!("{num}{prefix}{unit}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_numbers() {
+        assert_eq!(parse_value("42").unwrap(), 42.0);
+        assert_eq!(parse_value("-1.5").unwrap(), -1.5);
+        assert_eq!(parse_value("1e3").unwrap(), 1000.0);
+        assert_eq!(parse_value("2.5e-6").unwrap(), 2.5e-6);
+        assert_eq!(parse_value("1e+2").unwrap(), 100.0);
+    }
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-12 * b.abs().max(1.0)
+    }
+
+    #[test]
+    fn engineering_suffixes() {
+        assert!(close(parse_value("1k").unwrap(), 1e3));
+        assert!(close(parse_value("1K").unwrap(), 1e3));
+        assert!(close(parse_value("1meg").unwrap(), 1e6));
+        assert!(close(parse_value("1MEG").unwrap(), 1e6));
+        assert!(close(parse_value("1m").unwrap(), 1e-3));
+        assert!(close(parse_value("10u").unwrap(), 10e-6));
+        assert!(close(parse_value("100n").unwrap(), 100e-9));
+        assert!(close(parse_value("10p").unwrap(), 10e-12));
+        assert!(close(parse_value("1f").unwrap(), 1e-15));
+        assert!(close(parse_value("1g").unwrap(), 1e9));
+        assert!(close(parse_value("2t").unwrap(), 2e12));
+    }
+
+    #[test]
+    fn trailing_units_ignored() {
+        assert!(close(parse_value("10uF").unwrap(), 10e-6));
+        assert!(close(parse_value("4.7kohm").unwrap(), 4.7e3));
+        assert!(close(parse_value("5V").unwrap(), 5.0));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_value("").is_err());
+        assert!(parse_value("abc").is_err());
+        assert!(parse_value("--5").is_err());
+    }
+
+    #[test]
+    fn format_roundtrips_prefix() {
+        assert_eq!(format_si(4.7e3, ""), "4.7k");
+        assert_eq!(format_si(1e6, "Hz"), "1megHz");
+        assert_eq!(format_si(2.2e-6, "F"), "2.2uF");
+        assert_eq!(format_si(-3.3, "V"), "-3.3V");
+        assert_eq!(format_si(15e-9, "s"), "15ns");
+    }
+
+    #[test]
+    fn exponent_vs_unit_disambiguation() {
+        // 'e' followed by non-digit is a unit, not an exponent.
+        assert_eq!(parse_value("1e").unwrap(), 1.0);
+    }
+}

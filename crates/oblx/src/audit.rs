@@ -1,0 +1,136 @@
+//! Final design verification ("design verification is typically performed
+//! by a circuit simulator such as SPICE" — paper §1).
+//!
+//! Unlike the fast AWE loop, the audit runs the full simulator: complete
+//! AC sweep, phase margin, measured gain/UGF, and an audit of every
+//! specification. This produces the "simulate the sized circuits produced
+//! by ASTRX/OBLX" columns of Tables 1 and 4.
+
+use crate::error::OblxError;
+use crate::template::{build_candidate, candidate_area};
+use crate::vars::DesignPoint;
+use ape_core::opamp::{OpAmp, OpAmpSpec, OpAmpTopology};
+use ape_core::Performance;
+use ape_netlist::Technology;
+use ape_spice::{ac_sweep, dc_operating_point, decade_frequencies, measure};
+
+/// Result of a full-simulation audit.
+#[derive(Debug, Clone)]
+pub struct AuditReport {
+    /// Measured performance of the candidate.
+    pub measured: Performance,
+    /// Phase margin in degrees, if a UGF exists.
+    pub phase_margin_deg: Option<f64>,
+    /// Human-readable violations (empty = meets spec).
+    pub violations: Vec<String>,
+}
+
+impl AuditReport {
+    /// `true` when every specification is met.
+    pub fn meets_spec(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Audits a candidate against `spec` with the full simulator.
+///
+/// `tol` is the fractional slack on each specification (the paper accepts
+/// designs "within reasonable accuracy"; the table harness uses 0.25).
+///
+/// # Errors
+///
+/// [`OblxError::AuditFailed`] only when even the DC operating point cannot
+/// be computed — that is Table 1's "doesn't work" row. Spec violations are
+/// reported in the `violations` list, not as errors.
+pub fn audit_candidate(
+    tech: &Technology,
+    topology: OpAmpTopology,
+    spec: &OpAmpSpec,
+    point: &DesignPoint,
+    tol: f64,
+) -> Result<AuditReport, OblxError> {
+    let (ckt, out) = build_candidate(tech, topology, spec, point)?;
+    let op = dc_operating_point(&ckt, tech)
+        .map_err(|e| OblxError::AuditFailed(format!("dc: {e}")))?;
+    let freqs = decade_frequencies(100.0, 2e9, 8);
+    let sweep = ac_sweep(&ckt, tech, &op, &freqs)
+        .map_err(|e| OblxError::AuditFailed(format!("ac: {e}")))?;
+    let gain = measure::dc_gain(&sweep, out);
+    let ugf = measure::unity_gain_frequency(&sweep, out).ok();
+    let pm = measure::phase_margin(&sweep, out).ok();
+    let area = candidate_area(tech, topology, spec, point);
+    let power = op.supply_power(&ckt);
+    let measured = Performance {
+        dc_gain: Some(gain),
+        ugf_hz: ugf,
+        bw_hz: ugf.map(|u| u / gain.max(1.0)),
+        power_w: power,
+        gate_area_m2: area,
+        ..Performance::default()
+    };
+    let mut violations = OpAmp::audit(spec, &measured, tol);
+    if let Some(pm) = pm {
+        if pm < 30.0 {
+            violations.push(format!("phase margin {pm:.0}° < 30°"));
+        }
+    }
+    if gain < 1.0 {
+        violations.push(format!("no usable gain ({gain:.3})"));
+    }
+    Ok(AuditReport {
+        measured,
+        phase_margin_deg: pm,
+        violations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vars::design_point_from_ape;
+    use ape_core::basic::MirrorTopology;
+
+    fn topo() -> OpAmpTopology {
+        OpAmpTopology::miller(MirrorTopology::Simple, false)
+    }
+
+    fn spec() -> OpAmpSpec {
+        OpAmpSpec {
+            gain: 200.0,
+            ugf_hz: 5e6,
+            area_max_m2: 5000e-12,
+            ibias: 10e-6,
+            zout_ohm: None,
+            cl: 10e-12,
+        }
+    }
+
+    #[test]
+    fn ape_design_passes_audit() {
+        let tech = Technology::default_1p2um();
+        let amp = OpAmp::design(&tech, topo(), spec()).unwrap();
+        let point = design_point_from_ape(&tech, &amp);
+        let report = audit_candidate(&tech, topo(), &spec(), &point, 0.25).unwrap();
+        assert!(
+            report.meets_spec(),
+            "violations: {:?} measured {:?}",
+            report.violations,
+            report.measured
+        );
+        assert!(report.phase_margin_deg.unwrap_or(0.0) > 30.0);
+    }
+
+    #[test]
+    fn tiny_design_fails_audit_with_reasons() {
+        let tech = Technology::default_1p2um();
+        let defs = crate::vars::variables(topo());
+        let point = DesignPoint {
+            values: defs.iter().map(|d| d.lo).collect(),
+        };
+        match audit_candidate(&tech, topo(), &spec(), &point, 0.25) {
+            Ok(report) => assert!(!report.meets_spec()),
+            Err(OblxError::AuditFailed(_)) => {} // "doesn't work" row
+            Err(other) => panic!("unexpected error {other}"),
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! The scalar cost function the annealer minimises.
+//!
+//! ASTRX/OBLX "generates a cost function from the objectives,
+//! specifications, constraints and Kirchhoff Laws" (paper §3). Here the
+//! Kirchhoff part is the DC-convergence penalty; specifications enter as
+//! quadratic relative-shortfall penalties; area and power act as weak
+//! objectives so that, among feasible designs, smaller wins.
+
+use crate::eval::CandidateEval;
+use ape_core::opamp::OpAmpSpec;
+
+/// Penalty/objective weights.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostWeights {
+    /// Weight of the gain-shortfall penalty.
+    pub gain: f64,
+    /// Weight of the UGF-shortfall penalty.
+    pub ugf: f64,
+    /// Weight of the area-excess penalty.
+    pub area: f64,
+    /// Weight of the phase-margin-shortfall penalty (target 45°).
+    pub pm: f64,
+    /// Weight of the area objective (always on, drives minimisation).
+    pub area_objective: f64,
+    /// Weight of the power objective.
+    pub power_objective: f64,
+    /// Flat cost of a non-convergent DC point.
+    pub dc_failure: f64,
+}
+
+impl Default for CostWeights {
+    fn default() -> Self {
+        CostWeights {
+            gain: 30.0,
+            ugf: 30.0,
+            area: 10.0,
+            pm: 20.0,
+            area_objective: 0.05,
+            power_objective: 0.02,
+            dc_failure: 1e4,
+        }
+    }
+}
+
+/// Scalar cost of a candidate evaluation against `spec`. Lower is better;
+/// a fully feasible design scores only its (small) objective terms.
+pub fn cost(eval: &CandidateEval, spec: &OpAmpSpec, w: &CostWeights) -> f64 {
+    if !eval.dc_ok {
+        return w.dc_failure;
+    }
+    let mut c = 0.0;
+    // Gain specification (>=).
+    let gain_short = ((spec.gain - eval.gain) / spec.gain).max(0.0);
+    c += w.gain * gain_short * gain_short;
+    // UGF specification (>=). A response that never reaches unity counts
+    // as a full shortfall.
+    let ugf_meas = eval.ugf_hz.unwrap_or(0.0);
+    let ugf_short = ((spec.ugf_hz - ugf_meas) / spec.ugf_hz).max(0.0);
+    c += w.ugf * ugf_short * ugf_short;
+    // Phase-margin specification (>= 45°); a missing PM (no UGF) already
+    // pays the full UGF shortfall, so charge only half here.
+    let pm = eval.pm_deg.unwrap_or(-180.0);
+    let pm_short = ((45.0 - pm) / 45.0).clamp(0.0, 4.0);
+    c += w.pm * pm_short * pm_short * if eval.pm_deg.is_some() { 1.0 } else { 0.5 };
+    // Area constraint (<=).
+    let area_excess = (eval.area_m2 / spec.area_max_m2 - 1.0).max(0.0);
+    c += w.area * area_excess * area_excess;
+    // Objectives.
+    c += w.area_objective * eval.area_m2 / spec.area_max_m2;
+    c += w.power_objective * eval.power_w / (5.0 * 100e-6 * 5.0);
+    c
+}
+
+/// `true` when the evaluation satisfies every hard specification with
+/// fractional slack `tol`.
+pub fn satisfies(eval: &CandidateEval, spec: &OpAmpSpec, tol: f64) -> bool {
+    eval.dc_ok
+        && eval.gain >= spec.gain * (1.0 - tol)
+        && eval.ugf_hz.unwrap_or(0.0) >= spec.ugf_hz * (1.0 - tol)
+        && eval.area_m2 <= spec.area_max_m2 * (1.0 + tol)
+        && eval.pm_deg.unwrap_or(-180.0) >= 30.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> OpAmpSpec {
+        OpAmpSpec {
+            gain: 200.0,
+            ugf_hz: 5e6,
+            area_max_m2: 5000e-12,
+            ibias: 10e-6,
+            zout_ohm: None,
+            cl: 10e-12,
+        }
+    }
+
+    fn feasible() -> CandidateEval {
+        CandidateEval {
+            dc_ok: true,
+            gain: 250.0,
+            ugf_hz: Some(6e6),
+            pm_deg: Some(60.0),
+            area_m2: 3000e-12,
+            power_w: 0.5e-3,
+        }
+    }
+
+    #[test]
+    fn feasible_costs_little() {
+        let c = cost(&feasible(), &spec(), &CostWeights::default());
+        assert!(c < 0.5, "feasible cost {c}");
+        assert!(satisfies(&feasible(), &spec(), 0.0));
+    }
+
+    #[test]
+    fn dc_failure_dominates() {
+        let mut e = feasible();
+        e.dc_ok = false;
+        assert!(cost(&e, &spec(), &CostWeights::default()) > 1e3);
+    }
+
+    #[test]
+    fn shortfalls_raise_cost_monotonically() {
+        let w = CostWeights::default();
+        let s = spec();
+        let mut worse = feasible();
+        let base = cost(&worse, &s, &w);
+        worse.gain = 100.0;
+        let c1 = cost(&worse, &s, &w);
+        worse.gain = 20.0;
+        let c2 = cost(&worse, &s, &w);
+        assert!(base < c1 && c1 < c2);
+        assert!(!satisfies(&worse, &s, 0.1));
+    }
+
+    #[test]
+    fn poor_phase_margin_penalised() {
+        let w = CostWeights::default();
+        let s = spec();
+        let mut e = feasible();
+        e.pm_deg = Some(-20.0);
+        assert!(cost(&e, &s, &w) > 1.0);
+        assert!(!satisfies(&e, &s, 0.1));
+    }
+
+    #[test]
+    fn missing_ugf_counts_as_full_shortfall() {
+        let w = CostWeights::default();
+        let s = spec();
+        let mut e = feasible();
+        e.ugf_hz = None;
+        let c = cost(&e, &s, &w);
+        assert!(c > w.ugf * 0.9, "cost {c}");
+    }
+
+    #[test]
+    fn smaller_feasible_design_wins() {
+        let w = CostWeights::default();
+        let s = spec();
+        let big = feasible();
+        let mut small = feasible();
+        small.area_m2 = 1000e-12;
+        small.power_w = 0.2e-3;
+        assert!(cost(&small, &s, &w) < cost(&big, &s, &w));
+    }
+}

@@ -1,0 +1,37 @@
+//! Error type for the synthesis engine.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while setting up or running a synthesis.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum OblxError {
+    /// A candidate netlist could not be constructed.
+    Template(String),
+    /// The final audit simulation failed outright.
+    AuditFailed(String),
+    /// The synthesis specification is malformed.
+    BadSpec(String),
+}
+
+impl fmt::Display for OblxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OblxError::Template(m) => write!(f, "candidate template failed: {m}"),
+            OblxError::AuditFailed(m) => write!(f, "final audit failed: {m}"),
+            OblxError::BadSpec(m) => write!(f, "bad synthesis spec: {m}"),
+        }
+    }
+}
+
+impl Error for OblxError {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn traits() {
+        fn assert_traits<T: Send + Sync + std::error::Error>() {}
+        assert_traits::<super::OblxError>();
+    }
+}

@@ -1,0 +1,255 @@
+//! The fixed circuit topology a synthesis run sizes.
+//!
+//! ASTRX/OBLX sizes a *given* topology (paper §3: "the circuit topology is
+//! already selected"). This module instantiates the two-stage Miller
+//! op-amp template from a raw [`DesignPoint`] — no estimator involvement,
+//! exactly as the stand-alone tool would work.
+
+use crate::error::OblxError;
+use crate::vars::DesignPoint;
+use ape_core::basic::MirrorTopology;
+use ape_core::opamp::{OpAmpSpec, OpAmpTopology};
+use ape_netlist::{Circuit, MosGeometry, MosPolarity, NodeId, SourceWaveform, Technology};
+
+/// Channel length of the bias branch devices.
+pub const L_BIAS: f64 = 2.4e-6;
+
+/// Geometry of the template's bias reference diode: sized deterministically
+/// for the spec's reference current at a 0.35 V overdrive (so mirror ratios
+/// expressed by the searched widths stay near unity). Not a search variable.
+pub fn bias_diode_geometry(tech: &Technology, ibias: f64) -> MosGeometry {
+    let kp = tech.nmos().map(|c| c.kp).unwrap_or(73e-6);
+    let aspect = (2.0 * ibias / (kp * 0.35 * 0.35)).max(1e-3);
+    let l = (tech.wmin / aspect).clamp(L_BIAS, 60e-6);
+    MosGeometry::new((aspect * l).max(tech.wmin), l)
+}
+
+/// Builds the open-loop evaluation testbench for a candidate point:
+/// differential AC drive (±½), supply `VDD`, the sized amplifier, and the
+/// load capacitor. Returns the circuit and its output node.
+///
+/// # Errors
+///
+/// [`OblxError::Template`] if the point produces an invalid netlist
+/// (non-positive geometry after clamping, etc.).
+pub fn build_candidate(
+    tech: &Technology,
+    topology: OpAmpTopology,
+    spec: &OpAmpSpec,
+    point: &DesignPoint,
+) -> Result<(Circuit, NodeId), OblxError> {
+    let err = |e: ape_netlist::NetlistError| OblxError::Template(e.to_string());
+    let n_name = tech
+        .nmos()
+        .ok_or_else(|| OblxError::Template("missing NMOS card".into()))?
+        .name
+        .clone();
+    let p_name = tech
+        .pmos()
+        .ok_or_else(|| OblxError::Template("missing PMOS card".into()))?
+        .name
+        .clone();
+
+    let g = |i: usize, l: f64| MosGeometry::new(point.values[i], l);
+    let needed = if topology.buffer { 10 } else { 8 };
+    if point.values.len() != needed {
+        return Err(OblxError::Template(format!(
+            "design point has {} values, template needs {needed}",
+            point.values.len()
+        )));
+    }
+    let l_pair = point.values[1];
+    let l_2 = point.values[4];
+    let cc = point.values[7];
+
+    let mut ckt = Circuit::new("oblx-candidate");
+    let vdd = ckt.node("vdd");
+    let inp = ckt.node("inp");
+    let inn = ckt.node("inn");
+    let out = ckt.node("out");
+    let bias = ckt.node("bias");
+    let tail = ckt.node("tail");
+    let outb = ckt.node("outb");
+    let o1 = ckt.node("o1");
+    let o2 = if topology.buffer { ckt.node("o2") } else { out };
+
+    ckt.add_vdc("VDD", vdd, Circuit::GROUND, tech.vdd);
+    let vcm = tech.vdd / 2.0;
+    ckt.add_vsource("VINP", inp, Circuit::GROUND, vcm, 0.5, SourceWaveform::Dc)
+        .map_err(err)?;
+    ckt.add_vsource("VINN", inn, Circuit::GROUND, vcm, -0.5, SourceWaveform::Dc)
+        .map_err(err)?;
+    ckt.add_idc("IB", vdd, bias, spec.ibias).map_err(err)?;
+
+    if topology.current_source == MirrorTopology::Cascode {
+        return Err(OblxError::Template(
+            "the synthesis template supports Simple and Wilson bias mirrors              (the paper's Table 1 topologies); use the APE level directly for              cascode tails"
+                .into(),
+        ));
+    }
+    let gnd = Circuit::GROUND;
+    // Bias network.
+    let ref_gate = match topology.current_source {
+        MirrorTopology::Simple | MirrorTopology::Cascode => {
+            ckt.add_mosfet(
+                "MB1",
+                bias,
+                bias,
+                gnd,
+                gnd,
+                MosPolarity::Nmos,
+                &n_name,
+                bias_diode_geometry(tech, spec.ibias),
+            )
+            .map_err(err)?;
+            ckt.add_mosfet(
+                "MTAIL",
+                tail,
+                bias,
+                gnd,
+                gnd,
+                MosPolarity::Nmos,
+                &n_name,
+                g(6, L_BIAS),
+            )
+            .map_err(err)?;
+            bias
+        }
+        MirrorTopology::Wilson => {
+            let y = ckt.node("wy");
+            ckt.add_mosfet(
+                "MB1",
+                bias,
+                y,
+                gnd,
+                gnd,
+                MosPolarity::Nmos,
+                &n_name,
+                bias_diode_geometry(tech, spec.ibias),
+            )
+            .map_err(err)?;
+            ckt.add_mosfet("MWD", y, y, gnd, gnd, MosPolarity::Nmos, &n_name, g(6, L_BIAS))
+                .map_err(err)?;
+            ckt.add_mosfet("MWC", tail, bias, y, gnd, MosPolarity::Nmos, &n_name, g(6, L_BIAS))
+                .map_err(err)?;
+            y
+        }
+    };
+    // Input pair (inp on M2 per the template's non-inverting convention).
+    ckt.add_mosfet("M1", outb, inn, tail, gnd, MosPolarity::Nmos, &n_name, g(0, l_pair))
+        .map_err(err)?;
+    ckt.add_mosfet("M2", o1, inp, tail, gnd, MosPolarity::Nmos, &n_name, g(0, l_pair))
+        .map_err(err)?;
+    // Mirror load.
+    ckt.add_mosfet("M3", outb, outb, vdd, vdd, MosPolarity::Pmos, &p_name, g(2, l_pair))
+        .map_err(err)?;
+    ckt.add_mosfet("M4", o1, outb, vdd, vdd, MosPolarity::Pmos, &p_name, g(2, l_pair))
+        .map_err(err)?;
+    // Second stage.
+    ckt.add_mosfet("M6", o2, o1, vdd, vdd, MosPolarity::Pmos, &p_name, g(3, l_2))
+        .map_err(err)?;
+    ckt.add_mosfet("M7", o2, ref_gate, gnd, gnd, MosPolarity::Nmos, &n_name, g(5, l_2))
+        .map_err(err)?;
+    // Compensation (no nulling resistor: the synthesis engine searches raw
+    // topology as ASTRX would be given it).
+    ckt.add_capacitor("CC", o1, o2, cc).map_err(err)?;
+    // Buffer.
+    if topology.buffer {
+        ckt.add_mosfet("MBUF", vdd, o2, out, gnd, MosPolarity::Nmos, &n_name, g(8, L_BIAS))
+            .map_err(err)?;
+        ckt.add_mosfet("MSINK", out, ref_gate, gnd, gnd, MosPolarity::Nmos, &n_name, g(9, L_BIAS))
+            .map_err(err)?;
+    }
+    ckt.add_capacitor("CL", out, Circuit::GROUND, spec.cl).map_err(err)?;
+    Ok((ckt, out))
+}
+
+/// Total MOS gate area of a candidate, square metres (closed form — no
+/// netlist needed, used by the cost function on every evaluation).
+pub fn candidate_area(
+    tech: &Technology,
+    topology: OpAmpTopology,
+    spec: &OpAmpSpec,
+    point: &DesignPoint,
+) -> f64 {
+    let v = &point.values;
+    let l_pair = v[1];
+    let l_2 = v[4];
+    let diode = bias_diode_geometry(tech, spec.ibias);
+    let mut area = 2.0 * v[0] * l_pair      // pair
+        + 2.0 * v[2] * l_pair               // load
+        + v[3] * l_2                        // M6
+        + v[5] * l_2                        // M7
+        + diode.gate_area()                 // bias diode
+        + v[6] * L_BIAS; // tail
+    if topology.current_source == MirrorTopology::Wilson {
+        area += v[6] * L_BIAS; // second Wilson device
+    }
+    if topology.buffer {
+        area += v[8] * L_BIAS + v[9] * L_BIAS;
+    }
+    area
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vars::{blind_center, variables};
+
+    fn topo() -> OpAmpTopology {
+        OpAmpTopology::miller(MirrorTopology::Simple, false)
+    }
+
+    fn spec() -> OpAmpSpec {
+        OpAmpSpec {
+            gain: 200.0,
+            ugf_hz: 5e6,
+            area_max_m2: 5000e-12,
+            ibias: 10e-6,
+            zout_ohm: None,
+            cl: 10e-12,
+        }
+    }
+
+    #[test]
+    fn template_builds_and_validates() {
+        let tech = Technology::default_1p2um();
+        let p = blind_center(topo());
+        let (ckt, out) = build_candidate(&tech, topo(), &spec(), &p).unwrap();
+        assert!(ckt.validate().is_ok());
+        assert!(!out.is_ground());
+        assert_eq!(ckt.stats().mosfets, 8);
+    }
+
+    #[test]
+    fn buffered_and_wilson_variants() {
+        let tech = Technology::default_1p2um();
+        let topo_b = OpAmpTopology::miller(MirrorTopology::Wilson, true);
+        let p = blind_center(topo_b);
+        let (ckt, _) = build_candidate(&tech, topo_b, &spec(), &p).unwrap();
+        assert!(ckt.validate().is_ok());
+        // 2 pair + 2 load + M6 + M7 + MB1 + MWD + MWC + MBUF + MSINK = 11.
+        assert_eq!(ckt.stats().mosfets, 11);
+    }
+
+    #[test]
+    fn area_formula_matches_netlist() {
+        let tech = Technology::default_1p2um();
+        let p = blind_center(topo());
+        let (ckt, _) = build_candidate(&tech, topo(), &spec(), &p).unwrap();
+        let from_netlist = ckt.total_gate_area();
+        let from_formula = candidate_area(&tech, topo(), &spec(), &p);
+        assert!(
+            (from_netlist - from_formula).abs() / from_netlist < 1e-12,
+            "netlist {from_netlist} vs formula {from_formula}"
+        );
+    }
+
+    #[test]
+    fn wrong_dimension_rejected() {
+        let tech = Technology::default_1p2um();
+        let p = DesignPoint { values: vec![1e-6; 3] };
+        assert!(build_candidate(&tech, topo(), &spec(), &p).is_err());
+        let _ = variables(topo());
+    }
+}

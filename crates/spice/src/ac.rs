@@ -1,0 +1,376 @@
+//! Small-signal AC analysis.
+//!
+//! The circuit is linearised at a previously computed
+//! [`OperatingPoint`](crate::OperatingPoint): every MOSFET contributes its
+//! `gm`, `gds`, `gmb` and the Meyer/junction capacitances recorded at the
+//! operating point; reactive elements stamp `jωC` / `jωL`. One complex MNA
+//! solve per frequency point.
+
+use crate::complex::Complex;
+use crate::dc::OperatingPoint;
+use crate::error::SpiceError;
+use crate::linalg::Matrix;
+use crate::mna::Unknowns;
+use ape_netlist::{Circuit, ElementKind, NodeId, Technology};
+
+/// The result of an AC sweep: node voltage phasors per frequency.
+#[derive(Debug, Clone)]
+pub struct AcSweep {
+    /// The analysed frequencies, hertz.
+    pub freqs: Vec<f64>,
+    points: Vec<Vec<Complex>>,
+    n_nodes: usize,
+}
+
+impl AcSweep {
+    /// Phasor voltage of `node` at sweep index `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn voltage(&self, k: usize, node: NodeId) -> Complex {
+        match node.matrix_row() {
+            Some(r) if r < self.n_nodes => self.points[k][r],
+            Some(_) | None => Complex::ZERO,
+        }
+    }
+
+    /// Magnitude response of `node` over the sweep.
+    pub fn magnitude(&self, node: NodeId) -> Vec<f64> {
+        (0..self.freqs.len())
+            .map(|k| self.voltage(k, node).norm())
+            .collect()
+    }
+
+    /// Phase response of `node` over the sweep, radians, unwrapped.
+    pub fn phase_unwrapped(&self, node: NodeId) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.freqs.len());
+        let mut offset = 0.0;
+        let mut prev = f64::NAN;
+        for k in 0..self.freqs.len() {
+            let mut ph = self.voltage(k, node).arg();
+            if prev.is_finite() {
+                while ph + offset - prev > std::f64::consts::PI {
+                    offset -= 2.0 * std::f64::consts::PI;
+                }
+                while ph + offset - prev < -std::f64::consts::PI {
+                    offset += 2.0 * std::f64::consts::PI;
+                }
+            }
+            ph += offset;
+            prev = ph;
+            out.push(ph);
+        }
+        out
+    }
+
+    /// Number of sweep points.
+    pub fn len(&self) -> usize {
+        self.freqs.len()
+    }
+
+    /// `true` when the sweep contains no points.
+    pub fn is_empty(&self) -> bool {
+        self.freqs.is_empty()
+    }
+}
+
+/// Generates a logarithmic frequency grid with `points_per_decade` points
+/// from `fstart` to `fstop` (both included).
+///
+/// # Panics
+///
+/// Panics if `fstart <= 0`, `fstop < fstart` or `points_per_decade == 0`.
+pub fn decade_frequencies(fstart: f64, fstop: f64, points_per_decade: usize) -> Vec<f64> {
+    assert!(fstart > 0.0 && fstop >= fstart && points_per_decade > 0);
+    let decades = (fstop / fstart).log10();
+    let n = (decades * points_per_decade as f64).ceil() as usize;
+    let mut out: Vec<f64> = (0..=n)
+        .map(|k| fstart * 10f64.powf(k as f64 / points_per_decade as f64))
+        .collect();
+    if let Some(last) = out.last_mut() {
+        *last = fstop;
+    }
+    out
+}
+
+/// Runs an AC sweep of `circuit`, linearised at `op`, over `freqs`.
+///
+/// # Errors
+///
+/// * [`SpiceError::SingularMatrix`] if a frequency point is singular.
+/// * [`SpiceError::UnknownModel`] for MOSFETs with missing cards.
+pub fn ac_sweep(
+    circuit: &Circuit,
+    tech: &Technology,
+    op: &OperatingPoint,
+    freqs: &[f64],
+) -> Result<AcSweep, SpiceError> {
+    let u = Unknowns::for_circuit(circuit);
+    let n = u.dim();
+    let mut points = Vec::with_capacity(freqs.len());
+    let mut mat = Matrix::<Complex>::zeros(n);
+    for &f in freqs {
+        let w = 2.0 * std::f64::consts::PI * f;
+        mat.clear();
+        let mut rhs = vec![Complex::ZERO; n];
+        stamp_ac(circuit, tech, op, &u, w, &mut mat, &mut rhs)?;
+        let mut x = rhs;
+        mat.solve_in_place(&mut x)
+            .ok_or(SpiceError::SingularMatrix { analysis: "ac" })?;
+        points.push(x[..u.n_nodes].to_vec());
+    }
+    Ok(AcSweep {
+        freqs: freqs.to_vec(),
+        points,
+        n_nodes: u.n_nodes,
+    })
+}
+
+fn stamp_ac(
+    circuit: &Circuit,
+    tech: &Technology,
+    op: &OperatingPoint,
+    u: &Unknowns,
+    w: f64,
+    mat: &mut Matrix<Complex>,
+    rhs: &mut [Complex],
+) -> Result<(), SpiceError> {
+    // Tiny shunt keeps isolated nodes solvable, as in DC.
+    for r in 0..u.n_nodes {
+        mat.stamp(r, r, Complex::real(1e-12));
+    }
+    let g2 = |mat: &mut Matrix<Complex>, a: Option<usize>, b: Option<usize>, g: Complex| {
+        if let Some(ra) = a {
+            mat.stamp(ra, ra, g);
+        }
+        if let Some(rb) = b {
+            mat.stamp(rb, rb, g);
+        }
+        if let (Some(ra), Some(rb)) = (a, b) {
+            mat.stamp(ra, rb, -g);
+            mat.stamp(rb, ra, -g);
+        }
+    };
+    let gtrans = |mat: &mut Matrix<Complex>,
+                  a: Option<usize>,
+                  b: Option<usize>,
+                  cp: Option<usize>,
+                  cn: Option<usize>,
+                  g: Complex| {
+        for (row, sr) in [(a, 1.0), (b, -1.0)] {
+            let Some(r) = row else { continue };
+            for (col, sc) in [(cp, 1.0), (cn, -1.0)] {
+                let Some(c) = col else { continue };
+                mat.stamp(r, c, g * (sr * sc));
+            }
+        }
+    };
+    let cap = |mat: &mut Matrix<Complex>, a: Option<usize>, b: Option<usize>, c: f64| {
+        g2(mat, a, b, Complex::new(0.0, w * c));
+    };
+
+    for e in circuit.elements() {
+        let a = u.node_row(e.a);
+        let b = u.node_row(e.b);
+        match &e.kind {
+            ElementKind::Resistor { ohms } => g2(mat, a, b, Complex::real(1.0 / ohms)),
+            ElementKind::Capacitor { farads } => cap(mat, a, b, *farads),
+            ElementKind::Inductor { henries } => {
+                let k = u.branch_row(e);
+                if let Some(ra) = a {
+                    mat.stamp(ra, k, Complex::ONE);
+                    mat.stamp(k, ra, Complex::ONE);
+                }
+                if let Some(rb) = b {
+                    mat.stamp(rb, k, -Complex::ONE);
+                    mat.stamp(k, rb, -Complex::ONE);
+                }
+                mat.stamp(k, k, Complex::new(0.0, -w * henries));
+            }
+            ElementKind::VoltageSource { ac_mag, .. } => {
+                let k = u.branch_row(e);
+                if let Some(ra) = a {
+                    mat.stamp(ra, k, Complex::ONE);
+                    mat.stamp(k, ra, Complex::ONE);
+                }
+                if let Some(rb) = b {
+                    mat.stamp(rb, k, -Complex::ONE);
+                    mat.stamp(k, rb, -Complex::ONE);
+                }
+                rhs[k] += Complex::real(*ac_mag);
+            }
+            ElementKind::CurrentSource { ac_mag, .. } => {
+                if let Some(ra) = a {
+                    rhs[ra] -= Complex::real(*ac_mag);
+                }
+                if let Some(rb) = b {
+                    rhs[rb] += Complex::real(*ac_mag);
+                }
+            }
+            ElementKind::Vcvs { gain, cp, cn } => {
+                let k = u.branch_row(e);
+                if let Some(ra) = a {
+                    mat.stamp(ra, k, Complex::ONE);
+                    mat.stamp(k, ra, Complex::ONE);
+                }
+                if let Some(rb) = b {
+                    mat.stamp(rb, k, -Complex::ONE);
+                    mat.stamp(k, rb, -Complex::ONE);
+                }
+                if let Some(rc) = u.node_row(*cp) {
+                    mat.stamp(k, rc, Complex::real(-gain));
+                }
+                if let Some(rc) = u.node_row(*cn) {
+                    mat.stamp(k, rc, Complex::real(*gain));
+                }
+            }
+            ElementKind::Vccs { gm, cp, cn } => {
+                gtrans(mat, a, b, u.node_row(*cp), u.node_row(*cn), Complex::real(*gm));
+            }
+            ElementKind::Switch { cp, cn, vt, ron, roff } => {
+                // Frozen at its DC conductance.
+                let vc = op.voltage(*cp) - op.voltage(*cn);
+                let s = 1.0 / (1.0 + (-(vc - vt) / 0.05).exp());
+                let g = 1.0 / roff + (1.0 / ron - 1.0 / roff) * s;
+                g2(mat, a, b, Complex::real(g));
+            }
+            ElementKind::Mosfet { model, source, bulk, .. } => {
+                let _ = tech
+                    .model(model)
+                    .ok_or_else(|| SpiceError::UnknownModel(model.clone()))?;
+                let info = op.mos.get(&e.name).ok_or_else(|| {
+                    SpiceError::BadCircuit(format!(
+                        "operating point lacks MOSFET `{}` (wrong circuit?)",
+                        e.name
+                    ))
+                })?;
+                let d = a;
+                let g_row = b;
+                let s_row = u.node_row(*source);
+                let b_row = u.node_row(*bulk);
+                g2(mat, d, s_row, Complex::real(info.eval.gds.max(0.0)));
+                gtrans(mat, d, s_row, g_row, s_row, Complex::real(info.eval.gm));
+                gtrans(mat, d, s_row, b_row, s_row, Complex::real(info.eval.gmb));
+                cap(mat, g_row, s_row, info.caps.cgs);
+                cap(mat, g_row, d, info.caps.cgd);
+                cap(mat, g_row, b_row, info.caps.cgb);
+                cap(mat, d, b_row, info.caps.cdb);
+                cap(mat, s_row, b_row, info.caps.csb);
+            }
+            other => {
+                return Err(SpiceError::BadCircuit(format!(
+                    "unsupported element kind {other:?} in ac analysis"
+                )))
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dc::dc_operating_point;
+    use ape_netlist::{Circuit, SourceWaveform, Technology};
+
+    fn rc_lowpass() -> (Circuit, NodeId) {
+        let mut c = Circuit::new("rc");
+        let i = c.node("in");
+        let o = c.node("out");
+        c.add_vsource("V1", i, Circuit::GROUND, 0.0, 1.0, SourceWaveform::Dc)
+            .unwrap();
+        c.add_resistor("R1", i, o, 1e3).unwrap();
+        c.add_capacitor("C1", o, Circuit::GROUND, 1e-9).unwrap();
+        (c, o)
+    }
+
+    #[test]
+    fn rc_pole_at_expected_frequency() {
+        let (c, o) = rc_lowpass();
+        let tech = Technology::default_1p2um();
+        let op = dc_operating_point(&c, &tech).unwrap();
+        let fc = 1.0 / (2.0 * std::f64::consts::PI * 1e3 * 1e-9); // ≈159 kHz
+        let sweep = ac_sweep(&c, &tech, &op, &[fc / 100.0, fc, fc * 100.0]).unwrap();
+        let m = sweep.magnitude(o);
+        assert!((m[0] - 1.0).abs() < 1e-3, "passband {}", m[0]);
+        assert!((m[1] - 1.0 / 2f64.sqrt()).abs() < 1e-3, "-3dB {}", m[1]);
+        assert!(m[2] < 0.02, "stopband {}", m[2]);
+    }
+
+    #[test]
+    fn rc_phase_reaches_minus_90() {
+        let (c, o) = rc_lowpass();
+        let tech = Technology::default_1p2um();
+        let op = dc_operating_point(&c, &tech).unwrap();
+        let freqs = decade_frequencies(1e2, 1e9, 5);
+        let sweep = ac_sweep(&c, &tech, &op, &freqs).unwrap();
+        let ph = sweep.phase_unwrapped(o);
+        let last = ph.last().unwrap().to_degrees();
+        assert!((last + 90.0).abs() < 2.0, "phase {last}");
+    }
+
+    #[test]
+    fn lc_resonance() {
+        let mut c = Circuit::new("rlc");
+        let i = c.node("in");
+        let o = c.node("out");
+        c.add_vsource("V1", i, Circuit::GROUND, 0.0, 1.0, SourceWaveform::Dc)
+            .unwrap();
+        c.add_resistor("R1", i, o, 100.0).unwrap();
+        c.add_inductor("L1", o, Circuit::GROUND, 1e-3).unwrap();
+        c.add_capacitor("C1", o, Circuit::GROUND, 1e-9).unwrap();
+        let tech = Technology::default_1p2um();
+        let op = dc_operating_point(&c, &tech).unwrap();
+        // Parallel LC resonates at 1/(2π sqrt(LC)) ≈ 159 kHz where its
+        // impedance peaks → output peaks.
+        let f0 = 1.0 / (2.0 * std::f64::consts::PI * (1e-3_f64 * 1e-9).sqrt());
+        let sweep = ac_sweep(&c, &tech, &op, &[f0 / 10.0, f0, f0 * 10.0]).unwrap();
+        let m = sweep.magnitude(o);
+        assert!(m[1] > m[0] && m[1] > m[2], "resonance shape {m:?}");
+        assert!(m[1] > 0.99, "at resonance the divider passes ~everything");
+    }
+
+    #[test]
+    fn decade_grid_endpoints() {
+        let f = decade_frequencies(1.0, 1e3, 10);
+        assert_eq!(f[0], 1.0);
+        assert_eq!(*f.last().unwrap(), 1e3);
+        assert_eq!(f.len(), 31);
+        assert!(f.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn common_source_gain_matches_gm_over_gl() {
+        use ape_netlist::{MosGeometry, MosPolarity};
+        let tech = Technology::default_1p2um();
+        let mut c = Circuit::new("cs");
+        let vdd = c.node("vdd");
+        let g = c.node("g");
+        let d = c.node("d");
+        c.add_vdc("VDD", vdd, Circuit::GROUND, 5.0);
+        c.add_vsource("VG", g, Circuit::GROUND, 1.2, 1.0, SourceWaveform::Dc)
+            .unwrap();
+        c.add_resistor("RD", vdd, d, 50e3).unwrap();
+        c.add_mosfet(
+            "M1",
+            d,
+            g,
+            Circuit::GROUND,
+            Circuit::GROUND,
+            MosPolarity::Nmos,
+            "CMOSN",
+            MosGeometry::new(10e-6, 2.4e-6),
+        )
+        .unwrap();
+        let op = dc_operating_point(&c, &tech).unwrap();
+        let info = &op.mos["M1"];
+        let expected = info.eval.gm / (1.0 / 50e3 + info.eval.gds);
+        let sweep = ac_sweep(&c, &tech, &op, &[10.0]).unwrap();
+        let gain = sweep.voltage(0, d).norm();
+        assert!(
+            (gain - expected).abs() / expected < 0.01,
+            "gain {gain}, expected {expected}"
+        );
+    }
+}

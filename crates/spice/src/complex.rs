@@ -1,0 +1,201 @@
+//! Minimal complex arithmetic for AC analysis.
+//!
+//! Implemented in-repo to keep the workspace dependency-free; only the
+//! operations the solver needs are provided.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+///
+/// # Example
+///
+/// ```
+/// use ape_spice::Complex;
+/// let a = Complex::new(3.0, 4.0);
+/// assert_eq!(a.norm(), 5.0);
+/// let b = a * Complex::I;
+/// assert_eq!(b, Complex::new(-4.0, 3.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Zero.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from rectangular components.
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// A purely real value.
+    pub fn real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// Magnitude `sqrt(re² + im²)`.
+    pub fn norm(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument (phase) in radians.
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Does not panic; dividing by zero yields non-finite components, which
+    /// the solver detects via [`Complex::is_finite`].
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        Complex::new(self.re / d, -self.im / d)
+    }
+
+    /// `true` when both components are finite.
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl AddAssign for Complex {
+    fn add_assign(&mut self, o: Complex) {
+        self.re += o.re;
+        self.im += o.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl SubAssign for Complex {
+    fn sub_assign(&mut self, o: Complex) {
+        self.re -= o.re;
+        self.im -= o.im;
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, o: Complex) -> Complex {
+        Complex::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    fn mul(self, s: f64) -> Complex {
+        Complex::new(self.re * s, self.im * s)
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    // Division via the multiplicative inverse is the intended algorithm.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    fn div(self, o: Complex) -> Complex {
+        self * o.inv()
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Complex {
+        Complex::real(re)
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}j", self.re, self.im)
+        } else {
+            write!(f, "{}{}j", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(-3.0, 0.5);
+        assert_eq!(a + b - b, a);
+        assert_eq!((a * b) / b, Complex::new(a.re, a.im));
+        assert_eq!(-a + a, Complex::ZERO);
+        assert_eq!(a * Complex::ONE, a);
+    }
+
+    #[test]
+    fn division_accuracy() {
+        let a = Complex::new(2.0, -1.0);
+        let q = a / a;
+        assert!((q.re - 1.0).abs() < 1e-14);
+        assert!(q.im.abs() < 1e-14);
+    }
+
+    #[test]
+    fn polar_quantities() {
+        let a = Complex::new(0.0, 2.0);
+        assert!((a.arg() - std::f64::consts::FRAC_PI_2).abs() < 1e-14);
+        assert_eq!(a.norm(), 2.0);
+        assert_eq!(a.conj(), Complex::new(0.0, -2.0));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Complex::new(1.0, 1.0).to_string(), "1+1j");
+        assert_eq!(Complex::new(1.0, -1.0).to_string(), "1-1j");
+    }
+
+    #[test]
+    fn finite_detection() {
+        assert!(Complex::ONE.is_finite());
+        assert!(!(Complex::ONE / Complex::ZERO).is_finite());
+    }
+}

@@ -1,0 +1,888 @@
+//! Nonlinear DC operating-point analysis.
+//!
+//! Newton-Raphson over the MNA system with two convergence aids that mirror
+//! production SPICE practice:
+//!
+//! * **gmin stepping** — a shunt conductance from every node to ground is
+//!   swept from 10 mS down to 1 pS, each stage warm-starting the next;
+//! * **source stepping** — if gmin stepping stalls, all independent sources
+//!   ramp from 5 % to 100 % of their DC value.
+
+use crate::error::SpiceError;
+use crate::linalg::Matrix;
+use crate::mna::Unknowns;
+use ape_mos::{evaluate, junction_caps, meyer_caps, BiasPoint, DeviceEval, MosCaps};
+use ape_netlist::{Circuit, ElementKind, NodeId, Technology};
+use std::collections::BTreeMap;
+
+/// Per-MOSFET operating-point record kept with the solution.
+#[derive(Debug, Clone, Copy)]
+pub struct MosOp {
+    /// Device evaluation (current, gm, gds, gmb, region) at the solution.
+    pub eval: DeviceEval,
+    /// Capacitances at the solution, for AC and transient reuse.
+    pub caps: MosCaps,
+    /// Drain node.
+    pub drain: NodeId,
+    /// Gate node.
+    pub gate: NodeId,
+    /// Source node.
+    pub source: NodeId,
+    /// Bulk node.
+    pub bulk: NodeId,
+}
+
+/// A converged DC operating point.
+#[derive(Debug, Clone)]
+pub struct OperatingPoint {
+    pub(crate) x: Vec<f64>,
+    pub(crate) unknowns: Unknowns,
+    /// MOSFET operating records by element name.
+    pub mos: BTreeMap<String, MosOp>,
+    /// Newton iterations spent in the final (full-bias) stage.
+    pub iterations: usize,
+}
+
+impl OperatingPoint {
+    /// Voltage of a node at the operating point, volts.
+    pub fn voltage(&self, node: NodeId) -> f64 {
+        self.unknowns.voltage(&self.x, node)
+    }
+
+    /// Branch current of a voltage-defined element (V/E/L), amperes, using
+    /// the SPICE sign convention (current flowing from the `+` terminal
+    /// through the element).
+    pub fn branch_current(&self, name: &str) -> Option<f64> {
+        self.unknowns.branch_row_by_name(name).map(|r| self.x[r])
+    }
+
+    /// Total power delivered by all independent voltage sources, watts.
+    pub fn supply_power(&self, circuit: &Circuit) -> f64 {
+        let mut p = 0.0;
+        for e in circuit.elements() {
+            if let ElementKind::VoltageSource { dc, .. } = &e.kind {
+                if let Some(i) = self.branch_current(&e.name) {
+                    // i flows + → − through the source, so delivered power
+                    // is −dc·i.
+                    p += -dc * i;
+                }
+            }
+        }
+        p
+    }
+
+    /// Power delivered by one named voltage source, watts (`None` when the
+    /// element is missing or not a voltage source).
+    pub fn source_power(&self, circuit: &Circuit, name: &str) -> Option<f64> {
+        let e = circuit.element(name)?;
+        if let ElementKind::VoltageSource { dc, .. } = &e.kind {
+            let i = self.branch_current(name)?;
+            Some(-dc * i)
+        } else {
+            None
+        }
+    }
+
+    /// The raw solution vector (node voltages then branch currents).
+    pub fn solution(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// Renders a human-readable operating-point report: node voltages and
+    /// every MOSFET's region, current and small-signal parameters — the
+    /// first thing a designer reads when a circuit misbehaves.
+    pub fn report(&self, circuit: &Circuit) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "* operating point of `{}`", circuit.title);
+        let _ = writeln!(out, "* supply power: {:.4} mW", self.supply_power(circuit) * 1e3);
+        let _ = writeln!(out, "* node voltages:");
+        for idx in 1..circuit.num_nodes() {
+            let n = NodeId::new(idx as u32);
+            let _ = writeln!(out, "    {:<16} {:>9.4} V", circuit.node_name(n), self.voltage(n));
+        }
+        if !self.mos.is_empty() {
+            let _ = writeln!(
+                out,
+                "* mosfets:        region        id         gm        gds"
+            );
+            for (name, m) in &self.mos {
+                let _ = writeln!(
+                    out,
+                    "    {:<14} {:<12} {:>9.3e} {:>9.3e} {:>9.3e}",
+                    name,
+                    m.eval.region.to_string(),
+                    m.eval.ids,
+                    m.eval.gm,
+                    m.eval.gds
+                );
+            }
+        }
+        out
+    }
+}
+
+/// How independent sources are evaluated during a stamp pass.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum SourceValue {
+    /// DC value scaled by a ramp factor (DC analysis).
+    DcScaled(f64),
+    /// Waveform value at a time point (transient analysis).
+    AtTime(f64),
+}
+
+impl SourceValue {
+    fn eval(self, dc: f64, wave: &ape_netlist::SourceWaveform) -> f64 {
+        match self {
+            SourceValue::DcScaled(s) => dc * s,
+            SourceValue::AtTime(t) => wave.value_at(t, dc),
+        }
+    }
+}
+
+/// Stamps every non-reactive element (everything except C and L bodies) of
+/// the circuit, linearised at `x`.
+pub(crate) fn stamp_nonreactive(
+    circuit: &Circuit,
+    tech: &Technology,
+    u: &Unknowns,
+    x: &[f64],
+    mat: &mut Matrix<f64>,
+    rhs: &mut [f64],
+    gmin: f64,
+    sv: SourceValue,
+) -> Result<(), SpiceError> {
+    // gmin shunts keep the matrix nonsingular when devices cut off.
+    for r in 0..u.n_nodes {
+        mat.stamp(r, r, gmin);
+    }
+    let g2 = |mat: &mut Matrix<f64>, a: Option<usize>, b: Option<usize>, g: f64| {
+        if let Some(ra) = a {
+            mat.stamp(ra, ra, g);
+        }
+        if let Some(rb) = b {
+            mat.stamp(rb, rb, g);
+        }
+        if let (Some(ra), Some(rb)) = (a, b) {
+            mat.stamp(ra, rb, -g);
+            mat.stamp(rb, ra, -g);
+        }
+    };
+    // VCCS-like stamp: current g·v(cp,cn) flowing a → b.
+    let gtrans = |mat: &mut Matrix<f64>,
+                  a: Option<usize>,
+                  b: Option<usize>,
+                  cp: Option<usize>,
+                  cn: Option<usize>,
+                  g: f64| {
+        for (row, sign_row) in [(a, 1.0), (b, -1.0)] {
+            let Some(r) = row else { continue };
+            for (col, sign_col) in [(cp, 1.0), (cn, -1.0)] {
+                let Some(c) = col else { continue };
+                mat.stamp(r, c, sign_row * sign_col * g);
+            }
+        }
+    };
+    let inject = |rhs: &mut [f64], a: Option<usize>, b: Option<usize>, i: f64| {
+        // Current i flows a → b through the element: it leaves node a.
+        if let Some(ra) = a {
+            rhs[ra] -= i;
+        }
+        if let Some(rb) = b {
+            rhs[rb] += i;
+        }
+    };
+
+    for e in circuit.elements() {
+        let a = u.node_row(e.a);
+        let b = u.node_row(e.b);
+        match &e.kind {
+            ElementKind::Resistor { ohms } => g2(mat, a, b, 1.0 / ohms),
+            ElementKind::Capacitor { .. } | ElementKind::Inductor { .. } => {
+                // Reactive bodies are stamped by the calling analysis.
+            }
+            ElementKind::VoltageSource { dc, waveform, .. } => {
+                let k = u.branch_row(e);
+                if let Some(ra) = a {
+                    mat.stamp(ra, k, 1.0);
+                    mat.stamp(k, ra, 1.0);
+                }
+                if let Some(rb) = b {
+                    mat.stamp(rb, k, -1.0);
+                    mat.stamp(k, rb, -1.0);
+                }
+                rhs[k] += sv.eval(*dc, waveform);
+            }
+            ElementKind::CurrentSource { dc, waveform, .. } => {
+                inject(rhs, a, b, sv.eval(*dc, waveform));
+            }
+            ElementKind::Vcvs { gain, cp, cn } => {
+                let k = u.branch_row(e);
+                if let Some(ra) = a {
+                    mat.stamp(ra, k, 1.0);
+                    mat.stamp(k, ra, 1.0);
+                }
+                if let Some(rb) = b {
+                    mat.stamp(rb, k, -1.0);
+                    mat.stamp(k, rb, -1.0);
+                }
+                if let Some(rc) = u.node_row(*cp) {
+                    mat.stamp(k, rc, -gain);
+                }
+                if let Some(rc) = u.node_row(*cn) {
+                    mat.stamp(k, rc, *gain);
+                }
+            }
+            ElementKind::Vccs { gm, cp, cn } => {
+                gtrans(mat, a, b, u.node_row(*cp), u.node_row(*cn), *gm);
+            }
+            ElementKind::Switch { cp, cn, vt, ron, roff } => {
+                let vc = u.voltage(x, *cp) - u.voltage(x, *cn);
+                let vab = u.voltage(x, e.a) - u.voltage(x, e.b);
+                // Smooth conductance transition over ~50 mV for NR stability.
+                let width = 0.05;
+                let s = 1.0 / (1.0 + (-(vc - vt) / width).exp());
+                let gon = 1.0 / ron;
+                let goff = 1.0 / roff;
+                let g = goff + (gon - goff) * s;
+                let dg_dvc = (gon - goff) * s * (1.0 - s) / width;
+                g2(mat, a, b, g);
+                let k = dg_dvc * vab;
+                gtrans(mat, a, b, u.node_row(*cp), u.node_row(*cn), k);
+                // Norton correction so the linearisation passes through the
+                // true current at x.
+                let ieq = -k * (vc);
+                inject(rhs, a, b, ieq);
+            }
+            ElementKind::Mosfet {
+                polarity,
+                model,
+                geometry,
+                source,
+                bulk,
+            } => {
+                let card = tech
+                    .model(model)
+                    .ok_or_else(|| SpiceError::UnknownModel(model.clone()))?;
+                debug_assert_eq!(card.polarity, *polarity);
+                let vd = u.voltage(x, e.a);
+                let vg = u.voltage(x, e.b);
+                let vs = u.voltage(x, *source);
+                let vb = u.voltage(x, *bulk);
+                let ev = evaluate(
+                    card,
+                    geometry,
+                    BiasPoint {
+                        vgs: vg - vs,
+                        vds: vd - vs,
+                        vsb: vs - vb,
+                    },
+                );
+                let d = a;
+                let s_row = u.node_row(*source);
+                let g_row = b;
+                let b_row = u.node_row(*bulk);
+                // Conductance gds between drain and source.
+                g2(mat, d, s_row, ev.gds.max(0.0));
+                // gm: current d → s controlled by (g, s).
+                gtrans(mat, d, s_row, g_row, s_row, ev.gm);
+                // gmb: current d → s controlled by (b, s).
+                gtrans(mat, d, s_row, b_row, s_row, ev.gmb);
+                // Norton equivalent current.
+                let ieq = ev.ids
+                    - ev.gm * (vg - vs)
+                    - ev.gds.max(0.0) * (vd - vs)
+                    - ev.gmb * (vb - vs);
+                inject(rhs, d, s_row, ieq);
+            }
+            other => {
+                return Err(SpiceError::BadCircuit(format!(
+                    "unsupported element kind {other:?} in dc analysis"
+                )))
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Options controlling the DC solve.
+#[derive(Debug, Clone, Copy)]
+pub struct DcOptions {
+    /// Maximum Newton iterations per stage.
+    pub max_iter: usize,
+    /// Absolute voltage tolerance, volts.
+    pub vtol: f64,
+    /// Relative tolerance.
+    pub reltol: f64,
+    /// Largest voltage update applied per iteration (damping), volts.
+    pub vstep_limit: f64,
+}
+
+impl Default for DcOptions {
+    fn default() -> Self {
+        DcOptions {
+            max_iter: 150,
+            vtol: 1e-7,
+            reltol: 1e-6,
+            vstep_limit: 0.6,
+        }
+    }
+}
+
+/// Solves the DC operating point of `circuit`.
+///
+/// # Errors
+///
+/// * [`SpiceError::SingularMatrix`] for structurally singular systems.
+/// * [`SpiceError::NoConvergence`] when both gmin and source stepping fail.
+/// * [`SpiceError::UnknownModel`] for MOSFETs with missing cards.
+pub fn dc_operating_point(
+    circuit: &Circuit,
+    tech: &Technology,
+) -> Result<OperatingPoint, SpiceError> {
+    dc_operating_point_with(circuit, tech, DcOptions::default())
+}
+
+/// [`dc_operating_point`] with explicit options.
+///
+/// # Errors
+///
+/// Same as [`dc_operating_point`].
+pub fn dc_operating_point_with(
+    circuit: &Circuit,
+    tech: &Technology,
+    opts: DcOptions,
+) -> Result<OperatingPoint, SpiceError> {
+    circuit
+        .validate()
+        .map_err(|e| SpiceError::BadCircuit(e.to_string()))?;
+    for e in circuit.elements() {
+        if let ElementKind::Mosfet { model, .. } = &e.kind {
+            if tech.model(model).is_none() {
+                return Err(SpiceError::UnknownModel(model.clone()));
+            }
+        }
+    }
+    let u = Unknowns::for_circuit(circuit);
+    let mut x = initial_guess(circuit, &u);
+
+    // Stage 1: gmin stepping at full bias.
+    let gmins = [1e-2, 1e-4, 1e-6, 1e-8, 1e-10, 1e-12];
+    let mut converged = true;
+    let mut final_iters = 0;
+    for (idx, &gmin) in gmins.iter().enumerate() {
+        match newton(circuit, tech, &u, &mut x, gmin, 1.0, opts) {
+            Ok(iters) => {
+                if idx == gmins.len() - 1 {
+                    final_iters = iters;
+                }
+            }
+            Err(_) => {
+                converged = false;
+                break;
+            }
+        }
+    }
+
+    if !converged {
+        // Stage 2: source stepping with a modest gmin, then tighten gmin.
+        x = initial_guess(circuit, &u);
+        let mut ok = true;
+        for k in 1..=20 {
+            let scale = k as f64 / 20.0;
+            if newton(circuit, tech, &u, &mut x, 1e-9, scale, opts).is_err() {
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            for &gmin in &[1e-10, 1e-12] {
+                if newton(circuit, tech, &u, &mut x, gmin, 1.0, opts).is_err() {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            final_iters = opts.max_iter;
+        } else {
+            // Stage 3: pseudo-transient continuation — an artificial
+            // capacitor on every node damps the Newton dynamics into the
+            // physically reachable solution; the step size grows as the
+            // trajectory settles. The heavy-duty fallback for feedback
+            // circuits with marginal loop gain.
+            x = pseudo_transient(circuit, tech, &u, opts)?;
+            newton(circuit, tech, &u, &mut x, 1e-12, 1.0, opts)?;
+            final_iters = opts.max_iter;
+        }
+    }
+
+    // Collect per-MOSFET operating info at the solution.
+    let mut mos = BTreeMap::new();
+    for e in circuit.elements() {
+        if let ElementKind::Mosfet {
+            model,
+            geometry,
+            source,
+            bulk,
+            ..
+        } = &e.kind
+        {
+            let card = tech
+                .model(model)
+                .ok_or_else(|| SpiceError::UnknownModel(model.clone()))?;
+            let vd = u.voltage(&x, e.a);
+            let vg = u.voltage(&x, e.b);
+            let vs = u.voltage(&x, *source);
+            let vb = u.voltage(&x, *bulk);
+            let ev = evaluate(
+                card,
+                geometry,
+                BiasPoint {
+                    vgs: vg - vs,
+                    vds: vd - vs,
+                    vsb: vs - vb,
+                },
+            );
+            let mut caps = meyer_caps(card, geometry, ev.region);
+            let sgn = card.polarity.sign();
+            let (cdb, csb) = junction_caps(card, geometry, sgn * (vd - vb), sgn * (vs - vb));
+            caps.cdb = cdb;
+            caps.csb = csb;
+            mos.insert(
+                e.name.clone(),
+                MosOp {
+                    eval: ev,
+                    caps,
+                    drain: e.a,
+                    gate: e.b,
+                    source: *source,
+                    bulk: *bulk,
+                },
+            );
+        }
+    }
+
+    Ok(OperatingPoint {
+        x,
+        unknowns: u,
+        mos,
+        iterations: final_iters,
+    })
+}
+
+/// Pseudo-transient continuation: backward-Euler relaxation with an
+/// artificial capacitor from every node to ground. Converges to a stable
+/// DC solution for circuits whose Newton iteration oscillates.
+fn pseudo_transient(
+    circuit: &Circuit,
+    tech: &Technology,
+    u: &Unknowns,
+    opts: DcOptions,
+) -> Result<Vec<f64>, SpiceError> {
+    let n = u.dim();
+    let mut x = initial_guess(circuit, u);
+    let c_art = 1e-9;
+    let mut h = 1e-9;
+    let mut mat = Matrix::<f64>::zeros(n);
+    for _step in 0..600 {
+        let x_prev = x.clone();
+        let mut converged = false;
+        for _ in 0..40 {
+            mat.clear();
+            let mut rhs = vec![0.0; n];
+            stamp_nonreactive(
+                circuit,
+                tech,
+                u,
+                &x,
+                &mut mat,
+                &mut rhs,
+                1e-12,
+                SourceValue::DcScaled(1.0),
+            )?;
+            for e in circuit.elements() {
+                if let ElementKind::Inductor { .. } = e.kind {
+                    let k = u.branch_row(e);
+                    if let Some(ra) = u.node_row(e.a) {
+                        mat.stamp(ra, k, 1.0);
+                        mat.stamp(k, ra, 1.0);
+                    }
+                    if let Some(rb) = u.node_row(e.b) {
+                        mat.stamp(rb, k, -1.0);
+                        mat.stamp(k, rb, -1.0);
+                    }
+                }
+            }
+            let geq = c_art / h;
+            for r in 0..u.n_nodes {
+                mat.stamp(r, r, geq);
+                rhs[r] += geq * x_prev[r];
+            }
+            let sol = mat
+                .solve(&rhs)
+                .ok_or(SpiceError::SingularMatrix { analysis: "dc" })?;
+            let mut worst = 0.0f64;
+            for r in 0..n {
+                let delta = sol[r] - x[r];
+                let lim = if r < u.n_nodes { opts.vstep_limit } else { f64::INFINITY };
+                x[r] += delta.clamp(-lim, lim);
+                let scale = opts.vtol + opts.reltol * sol[r].abs();
+                worst = worst.max(delta.abs() / scale);
+            }
+            if worst < 1.0 {
+                converged = true;
+                break;
+            }
+        }
+        if !converged {
+            // Shrink the step and retry from the previous state.
+            if std::env::var("APE_PTRAN_TRACE").is_ok() {
+                eprintln!("ptran step {_step}: NR fail at h={h:.2e}");
+            }
+            x = x_prev;
+            h /= 4.0;
+            if h < 1e-15 {
+                break;
+            }
+            continue;
+        }
+        // Steady state?
+        let dx = x
+            .iter()
+            .zip(&x_prev)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        if std::env::var("APE_PTRAN_TRACE").is_ok() {
+            eprintln!("ptran step {_step}: h={h:.2e} dx={dx:.3e}");
+        }
+        if dx < 1e-7 && h > 1e-3 {
+            return Ok(x);
+        }
+        // Backward Euler is A-stable: the step can grow without bound, so
+        // slow artificial-cap modes on high-impedance nodes settle in a
+        // handful of steps rather than thousands.
+        h = (h * 2.5).min(1e3);
+    }
+    Err(SpiceError::NoConvergence {
+        analysis: "dc",
+        detail: "pseudo-transient continuation did not settle".into(),
+    })
+}
+
+/// Seeds node voltages from directly-attached voltage sources.
+fn initial_guess(circuit: &Circuit, u: &Unknowns) -> Vec<f64> {
+    let mut x = vec![0.0; u.dim()];
+    for e in circuit.elements() {
+        if let ElementKind::VoltageSource { dc, .. } = &e.kind {
+            if e.b.is_ground() {
+                if let Some(r) = u.node_row(e.a) {
+                    x[r] = *dc;
+                }
+            } else if e.a.is_ground() {
+                if let Some(r) = u.node_row(e.b) {
+                    x[r] = -*dc;
+                }
+            }
+        }
+    }
+    x
+}
+
+/// One damped Newton-Raphson stage; returns iterations on success.
+fn newton(
+    circuit: &Circuit,
+    tech: &Technology,
+    u: &Unknowns,
+    x: &mut Vec<f64>,
+    gmin: f64,
+    srcscale: f64,
+    opts: DcOptions,
+) -> Result<usize, SpiceError> {
+    let n = u.dim();
+    let mut mat = Matrix::<f64>::zeros(n);
+    let mut rhs = vec![0.0; n];
+    for it in 0..opts.max_iter {
+        mat.clear();
+        rhs.iter_mut().for_each(|v| *v = 0.0);
+        stamp_nonreactive(
+            circuit,
+            tech,
+            u,
+            x,
+            &mut mat,
+            &mut rhs,
+            gmin,
+            SourceValue::DcScaled(srcscale),
+        )?;
+        // Inductors are DC shorts: 0 V branch constraints.
+        for e in circuit.elements() {
+            if let ElementKind::Inductor { .. } = e.kind {
+                let k = u.branch_row(e);
+                if let Some(ra) = u.node_row(e.a) {
+                    mat.stamp(ra, k, 1.0);
+                    mat.stamp(k, ra, 1.0);
+                }
+                if let Some(rb) = u.node_row(e.b) {
+                    mat.stamp(rb, k, -1.0);
+                    mat.stamp(k, rb, -1.0);
+                }
+            }
+        }
+        let sol = mat
+            .solve(&rhs)
+            .ok_or(SpiceError::SingularMatrix { analysis: "dc" })?;
+        // Damped update and convergence test.
+        let mut worst = 0.0f64;
+        for r in 0..n {
+            let delta = sol[r] - x[r];
+            let lim = if r < u.n_nodes { opts.vstep_limit } else { f64::INFINITY };
+            let applied = delta.clamp(-lim, lim);
+            x[r] += applied;
+            let scale = opts.vtol + opts.reltol * sol[r].abs();
+            worst = worst.max(delta.abs() / scale);
+        }
+        if worst < 1.0 {
+            return Ok(it + 1);
+        }
+    }
+    Err(SpiceError::NoConvergence {
+        analysis: "dc",
+        detail: format!("stage gmin={gmin:.0e} scale={srcscale}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ape_netlist::{Circuit, MosGeometry, MosPolarity, Technology};
+
+    #[test]
+    fn resistive_divider() {
+        let mut c = Circuit::new("div");
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_vdc("V1", a, Circuit::GROUND, 6.0);
+        c.add_resistor("R1", a, b, 1e3).unwrap();
+        c.add_resistor("R2", b, Circuit::GROUND, 2e3).unwrap();
+        let op = dc_operating_point(&c, &Technology::default_1p2um()).unwrap();
+        assert!((op.voltage(b) - 4.0).abs() < 1e-6);
+        assert!((op.branch_current("V1").unwrap() + 2e-3).abs() < 1e-9);
+        assert!((op.supply_power(&c) - 12e-3).abs() < 1e-8);
+    }
+
+    #[test]
+    fn current_source_into_resistor() {
+        let mut c = Circuit::new("ir");
+        let a = c.node("a");
+        c.add_idc("I1", Circuit::GROUND, a, 1e-3).unwrap();
+        c.add_resistor("R1", a, Circuit::GROUND, 1e3).unwrap();
+        let op = dc_operating_point(&c, &Technology::default_1p2um()).unwrap();
+        assert!((op.voltage(a) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn vcvs_amplifies() {
+        let mut c = Circuit::new("e");
+        let i = c.node("in");
+        let o = c.node("out");
+        c.add_vdc("V1", i, Circuit::GROUND, 0.5);
+        c.add_vcvs("E1", o, Circuit::GROUND, i, Circuit::GROUND, 10.0).unwrap();
+        c.add_resistor("RL", o, Circuit::GROUND, 1e3).unwrap();
+        let op = dc_operating_point(&c, &Technology::default_1p2um()).unwrap();
+        assert!((op.voltage(o) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn vccs_into_load() {
+        let mut c = Circuit::new("g");
+        let i = c.node("in");
+        let o = c.node("out");
+        c.add_vdc("V1", i, Circuit::GROUND, 1.0);
+        // 1 mS transconductance pulling current out of `o`.
+        c.add_vccs("G1", o, Circuit::GROUND, i, Circuit::GROUND, 1e-3).unwrap();
+        c.add_resistor("RL", o, Circuit::GROUND, 1e3).unwrap();
+        c.add_resistor("Ri", i, Circuit::GROUND, 1e6).unwrap();
+        let op = dc_operating_point(&c, &Technology::default_1p2um()).unwrap();
+        // i(o→gnd through G1) = 1 mA leaves node o: v(o) = -1 V.
+        assert!((op.voltage(o) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn diode_connected_nmos() {
+        let tech = Technology::default_1p2um();
+        let mut c = Circuit::new("diode");
+        let d = c.node("d");
+        c.add_idc("I1", Circuit::GROUND, d, 50e-6).unwrap();
+        c.add_mosfet(
+            "M1",
+            d,
+            d,
+            Circuit::GROUND,
+            Circuit::GROUND,
+            MosPolarity::Nmos,
+            "CMOSN",
+            MosGeometry::new(20e-6, 2.4e-6),
+        )
+        .unwrap();
+        let op = dc_operating_point(&c, &tech).unwrap();
+        let v = op.voltage(d);
+        // Must sit a bit above vth with vov = sqrt(2 I L / (kp W)).
+        let card = tech.nmos().unwrap();
+        let vov = (2.0 * 50e-6 * card.leff(2.4e-6) / (card.kp * 20e-6)).sqrt();
+        assert!((v - (card.vto + vov)).abs() < 0.1, "v = {v}");
+        let m = &op.mos["M1"];
+        assert!((m.eval.ids - 50e-6).abs() / 50e-6 < 1e-3);
+    }
+
+    #[test]
+    fn nmos_common_source_amp_bias() {
+        let tech = Technology::default_1p2um();
+        let mut c = Circuit::new("cs");
+        let vdd = c.node("vdd");
+        let g = c.node("g");
+        let d = c.node("d");
+        c.add_vdc("VDD", vdd, Circuit::GROUND, 5.0);
+        c.add_vdc("VG", g, Circuit::GROUND, 1.2);
+        c.add_resistor("RD", vdd, d, 50e3).unwrap();
+        c.add_mosfet(
+            "M1",
+            d,
+            g,
+            Circuit::GROUND,
+            Circuit::GROUND,
+            MosPolarity::Nmos,
+            "CMOSN",
+            MosGeometry::new(10e-6, 2.4e-6),
+        )
+        .unwrap();
+        let op = dc_operating_point(&c, &tech).unwrap();
+        let vd = op.voltage(d);
+        assert!(vd > 0.5 && vd < 4.9, "vd = {vd}");
+        // KCL: resistor current equals drain current.
+        let ir = (5.0 - vd) / 50e3;
+        let m = &op.mos["M1"];
+        assert!((ir - m.eval.ids).abs() / ir < 1e-3);
+    }
+
+    #[test]
+    fn pmos_current_mirror() {
+        let tech = Technology::default_1p2um();
+        let mut c = Circuit::new("pmirror");
+        let vdd = c.node("vdd");
+        let ref_n = c.node("ref");
+        let out = c.node("out");
+        c.add_vdc("VDD", vdd, Circuit::GROUND, 5.0);
+        // Reference branch: 20 µA pulled from the diode-connected PMOS.
+        c.add_idc("IREF", ref_n, Circuit::GROUND, 20e-6).unwrap();
+        let geom = MosGeometry::new(30e-6, 2.4e-6);
+        c.add_mosfet("M1", ref_n, ref_n, vdd, vdd, MosPolarity::Pmos, "CMOSP", geom)
+            .unwrap();
+        c.add_mosfet("M2", out, ref_n, vdd, vdd, MosPolarity::Pmos, "CMOSP", geom)
+            .unwrap();
+        c.add_resistor("RL", out, Circuit::GROUND, 10e3).unwrap();
+        let op = dc_operating_point(&c, &tech).unwrap();
+        let iout = op.voltage(out) / 10e3;
+        // Channel-length modulation makes a simple mirror overshoot:
+        // (1+λ·vds2)/(1+λ·vds1) ≈ 1.15 here, so allow 20 %.
+        assert!(
+            (iout - 20e-6).abs() / 20e-6 < 0.2,
+            "mirrored current {iout}"
+        );
+        assert!(iout > 20e-6, "clm should make the copy overshoot");
+    }
+
+    #[test]
+    fn switch_passes_and_blocks() {
+        let tech = Technology::default_1p2um();
+        for (vctl, expect_high) in [(5.0, true), (0.0, false)] {
+            let mut c = Circuit::new("sw");
+            let i = c.node("in");
+            let o = c.node("out");
+            let ctl = c.node("ctl");
+            c.add_vdc("V1", i, Circuit::GROUND, 2.0);
+            c.add_vdc("VC", ctl, Circuit::GROUND, vctl);
+            c.add_switch("S1", i, o, ctl, Circuit::GROUND, 2.5, 1e3, 1e12)
+                .unwrap();
+            c.add_resistor("RL", o, Circuit::GROUND, 1e6).unwrap();
+            let op = dc_operating_point(&c, &tech).unwrap();
+            let vo = op.voltage(o);
+            if expect_high {
+                assert!(vo > 1.9, "on: vo = {vo}");
+            } else {
+                assert!(vo < 0.1, "off: vo = {vo}");
+            }
+        }
+    }
+
+    #[test]
+    fn floating_node_reports_error() {
+        let mut c = Circuit::new("bad");
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_vdc("V1", a, Circuit::GROUND, 1.0);
+        c.add_resistor("R1", a, Circuit::GROUND, 1.0).unwrap();
+        c.add_capacitor("C1", b, Circuit::GROUND, 1e-12).unwrap();
+        // Node b floats at DC (only a capacitor) — gmin keeps it solvable,
+        // pinning it to ground.
+        let op = dc_operating_point(&c, &Technology::default_1p2um()).unwrap();
+        assert!(op.voltage(b).abs() < 1e-3);
+    }
+
+    #[test]
+    fn inductor_is_dc_short() {
+        let mut c = Circuit::new("l");
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_vdc("V1", a, Circuit::GROUND, 1.0);
+        c.add_inductor("L1", a, b, 1e-3).unwrap();
+        c.add_resistor("R1", b, Circuit::GROUND, 100.0).unwrap();
+        let op = dc_operating_point(&c, &Technology::default_1p2um()).unwrap();
+        assert!((op.voltage(b) - 1.0).abs() < 1e-6);
+        assert!((op.branch_current("L1").unwrap() - 10e-3).abs() < 1e-8);
+    }
+
+    #[test]
+    fn report_mentions_nodes_and_devices() {
+        let tech = Technology::default_1p2um();
+        let mut c = Circuit::new("rpt");
+        let d = c.node("drain");
+        c.add_idc("I1", Circuit::GROUND, d, 50e-6).unwrap();
+        c.add_mosfet(
+            "M1",
+            d,
+            d,
+            Circuit::GROUND,
+            Circuit::GROUND,
+            MosPolarity::Nmos,
+            "CMOSN",
+            MosGeometry::new(20e-6, 2.4e-6),
+        )
+        .unwrap();
+        let op = dc_operating_point(&c, &tech).unwrap();
+        let rpt = op.report(&c);
+        assert!(rpt.contains("drain"));
+        assert!(rpt.contains("M1"));
+        assert!(rpt.contains("saturation"));
+    }
+
+    #[test]
+    fn unknown_model_is_typed_error() {
+        let mut c = Circuit::new("bad");
+        let d = c.node("d");
+        c.add_vdc("V1", d, Circuit::GROUND, 1.0);
+        c.add_mosfet(
+            "M1",
+            d,
+            d,
+            Circuit::GROUND,
+            Circuit::GROUND,
+            MosPolarity::Nmos,
+            "MISSING",
+            MosGeometry::new(1e-6, 1e-6),
+        )
+        .unwrap();
+        let err = dc_operating_point(&c, &Technology::default_1p2um()).unwrap_err();
+        assert!(matches!(err, SpiceError::UnknownModel(_)));
+    }
+}

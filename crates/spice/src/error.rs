@@ -1,0 +1,60 @@
+//! Error type for simulation runs.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the analyses in this crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SpiceError {
+    /// The MNA matrix is singular (floating node, loop of voltage sources …).
+    SingularMatrix {
+        /// Which analysis hit the singularity.
+        analysis: &'static str,
+    },
+    /// Newton-Raphson failed to converge.
+    NoConvergence {
+        /// Which analysis failed.
+        analysis: &'static str,
+        /// Iterations or steps attempted.
+        detail: String,
+    },
+    /// A MOSFET referenced a model card missing from the technology.
+    UnknownModel(String),
+    /// The circuit failed validation before simulation.
+    BadCircuit(String),
+    /// A measurement was requested on data that does not contain it
+    /// (e.g. UGF of a transfer function that never crosses unity).
+    MeasureFailed(String),
+}
+
+impl fmt::Display for SpiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpiceError::SingularMatrix { analysis } => {
+                write!(f, "singular matrix during {analysis} analysis")
+            }
+            SpiceError::NoConvergence { analysis, detail } => {
+                write!(f, "{analysis} analysis failed to converge: {detail}")
+            }
+            SpiceError::UnknownModel(m) => write!(f, "unknown MOS model `{m}`"),
+            SpiceError::BadCircuit(m) => write!(f, "bad circuit: {m}"),
+            SpiceError::MeasureFailed(m) => write!(f, "measurement failed: {m}"),
+        }
+    }
+}
+
+impl Error for SpiceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_bounds() {
+        fn assert_traits<T: Send + Sync + std::error::Error>() {}
+        assert_traits::<SpiceError>();
+        let e = SpiceError::SingularMatrix { analysis: "dc" };
+        assert!(e.to_string().contains("dc"));
+    }
+}

@@ -1,0 +1,296 @@
+//! Dense linear algebra: LU factorisation with partial pivoting, generic
+//! over real and complex scalars.
+//!
+//! Circuit matrices in this reproduction stay small (tens to a few hundred
+//! unknowns), so a dense solver is both simpler and faster than a sparse one
+//! at this scale.
+
+use crate::complex::Complex;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// Scalar types the LU solver can factorise over.
+pub trait Scalar:
+    Copy
+    + PartialEq
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+{
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Pivoting magnitude.
+    fn magnitude(self) -> f64;
+    /// `true` when the value contains no NaN/∞.
+    fn finite(self) -> bool;
+}
+
+impl Scalar for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+    fn one() -> Self {
+        1.0
+    }
+    fn magnitude(self) -> f64 {
+        self.abs()
+    }
+    fn finite(self) -> bool {
+        self.is_finite()
+    }
+}
+
+impl Scalar for Complex {
+    fn zero() -> Self {
+        Complex::ZERO
+    }
+    fn one() -> Self {
+        Complex::ONE
+    }
+    fn magnitude(self) -> f64 {
+        self.norm()
+    }
+    fn finite(self) -> bool {
+        self.is_finite()
+    }
+}
+
+/// A dense square matrix in row-major storage.
+///
+/// # Example
+///
+/// ```
+/// use ape_spice::linalg::Matrix;
+/// let mut m: Matrix<f64> = Matrix::zeros(2);
+/// m[(0, 0)] = 2.0;
+/// m[(1, 1)] = 4.0;
+/// let x = m.solve(&[2.0, 8.0]).expect("nonsingular");
+/// assert_eq!(x, vec![1.0, 2.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix<T> {
+    n: usize,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> Matrix<T> {
+    /// Creates an `n×n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        Matrix {
+            n,
+            data: vec![T::zero(); n * n],
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Adds `v` to entry `(r, c)` — the MNA "stamp" primitive.
+    pub fn stamp(&mut self, r: usize, c: usize, v: T) {
+        let n = self.n;
+        debug_assert!(r < n && c < n);
+        self.data[r * n + c] = self.data[r * n + c] + v;
+    }
+
+    /// Resets every entry to zero, keeping the allocation.
+    pub fn clear(&mut self) {
+        for v in &mut self.data {
+            *v = T::zero();
+        }
+    }
+
+    /// Matrix-vector product `A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != dim()`.
+    pub fn mul_vec(&self, x: &[T]) -> Vec<T> {
+        assert_eq!(x.len(), self.n);
+        let mut y = vec![T::zero(); self.n];
+        for r in 0..self.n {
+            let mut acc = T::zero();
+            let row = &self.data[r * self.n..(r + 1) * self.n];
+            for (a, xv) in row.iter().zip(x) {
+                acc = acc + *a * *xv;
+            }
+            y[r] = acc;
+        }
+        y
+    }
+
+    /// Solves `A·x = b` by LU factorisation with partial pivoting, without
+    /// modifying `self`.
+    ///
+    /// Returns `None` when the matrix is numerically singular (pivot below
+    /// `1e-300`) or a non-finite value appears.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != dim()`.
+    pub fn solve(&self, b: &[T]) -> Option<Vec<T>> {
+        assert_eq!(b.len(), self.n);
+        let mut lu = self.clone();
+        let mut x = b.to_vec();
+        lu.solve_in_place(&mut x)?;
+        Some(x)
+    }
+
+    /// Factorises in place and overwrites `b` with the solution.
+    ///
+    /// Returns `None` on singularity. The matrix contents are destroyed
+    /// either way.
+    pub fn solve_in_place(&mut self, b: &mut [T]) -> Option<()> {
+        let n = self.n;
+        let a = &mut self.data;
+        for k in 0..n {
+            // Partial pivot.
+            let mut p = k;
+            let mut best = a[k * n + k].magnitude();
+            for r in (k + 1)..n {
+                let m = a[r * n + k].magnitude();
+                if m > best {
+                    best = m;
+                    p = r;
+                }
+            }
+            if best.is_nan() || best <= 1e-300 || !best.is_finite() {
+                return None;
+            }
+            if p != k {
+                for c in 0..n {
+                    a.swap(k * n + c, p * n + c);
+                }
+                b.swap(k, p);
+            }
+            let pivot = a[k * n + k];
+            for r in (k + 1)..n {
+                let factor = a[r * n + k] / pivot;
+                if factor == T::zero() {
+                    continue;
+                }
+                a[r * n + k] = T::zero();
+                for c in (k + 1)..n {
+                    let sub = factor * a[k * n + c];
+                    a[r * n + c] = a[r * n + c] - sub;
+                }
+                b[r] = b[r] - factor * b[k];
+            }
+        }
+        // Back substitution.
+        for k in (0..n).rev() {
+            let mut acc = b[k];
+            for c in (k + 1)..n {
+                acc = acc - a[k * n + c] * b[c];
+            }
+            let v = acc / a[k * n + k];
+            if !v.finite() {
+                return None;
+            }
+            b[k] = v;
+        }
+        Some(())
+    }
+}
+
+impl<T: Scalar> std::ops::Index<(usize, usize)> for Matrix<T> {
+    type Output = T;
+    fn index(&self, (r, c): (usize, usize)) -> &T {
+        &self.data[r * self.n + c]
+    }
+}
+
+impl<T: Scalar> std::ops::IndexMut<(usize, usize)> for Matrix<T> {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut T {
+        &mut self.data[r * self.n + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let mut m: Matrix<f64> = Matrix::zeros(3);
+        for i in 0..3 {
+            m[(i, i)] = 1.0;
+        }
+        let x = m.solve(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solves_with_pivoting() {
+        // Leading zero forces a row swap.
+        let mut m: Matrix<f64> = Matrix::zeros(2);
+        m[(0, 0)] = 0.0;
+        m[(0, 1)] = 1.0;
+        m[(1, 0)] = 2.0;
+        m[(1, 1)] = 0.0;
+        let x = m.solve(&[3.0, 4.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-14);
+        assert!((x[1] - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn detects_singularity() {
+        let mut m: Matrix<f64> = Matrix::zeros(2);
+        m[(0, 0)] = 1.0;
+        m[(0, 1)] = 2.0;
+        m[(1, 0)] = 2.0;
+        m[(1, 1)] = 4.0;
+        assert!(m.solve(&[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn complex_solve() {
+        // (1+j) x = 2j  →  x = 2j/(1+j) = 1+j
+        let mut m: Matrix<Complex> = Matrix::zeros(1);
+        m[(0, 0)] = Complex::new(1.0, 1.0);
+        let x = m.solve(&[Complex::new(0.0, 2.0)]).unwrap();
+        assert!((x[0].re - 1.0).abs() < 1e-14);
+        assert!((x[0].im - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn residual_small_for_random_system() {
+        // Deterministic pseudo-random fill.
+        let n = 20;
+        let mut m: Matrix<f64> = Matrix::zeros(n);
+        let mut seed = 0x12345u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for r in 0..n {
+            for c in 0..n {
+                m[(r, c)] = next();
+            }
+            m[(r, r)] = m[(r, r)] + 10.0; // diagonally dominant → nonsingular
+        }
+        let b: Vec<f64> = (0..n).map(|_| next()).collect();
+        let x = m.solve(&b).unwrap();
+        let ax = m.mul_vec(&x);
+        let resid: f64 = ax
+            .iter()
+            .zip(&b)
+            .map(|(a, bb)| (a - bb).abs())
+            .fold(0.0, f64::max);
+        assert!(resid < 1e-10, "residual {resid}");
+    }
+
+    #[test]
+    fn stamp_accumulates() {
+        let mut m: Matrix<f64> = Matrix::zeros(2);
+        m.stamp(0, 0, 1.0);
+        m.stamp(0, 0, 2.0);
+        assert_eq!(m[(0, 0)], 3.0);
+        m.clear();
+        assert_eq!(m[(0, 0)], 0.0);
+    }
+}

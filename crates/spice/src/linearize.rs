@@ -1,0 +1,234 @@
+//! Extraction of the linearised `(G + sC)·x = b` system at an operating
+//! point.
+//!
+//! This is the form consumed by Asymptotic Waveform Evaluation (`ape-awe`):
+//! `G` holds every conductance and source constraint, `C` every capacitance
+//! and inductance, and `b` the AC excitation vector. The unknown ordering
+//! matches [`Unknowns`].
+
+use crate::dc::OperatingPoint;
+use crate::error::SpiceError;
+use crate::linalg::Matrix;
+use crate::mna::Unknowns;
+use ape_netlist::{Circuit, ElementKind, NodeId, Technology};
+
+/// The linearised frequency-domain system of a circuit at an operating point.
+#[derive(Debug, Clone)]
+pub struct LinearizedSystem {
+    /// Conductance/constraint matrix `G`.
+    pub g: Matrix<f64>,
+    /// Susceptance matrix `C` (enters as `s·C`).
+    pub c: Matrix<f64>,
+    /// Excitation vector from AC source magnitudes.
+    pub b: Vec<f64>,
+    /// Unknown ordering shared with the other analyses.
+    pub unknowns: Unknowns,
+}
+
+impl LinearizedSystem {
+    /// Row index of a node voltage unknown, or `None` for ground.
+    pub fn node_row(&self, node: NodeId) -> Option<usize> {
+        node.matrix_row().filter(|&r| r < self.unknowns.n_nodes)
+    }
+
+    /// System dimension.
+    pub fn dim(&self) -> usize {
+        self.g.dim()
+    }
+}
+
+/// Builds the linearised system of `circuit` at `op`.
+///
+/// # Errors
+///
+/// * [`SpiceError::UnknownModel`] for MOSFETs with missing cards.
+/// * [`SpiceError::BadCircuit`] if `op` does not belong to this circuit.
+pub fn linearize(
+    circuit: &Circuit,
+    tech: &Technology,
+    op: &OperatingPoint,
+) -> Result<LinearizedSystem, SpiceError> {
+    let u = Unknowns::for_circuit(circuit);
+    let n = u.dim();
+    let mut g = Matrix::<f64>::zeros(n);
+    let mut c = Matrix::<f64>::zeros(n);
+    let mut b = vec![0.0; n];
+    for r in 0..u.n_nodes {
+        g.stamp(r, r, 1e-12);
+    }
+
+    let g2 = |m: &mut Matrix<f64>, a: Option<usize>, bb: Option<usize>, v: f64| {
+        if let Some(ra) = a {
+            m.stamp(ra, ra, v);
+        }
+        if let Some(rb) = bb {
+            m.stamp(rb, rb, v);
+        }
+        if let (Some(ra), Some(rb)) = (a, bb) {
+            m.stamp(ra, rb, -v);
+            m.stamp(rb, ra, -v);
+        }
+    };
+    let gtrans = |m: &mut Matrix<f64>,
+                  a: Option<usize>,
+                  bb: Option<usize>,
+                  cp: Option<usize>,
+                  cn: Option<usize>,
+                  v: f64| {
+        for (row, sr) in [(a, 1.0), (bb, -1.0)] {
+            let Some(r) = row else { continue };
+            for (col, sc) in [(cp, 1.0), (cn, -1.0)] {
+                let Some(cc) = col else { continue };
+                m.stamp(r, cc, sr * sc * v);
+            }
+        }
+    };
+
+    for e in circuit.elements() {
+        let a = u.node_row(e.a);
+        let bb = u.node_row(e.b);
+        match &e.kind {
+            ElementKind::Resistor { ohms } => g2(&mut g, a, bb, 1.0 / ohms),
+            ElementKind::Capacitor { farads } => g2(&mut c, a, bb, *farads),
+            ElementKind::Inductor { henries } => {
+                let k = u.branch_row(e);
+                if let Some(ra) = a {
+                    g.stamp(ra, k, 1.0);
+                    g.stamp(k, ra, 1.0);
+                }
+                if let Some(rb) = bb {
+                    g.stamp(rb, k, -1.0);
+                    g.stamp(k, rb, -1.0);
+                }
+                c.stamp(k, k, -henries);
+            }
+            ElementKind::VoltageSource { ac_mag, .. } => {
+                let k = u.branch_row(e);
+                if let Some(ra) = a {
+                    g.stamp(ra, k, 1.0);
+                    g.stamp(k, ra, 1.0);
+                }
+                if let Some(rb) = bb {
+                    g.stamp(rb, k, -1.0);
+                    g.stamp(k, rb, -1.0);
+                }
+                b[k] += ac_mag;
+            }
+            ElementKind::CurrentSource { ac_mag, .. } => {
+                if let Some(ra) = a {
+                    b[ra] -= ac_mag;
+                }
+                if let Some(rb) = bb {
+                    b[rb] += ac_mag;
+                }
+            }
+            ElementKind::Vcvs { gain, cp, cn } => {
+                let k = u.branch_row(e);
+                if let Some(ra) = a {
+                    g.stamp(ra, k, 1.0);
+                    g.stamp(k, ra, 1.0);
+                }
+                if let Some(rb) = bb {
+                    g.stamp(rb, k, -1.0);
+                    g.stamp(k, rb, -1.0);
+                }
+                if let Some(rc) = u.node_row(*cp) {
+                    g.stamp(k, rc, -gain);
+                }
+                if let Some(rc) = u.node_row(*cn) {
+                    g.stamp(k, rc, *gain);
+                }
+            }
+            ElementKind::Vccs { gm, cp, cn } => {
+                gtrans(&mut g, a, bb, u.node_row(*cp), u.node_row(*cn), *gm);
+            }
+            ElementKind::Switch { cp, cn, vt, ron, roff } => {
+                let vc = op.voltage(*cp) - op.voltage(*cn);
+                let s = 1.0 / (1.0 + (-(vc - vt) / 0.05).exp());
+                let gv = 1.0 / roff + (1.0 / ron - 1.0 / roff) * s;
+                g2(&mut g, a, bb, gv);
+            }
+            ElementKind::Mosfet { model, source, bulk, .. } => {
+                let _ = tech
+                    .model(model)
+                    .ok_or_else(|| SpiceError::UnknownModel(model.clone()))?;
+                let info = op.mos.get(&e.name).ok_or_else(|| {
+                    SpiceError::BadCircuit(format!("operating point lacks MOSFET `{}`", e.name))
+                })?;
+                let d = a;
+                let g_row = bb;
+                let s_row = u.node_row(*source);
+                let b_row = u.node_row(*bulk);
+                g2(&mut g, d, s_row, info.eval.gds.max(0.0));
+                gtrans(&mut g, d, s_row, g_row, s_row, info.eval.gm);
+                gtrans(&mut g, d, s_row, b_row, s_row, info.eval.gmb);
+                g2(&mut c, g_row, s_row, info.caps.cgs);
+                g2(&mut c, g_row, d, info.caps.cgd);
+                g2(&mut c, g_row, b_row, info.caps.cgb);
+                g2(&mut c, d, b_row, info.caps.cdb);
+                g2(&mut c, s_row, b_row, info.caps.csb);
+            }
+            other => {
+                return Err(SpiceError::BadCircuit(format!(
+                    "unsupported element kind {other:?} in linearisation"
+                )))
+            }
+        }
+    }
+    Ok(LinearizedSystem { g, c, b, unknowns: u })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::Complex;
+    use crate::dc::dc_operating_point;
+    use crate::{ac_sweep, decade_frequencies};
+    use ape_netlist::{Circuit, SourceWaveform, Technology};
+
+    #[test]
+    fn linearized_matches_ac_for_rc() {
+        let mut ckt = Circuit::new("rc");
+        let i = ckt.node("in");
+        let o = ckt.node("out");
+        ckt.add_vsource("V1", i, Circuit::GROUND, 0.0, 1.0, SourceWaveform::Dc)
+            .unwrap();
+        ckt.add_resistor("R1", i, o, 1e3).unwrap();
+        ckt.add_capacitor("C1", o, Circuit::GROUND, 1e-9).unwrap();
+        let tech = Technology::default_1p2um();
+        let op = dc_operating_point(&ckt, &tech).unwrap();
+        let sys = linearize(&ckt, &tech, &op).unwrap();
+
+        // Solve (G + jwC)x = b at 1 MHz by building the complex matrix.
+        let w = 2.0 * std::f64::consts::PI * 1e6;
+        let n = sys.dim();
+        let mut m = crate::linalg::Matrix::<Complex>::zeros(n);
+        for r in 0..n {
+            for c2 in 0..n {
+                m[(r, c2)] = Complex::new(sys.g[(r, c2)], w * sys.c[(r, c2)]);
+            }
+        }
+        let rhs: Vec<Complex> = sys.b.iter().map(|&v| Complex::real(v)).collect();
+        let x = m.solve(&rhs).unwrap();
+        let row = sys.node_row(o).unwrap();
+
+        let sweep = ac_sweep(&ckt, &tech, &op, &[1e6]).unwrap();
+        let direct = sweep.voltage(0, o);
+        assert!((x[row].norm() - direct.norm()).abs() < 1e-9);
+        assert!((x[row].arg() - direct.arg()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dimension_matches_unknowns() {
+        let mut ckt = Circuit::new("t");
+        let a = ckt.node("a");
+        ckt.add_vsource("V1", a, Circuit::GROUND, 1.0, 1.0, SourceWaveform::Dc)
+            .unwrap();
+        ckt.add_resistor("R1", a, Circuit::GROUND, 1e3).unwrap();
+        let tech = Technology::default_1p2um();
+        let op = dc_operating_point(&ckt, &tech).unwrap();
+        let sys = linearize(&ckt, &tech, &op).unwrap();
+        assert_eq!(sys.dim(), 2); // node a + V1 branch
+        let _ = decade_frequencies(1.0, 10.0, 1); // silence unused import lint path
+    }
+}

@@ -1,0 +1,306 @@
+//! Measurement extraction from analysis results.
+//!
+//! These functions turn raw sweeps and waveforms into the performance
+//! numbers the paper's tables report: DC gain, unity-gain frequency,
+//! −3 dB bandwidth, phase margin, slew rate, delays and settling times.
+
+use crate::ac::AcSweep;
+use crate::error::SpiceError;
+use crate::tran::Transient;
+use ape_netlist::NodeId;
+
+/// Low-frequency gain magnitude at `node` (first sweep point).
+///
+/// # Panics
+///
+/// Panics on an empty sweep.
+pub fn dc_gain(sweep: &AcSweep, node: NodeId) -> f64 {
+    sweep.voltage(0, node).norm()
+}
+
+/// Log-log interpolated frequency where the magnitude at `node` crosses 1.
+///
+/// # Errors
+///
+/// [`SpiceError::MeasureFailed`] when the response never crosses unity
+/// from above within the sweep.
+pub fn unity_gain_frequency(sweep: &AcSweep, node: NodeId) -> Result<f64, SpiceError> {
+    crossing_frequency(sweep, node, 1.0)
+}
+
+/// Frequency where the magnitude drops to `1/√2` of its first-point value.
+///
+/// # Errors
+///
+/// [`SpiceError::MeasureFailed`] when the response never falls below the
+/// −3 dB level within the sweep.
+pub fn bandwidth_3db(sweep: &AcSweep, node: NodeId) -> Result<f64, SpiceError> {
+    let level = dc_gain(sweep, node) / 2f64.sqrt();
+    crossing_frequency(sweep, node, level)
+}
+
+/// Frequency where the magnitude first falls below `level` (log-log
+/// interpolated).
+///
+/// # Errors
+///
+/// [`SpiceError::MeasureFailed`] if the curve stays above `level`.
+pub fn crossing_frequency(sweep: &AcSweep, node: NodeId, level: f64) -> Result<f64, SpiceError> {
+    let mags = sweep.magnitude(node);
+    if mags.is_empty() {
+        return Err(SpiceError::MeasureFailed("empty sweep".into()));
+    }
+    if mags[0] < level {
+        return Err(SpiceError::MeasureFailed(format!(
+            "response starts below level {level}"
+        )));
+    }
+    for k in 1..mags.len() {
+        if mags[k] < level {
+            let (f0, f1) = (sweep.freqs[k - 1], sweep.freqs[k]);
+            let (m0, m1) = (mags[k - 1].max(1e-30), mags[k].max(1e-30));
+            let t = (level.ln() - m0.ln()) / (m1.ln() - m0.ln());
+            return Ok(f0 * (f1 / f0).powf(t.clamp(0.0, 1.0)));
+        }
+    }
+    Err(SpiceError::MeasureFailed(format!(
+        "response never crosses level {level} up to {} Hz",
+        sweep.freqs.last().copied().unwrap_or(0.0)
+    )))
+}
+
+/// Phase margin in degrees: `180° + ∠H(j·ω_ugf)`.
+///
+/// # Errors
+///
+/// Propagates [`unity_gain_frequency`] failures.
+pub fn phase_margin(sweep: &AcSweep, node: NodeId) -> Result<f64, SpiceError> {
+    let fu = unity_gain_frequency(sweep, node)?;
+    let ph = sweep.phase_unwrapped(node);
+    // Interpolate unwrapped phase at fu.
+    let mut phase_at = ph[0];
+    for k in 1..sweep.freqs.len() {
+        if sweep.freqs[k] >= fu {
+            let (f0, f1) = (sweep.freqs[k - 1], sweep.freqs[k]);
+            let t = ((fu / f0).ln() / (f1 / f0).ln()).clamp(0.0, 1.0);
+            phase_at = ph[k - 1] + (ph[k] - ph[k - 1]) * t;
+            break;
+        }
+        phase_at = ph[k];
+    }
+    Ok(180.0 + phase_at.to_degrees())
+}
+
+/// Maximum slope magnitude of the waveform at `node`, volts/second.
+///
+/// Returns 0 for waveforms with fewer than two samples.
+pub fn slew_rate(tran: &Transient, node: NodeId) -> f64 {
+    let w = tran.waveform(node);
+    w.windows(2)
+        .map(|p| {
+            let dt = p[1].0 - p[0].0;
+            if dt > 0.0 {
+                ((p[1].1 - p[0].1) / dt).abs()
+            } else {
+                0.0
+            }
+        })
+        .fold(0.0, f64::max)
+}
+
+/// Slew rate measured between the 20 % and 80 % crossings of a step from
+/// `v_start` to `v_end`, volts/second. Immune to the capacitive
+/// feedthrough spike of the driving edge that inflates [`slew_rate`].
+///
+/// Returns `None` when the waveform never completes the 20–80 % traversal.
+pub fn slew_rate_20_80(tran: &Transient, node: NodeId, v_start: f64, v_end: f64) -> Option<f64> {
+    let rising = v_end > v_start;
+    let lo = v_start + 0.2 * (v_end - v_start);
+    let hi = v_start + 0.8 * (v_end - v_start);
+    let t_lo = crossing_time(tran, node, lo, rising)?;
+    let t_hi = crossing_time(tran, node, hi, rising)?;
+    if t_hi <= t_lo {
+        return None;
+    }
+    Some((hi - lo).abs() / (t_hi - t_lo))
+}
+
+/// First time the waveform at `node` crosses `level` in the requested
+/// direction, linearly interpolated.
+pub fn crossing_time(tran: &Transient, node: NodeId, level: f64, rising: bool) -> Option<f64> {
+    let w = tran.waveform(node);
+    for p in w.windows(2) {
+        let (t0, v0) = p[0];
+        let (t1, v1) = p[1];
+        let hit = if rising {
+            v0 < level && v1 >= level
+        } else {
+            v0 > level && v1 <= level
+        };
+        if hit {
+            let t = t0 + (t1 - t0) * (level - v0) / (v1 - v0);
+            return Some(t);
+        }
+    }
+    None
+}
+
+/// Last time the waveform leaves the band `final_value ± tol·|final_value|`;
+/// `None` when the waveform never settles inside the band.
+pub fn settling_time(tran: &Transient, node: NodeId, final_value: f64, tol: f64) -> Option<f64> {
+    let band = tol * final_value.abs().max(1e-12);
+    let w = tran.waveform(node);
+    let mut last_outside = None;
+    let mut ever_inside = false;
+    for &(t, v) in &w {
+        if (v - final_value).abs() > band {
+            last_outside = Some(t);
+        } else {
+            ever_inside = true;
+        }
+    }
+    if !ever_inside {
+        return None;
+    }
+    match last_outside {
+        None => Some(0.0),
+        Some(t) if t < w.last().map(|p| p.0).unwrap_or(0.0) => Some(t),
+        Some(_) => None, // still outside at the end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ac::{ac_sweep, decade_frequencies};
+    use crate::dc::dc_operating_point;
+    use crate::tran::{transient, TranOptions};
+    use ape_netlist::{Circuit, SourceWaveform, Technology};
+
+    fn rc(r: f64, c: f64) -> (Circuit, NodeId) {
+        let mut ckt = Circuit::new("rc");
+        let i = ckt.node("in");
+        let o = ckt.node("out");
+        ckt.add_vsource("V1", i, Circuit::GROUND, 0.0, 1.0, SourceWaveform::Dc)
+            .unwrap();
+        ckt.add_resistor("R1", i, o, r).unwrap();
+        ckt.add_capacitor("C1", o, Circuit::GROUND, c).unwrap();
+        (ckt, o)
+    }
+
+    #[test]
+    fn bandwidth_of_rc() {
+        let (ckt, o) = rc(1e3, 1e-9);
+        let tech = Technology::default_1p2um();
+        let op = dc_operating_point(&ckt, &tech).unwrap();
+        let sweep = ac_sweep(&ckt, &tech, &op, &decade_frequencies(1e3, 1e8, 20)).unwrap();
+        let f3 = bandwidth_3db(&sweep, o).unwrap();
+        let expect = 1.0 / (2.0 * std::f64::consts::PI * 1e3 * 1e-9);
+        assert!((f3 - expect).abs() / expect < 0.02, "f3 = {f3}");
+    }
+
+    #[test]
+    fn ugf_requires_gain_above_one() {
+        let (ckt, o) = rc(1e3, 1e-9);
+        let tech = Technology::default_1p2um();
+        let op = dc_operating_point(&ckt, &tech).unwrap();
+        let sweep = ac_sweep(&ckt, &tech, &op, &decade_frequencies(1e3, 1e4, 5)).unwrap();
+        // Unity-gain passband: the magnitude starts at 1 and the crossing is
+        // at best marginal; asking for a crossing of 2 must fail cleanly.
+        assert!(crossing_frequency(&sweep, o, 2.0).is_err());
+    }
+
+    #[test]
+    fn amplified_rc_has_ugf_above_pole() {
+        // VCVS gain 100 before the RC: UGF = 100× pole² ... in a single-pole
+        // system UGF = A0 * f_pole.
+        let mut ckt = Circuit::new("amprc");
+        let i = ckt.node("in");
+        let m = ckt.node("mid");
+        let o = ckt.node("out");
+        ckt.add_vsource("V1", i, Circuit::GROUND, 0.0, 1.0, SourceWaveform::Dc)
+            .unwrap();
+        ckt.add_vcvs("E1", m, Circuit::GROUND, i, Circuit::GROUND, 100.0)
+            .unwrap();
+        ckt.add_resistor("R1", m, o, 1e3).unwrap();
+        ckt.add_capacitor("C1", o, Circuit::GROUND, 1e-9).unwrap();
+        let tech = Technology::default_1p2um();
+        let op = dc_operating_point(&ckt, &tech).unwrap();
+        let sweep = ac_sweep(&ckt, &tech, &op, &decade_frequencies(1e3, 1e9, 20)).unwrap();
+        let fp = 1.0 / (2.0 * std::f64::consts::PI * 1e3 * 1e-9);
+        let fu = unity_gain_frequency(&sweep, o).unwrap();
+        assert!((fu - 100.0 * fp).abs() / (100.0 * fp) < 0.05, "fu = {fu}");
+        let pm = phase_margin(&sweep, o).unwrap();
+        assert!((pm - 90.0).abs() < 3.0, "single-pole PM should be 90°, got {pm}");
+        assert!((dc_gain(&sweep, o) - 100.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn slew_and_crossing_on_step() {
+        let mut ckt = Circuit::new("step");
+        let i = ckt.node("in");
+        let o = ckt.node("out");
+        ckt.add_vsource(
+            "V1",
+            i,
+            Circuit::GROUND,
+            0.0,
+            0.0,
+            SourceWaveform::Pulse {
+                v1: 0.0,
+                v2: 1.0,
+                delay: 1e-6,
+                rise: 1e-9,
+                fall: 1e-9,
+                width: 1.0,
+                period: f64::INFINITY,
+            },
+        )
+        .unwrap();
+        ckt.add_resistor("R1", i, o, 1e3).unwrap();
+        ckt.add_capacitor("C1", o, Circuit::GROUND, 1e-9).unwrap();
+        let tech = Technology::default_1p2um();
+        let op = dc_operating_point(&ckt, &tech).unwrap();
+        let tr = transient(&ckt, &tech, &op, TranOptions::new(2e-8, 8e-6)).unwrap();
+        // RC slew is V/(RC) at the step: 1e6 V/s.
+        let sr = slew_rate(&tr, o);
+        assert!((sr - 1e6).abs() / 1e6 < 0.25, "slew {sr}");
+        let t50 = crossing_time(&tr, o, 0.5, true).unwrap();
+        // 50% crossing at delay + 0.693·τ.
+        let expect = 1e-6 + 0.693e-6;
+        assert!((t50 - expect).abs() < 0.1e-6, "t50 = {t50}");
+        let ts = settling_time(&tr, o, 1.0, 0.01).unwrap();
+        // 1% settling at delay + 4.6·τ.
+        assert!((ts - (1e-6 + 4.6e-6)).abs() < 0.5e-6, "ts = {ts}");
+    }
+
+    #[test]
+    fn settling_never_reports_unsettled() {
+        let mut ckt = Circuit::new("slow");
+        let i = ckt.node("in");
+        let o = ckt.node("out");
+        ckt.add_vsource(
+            "V1",
+            i,
+            Circuit::GROUND,
+            0.0,
+            0.0,
+            SourceWaveform::Pulse {
+                v1: 0.0,
+                v2: 1.0,
+                delay: 0.0,
+                rise: 1e-9,
+                fall: 1e-9,
+                width: 1.0,
+                period: f64::INFINITY,
+            },
+        )
+        .unwrap();
+        ckt.add_resistor("R1", i, o, 1e6).unwrap();
+        ckt.add_capacitor("C1", o, Circuit::GROUND, 1e-6).unwrap(); // τ = 1 s
+        let tech = Technology::default_1p2um();
+        let op = dc_operating_point(&ckt, &tech).unwrap();
+        let tr = transient(&ckt, &tech, &op, TranOptions::new(1e-4, 1e-2)).unwrap();
+        assert!(settling_time(&tr, o, 1.0, 0.01).is_none());
+    }
+}

@@ -1,0 +1,99 @@
+//! Modified-nodal-analysis bookkeeping shared by every analysis.
+//!
+//! The unknown vector is `[v_1 … v_N, i_b1 … i_bM]`: one voltage per
+//! non-ground node followed by one branch current per voltage-defined
+//! element (independent voltage sources, VCVS, inductors).
+
+use ape_netlist::{Circuit, Element, NodeId};
+use std::collections::BTreeMap;
+
+/// Index map from circuit topology to MNA unknown positions.
+#[derive(Debug, Clone)]
+pub struct Unknowns {
+    /// Number of non-ground node voltages.
+    pub n_nodes: usize,
+    /// Branch-current row offsets by element name.
+    branch: BTreeMap<String, usize>,
+}
+
+impl Unknowns {
+    /// Builds the index map for a circuit.
+    pub fn for_circuit(circuit: &Circuit) -> Self {
+        let n_nodes = circuit.num_nodes() - 1;
+        let mut branch = BTreeMap::new();
+        let mut next = n_nodes;
+        for e in circuit.elements() {
+            if e.needs_branch_current() {
+                branch.insert(e.name.clone(), next);
+                next += 1;
+            }
+        }
+        Unknowns { n_nodes, branch }
+    }
+
+    /// Total system dimension (nodes + branches).
+    pub fn dim(&self) -> usize {
+        self.n_nodes + self.branch.len()
+    }
+
+    /// Row of a node voltage, or `None` for ground.
+    pub fn node_row(&self, n: NodeId) -> Option<usize> {
+        n.matrix_row()
+    }
+
+    /// Row of an element's branch current.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element has no branch current (callers only ask for
+    /// voltage-defined elements).
+    pub fn branch_row(&self, e: &Element) -> usize {
+        self.branch[&e.name]
+    }
+
+    /// Looks up a branch row by element name.
+    pub fn branch_row_by_name(&self, name: &str) -> Option<usize> {
+        self.branch.get(name).copied()
+    }
+
+    /// Voltage of node `n` under solution vector `x` (0 for ground).
+    pub fn voltage(&self, x: &[f64], n: NodeId) -> f64 {
+        match n.matrix_row() {
+            Some(r) => x[r],
+            None => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ape_netlist::Circuit;
+
+    #[test]
+    fn unknown_layout() {
+        let mut c = Circuit::new("t");
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_vdc("V1", a, Circuit::GROUND, 1.0);
+        c.add_resistor("R1", a, b, 1.0).unwrap();
+        c.add_inductor("L1", b, Circuit::GROUND, 1e-3).unwrap();
+        let u = Unknowns::for_circuit(&c);
+        assert_eq!(u.n_nodes, 2);
+        assert_eq!(u.dim(), 4); // 2 nodes + V1 + L1
+        assert_eq!(u.branch_row_by_name("V1"), Some(2));
+        assert_eq!(u.branch_row_by_name("L1"), Some(3));
+        assert_eq!(u.branch_row_by_name("R1"), None);
+    }
+
+    #[test]
+    fn voltage_reads_ground_as_zero() {
+        let mut c = Circuit::new("t");
+        let a = c.node("a");
+        c.add_resistor("R1", a, Circuit::GROUND, 1.0).unwrap();
+        let u = Unknowns::for_circuit(&c);
+        let x = vec![3.3];
+        assert_eq!(u.voltage(&x, a), 3.3);
+        assert_eq!(u.voltage(&x, Circuit::GROUND), 0.0);
+    }
+}

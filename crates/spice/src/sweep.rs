@@ -1,0 +1,169 @@
+//! DC sweep analysis: the operating point re-solved over a range of one
+//! source's value, warm-starting each step from the previous solution.
+//!
+//! Used for transfer curves (comparator thresholds, DAC staircases,
+//! amplifier large-signal characteristics).
+
+use crate::dc::{dc_operating_point_with, DcOptions, OperatingPoint};
+use crate::error::SpiceError;
+use ape_netlist::{Circuit, ElementKind, NodeId, Technology};
+
+/// Result of a DC sweep: one operating point per swept value.
+#[derive(Debug, Clone)]
+pub struct DcSweep {
+    /// The swept source values.
+    pub values: Vec<f64>,
+    /// The operating point at each value.
+    pub points: Vec<OperatingPoint>,
+}
+
+impl DcSweep {
+    /// Voltage of `node` across the sweep.
+    pub fn voltages(&self, node: NodeId) -> Vec<f64> {
+        self.points.iter().map(|p| p.voltage(node)).collect()
+    }
+
+    /// The swept value where `node` first crosses `level` (linearly
+    /// interpolated), if it does.
+    pub fn crossing(&self, node: NodeId, level: f64) -> Option<f64> {
+        let v = self.voltages(node);
+        for k in 1..v.len() {
+            let (a, b) = (v[k - 1], v[k]);
+            if (a < level && b >= level) || (a > level && b <= level) {
+                let t = (level - a) / (b - a);
+                return Some(self.values[k - 1] + t * (self.values[k] - self.values[k - 1]));
+            }
+        }
+        None
+    }
+
+    /// Number of sweep points.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when the sweep is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// Sweeps the DC value of the named independent source over `values`,
+/// solving the operating point at each step.
+///
+/// # Errors
+///
+/// * [`SpiceError::BadCircuit`] when `source` is not an independent V/I
+///   source of the circuit.
+/// * DC convergence errors at any sweep point.
+pub fn dc_sweep(
+    circuit: &Circuit,
+    tech: &Technology,
+    source: &str,
+    values: &[f64],
+) -> Result<DcSweep, SpiceError> {
+    let Some(e) = circuit.element(source) else {
+        return Err(SpiceError::BadCircuit(format!("no element named `{source}`")));
+    };
+    if !matches!(
+        e.kind,
+        ElementKind::VoltageSource { .. } | ElementKind::CurrentSource { .. }
+    ) {
+        return Err(SpiceError::BadCircuit(format!(
+            "`{source}` is not an independent source"
+        )));
+    }
+    let mut work = circuit.clone();
+    let mut points = Vec::with_capacity(values.len());
+    for &v in values {
+        set_source_dc(&mut work, source, v);
+        // Warm-starting across the sweep would be faster; correctness first:
+        // each point gets the full ladder of convergence aids.
+        let op = dc_operating_point_with(&work, tech, DcOptions::default())?;
+        points.push(op);
+    }
+    Ok(DcSweep {
+        values: values.to_vec(),
+        points,
+    })
+}
+
+fn set_source_dc(circuit: &mut Circuit, name: &str, value: f64) {
+    if let Some(e) = circuit.element_mut(name) {
+        match &mut e.kind {
+            ElementKind::VoltageSource { dc, .. } | ElementKind::CurrentSource { dc, .. } => {
+                *dc = value;
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ape_netlist::{Circuit, MosGeometry, MosPolarity};
+
+    #[test]
+    fn divider_sweep_is_linear() {
+        let mut c = Circuit::new("div");
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_vdc("V1", a, Circuit::GROUND, 0.0);
+        c.add_resistor("R1", a, b, 1e3).unwrap();
+        c.add_resistor("R2", b, Circuit::GROUND, 1e3).unwrap();
+        let tech = Technology::default_1p2um();
+        let values: Vec<f64> = (0..=10).map(|k| k as f64 * 0.5).collect();
+        let sweep = dc_sweep(&c, &tech, "V1", &values).unwrap();
+        for (k, v) in values.iter().enumerate() {
+            assert!((sweep.points[k].voltage(b) - v / 2.0).abs() < 1e-6);
+        }
+        // Crossing of 1.25 V at input 2.5 V.
+        let x = sweep.crossing(b, 1.25).unwrap();
+        assert!((x - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn inverter_transfer_curve() {
+        // NMOS common source with resistive load: output falls as input
+        // rises; the sweep finds the switching threshold.
+        let tech = Technology::default_1p2um();
+        let mut c = Circuit::new("inv");
+        let vdd = c.node("vdd");
+        let g = c.node("g");
+        let d = c.node("d");
+        c.add_vdc("VDD", vdd, Circuit::GROUND, 5.0);
+        c.add_vdc("VIN", g, Circuit::GROUND, 0.0);
+        c.add_resistor("RD", vdd, d, 50e3).unwrap();
+        c.add_mosfet(
+            "M1",
+            d,
+            g,
+            Circuit::GROUND,
+            Circuit::GROUND,
+            MosPolarity::Nmos,
+            "CMOSN",
+            MosGeometry::new(10e-6, 2.4e-6),
+        )
+        .unwrap();
+        let values: Vec<f64> = (0..=25).map(|k| k as f64 * 0.1).collect();
+        let sweep = dc_sweep(&c, &tech, "VIN", &values).unwrap();
+        let v = sweep.voltages(d);
+        assert!(v[0] > 4.9, "off: {}", v[0]);
+        assert!(*v.last().unwrap() < 1.0, "on: {}", v.last().unwrap());
+        assert!(v.windows(2).all(|w| w[1] <= w[0] + 1e-9), "monotone fall");
+        let vth_sw = sweep.crossing(d, 2.5).unwrap();
+        assert!(vth_sw > 0.8 && vth_sw < 1.6, "switching point {vth_sw}");
+    }
+
+    #[test]
+    fn rejects_non_sources() {
+        let mut c = Circuit::new("t");
+        let a = c.node("a");
+        c.add_vdc("V1", a, Circuit::GROUND, 1.0);
+        c.add_resistor("R1", a, Circuit::GROUND, 1e3).unwrap();
+        let tech = Technology::default_1p2um();
+        assert!(dc_sweep(&c, &tech, "R1", &[1.0]).is_err());
+        assert!(dc_sweep(&c, &tech, "NOPE", &[1.0]).is_err());
+    }
+}

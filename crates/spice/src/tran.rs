@@ -1,0 +1,488 @@
+//! Transient analysis.
+//!
+//! Trapezoidal integration with Newton-Raphson at every time point. MOS
+//! intrinsic/junction capacitances are frozen at their DC operating-point
+//! values (quasi-static small-capacitance approximation) — adequate for the
+//! slew/settling/delay measurements the reproduction needs and documented in
+//! `DESIGN.md`. Steps that fail to converge are halved recursively.
+
+use crate::dc::{stamp_nonreactive, OperatingPoint, SourceValue};
+use crate::error::SpiceError;
+use crate::linalg::Matrix;
+use crate::mna::Unknowns;
+use ape_netlist::{Circuit, ElementKind, NodeId, Technology};
+
+/// Options controlling a transient run.
+#[derive(Debug, Clone, Copy)]
+pub struct TranOptions {
+    /// Output/base time step, seconds.
+    pub tstep: f64,
+    /// Stop time, seconds.
+    pub tstop: f64,
+    /// Maximum Newton iterations per time point.
+    pub max_newton: usize,
+    /// Maximum number of recursive step halvings before giving up.
+    pub max_halvings: usize,
+}
+
+impl TranOptions {
+    /// Creates options for a run to `tstop` with step `tstep`.
+    pub fn new(tstep: f64, tstop: f64) -> Self {
+        TranOptions {
+            tstep,
+            tstop,
+            max_newton: 60,
+            max_halvings: 12,
+        }
+    }
+}
+
+/// A completed transient simulation: node voltages sampled over time.
+#[derive(Debug, Clone)]
+pub struct Transient {
+    /// Sample times, seconds.
+    pub times: Vec<f64>,
+    samples: Vec<Vec<f64>>,
+    n_nodes: usize,
+}
+
+impl Transient {
+    /// Voltage of `node` at sample `k`.
+    pub fn voltage(&self, k: usize, node: NodeId) -> f64 {
+        match node.matrix_row() {
+            Some(r) if r < self.n_nodes => self.samples[k][r],
+            _ => 0.0,
+        }
+    }
+
+    /// The full `(t, v)` waveform of a node.
+    pub fn waveform(&self, node: NodeId) -> Vec<(f64, f64)> {
+        (0..self.times.len())
+            .map(|k| (self.times[k], self.voltage(k, node)))
+            .collect()
+    }
+
+    /// Number of stored samples.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// `true` when no samples were stored.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+}
+
+/// One linear capacitor-like companion element with trapezoidal state.
+struct CapState {
+    a: NodeId,
+    b: NodeId,
+    c: f64,
+    v_prev: f64,
+    i_prev: f64,
+}
+
+struct IndState {
+    name: String,
+    a: NodeId,
+    b: NodeId,
+    l: f64,
+    v_prev: f64,
+    i_prev: f64,
+}
+
+/// Runs a transient analysis starting from the DC operating point `op`.
+///
+/// # Errors
+///
+/// * [`SpiceError::NoConvergence`] if a time step cannot converge even after
+///   `max_halvings` halvings.
+/// * [`SpiceError::SingularMatrix`] for singular systems.
+pub fn transient(
+    circuit: &Circuit,
+    tech: &Technology,
+    op: &OperatingPoint,
+    opts: TranOptions,
+) -> Result<Transient, SpiceError> {
+    let u = Unknowns::for_circuit(circuit);
+    let n = u.dim();
+    let mut x = op.solution().to_vec();
+    if x.len() != n {
+        return Err(SpiceError::BadCircuit(
+            "operating point does not match circuit".into(),
+        ));
+    }
+
+    // Collect capacitive elements: explicit capacitors plus the five MOS
+    // capacitances recorded in the operating point.
+    let mut caps: Vec<CapState> = Vec::new();
+    let mut inds: Vec<IndState> = Vec::new();
+    for e in circuit.elements() {
+        match &e.kind {
+            ElementKind::Capacitor { farads } => caps.push(CapState {
+                a: e.a,
+                b: e.b,
+                c: *farads,
+                v_prev: 0.0,
+                i_prev: 0.0,
+            }),
+            ElementKind::Inductor { henries } => inds.push(IndState {
+                name: e.name.clone(),
+                a: e.a,
+                b: e.b,
+                l: *henries,
+                v_prev: 0.0,
+                i_prev: 0.0,
+            }),
+            ElementKind::Mosfet { .. } => {
+                if let Some(info) = op.mos.get(&e.name) {
+                    let pairs = [
+                        (info.gate, info.source, info.caps.cgs),
+                        (info.gate, info.drain, info.caps.cgd),
+                        (info.gate, info.bulk, info.caps.cgb),
+                        (info.drain, info.bulk, info.caps.cdb),
+                        (info.source, info.bulk, info.caps.csb),
+                    ];
+                    for (a, b, c) in pairs {
+                        if c > 0.0 && a != b {
+                            caps.push(CapState {
+                                a,
+                                b,
+                                c,
+                                v_prev: 0.0,
+                                i_prev: 0.0,
+                            });
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    // Initialise companion states from the operating point.
+    for cs in &mut caps {
+        cs.v_prev = u.voltage(&x, cs.a) - u.voltage(&x, cs.b);
+        cs.i_prev = 0.0;
+    }
+    for is in &mut inds {
+        is.v_prev = 0.0;
+        is.i_prev = u
+            .branch_row_by_name(&is.name)
+            .map(|r| x[r])
+            .unwrap_or(0.0);
+    }
+
+    let mut times = vec![0.0];
+    let mut samples = vec![x[..u.n_nodes].to_vec()];
+    let mut t = 0.0;
+    let mut mat = Matrix::<f64>::zeros(n);
+
+    while t < opts.tstop - 1e-18 {
+        let h_out = opts.tstep.min(opts.tstop - t);
+        step_adaptive(
+            circuit, tech, &u, &mut x, &mut mat, &mut caps, &mut inds, t, h_out, opts, 0,
+        )?;
+        t += h_out;
+        times.push(t);
+        samples.push(x[..u.n_nodes].to_vec());
+    }
+
+    Ok(Transient {
+        times,
+        samples,
+        n_nodes: u.n_nodes,
+    })
+}
+
+/// Advances the solution by `h`, recursively halving on failure.
+#[allow(clippy::too_many_arguments)]
+fn step_adaptive(
+    circuit: &Circuit,
+    tech: &Technology,
+    u: &Unknowns,
+    x: &mut Vec<f64>,
+    mat: &mut Matrix<f64>,
+    caps: &mut [CapState],
+    inds: &mut [IndState],
+    t: f64,
+    h: f64,
+    opts: TranOptions,
+    depth: usize,
+) -> Result<(), SpiceError> {
+    let saved_x = x.clone();
+    let saved_caps: Vec<(f64, f64)> = caps.iter().map(|c| (c.v_prev, c.i_prev)).collect();
+    let saved_inds: Vec<(f64, f64)> = inds.iter().map(|l| (l.v_prev, l.i_prev)).collect();
+
+    match step_once(circuit, tech, u, x, mat, caps, inds, t + h, h, opts) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            if depth >= opts.max_halvings {
+                return Err(e);
+            }
+            // Restore and take two half steps.
+            *x = saved_x;
+            for (c, (v, i)) in caps.iter_mut().zip(&saved_caps) {
+                c.v_prev = *v;
+                c.i_prev = *i;
+            }
+            for (l, (v, i)) in inds.iter_mut().zip(&saved_inds) {
+                l.v_prev = *v;
+                l.i_prev = *i;
+            }
+            let h2 = h / 2.0;
+            step_adaptive(circuit, tech, u, x, mat, caps, inds, t, h2, opts, depth + 1)?;
+            step_adaptive(circuit, tech, u, x, mat, caps, inds, t + h2, h2, opts, depth + 1)
+        }
+    }
+}
+
+/// One trapezoidal step to absolute time `t_new` with step `h`.
+#[allow(clippy::too_many_arguments)]
+fn step_once(
+    circuit: &Circuit,
+    tech: &Technology,
+    u: &Unknowns,
+    x: &mut [f64],
+    mat: &mut Matrix<f64>,
+    caps: &mut [CapState],
+    inds: &mut [IndState],
+    t_new: f64,
+    h: f64,
+    opts: TranOptions,
+) -> Result<(), SpiceError> {
+    let n = u.dim();
+    let mut converged = false;
+    for _ in 0..opts.max_newton {
+        mat.clear();
+        let mut rhs = vec![0.0; n];
+        stamp_nonreactive(
+            circuit,
+            tech,
+            u,
+            x,
+            mat,
+            &mut rhs,
+            1e-12,
+            SourceValue::AtTime(t_new),
+        )?;
+        // Trapezoidal companions. i_new = geq·v_new − (geq·v_prev + i_prev).
+        for cs in caps.iter() {
+            let geq = 2.0 * cs.c / h;
+            let ieq = -(geq * cs.v_prev + cs.i_prev);
+            let (a, b) = (u.node_row(cs.a), u.node_row(cs.b));
+            if let Some(ra) = a {
+                mat.stamp(ra, ra, geq);
+                rhs[ra] -= ieq;
+            }
+            if let Some(rb) = b {
+                mat.stamp(rb, rb, geq);
+                rhs[rb] += ieq;
+            }
+            if let (Some(ra), Some(rb)) = (a, b) {
+                mat.stamp(ra, rb, -geq);
+                mat.stamp(rb, ra, -geq);
+            }
+        }
+        // Inductor branch rows: v − (2L/h)·i = −v_prev − (2L/h)·i_prev.
+        for is in inds.iter() {
+            let Some(k) = u.branch_row_by_name(&is.name) else { continue };
+            let (a, b) = (u.node_row(is.a), u.node_row(is.b));
+            if let Some(ra) = a {
+                mat.stamp(ra, k, 1.0);
+                mat.stamp(k, ra, 1.0);
+            }
+            if let Some(rb) = b {
+                mat.stamp(rb, k, -1.0);
+                mat.stamp(k, rb, -1.0);
+            }
+            let zl = 2.0 * is.l / h;
+            mat.stamp(k, k, -zl);
+            rhs[k] += -is.v_prev - zl * is.i_prev;
+        }
+        let sol = mat
+            .solve(&rhs)
+            .ok_or(SpiceError::SingularMatrix { analysis: "tran" })?;
+        let mut worst = 0.0f64;
+        for r in 0..n {
+            let delta = sol[r] - x[r];
+            let lim = if r < u.n_nodes { 0.6 } else { f64::INFINITY };
+            x[r] += delta.clamp(-lim, lim);
+            let scale = 1e-6 + 1e-6 * sol[r].abs();
+            worst = worst.max(delta.abs() / scale);
+        }
+        if worst < 1.0 {
+            converged = true;
+            break;
+        }
+    }
+    if !converged {
+        return Err(SpiceError::NoConvergence {
+            analysis: "tran",
+            detail: format!("time {t_new:.3e} step {h:.3e}"),
+        });
+    }
+    // Update companion states with converged values.
+    for cs in caps.iter_mut() {
+        let v_new = u.voltage(x, cs.a) - u.voltage(x, cs.b);
+        let geq = 2.0 * cs.c / h;
+        let i_new = geq * (v_new - cs.v_prev) - cs.i_prev;
+        cs.v_prev = v_new;
+        cs.i_prev = i_new;
+    }
+    for is in inds.iter_mut() {
+        let i_new = u
+            .branch_row_by_name(&is.name)
+            .map(|r| x[r])
+            .unwrap_or(0.0);
+        let zl = 2.0 * is.l / h;
+        let v_new = zl * (i_new - is.i_prev) - is.v_prev;
+        is.v_prev = v_new;
+        is.i_prev = i_new;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dc::dc_operating_point;
+    use ape_netlist::{Circuit, SourceWaveform, Technology};
+
+    #[test]
+    fn rc_charging_curve() {
+        let mut c = Circuit::new("rc");
+        let i = c.node("in");
+        let o = c.node("out");
+        c.add_vsource(
+            "V1",
+            i,
+            Circuit::GROUND,
+            0.0,
+            0.0,
+            SourceWaveform::Pulse {
+                v1: 0.0,
+                v2: 1.0,
+                delay: 0.0,
+                rise: 1e-9,
+                fall: 1e-9,
+                width: 1.0,
+                period: f64::INFINITY,
+            },
+        )
+        .unwrap();
+        c.add_resistor("R1", i, o, 1e3).unwrap();
+        c.add_capacitor("C1", o, Circuit::GROUND, 1e-9).unwrap();
+        let tech = Technology::default_1p2um();
+        let op = dc_operating_point(&c, &tech).unwrap();
+        let tau = 1e-6;
+        let tr = transient(&c, &tech, &op, TranOptions::new(tau / 100.0, 3.0 * tau)).unwrap();
+        // v(τ) ≈ 1 - 1/e.
+        let idx = tr
+            .times
+            .iter()
+            .position(|&t| (t - tau).abs() < tau / 150.0)
+            .unwrap();
+        let v_tau = tr.voltage(idx, o);
+        let expect = 1.0 - (-1.0f64).exp();
+        assert!((v_tau - expect).abs() < 0.01, "v(tau) = {v_tau}");
+        // Fully settled by 3τ within 6 %.
+        let v_end = tr.voltage(tr.len() - 1, o);
+        assert!(v_end > 0.94, "v(3tau) = {v_end}");
+    }
+
+    #[test]
+    fn sin_source_passes_through() {
+        let mut c = Circuit::new("sin");
+        let i = c.node("in");
+        c.add_vsource(
+            "V1",
+            i,
+            Circuit::GROUND,
+            0.0,
+            0.0,
+            SourceWaveform::Sin {
+                offset: 0.0,
+                ampl: 1.0,
+                freq: 1e3,
+                delay: 0.0,
+            },
+        )
+        .unwrap();
+        c.add_resistor("R1", i, Circuit::GROUND, 1e3).unwrap();
+        let tech = Technology::default_1p2um();
+        let op = dc_operating_point(&c, &tech).unwrap();
+        let tr = transient(&c, &tech, &op, TranOptions::new(1e-5, 1e-3)).unwrap();
+        // Peak near t = 0.25 ms.
+        let peak = tr
+            .waveform(i)
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(f64::MIN, f64::max);
+        assert!((peak - 1.0).abs() < 0.01, "peak {peak}");
+    }
+
+    #[test]
+    fn lc_oscillation_period() {
+        // Series RLC ringing: check the oscillation period ≈ 2π√(LC).
+        let mut c = Circuit::new("rlc");
+        let i = c.node("in");
+        let m = c.node("mid");
+        let o = c.node("out");
+        c.add_vsource(
+            "V1",
+            i,
+            Circuit::GROUND,
+            0.0,
+            0.0,
+            SourceWaveform::Pulse {
+                v1: 0.0,
+                v2: 1.0,
+                delay: 0.0,
+                rise: 1e-9,
+                fall: 1e-9,
+                width: 1.0,
+                period: f64::INFINITY,
+            },
+        )
+        .unwrap();
+        c.add_resistor("R1", i, m, 10.0).unwrap();
+        c.add_inductor("L1", m, o, 1e-3).unwrap();
+        c.add_capacitor("C1", o, Circuit::GROUND, 1e-9).unwrap();
+        let tech = Technology::default_1p2um();
+        let op = dc_operating_point(&c, &tech).unwrap();
+        let t0 = 2.0 * std::f64::consts::PI * (1e-3f64 * 1e-9).sqrt(); // ≈6.28 µs
+        let tr = transient(&c, &tech, &op, TranOptions::new(t0 / 200.0, 3.0 * t0)).unwrap();
+        let wave = tr.waveform(o);
+        // Find the first two maxima spacing.
+        let mut peaks = Vec::new();
+        for w in wave.windows(3) {
+            if w[1].1 > w[0].1 && w[1].1 > w[2].1 && w[1].1 > 1.05 {
+                peaks.push(w[1].0);
+            }
+        }
+        assert!(peaks.len() >= 2, "found peaks {peaks:?}");
+        let period = peaks[1] - peaks[0];
+        assert!(
+            (period - t0).abs() / t0 < 0.05,
+            "period {period}, expect {t0}"
+        );
+    }
+
+    #[test]
+    fn transient_respects_initial_condition() {
+        // A divider at DC stays put when nothing changes.
+        let mut c = Circuit::new("static");
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_vdc("V1", a, Circuit::GROUND, 2.0);
+        c.add_resistor("R1", a, b, 1e3).unwrap();
+        c.add_resistor("R2", b, Circuit::GROUND, 1e3).unwrap();
+        c.add_capacitor("C1", b, Circuit::GROUND, 1e-12).unwrap();
+        let tech = Technology::default_1p2um();
+        let op = dc_operating_point(&c, &tech).unwrap();
+        let tr = transient(&c, &tech, &op, TranOptions::new(1e-9, 1e-7)).unwrap();
+        for k in 0..tr.len() {
+            assert!((tr.voltage(k, b) - 1.0).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Transient stress tests on switching CMOS circuits: the simulator must
+//! handle devices sweeping through every region within one edge.
+
+use ape_netlist::{Circuit, MosGeometry, MosPolarity, NodeId, SourceWaveform, Technology};
+use ape_spice::{dc_operating_point, dc_sweep, measure, transient, TranOptions};
+
+/// Builds a CMOS inverter; returns (circuit, in, out).
+fn inverter(tech: &Technology, load_f: f64) -> (Circuit, NodeId, NodeId) {
+    let mut c = Circuit::new("cmos-inv");
+    let vdd = c.node("vdd");
+    let vin = c.node("in");
+    let out = c.node("out");
+    c.add_vdc("VDD", vdd, Circuit::GROUND, tech.vdd);
+    c.add_vsource(
+        "VIN",
+        vin,
+        Circuit::GROUND,
+        0.0,
+        0.0,
+        SourceWaveform::Pulse {
+            v1: 0.0,
+            v2: tech.vdd,
+            delay: 5e-9,
+            rise: 0.2e-9,
+            fall: 0.2e-9,
+            width: 20e-9,
+            period: 40e-9,
+        },
+    )
+    .unwrap();
+    c.add_mosfet(
+        "MN",
+        out,
+        vin,
+        Circuit::GROUND,
+        Circuit::GROUND,
+        MosPolarity::Nmos,
+        "CMOSN",
+        MosGeometry::new(6e-6, 1.2e-6),
+    )
+    .unwrap();
+    c.add_mosfet(
+        "MP",
+        out,
+        vin,
+        vdd,
+        vdd,
+        MosPolarity::Pmos,
+        "CMOSP",
+        MosGeometry::new(18e-6, 1.2e-6),
+    )
+    .unwrap();
+    c.add_capacitor("CL", out, Circuit::GROUND, load_f).unwrap();
+    (c, vin, out)
+}
+
+#[test]
+fn inverter_static_transfer() {
+    let tech = Technology::default_1p2um();
+    let (ckt, _, out) = inverter(&tech, 100e-15);
+    let values: Vec<f64> = (0..=25).map(|k| k as f64 * 0.2).collect();
+    let sweep = dc_sweep(&ckt, &tech, "VIN", &values).unwrap();
+    let v = sweep.voltages(out);
+    assert!(v[0] > 4.9, "output high at vin=0: {}", v[0]);
+    assert!(*v.last().unwrap() < 0.1, "output low at vin=5: {}", v.last().unwrap());
+    // Monotone falling transfer with a sharp transition region.
+    assert!(v.windows(2).all(|w| w[1] <= w[0] + 1e-6));
+    let vm = sweep.crossing(out, tech.vdd / 2.0).unwrap();
+    assert!(vm > 1.2 && vm < 3.2, "switching threshold {vm}");
+}
+
+#[test]
+fn inverter_propagation_delay() {
+    let tech = Technology::default_1p2um();
+    let (ckt, vin, out) = inverter(&tech, 1e-12);
+    let op = dc_operating_point(&ckt, &tech).unwrap();
+    let tr = transient(&ckt, &tech, &op, TranOptions::new(0.05e-9, 40e-9)).unwrap();
+    // Falling output edge after the rising input edge.
+    let t_in = measure::crossing_time(&tr, vin, tech.vdd / 2.0, true).unwrap();
+    let t_out = measure::crossing_time(&tr, out, tech.vdd / 2.0, false).unwrap();
+    let tphl = t_out - t_in;
+    assert!(tphl > 0.0, "causal");
+    // 1 pF driven by a ~mA-class device: nanosecond scale.
+    assert!(tphl < 5e-9, "tphl {tphl}");
+    // Rising output after the falling input edge.
+    let t_in2 = measure::crossing_time(&tr, vin, tech.vdd / 2.0, false).unwrap();
+    let t_out2 = measure::crossing_time(&tr, out, tech.vdd / 2.0, true).unwrap();
+    let tplh = t_out2 - t_in2;
+    assert!(tplh > 0.0 && tplh < 5e-9, "tplh {tplh}");
+    // Output swings rail to rail.
+    let w = tr.waveform(out);
+    let vmax = w.iter().map(|p| p.1).fold(f64::MIN, f64::max);
+    let vmin = w.iter().map(|p| p.1).fold(f64::MAX, f64::min);
+    assert!(vmax > 4.8 && vmin < 0.2, "swing {vmin}..{vmax}");
+}
+
+#[test]
+fn two_inverter_chain_restores_edges() {
+    let tech = Technology::default_1p2um();
+    let (mut ckt, _, out1) = inverter(&tech, 50e-15);
+    // Second inverter driven by the first.
+    let vdd = ckt.find_node("vdd").unwrap();
+    let out2 = ckt.node("out2");
+    ckt.add_mosfet(
+        "MN2",
+        out2,
+        out1,
+        Circuit::GROUND,
+        Circuit::GROUND,
+        MosPolarity::Nmos,
+        "CMOSN",
+        MosGeometry::new(6e-6, 1.2e-6),
+    )
+    .unwrap();
+    ckt.add_mosfet(
+        "MP2",
+        out2,
+        out1,
+        vdd,
+        vdd,
+        MosPolarity::Pmos,
+        "CMOSP",
+        MosGeometry::new(18e-6, 1.2e-6),
+    )
+    .unwrap();
+    ckt.add_capacitor("CL2", out2, Circuit::GROUND, 100e-15).unwrap();
+    let op = dc_operating_point(&ckt, &tech).unwrap();
+    let tr = transient(&ckt, &tech, &op, TranOptions::new(0.05e-9, 40e-9)).unwrap();
+    // out2 follows the input polarity (double inversion).
+    let w = tr.waveform(out2);
+    let at = |t: f64| {
+        w.iter()
+            .min_by(|a, b| {
+                (a.0 - t).abs().partial_cmp(&(b.0 - t).abs()).expect("finite")
+            })
+            .map(|p| p.1)
+            .unwrap_or(0.0)
+    };
+    assert!(at(2e-9) < 0.3, "before the pulse out2 is low: {}", at(2e-9));
+    assert!(at(15e-9) > 4.7, "during the pulse out2 is high: {}", at(15e-9));
+    assert!(at(35e-9) < 0.3, "after the pulse out2 is low again: {}", at(35e-9));
+}

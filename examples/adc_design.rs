@@ -1,0 +1,54 @@
+//! Data-converter design example: the paper's 4-bit flash ADC (Table 5 /
+//! Figure 3e) converting a ramp through the full transistor-level netlist,
+//! plus the R-2R DAC driving a staircase.
+//!
+//! Run with `cargo run --release --example adc_design`.
+
+use ape_repro::ape::module::{FlashAdc, R2rDac};
+use ape_repro::netlist::Technology;
+use ape_repro::spice::{dc_operating_point, measure, transient, TranOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = Technology::default_1p2um();
+
+    // --- 4-bit flash ADC ----------------------------------------------------
+    let adc = FlashAdc::design(&tech, 4, 5e-6)?;
+    println!("=== 4-bit flash ADC, 5 us conversion budget ===");
+    println!(
+        "comparators: {}, estimated delay {:.2} us, power {:.3} mW, area {:.0} um2",
+        adc.comparator_count(),
+        adc.perf.delay_s.unwrap_or(0.0) * 1e6,
+        adc.perf.power_mw(),
+        adc.perf.gate_area_um2()
+    );
+
+    println!("\n  vin [V]  code (sim)  code (ideal)");
+    for k in 0..8 {
+        let vin = 1.1 + 0.4 * k as f64;
+        let code = adc.convert(&tech, vin)?;
+        println!("  {:>6.2}   {:>4}        {:>4}", vin, code, adc.ideal_code(vin));
+    }
+
+    // Comparator step response (the delay the paper tabulates).
+    let tb = adc.comparator.testbench_step(&tech, 1e-6)?;
+    let op = dc_operating_point(&tb, &tech)?;
+    let tr = transient(&tb, &tech, &op, TranOptions::new(5e-8, 16e-6))?;
+    let out = tb.find_node("out").expect("testbench has out");
+    let t_cross = measure::crossing_time(&tr, out, tech.vdd / 2.0, true)
+        .expect("comparator trips");
+    println!(
+        "\ncomparator simulated delay at half-LSB overdrive: {:.2} us (estimate {:.2} us)",
+        (t_cross - 1e-6) * 1e6,
+        adc.comparator.perf.delay_s.unwrap_or(0.0) * 1e6
+    );
+
+    // --- 4-bit R-2R DAC -------------------------------------------------------
+    let dac = R2rDac::design(&tech, 4, 1e5)?;
+    println!("\n=== 4-bit R-2R DAC ===");
+    println!("  code  vout (sim)  vout (ideal)");
+    for code in [0u32, 3, 7, 11, 15] {
+        let v = dac.level(&tech, code)?;
+        println!("  {:>4}  {:>9.3}  {:>11.3}", code, v, dac.ideal_level(code));
+    }
+    Ok(())
+}

@@ -1,0 +1,74 @@
+//! Active-filter design example: the paper's 4th-order Sallen-Key
+//! Butterworth low-pass and 2nd-order band-pass (Table 5 / Figure 3c-3d),
+//! with a small Bode table from the transistor-level simulation.
+//!
+//! Run with `cargo run --release --example filter_design`.
+
+use ape_repro::ape::module::{SallenKeyBandPass, SallenKeyLowPass};
+use ape_repro::netlist::Technology;
+use ape_repro::spice::{ac_sweep, dc_operating_point, decade_frequencies, measure};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = Technology::default_1p2um();
+
+    // --- 4th-order Butterworth low-pass at 1 kHz ---------------------------
+    let lpf = SallenKeyLowPass::design(&tech, 1e3, 4, 10e-12)?;
+    println!("=== Sallen-Key LPF: order 4, Butterworth, fc = 1 kHz ===");
+    for (i, st) in lpf.stages.iter().enumerate() {
+        println!(
+            "stage {}: Q = {:.4}, K = {:.3}, R = {:.0} kohm, C = {:.2} nF",
+            i,
+            st.q,
+            st.k,
+            st.r * 1e-3,
+            st.c * 1e9
+        );
+    }
+    println!(
+        "APE estimate: passband gain {:.2}, f3dB {:.0} Hz, f-20dB {:.0} Hz, area {:.0} um2",
+        lpf.perf.dc_gain.unwrap_or(0.0),
+        lpf.perf.bw_hz.unwrap_or(0.0),
+        lpf.frequency_at_attenuation(20.0),
+        lpf.perf.gate_area_um2()
+    );
+
+    let tb = lpf.testbench(&tech)?;
+    let op = dc_operating_point(&tb, &tech)?;
+    let out = tb.find_node("out").expect("testbench has out");
+    let freqs = [100.0, 300.0, 700.0, 1e3, 1.5e3, 2e3, 5e3, 10e3];
+    let sweep = ac_sweep(&tb, &tech, &op, &freqs)?;
+    println!("\n  f [Hz]   |H| [dB]   (transistor-level simulation)");
+    let a0 = sweep.magnitude(out)[0];
+    for (k, f) in freqs.iter().enumerate() {
+        let m = sweep.voltage(k, out).norm();
+        println!("  {:>7.0}  {:>8.2}", f, 20.0 * (m / a0).log10());
+    }
+    let full = ac_sweep(&tb, &tech, &op, &decade_frequencies(10.0, 1e5, 20))?;
+    println!(
+        "simulated: gain {:.2}, f3dB {:.0} Hz",
+        measure::dc_gain(&full, out),
+        measure::bandwidth_3db(&full, out)?
+    );
+
+    // --- 2nd-order band-pass at 1 kHz, Q = 1 -------------------------------
+    let bpf = SallenKeyBandPass::design(&tech, 1e3, 1.0, 10e-12)?;
+    println!("\n=== Sallen-Key BPF: f0 = 1 kHz, Q = 1 ===");
+    println!(
+        "K = {:.3}, R = {:.0} kohm, C = {:.2} nF; APE estimate: centre gain {:.2}, BW {:.0} Hz",
+        bpf.k,
+        bpf.r * 1e-3,
+        bpf.c * 1e9,
+        bpf.perf.dc_gain.unwrap_or(0.0),
+        bpf.perf.bw_hz.unwrap_or(0.0)
+    );
+    let tb = bpf.testbench(&tech)?;
+    let op = dc_operating_point(&tb, &tech)?;
+    let out = tb.find_node("out").expect("testbench has out");
+    let freqs = [200.0, 500.0, 1e3, 2e3, 5e3];
+    let sweep = ac_sweep(&tb, &tech, &op, &freqs)?;
+    println!("\n  f [Hz]   |H|   (transistor-level simulation)");
+    for (k, f) in freqs.iter().enumerate() {
+        println!("  {:>7.0}  {:>6.3}", f, sweep.voltage(k, out).norm());
+    }
+    Ok(())
+}

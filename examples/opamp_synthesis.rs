@@ -1,0 +1,91 @@
+//! Synthesis-effectiveness demo: one op-amp spec run through the stand-alone
+//! engine (blind intervals, Table 1 mode) and the APE-seeded engine
+//! (±20 % intervals, Table 4 mode), side by side.
+//!
+//! Run with `cargo run --release --example opamp_synthesis [evals]`.
+
+use ape_repro::ape::basic::MirrorTopology;
+use ape_repro::ape::opamp::{OpAmp, OpAmpSpec, OpAmpTopology};
+use ape_repro::netlist::Technology;
+use ape_repro::oblx::{
+    design_point_from_ape, synthesize, InitialPoint, SynthesisOptions, SynthesisOutcome,
+};
+
+fn describe(label: &str, out: &SynthesisOutcome) {
+    println!("--- {label} ---");
+    println!(
+        "evals = {}, wall = {:.2} s, annealing cost = {:.3}",
+        out.evals,
+        out.wall.as_secs_f64(),
+        out.cost
+    );
+    match &out.audit {
+        Some(a) => {
+            println!(
+                "audited: gain = {:.0}, UGF = {:.2} MHz, area = {:.0} um2, PM = {:.0} deg",
+                a.measured.dc_gain.unwrap_or(0.0),
+                a.measured.ugf_hz.unwrap_or(0.0) * 1e-6,
+                a.measured.gate_area_um2(),
+                a.phase_margin_deg.unwrap_or(f64::NAN)
+            );
+            if a.meets_spec() {
+                println!("verdict: MEETS SPEC");
+            } else {
+                println!("verdict: violates — {}", a.violations.join("; "));
+            }
+        }
+        None => println!("verdict: doesn't work (no DC operating point)"),
+    }
+    println!();
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let evals: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(300);
+    let tech = Technology::default_1p2um();
+    let topo = OpAmpTopology::miller(MirrorTopology::Simple, false);
+    let spec = OpAmpSpec {
+        gain: 200.0,
+        ugf_hz: 8e6,
+        area_max_m2: 5000e-12,
+        ibias: 10e-6,
+        zout_ohm: None,
+        cl: 10e-12,
+    };
+    println!(
+        "spec: gain >= {}, UGF >= {} MHz, area <= {} um2 | budget {evals} evaluations\n",
+        spec.gain,
+        spec.ugf_hz * 1e-6,
+        spec.area_max_m2 * 1e12
+    );
+
+    let opts = SynthesisOptions {
+        max_evals: evals,
+        seed: 42,
+        ..SynthesisOptions::default()
+    };
+
+    // Stand-alone: decade-wide intervals, centre start (Table 1 mode).
+    let blind = synthesize(&tech, topo, &spec, &InitialPoint::Blind, &opts)?;
+    describe("stand-alone (blind intervals)", &blind);
+
+    // APE front-end, then ±20 % intervals (Table 4 mode).
+    let t0 = std::time::Instant::now();
+    let ape = OpAmp::design(&tech, topo, spec)?;
+    println!(
+        "APE sizing took {:.1} us; estimate: {}\n",
+        t0.elapsed().as_secs_f64() * 1e6,
+        ape.perf
+    );
+    let init = InitialPoint::ApeSeeded {
+        point: design_point_from_ape(&tech, &ape),
+        interval_frac: 0.2,
+    };
+    let seeded = synthesize(&tech, topo, &spec, &init, &opts)?;
+    describe("APE-seeded (+/-20% intervals)", &seeded);
+
+    println!(
+        "search-effort ratio (blind/seeded evals): {:.0}x",
+        blind.evals as f64 / seeded.evals.max(1) as f64
+    );
+    Ok(())
+}

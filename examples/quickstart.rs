@@ -1,0 +1,105 @@
+//! Quickstart: the full VASE-style flow of Figure 1 on one op-amp.
+//!
+//! 1. specify requirements;
+//! 2. APE sizes the circuit and estimates its performance (Figure 2
+//!    hierarchy, bottom-up);
+//! 3. the simulator verifies the emitted netlist;
+//! 4. the synthesis engine refines the sizing inside ±20 % intervals.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use ape_repro::ape::basic::MirrorTopology;
+use ape_repro::ape::opamp::{OpAmp, OpAmpSpec, OpAmpTopology};
+use ape_repro::netlist::Technology;
+use ape_repro::oblx::{design_point_from_ape, synthesize, InitialPoint, SynthesisOptions};
+use ape_repro::spice::{ac_sweep, dc_operating_point, decade_frequencies, measure};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== APE hierarchy (paper Figure 2) ===");
+    println!("level 4: analog modules      (amplifiers, filters, S&H, ADC, DAC)");
+    println!("level 3: operational amps    (Miller two-stage, Wilson/simple bias, buffer)");
+    println!("level 2: basic components    (mirrors, gain stages, followers, diff pairs)");
+    println!("level 1: CMOS transistors    (Level 1/2/3/BSIM models + inverse sizing)");
+    println!();
+
+    // 1. The requirement set — one row of the paper's Table 1.
+    let tech = Technology::default_1p2um();
+    let spec = OpAmpSpec {
+        gain: 200.0,
+        ugf_hz: 5e6,
+        area_max_m2: 5000e-12,
+        ibias: 10e-6,
+        zout_ohm: None,
+        cl: 10e-12,
+    };
+    println!("=== Specification ===");
+    println!(
+        "gain >= {}, UGF >= {} MHz, area <= {} um2, Ibias = {} uA, CL = 10 pF",
+        spec.gain,
+        spec.ugf_hz * 1e-6,
+        spec.area_max_m2 * 1e12,
+        spec.ibias * 1e6
+    );
+
+    // 2. APE sizes and estimates — microseconds of work.
+    let topo = OpAmpTopology::miller(MirrorTopology::Simple, false);
+    let t0 = std::time::Instant::now();
+    let amp = OpAmp::design(&tech, topo, spec)?;
+    println!("\n=== APE estimate ({:.1} us) ===", t0.elapsed().as_secs_f64() * 1e6);
+    println!("{}", amp.perf);
+    println!(
+        "devices: pair W/L = {:.1}/{:.1} um, M6 W/L = {:.1}/{:.1} um, Cc = {:.2} pF",
+        amp.stage1.input.geometry.w * 1e6,
+        amp.stage1.input.geometry.l * 1e6,
+        amp.m6.geometry.w * 1e6,
+        amp.m6.geometry.l * 1e6,
+        amp.cc * 1e12
+    );
+
+    // 3. Verify with the simulator (the paper's SPICE step).
+    let tb = amp.testbench_open_loop(&tech)?;
+    let op = dc_operating_point(&tb, &tech)?;
+    let out = tb.find_node("out").expect("testbench has out");
+    let sweep = ac_sweep(&tb, &tech, &op, &decade_frequencies(100.0, 1e9, 8))?;
+    println!("\n=== Simulation of the emitted netlist ===");
+    println!(
+        "gain = {:.0}, UGF = {:.2} MHz, PM = {:.0} deg, power = {:.3} mW",
+        measure::dc_gain(&sweep, out),
+        measure::unity_gain_frequency(&sweep, out)? * 1e-6,
+        measure::phase_margin(&sweep, out)?,
+        op.supply_power(&tb) * 1e3
+    );
+
+    // 4. Seeded synthesis: the Table 4 flow.
+    let init = InitialPoint::ApeSeeded {
+        point: design_point_from_ape(&tech, &amp),
+        interval_frac: 0.2,
+    };
+    let opts = SynthesisOptions {
+        max_evals: 200,
+        seed: 7,
+        ..SynthesisOptions::default()
+    };
+    let outcome = synthesize(&tech, topo, &spec, &init, &opts)?;
+    println!("\n=== APE-seeded synthesis (+/-20% intervals) ===");
+    println!(
+        "evals = {}, wall = {:.2} s, meets spec = {}",
+        outcome.evals,
+        outcome.wall.as_secs_f64(),
+        outcome.meets_spec()
+    );
+    if let Some(audit) = &outcome.audit {
+        println!(
+            "audited: gain = {:.0}, UGF = {:.2} MHz, area = {:.0} um2",
+            audit.measured.dc_gain.unwrap_or(0.0),
+            audit.measured.ugf_hz.unwrap_or(0.0) * 1e-6,
+            audit.measured.gate_area_um2()
+        );
+    }
+
+    // Bonus: the SPICE deck the flow hands to layout (--netlist to print).
+    if std::env::args().any(|a| a == "--netlist") {
+        println!("\n=== SPICE deck ===\n{}", tb.to_spice_deck(&tech));
+    }
+    Ok(())
+}

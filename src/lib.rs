@@ -1,0 +1,47 @@
+//! End-to-end reproduction harness for **APE — the Analog Performance
+//! Estimator** (Nunez-Aldana & Vemuri, DATE 1999).
+//!
+//! This crate re-exports the whole workspace so the examples and
+//! integration tests can exercise the paper's synthesis flow (Figure 1)
+//! from one place:
+//!
+//! * [`netlist`] — circuits, devices, technology cards (`ape-netlist`)
+//! * [`mos`] — transistor models and inverse sizing (`ape-mos`)
+//! * [`spice`] — the verifying circuit simulator (`ape-spice`)
+//! * [`awe`] — Asymptotic Waveform Evaluation (`ape-awe`)
+//! * [`anneal`] — the simulated-annealing kernel (`ape-anneal`)
+//! * [`ape`] — the hierarchical estimator, the paper's contribution
+//!   (`ape-core`)
+//! * [`oblx`] — the ASTRX/OBLX-style synthesis engine (`ape-oblx`)
+//!
+//! # Example
+//!
+//! The quickstart flow — estimate, verify, synthesize:
+//!
+//! ```
+//! use ape_repro::ape::basic::MirrorTopology;
+//! use ape_repro::ape::opamp::{OpAmp, OpAmpSpec, OpAmpTopology};
+//! use ape_repro::netlist::Technology;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let tech = Technology::default_1p2um();
+//! let spec = OpAmpSpec {
+//!     gain: 200.0, ugf_hz: 5e6, area_max_m2: 5000e-12,
+//!     ibias: 10e-6, zout_ohm: None, cl: 10e-12,
+//! };
+//! let amp = OpAmp::design(&tech, OpAmpTopology::miller(MirrorTopology::Simple, false), spec)?;
+//! assert!(amp.perf.dc_gain.unwrap() >= spec.gain);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ape_anneal as anneal;
+pub use ape_awe as awe;
+pub use ape_core as ape;
+pub use ape_mos as mos;
+pub use ape_netlist as netlist;
+pub use ape_oblx as oblx;
+pub use ape_spice as spice;

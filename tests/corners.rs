@@ -1,0 +1,84 @@
+//! Process-corner robustness: APE designs sized at the typical corner must
+//! stay alive — and close to spec — at the four fast/slow extremes.
+
+use ape_repro::ape::basic::MirrorTopology;
+use ape_repro::ape::opamp::{OpAmp, OpAmpSpec, OpAmpTopology};
+use ape_repro::netlist::{Corner, Technology};
+use ape_repro::spice::{ac_sweep, dc_operating_point, decade_frequencies, measure};
+
+#[test]
+fn opamp_survives_all_corners() {
+    let tt = Technology::default_1p2um();
+    let spec = OpAmpSpec {
+        gain: 200.0,
+        ugf_hz: 5e6,
+        area_max_m2: 5000e-12,
+        ibias: 10e-6,
+        zout_ohm: None,
+        cl: 10e-12,
+    };
+    let amp = OpAmp::design(&tt, OpAmpTopology::miller(MirrorTopology::Simple, false), spec)
+        .expect("sizes at TT");
+    let tb = amp.testbench_open_loop(&tt).expect("testbench");
+    let mut gains = Vec::new();
+    for corner in Corner::all() {
+        let tech = tt.corner(corner);
+        let op = dc_operating_point(&tb, &tech)
+            .unwrap_or_else(|e| panic!("{corner}: dc failed: {e}"));
+        let out = tb.find_node("out").expect("out");
+        let sweep = ac_sweep(&tb, &tech, &op, &decade_frequencies(100.0, 1e9, 8))
+            .unwrap_or_else(|e| panic!("{corner}: ac failed: {e}"));
+        let gain = measure::dc_gain(&sweep, out);
+        let ugf = measure::unity_gain_frequency(&sweep, out)
+            .unwrap_or_else(|e| panic!("{corner}: no crossover: {e}"));
+        let pm = measure::phase_margin(&sweep, out)
+            .unwrap_or_else(|e| panic!("{corner}: no phase margin: {e}"));
+        // Functional at every corner: real gain, real bandwidth, stable.
+        assert!(gain > 100.0, "{corner}: gain collapsed to {gain}");
+        assert!(ugf > 2.5e6, "{corner}: UGF collapsed to {ugf}");
+        assert!(pm > 30.0, "{corner}: unstable, PM {pm}");
+        gains.push((corner, gain, ugf));
+    }
+    // The corners must actually move the circuit: FF ≠ SS response.
+    let ugf_ff = gains.iter().find(|g| g.0 == Corner::Ff).expect("ff ran").2;
+    let ugf_ss = gains.iter().find(|g| g.0 == Corner::Ss).expect("ss ran").2;
+    assert!(
+        ugf_ff > ugf_ss,
+        "fast corner should be faster: FF {ugf_ff} vs SS {ugf_ss}"
+    );
+}
+
+#[test]
+fn corner_shifts_bias_currents_as_expected() {
+    // A simple mirror at SS carries less current for the same gate drive
+    // than at FF — the defining corner behaviour.
+    use ape_repro::netlist::{Circuit, MosGeometry, MosPolarity};
+    let tt = Technology::default_1p2um();
+    let mut c = Circuit::new("bias");
+    let g = c.node("g");
+    let d = c.node("d");
+    c.add_vdc("VG", g, Circuit::GROUND, 1.2);
+    c.add_vdc("VD", d, Circuit::GROUND, 2.5);
+    c.add_mosfet(
+        "M1",
+        d,
+        g,
+        Circuit::GROUND,
+        Circuit::GROUND,
+        MosPolarity::Nmos,
+        "CMOSN",
+        MosGeometry::new(10e-6, 2.4e-6),
+    )
+    .unwrap();
+    let current_at = |corner: Corner| {
+        let tech = tt.corner(corner);
+        let op = dc_operating_point(&c, &tech).unwrap();
+        op.mos["M1"].eval.ids
+    };
+    let i_ff = current_at(Corner::Ff);
+    let i_tt = current_at(Corner::Tt);
+    let i_ss = current_at(Corner::Ss);
+    assert!(i_ff > i_tt && i_tt > i_ss, "FF {i_ff} / TT {i_tt} / SS {i_ss}");
+    // The spread is substantial but bounded.
+    assert!(i_ff / i_ss > 1.2 && i_ff / i_ss < 4.0, "spread {}", i_ff / i_ss);
+}

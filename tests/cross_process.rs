@@ -1,0 +1,104 @@
+//! Cross-process tests: the whole flow on the 0.5 µm / 3.3 V technology
+//! (Level 3 short-channel models), checking that nothing in the estimator
+//! or simulator is hard-wired to the default 1.2 µm process.
+
+use ape_repro::ape::basic::{DiffPair, DiffTopology, MirrorTopology};
+use ape_repro::ape::opamp::{OpAmp, OpAmpSpec, OpAmpTopology};
+use ape_repro::netlist::Technology;
+use ape_repro::spice::{ac_sweep, dc_operating_point, decade_frequencies, measure};
+
+fn tech_05() -> Technology {
+    Technology::default_0p5um()
+}
+
+#[test]
+fn diff_pair_designs_and_verifies_at_0p5um() {
+    let tech = tech_05();
+    let pair = DiffPair::design(&tech, DiffTopology::MirrorLoad, 300.0, 2e-6, 1e-12)
+        .expect("sizes on 0.5um");
+    let tb = pair.testbench(&tech);
+    let op = dc_operating_point(&tb, &tech).expect("dc");
+    let out = tb.find_node("out").expect("out");
+    let sweep = ac_sweep(&tb, &tech, &op, &[10.0]).expect("ac");
+    let a_sim = measure::dc_gain(&sweep, out);
+    let a_est = pair.perf.dc_gain.unwrap();
+    assert!(
+        (a_sim - a_est).abs() / a_est < 0.6,
+        "0.5um pair: sim {a_sim} vs est {a_est}"
+    );
+}
+
+#[test]
+fn opamp_designs_and_meets_spec_at_0p5um() {
+    let tech = tech_05();
+    let spec = OpAmpSpec {
+        gain: 150.0,
+        ugf_hz: 10e6,
+        area_max_m2: 5000e-12,
+        ibias: 20e-6,
+        zout_ohm: None,
+        cl: 5e-12,
+    };
+    let amp = OpAmp::design(
+        &tech,
+        OpAmpTopology::miller(MirrorTopology::Simple, false),
+        spec,
+    )
+    .expect("sizes on 0.5um");
+    let tb = amp.testbench_open_loop(&tech).expect("testbench");
+    let op = dc_operating_point(&tb, &tech).expect("dc");
+    let out = tb.find_node("out").expect("out");
+    let sweep = ac_sweep(&tb, &tech, &op, &decade_frequencies(100.0, 2e9, 8)).expect("ac");
+    let gain = measure::dc_gain(&sweep, out);
+    let ugf = measure::unity_gain_frequency(&sweep, out).expect("crosses unity");
+    let pm = measure::phase_margin(&sweep, out).expect("has pm");
+    assert!(gain >= 150.0 * 0.75, "0.5um gain {gain}");
+    assert!(ugf >= 10e6 * 0.6, "0.5um UGF {ugf}");
+    assert!(pm > 30.0, "0.5um PM {pm}");
+}
+
+#[test]
+fn level3_models_are_active_at_0p5um() {
+    // The 0.5 µm cards carry velocity saturation; the same geometry must
+    // show less drive than the square law predicts at high overdrive.
+    use ape_repro::mos::{evaluate, BiasPoint};
+    use ape_repro::netlist::MosGeometry;
+    let tech = tech_05();
+    let mut card = tech.nmos().unwrap().clone();
+    card.level = ape_repro::netlist::MosLevel::Level3;
+    let geom = MosGeometry::new(10e-6, 0.5e-6);
+    let e3 = evaluate(&card, &geom, BiasPoint { vgs: 2.5, vds: 3.0, vsb: 0.0 });
+    let mut card1 = card.clone();
+    card1.level = ape_repro::netlist::MosLevel::Level1;
+    card1.theta = 0.0;
+    card1.vmax = 0.0;
+    let e1 = evaluate(&card1, &geom, BiasPoint { vgs: 2.5, vds: 3.0, vsb: 0.0 });
+    assert!(
+        e3.ids < 0.7 * e1.ids,
+        "velocity saturation must bite at 0.5um: L3 {} vs L1 {}",
+        e3.ids,
+        e1.ids
+    );
+}
+
+#[test]
+fn estimator_consistency_across_both_processes() {
+    // The same spec sized on both processes: the newer one is faster
+    // (higher kp) so its devices are smaller for the same gm.
+    let spec_gm = 200e-6;
+    let spec_id = 20e-6;
+    let t12 = Technology::default_1p2um();
+    let t05 = tech_05();
+    let m12 =
+        ape_repro::mos::sizing::size_for_gm_id(t12.nmos().unwrap(), spec_gm, spec_id, 2.4e-6)
+            .expect("sizes 1.2um");
+    let m05 =
+        ape_repro::mos::sizing::size_for_gm_id(t05.nmos().unwrap(), spec_gm, spec_id, 2.4e-6)
+            .expect("sizes 0.5um");
+    assert!(
+        m05.geometry.w < m12.geometry.w,
+        "0.5um width {} should be below 1.2um width {}",
+        m05.geometry.w,
+        m12.geometry.w
+    );
+}

@@ -1,0 +1,167 @@
+//! Failure-injection tests: every level must fail *typed and loud*, never
+//! panic, never return garbage silently.
+
+use ape_repro::ape::basic::{DiffPair, DiffTopology, GainStage, GainTopology, MirrorTopology};
+use ape_repro::ape::folded::{FoldedCascodeOta, FoldedCascodeSpec};
+use ape_repro::ape::module::{FlashAdc, SallenKeyBandPass, SallenKeyLowPass};
+use ape_repro::ape::opamp::{OpAmp, OpAmpSpec, OpAmpTopology};
+use ape_repro::ape::ApeError;
+use ape_repro::netlist::{Circuit, MosGeometry, MosPolarity, NetlistError, Technology};
+use ape_repro::spice::{dc_operating_point, SpiceError};
+
+#[test]
+fn netlist_rejects_nonphysical_elements() {
+    let mut c = Circuit::new("bad");
+    let a = c.node("a");
+    assert!(matches!(
+        c.add_resistor("R1", a, Circuit::GROUND, -1.0),
+        Err(NetlistError::InvalidParameter { .. })
+    ));
+    assert!(matches!(
+        c.add_capacitor("C1", a, Circuit::GROUND, f64::INFINITY),
+        Err(NetlistError::InvalidParameter { .. })
+    ));
+    assert!(c
+        .add_mosfet(
+            "M1",
+            a,
+            a,
+            Circuit::GROUND,
+            Circuit::GROUND,
+            MosPolarity::Nmos,
+            "CMOSN",
+            MosGeometry::new(-1e-6, 1e-6),
+        )
+        .is_err());
+}
+
+#[test]
+fn simulator_reports_singular_structures() {
+    // Two ideal voltage sources fighting on one node: structurally
+    // inconsistent, must be a typed error (or an honest non-convergence),
+    // never a bogus solution.
+    let tech = Technology::default_1p2um();
+    let mut c = Circuit::new("fight");
+    let a = c.node("a");
+    c.add_vdc("V1", a, Circuit::GROUND, 1.0);
+    c.add_vdc("V2", a, Circuit::GROUND, 2.0);
+    c.add_resistor("R1", a, Circuit::GROUND, 1e3).unwrap();
+    let r = dc_operating_point(&c, &tech);
+    assert!(
+        matches!(
+            r,
+            Err(SpiceError::SingularMatrix { .. }) | Err(SpiceError::NoConvergence { .. })
+        ),
+        "got {r:?}"
+    );
+}
+
+#[test]
+fn simulator_rejects_empty_circuits() {
+    let tech = Technology::default_1p2um();
+    let c = Circuit::new("empty");
+    assert!(matches!(
+        dc_operating_point(&c, &tech),
+        Err(SpiceError::BadCircuit(_))
+    ));
+}
+
+#[test]
+fn estimator_refuses_impossible_gm() {
+    // gm beyond the weak-inversion limit at the given current: the
+    // estimator must say so, not return a fantasy width.
+    let tech = Technology::default_1p2um();
+    let r = DiffPair::design(&tech, DiffTopology::MirrorLoad, 500.0, 5e-9, 0.0);
+    assert!(matches!(r, Err(ApeError::Infeasible { .. })), "got {r:?}");
+    let r = GainStage::design(&tech, GainTopology::NmosLoad, -1000.0, 1e-7, 0.0);
+    assert!(r.is_err());
+}
+
+#[test]
+fn opamp_level_validates_every_field() {
+    let tech = Technology::default_1p2um();
+    let topo = OpAmpTopology::miller(MirrorTopology::Simple, true);
+    let good = OpAmpSpec {
+        gain: 200.0,
+        ugf_hz: 5e6,
+        area_max_m2: 5000e-12,
+        ibias: 10e-6,
+        zout_ohm: Some(10e3),
+        cl: 10e-12,
+    };
+    for (mutate, field) in [
+        (OpAmpSpec { gain: 0.0, ..good }, "gain"),
+        (OpAmpSpec { ugf_hz: -1.0, ..good }, "ugf"),
+        (OpAmpSpec { cl: f64::NAN, ..good }, "cl"),
+        (OpAmpSpec { ibias: 0.0, ..good }, "ibias"),
+        (OpAmpSpec { zout_ohm: Some(-1.0), ..good }, "zout"),
+    ] {
+        assert!(
+            OpAmp::design(&tech, topo, mutate).is_err(),
+            "field {field} accepted"
+        );
+    }
+    assert!(OpAmp::design(&tech, topo, good).is_ok());
+}
+
+#[test]
+fn module_level_validates_orders_and_ranges() {
+    let tech = Technology::default_1p2um();
+    assert!(SallenKeyLowPass::design(&tech, 1e3, 3, 1e-12).is_err()); // odd order
+    assert!(SallenKeyLowPass::design(&tech, 0.0, 4, 1e-12).is_err());
+    assert!(SallenKeyBandPass::design(&tech, 1e3, 0.2, 1e-12).is_err()); // K < 1
+    assert!(FlashAdc::design(&tech, 0, 1e-6).is_err());
+    assert!(FlashAdc::design(&tech, 7, 1e-6).is_err());
+    assert!(FoldedCascodeOta::design(
+        &tech,
+        FoldedCascodeSpec { gain: 2000.0, ugf_hz: 10e6, ibias: 10e-6, cl: -1.0 }
+    )
+    .is_err());
+}
+
+#[test]
+fn missing_model_cards_surface_by_name() {
+    // A technology with no PMOS card: every level that needs one says so.
+    let mut tech = Technology::new("nmos-only", 5.0, 0.0, 1.2e-6, 1.8e-6);
+    tech.insert_model(ape_repro::netlist::MosModelCard::generic(
+        "CMOSN",
+        MosPolarity::Nmos,
+    ));
+    let r = DiffPair::design(&tech, DiffTopology::MirrorLoad, 100.0, 1e-6, 0.0);
+    assert!(matches!(r, Err(ApeError::MissingModel("PMOS"))), "got {r:?}");
+}
+
+#[test]
+fn synthesis_survives_hostile_seeds() {
+    // A seeded synthesis around a nonsensical point must not panic; the
+    // audit reports the damage.
+    use ape_repro::oblx::{synthesize, DesignPoint, InitialPoint, SynthesisOptions};
+    let tech = Technology::default_1p2um();
+    let topo = OpAmpTopology::miller(MirrorTopology::Simple, false);
+    let spec = OpAmpSpec {
+        gain: 200.0,
+        ugf_hz: 5e6,
+        area_max_m2: 5000e-12,
+        ibias: 10e-6,
+        zout_ohm: None,
+        cl: 10e-12,
+    };
+    let hostile = DesignPoint {
+        values: vec![1.8e-6, 60e-6, 1.8e-6, 1.8e-6, 60e-6, 800e-6, 1.8e-6, 0.3e-12],
+    };
+    let init = InitialPoint::ApeSeeded {
+        point: hostile,
+        interval_frac: 0.2,
+    };
+    let opts = SynthesisOptions {
+        max_evals: 40,
+        seed: 1,
+        ..SynthesisOptions::default()
+    };
+    let out = synthesize(&tech, topo, &spec, &init, &opts).expect("runs without panicking");
+    // Whatever happened, the outcome is coherent: either an audit exists or
+    // the design is declared dead.
+    if let Some(audit) = &out.audit {
+        assert!(audit.meets_spec() || !audit.violations.is_empty());
+    }
+}

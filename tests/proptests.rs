@@ -1,0 +1,199 @@
+//! Cross-crate property-based tests (proptest) over the reproduction's
+//! core invariants.
+
+use ape_repro::mos::sizing::{size_for_gm_id, size_for_id_vov, vgs_for_id};
+use ape_repro::mos::{evaluate, BiasPoint};
+use ape_repro::netlist::{parse_value, Circuit, MosGeometry, Technology};
+use ape_repro::spice::linalg::Matrix;
+use ape_repro::spice::{dc_operating_point, Complex};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sizing inversion round-trips: size for (gm, id), evaluate the forward
+    /// model at the returned bias, and the targets come back.
+    #[test]
+    fn sizing_roundtrip_gm_id(
+        id_ua in 0.5f64..500.0,
+        gm_per_id in 5.0f64..18.0,
+        l_um in 1.2f64..10.0,
+    ) {
+        let tech = Technology::default_1p2um();
+        let card = tech.nmos().expect("nmos");
+        let id = id_ua * 1e-6;
+        let gm = gm_per_id * id;
+        let sized = size_for_gm_id(card, gm, id, l_um * 1e-6).expect("feasible region");
+        let e = evaluate(card, &sized.geometry, BiasPoint { vgs: sized.vgs, vds: 2.5, vsb: 0.0 });
+        prop_assert!((e.gm - gm).abs() / gm < 1e-3, "gm {} vs {}", e.gm, gm);
+        prop_assert!((e.ids - id).abs() / id < 1e-3, "id {} vs {}", e.ids, id);
+    }
+
+    /// Width scales linearly with current at fixed overdrive.
+    #[test]
+    fn width_linear_in_current(
+        id_ua in 1.0f64..200.0,
+        vov in 0.1f64..0.8,
+    ) {
+        let tech = Technology::default_1p2um();
+        let card = tech.nmos().expect("nmos");
+        let a = size_for_id_vov(card, id_ua * 1e-6, vov, 2.4e-6).expect("sizes");
+        let b = size_for_id_vov(card, 2.0 * id_ua * 1e-6, vov, 2.4e-6).expect("sizes");
+        let ratio = b.geometry.w / a.geometry.w;
+        prop_assert!((ratio - 2.0).abs() < 0.02, "ratio {}", ratio);
+    }
+
+    /// The drain current is monotone in vgs (the property bisection relies on).
+    #[test]
+    fn ids_monotone_in_vgs(
+        w_um in 2.0f64..100.0,
+        l_um in 1.2f64..10.0,
+        vds in 0.2f64..5.0,
+        v1 in 0.0f64..2.4,
+        dv in 0.01f64..1.0,
+    ) {
+        let tech = Technology::default_1p2um();
+        let card = tech.nmos().expect("nmos");
+        let g = MosGeometry::new(w_um * 1e-6, l_um * 1e-6);
+        let e1 = evaluate(card, &g, BiasPoint { vgs: v1, vds, vsb: 0.0 });
+        let e2 = evaluate(card, &g, BiasPoint { vgs: v1 + dv, vds, vsb: 0.0 });
+        prop_assert!(e2.ids >= e1.ids);
+    }
+
+    /// vgs_for_id inverts the forward model exactly.
+    #[test]
+    fn vgs_bisection_inverts(
+        w_um in 5.0f64..200.0,
+        id_ua in 1.0f64..100.0,
+    ) {
+        let tech = Technology::default_1p2um();
+        let card = tech.nmos().expect("nmos");
+        let g = MosGeometry::new(w_um * 1e-6, 2.4e-6);
+        let id = id_ua * 1e-6;
+        if let Ok(vgs) = vgs_for_id(card, &g, id, 2.5, 0.0) {
+            let e = evaluate(card, &g, BiasPoint { vgs, vds: 2.5, vsb: 0.0 });
+            prop_assert!((e.ids - id).abs() / id < 1e-5);
+        }
+    }
+
+    /// LU solves random diagonally-dominant real systems to small residual.
+    #[test]
+    fn lu_residual_small(
+        n in 2usize..24,
+        seed in 0u64..1000,
+    ) {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let mut m: Matrix<f64> = Matrix::zeros(n);
+        for r in 0..n {
+            for c in 0..n {
+                m[(r, c)] = next();
+            }
+            m[(r, r)] += n as f64; // diagonally dominant
+        }
+        let b: Vec<f64> = (0..n).map(|_| next()).collect();
+        let x = m.solve(&b).expect("nonsingular");
+        let ax = m.mul_vec(&x);
+        let resid = ax.iter().zip(&b).map(|(a, bb)| (a - bb).abs()).fold(0.0, f64::max);
+        prop_assert!(resid < 1e-9, "residual {}", resid);
+    }
+
+    /// Complex LU: conjugate-symmetric inputs give conjugate solutions.
+    #[test]
+    fn complex_solve_is_linear(
+        re in -5.0f64..5.0,
+        im in -5.0f64..5.0,
+        scale in 0.5f64..4.0,
+    ) {
+        let mut m: Matrix<Complex> = Matrix::zeros(2);
+        m[(0, 0)] = Complex::new(2.0 + re.abs(), im);
+        m[(0, 1)] = Complex::new(0.3, -0.1);
+        m[(1, 0)] = Complex::new(-0.2, 0.4);
+        m[(1, 1)] = Complex::new(3.0, -im);
+        let b = vec![Complex::new(re, im), Complex::new(1.0, -0.5)];
+        let x1 = m.solve(&b).expect("nonsingular");
+        let b2: Vec<Complex> = b.iter().map(|v| *v * scale).collect();
+        let x2 = m.solve(&b2).expect("nonsingular");
+        for (a, bb) in x1.iter().zip(&x2) {
+            prop_assert!((*a * scale - *bb).norm() < 1e-9);
+        }
+    }
+
+    /// Engineering-notation parsing accepts anything format_si produces.
+    #[test]
+    fn si_format_parse_roundtrip(
+        mant in 1.0f64..999.0,
+        exp in -12i32..9,
+    ) {
+        let v = mant * 10f64.powi(exp);
+        let s = ape_repro::netlist::format_si(v, "");
+        let parsed = parse_value(&s).expect("parses");
+        prop_assert!((parsed - v).abs() / v < 1e-3, "{} -> {} -> {}", v, s, parsed);
+    }
+
+    /// Resistive dividers solve to the analytic value for any positive pair.
+    #[test]
+    fn divider_dc_solution(
+        r1_k in 0.1f64..1000.0,
+        r2_k in 0.1f64..1000.0,
+        v in 0.1f64..10.0,
+    ) {
+        let tech = Technology::default_1p2um();
+        let mut ckt = Circuit::new("div");
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vdc("V1", a, Circuit::GROUND, v);
+        ckt.add_resistor("R1", a, b, r1_k * 1e3).expect("r1");
+        ckt.add_resistor("R2", b, Circuit::GROUND, r2_k * 1e3).expect("r2");
+        let op = dc_operating_point(&ckt, &tech).expect("solves");
+        let expect = v * r2_k / (r1_k + r2_k);
+        prop_assert!((op.voltage(b) - expect).abs() < 1e-6 + 1e-6 * expect.abs());
+    }
+
+    /// Annealer results always stay inside their box constraints.
+    #[test]
+    fn annealer_respects_bounds(
+        seed in 0u64..100,
+        lo in -10.0f64..0.0,
+        span in 0.1f64..20.0,
+    ) {
+        use ape_repro::anneal::{anneal, AnnealOptions, Schedule, VectorRanges};
+        let ranges = VectorRanges::new(vec![(lo, lo + span); 3]).expect("valid");
+        let opts = AnnealOptions {
+            schedule: Schedule::Geometric { t0: 5.0, alpha: 0.85, moves_per_temp: 20, t_min: 1e-4 },
+            max_evals: 500,
+            seed,
+            target_cost: f64::NEG_INFINITY,
+        };
+        let r = anneal(
+            ranges.center(),
+            |s| s.iter().map(|x| x * x).sum(),
+            |s, t, rng| ranges.neighbor(s, t, rng),
+            &opts,
+        );
+        prop_assert!(ranges.contains(&r.best_state));
+    }
+}
+
+/// Monotonicity of the estimator: more bias current never reduces the
+/// achievable UGF of a gain stage (sampled, not proptest: design calls are
+/// comparatively slow).
+#[test]
+fn estimator_ugf_monotone_in_current() {
+    use ape_repro::ape::basic::{GainStage, GainTopology};
+    let tech = Technology::default_1p2um();
+    let mut last = 0.0;
+    for k in 1..8 {
+        let ibias = 20e-6 * k as f64;
+        let g = GainStage::design(&tech, GainTopology::CmosActive, -20.0, ibias, 1e-12)
+            .expect("sizes");
+        let ugf = g.perf.ugf_hz.expect("has ugf");
+        assert!(ugf >= last, "ugf {ugf} dropped below {last} at ibias {ibias}");
+        last = ugf;
+    }
+}
