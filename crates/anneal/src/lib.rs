@@ -35,8 +35,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+mod rng;
+
+pub use rng::Rng64;
 
 /// Cooling schedule.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -101,10 +102,23 @@ impl Default for AnnealOptions {
                 t_min: 1e-7,
             },
             max_evals: 50_000,
-            seed: 0xA9E5_EED,
+            seed: 0x0A9E_5EED,
             target_cost: f64::NEG_INFINITY,
         }
     }
+}
+
+/// Aggregate statistics of a completed annealing run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AnnealStats {
+    /// Moves proposed (candidate states generated and evaluated).
+    pub moves: usize,
+    /// Moves accepted (same value as [`AnnealResult::accepted`]).
+    pub accepted: usize,
+    /// Temperature plateaus the schedule stepped through.
+    pub temp_steps: usize,
+    /// Temperature when the run stopped.
+    pub final_temp: f64,
 }
 
 /// Outcome of an annealing run.
@@ -120,6 +134,44 @@ pub struct AnnealResult<S> {
     pub accepted: usize,
     /// `(evaluation index, best cost so far)` trace for convergence plots.
     pub history: Vec<(usize, f64)>,
+    /// Run statistics (move/acceptance totals, cooling trajectory).
+    pub stats: AnnealStats,
+}
+
+/// Per-temperature snapshot handed to an [`Observer`] after each plateau.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TempStats {
+    /// Zero-based index of the plateau.
+    pub step: usize,
+    /// Temperature of the plateau.
+    pub temp: f64,
+    /// Moves proposed at this temperature.
+    pub moves: usize,
+    /// Moves accepted at this temperature.
+    pub accepted: usize,
+    /// `accepted / moves` (0 when no move was proposed).
+    pub accept_ratio: f64,
+    /// Best cost seen so far across the whole run.
+    pub best_cost: f64,
+}
+
+/// Hook invoked by [`anneal_with_observer`] at the end of every temperature
+/// plateau — the per-temperature window ASTRX/OBLX-style tools use to report
+/// acceptance ratio and cost trajectories.
+pub trait Observer {
+    /// Called once per temperature plateau with its aggregate statistics.
+    fn on_temperature(&mut self, stats: &TempStats);
+}
+
+/// The no-op observer: `anneal` uses it when no explicit observer is given.
+impl Observer for () {
+    fn on_temperature(&mut self, _stats: &TempStats) {}
+}
+
+impl<F: FnMut(&TempStats)> Observer for F {
+    fn on_temperature(&mut self, stats: &TempStats) {
+        self(stats);
+    }
 }
 
 /// Runs simulated annealing from `initial`.
@@ -128,14 +180,56 @@ pub struct AnnealResult<S> {
 /// given the current state, the *temperature fraction* `t/t0 ∈ (0, 1]`
 /// (useful for shrinking move sizes as the system cools) and the RNG.
 ///
-/// The run is fully deterministic for a fixed seed.
-pub fn anneal<S, C, M>(initial: S, mut cost: C, mut neighbor: M, opts: &AnnealOptions) -> AnnealResult<S>
+/// The run is fully deterministic for a fixed seed. Per-temperature
+/// progress flows to `ape-probe` when a sink is installed; to receive it in
+/// process, use [`anneal_with_observer`].
+pub fn anneal<S, C, M>(initial: S, cost: C, neighbor: M, opts: &AnnealOptions) -> AnnealResult<S>
 where
     S: Clone,
     C: FnMut(&S) -> f64,
-    M: FnMut(&S, f64, &mut StdRng) -> S,
+    M: FnMut(&S, f64, &mut Rng64) -> S,
 {
-    let mut rng = StdRng::seed_from_u64(opts.seed);
+    anneal_with_observer(initial, cost, neighbor, opts, &mut ())
+}
+
+/// [`anneal`] with a per-temperature [`Observer`] hook.
+///
+/// The observer fires once per temperature plateau, after its moves have
+/// been evaluated, with the plateau's [`TempStats`]. Closures taking
+/// `&TempStats` implement [`Observer`] directly:
+///
+/// ```
+/// use ape_anneal::{anneal_with_observer, AnnealOptions, VectorRanges};
+///
+/// let ranges = VectorRanges::new(vec![(-5.0, 5.0)]).unwrap();
+/// let mut plateaus = 0usize;
+/// let r = anneal_with_observer(
+///     ranges.center(),
+///     |s| s[0] * s[0],
+///     |s, t, rng| ranges.neighbor(s, t, rng),
+///     &AnnealOptions::default(),
+///     &mut |stats: &ape_anneal::TempStats| {
+///         assert!(stats.accept_ratio <= 1.0);
+///         plateaus += 1;
+///     },
+/// );
+/// assert_eq!(r.stats.temp_steps, plateaus);
+/// ```
+pub fn anneal_with_observer<S, C, M, O>(
+    initial: S,
+    mut cost: C,
+    mut neighbor: M,
+    opts: &AnnealOptions,
+    observer: &mut O,
+) -> AnnealResult<S>
+where
+    S: Clone,
+    C: FnMut(&S) -> f64,
+    M: FnMut(&S, f64, &mut Rng64) -> S,
+    O: Observer + ?Sized,
+{
+    let _run_span = ape_probe::span("anneal.run");
+    let mut rng = Rng64::seed_from_u64(opts.seed);
     let (t0, mut alpha, moves_per_temp, t_min, adaptive) = match opts.schedule {
         Schedule::Geometric {
             t0,
@@ -156,10 +250,13 @@ where
     let mut best_cost = current_cost;
     let mut evals = 1usize;
     let mut accepted = 0usize;
+    let mut moves = 0usize;
+    let mut temp_steps = 0usize;
     let mut history = vec![(0usize, best_cost)];
 
     let mut t = t0.max(1e-300);
     while t > t_min && evals < opts.max_evals && best_cost > opts.target_cost {
+        let mut moves_here = 0usize;
         let mut accepted_here = 0usize;
         for _ in 0..moves_per_temp {
             if evals >= opts.max_evals || best_cost <= opts.target_cost {
@@ -168,8 +265,9 @@ where
             let cand = neighbor(&current, t / t0, &mut rng);
             let cand_cost = cost(&cand);
             evals += 1;
+            moves_here += 1;
             let delta = cand_cost - current_cost;
-            let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / t).exp();
+            let accept = delta <= 0.0 || rng.f64() < (-delta / t).exp();
             if accept {
                 current = cand;
                 current_cost = cand_cost;
@@ -182,10 +280,30 @@ where
                 }
             }
         }
+        moves += moves_here;
+        let ratio = if moves_here > 0 {
+            accepted_here as f64 / moves_here as f64
+        } else {
+            0.0
+        };
+        observer.on_temperature(&TempStats {
+            step: temp_steps,
+            temp: t,
+            moves: moves_here,
+            accepted: accepted_here,
+            accept_ratio: ratio,
+            best_cost,
+        });
+        if ape_probe::is_enabled() {
+            ape_probe::counter("anneal.moves", moves_here as u64);
+            ape_probe::counter("anneal.accepted", accepted_here as u64);
+            ape_probe::value("anneal.accept_ratio", ratio);
+            ape_probe::value("anneal.best_cost", best_cost);
+        }
+        temp_steps += 1;
         if adaptive {
             // Hold acceptance near 44 %: cool faster when too hot (high
             // acceptance), slower when freezing.
-            let ratio = accepted_here as f64 / moves_per_temp.max(1) as f64;
             alpha = if ratio > 0.6 {
                 0.85
             } else if ratio > 0.3 {
@@ -203,6 +321,12 @@ where
         evals,
         accepted,
         history,
+        stats: AnnealStats {
+            moves,
+            accepted,
+            temp_steps,
+            final_temp: t,
+        },
     }
 }
 
@@ -263,11 +387,11 @@ impl VectorRanges {
     }
 
     /// A uniformly random state inside the box.
-    pub fn sample(&self, rng: &mut StdRng) -> Vec<f64> {
+    pub fn sample(&self, rng: &mut Rng64) -> Vec<f64> {
         self.lo
             .iter()
             .zip(&self.hi)
-            .map(|(l, h)| if h > l { rng.gen_range(*l..*h) } else { *l })
+            .map(|(l, h)| rng.range_f64(*l, *h))
             .collect()
     }
 
@@ -289,20 +413,20 @@ impl VectorRanges {
 
     /// Temperature-scaled move: perturbs 1–3 random coordinates by up to
     /// `temp_frac · 40 %` of their range, clamped to the box.
-    pub fn neighbor(&self, s: &[f64], temp_frac: f64, rng: &mut StdRng) -> Vec<f64> {
+    pub fn neighbor(&self, s: &[f64], temp_frac: f64, rng: &mut Rng64) -> Vec<f64> {
         let mut out = s.to_vec();
         if self.is_empty() {
             return out;
         }
-        let k = 1 + rng.gen_range(0..3usize.min(self.len()));
+        let k = 1 + rng.range_usize(3usize.min(self.len()));
         for _ in 0..k {
-            let i = rng.gen_range(0..self.len());
+            let i = rng.range_usize(self.len());
             let span = self.hi[i] - self.lo[i];
             if span <= 0.0 {
                 continue;
             }
             let sigma = span * 0.4 * temp_frac.clamp(0.01, 1.0);
-            let step = (rng.gen::<f64>() * 2.0 - 1.0) * sigma;
+            let step = (rng.f64() * 2.0 - 1.0) * sigma;
             out[i] = (out[i] + step).clamp(self.lo[i], self.hi[i]);
         }
         out
@@ -501,6 +625,33 @@ mod tests {
     }
 
     #[test]
+    fn stats_and_observer_agree() {
+        let ranges = VectorRanges::new(vec![(-5.0, 5.0); 2]).unwrap();
+        let mut obs_moves = 0usize;
+        let mut obs_accepted = 0usize;
+        let mut obs_steps = 0usize;
+        let r = anneal_with_observer(
+            ranges.center(),
+            |s| s.iter().map(|x| x * x).sum(),
+            |s, t, rng| ranges.neighbor(s, t, rng),
+            &quick_opts(4),
+            &mut |stats: &TempStats| {
+                obs_moves += stats.moves;
+                obs_accepted += stats.accepted;
+                obs_steps += 1;
+                assert!((0.0..=1.0).contains(&stats.accept_ratio));
+            },
+        );
+        assert_eq!(r.stats.moves, obs_moves);
+        assert_eq!(r.stats.accepted, obs_accepted);
+        assert_eq!(r.stats.temp_steps, obs_steps);
+        assert_eq!(r.stats.accepted, r.accepted);
+        // Every eval after the initial one is a proposed move.
+        assert_eq!(r.stats.moves, r.evals - 1);
+        assert!(r.stats.final_temp <= 10.0);
+    }
+
+    #[test]
     fn bad_ranges_rejected() {
         assert!(VectorRanges::new(vec![(1.0, 0.0)]).is_err());
         assert!(VectorRanges::new(vec![(0.0, f64::NAN)]).is_err());
@@ -517,24 +668,35 @@ mod tests {
 
     #[test]
     fn narrow_intervals_converge_faster() {
-        // The paper's core claim in miniature: an APE-style ±20 % interval
-        // around the optimum reaches a given cost in fewer evaluations than
-        // decade-wide blind intervals.
+        // The paper's core claim in miniature: under an equal, modest eval
+        // budget, an APE-style ±20 % interval around the optimum reaches a
+        // far lower cost than decade-wide blind intervals. Each range gets a
+        // schedule scaled to its own cost magnitude, and any single seed can
+        // get lucky, so compare across several seeds.
         let blind = VectorRanges::new(vec![(-100.0, 100.0); 4]).unwrap();
         let seeded = VectorRanges::around(&[3.1, 3.1, 3.1, 3.1], 0.2, &blind).unwrap();
         let cost = |s: &Vec<f64>| s.iter().map(|x| (x - 3.0) * (x - 3.0)).sum::<f64>();
-        let opts = AnnealOptions {
-            target_cost: 1e-3,
-            max_evals: 200_000,
-            ..quick_opts(21)
+        let run = |ranges: &VectorRanges, seed: u64| {
+            let opts = AnnealOptions {
+                schedule: Schedule::geometric_auto(cost(&ranges.center()), 50),
+                max_evals: 10_000,
+                seed,
+                target_cost: f64::NEG_INFINITY,
+            };
+            anneal(
+                ranges.center(),
+                cost,
+                |s, t, rng| ranges.neighbor(s, t, rng),
+                &opts,
+            )
+            .best_cost
         };
-        let blind_run = anneal(blind.center(), cost, |s, t, rng| blind.neighbor(s, t, rng), &opts);
-        let seeded_run = anneal(seeded.center(), cost, |s, t, rng| seeded.neighbor(s, t, rng), &opts);
-        assert!(
-            seeded_run.evals < blind_run.evals,
-            "seeded {} vs blind {}",
-            seeded_run.evals,
-            blind_run.evals
-        );
+        let mut seeded_wins = 0;
+        for seed in 21..26 {
+            if run(&seeded, seed) < run(&blind, seed) {
+                seeded_wins += 1;
+            }
+        }
+        assert!(seeded_wins >= 4, "seeded won only {seeded_wins}/5 runs");
     }
 }

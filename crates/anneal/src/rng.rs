@@ -1,0 +1,126 @@
+//! Self-contained deterministic PRNG (SplitMix64).
+//!
+//! The annealer needs reproducible, seedable, statistically decent — not
+//! cryptographic — randomness, and the build environment vendors no
+//! external crates, so the classic SplitMix64 generator (Steele, Lea &
+//! Flood, OOPSLA 2014) is implemented here in ~30 lines. Same seed, same
+//! trajectory, on every platform.
+
+/// A 64-bit SplitMix64 generator.
+///
+/// # Example
+///
+/// ```
+/// use ape_anneal::Rng64;
+/// let mut a = Rng64::seed_from_u64(7);
+/// let mut b = Rng64::seed_from_u64(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// let x = a.f64();
+/// assert!((0.0..1.0).contains(&x));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng64 {
+    state: u64,
+}
+
+impl Rng64 {
+    /// Creates a generator from a seed; identical seeds give identical
+    /// streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Rng64 { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53 random mantissa bits).
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform `f64` in `[lo, hi)` (`lo` when the interval is empty).
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        if hi > lo {
+            lo + (hi - lo) * self.f64()
+        } else {
+            lo
+        }
+    }
+
+    /// Uniform integer in `[0, n)` (0 when `n == 0`).
+    pub fn range_usize(&mut self, n: usize) -> usize {
+        if n == 0 {
+            return 0;
+        }
+        // Multiply-shift bounded sampling (Lemire); bias is < 2^-64 per
+        // draw — irrelevant for annealing moves.
+        let x = self.next_u64() as u128;
+        ((x * n as u128) >> 64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = Rng64::seed_from_u64(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Rng64::seed_from_u64(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = Rng64::seed_from_u64(43);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_well_spread() {
+        let mut r = Rng64::seed_from_u64(1);
+        let n = 10_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn range_usize_covers_all_residues() {
+        let mut r = Rng64::seed_from_u64(9);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            let k = r.range_usize(7);
+            assert!(k < 7);
+            seen[k] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(r.range_usize(0), 0);
+    }
+
+    #[test]
+    fn range_f64_respects_bounds() {
+        let mut r = Rng64::seed_from_u64(3);
+        for _ in 0..1_000 {
+            let x = r.range_f64(-2.5, 4.0);
+            assert!((-2.5..4.0).contains(&x));
+        }
+        assert_eq!(r.range_f64(1.0, 1.0), 1.0);
+    }
+}

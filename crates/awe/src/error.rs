@@ -39,7 +39,10 @@ impl fmt::Display for AweError {
             AweError::InvalidOrder { q } => write!(f, "invalid awe order {q} (need 1..=8)"),
             AweError::SingularSystem => write!(f, "singular conductance matrix"),
             AweError::DegenerateMoments { q } => {
-                write!(f, "moment matrix singular at order {q}; response has fewer poles")
+                write!(
+                    f,
+                    "moment matrix singular at order {q}; response has fewer poles"
+                )
             }
             AweError::RootsFailed { degree } => {
                 write!(f, "root finding failed for degree-{degree} polynomial")

@@ -115,7 +115,10 @@ impl ReducedModel {
     pub fn step_response(&self, t: f64) -> f64 {
         let mut acc = Complex::real(self.dc_gain());
         for (p, k) in self.poles.iter().zip(&self.residues) {
-            let e = Complex::new((p.re * t).exp() * (p.im * t).cos(), (p.re * t).exp() * (p.im * t).sin());
+            let e = Complex::new(
+                (p.re * t).exp() * (p.im * t).cos(),
+                (p.re * t).exp() * (p.im * t).sin(),
+            );
             acc += (*k / *p) * e;
         }
         acc.re
@@ -196,8 +199,7 @@ mod tests {
     fn stability_detection() {
         let stable = single_pole(1e3, 1.0);
         assert!(stable.is_stable());
-        let unstable =
-            ReducedModel::new(vec![Complex::real(1e3)], vec![Complex::real(1e3)]);
+        let unstable = ReducedModel::new(vec![Complex::real(1e3)], vec![Complex::real(1e3)]);
         assert!(!unstable.is_stable());
         assert!(unstable.dominant_pole_hz().is_none());
     }

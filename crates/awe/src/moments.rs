@@ -69,7 +69,11 @@ mod tests {
         let tau = 1e-6;
         assert!((m[0] - 1.0).abs() < 1e-6, "m0 = {}", m[0]);
         assert!((m[1] + tau).abs() / tau < 1e-6, "m1 = {}", m[1]);
-        assert!((m[2] - tau * tau).abs() / (tau * tau) < 1e-6, "m2 = {}", m[2]);
+        assert!(
+            (m[2] - tau * tau).abs() / (tau * tau) < 1e-6,
+            "m2 = {}",
+            m[2]
+        );
         assert!((m[3] + tau.powi(3)).abs() / tau.powi(3) < 1e-6);
     }
 

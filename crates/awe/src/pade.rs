@@ -139,8 +139,8 @@ mod tests {
         }
         // Check the model evaluates correctly at s = j·w0/10.
         let s = Complex::new(0.0, w0 / 10.0);
-        let exact = Complex::ONE
-            / (Complex::ONE + s * (1.0 / (q_factor * w0)) + s * s * (1.0 / (w0 * w0)));
+        let exact =
+            Complex::ONE / (Complex::ONE + s * (1.0 / (q_factor * w0)) + s * s * (1.0 / (w0 * w0)));
         let approx = model.eval(s);
         assert!((exact - approx).norm() < 1e-6 * exact.norm());
     }

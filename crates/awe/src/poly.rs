@@ -62,11 +62,7 @@ pub fn roots(coeffs: &[f64]) -> Result<Vec<Complex>, AweError> {
 
     // Durand-Kerner from a spiral of distinct starting points whose radius
     // follows the Cauchy root bound.
-    let bound = 1.0
-        + monic[..n]
-            .iter()
-            .map(|c| c.abs())
-            .fold(0.0, f64::max);
+    let bound = 1.0 + monic[..n].iter().map(|c| c.abs()).fold(0.0, f64::max);
     let mut z: Vec<Complex> = (0..n)
         .map(|k| {
             let ang = 2.0 * std::f64::consts::PI * k as f64 / n as f64 + 0.4;

@@ -1,0 +1,167 @@
+//! Sampled invariant tests for the AWE reduction: Padé identities over
+//! random stable systems, swept deterministically from fixed seeds.
+
+use ape_awe::{pade_reduce, polynomial_roots, ReducedModel};
+use ape_spice::Complex;
+
+/// Moments of a pole/residue set: `mⱼ = −Σ kᵢ/pᵢ^(j+1)`.
+fn moments_of(poles: &[f64], residues: &[f64], count: usize) -> Vec<f64> {
+    (0..count)
+        .map(|j| {
+            -poles
+                .iter()
+                .zip(residues)
+                .map(|(p, k)| k / p.powi(j as i32 + 1))
+                .sum::<f64>()
+        })
+        .collect()
+}
+
+/// Minimal xorshift sampler (deterministic, dependency-free).
+struct Sampler(u64);
+
+impl Sampler {
+    fn next(&mut self) -> f64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        (self.0 >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next()
+    }
+
+    /// Log-uniform sample in `[lo, hi]` — pole magnitudes span decades.
+    fn log_range(&mut self, lo: f64, hi: f64) -> f64 {
+        (self.range(lo.ln(), hi.ln())).exp()
+    }
+}
+
+/// One real pole: exact recovery.
+#[test]
+fn single_pole_recovery() {
+    let mut s = Sampler(0x1A3E);
+    for _ in 0..96 {
+        let p_mag = s.log_range(1e2, 1e9);
+        let k_scale = s.range(0.1, 100.0);
+        let p = -p_mag;
+        let k = k_scale * p_mag; // H(0) = -k/p = k_scale
+        let m = moments_of(&[p], &[k], 2);
+        let model = pade_reduce(&m, 1).unwrap();
+        assert!((model.poles()[0].re - p).abs() / p_mag < 1e-6);
+        assert!((model.dc_gain() - k_scale).abs() / k_scale < 1e-6);
+    }
+}
+
+/// Two well-separated real poles: both recovered with their DC gain.
+#[test]
+fn two_pole_recovery() {
+    let mut s = Sampler(0x2B0B);
+    for _ in 0..96 {
+        let p1_mag = s.log_range(1e2, 1e5);
+        let sep = s.log_range(30.0, 1e4);
+        let k1 = s.range(1.0, 100.0);
+        let k2 = s.range(1.0, 100.0);
+        let p1 = -p1_mag;
+        let p2 = -p1_mag * sep;
+        let res = [k1 * p1_mag, k2 * p1_mag * sep];
+        let m = moments_of(&[p1, p2], &res, 4);
+        let model = pade_reduce(&m, 2).unwrap();
+        assert!(model.is_stable());
+        let mut got: Vec<f64> = model.poles().iter().map(|z| z.re).collect();
+        got.sort_by(|a, b| b.partial_cmp(a).unwrap()); // slowest first
+        assert!(
+            (got[0] - p1).abs() / p1_mag < 1e-3,
+            "p1 {} vs {}",
+            got[0],
+            p1
+        );
+        assert!((got[1] - p2).abs() / (p1_mag * sep) < 1e-3);
+        let dc_expect = k1 + k2;
+        assert!((model.dc_gain() - dc_expect).abs() / dc_expect < 1e-6);
+    }
+}
+
+/// The reduced model reproduces the moments it was built from: the Taylor
+/// coefficients of `H(s)` at `s = 0` match.
+#[test]
+fn model_matches_input_moments() {
+    let mut s = Sampler(0x3CAD);
+    for _ in 0..96 {
+        let p1_mag = s.log_range(1e3, 1e6);
+        let sep = s.log_range(10.0, 1e3);
+        let k1 = s.range(1.0, 50.0);
+        let k2 = s.range(1.0, 50.0);
+        let poles = [-p1_mag, -p1_mag * sep];
+        let res = [k1 * p1_mag, k2 * p1_mag * sep];
+        let m_in = moments_of(&poles, &res, 4);
+        let model = pade_reduce(&m_in, 2).unwrap();
+        // Recompute the moments of the *model* analytically.
+        let m_back: Vec<f64> = (0..4)
+            .map(|j| {
+                -model
+                    .poles()
+                    .iter()
+                    .zip(model.residues())
+                    .map(|(p, k)| {
+                        // k/p^(j+1) for complex p (here real-ish).
+                        let mut denom = *p;
+                        for _ in 0..j {
+                            denom = denom * *p;
+                        }
+                        (*k / denom).re
+                    })
+                    .sum::<f64>()
+            })
+            .collect();
+        for (a, b) in m_in.iter().zip(&m_back) {
+            assert!((a - b).abs() <= 1e-6 * a.abs().max(1e-30), "{a} vs {b}");
+        }
+    }
+}
+
+/// Root finding solves monic polynomials built from known real roots.
+#[test]
+fn roots_of_constructed_polynomials() {
+    let mut s = Sampler(0x4D0C);
+    let mut checked = 0;
+    while checked < 96 {
+        let r1 = s.range(-100.0, -0.1);
+        let r2 = s.range(0.1, 100.0);
+        let r3 = s.range(-50.0, 50.0);
+        // (x-r1)(x-r2)(x-r3), distinct enough roots only.
+        if (r1 - r2).abs() <= 0.5 || (r1 - r3).abs() <= 0.5 || (r2 - r3).abs() <= 0.5 {
+            continue;
+        }
+        checked += 1;
+        let c0 = -r1 * r2 * r3;
+        let c1 = r1 * r2 + r1 * r3 + r2 * r3;
+        let c2 = -(r1 + r2 + r3);
+        let roots = polynomial_roots(&[c0, c1, c2, 1.0]).unwrap();
+        let mut expect = [r1, r2, r3];
+        expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut got: Vec<f64> = roots.iter().map(|z| z.re).collect();
+        got.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (g, e) in got.iter().zip(&expect) {
+            assert!((g - e).abs() < 1e-5 * e.abs().max(1.0), "{g} vs {e}");
+        }
+        for z in &roots {
+            assert!(z.im.abs() < 1e-5 * z.re.abs().max(1.0));
+        }
+    }
+}
+
+/// Step responses of stable models settle to the DC gain.
+#[test]
+fn step_response_settles() {
+    let mut s = Sampler(0x5E77);
+    for _ in 0..96 {
+        let p_mag = s.log_range(1e3, 1e8);
+        let a0 = s.range(0.5, 500.0);
+        let model = ReducedModel::new(vec![Complex::real(-p_mag)], vec![Complex::real(a0 * p_mag)]);
+        let t_settle = 20.0 / p_mag;
+        let y = model.step_response(t_settle);
+        assert!((y - a0).abs() / a0 < 1e-6, "settled to {y}, expected {a0}");
+    }
+}

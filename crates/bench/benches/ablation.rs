@@ -1,15 +1,18 @@
 //! Ablation benches for the design choices called out in `DESIGN.md` §5:
 //! AWE order, MOS model level, and interval width.
+//!
+//! Run with `cargo bench -p ape-bench --bench ablation`.
 
 use ape_awe::{awe_transfer, transfer_moments};
+use ape_bench::harness::BenchGroup;
 use ape_bench::specs::table1_opamps;
 use ape_core::opamp::OpAmp;
 use ape_netlist::{MosLevel, Technology};
 use ape_spice::{dc_operating_point, linearize};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-fn bench_ablation(c: &mut Criterion) {
+fn main() {
+    let _trace = ape_probe::install_from_env();
     let tech = Technology::default_1p2um();
     let task = table1_opamps().remove(5);
     let amp = OpAmp::design(&tech, task.topology, task.spec).expect("sizes");
@@ -19,21 +22,19 @@ fn bench_ablation(c: &mut Criterion) {
     let out = tb.find_node("out").expect("out");
 
     // --- AWE order: cost and the dc-gain prediction per order ------------
-    let mut g = c.benchmark_group("ablation_awe_order");
-    g.sample_size(30);
+    let mut g = BenchGroup::new("ablation_awe_order", 30);
     for q in [1usize, 2, 3, 4] {
-        g.bench_with_input(BenchmarkId::from_parameter(q), &q, |b, &q| {
-            b.iter(|| black_box(awe_transfer(&sys, out, q)))
+        g.bench(&format!("order_{q}"), || {
+            black_box(awe_transfer(&sys, out, q))
         });
     }
-    g.bench_function("moments_only", |b| {
-        b.iter(|| black_box(transfer_moments(&sys, out, 2).expect("moments")))
+    g.bench("moments_only", || {
+        black_box(transfer_moments(&sys, out, 2).expect("moments"))
     });
     g.finish();
 
     // --- MOS model level: estimation cost across Level 1/2/3/BSIM --------
-    let mut g = c.benchmark_group("ablation_model_level");
-    g.sample_size(20);
+    let mut g = BenchGroup::new("ablation_model_level", 20);
     for (name, level) in [
         ("level1", MosLevel::Level1),
         ("level2", MosLevel::Level2),
@@ -41,8 +42,8 @@ fn bench_ablation(c: &mut Criterion) {
         ("bsim", MosLevel::Bsim),
     ] {
         let t = tech.with_level(level);
-        g.bench_function(name, |b| {
-            b.iter(|| black_box(OpAmp::design(&t, task.topology, task.spec).expect("sizes")))
+        g.bench(name, || {
+            black_box(OpAmp::design(&t, task.topology, task.spec).expect("sizes"))
         });
     }
     g.finish();
@@ -50,34 +51,24 @@ fn bench_ablation(c: &mut Criterion) {
     // --- Interval width: annealer evals to reach a fixed target ----------
     // (Runs as a bench of a fixed-size workload; the evals-to-feasible
     // numbers are printed by the table4 binary.)
-    let mut g = c.benchmark_group("ablation_interval_width");
-    g.sample_size(10);
+    let mut g = BenchGroup::new("ablation_interval_width", 10);
+    let ape_point = ape_oblx::design_point_from_ape(&tech, &amp);
     for frac in [0.1, 0.2, 0.5] {
-        let ape_point = ape_oblx::design_point_from_ape(&tech, &amp);
-        g.bench_with_input(
-            BenchmarkId::from_parameter(format!("{frac}")),
-            &frac,
-            |b, &frac| {
-                b.iter(|| {
-                    let init = ape_oblx::InitialPoint::ApeSeeded {
-                        point: ape_point.clone(),
-                        interval_frac: frac,
-                    };
-                    let opts = ape_oblx::SynthesisOptions {
-                        max_evals: 60,
-                        seed: 11,
-                        ..ape_oblx::SynthesisOptions::default()
-                    };
-                    black_box(
-                        ape_oblx::synthesize(&tech, task.topology, &task.spec, &init, &opts)
-                            .expect("runs"),
-                    )
-                })
-            },
-        );
+        g.bench(&format!("interval_{frac}"), || {
+            let init = ape_oblx::InitialPoint::ApeSeeded {
+                point: ape_point.clone(),
+                interval_frac: frac,
+            };
+            let opts = ape_oblx::SynthesisOptions {
+                max_evals: 60,
+                seed: 11,
+                ..ape_oblx::SynthesisOptions::default()
+            };
+            black_box(
+                ape_oblx::synthesize(&tech, task.topology, &task.spec, &init, &opts).expect("runs"),
+            )
+        });
     }
     g.finish();
+    ape_probe::finish();
 }
-
-criterion_group!(benches, bench_ablation);
-criterion_main!(benches);

@@ -1,72 +1,68 @@
-//! Criterion benches for the simulation substrate: DC, AC and transient on
+//! Benches for the simulation substrate: DC, AC and transient on
 //! representative circuits (the cost that dominated the paper's
 //! hundreds-of-seconds synthesis runs).
+//!
+//! Run with `cargo bench -p ape-bench --bench simulator`; set
+//! `APE_TRACE=summary` to also get NR-iteration and step counters.
 
+use ape_bench::harness::BenchGroup;
 use ape_bench::specs::table3_opamps;
 use ape_core::opamp::OpAmp;
 use ape_netlist::{Circuit, SourceWaveform, Technology};
-use ape_spice::{
-    ac_sweep, dc_operating_point, decade_frequencies, transient, TranOptions,
-};
-use criterion::{criterion_group, criterion_main, Criterion};
+use ape_spice::{ac_sweep, dc_operating_point, decade_frequencies, transient, TranOptions};
 use std::hint::black_box;
 
-fn bench_simulator(c: &mut Criterion) {
+fn main() {
+    let _trace = ape_probe::install_from_env();
     let tech = Technology::default_1p2um();
     let task = table3_opamps().remove(3);
     let amp = OpAmp::design(&tech, task.topology, task.spec).expect("sizes");
     let tb = amp.testbench_open_loop(&tech).expect("testbench");
     let op = dc_operating_point(&tb, &tech).expect("op");
 
-    let mut g = c.benchmark_group("simulator");
-    g.sample_size(20);
+    let mut g = BenchGroup::new("simulator", 20);
 
-    g.bench_function("dc_opamp", |b| {
-        b.iter(|| black_box(dc_operating_point(&tb, &tech).expect("op")))
+    g.bench("dc_opamp", || {
+        black_box(dc_operating_point(&tb, &tech).expect("op"))
     });
 
-    g.bench_function("ac_sweep_opamp_57pt", |b| {
-        let freqs = decade_frequencies(100.0, 1e9, 8);
-        b.iter(|| black_box(ac_sweep(&tb, &tech, &op, &freqs).expect("sweep")))
+    let freqs = decade_frequencies(100.0, 1e9, 8);
+    g.bench("ac_sweep_opamp_57pt", || {
+        black_box(ac_sweep(&tb, &tech, &op, &freqs).expect("sweep"))
     });
 
-    g.bench_function("ac_single_point_opamp", |b| {
-        b.iter(|| black_box(ac_sweep(&tb, &tech, &op, &[1e6]).expect("sweep")))
+    g.bench("ac_single_point_opamp", || {
+        black_box(ac_sweep(&tb, &tech, &op, &[1e6]).expect("sweep"))
     });
 
-    g.bench_function("transient_rc_300steps", |b| {
-        let mut ckt = Circuit::new("rc");
-        let i = ckt.node("in");
-        let o = ckt.node("out");
-        ckt.add_vsource(
-            "V1",
-            i,
-            Circuit::GROUND,
-            0.0,
-            0.0,
-            SourceWaveform::Pulse {
-                v1: 0.0,
-                v2: 1.0,
-                delay: 0.0,
-                rise: 1e-9,
-                fall: 1e-9,
-                width: 1.0,
-                period: f64::INFINITY,
-            },
-        )
-        .expect("source");
-        ckt.add_resistor("R1", i, o, 1e3).expect("r");
-        ckt.add_capacitor("C1", o, Circuit::GROUND, 1e-9).expect("c");
-        let op_rc = dc_operating_point(&ckt, &tech).expect("op");
-        b.iter(|| {
-            black_box(
-                transient(&ckt, &tech, &op_rc, TranOptions::new(1e-8, 3e-6)).expect("tran"),
-            )
-        })
+    let mut ckt = Circuit::new("rc");
+    let i = ckt.node("in");
+    let o = ckt.node("out");
+    ckt.add_vsource(
+        "V1",
+        i,
+        Circuit::GROUND,
+        0.0,
+        0.0,
+        SourceWaveform::Pulse {
+            v1: 0.0,
+            v2: 1.0,
+            delay: 0.0,
+            rise: 1e-9,
+            fall: 1e-9,
+            width: 1.0,
+            period: f64::INFINITY,
+        },
+    )
+    .expect("source");
+    ckt.add_resistor("R1", i, o, 1e3).expect("r");
+    ckt.add_capacitor("C1", o, Circuit::GROUND, 1e-9)
+        .expect("c");
+    let op_rc = dc_operating_point(&ckt, &tech).expect("op");
+    g.bench("transient_rc_300steps", || {
+        black_box(transient(&ckt, &tech, &op_rc, TranOptions::new(1e-8, 3e-6)).expect("tran"))
     });
 
     g.finish();
+    ape_probe::finish();
 }
-
-criterion_group!(benches, bench_simulator);
-criterion_main!(benches);

@@ -1,8 +1,12 @@
-//! Criterion benches for the synthesis engine: per-candidate evaluation
-//! cost (DC + AWE + crossover probing) and short annealing runs in blind
-//! vs APE-seeded mode — the engine-level view of the Table 1 vs Table 4
+//! Benches for the synthesis engine: per-candidate evaluation cost
+//! (DC + AWE + crossover probing) and short annealing runs in blind vs
+//! APE-seeded mode — the engine-level view of the Table 1 vs Table 4
 //! contrast.
+//!
+//! Run with `cargo bench -p ape-bench --bench synthesis`; set
+//! `APE_TRACE=summary` to also get cost-evaluation and annealing counters.
 
+use ape_bench::harness::BenchGroup;
 use ape_bench::specs::table1_opamps;
 use ape_core::opamp::OpAmp;
 use ape_netlist::Technology;
@@ -10,58 +14,67 @@ use ape_oblx::{
     blind_center, design_point_from_ape, evaluate_candidate, synthesize, InitialPoint,
     SynthesisOptions,
 };
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn bench_synthesis(c: &mut Criterion) {
+fn main() {
+    let _trace = ape_probe::install_from_env();
     let tech = Technology::default_1p2um();
     let task = table1_opamps().remove(5); // oa5: mirror, unbuffered
     let ape = OpAmp::design(&tech, task.topology, task.spec).expect("sizes");
     let seed_point = design_point_from_ape(&tech, &ape);
 
-    let mut g = c.benchmark_group("synthesis");
-    g.sample_size(10);
+    let mut g = BenchGroup::new("synthesis", 10);
 
-    g.bench_function("candidate_eval_seeded_point", |b| {
-        b.iter(|| black_box(evaluate_candidate(&tech, task.topology, &task.spec, &seed_point)))
+    g.bench("candidate_eval_seeded_point", || {
+        black_box(evaluate_candidate(
+            &tech,
+            task.topology,
+            &task.spec,
+            &seed_point,
+        ))
     });
 
-    g.bench_function("candidate_eval_blind_center", |b| {
-        let p = blind_center(task.topology);
-        b.iter(|| black_box(evaluate_candidate(&tech, task.topology, &task.spec, &p)))
+    let blind_point = blind_center(task.topology);
+    g.bench("candidate_eval_blind_center", || {
+        black_box(evaluate_candidate(
+            &tech,
+            task.topology,
+            &task.spec,
+            &blind_point,
+        ))
     });
 
-    g.bench_function("synthesis_seeded_to_convergence", |b| {
-        b.iter(|| {
-            let init = InitialPoint::ApeSeeded {
-                point: seed_point.clone(),
-                interval_frac: 0.2,
-            };
-            let opts = SynthesisOptions {
-                max_evals: 100,
-                seed: 5,
-                ..SynthesisOptions::default()
-            };
-            black_box(synthesize(&tech, task.topology, &task.spec, &init, &opts).expect("runs"))
-        })
+    g.bench("synthesis_seeded_to_convergence", || {
+        let init = InitialPoint::ApeSeeded {
+            point: seed_point.clone(),
+            interval_frac: 0.2,
+        };
+        let opts = SynthesisOptions {
+            max_evals: 100,
+            seed: 5,
+            ..SynthesisOptions::default()
+        };
+        black_box(synthesize(&tech, task.topology, &task.spec, &init, &opts).expect("runs"))
     });
 
-    g.bench_function("synthesis_blind_100_evals", |b| {
-        b.iter(|| {
-            let opts = SynthesisOptions {
-                max_evals: 100,
-                seed: 5,
-                ..SynthesisOptions::default()
-            };
-            black_box(
-                synthesize(&tech, task.topology, &task.spec, &InitialPoint::Blind, &opts)
-                    .expect("runs"),
+    g.bench("synthesis_blind_100_evals", || {
+        let opts = SynthesisOptions {
+            max_evals: 100,
+            seed: 5,
+            ..SynthesisOptions::default()
+        };
+        black_box(
+            synthesize(
+                &tech,
+                task.topology,
+                &task.spec,
+                &InitialPoint::Blind,
+                &opts,
             )
-        })
+            .expect("runs"),
+        )
     });
 
     g.finish();
+    ape_probe::finish();
 }
-
-criterion_group!(benches, bench_synthesis);
-criterion_main!(benches);

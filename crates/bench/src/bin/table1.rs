@@ -9,6 +9,7 @@ use ape_netlist::Technology;
 use ape_oblx::{synthesize, InitialPoint, SynthesisOptions};
 
 fn main() {
+    let _trace = ape_probe::install_from_env();
     let evals: usize = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
@@ -22,8 +23,14 @@ fn main() {
             seed: 1000 + task.name.as_bytes()[2] as u64,
             ..SynthesisOptions::default()
         };
-        let out = synthesize(&tech, task.topology, &task.spec, &InitialPoint::Blind, &opts)
-            .expect("spec is well-formed");
+        let out = synthesize(
+            &tech,
+            task.topology,
+            &task.spec,
+            &InitialPoint::Blind,
+            &opts,
+        )
+        .expect("spec is well-formed");
         let (gain, ugf, area, power, comment) = match &out.audit {
             Some(a) => (
                 a.measured.dc_gain.unwrap_or(0.0),
@@ -53,8 +60,19 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["ckt", "spec gain", "spec UGF MHz", "gain", "UGF MHz", "area um2", "power mW", "CPU s", "comments"],
+            &[
+                "ckt",
+                "spec gain",
+                "spec UGF MHz",
+                "gain",
+                "UGF MHz",
+                "area um2",
+                "power mW",
+                "CPU s",
+                "comments"
+            ],
             &rows
         )
     );
+    ape_probe::finish();
 }

@@ -8,6 +8,7 @@ use ape_bench::{fmt_val, render_table};
 use ape_netlist::Technology;
 
 fn main() {
+    let _trace = ape_probe::install_from_env();
     let tech = Technology::default_1p2um();
     println!("Table 2: estimation vs simulation for basic analog circuits\n");
     let rows = table2_rows(&tech).expect("table 2 computes on the default process");
@@ -36,8 +37,8 @@ fn main() {
         "{}",
         render_table(
             &[
-                "Topology", "area est", "area sim", "UGF est", "UGF sim", "P est mW",
-                "P sim mW", "gain est", "gain sim", "I est uA", "I sim uA",
+                "Topology", "area est", "area sim", "UGF est", "UGF sim", "P est mW", "P sim mW",
+                "gain est", "gain sim", "I est uA", "I sim uA",
             ],
             &printable
         )
@@ -58,4 +59,5 @@ fn main() {
         100.0 * total / count as f64,
         100.0 * worst
     );
+    ape_probe::finish();
 }

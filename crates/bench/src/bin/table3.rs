@@ -9,9 +9,12 @@ use ape_bench::{fmt_val, render_table};
 use ape_netlist::Technology;
 
 fn main() {
+    let _trace = ape_probe::install_from_env();
     let tech = Technology::default_1p2um();
     println!("Table 3: estimation vs simulation of op-amps\n");
-    println!("Note: OpAmp1-3 topology: Wilson, DiffCMOS, output buffer; OpAmp4: Mirror, DiffCMOS\n");
+    println!(
+        "Note: OpAmp1-3 topology: Wilson, DiffCMOS, output buffer; OpAmp4: Mirror, DiffCMOS\n"
+    );
     let mut printable = Vec::new();
     for task in table3_opamps() {
         let row = table3_row(&tech, &task).expect("table 3 row computes");
@@ -44,11 +47,26 @@ fn main() {
         "{}",
         render_table(
             &[
-                "Circuit", "P est mW", "P sim", "Adm est", "Adm sim", "UGF est MHz", "UGF sim",
-                "Itail est uA", "Itail sim", "Zout est k", "Zout sim", "area est um2",
-                "area sim", "CMRR est dB", "CMRR sim", "SR est V/us", "SR sim",
+                "Circuit",
+                "P est mW",
+                "P sim",
+                "Adm est",
+                "Adm sim",
+                "UGF est MHz",
+                "UGF sim",
+                "Itail est uA",
+                "Itail sim",
+                "Zout est k",
+                "Zout sim",
+                "area est um2",
+                "area sim",
+                "CMRR est dB",
+                "CMRR sim",
+                "SR est V/us",
+                "SR sim",
             ],
             &printable
         )
     );
+    ape_probe::finish();
 }

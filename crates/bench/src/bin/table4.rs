@@ -8,12 +8,14 @@
 
 use ape_bench::specs::table1_opamps;
 use ape_bench::{fmt_val, render_table};
+use ape_core::module::{SallenKeyLowPass, SampleHold};
 use ape_core::opamp::OpAmp;
 use ape_netlist::Technology;
 use ape_oblx::{design_point_from_ape, synthesize, InitialPoint, SynthesisOptions};
 use std::time::Instant;
 
 fn main() {
+    let _trace = ape_probe::install_from_env();
     let args: Vec<String> = std::env::args().collect();
     let evals: usize = args
         .iter()
@@ -65,8 +67,14 @@ fn main() {
             None => (0.0, 0.0, 0.0, 0.0, "doesn't work.".to_string()),
         };
         let speedup = if with_blind {
-            let blind = synthesize(&tech, task.topology, &task.spec, &InitialPoint::Blind, &opts)
-                .expect("spec is well-formed");
+            let blind = synthesize(
+                &tech,
+                task.topology,
+                &task.spec,
+                &InitialPoint::Blind,
+                &opts,
+            )
+            .expect("spec is well-formed");
             let s = 100.0 * (1.0 - out.wall.as_secs_f64() / blind.wall.as_secs_f64().max(1e-9));
             format!("{s:.1}%")
         } else {
@@ -87,8 +95,24 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["ckt", "gain", "UGF MHz", "area um2", "power mW", "CPU s", "evals", "speed-up", "comments"],
+            &[
+                "ckt", "gain", "UGF MHz", "area um2", "power mW", "CPU s", "evals", "speed-up",
+                "comments"
+            ],
             &rows
         )
     );
+
+    // Exercise the module level (the paper's level 4) so a trace of this
+    // run covers the whole hierarchy: module -> op-amp -> basic block ->
+    // device sizing.
+    let lpf = SallenKeyLowPass::design(&tech, 1e3, 4, 10e-12).expect("module-level LPF sizes");
+    let sh = SampleHold::design(&tech, 2.0, 40e3, 10e-12).expect("module-level S/H sizes");
+    println!(
+        "\nModule-level check: 4th-order Sallen-Key LPF {:.0} um2, sample/hold {:.0} um2",
+        lpf.perf.gate_area_um2(),
+        sh.perf.gate_area_um2()
+    );
+
+    ape_probe::finish();
 }

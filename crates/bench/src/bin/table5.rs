@@ -22,13 +22,21 @@ use ape_bench::{fmt_val, render_table};
 use ape_core::module::{AudioAmplifier, FlashAdc, SallenKeyBandPass, SallenKeyLowPass, SampleHold};
 use ape_core::opamp::OpAmp;
 use ape_netlist::{Circuit, Technology};
-use ape_spice::{ac_sweep, dc_operating_point, decade_frequencies, measure, transient, TranOptions};
 use ape_oblx::{
     apply_point_to_opamp, design_point_from_ape, synthesize, InitialPoint, SynthesisOptions,
 };
+use ape_spice::{
+    ac_sweep, dc_operating_point, decade_frequencies, measure, transient, TranOptions,
+};
 
 /// Synthesizes an op-amp for the module, blind or seeded from the APE fit.
-fn synthesized_opamp(tech: &Technology, ape: &OpAmp, blind: bool, evals: usize, seed: u64) -> OpAmp {
+fn synthesized_opamp(
+    tech: &Technology,
+    ape: &OpAmp,
+    blind: bool,
+    evals: usize,
+    seed: u64,
+) -> OpAmp {
     let init = if blind {
         InitialPoint::Blind
     } else {
@@ -64,24 +72,33 @@ fn gain_bw(tech: &Technology, tb: &Circuit) -> (f64, f64) {
 }
 
 fn main() {
+    let _trace = ape_probe::install_from_env();
     let args: Vec<String> = std::env::args().collect();
-    let evals: usize = args.iter().skip(1).find_map(|s| s.parse().ok()).unwrap_or(800);
+    let evals: usize = args
+        .iter()
+        .skip(1)
+        .find_map(|s| s.parse().ok())
+        .unwrap_or(800);
     let netlists = args.iter().any(|a| a == "--netlists");
     let tech = Technology::default_1p2um();
-    println!("Table 5: design examples ({} synthesis evaluations per op-amp)\n", evals);
+    println!(
+        "Table 5: design examples ({} synthesis evaluations per op-amp)\n",
+        evals
+    );
 
     let mut rows: Vec<Vec<String>> = Vec::new();
-    let mut push = |ckt: &str, param: &str, spec: String, astrx: f64, est: f64, sim: f64, aosim: f64| {
-        rows.push(vec![
-            ckt.into(),
-            param.into(),
-            spec,
-            fmt_val(astrx),
-            fmt_val(est),
-            fmt_val(sim),
-            fmt_val(aosim),
-        ]);
-    };
+    let mut push =
+        |ckt: &str, param: &str, spec: String, astrx: f64, est: f64, sim: f64, aosim: f64| {
+            rows.push(vec![
+                ckt.into(),
+                param.into(),
+                spec,
+                fmt_val(astrx),
+                fmt_val(est),
+                fmt_val(sim),
+                fmt_val(aosim),
+            ]);
+        };
 
     // ---- Sample & hold ---------------------------------------------------
     {
@@ -99,11 +116,40 @@ fn main() {
         let (g_sim, bw_sim) = gain_bw(&tech, &sh.testbench_tracking(&tech).expect("tb"));
         let (g_bl, bw_bl) = gain_bw(&tech, &blind.testbench_tracking(&tech).expect("tb"));
         let (g_ao, bw_ao) = gain_bw(&tech, &seeded.testbench_tracking(&tech).expect("tb"));
-        push("s&h", "gain", "2.0".into(), g_bl, sh.perf.dc_gain.unwrap_or(0.0), g_sim, g_ao);
-        push("s&h", "BW kHz", "20".into(), bw_bl * 1e-3, sh.perf.bw_hz.unwrap_or(0.0) * 1e-3, bw_sim * 1e-3, bw_ao * 1e-3);
-        push("s&h", "area um2", "500".into(), f64::NAN, sh.perf.gate_area_um2(), sh.testbench_tracking(&tech).expect("tb").total_gate_area() * 1e12, f64::NAN);
+        push(
+            "s&h",
+            "gain",
+            "2.0".into(),
+            g_bl,
+            sh.perf.dc_gain.unwrap_or(0.0),
+            g_sim,
+            g_ao,
+        );
+        push(
+            "s&h",
+            "BW kHz",
+            "20".into(),
+            bw_bl * 1e-3,
+            sh.perf.bw_hz.unwrap_or(0.0) * 1e-3,
+            bw_sim * 1e-3,
+            bw_ao * 1e-3,
+        );
+        push(
+            "s&h",
+            "area um2",
+            "500".into(),
+            f64::NAN,
+            sh.perf.gate_area_um2(),
+            sh.testbench_tracking(&tech).expect("tb").total_gate_area() * 1e12,
+            f64::NAN,
+        );
         if netlists {
-            println!("--- s&h netlist (Figure 3b) ---\n{}", sh.testbench_tracking(&tech).expect("tb").to_spice_deck(&tech));
+            println!(
+                "--- s&h netlist (Figure 3b) ---\n{}",
+                sh.testbench_tracking(&tech)
+                    .expect("tb")
+                    .to_spice_deck(&tech)
+            );
         }
     }
 
@@ -123,11 +169,38 @@ fn main() {
         let (g_sim, bw_sim) = gain_bw(&tech, &amp.testbench(&tech).expect("tb"));
         let (g_bl, bw_bl) = gain_bw(&tech, &blind.testbench(&tech).expect("tb"));
         let (g_ao, bw_ao) = gain_bw(&tech, &seeded.testbench(&tech).expect("tb"));
-        push("amp", "gain", "100".into(), g_bl, amp.perf.dc_gain.unwrap_or(0.0), g_sim, g_ao);
-        push("amp", "BW kHz", "20".into(), bw_bl * 1e-3, amp.perf.bw_hz.unwrap_or(0.0) * 1e-3, bw_sim * 1e-3, bw_ao * 1e-3);
-        push("amp", "area um2", "1000".into(), f64::NAN, amp.perf.gate_area_um2(), amp.testbench(&tech).expect("tb").total_gate_area() * 1e12, f64::NAN);
+        push(
+            "amp",
+            "gain",
+            "100".into(),
+            g_bl,
+            amp.perf.dc_gain.unwrap_or(0.0),
+            g_sim,
+            g_ao,
+        );
+        push(
+            "amp",
+            "BW kHz",
+            "20".into(),
+            bw_bl * 1e-3,
+            amp.perf.bw_hz.unwrap_or(0.0) * 1e-3,
+            bw_sim * 1e-3,
+            bw_ao * 1e-3,
+        );
+        push(
+            "amp",
+            "area um2",
+            "1000".into(),
+            f64::NAN,
+            amp.perf.gate_area_um2(),
+            amp.testbench(&tech).expect("tb").total_gate_area() * 1e12,
+            f64::NAN,
+        );
         if netlists {
-            println!("--- audio amp netlist (Figure 3a) ---\n{}", amp.testbench(&tech).expect("tb").to_spice_deck(&tech));
+            println!(
+                "--- audio amp netlist (Figure 3a) ---\n{}",
+                amp.testbench(&tech).expect("tb").to_spice_deck(&tech)
+            );
         }
     }
 
@@ -137,8 +210,12 @@ fn main() {
         let delay_sim = |cmp_amp: &OpAmp| -> f64 {
             let mut cmp = adc.comparator.clone();
             cmp.opamp = cmp_amp.clone();
-            let Ok(tb) = cmp.testbench_step(&tech, 1e-6) else { return f64::NAN };
-            let Ok(op) = dc_operating_point(&tb, &tech) else { return f64::NAN };
+            let Ok(tb) = cmp.testbench_step(&tech, 1e-6) else {
+                return f64::NAN;
+            };
+            let Ok(op) = dc_operating_point(&tb, &tech) else {
+                return f64::NAN;
+            };
             let Ok(tr) = transient(&tb, &tech, &op, TranOptions::new(5e-8, 16e-6)) else {
                 return f64::NAN;
             };
@@ -160,9 +237,20 @@ fn main() {
             delay_sim(&seeded_amp),
         );
         let (full_tb, _) = adc.testbench_dc(&tech, 2.5).expect("adc tb");
-        push("adc", "area um2", "5000".into(), f64::NAN, adc.perf.gate_area_um2(), full_tb.total_gate_area() * 1e12, f64::NAN);
+        push(
+            "adc",
+            "area um2",
+            "5000".into(),
+            f64::NAN,
+            adc.perf.gate_area_um2(),
+            full_tb.total_gate_area() * 1e12,
+            f64::NAN,
+        );
         if netlists {
-            println!("--- flash ADC netlist (Figure 3e) ---\n{}", full_tb.to_spice_deck(&tech));
+            println!(
+                "--- flash ADC netlist (Figure 3e) ---\n{}",
+                full_tb.to_spice_deck(&tech)
+            );
         }
     }
 
@@ -181,12 +269,47 @@ fn main() {
         let (g_sim, f3_sim) = gain_bw(&tech, &lpf.testbench(&tech).expect("tb"));
         let (g_bl, f3_bl) = gain_bw(&tech, &blind.testbench(&tech).expect("tb"));
         let (g_ao, f3_ao) = gain_bw(&tech, &seeded.testbench(&tech).expect("tb"));
-        push("lpf", "f3db kHz", "1".into(), f3_bl * 1e-3, lpf.perf.bw_hz.unwrap_or(0.0) * 1e-3, f3_sim * 1e-3, f3_ao * 1e-3);
-        push("lpf", "f20db kHz", "1.78".into(), f64::NAN, lpf.frequency_at_attenuation(20.0) * 1e-3, f64::NAN, f64::NAN);
-        push("lpf", "gain", "2.57".into(), g_bl, lpf.perf.dc_gain.unwrap_or(0.0), g_sim, g_ao);
-        push("lpf", "area um2", "10000".into(), f64::NAN, lpf.perf.gate_area_um2(), lpf.testbench(&tech).expect("tb").total_gate_area() * 1e12, f64::NAN);
+        push(
+            "lpf",
+            "f3db kHz",
+            "1".into(),
+            f3_bl * 1e-3,
+            lpf.perf.bw_hz.unwrap_or(0.0) * 1e-3,
+            f3_sim * 1e-3,
+            f3_ao * 1e-3,
+        );
+        push(
+            "lpf",
+            "f20db kHz",
+            "1.78".into(),
+            f64::NAN,
+            lpf.frequency_at_attenuation(20.0) * 1e-3,
+            f64::NAN,
+            f64::NAN,
+        );
+        push(
+            "lpf",
+            "gain",
+            "2.57".into(),
+            g_bl,
+            lpf.perf.dc_gain.unwrap_or(0.0),
+            g_sim,
+            g_ao,
+        );
+        push(
+            "lpf",
+            "area um2",
+            "10000".into(),
+            f64::NAN,
+            lpf.perf.gate_area_um2(),
+            lpf.testbench(&tech).expect("tb").total_gate_area() * 1e12,
+            f64::NAN,
+        );
         if netlists {
-            println!("--- LPF netlist (Figure 3c) ---\n{}", lpf.testbench(&tech).expect("tb").to_spice_deck(&tech));
+            println!(
+                "--- LPF netlist (Figure 3c) ---\n{}",
+                lpf.testbench(&tech).expect("tb").to_spice_deck(&tech)
+            );
         }
     }
 
@@ -195,7 +318,9 @@ fn main() {
         let bpf = SallenKeyBandPass::design(&tech, 1e3, 1.0, 10e-12).expect("bpf designs");
         let peak_f0 = |tb: &Circuit| -> (f64, f64) {
             let out = tb.find_node("out").expect("tb has out");
-            let Ok(op) = dc_operating_point(tb, &tech) else { return (f64::NAN, f64::NAN) };
+            let Ok(op) = dc_operating_point(tb, &tech) else {
+                return (f64::NAN, f64::NAN);
+            };
             let Ok(sweep) = ac_sweep(tb, &tech, &op, &decade_frequencies(20.0, 50e3, 30)) else {
                 return (f64::NAN, f64::NAN);
             };
@@ -218,21 +343,65 @@ fn main() {
         let (pk_sim, f0_sim) = peak_f0(&bpf.testbench(&tech).expect("tb"));
         let (pk_bl, f0_bl) = peak_f0(&blind.testbench(&tech).expect("tb"));
         let (pk_ao, f0_ao) = peak_f0(&seeded.testbench(&tech).expect("tb"));
-        push("bpf", "f0 kHz", "1".into(), f0_bl * 1e-3, bpf.f0 * 1e-3, f0_sim * 1e-3, f0_ao * 1e-3);
-        push("bpf", "gain", "1.83".into(), pk_bl, bpf.perf.dc_gain.unwrap_or(0.0), pk_sim, pk_ao);
-        push("bpf", "BW kHz", "1".into(), f64::NAN, bpf.perf.bw_hz.unwrap_or(0.0) * 1e-3, f64::NAN, f64::NAN);
-        push("bpf", "area um2", "5000".into(), f64::NAN, bpf.perf.gate_area_um2(), bpf.testbench(&tech).expect("tb").total_gate_area() * 1e12, f64::NAN);
+        push(
+            "bpf",
+            "f0 kHz",
+            "1".into(),
+            f0_bl * 1e-3,
+            bpf.f0 * 1e-3,
+            f0_sim * 1e-3,
+            f0_ao * 1e-3,
+        );
+        push(
+            "bpf",
+            "gain",
+            "1.83".into(),
+            pk_bl,
+            bpf.perf.dc_gain.unwrap_or(0.0),
+            pk_sim,
+            pk_ao,
+        );
+        push(
+            "bpf",
+            "BW kHz",
+            "1".into(),
+            f64::NAN,
+            bpf.perf.bw_hz.unwrap_or(0.0) * 1e-3,
+            f64::NAN,
+            f64::NAN,
+        );
+        push(
+            "bpf",
+            "area um2",
+            "5000".into(),
+            f64::NAN,
+            bpf.perf.gate_area_um2(),
+            bpf.testbench(&tech).expect("tb").total_gate_area() * 1e12,
+            f64::NAN,
+        );
         if netlists {
-            println!("--- BPF netlist (Figure 3d) ---\n{}", bpf.testbench(&tech).expect("tb").to_spice_deck(&tech));
+            println!(
+                "--- BPF netlist (Figure 3d) ---\n{}",
+                bpf.testbench(&tech).expect("tb").to_spice_deck(&tech)
+            );
         }
     }
 
     println!(
         "{}",
         render_table(
-            &["ckt", "param", "spec", "ASTRX sim", "APE est", "APE sim", "APE+A/O sim"],
+            &[
+                "ckt",
+                "param",
+                "spec",
+                "ASTRX sim",
+                "APE est",
+                "APE sim",
+                "APE+A/O sim"
+            ],
             &rows
         )
     );
     println!("\n(NaN cells: quantity not re-measured for that column, as in the paper's blanks.)");
+    ape_probe::finish();
 }

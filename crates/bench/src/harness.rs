@@ -1,0 +1,57 @@
+//! Minimal timing harness for the `benches/` binaries.
+//!
+//! The container builds offline, so the benches use this self-contained
+//! measurement loop instead of an external harness: each benchmark runs a
+//! warm-up pass, then `samples` timed iterations, and the group prints an
+//! aligned min/mean/max table on `finish()`.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One named group of benchmarks, printed as a table when finished.
+pub struct BenchGroup {
+    name: String,
+    samples: u32,
+    rows: Vec<Vec<String>>,
+}
+
+impl BenchGroup {
+    /// Creates a group; `samples` is the default timed-iteration count.
+    pub fn new(name: &str, samples: u32) -> Self {
+        BenchGroup {
+            name: name.to_string(),
+            samples: samples.max(1),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Runs `f` once for warm-up and `samples` more times under the clock.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        black_box(f());
+        let mut times = Vec::with_capacity(self.samples as usize);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            times.push(t0.elapsed().as_nanos() as u64);
+        }
+        let min = *times.iter().min().expect("at least one sample");
+        let max = *times.iter().max().expect("at least one sample");
+        let mean = times.iter().sum::<u64>() / times.len() as u64;
+        self.rows.push(vec![
+            name.to_string(),
+            ape_probe::fmt_nanos(min),
+            ape_probe::fmt_nanos(mean),
+            ape_probe::fmt_nanos(max),
+            format!("{}", self.samples),
+        ]);
+    }
+
+    /// Prints the group's results table.
+    pub fn finish(self) {
+        println!("\n== {} ==", self.name);
+        println!(
+            "{}",
+            crate::render_table(&["bench", "min", "mean", "max", "n"], &self.rows)
+        );
+    }
+}

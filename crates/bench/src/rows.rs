@@ -5,9 +5,7 @@ use ape_core::basic::{
     CurrentMirror, DcVolt, DiffPair, DiffTopology, Follower, GainStage, GainTopology,
     MirrorTopology,
 };
-use ape_core::module::{
-    AudioAmplifier, FlashAdc, SallenKeyBandPass, SallenKeyLowPass, SampleHold,
-};
+use ape_core::module::{AudioAmplifier, FlashAdc, SallenKeyBandPass, SallenKeyLowPass, SampleHold};
 use ape_core::opamp::OpAmp;
 use ape_netlist::{Circuit, SourceWaveform, Technology};
 use ape_spice::{
@@ -79,10 +77,30 @@ pub fn table2_rows(tech: &Technology) -> Result<Vec<ComponentRow>, BoxError> {
         rows.push(ComponentRow {
             name: "DCVolt".into(),
             metrics: vec![
-                Metric { name: "area", unit: "um2", est: d.perf.gate_area_um2(), sim: tb.total_gate_area() * 1e12 },
-                Metric { name: "power", unit: "mW", est: d.perf.power_mw(), sim: op.supply_power(&tb) * 1e3 },
-                Metric { name: "vout", unit: "V", est: 2.5, sim: op.voltage(out) },
-                Metric { name: "current", unit: "uA", est: 100.0, sim: -op.branch_current("VDD").unwrap_or(0.0) * 1e6 },
+                Metric {
+                    name: "area",
+                    unit: "um2",
+                    est: d.perf.gate_area_um2(),
+                    sim: tb.total_gate_area() * 1e12,
+                },
+                Metric {
+                    name: "power",
+                    unit: "mW",
+                    est: d.perf.power_mw(),
+                    sim: op.supply_power(&tb) * 1e3,
+                },
+                Metric {
+                    name: "vout",
+                    unit: "V",
+                    est: 2.5,
+                    sim: op.voltage(out),
+                },
+                Metric {
+                    name: "current",
+                    unit: "uA",
+                    est: 100.0,
+                    sim: -op.branch_current("VDD").unwrap_or(0.0) * 1e6,
+                },
             ],
         });
     }
@@ -95,11 +113,26 @@ pub fn table2_rows(tech: &Technology) -> Result<Vec<ComponentRow>, BoxError> {
         rows.push(ComponentRow {
             name: topo.to_string(),
             metrics: vec![
-                Metric { name: "area", unit: "um2", est: m.perf.gate_area_um2(), sim: tb.total_gate_area() * 1e12 },
+                Metric {
+                    name: "area",
+                    unit: "um2",
+                    est: m.perf.gate_area_um2(),
+                    sim: tb.total_gate_area() * 1e12,
+                },
                 // Reference-branch power only: the output branch is fed by
                 // the measurement source, not the supply.
-                Metric { name: "power", unit: "mW", est: m.perf.power_mw(), sim: op.source_power(&tb, "VDD").unwrap_or(0.0) * 1e3 },
-                Metric { name: "current", unit: "uA", est: 100.0, sim: -op.branch_current("VMEAS").unwrap_or(0.0) * 1e6 },
+                Metric {
+                    name: "power",
+                    unit: "mW",
+                    est: m.perf.power_mw(),
+                    sim: op.source_power(&tb, "VDD").unwrap_or(0.0) * 1e3,
+                },
+                Metric {
+                    name: "current",
+                    unit: "uA",
+                    est: 100.0,
+                    sim: -op.branch_current("VMEAS").unwrap_or(0.0) * 1e6,
+                },
             ],
         });
     }
@@ -121,10 +154,30 @@ pub fn table2_rows(tech: &Technology) -> Result<Vec<ComponentRow>, BoxError> {
         rows.push(ComponentRow {
             name: topo.to_string(),
             metrics: vec![
-                Metric { name: "area", unit: "um2", est: g.perf.gate_area_um2(), sim: tb.total_gate_area() * 1e12 },
-                Metric { name: "ugf", unit: "MHz", est: g.perf.ugf_mhz().unwrap_or(0.0), sim: u_sim * 1e-6 },
-                Metric { name: "power", unit: "mW", est: g.perf.power_mw(), sim: op.source_power(&tb, "VDD").unwrap_or(0.0) * 1e3 },
-                Metric { name: "gain", unit: "V/V", est: g.perf.dc_gain.unwrap_or(0.0), sim: -a_sim },
+                Metric {
+                    name: "area",
+                    unit: "um2",
+                    est: g.perf.gate_area_um2(),
+                    sim: tb.total_gate_area() * 1e12,
+                },
+                Metric {
+                    name: "ugf",
+                    unit: "MHz",
+                    est: g.perf.ugf_mhz().unwrap_or(0.0),
+                    sim: u_sim * 1e-6,
+                },
+                Metric {
+                    name: "power",
+                    unit: "mW",
+                    est: g.perf.power_mw(),
+                    sim: op.source_power(&tb, "VDD").unwrap_or(0.0) * 1e3,
+                },
+                Metric {
+                    name: "gain",
+                    unit: "V/V",
+                    est: g.perf.dc_gain.unwrap_or(0.0),
+                    sim: -a_sim,
+                },
             ],
         });
     }
@@ -140,16 +193,39 @@ pub fn table2_rows(tech: &Technology) -> Result<Vec<ComponentRow>, BoxError> {
         rows.push(ComponentRow {
             name: "Follower".into(),
             metrics: vec![
-                Metric { name: "area", unit: "um2", est: f.perf.gate_area_um2(), sim: tb.total_gate_area() * 1e12 },
-                Metric { name: "power", unit: "mW", est: f.perf.power_mw(), sim: op.supply_power(&tb) * 1e3 },
-                Metric { name: "gain", unit: "V/V", est: f.perf.dc_gain.unwrap_or(0.0), sim: measure::dc_gain(&sweep, out) },
-                Metric { name: "current", unit: "uA", est: 100.0, sim: sink_current * 1e6 },
+                Metric {
+                    name: "area",
+                    unit: "um2",
+                    est: f.perf.gate_area_um2(),
+                    sim: tb.total_gate_area() * 1e12,
+                },
+                Metric {
+                    name: "power",
+                    unit: "mW",
+                    est: f.perf.power_mw(),
+                    sim: op.supply_power(&tb) * 1e3,
+                },
+                Metric {
+                    name: "gain",
+                    unit: "V/V",
+                    est: f.perf.dc_gain.unwrap_or(0.0),
+                    sim: measure::dc_gain(&sweep, out),
+                },
+                Metric {
+                    name: "current",
+                    unit: "uA",
+                    est: 100.0,
+                    sim: sink_current * 1e6,
+                },
             ],
         });
     }
 
     // --- Differential pairs at 1 µA --------------------------------------
-    for (topo, adm) in [(DiffTopology::DiodeLoad, 10.0), (DiffTopology::MirrorLoad, 1000.0)] {
+    for (topo, adm) in [
+        (DiffTopology::DiodeLoad, 10.0),
+        (DiffTopology::MirrorLoad, 1000.0),
+    ] {
         let p = DiffPair::design(tech, topo, adm, 1e-6, 1e-12)?;
         let tb = p.testbench(tech);
         let op = dc_operating_point(&tb, tech)?;
@@ -183,11 +259,36 @@ pub fn table2_rows(tech: &Technology) -> Result<Vec<ComponentRow>, BoxError> {
         rows.push(ComponentRow {
             name: topo.to_string(),
             metrics: vec![
-                Metric { name: "area", unit: "um2", est: p.perf.gate_area_um2(), sim: tb.total_gate_area() * 1e12 },
-                Metric { name: "ugf", unit: "MHz", est: p.perf.ugf_mhz().unwrap_or(0.0), sim: u_sim * 1e-6 },
-                Metric { name: "power", unit: "mW", est: p.perf.power_mw(), sim: op.source_power(&tb, "VDD").unwrap_or(0.0) * 1e3 },
-                Metric { name: "gain", unit: "V/V", est: p.perf.dc_gain.unwrap_or(0.0), sim: a_sim },
-                Metric { name: "current", unit: "uA", est: 1.0, sim: tail_sim * 1e6 },
+                Metric {
+                    name: "area",
+                    unit: "um2",
+                    est: p.perf.gate_area_um2(),
+                    sim: tb.total_gate_area() * 1e12,
+                },
+                Metric {
+                    name: "ugf",
+                    unit: "MHz",
+                    est: p.perf.ugf_mhz().unwrap_or(0.0),
+                    sim: u_sim * 1e-6,
+                },
+                Metric {
+                    name: "power",
+                    unit: "mW",
+                    est: p.perf.power_mw(),
+                    sim: op.source_power(&tb, "VDD").unwrap_or(0.0) * 1e3,
+                },
+                Metric {
+                    name: "gain",
+                    unit: "V/V",
+                    est: p.perf.dc_gain.unwrap_or(0.0),
+                    sim: a_sim,
+                },
+                Metric {
+                    name: "current",
+                    unit: "uA",
+                    est: 1.0,
+                    sim: tail_sim * 1e6,
+                },
             ],
         });
     }
@@ -289,14 +390,54 @@ pub fn table3_row(tech: &Technology, task: &OpAmpTask) -> Result<ComponentRow, B
     Ok(ComponentRow {
         name: task.name.to_string(),
         metrics: vec![
-            Metric { name: "power", unit: "mW", est: amp.perf.power_mw(), sim: op.source_power(&tb, "VDD").unwrap_or(0.0) * 1e3 },
-            Metric { name: "adm", unit: "V/V", est: amp.perf.dc_gain.unwrap_or(0.0), sim: gain_sim },
-            Metric { name: "ugf", unit: "MHz", est: amp.perf.ugf_mhz().unwrap_or(0.0), sim: ugf_sim * 1e-6 },
-            Metric { name: "itail", unit: "uA", est: amp.itail * 1e6, sim: tail_sim * 1e6 },
-            Metric { name: "zout", unit: "kohm", est: amp.perf.zout_ohm.unwrap_or(0.0) * 1e-3, sim: zout_sim * 1e-3 },
-            Metric { name: "area", unit: "um2", est: amp.perf.gate_area_um2(), sim: tb.total_gate_area() * 1e12 },
-            Metric { name: "cmrr", unit: "dB", est: amp.perf.cmrr_db.unwrap_or(0.0), sim: cmrr_sim },
-            Metric { name: "slew", unit: "V/us", est: amp.perf.slew_v_per_us().unwrap_or(0.0), sim: slew_sim * 1e-6 },
+            Metric {
+                name: "power",
+                unit: "mW",
+                est: amp.perf.power_mw(),
+                sim: op.source_power(&tb, "VDD").unwrap_or(0.0) * 1e3,
+            },
+            Metric {
+                name: "adm",
+                unit: "V/V",
+                est: amp.perf.dc_gain.unwrap_or(0.0),
+                sim: gain_sim,
+            },
+            Metric {
+                name: "ugf",
+                unit: "MHz",
+                est: amp.perf.ugf_mhz().unwrap_or(0.0),
+                sim: ugf_sim * 1e-6,
+            },
+            Metric {
+                name: "itail",
+                unit: "uA",
+                est: amp.itail * 1e6,
+                sim: tail_sim * 1e6,
+            },
+            Metric {
+                name: "zout",
+                unit: "kohm",
+                est: amp.perf.zout_ohm.unwrap_or(0.0) * 1e-3,
+                sim: zout_sim * 1e-3,
+            },
+            Metric {
+                name: "area",
+                unit: "um2",
+                est: amp.perf.gate_area_um2(),
+                sim: tb.total_gate_area() * 1e12,
+            },
+            Metric {
+                name: "cmrr",
+                unit: "dB",
+                est: amp.perf.cmrr_db.unwrap_or(0.0),
+                sim: cmrr_sim,
+            },
+            Metric {
+                name: "slew",
+                unit: "V/us",
+                est: amp.perf.slew_v_per_us().unwrap_or(0.0),
+                sim: slew_sim * 1e-6,
+            },
         ],
     })
 }
@@ -321,9 +462,24 @@ pub fn table5_ape_rows(tech: &Technology) -> Result<Vec<ComponentRow>, BoxError>
         rows.push(ComponentRow {
             name: "s&h".into(),
             metrics: vec![
-                Metric { name: "gain", unit: "V/V", est: sh.perf.dc_gain.unwrap_or(0.0), sim: measure::dc_gain(&sweep, out) },
-                Metric { name: "bw", unit: "kHz", est: sh.perf.bw_hz.unwrap_or(0.0) * 1e-3, sim: measure::bandwidth_3db(&sweep, out).unwrap_or(0.0) * 1e-3 },
-                Metric { name: "area", unit: "um2", est: sh.perf.gate_area_um2(), sim: tb.total_gate_area() * 1e12 },
+                Metric {
+                    name: "gain",
+                    unit: "V/V",
+                    est: sh.perf.dc_gain.unwrap_or(0.0),
+                    sim: measure::dc_gain(&sweep, out),
+                },
+                Metric {
+                    name: "bw",
+                    unit: "kHz",
+                    est: sh.perf.bw_hz.unwrap_or(0.0) * 1e-3,
+                    sim: measure::bandwidth_3db(&sweep, out).unwrap_or(0.0) * 1e-3,
+                },
+                Metric {
+                    name: "area",
+                    unit: "um2",
+                    est: sh.perf.gate_area_um2(),
+                    sim: tb.total_gate_area() * 1e12,
+                },
             ],
         });
     }
@@ -338,9 +494,24 @@ pub fn table5_ape_rows(tech: &Technology) -> Result<Vec<ComponentRow>, BoxError>
         rows.push(ComponentRow {
             name: "amp".into(),
             metrics: vec![
-                Metric { name: "gain", unit: "V/V", est: amp.perf.dc_gain.unwrap_or(0.0), sim: measure::dc_gain(&sweep, out) },
-                Metric { name: "bw", unit: "kHz", est: amp.perf.bw_hz.unwrap_or(0.0) * 1e-3, sim: measure::bandwidth_3db(&sweep, out).unwrap_or(0.0) * 1e-3 },
-                Metric { name: "area", unit: "um2", est: amp.perf.gate_area_um2(), sim: tb.total_gate_area() * 1e12 },
+                Metric {
+                    name: "gain",
+                    unit: "V/V",
+                    est: amp.perf.dc_gain.unwrap_or(0.0),
+                    sim: measure::dc_gain(&sweep, out),
+                },
+                Metric {
+                    name: "bw",
+                    unit: "kHz",
+                    est: amp.perf.bw_hz.unwrap_or(0.0) * 1e-3,
+                    sim: measure::bandwidth_3db(&sweep, out).unwrap_or(0.0) * 1e-3,
+                },
+                Metric {
+                    name: "area",
+                    unit: "um2",
+                    est: amp.perf.gate_area_um2(),
+                    sim: tb.total_gate_area() * 1e12,
+                },
             ],
         });
     }
@@ -358,9 +529,24 @@ pub fn table5_ape_rows(tech: &Technology) -> Result<Vec<ComponentRow>, BoxError>
         rows.push(ComponentRow {
             name: "adc".into(),
             metrics: vec![
-                Metric { name: "bits", unit: "", est: 4.0, sim: 4.0 },
-                Metric { name: "delay", unit: "us", est: adc.perf.delay_s.unwrap_or(0.0) * 1e6, sim: (t_cross - 1e-6) * 1e6 },
-                Metric { name: "area", unit: "um2", est: adc.perf.gate_area_um2(), sim: full_tb.total_gate_area() * 1e12 },
+                Metric {
+                    name: "bits",
+                    unit: "",
+                    est: 4.0,
+                    sim: 4.0,
+                },
+                Metric {
+                    name: "delay",
+                    unit: "us",
+                    est: adc.perf.delay_s.unwrap_or(0.0) * 1e6,
+                    sim: (t_cross - 1e-6) * 1e6,
+                },
+                Metric {
+                    name: "area",
+                    unit: "um2",
+                    est: adc.perf.gate_area_um2(),
+                    sim: full_tb.total_gate_area() * 1e12,
+                },
             ],
         });
     }
@@ -378,10 +564,30 @@ pub fn table5_ape_rows(tech: &Technology) -> Result<Vec<ComponentRow>, BoxError>
         rows.push(ComponentRow {
             name: "lpf".into(),
             metrics: vec![
-                Metric { name: "f3db", unit: "kHz", est: lpf.perf.bw_hz.unwrap_or(0.0) * 1e-3, sim: f3_sim * 1e-3 },
-                Metric { name: "f20db", unit: "kHz", est: lpf.frequency_at_attenuation(20.0) * 1e-3, sim: f20_sim * 1e-3 },
-                Metric { name: "gain", unit: "V/V", est: lpf.perf.dc_gain.unwrap_or(0.0), sim: g_sim },
-                Metric { name: "area", unit: "um2", est: lpf.perf.gate_area_um2(), sim: tb.total_gate_area() * 1e12 },
+                Metric {
+                    name: "f3db",
+                    unit: "kHz",
+                    est: lpf.perf.bw_hz.unwrap_or(0.0) * 1e-3,
+                    sim: f3_sim * 1e-3,
+                },
+                Metric {
+                    name: "f20db",
+                    unit: "kHz",
+                    est: lpf.frequency_at_attenuation(20.0) * 1e-3,
+                    sim: f20_sim * 1e-3,
+                },
+                Metric {
+                    name: "gain",
+                    unit: "V/V",
+                    est: lpf.perf.dc_gain.unwrap_or(0.0),
+                    sim: g_sim,
+                },
+                Metric {
+                    name: "area",
+                    unit: "um2",
+                    est: lpf.perf.gate_area_um2(),
+                    sim: tb.total_gate_area() * 1e12,
+                },
             ],
         });
     }
@@ -411,8 +617,8 @@ pub fn table5_ape_rows(tech: &Technology) -> Result<Vec<ComponentRow>, BoxError>
                 break;
             }
         }
-        for k in kmax..mags.len() {
-            if mags[k] < target {
+        for (k, &m) in mags.iter().enumerate().skip(kmax) {
+            if m < target {
                 hi = sweep.freqs[k - 1];
                 break;
             }
@@ -420,10 +626,30 @@ pub fn table5_ape_rows(tech: &Technology) -> Result<Vec<ComponentRow>, BoxError>
         rows.push(ComponentRow {
             name: "bpf".into(),
             metrics: vec![
-                Metric { name: "f0", unit: "kHz", est: bpf.f0 * 1e-3, sim: f0_sim * 1e-3 },
-                Metric { name: "gain", unit: "V/V", est: bpf.perf.dc_gain.unwrap_or(0.0), sim: peak },
-                Metric { name: "bw", unit: "kHz", est: bpf.perf.bw_hz.unwrap_or(0.0) * 1e-3, sim: (hi - lo) * 1e-3 },
-                Metric { name: "area", unit: "um2", est: bpf.perf.gate_area_um2(), sim: tb.total_gate_area() * 1e12 },
+                Metric {
+                    name: "f0",
+                    unit: "kHz",
+                    est: bpf.f0 * 1e-3,
+                    sim: f0_sim * 1e-3,
+                },
+                Metric {
+                    name: "gain",
+                    unit: "V/V",
+                    est: bpf.perf.dc_gain.unwrap_or(0.0),
+                    sim: peak,
+                },
+                Metric {
+                    name: "bw",
+                    unit: "kHz",
+                    est: bpf.perf.bw_hz.unwrap_or(0.0) * 1e-3,
+                    sim: (hi - lo) * 1e-3,
+                },
+                Metric {
+                    name: "area",
+                    unit: "um2",
+                    est: bpf.perf.gate_area_um2(),
+                    sim: tb.total_gate_area() * 1e12,
+                },
             ],
         });
     }
@@ -437,9 +663,19 @@ mod tests {
 
     #[test]
     fn metric_rel_err() {
-        let m = Metric { name: "x", unit: "", est: 1.1, sim: 1.0 };
+        let m = Metric {
+            name: "x",
+            unit: "",
+            est: 1.1,
+            sim: 1.0,
+        };
         assert!((m.rel_err() - 0.1).abs() < 1e-12);
-        let z = Metric { name: "x", unit: "", est: 0.0, sim: 0.0 };
+        let z = Metric {
+            name: "x",
+            unit: "",
+            est: 0.0,
+            sim: 0.0,
+        };
         assert_eq!(z.rel_err(), 0.0);
     }
 

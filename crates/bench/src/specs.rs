@@ -20,26 +20,67 @@ pub struct OpAmpTask {
 /// Ibias (µA), current-source topology, buffer, Zout (kΩ), CL (pF).
 pub fn table1_opamps() -> Vec<OpAmpTask> {
     let t = |cs, buf| OpAmpTopology::miller(cs, buf);
-    let s = |gain: f64, ugf_mhz: f64, area_um2: f64, ibias_ua: f64, z_kohm: Option<f64>| OpAmpSpec {
-        gain,
-        ugf_hz: ugf_mhz * 1e6,
-        area_max_m2: area_um2 * 1e-12,
-        ibias: ibias_ua * 1e-6,
-        zout_ohm: z_kohm.map(|z| z * 1e3),
-        cl: 10e-12,
-    };
+    let s =
+        |gain: f64, ugf_mhz: f64, area_um2: f64, ibias_ua: f64, z_kohm: Option<f64>| OpAmpSpec {
+            gain,
+            ugf_hz: ugf_mhz * 1e6,
+            area_max_m2: area_um2 * 1e-12,
+            ibias: ibias_ua * 1e-6,
+            zout_ohm: z_kohm.map(|z| z * 1e3),
+            cl: 10e-12,
+        };
     use MirrorTopology::{Simple, Wilson};
     vec![
-        OpAmpTask { name: "oa0", spec: s(200.0, 1.3, 5000.0, 1.0, Some(1.0)), topology: t(Wilson, true) },
-        OpAmpTask { name: "oa1", spec: s(70.0, 3.0, 3000.0, 2.0, Some(1.0)), topology: t(Wilson, true) },
-        OpAmpTask { name: "oa2", spec: s(100.0, 2.5, 2000.0, 1.5, Some(2.0)), topology: t(Wilson, true) },
-        OpAmpTask { name: "oa3", spec: s(250.0, 8.0, 1000.0, 1.0, None), topology: t(Simple, false) },
-        OpAmpTask { name: "oa4", spec: s(150.0, 3.0, 1000.0, 100.0, None), topology: t(Simple, false) },
-        OpAmpTask { name: "oa5", spec: s(200.0, 8.0, 5000.0, 10.0, None), topology: t(Simple, false) },
-        OpAmpTask { name: "oa6", spec: s(50.0, 10.0, 200.0, 10.0, None), topology: t(Simple, false) },
-        OpAmpTask { name: "oa7", spec: s(200.0, 3.0, 6000.0, 1.0, Some(1.0)), topology: t(Simple, true) },
-        OpAmpTask { name: "oa8", spec: s(100.0, 2.0, 1000.0, 1.0, Some(10.0)), topology: t(Simple, true) },
-        OpAmpTask { name: "oa9", spec: s(200.0, 5.0, 5000.0, 10.0, Some(10.0)), topology: t(Simple, true) },
+        OpAmpTask {
+            name: "oa0",
+            spec: s(200.0, 1.3, 5000.0, 1.0, Some(1.0)),
+            topology: t(Wilson, true),
+        },
+        OpAmpTask {
+            name: "oa1",
+            spec: s(70.0, 3.0, 3000.0, 2.0, Some(1.0)),
+            topology: t(Wilson, true),
+        },
+        OpAmpTask {
+            name: "oa2",
+            spec: s(100.0, 2.5, 2000.0, 1.5, Some(2.0)),
+            topology: t(Wilson, true),
+        },
+        OpAmpTask {
+            name: "oa3",
+            spec: s(250.0, 8.0, 1000.0, 1.0, None),
+            topology: t(Simple, false),
+        },
+        OpAmpTask {
+            name: "oa4",
+            spec: s(150.0, 3.0, 1000.0, 100.0, None),
+            topology: t(Simple, false),
+        },
+        OpAmpTask {
+            name: "oa5",
+            spec: s(200.0, 8.0, 5000.0, 10.0, None),
+            topology: t(Simple, false),
+        },
+        OpAmpTask {
+            name: "oa6",
+            spec: s(50.0, 10.0, 200.0, 10.0, None),
+            topology: t(Simple, false),
+        },
+        OpAmpTask {
+            name: "oa7",
+            spec: s(200.0, 3.0, 6000.0, 1.0, Some(1.0)),
+            topology: t(Simple, true),
+        },
+        OpAmpTask {
+            name: "oa8",
+            spec: s(100.0, 2.0, 1000.0, 1.0, Some(10.0)),
+            topology: t(Simple, true),
+        },
+        OpAmpTask {
+            name: "oa9",
+            spec: s(200.0, 5.0, 5000.0, 10.0, Some(10.0)),
+            topology: t(Simple, true),
+        },
     ]
 }
 
@@ -60,10 +101,26 @@ pub fn table3_opamps() -> Vec<OpAmpTask> {
         cl: 10e-12,
     };
     vec![
-        OpAmpTask { name: "OpAmp1", spec: s(206.0, 1.3, 1.0, Some(1.0)), topology: t(Wilson, true) },
-        OpAmpTask { name: "OpAmp2", spec: s(374.0, 8.0, 2.0, Some(1.0)), topology: t(Wilson, true) },
-        OpAmpTask { name: "OpAmp3", spec: s(167.0, 12.4, 1.5, Some(2.0)), topology: t(Wilson, true) },
-        OpAmpTask { name: "OpAmp4", spec: s(514.0, 2.6, 1.0, None), topology: t(Simple, false) },
+        OpAmpTask {
+            name: "OpAmp1",
+            spec: s(206.0, 1.3, 1.0, Some(1.0)),
+            topology: t(Wilson, true),
+        },
+        OpAmpTask {
+            name: "OpAmp2",
+            spec: s(374.0, 8.0, 2.0, Some(1.0)),
+            topology: t(Wilson, true),
+        },
+        OpAmpTask {
+            name: "OpAmp3",
+            spec: s(167.0, 12.4, 1.5, Some(2.0)),
+            topology: t(Wilson, true),
+        },
+        OpAmpTask {
+            name: "OpAmp4",
+            spec: s(514.0, 2.6, 1.0, None),
+            topology: t(Simple, false),
+        },
     ]
 }
 

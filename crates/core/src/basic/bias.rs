@@ -5,8 +5,9 @@
 
 use super::{cards, L_BIAS};
 use crate::attrs::Performance;
+use crate::cache::cached_size_for_id_vov_at;
 use crate::error::ApeError;
-use ape_mos::sizing::{size_for_id_vov, threshold, SizedMos};
+use ape_mos::sizing::{threshold, SizedMos};
 use ape_netlist::{Circuit, MosPolarity, Technology};
 
 /// A sized DC bias-voltage generator.
@@ -47,6 +48,7 @@ impl DcVolt {
     ///   diode (needs `vth + 50 mV` on both sides of the rail).
     /// * [`ApeError::Device`] when a device cannot be sized.
     pub fn design(tech: &Technology, vout: f64, ibias: f64) -> Result<Self, ApeError> {
+        let _span = ape_probe::span("ape.l2.bias");
         let c = cards(tech)?;
         if !(ibias.is_finite() && ibias > 0.0) {
             return Err(ApeError::BadSpec {
@@ -69,9 +71,9 @@ impl DcVolt {
                 ),
             });
         }
-        let m_low = size_for_id_vov(c.n, ibias, vov_low, L_BIAS)?;
+        let m_low = cached_size_for_id_vov_at(tech, false, ibias, vov_low, L_BIAS, 2.5, 0.0)?;
         let m_high =
-            ape_mos::sizing::size_for_id_vov_at(c.n, ibias, vov_high, L_BIAS, tech.vdd - vout, vout)?;
+            cached_size_for_id_vov_at(tech, false, ibias, vov_high, L_BIAS, tech.vdd - vout, vout)?;
         let perf = Performance {
             vout_v: Some(vout),
             ibias_a: Some(ibias),

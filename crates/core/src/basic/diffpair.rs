@@ -15,8 +15,9 @@
 
 use super::{cards, length_for_gain, vov_for_gm_id, L_BIAS};
 use crate::attrs::Performance;
+use crate::cache::{cached_size_for_gm_id_at, cached_size_for_id_vov_at};
 use crate::error::ApeError;
-use ape_mos::sizing::{size_for_gm_id_at, size_for_id_vov_at, threshold, SizedMos};
+use ape_mos::sizing::{threshold, SizedMos};
 use ape_netlist::{Circuit, MosPolarity, SourceWaveform, Technology};
 
 /// Load topology of the differential pair.
@@ -110,6 +111,7 @@ impl DiffPair {
         cl: f64,
         vov_i_sel: f64,
     ) -> Result<Self, ApeError> {
+        let _span = ape_probe::span("ape.l2.diffpair");
         let c = cards(tech)?;
         if !(adm.is_finite() && adm > 1.0) {
             return Err(ApeError::BadSpec {
@@ -148,8 +150,9 @@ impl DiffPair {
                 let aspect = gm_l * gm_l / (2.0 * c.p.kp * id);
                 let l_load = (tech.wmin / aspect).clamp(L_BIAS, 60e-6);
                 let vgs_guess = threshold(c.p, 0.0) + vov_l;
-                let mut load = size_for_gm_id_at(c.p, gm_l, id, l_load, vgs_guess, 0.0)?;
-                load = size_for_gm_id_at(c.p, gm_l, id, l_load, load.vgs.abs(), 0.0)?;
+                let mut load =
+                    cached_size_for_gm_id_at(tech, true, gm_l, id, l_load, vgs_guess, 0.0)?;
+                load = cached_size_for_gm_id_at(tech, true, gm_l, id, l_load, load.vgs.abs(), 0.0)?;
                 if load.geometry.w < 0.4 * tech.wmin {
                     return Err(ApeError::Infeasible {
                         component: "DiffNMOS",
@@ -161,8 +164,15 @@ impl DiffPair {
                     });
                 }
                 let vout_q = tech.vdd - load.vgs.abs();
-                let input =
-                    size_for_gm_id_at(c.n, gm_i, id, L_BIAS, (vout_q - 1.2).max(0.3), 1.2)?;
+                let input = cached_size_for_gm_id_at(
+                    tech,
+                    false,
+                    gm_i,
+                    id,
+                    L_BIAS,
+                    (vout_q - 1.2).max(0.3),
+                    1.2,
+                )?;
                 let a = input.gm / (load.gm + input.gds + load.gds);
                 (input, load, a)
             }
@@ -179,13 +189,10 @@ impl DiffPair {
                     l_gain,
                     tech,
                 );
-                let l_load = super::length_for_min_width(
-                    super::aspect_for_id_vov(c.p, id, 0.35),
-                    l,
-                    tech,
-                );
-                let input = size_for_gm_id_at(c.n, gm_i, id, l, vcm - 1.2, 1.2)?;
-                let load = size_for_id_vov_at(c.p, id, 0.35, l_load, 1.0, 0.0)?;
+                let l_load =
+                    super::length_for_min_width(super::aspect_for_id_vov(c.p, id, 0.35), l, tech);
+                let input = cached_size_for_gm_id_at(tech, false, gm_i, id, l, vcm - 1.2, 1.2)?;
+                let load = cached_size_for_id_vov_at(tech, true, id, 0.35, l_load, 1.0, 0.0)?;
                 if input.geometry.w < 0.4 * tech.wmin || load.geometry.w < 0.4 * tech.wmin {
                     return Err(ApeError::Infeasible {
                         component: "DiffCMOS",
@@ -202,12 +209,9 @@ impl DiffPair {
 
         // Tail conductance: assume the tail is a simple mirror at the same
         // current (the op-amp level replaces this with the real bias network).
-        let l_tail = super::length_for_min_width(
-            super::aspect_for_id_vov(c.n, itail, 0.35),
-            L_BIAS,
-            tech,
-        );
-        let tail_dev = size_for_id_vov_at(c.n, itail, 0.35, l_tail, 1.0, 0.0)?;
+        let l_tail =
+            super::length_for_min_width(super::aspect_for_id_vov(c.n, itail, 0.35), L_BIAS, tech);
+        let tail_dev = cached_size_for_id_vov_at(tech, false, itail, 0.35, l_tail, 1.0, 0.0)?;
         let gtail = tail_dev.gds;
 
         // Paper eq (6): Acm ≈ g0·gdi / (2·gml·(gdl+gdi)); eq (7):
@@ -275,10 +279,24 @@ impl DiffPair {
         let tail = ckt.node("tail");
         ckt.add_vdc("VDD", vdd, Circuit::GROUND, tech.vdd);
         let (acp, acn) = if common_mode { (1.0, 1.0) } else { (0.5, -0.5) };
-        ckt.add_vsource("VINP", inp, Circuit::GROUND, self.vcm, acp, SourceWaveform::Dc)
-            .expect("template netlist is well-formed");
-        ckt.add_vsource("VINN", inn, Circuit::GROUND, self.vcm, acn, SourceWaveform::Dc)
-            .expect("template netlist is well-formed");
+        ckt.add_vsource(
+            "VINP",
+            inp,
+            Circuit::GROUND,
+            self.vcm,
+            acp,
+            SourceWaveform::Dc,
+        )
+        .expect("template netlist is well-formed");
+        ckt.add_vsource(
+            "VINN",
+            inn,
+            Circuit::GROUND,
+            self.vcm,
+            acn,
+            SourceWaveform::Dc,
+        )
+        .expect("template netlist is well-formed");
         // Real tail device biased by an ideal mirror reference, so the
         // common-mode rejection is finite as the estimate assumes.
         let bias = ckt.node("bias");
@@ -293,7 +311,7 @@ impl DiffPair {
             L_BIAS,
             tech,
         );
-        let tail_dev = size_for_id_vov_at(c.n, self.itail, 0.35, l_tail, 1.0, 0.0)
+        let tail_dev = cached_size_for_id_vov_at(tech, false, self.itail, 0.35, l_tail, 1.0, 0.0)
             .expect("tail sizing is feasible for a designed pair");
         ckt.add_mosfet(
             "MTREF",

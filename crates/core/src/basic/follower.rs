@@ -6,8 +6,9 @@
 
 use super::{cards, L_BIAS, VOV_MIRROR};
 use crate::attrs::Performance;
+use crate::cache::cached_size_for_id_vov_at;
 use crate::error::ApeError;
-use ape_mos::sizing::{size_for_id_vov_at, threshold, SizedMos};
+use ape_mos::sizing::{threshold, SizedMos};
 use ape_netlist::{Circuit, MosPolarity, SourceWaveform, Technology};
 
 /// A sized source-follower buffer.
@@ -54,6 +55,7 @@ impl Follower {
     /// * [`ApeError::BadSpec`] for a non-positive bias current.
     /// * [`ApeError::Device`] when a device cannot be sized.
     pub fn design(tech: &Technology, ibias: f64, cl: f64) -> Result<Self, ApeError> {
+        let _span = ape_probe::span("ape.l2.follower");
         let c = cards(tech)?;
         if !(ibias.is_finite() && ibias > 0.0) {
             return Err(ApeError::BadSpec {
@@ -66,11 +68,12 @@ impl Follower {
         // large, area wants it small; 0.25 V is the classic compromise).
         let vov1 = 0.25;
         let driver =
-            size_for_id_vov_at(c.n, ibias, vov1, L_BIAS, tech.vdd - vout_q, vout_q)?;
+            cached_size_for_id_vov_at(tech, false, ibias, vov1, L_BIAS, tech.vdd - vout_q, vout_q)?;
         let vin_bias = vout_q + threshold(c.n, vout_q) + vov1;
         // Mirror sink.
-        let sink_ref = size_for_id_vov_at(c.n, ibias, VOV_MIRROR, L_BIAS, 1.0, 0.0)?;
-        let sink_out = size_for_id_vov_at(c.n, ibias, VOV_MIRROR, L_BIAS, vout_q, 0.0)?;
+        let sink_ref = cached_size_for_id_vov_at(tech, false, ibias, VOV_MIRROR, L_BIAS, 1.0, 0.0)?;
+        let sink_out =
+            cached_size_for_id_vov_at(tech, false, ibias, VOV_MIRROR, L_BIAS, vout_q, 0.0)?;
 
         let gl = sink_out.gds;
         let a = driver.gm / (driver.gm + driver.gmb + driver.gds + gl);
@@ -108,8 +111,15 @@ impl Follower {
         let out = ckt.node("out");
         let bias = ckt.node("bias");
         ckt.add_vdc("VDD", vdd, Circuit::GROUND, tech.vdd);
-        ckt.add_vsource("VIN", vin, Circuit::GROUND, self.vin_bias, 1.0, SourceWaveform::Dc)
-            .expect("template netlist is well-formed");
+        ckt.add_vsource(
+            "VIN",
+            vin,
+            Circuit::GROUND,
+            self.vin_bias,
+            1.0,
+            SourceWaveform::Dc,
+        )
+        .expect("template netlist is well-formed");
         ckt.add_idc("IREF", vdd, bias, self.ibias)
             .expect("template netlist is well-formed");
         let n_name = tech.nmos().map(|c| c.name.clone()).unwrap_or_default();

@@ -11,8 +11,9 @@
 
 use super::{cards, length_for_gain, vov_for_gm_id, L_BIAS, VOV_MIRROR};
 use crate::attrs::Performance;
+use crate::cache::{cached_size_for_gm_id_at, cached_size_for_id_vov_at};
 use crate::error::ApeError;
-use ape_mos::sizing::{size_for_gm_id_at, size_for_id_vov_at, threshold, SizedMos};
+use ape_mos::sizing::{threshold, SizedMos};
 use ape_netlist::{Circuit, MosPolarity, SourceWaveform, Technology};
 
 /// Load topology of a common-source gain stage.
@@ -89,6 +90,7 @@ impl GainStage {
         ibias: f64,
         cl: f64,
     ) -> Result<Self, ApeError> {
+        let _span = ape_probe::span("ape.l2.gain");
         let c = cards(tech)?;
         if gain >= -1.0 {
             return Err(ApeError::BadSpec {
@@ -117,12 +119,20 @@ impl GainStage {
                         message: "no load headroom at mid-rail output".into(),
                     });
                 }
-                let load =
-                    size_for_id_vov_at(c.n, ibias, vov2, L_BIAS, tech.vdd - vout_q, vout_q)?;
+                let load = cached_size_for_id_vov_at(
+                    tech,
+                    false,
+                    ibias,
+                    vov2,
+                    L_BIAS,
+                    tech.vdd - vout_q,
+                    vout_q,
+                )?;
                 // Gain −gm1/(gm2+gmb2).
                 let gm1 = a * (load.gm + load.gmb);
                 vov_for_gm_id("GainNMOS", gm1, ibias)?;
-                let driver = size_for_gm_id_at(c.n, gm1, ibias, L_BIAS, vout_q, 0.0)?;
+                let driver =
+                    cached_size_for_gm_id_at(tech, false, gm1, ibias, L_BIAS, vout_q, 0.0)?;
                 let a_est = driver.gm / (load.gm + load.gmb + driver.gds + load.gds);
                 (driver, load, driver.vgs, None, a_est)
             }
@@ -133,8 +143,16 @@ impl GainStage {
                 vov_for_gm_id("GainCMOS", gm1, ibias)?;
                 let lam_sum = c.n.lambda + c.p.lambda;
                 let l = length_for_gain(a, 2.0 * ibias / gm1, lam_sum, tech);
-                let driver = size_for_gm_id_at(c.n, gm1, ibias, l, vout_q, 0.0)?;
-                let load = size_for_id_vov_at(c.p, ibias, VOV_MIRROR, l, tech.vdd - vout_q, 0.0)?;
+                let driver = cached_size_for_gm_id_at(tech, false, gm1, ibias, l, vout_q, 0.0)?;
+                let load = cached_size_for_id_vov_at(
+                    tech,
+                    true,
+                    ibias,
+                    VOV_MIRROR,
+                    l,
+                    tech.vdd - vout_q,
+                    0.0,
+                )?;
                 let a_est = driver.gm / (driver.gds + load.gds);
                 // PMOS gate bias for the requested current.
                 let vth_p = threshold(c.p, 0.0);
@@ -143,12 +161,22 @@ impl GainStage {
             }
             GainTopology::CmosDiode => {
                 // Load diode PMOS: gain −gm1/gm2, no body effect.
-                let vov2 = VOV_MIRROR.max(tech.vdd - vout_q - threshold(c.p, 0.0)).min(1.5);
-                let load =
-                    size_for_id_vov_at(c.p, ibias, vov2, L_BIAS, tech.vdd - vout_q, 0.0)?;
+                let vov2 = VOV_MIRROR
+                    .max(tech.vdd - vout_q - threshold(c.p, 0.0))
+                    .min(1.5);
+                let load = cached_size_for_id_vov_at(
+                    tech,
+                    true,
+                    ibias,
+                    vov2,
+                    L_BIAS,
+                    tech.vdd - vout_q,
+                    0.0,
+                )?;
                 let gm1 = a * load.gm;
                 vov_for_gm_id("GainCMOSH", gm1, ibias)?;
-                let driver = size_for_gm_id_at(c.n, gm1, ibias, L_BIAS, vout_q, 0.0)?;
+                let driver =
+                    cached_size_for_gm_id_at(tech, false, gm1, ibias, L_BIAS, vout_q, 0.0)?;
                 let a_est = driver.gm / (load.gm + driver.gds + load.gds);
                 (driver, load, driver.vgs, None, a_est)
             }
@@ -196,8 +224,15 @@ impl GainStage {
         let vin = ckt.node("in");
         let out = ckt.node("out");
         ckt.add_vdc("VDD", vdd, Circuit::GROUND, tech.vdd);
-        ckt.add_vsource("VIN", vin, Circuit::GROUND, self.vin_bias, 1.0, SourceWaveform::Dc)
-            .expect("template netlist is well-formed");
+        ckt.add_vsource(
+            "VIN",
+            vin,
+            Circuit::GROUND,
+            self.vin_bias,
+            1.0,
+            SourceWaveform::Dc,
+        )
+        .expect("template netlist is well-formed");
         let n_name = tech.nmos().map(|c| c.name.clone()).unwrap_or_default();
         let p_name = tech.pmos().map(|c| c.name.clone()).unwrap_or_default();
         ckt.add_mosfet(
@@ -299,7 +334,8 @@ mod tests {
     #[test]
     fn gain_cmos_est_vs_sim() {
         let tech = Technology::default_1p2um();
-        let stage = GainStage::design(&tech, GainTopology::CmosActive, -19.0, 120e-6, 1e-12).unwrap();
+        let stage =
+            GainStage::design(&tech, GainTopology::CmosActive, -19.0, 120e-6, 1e-12).unwrap();
         let (a_sim, u_sim) = sim_gain(&stage, &tech);
         let a_est = stage.perf.dc_gain.unwrap().abs();
         assert!(
@@ -333,7 +369,8 @@ mod tests {
     #[test]
     fn power_is_rail_times_bias() {
         let tech = Technology::default_1p2um();
-        let stage = GainStage::design(&tech, GainTopology::CmosActive, -20.0, 100e-6, 1e-12).unwrap();
+        let stage =
+            GainStage::design(&tech, GainTopology::CmosActive, -20.0, 100e-6, 1e-12).unwrap();
         assert!((stage.perf.power_w - 0.5e-3).abs() < 1e-9);
     }
 }

@@ -5,8 +5,9 @@
 
 use super::{cards, L_BIAS, VOV_MIRROR};
 use crate::attrs::Performance;
+use crate::cache::cached_size_for_id_vov_at;
 use crate::error::ApeError;
-use ape_mos::sizing::{size_for_id_vov, SizedMos};
+use ape_mos::sizing::SizedMos;
 use ape_netlist::{Circuit, MosPolarity, Technology};
 
 /// Mirror circuit topology.
@@ -73,7 +74,8 @@ impl CurrentMirror {
         iref: f64,
         ratio: f64,
     ) -> Result<Self, ApeError> {
-        let c = cards(tech)?;
+        let _span = ape_probe::span("ape.l2.mirror");
+        cards(tech)?;
         if !(iref.is_finite() && iref > 0.0) {
             return Err(ApeError::BadSpec {
                 param: "iref",
@@ -87,30 +89,24 @@ impl CurrentMirror {
             });
         }
         let iout = iref * ratio;
-        let m_in = size_for_id_vov(c.n, iref, VOV_MIRROR, L_BIAS)?;
-        let m_out = size_for_id_vov(c.n, iout, VOV_MIRROR, L_BIAS)?;
+        let m_in = cached_size_for_id_vov_at(tech, false, iref, VOV_MIRROR, L_BIAS, 2.5, 0.0)?;
+        let m_out = cached_size_for_id_vov_at(tech, false, iout, VOV_MIRROR, L_BIAS, 2.5, 0.0)?;
         let mut devices = vec![m_in, m_out];
         let zout = match topology {
             MirrorTopology::Simple => 1.0 / m_out.gds,
             MirrorTopology::Wilson => {
                 // The feedback loop multiplies ro by the cascode device's
                 // intrinsic gain (÷2 from the diode in the loop).
-                let m_casc = ape_mos::sizing::size_for_id_vov_at(
-                    c.n,
-                    iout,
-                    VOV_MIRROR,
-                    L_BIAS,
-                    1.5,
-                    1.1,
-                )?;
+                let m_casc =
+                    cached_size_for_id_vov_at(tech, false, iout, VOV_MIRROR, L_BIAS, 1.5, 1.1)?;
                 devices.push(m_casc);
                 m_casc.gm / (m_casc.gds * m_out.gds) / 2.0
             }
             MirrorTopology::Cascode => {
                 let m_casc_ref =
-                    ape_mos::sizing::size_for_id_vov_at(c.n, iref, VOV_MIRROR, L_BIAS, 1.1, 1.1)?;
+                    cached_size_for_id_vov_at(tech, false, iref, VOV_MIRROR, L_BIAS, 1.1, 1.1)?;
                 let m_casc_out =
-                    ape_mos::sizing::size_for_id_vov_at(c.n, iout, VOV_MIRROR, L_BIAS, 1.5, 1.1)?;
+                    cached_size_for_id_vov_at(tech, false, iout, VOV_MIRROR, L_BIAS, 1.5, 1.1)?;
                 devices.push(m_casc_ref);
                 devices.push(m_casc_out);
                 m_casc_out.gm / (m_casc_out.gds * m_out.gds)
@@ -146,13 +142,29 @@ impl CurrentMirror {
         ckt.add_vdc("VMEAS", out, Circuit::GROUND, tech.vdd / 2.0);
         let n_name = tech.nmos().map(|c| c.name.clone()).unwrap_or_default();
         let mos = |ckt: &mut Circuit, name: &str, d, g, s, m: &SizedMos| {
-            ckt.add_mosfet(name, d, g, s, Circuit::GROUND, MosPolarity::Nmos, &n_name, m.geometry)
-                .expect("template netlist is well-formed");
+            ckt.add_mosfet(
+                name,
+                d,
+                g,
+                s,
+                Circuit::GROUND,
+                MosPolarity::Nmos,
+                &n_name,
+                m.geometry,
+            )
+            .expect("template netlist is well-formed");
         };
         match self.topology {
             MirrorTopology::Simple => {
                 mos(&mut ckt, "MIN", inn, inn, Circuit::GROUND, &self.devices[0]);
-                mos(&mut ckt, "MOUT", out, inn, Circuit::GROUND, &self.devices[1]);
+                mos(
+                    &mut ckt,
+                    "MOUT",
+                    out,
+                    inn,
+                    Circuit::GROUND,
+                    &self.devices[1],
+                );
             }
             MirrorTopology::Wilson => {
                 // in = gate of the output cascode; feedback through the

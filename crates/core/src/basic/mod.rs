@@ -63,11 +63,7 @@ pub(crate) fn gm_max(id: f64) -> f64 {
 ///
 /// Returns the strong-inversion value `2·id/gm`, clamped away from deep
 /// weak inversion so the closed-form seed stays in the solver's domain.
-pub(crate) fn vov_for_gm_id(
-    component: &'static str,
-    gm: f64,
-    id: f64,
-) -> Result<f64, ApeError> {
+pub(crate) fn vov_for_gm_id(component: &'static str, gm: f64, id: f64) -> Result<f64, ApeError> {
     if gm > 0.92 * gm_max(id) {
         return Err(ApeError::Infeasible {
             component,

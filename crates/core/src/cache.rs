@@ -14,6 +14,7 @@ use ape_mos::sizing::{size_for_gm_id_at, size_for_id_vov_at, SizedMos};
 use ape_netlist::{MosModelCard, MosPolarity, Technology};
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 
 /// Cache statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -22,6 +23,22 @@ pub struct CacheStats {
     pub hits: usize,
     /// Requests that ran the numeric solver.
     pub misses: usize,
+}
+
+impl CacheStats {
+    /// Total requests served.
+    pub fn total(&self) -> usize {
+        self.hits + self.misses
+    }
+
+    /// Fraction of requests answered from the cache (0 when unused).
+    pub fn hit_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total() as f64
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -125,12 +142,30 @@ impl SizingCache {
     {
         if let Some(hit) = self.entries.borrow().get(&key) {
             self.stats.borrow_mut().hits += 1;
+            ape_probe::counter("ape.cache.hit", 1);
             return Ok(*hit);
         }
         self.stats.borrow_mut().misses += 1;
+        ape_probe::counter("ape.cache.miss", 1);
         let solved = solve()?;
         self.entries.borrow_mut().insert(key, solved);
         Ok(solved)
+    }
+
+    /// Human-readable effectiveness summary, e.g. for end-of-run printing:
+    ///
+    /// ```text
+    /// sizing cache: 37 objects, 112 hits / 49 misses (69.6% hit rate)
+    /// ```
+    pub fn report(&self) -> String {
+        let s = self.stats();
+        format!(
+            "sizing cache: {} objects, {} hits / {} misses ({:.1}% hit rate)",
+            self.len(),
+            s.hits,
+            s.misses,
+            100.0 * s.hit_rate()
+        )
     }
 
     /// Cached [`size_for_gm_id_at`] at default biases (`vds = vdd/2`,
@@ -162,12 +197,41 @@ impl SizingCache {
         })
     }
 
+    /// Cached [`size_for_gm_id_at`] at explicit biases.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the solver's errors (errors are not cached).
+    pub fn size_for_gm_id_at(
+        &self,
+        pmos: bool,
+        gm: f64,
+        id: f64,
+        l: f64,
+        vds: f64,
+        vsb: f64,
+    ) -> Result<SizedMos, ApeError> {
+        let card = self.card(pmos)?;
+        let key = Key {
+            req: Request::GmId,
+            polarity: card.polarity,
+            a: quant(gm),
+            b: quant(id),
+            l: quant(l),
+            vds: quant(vds),
+            vsb: quant(vsb),
+        };
+        self.lookup_or(key, || {
+            size_for_gm_id_at(card, gm, id, l, vds, vsb).map_err(ApeError::from)
+        })
+    }
+
     /// Cached [`size_for_id_vov_at`] at explicit biases.
     ///
     /// # Errors
     ///
     /// Propagates the solver's errors (errors are not cached).
-    pub fn size_for_id_vov(
+    pub fn size_for_id_vov_at(
         &self,
         pmos: bool,
         id: f64,
@@ -190,6 +254,114 @@ impl SizingCache {
             size_for_id_vov_at(card, id, vov, l, vds, vsb).map_err(ApeError::from)
         })
     }
+}
+
+/// Stable fingerprint of a [`Technology`]: every model-card parameter and
+/// technology scalar participates, so two technologies share a cache slot
+/// only when they are numerically identical.
+fn tech_fingerprint(tech: &Technology) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    tech.name.hash(&mut h);
+    for v in [tech.vdd, tech.vss, tech.lmin, tech.wmin, tech.wmax] {
+        v.to_bits().hash(&mut h);
+    }
+    for c in tech.models() {
+        c.name.hash(&mut h);
+        c.polarity.hash(&mut h);
+        std::mem::discriminant(&c.level).hash(&mut h);
+        for v in [
+            c.vto, c.kp, c.gamma, c.phi, c.lambda, c.tox, c.u0, c.ld, c.cgso, c.cgdo, c.cgbo, c.cj,
+            c.cjsw, c.mj, c.mjsw, c.pb, c.theta, c.vmax, c.eta, c.nfs, c.kappa,
+        ] {
+            v.to_bits().hash(&mut h);
+        }
+    }
+    h.finish()
+}
+
+thread_local! {
+    /// One shared cache slot per thread, tagged with the fingerprint of the
+    /// technology it was built for. Estimator internals route their level-1
+    /// sizing through it so repeated (sub)circuit designs reuse objects, as
+    /// the paper's §4.1 object store does.
+    static SHARED: RefCell<Option<(u64, SizingCache)>> = const { RefCell::new(None) };
+}
+
+fn with_shared<R>(tech: &Technology, f: impl FnOnce(&SizingCache) -> R) -> R {
+    let fp = tech_fingerprint(tech);
+    SHARED.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        match &*slot {
+            Some((have, _)) if *have == fp => {}
+            _ => *slot = Some((fp, SizingCache::new(tech))),
+        }
+        let (_, cache) = slot.as_ref().expect("just installed");
+        f(cache)
+    })
+}
+
+/// [`SizingCache::size_for_gm_id_at`] through this thread's shared cache for
+/// `tech` (created on first use; replaced when `tech` changes).
+///
+/// # Errors
+///
+/// Propagates the solver's errors (errors are not cached).
+pub fn cached_size_for_gm_id_at(
+    tech: &Technology,
+    pmos: bool,
+    gm: f64,
+    id: f64,
+    l: f64,
+    vds: f64,
+    vsb: f64,
+) -> Result<SizedMos, ApeError> {
+    with_shared(tech, |c| c.size_for_gm_id_at(pmos, gm, id, l, vds, vsb))
+}
+
+/// [`SizingCache::size_for_id_vov_at`] through this thread's shared cache
+/// for `tech`.
+///
+/// # Errors
+///
+/// Propagates the solver's errors (errors are not cached).
+pub fn cached_size_for_id_vov_at(
+    tech: &Technology,
+    pmos: bool,
+    id: f64,
+    vov: f64,
+    l: f64,
+    vds: f64,
+    vsb: f64,
+) -> Result<SizedMos, ApeError> {
+    with_shared(tech, |c| c.size_for_id_vov_at(pmos, id, vov, l, vds, vsb))
+}
+
+/// Statistics of this thread's shared cache (zero when none exists yet).
+pub fn shared_cache_stats() -> CacheStats {
+    SHARED.with(|slot| {
+        slot.borrow()
+            .as_ref()
+            .map(|(_, c)| c.stats())
+            .unwrap_or_default()
+    })
+}
+
+/// Number of sized objects in this thread's shared cache.
+pub fn shared_cache_len() -> usize {
+    SHARED.with(|slot| slot.borrow().as_ref().map(|(_, c)| c.len()).unwrap_or(0))
+}
+
+/// [`SizingCache::report`] for this thread's shared cache.
+pub fn shared_cache_report() -> String {
+    SHARED.with(|slot| match &*slot.borrow() {
+        Some((_, c)) => c.report(),
+        None => "sizing cache: unused".into(),
+    })
+}
+
+/// Drops this thread's shared cache entirely (objects and statistics).
+pub fn reset_shared_cache() {
+    SHARED.with(|slot| *slot.borrow_mut() = None);
 }
 
 #[cfg(test)]
@@ -226,7 +398,7 @@ mod tests {
         let tech = Technology::default_1p2um();
         let cache = SizingCache::new(&tech);
         let cached = cache
-            .size_for_id_vov(false, 50e-6, 0.35, 2.4e-6, 1.2, 0.0)
+            .size_for_id_vov_at(false, 50e-6, 0.35, 2.4e-6, 1.2, 0.0)
             .unwrap();
         let direct =
             size_for_id_vov_at(tech.nmos().unwrap(), 50e-6, 0.35, 2.4e-6, 1.2, 0.0).unwrap();

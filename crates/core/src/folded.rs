@@ -28,8 +28,9 @@
 
 use crate::attrs::Performance;
 use crate::basic::{cards, vov_for_gm_id, L_BIAS};
+use crate::cache::{cached_size_for_gm_id_at, cached_size_for_id_vov_at};
 use crate::error::ApeError;
-use ape_mos::sizing::{size_for_id_vov_at, threshold, SizedMos};
+use ape_mos::sizing::{threshold, SizedMos};
 use ape_netlist::{Circuit, MosPolarity, NodeId, SourceWaveform, Technology};
 
 /// Specification for a folded-cascode OTA.
@@ -100,6 +101,7 @@ impl FoldedCascodeOta {
     /// * [`ApeError::BadSpec`] for non-positive requirements.
     /// * [`ApeError::Infeasible`] when the gain or gm allocation fails.
     pub fn design(tech: &Technology, spec: FoldedCascodeSpec) -> Result<Self, ApeError> {
+        let _span = ape_probe::span("ape.l3.folded");
         let c = cards(tech)?;
         if !(spec.gain > 1.0 && spec.ugf_hz > 0.0 && spec.ibias > 0.0 && spec.cl > 0.0)
             || !(spec.gain.is_finite()
@@ -134,14 +136,7 @@ impl FoldedCascodeOta {
             tech.lmin.max(1.2e-6),
             tech,
         );
-        let m_pair = ape_mos::sizing::size_for_gm_id_at(
-            c.n,
-            gm1,
-            i0,
-            l_pair,
-            tech.vdd / 2.0,
-            1.0,
-        )?;
+        let m_pair = cached_size_for_gm_id_at(tech, false, gm1, i0, l_pair, tech.vdd / 2.0, 1.0)?;
         let l_bias = |id: f64, card: &ape_netlist::MosModelCard| {
             crate::basic::length_for_min_width(
                 crate::basic::aspect_for_id_vov(card, id, 0.35),
@@ -149,22 +144,39 @@ impl FoldedCascodeOta {
                 tech,
             )
         };
-        let mb1 = size_for_id_vov_at(c.n, spec.ibias, 0.35, l_bias(spec.ibias, c.n), 1.1, 0.0)?;
-        let m_tail =
-            size_for_id_vov_at(c.n, 2.0 * i0, 0.35, l_bias(2.0 * i0, c.n), 1.0, 0.0)?;
+        let mb1 = cached_size_for_id_vov_at(
+            tech,
+            false,
+            spec.ibias,
+            0.35,
+            l_bias(spec.ibias, c.n),
+            1.1,
+            0.0,
+        )?;
+        let m_tail = cached_size_for_id_vov_at(
+            tech,
+            false,
+            2.0 * i0,
+            0.35,
+            l_bias(2.0 * i0, c.n),
+            1.0,
+            0.0,
+        )?;
         // PMOS sources carry i0+i1; long-ish channel for output resistance.
-        let m_src = size_for_id_vov_at(
-            c.p,
+        let m_src = cached_size_for_id_vov_at(
+            tech,
+            true,
             i0 + i1,
             0.35,
             l_bias(i0 + i1, c.p).max(2.0 * L_BIAS),
             1.0,
             0.0,
         )?;
-        let m_casc = size_for_id_vov_at(c.p, i1, 0.3, l_bias(i1, c.p), 1.0, 0.5)?;
-        let m_mirror = size_for_id_vov_at(c.n, i1, vov, l_mirror, 0.3, 0.0)?;
-        let m_mcasc = size_for_id_vov_at(
-            c.n,
+        let m_casc = cached_size_for_id_vov_at(tech, true, i1, 0.3, l_bias(i1, c.p), 1.0, 0.5)?;
+        let m_mirror = cached_size_for_id_vov_at(tech, false, i1, vov, l_mirror, 0.3, 0.0)?;
+        let m_mcasc = cached_size_for_id_vov_at(
+            tech,
+            false,
             i1,
             0.3,
             crate::basic::length_for_min_width(
@@ -262,70 +274,130 @@ impl FoldedCascodeOta {
         ckt.add_vdc(&format!("{prefix}.VBN"), vbn, gnd, self.vb_ncasc);
         ckt.add_mosfet(
             &format!("{prefix}.MB1"),
-            bias, bias, gnd, gnd,
-            MosPolarity::Nmos, &n_name, self.mb1.geometry,
+            bias,
+            bias,
+            gnd,
+            gnd,
+            MosPolarity::Nmos,
+            &n_name,
+            self.mb1.geometry,
         )?;
         ckt.add_mosfet(
             &format!("{prefix}.MTAIL"),
-            tail, bias, gnd, gnd,
-            MosPolarity::Nmos, &n_name, self.m_tail.geometry,
+            tail,
+            bias,
+            gnd,
+            gnd,
+            MosPolarity::Nmos,
+            &n_name,
+            self.m_tail.geometry,
         )?;
         // Input pair folded at x and y. The x side feeds the bottom diode,
         // whose mirror action inverts once more — so the x-side gate (M1)
         // is the overall non-inverting input.
         ckt.add_mosfet(
             &format!("{prefix}.M1"),
-            x, inp, tail, gnd,
-            MosPolarity::Nmos, &n_name, self.m_pair.geometry,
+            x,
+            inp,
+            tail,
+            gnd,
+            MosPolarity::Nmos,
+            &n_name,
+            self.m_pair.geometry,
         )?;
         ckt.add_mosfet(
             &format!("{prefix}.M2"),
-            y, inn, tail, gnd,
-            MosPolarity::Nmos, &n_name, self.m_pair.geometry,
+            y,
+            inn,
+            tail,
+            gnd,
+            MosPolarity::Nmos,
+            &n_name,
+            self.m_pair.geometry,
         )?;
         // PMOS current sources into the fold nodes.
         ckt.add_mosfet(
             &format!("{prefix}.MP1"),
-            x, vbs, vdd, vdd,
-            MosPolarity::Pmos, &p_name, self.m_src.geometry,
+            x,
+            vbs,
+            vdd,
+            vdd,
+            MosPolarity::Pmos,
+            &p_name,
+            self.m_src.geometry,
         )?;
         ckt.add_mosfet(
             &format!("{prefix}.MP2"),
-            y, vbs, vdd, vdd,
-            MosPolarity::Pmos, &p_name, self.m_src.geometry,
+            y,
+            vbs,
+            vdd,
+            vdd,
+            MosPolarity::Pmos,
+            &p_name,
+            self.m_src.geometry,
         )?;
         // PMOS cascodes down to the mirror.
         ckt.add_mosfet(
             &format!("{prefix}.MC1"),
-            d, vbc, x, vdd,
-            MosPolarity::Pmos, &p_name, self.m_casc.geometry,
+            d,
+            vbc,
+            x,
+            vdd,
+            MosPolarity::Pmos,
+            &p_name,
+            self.m_casc.geometry,
         )?;
         ckt.add_mosfet(
             &format!("{prefix}.MC2"),
-            out, vbc, y, vdd,
-            MosPolarity::Pmos, &p_name, self.m_casc.geometry,
+            out,
+            vbc,
+            y,
+            vdd,
+            MosPolarity::Pmos,
+            &p_name,
+            self.m_casc.geometry,
         )?;
         // Bottom wide-swing cascoded mirror: diode connection at d drives
         // the bottom gates; VBN biases the cascodes.
         ckt.add_mosfet(
             &format!("{prefix}.MNC1"),
-            d, vbn, a1, gnd,
-            MosPolarity::Nmos, &n_name, self.m_mcasc.geometry,
+            d,
+            vbn,
+            a1,
+            gnd,
+            MosPolarity::Nmos,
+            &n_name,
+            self.m_mcasc.geometry,
         )?;
         ckt.add_mosfet(
             &format!("{prefix}.MNC2"),
-            out, vbn, a2, gnd,
-            MosPolarity::Nmos, &n_name, self.m_mcasc.geometry,
+            out,
+            vbn,
+            a2,
+            gnd,
+            MosPolarity::Nmos,
+            &n_name,
+            self.m_mcasc.geometry,
         )?;
         ckt.add_mosfet(
             &format!("{prefix}.MN1"),
-            a1, d, gnd, gnd,
-            MosPolarity::Nmos, &n_name, self.m_mirror.geometry,
+            a1,
+            d,
+            gnd,
+            gnd,
+            MosPolarity::Nmos,
+            &n_name,
+            self.m_mirror.geometry,
         )?;
         ckt.add_mosfet(
             &format!("{prefix}.MN2"),
-            a2, d, gnd, gnd,
-            MosPolarity::Nmos, &n_name, self.m_mirror.geometry,
+            a2,
+            d,
+            gnd,
+            gnd,
+            MosPolarity::Nmos,
+            &n_name,
+            self.m_mirror.geometry,
         )?;
         Ok(())
     }

@@ -51,6 +51,7 @@ impl Comparator {
     /// * [`ApeError::BadSpec`] for non-positive overdrive or delay.
     /// * Op-amp design errors.
     pub fn design(tech: &Technology, overdrive: f64, t_delay: f64) -> Result<Self, ApeError> {
+        let _span = ape_probe::span("ape.l4.comparator");
         if !(overdrive.is_finite() && overdrive > 0.0) {
             return Err(ApeError::BadSpec {
                 param: "overdrive",
@@ -80,7 +81,11 @@ impl Comparator {
             zout_ohm: None,
             cl: 0.5e-12,
         };
-        let opamp = OpAmp::design(tech, OpAmpTopology::miller(MirrorTopology::Simple, false), spec)?;
+        let opamp = OpAmp::design(
+            tech,
+            OpAmpTopology::miller(MirrorTopology::Simple, false),
+            spec,
+        )?;
         let ugf_actual = opamp.perf.ugf_hz.unwrap_or(ugf);
         let sr_eff = 2.0 * std::f64::consts::PI * ugf_actual * v_steer;
         let tau = 1.0 / (2.0 * std::f64::consts::PI * ugf_actual);
@@ -133,7 +138,8 @@ impl Comparator {
                 period: f64::INFINITY,
             },
         )?;
-        self.opamp.build_into(&mut ckt, tech, "X1", inp, inn, out, vdd)?;
+        self.opamp
+            .build_into(&mut ckt, tech, "X1", inp, inn, out, vdd)?;
         ckt.add_capacitor("CL", out, Circuit::GROUND, self.opamp.spec.cl)?;
         Ok(ckt)
     }
@@ -178,6 +184,7 @@ impl FlashAdc {
     ///   the comparator count simulable).
     /// * Comparator design errors.
     pub fn design(tech: &Technology, bits: u32, t_delay: f64) -> Result<Self, ApeError> {
+        let _span = ape_probe::span("ape.l4.adc");
         if !(1..=6).contains(&bits) {
             return Err(ApeError::BadSpec {
                 param: "bits",
@@ -191,8 +198,7 @@ impl FlashAdc {
         let comparator = Comparator::design(tech, lsb / 2.0, t_delay)?;
         let n_cmp = (1usize << bits) - 1;
         let r_ladder = 50e3;
-        let ladder_power =
-            (vref_hi - vref_lo).powi(2) / (r_ladder * 2f64.powi(bits as i32));
+        let ladder_power = (vref_hi - vref_lo).powi(2) / (r_ladder * 2f64.powi(bits as i32));
         let perf = Performance {
             delay_s: comparator.perf.delay_s,
             power_w: n_cmp as f64 * comparator.perf.power_w + ladder_power,
@@ -226,7 +232,11 @@ impl FlashAdc {
     /// # Errors
     ///
     /// Propagates netlist errors.
-    pub fn testbench_dc(&self, tech: &Technology, vin: f64) -> Result<(Circuit, Vec<NodeId>), ApeError> {
+    pub fn testbench_dc(
+        &self,
+        tech: &Technology,
+        vin: f64,
+    ) -> Result<(Circuit, Vec<NodeId>), ApeError> {
         let mut ckt = Circuit::new("flash-adc-tb");
         let vdd = ckt.node("vdd");
         let vrh = ckt.node("vrh");
@@ -251,9 +261,15 @@ impl FlashAdc {
         let mut outs = Vec::new();
         for (i, tap) in taps.iter().enumerate() {
             let out = ckt.node(&format!("cmp{i}"));
-            self.comparator
-                .opamp
-                .build_into(&mut ckt, tech, &format!("XC{i}"), vin_n, *tap, out, vdd)?;
+            self.comparator.opamp.build_into(
+                &mut ckt,
+                tech,
+                &format!("XC{i}"),
+                vin_n,
+                *tap,
+                out,
+                vdd,
+            )?;
             outs.push(out);
         }
         Ok((ckt, outs))
@@ -310,8 +326,8 @@ mod tests {
         let out = tb.find_node("out").unwrap();
         let tr = transient(&tb, &tech, &op, TranOptions::new(2e-8, 8e-6)).unwrap();
         // Output crosses mid-rail some time after the input edge.
-        let t_cross = measure::crossing_time(&tr, out, tech.vdd / 2.0, true)
-            .expect("comparator must trip");
+        let t_cross =
+            measure::crossing_time(&tr, out, tech.vdd / 2.0, true).expect("comparator must trip");
         let delay = t_cross - 1e-6;
         assert!(delay > 0.0, "causal");
         let est = cmp.perf.delay_s.unwrap();

@@ -25,7 +25,11 @@ fn opamp_for_loop(
         zout_ohm: Some(2e3),
         cl,
     };
-    OpAmp::design(tech, OpAmpTopology::miller(MirrorTopology::Simple, buffered), spec)
+    OpAmp::design(
+        tech,
+        OpAmpTopology::miller(MirrorTopology::Simple, buffered),
+        spec,
+    )
 }
 
 /// Inverting amplifier: gain `−R2/R1` around an op-amp.
@@ -68,6 +72,7 @@ impl InvertingAmplifier {
     /// * [`ApeError::BadSpec`] for gain below 1 or non-positive bandwidth.
     /// * Op-amp sizing errors.
     pub fn design(tech: &Technology, gain: f64, bw: f64, cl: f64) -> Result<Self, ApeError> {
+        let _span = ape_probe::span("ape.l4.inverting_amp");
         if !(gain.is_finite() && gain >= 1.0) {
             return Err(ApeError::BadSpec {
                 param: "gain",
@@ -122,11 +127,19 @@ impl InvertingAmplifier {
         let sum = ckt.node("sum");
         ckt.add_vdc("VDD", vdd, Circuit::GROUND, tech.vdd);
         ckt.add_vdc("VREF", vref, Circuit::GROUND, tech.vdd / 2.0);
-        ckt.add_vsource("VIN", vin, Circuit::GROUND, tech.vdd / 2.0, 1.0, SourceWaveform::Dc)?;
+        ckt.add_vsource(
+            "VIN",
+            vin,
+            Circuit::GROUND,
+            tech.vdd / 2.0,
+            1.0,
+            SourceWaveform::Dc,
+        )?;
         ckt.add_resistor("R1", vin, sum, self.r1)?;
         ckt.add_resistor("R2", sum, out, self.r2)?;
         // (+) input at the reference, (−) at the summing node.
-        self.opamp.build_into(&mut ckt, tech, "X1", vref, sum, out, vdd)?;
+        self.opamp
+            .build_into(&mut ckt, tech, "X1", vref, sum, out, vdd)?;
         ckt.add_capacitor("CL", out, Circuit::GROUND, self.opamp.spec.cl)?;
         Ok(ckt)
     }
@@ -154,6 +167,7 @@ impl NonInvertingAmplifier {
     /// * [`ApeError::BadSpec`] for gain below 1 or non-positive bandwidth.
     /// * Op-amp sizing errors.
     pub fn design(tech: &Technology, gain: f64, bw: f64, cl: f64) -> Result<Self, ApeError> {
+        let _span = ape_probe::span("ape.l4.noninverting_amp");
         if !(gain.is_finite() && gain >= 1.0) {
             return Err(ApeError::BadSpec {
                 param: "gain",
@@ -198,8 +212,25 @@ impl NonInvertingAmplifier {
         let out = ckt.node("out");
         ckt.add_vdc("VDD", vdd, Circuit::GROUND, tech.vdd);
         ckt.add_vdc("VREF", vref, Circuit::GROUND, tech.vdd / 2.0);
-        ckt.add_vsource("VIN", vin, Circuit::GROUND, tech.vdd / 2.0, 1.0, SourceWaveform::Dc)?;
-        noninverting_into(&mut ckt, tech, &self.opamp, "X1", vin, out, vref, vdd, self.gain)?;
+        ckt.add_vsource(
+            "VIN",
+            vin,
+            Circuit::GROUND,
+            tech.vdd / 2.0,
+            1.0,
+            SourceWaveform::Dc,
+        )?;
+        noninverting_into(
+            &mut ckt,
+            tech,
+            &self.opamp,
+            "X1",
+            vin,
+            out,
+            vref,
+            vdd,
+            self.gain,
+        )?;
         ckt.add_capacitor("CL", out, Circuit::GROUND, self.opamp.spec.cl)?;
         Ok(ckt)
     }
@@ -235,6 +266,7 @@ impl AudioAmplifier {
     ///
     /// Propagates op-amp design errors.
     pub fn design(tech: &Technology, gain: f64, bw: f64, cl: f64) -> Result<Self, ApeError> {
+        let _span = ape_probe::span("ape.l4.audio_amp");
         if !(gain.is_finite() && gain > 1.0 && bw.is_finite() && bw > 0.0) {
             return Err(ApeError::BadSpec {
                 param: "gain/bw",
@@ -251,7 +283,11 @@ impl AudioAmplifier {
             zout_ohm: None,
             cl,
         };
-        let opamp = OpAmp::design(tech, OpAmpTopology::miller(MirrorTopology::Simple, false), spec)?;
+        let opamp = OpAmp::design(
+            tech,
+            OpAmpTopology::miller(MirrorTopology::Simple, false),
+            spec,
+        )?;
         let a1 = opamp.stage1.perf.dc_gain.unwrap_or(gain.sqrt()).abs();
         let gm6 = opamp.m6.gm;
         let go67 = opamp.m6.gds + opamp.m7.gds;
@@ -300,7 +336,8 @@ impl AudioAmplifier {
         let vcm = 0.5 * tech.vdd;
         ckt.add_vsource("VINP", inp, Circuit::GROUND, vcm, 0.5, SourceWaveform::Dc)?;
         ckt.add_vsource("VINN", inn, Circuit::GROUND, vcm, -0.5, SourceWaveform::Dc)?;
-        self.opamp.build_into(&mut ckt, tech, "X1", inp, inn, out, vdd)?;
+        self.opamp
+            .build_into(&mut ckt, tech, "X1", inp, inn, out, vdd)?;
         if let Some(rl) = self.r_load {
             let vref = ckt.node("vref");
             ckt.add_vdc("VREF", vref, Circuit::GROUND, vcm);
@@ -366,7 +403,10 @@ mod tests {
         // The design carries deliberate margin: estimate lands at or above
         // the spec but within 2x.
         let est_bw = amp.perf.bw_hz.unwrap();
-        assert!(est_bw >= 20e3 * 0.9 && est_bw < 2.0 * 20e3, "est bw {est_bw}");
+        assert!(
+            (20e3 * 0.9..2.0 * 20e3).contains(&est_bw),
+            "est bw {est_bw}"
+        );
         let tb = amp.testbench(&tech).unwrap();
         let op = dc_operating_point(&tb, &tech).unwrap();
         let out = tb.find_node("out").unwrap();

@@ -50,6 +50,7 @@ impl R2rDac {
     /// * [`ApeError::BadSpec`] for unsupported resolutions.
     /// * Op-amp design errors.
     pub fn design(tech: &Technology, bits: u32, bw: f64) -> Result<Self, ApeError> {
+        let _span = ape_probe::span("ape.l4.dac");
         if !(1..=10).contains(&bits) {
             return Err(ApeError::BadSpec {
                 param: "bits",
@@ -70,7 +71,11 @@ impl R2rDac {
             zout_ohm: Some(2e3),
             cl: 10e-12,
         };
-        let buffer = OpAmp::design(tech, OpAmpTopology::miller(MirrorTopology::Simple, true), spec)?;
+        let buffer = OpAmp::design(
+            tech,
+            OpAmpTopology::miller(MirrorTopology::Simple, true),
+            spec,
+        )?;
         let t_settle = 4.6 / (2.0 * std::f64::consts::PI * bw);
         // The buffered op-amp's NMOS-follower output tops out roughly one
         // vgs below the rail, so keep the full-scale level below that.
@@ -152,7 +157,8 @@ impl R2rDac {
             }
         }
         // Unity-gain buffer to the output.
-        self.buffer.build_into(&mut ckt, tech, "X1", lad, out, out, vdd)?;
+        self.buffer
+            .build_into(&mut ckt, tech, "X1", lad, out, out, vdd)?;
         ckt.add_capacitor("CL", out, Circuit::GROUND, 10e-12)?;
         Ok((ckt, out))
     }

@@ -26,7 +26,7 @@ use ape_netlist::{Circuit, SourceWaveform, Technology};
 ///
 /// Returns `Err` for odd or zero orders (cascaded biquads need even order).
 pub(crate) fn butterworth_qs(order: usize) -> Result<Vec<f64>, ApeError> {
-    if order == 0 || order % 2 != 0 || order > 8 {
+    if order == 0 || !order.is_multiple_of(2) || order > 8 {
         return Err(ApeError::BadSpec {
             param: "order",
             message: format!("supported Butterworth orders are 2, 4, 6, 8; got {order}"),
@@ -93,6 +93,7 @@ impl SallenKeyLowPass {
     /// * [`ApeError::BadSpec`] for odd/unsupported order or bad `fc`.
     /// * Op-amp design errors.
     pub fn design(tech: &Technology, fc: f64, order: usize, cl: f64) -> Result<Self, ApeError> {
+        let _span = ape_probe::span("ape.l4.filter_lp");
         if !(fc.is_finite() && fc > 0.0) {
             return Err(ApeError::BadSpec {
                 param: "fc",
@@ -116,8 +117,11 @@ impl SallenKeyLowPass {
                 zout_ohm: Some(1e3),
                 cl,
             };
-            let opamp =
-                OpAmp::design(tech, OpAmpTopology::miller(MirrorTopology::Simple, true), spec)?;
+            let opamp = OpAmp::design(
+                tech,
+                OpAmpTopology::miller(MirrorTopology::Simple, true),
+                spec,
+            )?;
             let a_ol = opamp.perf.dc_gain.unwrap_or(2000.0);
             a_total *= k / (1.0 + k / a_ol);
             power += opamp.perf.power_w;
@@ -172,7 +176,14 @@ impl SallenKeyLowPass {
         ckt.add_vdc("VDD", vdd, Circuit::GROUND, tech.vdd);
         ckt.add_vdc("VREF", vref, Circuit::GROUND, tech.vdd / 2.0);
         let mut stage_in = ckt.node("in");
-        ckt.add_vsource("VIN", stage_in, Circuit::GROUND, tech.vdd / 2.0, 1.0, SourceWaveform::Dc)?;
+        ckt.add_vsource(
+            "VIN",
+            stage_in,
+            Circuit::GROUND,
+            tech.vdd / 2.0,
+            1.0,
+            SourceWaveform::Dc,
+        )?;
         for (i, st) in self.stages.iter().enumerate() {
             let n1 = ckt.node(&format!("s{i}_n1"));
             let n2 = ckt.node(&format!("s{i}_n2"));
@@ -246,6 +257,7 @@ impl SallenKeyBandPass {
     /// * [`ApeError::BadSpec`] when `q` requires `K` outside `[1, 4)`.
     /// * Op-amp design errors.
     pub fn design(tech: &Technology, f0: f64, q: f64, cl: f64) -> Result<Self, ApeError> {
+        let _span = ape_probe::span("ape.l4.filter_bp");
         if !(f0.is_finite() && f0 > 0.0) {
             return Err(ApeError::BadSpec {
                 param: "f0",
@@ -270,7 +282,11 @@ impl SallenKeyBandPass {
             zout_ohm: Some(1e3),
             cl,
         };
-        let opamp = OpAmp::design(tech, OpAmpTopology::miller(MirrorTopology::Simple, true), spec)?;
+        let opamp = OpAmp::design(
+            tech,
+            OpAmpTopology::miller(MirrorTopology::Simple, true),
+            spec,
+        )?;
         let a_ol = opamp.perf.dc_gain.unwrap_or(2000.0);
         let a0 = (k / (4.0 - k)) / (1.0 + k / a_ol);
         let perf = Performance {
@@ -307,13 +323,30 @@ impl SallenKeyBandPass {
         let out = ckt.node("out");
         ckt.add_vdc("VDD", vdd, Circuit::GROUND, tech.vdd);
         ckt.add_vdc("VREF", vref, Circuit::GROUND, tech.vdd / 2.0);
-        ckt.add_vsource("VIN", vin, Circuit::GROUND, tech.vdd / 2.0, 1.0, SourceWaveform::Dc)?;
+        ckt.add_vsource(
+            "VIN",
+            vin,
+            Circuit::GROUND,
+            tech.vdd / 2.0,
+            1.0,
+            SourceWaveform::Dc,
+        )?;
         ckt.add_resistor("R1", vin, n1, self.r)?;
         ckt.add_capacitor("C2", n1, vref, self.c)?;
         ckt.add_capacitor("C1", n1, n2, self.c)?;
         ckt.add_resistor("R3", n2, vref, self.r)?;
         ckt.add_resistor("R2", n1, out, self.r)?;
-        noninverting_into(&mut ckt, tech, &self.opamp, "X1", n2, out, vref, vdd, self.k)?;
+        noninverting_into(
+            &mut ckt,
+            tech,
+            &self.opamp,
+            "X1",
+            n2,
+            out,
+            vref,
+            vdd,
+            self.k,
+        )?;
         ckt.add_capacitor("CL", out, Circuit::GROUND, 10e-12)?;
         Ok(ckt)
     }
@@ -327,7 +360,7 @@ mod tests {
     #[test]
     fn butterworth_q_tables() {
         let q2 = butterworth_qs(2).unwrap();
-        assert!((q2[0] - 0.7071).abs() < 1e-3);
+        assert!((q2[0] - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-3);
         let q4 = butterworth_qs(4).unwrap();
         assert!((q4[0] - 0.5412).abs() < 1e-3);
         assert!((q4[1] - 1.3066).abs() < 1e-3);

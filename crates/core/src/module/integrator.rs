@@ -46,6 +46,7 @@ impl Integrator {
     /// * [`ApeError::BadSpec`] for a non-positive frequency.
     /// * Op-amp design errors.
     pub fn design(tech: &Technology, unity_hz: f64, cl: f64) -> Result<Self, ApeError> {
+        let _span = ape_probe::span("ape.l4.integrator");
         if !(unity_hz.is_finite() && unity_hz > 0.0) {
             return Err(ApeError::BadSpec {
                 param: "unity_hz",
@@ -63,7 +64,11 @@ impl Integrator {
             zout_ohm: Some(2e3),
             cl,
         };
-        let opamp = OpAmp::design(tech, OpAmpTopology::miller(MirrorTopology::Simple, true), spec)?;
+        let opamp = OpAmp::design(
+            tech,
+            OpAmpTopology::miller(MirrorTopology::Simple, true),
+            spec,
+        )?;
         let a_ol = opamp.perf.dc_gain.unwrap_or(1000.0);
         let perf = Performance {
             dc_gain: Some(-a_ol),
@@ -98,13 +103,21 @@ impl Integrator {
         let sum = ckt.node("sum");
         ckt.add_vdc("VDD", vdd, Circuit::GROUND, tech.vdd);
         ckt.add_vdc("VREF", vref, Circuit::GROUND, tech.vdd / 2.0);
-        ckt.add_vsource("VIN", vin, Circuit::GROUND, tech.vdd / 2.0, 1.0, SourceWaveform::Dc)?;
+        ckt.add_vsource(
+            "VIN",
+            vin,
+            Circuit::GROUND,
+            tech.vdd / 2.0,
+            1.0,
+            SourceWaveform::Dc,
+        )?;
         ckt.add_resistor("RIN", vin, sum, self.r)?;
         ckt.add_capacitor("CF", sum, out, self.c)?;
         // A large DC-stabilising resistor across the integrator cap keeps
         // the testbench operating point defined.
         ckt.add_resistor("RDC", sum, out, 1e3 * self.r)?;
-        self.opamp.build_into(&mut ckt, tech, "X1", vref, sum, out, vdd)?;
+        self.opamp
+            .build_into(&mut ckt, tech, "X1", vref, sum, out, vdd)?;
         ckt.add_capacitor("CL", out, Circuit::GROUND, self.opamp.spec.cl)?;
         Ok(ckt)
     }
@@ -137,6 +150,7 @@ impl SummingAmplifier {
     /// * [`ApeError::BadSpec`] for an empty gain list or non-positive gains.
     /// * Op-amp design errors.
     pub fn design(tech: &Technology, gains: &[f64], bw: f64, cl: f64) -> Result<Self, ApeError> {
+        let _span = ape_probe::span("ape.l4.summing_amp");
         if gains.is_empty() {
             return Err(ApeError::BadSpec {
                 param: "gains",
@@ -161,7 +175,11 @@ impl SummingAmplifier {
             zout_ohm: Some(2e3),
             cl,
         };
-        let opamp = OpAmp::design(tech, OpAmpTopology::miller(MirrorTopology::Simple, true), spec)?;
+        let opamp = OpAmp::design(
+            tech,
+            OpAmpTopology::miller(MirrorTopology::Simple, true),
+            spec,
+        )?;
         let a_ol = opamp.perf.dc_gain.unwrap_or(1e4);
         let g0 = -(gains[0]) / (1.0 + noise_gain / a_ol);
         let perf = Performance {
@@ -210,7 +228,8 @@ impl SummingAmplifier {
             ckt.add_resistor(&format!("RIN{i}"), vin, sum, *r)?;
         }
         ckt.add_resistor("RF", sum, out, self.rf)?;
-        self.opamp.build_into(&mut ckt, tech, "X1", vref, sum, out, vdd)?;
+        self.opamp
+            .build_into(&mut ckt, tech, "X1", vref, sum, out, vdd)?;
         ckt.add_capacitor("CL", out, Circuit::GROUND, self.opamp.spec.cl)?;
         Ok(ckt)
     }

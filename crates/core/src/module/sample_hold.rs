@@ -49,6 +49,7 @@ impl SampleHold {
     /// * [`ApeError::BadSpec`] for gain below 1 or non-positive bandwidth.
     /// * Op-amp design errors.
     pub fn design(tech: &Technology, gain: f64, bw: f64, cl: f64) -> Result<Self, ApeError> {
+        let _span = ape_probe::span("ape.l4.sample_hold");
         if !(gain.is_finite() && gain >= 1.0) {
             return Err(ApeError::BadSpec {
                 param: "gain",
@@ -73,7 +74,11 @@ impl SampleHold {
             zout_ohm: Some(2e3),
             cl,
         };
-        let opamp = OpAmp::design(tech, OpAmpTopology::miller(MirrorTopology::Simple, true), spec)?;
+        let opamp = OpAmp::design(
+            tech,
+            OpAmpTopology::miller(MirrorTopology::Simple, true),
+            spec,
+        )?;
         let a_ol = opamp.perf.dc_gain.unwrap_or(1e4);
         let g_actual = noninverting_gain_actual(gain, a_ol);
         // Tracking bandwidth: switch pole in series with the closed loop.
@@ -136,11 +141,42 @@ impl SampleHold {
         let ctl = ckt.node("ctl");
         ckt.add_vdc("VDD", vdd, Circuit::GROUND, tech.vdd);
         ckt.add_vdc("VREF", vref, Circuit::GROUND, tech.vdd / 2.0);
-        ckt.add_vdc("VCTL", ctl, Circuit::GROUND, if tracking { tech.vdd } else { 0.0 });
-        ckt.add_vsource("VIN", vin, Circuit::GROUND, tech.vdd / 2.0, 1.0, SourceWaveform::Dc)?;
-        ckt.add_switch("SW", vin, hold, ctl, Circuit::GROUND, tech.vdd / 2.0, self.ron, 1e12)?;
+        ckt.add_vdc(
+            "VCTL",
+            ctl,
+            Circuit::GROUND,
+            if tracking { tech.vdd } else { 0.0 },
+        );
+        ckt.add_vsource(
+            "VIN",
+            vin,
+            Circuit::GROUND,
+            tech.vdd / 2.0,
+            1.0,
+            SourceWaveform::Dc,
+        )?;
+        ckt.add_switch(
+            "SW",
+            vin,
+            hold,
+            ctl,
+            Circuit::GROUND,
+            tech.vdd / 2.0,
+            self.ron,
+            1e12,
+        )?;
         ckt.add_capacitor("CH", hold, Circuit::GROUND, self.c_hold)?;
-        noninverting_into(&mut ckt, tech, &self.opamp, "X1", hold, out, vref, vdd, self.gain)?;
+        noninverting_into(
+            &mut ckt,
+            tech,
+            &self.opamp,
+            "X1",
+            hold,
+            out,
+            vref,
+            vdd,
+            self.gain,
+        )?;
         ckt.add_capacitor("CL", out, Circuit::GROUND, self.opamp.spec.cl)?;
         Ok(ckt)
     }

@@ -77,6 +77,7 @@ pub fn estimate_netlist(
     tech: &Technology,
     output: NodeId,
 ) -> Result<NetlistEstimate, ApeError> {
+    let _span = ape_probe::span("ape.netest");
     let op = dc_operating_point(circuit, tech).map_err(|e| ApeError::Infeasible {
         component: "netlist",
         message: format!("dc operating point: {e}"),
@@ -203,8 +204,12 @@ C1 out 0 5p
             zout_ohm: None,
             cl: 10e-12,
         };
-        let amp = OpAmp::design(&tech, OpAmpTopology::miller(MirrorTopology::Simple, false), spec)
-            .unwrap();
+        let amp = OpAmp::design(
+            &tech,
+            OpAmpTopology::miller(MirrorTopology::Simple, false),
+            spec,
+        )
+        .unwrap();
         let tb = amp.testbench_open_loop(&tech).unwrap();
         let out = tb.find_node("out").unwrap();
         let est = estimate_netlist(&tb, &tech, out).unwrap();

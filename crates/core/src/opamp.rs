@@ -15,8 +15,9 @@
 
 use crate::attrs::Performance;
 use crate::basic::{DiffPair, DiffTopology, MirrorTopology};
+use crate::cache::{cached_size_for_gm_id_at, cached_size_for_id_vov_at};
 use crate::error::ApeError;
-use ape_mos::sizing::{size_for_gm_id_at, size_for_id_vov_at, SizedMos};
+use ape_mos::sizing::SizedMos;
 use ape_netlist::{Circuit, MosPolarity, NodeId, SourceWaveform, Technology};
 
 /// Topology selections for an op-amp (Table 1 columns).
@@ -137,6 +138,7 @@ impl OpAmp {
         topology: OpAmpTopology,
         spec: OpAmpSpec,
     ) -> Result<Self, ApeError> {
+        let _span = ape_probe::span("ape.l3.opamp");
         // Area-aware refinement: a lower signal overdrive shrinks the
         // channel-length stretching that manufacturable widths force on
         // low-current designs, at the cost of slew headroom. Walk down
@@ -237,13 +239,13 @@ impl OpAmp {
             l2_gain,
             tech,
         );
-        let m6 = size_for_id_vov_at(c.p, i2, vov6, l2, tech.vdd / 2.0, 0.0)?;
+        let m6 = cached_size_for_id_vov_at(tech, true, i2, vov6, l2, tech.vdd / 2.0, 0.0)?;
         let l7 = crate::basic::length_for_min_width(
             crate::basic::aspect_for_id_vov(c.n, i2, VOV_BIAS),
             l2,
             tech,
         );
-        let m7 = size_for_id_vov_at(c.n, i2, VOV_BIAS, l7, tech.vdd / 2.0, 0.0)?;
+        let m7 = cached_size_for_id_vov_at(tech, false, i2, VOV_BIAS, l7, tech.vdd / 2.0, 0.0)?;
         let a2 = m6.gm / (m6.gds + m7.gds);
 
         // --- Bias network ---------------------------------------------------
@@ -256,26 +258,72 @@ impl OpAmp {
                 tech,
             )
         };
-        let mb1 =
-            size_for_id_vov_at(c.n, spec.ibias, VOV_BIAS, l_bias(spec.ibias), 1.2, 0.0)?;
+        let mb1 = cached_size_for_id_vov_at(
+            tech,
+            false,
+            spec.ibias,
+            VOV_BIAS,
+            l_bias(spec.ibias),
+            1.2,
+            0.0,
+        )?;
         let mut tail_devices = Vec::new();
         match topology.current_source {
             MirrorTopology::Simple => {
-                let mtail = size_for_id_vov_at(c.n, itail, VOV_BIAS, l_bias(itail), 1.4, 0.0)?;
+                let mtail = cached_size_for_id_vov_at(
+                    tech,
+                    false,
+                    itail,
+                    VOV_BIAS,
+                    l_bias(itail),
+                    1.4,
+                    0.0,
+                )?;
                 tail_devices.push(mtail);
             }
             MirrorTopology::Cascode => {
                 // Stacked mirror: bottom device + cascode, biased from a
                 // two-diode reference stack.
-                let mtail = size_for_id_vov_at(c.n, itail, VOV_BIAS, l_bias(itail), 0.5, 0.0)?;
-                let mtcasc =
-                    size_for_id_vov_at(c.n, itail, VOV_BIAS, l_bias(itail), 0.9, 0.5)?;
+                let mtail = cached_size_for_id_vov_at(
+                    tech,
+                    false,
+                    itail,
+                    VOV_BIAS,
+                    l_bias(itail),
+                    0.5,
+                    0.0,
+                )?;
+                let mtcasc = cached_size_for_id_vov_at(
+                    tech,
+                    false,
+                    itail,
+                    VOV_BIAS,
+                    l_bias(itail),
+                    0.9,
+                    0.5,
+                )?;
                 tail_devices.push(mtail);
                 tail_devices.push(mtcasc);
             }
             MirrorTopology::Wilson => {
-                let mdiode = size_for_id_vov_at(c.n, itail, VOV_BIAS, l_bias(itail), 1.1, 0.0)?;
-                let mcasc = size_for_id_vov_at(c.n, itail, VOV_BIAS, l_bias(itail), 0.5, 1.1)?;
+                let mdiode = cached_size_for_id_vov_at(
+                    tech,
+                    false,
+                    itail,
+                    VOV_BIAS,
+                    l_bias(itail),
+                    1.1,
+                    0.0,
+                )?;
+                let mcasc = cached_size_for_id_vov_at(
+                    tech,
+                    false,
+                    itail,
+                    VOV_BIAS,
+                    l_bias(itail),
+                    0.5,
+                    1.1,
+                )?;
                 tail_devices.push(mdiode);
                 tail_devices.push(mcasc);
             }
@@ -293,21 +341,29 @@ impl OpAmp {
             // zout ≈ 1/(gm+gmb): budget gm = 1.25/zout. The buffer's own
             // pole gm_b/CL must also clear the UGF, or it eats the phase
             // margin and drags the crossover down.
-            let gm_b = (1.25 / zout_target)
-                .max(2.0 * std::f64::consts::PI * 3.0 * ugf_target * spec.cl);
+            let gm_b =
+                (1.25 / zout_target).max(2.0 * std::f64::consts::PI * 3.0 * ugf_target * spec.cl);
             let ib = (gm_b * VOV_SIG / 2.0).max(5e-6);
             let vout_q = 0.45 * tech.vdd;
             let gm_b = gm_b.max(2.0 * ib / 1.2); // keep vov inside the domain
-            let mbuf = size_for_gm_id_at(
-                c.n,
+            let mbuf = cached_size_for_gm_id_at(
+                tech,
+                false,
                 gm_b,
                 ib,
                 crate::basic::L_BIAS,
                 tech.vdd - vout_q,
                 vout_q,
             )?;
-            let msink =
-                size_for_id_vov_at(c.n, ib, VOV_BIAS, crate::basic::L_BIAS, vout_q, 0.0)?;
+            let msink = cached_size_for_id_vov_at(
+                tech,
+                false,
+                ib,
+                VOV_BIAS,
+                crate::basic::L_BIAS,
+                vout_q,
+                0.0,
+            )?;
             let gtot = mbuf.gm + mbuf.gmb + mbuf.gds + msink.gds;
             let a_b = mbuf.gm / gtot;
             (Some(mbuf), Some(msink), ib, a_b, 1.0 / gtot)
@@ -377,6 +433,7 @@ impl OpAmp {
     /// # Errors
     ///
     /// Propagates netlist errors (e.g. a duplicate prefix).
+    #[allow(clippy::too_many_arguments)]
     pub fn build_into(
         &self,
         ckt: &mut Circuit,

@@ -1,0 +1,76 @@
+//! End-to-end check that the estimator emits probe telemetry: designing a
+//! diff pair under a `SummarySink` must produce level-1 and level-2 spans
+//! with the expected nesting, and a repeated solve must hit the sizing
+//! cache.
+//!
+//! The probe sink is process-global, so everything lives in one `#[test]`
+//! to avoid cross-test interference under the parallel test runner.
+
+use ape_core::basic::{DiffPair, DiffTopology};
+use ape_core::cache;
+use ape_netlist::Technology;
+use ape_probe::SummarySink;
+use std::sync::Arc;
+
+#[test]
+fn diffpair_design_emits_spans_and_cache_counters() {
+    let tech = Technology::default_1p2um();
+    cache::reset_shared_cache();
+
+    let sink = Arc::new(SummarySink::new());
+    ape_probe::install(sink.clone());
+
+    DiffPair::design(&tech, DiffTopology::MirrorLoad, 20.0, 100e-6, 0.0)
+        .expect("diff pair designs");
+    // Same spec again: every sizing problem is now a cache hit.
+    DiffPair::design(&tech, DiffTopology::MirrorLoad, 20.0, 100e-6, 0.0)
+        .expect("diff pair designs twice");
+
+    ape_probe::uninstall();
+
+    let spans = sink.spans();
+    let l2 = spans
+        .get("ape.l2.diffpair")
+        .expect("level-2 diffpair span recorded");
+    assert_eq!(l2.count, 2, "one span per design call");
+
+    // Level-1 sizing spans come from the first (cache-cold) solve only:
+    // the second solve answers every sizing problem from the cache without
+    // re-entering the solver.
+    let l1: Vec<_> = spans
+        .iter()
+        .filter(|(name, _)| name.starts_with("ape.l1."))
+        .map(|(_, agg)| *agg)
+        .collect();
+    let l1_total: u64 = l1.iter().map(|a| a.count).sum();
+    assert!(
+        l1_total >= 2,
+        "cold solve sizes several devices, got {l1_total}"
+    );
+    for agg in &l1 {
+        assert!(
+            agg.min_depth > l2.min_depth,
+            "l1 spans nest under l2: depth {} vs {}",
+            agg.min_depth,
+            l2.min_depth
+        );
+    }
+
+    let counters = sink.counters();
+    let hits = counters.get("ape.cache.hit").copied().unwrap_or(0);
+    let misses = counters.get("ape.cache.miss").copied().unwrap_or(0);
+    assert!(misses > 0, "first solve populates the cache");
+    assert!(hits > 0, "second solve hits the cache");
+
+    let stats = cache::shared_cache_stats();
+    assert_eq!(stats.hits as u64, hits, "probe counter mirrors cache stats");
+    assert_eq!(
+        stats.misses as u64, misses,
+        "probe counter mirrors cache stats"
+    );
+    assert!(cache::shared_cache_len() > 0);
+
+    // The report names its span section entries.
+    let report = sink.report();
+    assert!(report.contains("ape.l2.diffpair"), "report:\n{report}");
+}

@@ -77,7 +77,12 @@ pub fn meyer_caps(card: &MosModelCard, geom: &MosGeometry, region: Region) -> Mo
 /// Areas are derived from the device width and [`DIFFUSION_LENGTH`]; the
 /// voltage dependence follows the SPICE grading law
 /// `C = C0 / (1 + V_rev/pb)^mj`, with the forward-bias side clamped.
-pub fn junction_caps(card: &MosModelCard, geom: &MosGeometry, vdb_rev: f64, vsb_rev: f64) -> (f64, f64) {
+pub fn junction_caps(
+    card: &MosModelCard,
+    geom: &MosGeometry,
+    vdb_rev: f64,
+    vsb_rev: f64,
+) -> (f64, f64) {
     let w = geom.w * geom.m;
     let area = w * DIFFUSION_LENGTH;
     let perim = 2.0 * (w + DIFFUSION_LENGTH);
@@ -148,7 +153,13 @@ mod tests {
 
     #[test]
     fn gate_total_is_sum() {
-        let caps = MosCaps { cgs: 1.0, cgd: 2.0, cgb: 3.0, cdb: 0.0, csb: 0.0 };
+        let caps = MosCaps {
+            cgs: 1.0,
+            cgd: 2.0,
+            cgb: 3.0,
+            cdb: 0.0,
+            csb: 0.0,
+        };
         assert_eq!(caps.gate_total(), 6.0);
     }
 }

@@ -35,10 +35,16 @@ impl fmt::Display for MosError {
         match self {
             MosError::InfeasibleBias { message } => write!(f, "infeasible bias point: {message}"),
             MosError::GeometryOutOfRange { dimension, value } => {
-                write!(f, "solved {dimension} = {value:.3e} m is outside technology limits")
+                write!(
+                    f,
+                    "solved {dimension} = {value:.3e} m is outside technology limits"
+                )
             }
             MosError::NoConvergence { what, iterations } => {
-                write!(f, "no convergence solving {what} after {iterations} iterations")
+                write!(
+                    f,
+                    "no convergence solving {what} after {iterations} iterations"
+                )
             }
             MosError::InvalidInput(m) => write!(f, "invalid input: {m}"),
         }

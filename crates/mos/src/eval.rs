@@ -210,7 +210,9 @@ fn ids_forward(
     let beta = kp_eff * geom.m * geom.w / leff;
 
     // Velocity saturation (Level 3 / BSIM): critical voltage Ec * Leff.
-    let vc = if matches!(card.level, MosLevel::Level3 | MosLevel::Bsim) && card.vmax > 0.0 && card.u0 > 0.0
+    let vc = if matches!(card.level, MosLevel::Level3 | MosLevel::Bsim)
+        && card.vmax > 0.0
+        && card.u0 > 0.0
     {
         card.vmax * leff / card.u0 * (1.0 + card.theta * vov)
     } else {
@@ -231,13 +233,23 @@ fn ids_forward(
         // The simplified BSIM level softens the knee: blend a fraction of
         // triode conductance just above vdsat via the kappa parameter.
         let i = if card.level == MosLevel::Bsim && card.kappa > 0.0 {
-            i_sat * (1.0 + card.kappa * ((vds - vdsat) / (vds + vdsat + 1e-9)) * card.lambda * 10.0 * vdsat)
+            i_sat
+                * (1.0
+                    + card.kappa
+                        * ((vds - vdsat) / (vds + vdsat + 1e-9))
+                        * card.lambda
+                        * 10.0
+                        * vdsat)
         } else {
             i_sat
         };
         (i, Region::Saturation)
     };
-    let region = if region_sub { Region::Subthreshold } else { region };
+    let region = if region_sub {
+        Region::Subthreshold
+    } else {
+        region
+    };
     (i, region, vth, vdsat, vov)
 }
 
@@ -358,8 +370,24 @@ mod tests {
     fn body_effect_raises_threshold() {
         let card = nmos_card();
         let geom = MosGeometry::new(10e-6, 2.4e-6);
-        let e0 = evaluate(&card, &geom, BiasPoint { vgs: 1.5, vds: 2.0, vsb: 0.0 });
-        let e1 = evaluate(&card, &geom, BiasPoint { vgs: 1.5, vds: 2.0, vsb: 2.0 });
+        let e0 = evaluate(
+            &card,
+            &geom,
+            BiasPoint {
+                vgs: 1.5,
+                vds: 2.0,
+                vsb: 0.0,
+            },
+        );
+        let e1 = evaluate(
+            &card,
+            &geom,
+            BiasPoint {
+                vgs: 1.5,
+                vds: 2.0,
+                vsb: 2.0,
+            },
+        );
         assert!(e1.vth > e0.vth);
         assert!(e1.ids < e0.ids);
     }
@@ -388,7 +416,15 @@ mod tests {
     fn cutoff_leakage_is_tiny() {
         let card = nmos_card();
         let geom = MosGeometry::new(10e-6, 2.4e-6);
-        let e = evaluate(&card, &geom, BiasPoint { vgs: 0.0, vds: 5.0, vsb: 0.0 });
+        let e = evaluate(
+            &card,
+            &geom,
+            BiasPoint {
+                vgs: 0.0,
+                vds: 5.0,
+                vsb: 0.0,
+            },
+        );
         assert_eq!(e.region, Region::Subthreshold);
         assert!(e.ids < 1e-12, "leakage {} too large", e.ids);
         assert!(e.ids > 0.0, "smoothed model never fully off");
@@ -399,10 +435,34 @@ mod tests {
         let card = nmos_card();
         let geom = MosGeometry::new(10e-6, 2.4e-6);
         let vgs = card.vto + 0.6;
-        let e = evaluate(&card, &geom, BiasPoint { vgs, vds: 1.0, vsb: 0.0 });
+        let e = evaluate(
+            &card,
+            &geom,
+            BiasPoint {
+                vgs,
+                vds: 1.0,
+                vsb: 0.0,
+            },
+        );
         let vdsat = e.vdsat;
-        let below = evaluate(&card, &geom, BiasPoint { vgs, vds: vdsat - 1e-6, vsb: 0.0 });
-        let above = evaluate(&card, &geom, BiasPoint { vgs, vds: vdsat + 1e-6, vsb: 0.0 });
+        let below = evaluate(
+            &card,
+            &geom,
+            BiasPoint {
+                vgs,
+                vds: vdsat - 1e-6,
+                vsb: 0.0,
+            },
+        );
+        let above = evaluate(
+            &card,
+            &geom,
+            BiasPoint {
+                vgs,
+                vds: vdsat + 1e-6,
+                vsb: 0.0,
+            },
+        );
         let jump = (above.ids - below.ids).abs() / above.ids.abs();
         assert!(jump < 1e-3, "current jump {jump} at region boundary");
     }
@@ -411,8 +471,24 @@ mod tests {
     fn reverse_conduction_antisymmetric_at_zero_vds() {
         let card = nmos_card();
         let geom = MosGeometry::new(10e-6, 2.4e-6);
-        let fwd = evaluate(&card, &geom, BiasPoint { vgs: 2.0, vds: 0.05, vsb: 0.0 });
-        let rev = evaluate(&card, &geom, BiasPoint { vgs: 2.0, vds: -0.05, vsb: 0.0 });
+        let fwd = evaluate(
+            &card,
+            &geom,
+            BiasPoint {
+                vgs: 2.0,
+                vds: 0.05,
+                vsb: 0.0,
+            },
+        );
+        let rev = evaluate(
+            &card,
+            &geom,
+            BiasPoint {
+                vgs: 2.0,
+                vds: -0.05,
+                vsb: 0.0,
+            },
+        );
         assert!(fwd.ids > 0.0);
         assert!(rev.ids < 0.0);
         assert!(
@@ -433,7 +509,11 @@ mod tests {
         c3.theta = 0.1;
         c3.vmax = 1.5e5;
         let geom = MosGeometry::new(10e-6, 1.2e-6);
-        let b = BiasPoint { vgs: 2.5, vds: 3.0, vsb: 0.0 };
+        let b = BiasPoint {
+            vgs: 2.5,
+            vds: 3.0,
+            vsb: 0.0,
+        };
         let e1 = evaluate(&c1, &geom, b);
         let e3 = evaluate(&c3, &geom, b);
         assert!(e3.ids < e1.ids, "L3 {} should be < L1 {}", e3.ids, e1.ids);
@@ -443,7 +523,18 @@ mod tests {
     fn subthreshold_slope_is_exponential() {
         let card = nmos_card();
         let geom = MosGeometry::new(10e-6, 2.4e-6);
-        let f = |vgs: f64| evaluate(&card, &geom, BiasPoint { vgs, vds: 2.0, vsb: 0.0 }).ids;
+        let f = |vgs: f64| {
+            evaluate(
+                &card,
+                &geom,
+                BiasPoint {
+                    vgs,
+                    vds: 2.0,
+                    vsb: 0.0,
+                },
+            )
+            .ids
+        };
         // One decade per n*VT*ln(10): check the current ratio over 100 mV.
         let r = f(0.4) / f(0.3);
         assert!(r > 5.0, "subthreshold ratio {r} too flat");
@@ -457,12 +548,20 @@ mod tests {
         let short = evaluate(
             &card,
             &MosGeometry::new(10e-6, 2.4e-6),
-            BiasPoint { vgs: card.vto + vov, vds: 2.5, vsb: 0.0 },
+            BiasPoint {
+                vgs: card.vto + vov,
+                vds: 2.5,
+                vsb: 0.0,
+            },
         );
         let long = evaluate(
             &card,
             &MosGeometry::new(40e-6, 9.6e-6), // same W/L aspect, 4x length
-            BiasPoint { vgs: card.vto + vov, vds: 2.5, vsb: 0.0 },
+            BiasPoint {
+                vgs: card.vto + vov,
+                vds: 2.5,
+                vsb: 0.0,
+            },
         );
         // Similar current, much lower output conductance → higher gain.
         assert!((long.ids - short.ids).abs() / short.ids < 0.25);
@@ -477,7 +576,15 @@ mod tests {
         let mut last = -1.0;
         for k in 0..50 {
             let vgs = k as f64 * 0.1;
-            let e = evaluate(&card, &geom, BiasPoint { vgs, vds: 2.0, vsb: 0.0 });
+            let e = evaluate(
+                &card,
+                &geom,
+                BiasPoint {
+                    vgs,
+                    vds: 2.0,
+                    vsb: 0.0,
+                },
+            );
             assert!(e.ids >= last, "non-monotone at vgs={vgs}");
             last = e.ids;
         }

@@ -121,12 +121,7 @@ fn finish(card: &MosModelCard, geom: MosGeometry, vgs_n: f64, vds_n: f64, vsb_n:
 /// # Ok(())
 /// # }
 /// ```
-pub fn size_for_gm_id(
-    card: &MosModelCard,
-    gm: f64,
-    id: f64,
-    l: f64,
-) -> Result<SizedMos, MosError> {
+pub fn size_for_gm_id(card: &MosModelCard, gm: f64, id: f64, l: f64) -> Result<SizedMos, MosError> {
     size_for_gm_id_at(card, gm, id, l, 2.5, 0.0)
 }
 
@@ -144,6 +139,7 @@ pub fn size_for_gm_id_at(
     vds_assume: f64,
     vsb_assume: f64,
 ) -> Result<SizedMos, MosError> {
+    let _span = ape_probe::span("ape.l1.size_gm_id");
     check_finite_positive("gm", gm)?;
     check_finite_positive("id", id)?;
     check_finite_positive("l", l)?;
@@ -168,9 +164,11 @@ pub fn size_for_gm_id_at(
         let f1 = (e.ids / id).ln();
         let f2 = (e.gm / gm).ln();
         if f1.abs() < 1e-7 && f2.abs() < 1e-7 {
+            ape_probe::counter("mos.size.newton_iters", it as u64);
             return Ok(finish(card, geom, vgs, vds_assume, vsb_assume));
         }
         if it >= 80 {
+            ape_probe::counter("mos.size.failures", 1);
             return Err(MosError::NoConvergence {
                 what: format!("(W, Vgs) for gm={gm:.3e}, id={id:.3e}"),
                 iterations: it,
@@ -179,14 +177,27 @@ pub fn size_for_gm_id_at(
         // Finite-difference Jacobian in (ln w, vgs).
         let dw = 1e-4;
         let dv = 1e-5;
-        let ew = eval_norm(card, &MosGeometry::new(w * (1.0 + dw), l), vgs, vds_assume, vsb_assume);
-        let ev = eval_norm(card, &MosGeometry::new(w, l), vgs + dv, vds_assume, vsb_assume);
+        let ew = eval_norm(
+            card,
+            &MosGeometry::new(w * (1.0 + dw), l),
+            vgs,
+            vds_assume,
+            vsb_assume,
+        );
+        let ev = eval_norm(
+            card,
+            &MosGeometry::new(w, l),
+            vgs + dv,
+            vds_assume,
+            vsb_assume,
+        );
         let j11 = ((ew.ids / e.ids).ln()) / dw;
         let j21 = ((ew.gm / e.gm).ln()) / dw;
         let j12 = ((ev.ids / e.ids).ln()) / dv;
         let j22 = ((ev.gm / e.gm).ln()) / dv;
         let det = j11 * j22 - j12 * j21;
         if det.abs() < 1e-12 {
+            ape_probe::counter("mos.size.failures", 1);
             return Err(MosError::NoConvergence {
                 what: "singular sizing jacobian".into(),
                 iterations: it,
@@ -233,6 +244,7 @@ pub fn size_for_id_vov_at(
     vds_assume: f64,
     vsb_assume: f64,
 ) -> Result<SizedMos, MosError> {
+    let _span = ape_probe::span("ape.l1.size_id_vov");
     check_finite_positive("id", id)?;
     check_finite_positive("vov", vov)?;
     check_finite_positive("l", l)?;
@@ -246,14 +258,22 @@ pub fn size_for_id_vov_at(
     let vgs = vth0 + vov;
     let mut w = (2.0 * id * leff / (card.kp * vov * vov)).max(0.2e-6);
     // 1-D multiplicative update: Id is proportional to W at fixed bias.
-    for _ in 0..60 {
+    for it in 0..60 {
         let e = eval_norm(card, &MosGeometry::new(w, l), vgs, vds_assume, vsb_assume);
         let ratio = id / e.ids;
         if (ratio - 1.0).abs() < 1e-9 {
-            return Ok(finish(card, MosGeometry::new(w, l), vgs, vds_assume, vsb_assume));
+            ape_probe::counter("mos.size.newton_iters", it as u64);
+            return Ok(finish(
+                card,
+                MosGeometry::new(w, l),
+                vgs,
+                vds_assume,
+                vsb_assume,
+            ));
         }
         w = (w * ratio).clamp(0.05e-6, 0.1);
     }
+    ape_probe::counter("mos.size.failures", 1);
     Err(MosError::NoConvergence {
         what: format!("W for id={id:.3e} at vov={vov}"),
         iterations: 60,
@@ -350,7 +370,12 @@ mod tests {
     #[test]
     fn gm_id_sizing_hits_targets() {
         let card = nmos();
-        for (gm, id) in [(50e-6, 5e-6), (100e-6, 10e-6), (1e-3, 200e-6), (20e-6, 1e-6)] {
+        for (gm, id) in [
+            (50e-6, 5e-6),
+            (100e-6, 10e-6),
+            (1e-3, 200e-6),
+            (20e-6, 1e-6),
+        ] {
             let m = size_for_gm_id(&card, gm, id, 2.4e-6).unwrap();
             assert!((m.gm - gm).abs() / gm < 1e-4, "gm {} vs {}", m.gm, gm);
             assert!((m.ids - id).abs() / id < 1e-4, "id {} vs {}", m.ids, id);
@@ -399,7 +424,15 @@ mod tests {
         let card = nmos();
         let geom = MosGeometry::new(20e-6, 2.4e-6);
         let vgs = vgs_for_id(&card, &geom, 50e-6, 2.5, 0.0).unwrap();
-        let e = evaluate(&card, &geom, BiasPoint { vgs, vds: 2.5, vsb: 0.0 });
+        let e = evaluate(
+            &card,
+            &geom,
+            BiasPoint {
+                vgs,
+                vds: 2.5,
+                vsb: 0.0,
+            },
+        );
         assert!((e.ids - 50e-6).abs() / 50e-6 < 1e-6);
     }
 
@@ -452,7 +485,11 @@ mod tests {
             let e = evaluate(
                 &card,
                 &m.geometry,
-                BiasPoint { vgs: m.vgs, vds: 2.5, vsb: 0.0 },
+                BiasPoint {
+                    vgs: m.vgs,
+                    vds: 2.5,
+                    vsb: 0.0,
+                },
             );
             assert!((e.gm - gm).abs() / gm < 1e-3);
             assert!((e.ids - id).abs() / id < 1e-3);

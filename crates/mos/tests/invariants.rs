@@ -1,0 +1,172 @@
+//! Sampled invariant tests over the device models: the forward evaluation
+//! must be finite, sign-correct and continuous everywhere the simulator can
+//! land during Newton iterations. Deterministic seeded sweeps stand in for
+//! a property-testing framework.
+
+use ape_mos::{evaluate, meyer_caps, BiasPoint, Region};
+use ape_netlist::{MosGeometry, MosLevel, Technology};
+
+const LEVELS: [MosLevel; 4] = [
+    MosLevel::Level1,
+    MosLevel::Level2,
+    MosLevel::Level3,
+    MosLevel::Bsim,
+];
+
+/// Minimal xorshift sampler so the sweeps stay deterministic without any
+/// external dependency.
+struct Sampler(u64);
+
+impl Sampler {
+    fn next(&mut self) -> f64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        (self.0 >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next()
+    }
+
+    fn flag(&mut self) -> bool {
+        self.next() < 0.5
+    }
+}
+
+/// Never NaN/∞, for any bias the Newton solver might visit — including
+/// reversed conduction and forward body bias.
+#[test]
+fn evaluation_always_finite() {
+    let mut s = Sampler(0x00A1_1CE5);
+    for level in LEVELS {
+        let tech = Technology::default_1p2um().with_level(level);
+        for _ in 0..128 {
+            let card = if s.flag() {
+                tech.pmos().unwrap()
+            } else {
+                tech.nmos().unwrap()
+            };
+            let g = MosGeometry::new(s.range(0.5, 500.0) * 1e-6, s.range(0.6, 40.0) * 1e-6);
+            let bias = BiasPoint {
+                vgs: s.range(-6.0, 6.0),
+                vds: s.range(-6.0, 6.0),
+                vsb: s.range(-1.0, 6.0),
+            };
+            let e = evaluate(card, &g, bias);
+            assert!(e.ids.is_finite(), "ids not finite at {bias:?} ({level:?})");
+            assert!(e.gm.is_finite() && e.gds.is_finite() && e.gmb.is_finite());
+            assert!(e.vth.is_finite() && e.vdsat.is_finite());
+        }
+    }
+}
+
+/// Zero vds means (near) zero current, any level, any polarity.
+#[test]
+fn zero_vds_zero_current() {
+    let mut s = Sampler(0xBEEF);
+    for level in LEVELS {
+        let tech = Technology::default_1p2um().with_level(level);
+        for _ in 0..64 {
+            let card = if s.flag() {
+                tech.pmos().unwrap()
+            } else {
+                tech.nmos().unwrap()
+            };
+            let g = MosGeometry::new(s.range(1.0, 100.0) * 1e-6, 2.4e-6);
+            let vgs = s.range(-5.0, 5.0);
+            let e = evaluate(
+                card,
+                &g,
+                BiasPoint {
+                    vgs,
+                    vds: 0.0,
+                    vsb: 0.0,
+                },
+            );
+            assert!(e.ids.abs() < 1e-12, "ids {} at vds=0 ({level:?})", e.ids);
+        }
+    }
+}
+
+/// The characteristic is continuous in vds across the whole range (region
+/// boundaries included): no jump bigger than the local slope allows.
+#[test]
+fn continuity_in_vds() {
+    let mut s = Sampler(0xC0FFEE);
+    for level in LEVELS {
+        let tech = Technology::default_1p2um().with_level(level);
+        let card = tech.nmos().unwrap();
+        for _ in 0..128 {
+            let g = MosGeometry::new(s.range(1.0, 100.0) * 1e-6, 2.4e-6);
+            let vgs = s.range(0.8, 3.0);
+            let vds0 = s.range(0.0, 4.9);
+            let h = 1e-4;
+            let e0 = evaluate(
+                card,
+                &g,
+                BiasPoint {
+                    vgs,
+                    vds: vds0,
+                    vsb: 0.0,
+                },
+            );
+            let e1 = evaluate(
+                card,
+                &g,
+                BiasPoint {
+                    vgs,
+                    vds: vds0 + h,
+                    vsb: 0.0,
+                },
+            );
+            let di = (e1.ids - e0.ids).abs();
+            // Bound the step by a generous multiple of the local conductance.
+            let bound = (e0.gds.abs() + e0.gm.abs() + 1e-6) * h * 50.0 + 1e-12;
+            assert!(
+                di < bound,
+                "jump {di} at vds {vds0} (bound {bound}, {level:?})"
+            );
+        }
+    }
+}
+
+/// Capacitances are non-negative and scale with width.
+#[test]
+fn caps_positive_and_scale() {
+    let mut s = Sampler(0xCAB);
+    let tech = Technology::default_1p2um();
+    let card = tech.nmos().unwrap();
+    for region in [Region::Saturation, Region::Triode, Region::Subthreshold] {
+        for _ in 0..64 {
+            let w = s.range(1.0, 200.0) * 1e-6;
+            let l = s.range(1.2, 20.0) * 1e-6;
+            let c1 = meyer_caps(card, &MosGeometry::new(w, l), region);
+            let c2 = meyer_caps(card, &MosGeometry::new(2.0 * w, l), region);
+            assert!(c1.cgs >= 0.0 && c1.cgd >= 0.0 && c1.cgb >= 0.0);
+            assert!(c2.gate_total() > c1.gate_total());
+        }
+    }
+}
+
+/// Saturation current grows with drawn width at fixed bias.
+#[test]
+fn current_monotone_in_width() {
+    let mut s = Sampler(0xD1CE);
+    for level in LEVELS {
+        let tech = Technology::default_1p2um().with_level(level);
+        let card = tech.nmos().unwrap();
+        for _ in 0..64 {
+            let w = s.range(1.0, 100.0) * 1e-6;
+            let vgs = s.range(1.2, 3.0);
+            let bias = BiasPoint {
+                vgs,
+                vds: 2.5,
+                vsb: 0.0,
+            };
+            let a = evaluate(card, &MosGeometry::new(w, 2.4e-6), bias);
+            let b = evaluate(card, &MosGeometry::new(1.5 * w, 2.4e-6), bias);
+            assert!(b.ids > a.ids, "w {w} vgs {vgs} ({level:?})");
+        }
+    }
+}

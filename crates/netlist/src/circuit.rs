@@ -156,7 +156,13 @@ impl Circuit {
     /// # Errors
     ///
     /// Rejects non-positive or non-finite resistance and duplicate names.
-    pub fn add_resistor(&mut self, name: &str, a: NodeId, b: NodeId, ohms: f64) -> Result<(), NetlistError> {
+    pub fn add_resistor(
+        &mut self,
+        name: &str,
+        a: NodeId,
+        b: NodeId,
+        ohms: f64,
+    ) -> Result<(), NetlistError> {
         if !(ohms.is_finite() && ohms > 0.0) {
             return Err(NetlistError::InvalidParameter {
                 element: name.to_string(),
@@ -176,7 +182,13 @@ impl Circuit {
     /// # Errors
     ///
     /// Rejects non-positive or non-finite capacitance and duplicate names.
-    pub fn add_capacitor(&mut self, name: &str, a: NodeId, b: NodeId, farads: f64) -> Result<(), NetlistError> {
+    pub fn add_capacitor(
+        &mut self,
+        name: &str,
+        a: NodeId,
+        b: NodeId,
+        farads: f64,
+    ) -> Result<(), NetlistError> {
         if !(farads.is_finite() && farads > 0.0) {
             return Err(NetlistError::InvalidParameter {
                 element: name.to_string(),
@@ -196,7 +208,13 @@ impl Circuit {
     /// # Errors
     ///
     /// Rejects non-positive or non-finite inductance and duplicate names.
-    pub fn add_inductor(&mut self, name: &str, a: NodeId, b: NodeId, henries: f64) -> Result<(), NetlistError> {
+    pub fn add_inductor(
+        &mut self,
+        name: &str,
+        a: NodeId,
+        b: NodeId,
+        henries: f64,
+    ) -> Result<(), NetlistError> {
         if !(henries.is_finite() && henries > 0.0) {
             return Err(NetlistError::InvalidParameter {
                 element: name.to_string(),
@@ -240,7 +258,11 @@ impl Circuit {
             name: name.to_string(),
             a: pos,
             b: neg,
-            kind: ElementKind::VoltageSource { dc, ac_mag, waveform },
+            kind: ElementKind::VoltageSource {
+                dc,
+                ac_mag,
+                waveform,
+            },
         })
     }
 
@@ -249,7 +271,13 @@ impl Circuit {
     /// # Errors
     ///
     /// Returns an error on duplicate names or dangling nodes.
-    pub fn add_idc(&mut self, name: &str, pos: NodeId, neg: NodeId, amps: f64) -> Result<(), NetlistError> {
+    pub fn add_idc(
+        &mut self,
+        name: &str,
+        pos: NodeId,
+        neg: NodeId,
+        amps: f64,
+    ) -> Result<(), NetlistError> {
         self.add_isource(name, pos, neg, amps, 0.0, SourceWaveform::Dc)
     }
 
@@ -271,7 +299,11 @@ impl Circuit {
             name: name.to_string(),
             a: pos,
             b: neg,
-            kind: ElementKind::CurrentSource { dc, ac_mag, waveform },
+            kind: ElementKind::CurrentSource {
+                dc,
+                ac_mag,
+                waveform,
+            },
         })
     }
 
@@ -336,10 +368,17 @@ impl Circuit {
         model: &str,
         geometry: MosGeometry,
     ) -> Result<(), NetlistError> {
-        if !(geometry.w.is_finite() && geometry.w > 0.0 && geometry.l.is_finite() && geometry.l > 0.0) {
+        if !(geometry.w.is_finite()
+            && geometry.w > 0.0
+            && geometry.l.is_finite()
+            && geometry.l > 0.0)
+        {
             return Err(NetlistError::InvalidParameter {
                 element: name.to_string(),
-                message: format!("W and L must be positive, got W={} L={}", geometry.w, geometry.l),
+                message: format!(
+                    "W and L must be positive, got W={} L={}",
+                    geometry.w, geometry.l
+                ),
             });
         }
         if !(geometry.m.is_finite() && geometry.m >= 1.0) {
@@ -389,7 +428,13 @@ impl Circuit {
             name: name.to_string(),
             a,
             b,
-            kind: ElementKind::Switch { cp, cn, vt, ron, roff },
+            kind: ElementKind::Switch {
+                cp,
+                cn,
+                vt,
+                ron,
+                roff,
+            },
         })
     }
 
@@ -599,7 +644,13 @@ impl Circuit {
                     geometry.l,
                     geometry.m
                 ),
-                ElementKind::Switch { cp, cn, vt, ron, roff } => format!(
+                ElementKind::Switch {
+                    cp,
+                    cn,
+                    vt,
+                    ron,
+                    roff,
+                } => format!(
                     "{} {} {} {} {} SW vt={:.3} ron={:.3e} roff={:.3e}",
                     ename,
                     an,
@@ -754,13 +805,16 @@ mod tests {
         let i = inner.node("in");
         let o = inner.node("out");
         inner.add_resistor("R1", i, o, 100.0).unwrap();
-        inner.add_capacitor("C1", o, Circuit::GROUND, 1e-12).unwrap();
+        inner
+            .add_capacitor("C1", o, Circuit::GROUND, 1e-12)
+            .unwrap();
 
         let mut top = Circuit::new("top");
         let a = top.node("a");
         let b = top.node("b");
         top.add_vdc("V1", a, Circuit::GROUND, 1.0);
-        top.instantiate("X1", &inner, &[("in", a), ("out", b)]).unwrap();
+        top.instantiate("X1", &inner, &[("in", a), ("out", b)])
+            .unwrap();
         assert!(top.element("X1.R1").is_some());
         assert!(top.element("X1.C1").is_some());
         // R1 of the instance connects a-b through the port map.

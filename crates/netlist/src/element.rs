@@ -286,7 +286,9 @@ impl Element {
     pub fn needs_branch_current(&self) -> bool {
         matches!(
             self.kind,
-            ElementKind::VoltageSource { .. } | ElementKind::Vcvs { .. } | ElementKind::Inductor { .. }
+            ElementKind::VoltageSource { .. }
+                | ElementKind::Vcvs { .. }
+                | ElementKind::Inductor { .. }
         )
     }
 }

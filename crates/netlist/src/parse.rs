@@ -99,7 +99,9 @@ fn parse_model(line: &str, lineno: usize, tech: &mut Technology) -> Result<(), N
     let cleaned = line.replace(['(', ')'], " ");
     let mut tok = cleaned.split_whitespace();
     tok.next(); // .model
-    let name = tok.next().ok_or_else(|| err(lineno, "missing model name"))?;
+    let name = tok
+        .next()
+        .ok_or_else(|| err(lineno, "missing model name"))?;
     let kind = tok
         .next()
         .ok_or_else(|| err(lineno, "missing model type"))?
@@ -220,7 +222,9 @@ fn parse_element(line: &str, lineno: usize, ckt: &mut Circuit) -> Result<(), Net
             let mut ron = 1e3;
             let mut roff = 1e12;
             for kv in &toks[5..] {
-                let Some((k, v)) = kv.split_once('=') else { continue };
+                let Some((k, v)) = kv.split_once('=') else {
+                    continue;
+                };
                 let val = parse_value(v).map_err(|e| err(lineno, e.to_string()))?;
                 match k.to_ascii_lowercase().as_str() {
                     "vt" => vt = val,
@@ -229,7 +233,8 @@ fn parse_element(line: &str, lineno: usize, ckt: &mut Circuit) -> Result<(), Net
                     _ => {}
                 }
             }
-            ckt.add_switch(name, a, b, cp, cn, vt, ron, roff).map_err(map_err)
+            ckt.add_switch(name, a, b, cp, cn, vt, ron, roff)
+                .map_err(map_err)
         }
         'M' => {
             if toks.len() < 6 {
@@ -381,8 +386,12 @@ V2 g 0 1.5
     fn controlled_sources_parse() {
         let deck = "* t\nE1 o 0 a 0 100\nG1 o 0 a 0 1m\nR1 a 0 1\nR2 o 0 1\n";
         let (c, _) = parse_spice(deck).unwrap();
-        assert!(matches!(c.element("E1").unwrap().kind, ElementKind::Vcvs { gain, .. } if gain == 100.0));
-        assert!(matches!(c.element("G1").unwrap().kind, ElementKind::Vccs { gm, .. } if gm == 1e-3));
+        assert!(
+            matches!(c.element("E1").unwrap().kind, ElementKind::Vcvs { gain, .. } if gain == 100.0)
+        );
+        assert!(
+            matches!(c.element("G1").unwrap().kind, ElementKind::Vccs { gm, .. } if gm == 1e-3)
+        );
     }
 
     #[test]

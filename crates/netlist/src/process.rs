@@ -94,7 +94,7 @@ pub struct MosModelCard {
 impl MosModelCard {
     /// Gate-oxide capacitance per unit area `ε_ox / tox`, F/m².
     pub fn cox(&self) -> f64 {
-        const EPS_OX: f64 = 3.9 * 8.854_187_8128e-12;
+        const EPS_OX: f64 = 3.9 * 8.854_187_812_8e-12;
         EPS_OX / self.tox
     }
 

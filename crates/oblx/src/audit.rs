@@ -49,9 +49,11 @@ pub fn audit_candidate(
     point: &DesignPoint,
     tol: f64,
 ) -> Result<AuditReport, OblxError> {
+    let _span = ape_probe::span("oblx.audit");
+    ape_probe::counter("oblx.audits", 1);
     let (ckt, out) = build_candidate(tech, topology, spec, point)?;
-    let op = dc_operating_point(&ckt, tech)
-        .map_err(|e| OblxError::AuditFailed(format!("dc: {e}")))?;
+    let op =
+        dc_operating_point(&ckt, tech).map_err(|e| OblxError::AuditFailed(format!("dc: {e}")))?;
     let freqs = decade_frequencies(100.0, 2e9, 8);
     let sweep = ac_sweep(&ckt, tech, &op, &freqs)
         .map_err(|e| OblxError::AuditFailed(format!("ac: {e}")))?;

@@ -70,6 +70,10 @@ pub fn evaluate_candidate_with(
     point: &DesignPoint,
     fidelity: EvalFidelity,
 ) -> CandidateEval {
+    match fidelity {
+        EvalFidelity::AweOnly => ape_probe::counter("oblx.cost_evals.awe", 1),
+        EvalFidelity::Exact => ape_probe::counter("oblx.cost_evals.exact", 1),
+    }
     let area = candidate_area(tech, topology, spec, point);
     let mut eval = CandidateEval {
         dc_ok: false,
@@ -123,8 +127,8 @@ pub fn evaluate_candidate_with(
             if let Some(row) = sys.node_row(out) {
                 if let Some((fu, _)) = find_unity_crossing(&sys, row) {
                     eval.ugf_hz = Some(fu);
-                    eval.pm_deg = unwrapped_phase_at(&sys, row, fu)
-                        .map(|ph| 180.0 + ph.to_degrees());
+                    eval.pm_deg =
+                        unwrapped_phase_at(&sys, row, fu).map(|ph| 180.0 + ph.to_degrees());
                 }
             }
         }

@@ -76,7 +76,10 @@ pub struct SynthesisOutcome {
 impl SynthesisOutcome {
     /// `true` when the audited design meets every specification.
     pub fn meets_spec(&self) -> bool {
-        self.audit.as_ref().map(AuditReport::meets_spec).unwrap_or(false)
+        self.audit
+            .as_ref()
+            .map(AuditReport::meets_spec)
+            .unwrap_or(false)
     }
 }
 
@@ -94,6 +97,7 @@ pub fn synthesize(
     init: &InitialPoint,
     opts: &SynthesisOptions,
 ) -> Result<SynthesisOutcome, OblxError> {
+    let _span = ape_probe::span("oblx.synthesize");
     if !(spec.gain > 1.0 && spec.ugf_hz > 0.0 && spec.cl > 0.0 && spec.ibias > 0.0) {
         return Err(OblxError::BadSpec(format!(
             "gain {}, ugf {}, cl {}, ibias {}",
@@ -103,7 +107,10 @@ pub fn synthesize(
     let t0 = Instant::now();
     let (ranges, start) = match init {
         InitialPoint::Blind => (blind_ranges(topology), blind_center(topology).to_log()),
-        InitialPoint::ApeSeeded { point, interval_frac } => {
+        InitialPoint::ApeSeeded {
+            point,
+            interval_frac,
+        } => {
             let r = seeded_ranges(topology, point, *interval_frac);
             (r.clone(), r.clamp(point.to_log()))
         }
@@ -112,8 +119,13 @@ pub fn synthesize(
     let spec_c = *spec;
     let tech_c = tech.clone();
     let fidelity = opts.fidelity;
-    let initial_eval =
-        evaluate_candidate_with(&tech_c, topology, &spec_c, &DesignPoint::from_log(&start), fidelity);
+    let initial_eval = evaluate_candidate_with(
+        &tech_c,
+        topology,
+        &spec_c,
+        &DesignPoint::from_log(&start),
+        fidelity,
+    );
     let initial_cost = cost(&initial_eval, &spec_c, &weights);
     let anneal_opts = AnnealOptions {
         schedule: Schedule::Geometric {

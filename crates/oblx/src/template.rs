@@ -128,39 +128,130 @@ pub fn build_candidate(
                 bias_diode_geometry(tech, spec.ibias),
             )
             .map_err(err)?;
-            ckt.add_mosfet("MWD", y, y, gnd, gnd, MosPolarity::Nmos, &n_name, g(6, L_BIAS))
-                .map_err(err)?;
-            ckt.add_mosfet("MWC", tail, bias, y, gnd, MosPolarity::Nmos, &n_name, g(6, L_BIAS))
-                .map_err(err)?;
+            ckt.add_mosfet(
+                "MWD",
+                y,
+                y,
+                gnd,
+                gnd,
+                MosPolarity::Nmos,
+                &n_name,
+                g(6, L_BIAS),
+            )
+            .map_err(err)?;
+            ckt.add_mosfet(
+                "MWC",
+                tail,
+                bias,
+                y,
+                gnd,
+                MosPolarity::Nmos,
+                &n_name,
+                g(6, L_BIAS),
+            )
+            .map_err(err)?;
             y
         }
     };
     // Input pair (inp on M2 per the template's non-inverting convention).
-    ckt.add_mosfet("M1", outb, inn, tail, gnd, MosPolarity::Nmos, &n_name, g(0, l_pair))
-        .map_err(err)?;
-    ckt.add_mosfet("M2", o1, inp, tail, gnd, MosPolarity::Nmos, &n_name, g(0, l_pair))
-        .map_err(err)?;
+    ckt.add_mosfet(
+        "M1",
+        outb,
+        inn,
+        tail,
+        gnd,
+        MosPolarity::Nmos,
+        &n_name,
+        g(0, l_pair),
+    )
+    .map_err(err)?;
+    ckt.add_mosfet(
+        "M2",
+        o1,
+        inp,
+        tail,
+        gnd,
+        MosPolarity::Nmos,
+        &n_name,
+        g(0, l_pair),
+    )
+    .map_err(err)?;
     // Mirror load.
-    ckt.add_mosfet("M3", outb, outb, vdd, vdd, MosPolarity::Pmos, &p_name, g(2, l_pair))
-        .map_err(err)?;
-    ckt.add_mosfet("M4", o1, outb, vdd, vdd, MosPolarity::Pmos, &p_name, g(2, l_pair))
-        .map_err(err)?;
+    ckt.add_mosfet(
+        "M3",
+        outb,
+        outb,
+        vdd,
+        vdd,
+        MosPolarity::Pmos,
+        &p_name,
+        g(2, l_pair),
+    )
+    .map_err(err)?;
+    ckt.add_mosfet(
+        "M4",
+        o1,
+        outb,
+        vdd,
+        vdd,
+        MosPolarity::Pmos,
+        &p_name,
+        g(2, l_pair),
+    )
+    .map_err(err)?;
     // Second stage.
-    ckt.add_mosfet("M6", o2, o1, vdd, vdd, MosPolarity::Pmos, &p_name, g(3, l_2))
-        .map_err(err)?;
-    ckt.add_mosfet("M7", o2, ref_gate, gnd, gnd, MosPolarity::Nmos, &n_name, g(5, l_2))
-        .map_err(err)?;
+    ckt.add_mosfet(
+        "M6",
+        o2,
+        o1,
+        vdd,
+        vdd,
+        MosPolarity::Pmos,
+        &p_name,
+        g(3, l_2),
+    )
+    .map_err(err)?;
+    ckt.add_mosfet(
+        "M7",
+        o2,
+        ref_gate,
+        gnd,
+        gnd,
+        MosPolarity::Nmos,
+        &n_name,
+        g(5, l_2),
+    )
+    .map_err(err)?;
     // Compensation (no nulling resistor: the synthesis engine searches raw
     // topology as ASTRX would be given it).
     ckt.add_capacitor("CC", o1, o2, cc).map_err(err)?;
     // Buffer.
     if topology.buffer {
-        ckt.add_mosfet("MBUF", vdd, o2, out, gnd, MosPolarity::Nmos, &n_name, g(8, L_BIAS))
-            .map_err(err)?;
-        ckt.add_mosfet("MSINK", out, ref_gate, gnd, gnd, MosPolarity::Nmos, &n_name, g(9, L_BIAS))
-            .map_err(err)?;
+        ckt.add_mosfet(
+            "MBUF",
+            vdd,
+            o2,
+            out,
+            gnd,
+            MosPolarity::Nmos,
+            &n_name,
+            g(8, L_BIAS),
+        )
+        .map_err(err)?;
+        ckt.add_mosfet(
+            "MSINK",
+            out,
+            ref_gate,
+            gnd,
+            gnd,
+            MosPolarity::Nmos,
+            &n_name,
+            g(9, L_BIAS),
+        )
+        .map_err(err)?;
     }
-    ckt.add_capacitor("CL", out, Circuit::GROUND, spec.cl).map_err(err)?;
+    ckt.add_capacitor("CL", out, Circuit::GROUND, spec.cl)
+        .map_err(err)?;
     Ok((ckt, out))
 }
 
@@ -248,7 +339,9 @@ mod tests {
     #[test]
     fn wrong_dimension_rejected() {
         let tech = Technology::default_1p2um();
-        let p = DesignPoint { values: vec![1e-6; 3] };
+        let p = DesignPoint {
+            values: vec![1e-6; 3],
+        };
         assert!(build_candidate(&tech, topo(), &spec(), &p).is_err());
         let _ = variables(topo());
     }

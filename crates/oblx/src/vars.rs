@@ -60,18 +60,58 @@ impl DesignPoint {
 /// order. Buffered topologies append the buffer device widths.
 pub fn variables(topology: OpAmpTopology) -> Vec<VarDef> {
     let mut v = vec![
-        VarDef { name: "w_pair", lo: 1.8e-6, hi: 800e-6 },
-        VarDef { name: "l_pair", lo: 1.2e-6, hi: 60e-6 },
-        VarDef { name: "w_load", lo: 1.8e-6, hi: 800e-6 },
-        VarDef { name: "w_m6", lo: 1.8e-6, hi: 1500e-6 },
-        VarDef { name: "l_2", lo: 1.2e-6, hi: 60e-6 },
-        VarDef { name: "w_m7", lo: 1.8e-6, hi: 800e-6 },
-        VarDef { name: "w_tail", lo: 1.8e-6, hi: 800e-6 },
-        VarDef { name: "cc", lo: 0.3e-12, hi: 30e-12 },
+        VarDef {
+            name: "w_pair",
+            lo: 1.8e-6,
+            hi: 800e-6,
+        },
+        VarDef {
+            name: "l_pair",
+            lo: 1.2e-6,
+            hi: 60e-6,
+        },
+        VarDef {
+            name: "w_load",
+            lo: 1.8e-6,
+            hi: 800e-6,
+        },
+        VarDef {
+            name: "w_m6",
+            lo: 1.8e-6,
+            hi: 1500e-6,
+        },
+        VarDef {
+            name: "l_2",
+            lo: 1.2e-6,
+            hi: 60e-6,
+        },
+        VarDef {
+            name: "w_m7",
+            lo: 1.8e-6,
+            hi: 800e-6,
+        },
+        VarDef {
+            name: "w_tail",
+            lo: 1.8e-6,
+            hi: 800e-6,
+        },
+        VarDef {
+            name: "cc",
+            lo: 0.3e-12,
+            hi: 30e-12,
+        },
     ];
     if topology.buffer {
-        v.push(VarDef { name: "w_buf", lo: 1.8e-6, hi: 1500e-6 });
-        v.push(VarDef { name: "w_sink", lo: 1.8e-6, hi: 800e-6 });
+        v.push(VarDef {
+            name: "w_buf",
+            lo: 1.8e-6,
+            hi: 1500e-6,
+        });
+        v.push(VarDef {
+            name: "w_sink",
+            lo: 1.8e-6,
+            hi: 800e-6,
+        });
     }
     v
 }

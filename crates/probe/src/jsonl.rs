@@ -1,0 +1,193 @@
+//! Streaming sink: one JSON object per event, newline-delimited, written
+//! to stderr or a file for offline analysis (no serde — the event grammar
+//! is tiny and hand-rolled).
+
+use crate::Sink;
+use std::fs::File;
+use std::io::{BufWriter, Stderr, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+enum Target {
+    Stderr(Stderr),
+    File(BufWriter<File>),
+    Buffer(Vec<u8>),
+}
+
+impl Target {
+    fn write_line(&mut self, line: &str) {
+        let _ = match self {
+            Target::Stderr(s) => writeln!(s, "{line}"),
+            Target::File(f) => writeln!(f, "{line}"),
+            Target::Buffer(b) => writeln!(b, "{line}"),
+        };
+    }
+
+    fn flush(&mut self) {
+        let _ = match self {
+            Target::Stderr(s) => s.flush(),
+            Target::File(f) => f.flush(),
+            Target::Buffer(_) => Ok(()),
+        };
+    }
+}
+
+/// A [`Sink`] that emits each event as one JSON line:
+///
+/// ```text
+/// {"type":"span","name":"ape.l3.opamp","depth":0,"ns":81234}
+/// {"type":"counter","name":"ape.cache.hit","delta":4}
+/// {"type":"value","name":"anneal.accept_ratio","value":0.44}
+/// ```
+///
+/// Non-finite values serialise as `null`.
+pub struct JsonLinesSink {
+    target: Mutex<Target>,
+}
+
+impl std::fmt::Debug for JsonLinesSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonLinesSink").finish_non_exhaustive()
+    }
+}
+
+impl JsonLinesSink {
+    /// Streams events to stderr.
+    pub fn to_stderr() -> Self {
+        JsonLinesSink {
+            target: Mutex::new(Target::Stderr(std::io::stderr())),
+        }
+    }
+
+    /// Streams events to the file at `path` (created/truncated).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `File::create` error.
+    pub fn to_file(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(JsonLinesSink {
+            target: Mutex::new(Target::File(BufWriter::new(File::create(path)?))),
+        })
+    }
+
+    /// Collects events into an in-memory buffer (for tests and embedding).
+    pub fn to_buffer() -> Self {
+        JsonLinesSink {
+            target: Mutex::new(Target::Buffer(Vec::new())),
+        }
+    }
+
+    /// The buffered output so far, for sinks built with
+    /// [`JsonLinesSink::to_buffer`] (empty otherwise).
+    pub fn buffer_contents(&self) -> String {
+        let guard = self.target.lock().unwrap_or_else(|e| e.into_inner());
+        match &*guard {
+            Target::Buffer(b) => String::from_utf8_lossy(b).into_owned(),
+            _ => String::new(),
+        }
+    }
+
+    fn emit(&self, line: &str) {
+        let mut guard = self.target.lock().unwrap_or_else(|e| e.into_inner());
+        guard.write_line(line);
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serialises an `f64` as a JSON number (`null` when non-finite).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // `{}` on f64 never prints an integer-looking NaN/inf here; it may
+        // print `5` for 5.0, which is still a valid JSON number.
+        s
+    } else {
+        "null".into()
+    }
+}
+
+impl Sink for JsonLinesSink {
+    fn on_span(&self, name: &'static str, depth: usize, nanos: u64) {
+        self.emit(&format!(
+            "{{\"type\":\"span\",\"name\":\"{}\",\"depth\":{depth},\"ns\":{nanos}}}",
+            escape(name)
+        ));
+    }
+
+    fn on_counter(&self, name: &'static str, delta: u64) {
+        self.emit(&format!(
+            "{{\"type\":\"counter\",\"name\":\"{}\",\"delta\":{delta}}}",
+            escape(name)
+        ));
+    }
+
+    fn on_value(&self, name: &'static str, v: f64) {
+        self.emit(&format!(
+            "{{\"type\":\"value\",\"name\":\"{}\",\"value\":{}}}",
+            escape(name),
+            json_f64(v)
+        ));
+    }
+
+    fn flush_events(&self) {
+        let mut guard = self.target.lock().unwrap_or_else(|e| e.into_inner());
+        guard.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_serialize_one_per_line() {
+        let s = JsonLinesSink::to_buffer();
+        s.on_span("a.b", 2, 12345);
+        s.on_counter("c", 7);
+        s.on_value("v", 0.25);
+        s.on_value("nan", f64::NAN);
+        let out = s.buffer_contents();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(
+            lines[0],
+            "{\"type\":\"span\",\"name\":\"a.b\",\"depth\":2,\"ns\":12345}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"type\":\"counter\",\"name\":\"c\",\"delta\":7}"
+        );
+        assert_eq!(
+            lines[2],
+            "{\"type\":\"value\",\"name\":\"v\",\"value\":0.25}"
+        );
+        assert_eq!(
+            lines[3],
+            "{\"type\":\"value\",\"name\":\"nan\",\"value\":null}"
+        );
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,297 @@
+//! Aggregating sink: everything collapses to per-name statistics rendered
+//! as one human-readable report at the end of a run.
+
+use crate::{fmt_nanos, render_rows, Sink};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Number of log10 histogram buckets kept per value series.
+pub const VALUE_BUCKETS: usize = 25;
+
+/// Aggregated statistics of one span name.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SpanAgg {
+    /// Completed spans observed.
+    pub count: u64,
+    /// Total wall-clock nanoseconds across all spans.
+    pub total_ns: u64,
+    /// Longest single span, nanoseconds.
+    pub max_ns: u64,
+    /// Smallest nesting depth at which the span was observed.
+    pub min_depth: usize,
+}
+
+impl SpanAgg {
+    /// Mean span duration, nanoseconds (0 with no observations).
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// Aggregated statistics of one value series, including a log10-bucketed
+/// magnitude histogram: bucket `i` counts observations with
+/// `10^(i-12) <= |v| < 10^(i-11)` (bucket 0 also holds anything smaller,
+/// the last bucket anything larger; zero lands in bucket 0).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValueAgg {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Log10 magnitude histogram (see type docs).
+    pub buckets: [u64; VALUE_BUCKETS],
+}
+
+impl Default for ValueAgg {
+    fn default() -> Self {
+        ValueAgg {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: [0; VALUE_BUCKETS],
+        }
+    }
+}
+
+impl ValueAgg {
+    /// Mean of the observations (0 with none).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    fn record(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[bucket_of(v)] += 1;
+    }
+}
+
+/// Histogram bucket index for a value (log10 magnitude, offset +12).
+pub fn bucket_of(v: f64) -> usize {
+    let a = v.abs();
+    if !(a.is_finite()) || a <= 0.0 {
+        return 0;
+    }
+    let idx = a.log10().floor() + 12.0;
+    idx.clamp(0.0, (VALUE_BUCKETS - 1) as f64) as usize
+}
+
+/// Counter totals keyed by name.
+pub type CounterTotals = BTreeMap<&'static str, u64>;
+
+#[derive(Debug, Default)]
+struct State {
+    spans: BTreeMap<&'static str, SpanAgg>,
+    counters: CounterTotals,
+    values: BTreeMap<&'static str, ValueAgg>,
+}
+
+/// A [`Sink`] that aggregates all events into per-name statistics and
+/// renders them as one aligned report.
+///
+/// # Example
+///
+/// ```
+/// use ape_probe::{Sink, SummarySink};
+/// let s = SummarySink::new();
+/// s.on_counter("hits", 2);
+/// s.on_counter("hits", 3);
+/// assert_eq!(s.counters()["hits"], 5);
+/// ```
+#[derive(Debug, Default)]
+pub struct SummarySink {
+    state: Mutex<State>,
+}
+
+impl SummarySink {
+    /// Creates an empty summary sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Snapshot of the span aggregates.
+    pub fn spans(&self) -> BTreeMap<&'static str, SpanAgg> {
+        self.lock().spans.clone()
+    }
+
+    /// Snapshot of the counter totals.
+    pub fn counters(&self) -> CounterTotals {
+        self.lock().counters.clone()
+    }
+
+    /// Snapshot of the value aggregates.
+    pub fn values(&self) -> BTreeMap<&'static str, ValueAgg> {
+        self.lock().values.clone()
+    }
+
+    /// Renders the aggregated report.
+    pub fn report(&self) -> String {
+        let st = self.lock();
+        let mut out = String::from("=== ape-probe summary ===\n");
+        if !st.spans.is_empty() {
+            out.push_str("spans\n");
+            let rows: Vec<Vec<String>> = st
+                .spans
+                .iter()
+                .map(|(name, a)| {
+                    vec![
+                        format!("{}{}", "  ".repeat(a.min_depth), name),
+                        a.count.to_string(),
+                        fmt_nanos(a.total_ns),
+                        fmt_nanos(a.mean_ns()),
+                        fmt_nanos(a.max_ns),
+                    ]
+                })
+                .collect();
+            render_rows(&mut out, &["name", "count", "total", "mean", "max"], &rows);
+        }
+        if !st.counters.is_empty() {
+            out.push_str("counters\n");
+            let rows: Vec<Vec<String>> = st
+                .counters
+                .iter()
+                .map(|(name, v)| vec![name.to_string(), v.to_string()])
+                .collect();
+            render_rows(&mut out, &["name", "total"], &rows);
+        }
+        if !st.values.is_empty() {
+            out.push_str("values\n");
+            let rows: Vec<Vec<String>> = st
+                .values
+                .iter()
+                .map(|(name, a)| {
+                    vec![
+                        name.to_string(),
+                        a.count.to_string(),
+                        format!("{:.4}", a.mean()),
+                        format!("{:.4}", a.min),
+                        format!("{:.4}", a.max),
+                    ]
+                })
+                .collect();
+            render_rows(&mut out, &["name", "count", "mean", "min", "max"], &rows);
+        }
+        if st.spans.is_empty() && st.counters.is_empty() && st.values.is_empty() {
+            out.push_str("(no events recorded)\n");
+        }
+        out
+    }
+}
+
+impl Sink for SummarySink {
+    fn on_span(&self, name: &'static str, depth: usize, nanos: u64) {
+        let mut st = self.lock();
+        let a = st.spans.entry(name).or_insert(SpanAgg {
+            min_depth: usize::MAX,
+            ..SpanAgg::default()
+        });
+        a.count += 1;
+        a.total_ns = a.total_ns.saturating_add(nanos);
+        a.max_ns = a.max_ns.max(nanos);
+        a.min_depth = a.min_depth.min(depth);
+    }
+
+    fn on_counter(&self, name: &'static str, delta: u64) {
+        let mut st = self.lock();
+        *st.counters.entry(name).or_insert(0) += delta;
+    }
+
+    fn on_value(&self, name: &'static str, v: f64) {
+        let mut st = self.lock();
+        st.values.entry(name).or_default().record(v);
+    }
+
+    fn render_report(&self) -> Option<String> {
+        Some(self.report())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_aggregation() {
+        let s = SummarySink::new();
+        s.on_span("a", 1, 100);
+        s.on_span("a", 2, 300);
+        s.on_span("b", 0, 50);
+        let spans = s.spans();
+        assert_eq!(spans["a"].count, 2);
+        assert_eq!(spans["a"].total_ns, 400);
+        assert_eq!(spans["a"].mean_ns(), 200);
+        assert_eq!(spans["a"].max_ns, 300);
+        assert_eq!(spans["a"].min_depth, 1);
+        assert_eq!(spans["b"].count, 1);
+    }
+
+    #[test]
+    fn counter_aggregation() {
+        let s = SummarySink::new();
+        s.on_counter("x", 1);
+        s.on_counter("x", 41);
+        s.on_counter("y", 7);
+        let c = s.counters();
+        assert_eq!(c["x"], 42);
+        assert_eq!(c["y"], 7);
+    }
+
+    #[test]
+    fn value_aggregation_and_histogram() {
+        let s = SummarySink::new();
+        for v in [0.5, 1.5, 2.5, 250.0] {
+            s.on_value("v", v);
+        }
+        let v = &s.values()["v"];
+        assert_eq!(v.count, 4);
+        assert!((v.mean() - 63.625).abs() < 1e-12);
+        assert_eq!(v.min, 0.5);
+        assert_eq!(v.max, 250.0);
+        // 0.5 → bucket 11; 1.5 and 2.5 → bucket 12; 250 → bucket 14.
+        assert_eq!(v.buckets[11], 1);
+        assert_eq!(v.buckets[12], 2);
+        assert_eq!(v.buckets[14], 1);
+    }
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(bucket_of(0.0), 0);
+        assert_eq!(bucket_of(f64::NAN), 0);
+        assert_eq!(bucket_of(1e-30), 0);
+        assert_eq!(bucket_of(1.0), 12);
+        assert_eq!(bucket_of(1e30), VALUE_BUCKETS - 1);
+    }
+
+    #[test]
+    fn report_contains_all_sections() {
+        let s = SummarySink::new();
+        s.on_span("spans.demo", 0, 1_000);
+        s.on_counter("counters.demo", 9);
+        s.on_value("values.demo", 3.25);
+        let r = s.report();
+        assert!(r.contains("spans.demo"));
+        assert!(r.contains("counters.demo"));
+        assert!(r.contains("values.demo"));
+        assert!(r.contains("=== ape-probe summary ==="));
+    }
+
+    #[test]
+    fn empty_report_says_so() {
+        assert!(SummarySink::new().report().contains("no events"));
+    }
+}

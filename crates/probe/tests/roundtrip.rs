@@ -1,0 +1,122 @@
+//! Round-trip test: events written by `JsonLinesSink` parse back into the
+//! same (type, name, payload) triples with a minimal JSON-object parser.
+
+use ape_probe::{JsonLinesSink, Sink};
+use std::collections::HashMap;
+
+/// Parses one flat JSON object of string/number/null fields. Only the
+/// grammar `JsonLinesSink` emits — good enough to prove the output is
+/// machine-readable line by line.
+fn parse_flat_object(line: &str) -> HashMap<String, String> {
+    let inner = line
+        .trim()
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .expect("line is an object");
+    let mut out = HashMap::new();
+    let mut rest = inner;
+    while !rest.is_empty() {
+        let (key, after_key) = take_string(rest.trim_start_matches(','));
+        let after_colon = after_key.strip_prefix(':').expect("colon after key");
+        let (val, remainder) = if after_colon.starts_with('"') {
+            take_string(after_colon)
+        } else {
+            let end = after_colon.find(',').unwrap_or(after_colon.len());
+            (after_colon[..end].to_string(), &after_colon[end..])
+        };
+        out.insert(key, val);
+        rest = remainder.trim_start_matches(',');
+    }
+    out
+}
+
+/// Reads a leading JSON string literal, returning (unescaped value, rest).
+fn take_string(s: &str) -> (String, &str) {
+    let body = s.strip_prefix('"').expect("string literal");
+    let mut out = String::new();
+    let mut chars = body.char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return (out, &body[i + 1..]),
+            '\\' => {
+                let (_, esc) = chars.next().expect("escape target");
+                match esc {
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    other => out.push(other),
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    panic!("unterminated string in {s}");
+}
+
+#[test]
+fn jsonl_output_parses_back() {
+    let sink = JsonLinesSink::to_buffer();
+    sink.on_span("ape.l3.opamp", 1, 81_234);
+    sink.on_counter("ape.cache.hit", 42);
+    sink.on_value("anneal.accept_ratio", 0.4375);
+    sink.on_value("weird\"name", -1.5e-9);
+    sink.flush_events();
+
+    let text = sink.buffer_contents();
+    let events: Vec<HashMap<String, String>> = text.lines().map(parse_flat_object).collect();
+    assert_eq!(events.len(), 4);
+
+    assert_eq!(events[0]["type"], "span");
+    assert_eq!(events[0]["name"], "ape.l3.opamp");
+    assert_eq!(events[0]["depth"], "1");
+    assert_eq!(events[0]["ns"], "81234");
+
+    assert_eq!(events[1]["type"], "counter");
+    assert_eq!(events[1]["name"], "ape.cache.hit");
+    assert_eq!(events[1]["delta"], "42");
+
+    assert_eq!(events[2]["type"], "value");
+    let v: f64 = events[2]["value"].parse().expect("numeric value");
+    assert!((v - 0.4375).abs() < 1e-12);
+
+    assert_eq!(events[3]["name"], "weird\"name");
+    let v: f64 = events[3]["value"].parse().expect("numeric value");
+    assert!((v + 1.5e-9).abs() < 1e-21);
+}
+
+#[test]
+fn file_sink_writes_and_flushes() {
+    let path = std::env::temp_dir().join(format!("ape_probe_rt_{}.jsonl", std::process::id()));
+    {
+        let sink = JsonLinesSink::to_file(&path).expect("temp file");
+        sink.on_counter("c", 1);
+        sink.flush_events();
+    }
+    let text = std::fs::read_to_string(&path).expect("file exists");
+    assert_eq!(text.lines().count(), 1);
+    let ev = parse_flat_object(text.lines().next().unwrap());
+    assert_eq!(ev["name"], "c");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn global_install_records_through_api() {
+    use std::sync::Arc;
+    let sink = Arc::new(ape_probe::SummarySink::new());
+    ape_probe::install(sink.clone());
+    {
+        let _outer = ape_probe::span("rt.outer");
+        let _inner = ape_probe::span("rt.inner");
+        ape_probe::counter("rt.count", 5);
+        ape_probe::value("rt.val", 2.0);
+    }
+    let removed = ape_probe::uninstall().expect("sink was installed");
+    assert!(!ape_probe::is_enabled());
+    drop(removed);
+    let spans = sink.spans();
+    assert_eq!(spans["rt.outer"].count, 1);
+    assert_eq!(spans["rt.inner"].count, 1);
+    assert!(spans["rt.inner"].min_depth > spans["rt.outer"].min_depth);
+    assert_eq!(sink.counters()["rt.count"], 5);
+    assert_eq!(sink.values()["rt.val"].count, 1);
+}

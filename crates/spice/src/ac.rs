@@ -106,6 +106,9 @@ pub fn ac_sweep(
     op: &OperatingPoint,
     freqs: &[f64],
 ) -> Result<AcSweep, SpiceError> {
+    let _span = ape_probe::span("spice.ac");
+    ape_probe::counter("spice.ac.sweeps", 1);
+    ape_probe::counter("spice.ac.points", freqs.len() as u64);
     let u = Unknowns::for_circuit(circuit);
     let n = u.dim();
     let mut points = Vec::with_capacity(freqs.len());
@@ -226,16 +229,34 @@ fn stamp_ac(
                 }
             }
             ElementKind::Vccs { gm, cp, cn } => {
-                gtrans(mat, a, b, u.node_row(*cp), u.node_row(*cn), Complex::real(*gm));
+                gtrans(
+                    mat,
+                    a,
+                    b,
+                    u.node_row(*cp),
+                    u.node_row(*cn),
+                    Complex::real(*gm),
+                );
             }
-            ElementKind::Switch { cp, cn, vt, ron, roff } => {
+            ElementKind::Switch {
+                cp,
+                cn,
+                vt,
+                ron,
+                roff,
+            } => {
                 // Frozen at its DC conductance.
                 let vc = op.voltage(*cp) - op.voltage(*cn);
                 let s = 1.0 / (1.0 + (-(vc - vt) / 0.05).exp());
                 let g = 1.0 / roff + (1.0 / ron - 1.0 / roff) * s;
                 g2(mat, a, b, Complex::real(g));
             }
-            ElementKind::Mosfet { model, source, bulk, .. } => {
+            ElementKind::Mosfet {
+                model,
+                source,
+                bulk,
+                ..
+            } => {
                 let _ = tech
                     .model(model)
                     .ok_or_else(|| SpiceError::UnknownModel(model.clone()))?;

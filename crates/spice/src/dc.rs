@@ -95,11 +95,20 @@ impl OperatingPoint {
         use std::fmt::Write as _;
         let mut out = String::new();
         let _ = writeln!(out, "* operating point of `{}`", circuit.title);
-        let _ = writeln!(out, "* supply power: {:.4} mW", self.supply_power(circuit) * 1e3);
+        let _ = writeln!(
+            out,
+            "* supply power: {:.4} mW",
+            self.supply_power(circuit) * 1e3
+        );
         let _ = writeln!(out, "* node voltages:");
         for idx in 1..circuit.num_nodes() {
             let n = NodeId::new(idx as u32);
-            let _ = writeln!(out, "    {:<16} {:>9.4} V", circuit.node_name(n), self.voltage(n));
+            let _ = writeln!(
+                out,
+                "    {:<16} {:>9.4} V",
+                circuit.node_name(n),
+                self.voltage(n)
+            );
         }
         if !self.mos.is_empty() {
             let _ = writeln!(
@@ -142,6 +151,7 @@ impl SourceValue {
 
 /// Stamps every non-reactive element (everything except C and L bodies) of
 /// the circuit, linearised at `x`.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn stamp_nonreactive(
     circuit: &Circuit,
     tech: &Technology,
@@ -236,7 +246,13 @@ pub(crate) fn stamp_nonreactive(
             ElementKind::Vccs { gm, cp, cn } => {
                 gtrans(mat, a, b, u.node_row(*cp), u.node_row(*cn), *gm);
             }
-            ElementKind::Switch { cp, cn, vt, ron, roff } => {
+            ElementKind::Switch {
+                cp,
+                cn,
+                vt,
+                ron,
+                roff,
+            } => {
                 let vc = u.voltage(x, *cp) - u.voltage(x, *cn);
                 let vab = u.voltage(x, e.a) - u.voltage(x, e.b);
                 // Smooth conductance transition over ~50 mV for NR stability.
@@ -289,10 +305,8 @@ pub(crate) fn stamp_nonreactive(
                 // gmb: current d → s controlled by (b, s).
                 gtrans(mat, d, s_row, b_row, s_row, ev.gmb);
                 // Norton equivalent current.
-                let ieq = ev.ids
-                    - ev.gm * (vg - vs)
-                    - ev.gds.max(0.0) * (vd - vs)
-                    - ev.gmb * (vb - vs);
+                let ieq =
+                    ev.ids - ev.gm * (vg - vs) - ev.gds.max(0.0) * (vd - vs) - ev.gmb * (vb - vs);
                 inject(rhs, d, s_row, ieq);
             }
             other => {
@@ -353,6 +367,8 @@ pub fn dc_operating_point_with(
     tech: &Technology,
     opts: DcOptions,
 ) -> Result<OperatingPoint, SpiceError> {
+    let _span = ape_probe::span("spice.dc");
+    ape_probe::counter("spice.dc.solves", 1);
     circuit
         .validate()
         .map_err(|e| SpiceError::BadCircuit(e.to_string()))?;
@@ -371,6 +387,7 @@ pub fn dc_operating_point_with(
     let mut converged = true;
     let mut final_iters = 0;
     for (idx, &gmin) in gmins.iter().enumerate() {
+        ape_probe::counter("spice.dc.gmin_steps", 1);
         match newton(circuit, tech, &u, &mut x, gmin, 1.0, opts) {
             Ok(iters) => {
                 if idx == gmins.len() - 1 {
@@ -389,6 +406,7 @@ pub fn dc_operating_point_with(
         x = initial_guess(circuit, &u);
         let mut ok = true;
         for k in 1..=20 {
+            ape_probe::counter("spice.dc.source_steps", 1);
             let scale = k as f64 / 20.0;
             if newton(circuit, tech, &u, &mut x, 1e-9, scale, opts).is_err() {
                 ok = false;
@@ -411,6 +429,7 @@ pub fn dc_operating_point_with(
             // physically reachable solution; the step size grows as the
             // trajectory settles. The heavy-duty fallback for feedback
             // circuits with marginal loop gain.
+            ape_probe::counter("spice.dc.ptran_fallbacks", 1);
             x = pseudo_transient(circuit, tech, &u, opts)?;
             newton(circuit, tech, &u, &mut x, 1e-12, 1.0, opts)?;
             final_iters = opts.max_iter;
@@ -525,7 +544,11 @@ fn pseudo_transient(
             let mut worst = 0.0f64;
             for r in 0..n {
                 let delta = sol[r] - x[r];
-                let lim = if r < u.n_nodes { opts.vstep_limit } else { f64::INFINITY };
+                let lim = if r < u.n_nodes {
+                    opts.vstep_limit
+                } else {
+                    f64::INFINITY
+                };
                 x[r] += delta.clamp(-lim, lim);
                 let scale = opts.vtol + opts.reltol * sol[r].abs();
                 worst = worst.max(delta.abs() / scale);
@@ -537,9 +560,8 @@ fn pseudo_transient(
         }
         if !converged {
             // Shrink the step and retry from the previous state.
-            if std::env::var("APE_PTRAN_TRACE").is_ok() {
-                eprintln!("ptran step {_step}: NR fail at h={h:.2e}");
-            }
+            ape_probe::counter("spice.dc.ptran_retries", 1);
+            ape_probe::value("spice.dc.ptran_h", h);
             x = x_prev;
             h /= 4.0;
             if h < 1e-15 {
@@ -553,9 +575,8 @@ fn pseudo_transient(
             .zip(&x_prev)
             .map(|(a, b)| (a - b).abs())
             .fold(0.0, f64::max);
-        if std::env::var("APE_PTRAN_TRACE").is_ok() {
-            eprintln!("ptran step {_step}: h={h:.2e} dx={dx:.3e}");
-        }
+        ape_probe::counter("spice.dc.ptran_steps", 1);
+        ape_probe::value("spice.dc.ptran_dx", dx);
         if dx < 1e-7 && h > 1e-3 {
             return Ok(x);
         }
@@ -594,7 +615,7 @@ fn newton(
     circuit: &Circuit,
     tech: &Technology,
     u: &Unknowns,
-    x: &mut Vec<f64>,
+    x: &mut [f64],
     gmin: f64,
     srcscale: f64,
     opts: DcOptions,
@@ -636,16 +657,23 @@ fn newton(
         let mut worst = 0.0f64;
         for r in 0..n {
             let delta = sol[r] - x[r];
-            let lim = if r < u.n_nodes { opts.vstep_limit } else { f64::INFINITY };
+            let lim = if r < u.n_nodes {
+                opts.vstep_limit
+            } else {
+                f64::INFINITY
+            };
             let applied = delta.clamp(-lim, lim);
             x[r] += applied;
             let scale = opts.vtol + opts.reltol * sol[r].abs();
             worst = worst.max(delta.abs() / scale);
         }
         if worst < 1.0 {
+            ape_probe::counter("spice.dc.nr_iters", (it + 1) as u64);
             return Ok(it + 1);
         }
     }
+    ape_probe::counter("spice.dc.nr_iters", opts.max_iter as u64);
+    ape_probe::counter("spice.dc.convergence_failures", 1);
     Err(SpiceError::NoConvergence {
         analysis: "dc",
         detail: format!("stage gmin={gmin:.0e} scale={srcscale}"),
@@ -687,7 +715,8 @@ mod tests {
         let i = c.node("in");
         let o = c.node("out");
         c.add_vdc("V1", i, Circuit::GROUND, 0.5);
-        c.add_vcvs("E1", o, Circuit::GROUND, i, Circuit::GROUND, 10.0).unwrap();
+        c.add_vcvs("E1", o, Circuit::GROUND, i, Circuit::GROUND, 10.0)
+            .unwrap();
         c.add_resistor("RL", o, Circuit::GROUND, 1e3).unwrap();
         let op = dc_operating_point(&c, &Technology::default_1p2um()).unwrap();
         assert!((op.voltage(o) - 5.0).abs() < 1e-6);
@@ -700,7 +729,8 @@ mod tests {
         let o = c.node("out");
         c.add_vdc("V1", i, Circuit::GROUND, 1.0);
         // 1 mS transconductance pulling current out of `o`.
-        c.add_vccs("G1", o, Circuit::GROUND, i, Circuit::GROUND, 1e-3).unwrap();
+        c.add_vccs("G1", o, Circuit::GROUND, i, Circuit::GROUND, 1e-3)
+            .unwrap();
         c.add_resistor("RL", o, Circuit::GROUND, 1e3).unwrap();
         c.add_resistor("Ri", i, Circuit::GROUND, 1e6).unwrap();
         let op = dc_operating_point(&c, &Technology::default_1p2um()).unwrap();
@@ -776,8 +806,17 @@ mod tests {
         // Reference branch: 20 µA pulled from the diode-connected PMOS.
         c.add_idc("IREF", ref_n, Circuit::GROUND, 20e-6).unwrap();
         let geom = MosGeometry::new(30e-6, 2.4e-6);
-        c.add_mosfet("M1", ref_n, ref_n, vdd, vdd, MosPolarity::Pmos, "CMOSP", geom)
-            .unwrap();
+        c.add_mosfet(
+            "M1",
+            ref_n,
+            ref_n,
+            vdd,
+            vdd,
+            MosPolarity::Pmos,
+            "CMOSP",
+            geom,
+        )
+        .unwrap();
         c.add_mosfet("M2", out, ref_n, vdd, vdd, MosPolarity::Pmos, "CMOSP", geom)
             .unwrap();
         c.add_resistor("RL", out, Circuit::GROUND, 10e3).unwrap();

@@ -112,13 +112,13 @@ impl<T: Scalar> Matrix<T> {
     pub fn mul_vec(&self, x: &[T]) -> Vec<T> {
         assert_eq!(x.len(), self.n);
         let mut y = vec![T::zero(); self.n];
-        for r in 0..self.n {
+        for (r, yr) in y.iter_mut().enumerate() {
             let mut acc = T::zero();
             let row = &self.data[r * self.n..(r + 1) * self.n];
             for (a, xv) in row.iter().zip(x) {
                 acc = acc + *a * *xv;
             }
-            y[r] = acc;
+            *yr = acc;
         }
         y
     }
@@ -264,14 +264,16 @@ mod tests {
         let mut m: Matrix<f64> = Matrix::zeros(n);
         let mut seed = 0x12345u64;
         let mut next = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         for r in 0..n {
             for c in 0..n {
                 m[(r, c)] = next();
             }
-            m[(r, r)] = m[(r, r)] + 10.0; // diagonally dominant → nonsingular
+            m[(r, r)] += 10.0; // diagonally dominant → nonsingular
         }
         let b: Vec<f64> = (0..n).map(|_| next()).collect();
         let x = m.solve(&b).unwrap();

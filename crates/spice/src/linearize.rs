@@ -142,13 +142,24 @@ pub fn linearize(
             ElementKind::Vccs { gm, cp, cn } => {
                 gtrans(&mut g, a, bb, u.node_row(*cp), u.node_row(*cn), *gm);
             }
-            ElementKind::Switch { cp, cn, vt, ron, roff } => {
+            ElementKind::Switch {
+                cp,
+                cn,
+                vt,
+                ron,
+                roff,
+            } => {
                 let vc = op.voltage(*cp) - op.voltage(*cn);
                 let s = 1.0 / (1.0 + (-(vc - vt) / 0.05).exp());
                 let gv = 1.0 / roff + (1.0 / ron - 1.0 / roff) * s;
                 g2(&mut g, a, bb, gv);
             }
-            ElementKind::Mosfet { model, source, bulk, .. } => {
+            ElementKind::Mosfet {
+                model,
+                source,
+                bulk,
+                ..
+            } => {
                 let _ = tech
                     .model(model)
                     .ok_or_else(|| SpiceError::UnknownModel(model.clone()))?;
@@ -175,7 +186,12 @@ pub fn linearize(
             }
         }
     }
-    Ok(LinearizedSystem { g, c, b, unknowns: u })
+    Ok(LinearizedSystem {
+        g,
+        c,
+        b,
+        unknowns: u,
+    })
 }
 
 #[cfg(test)]

@@ -231,7 +231,10 @@ mod tests {
         let fu = unity_gain_frequency(&sweep, o).unwrap();
         assert!((fu - 100.0 * fp).abs() / (100.0 * fp) < 0.05, "fu = {fu}");
         let pm = phase_margin(&sweep, o).unwrap();
-        assert!((pm - 90.0).abs() < 3.0, "single-pole PM should be 90°, got {pm}");
+        assert!(
+            (pm - 90.0).abs() < 3.0,
+            "single-pole PM should be 90°, got {pm}"
+        );
         assert!((dc_gain(&sweep, o) - 100.0).abs() < 1.0);
     }
 

@@ -63,7 +63,9 @@ pub fn dc_sweep(
     values: &[f64],
 ) -> Result<DcSweep, SpiceError> {
     let Some(e) = circuit.element(source) else {
-        return Err(SpiceError::BadCircuit(format!("no element named `{source}`")));
+        return Err(SpiceError::BadCircuit(format!(
+            "no element named `{source}`"
+        )));
     };
     if !matches!(
         e.kind,

@@ -104,6 +104,8 @@ pub fn transient(
     op: &OperatingPoint,
     opts: TranOptions,
 ) -> Result<Transient, SpiceError> {
+    let _span = ape_probe::span("spice.tran");
+    ape_probe::counter("spice.tran.runs", 1);
     let u = Unknowns::for_circuit(circuit);
     let n = u.dim();
     let mut x = op.solution().to_vec();
@@ -166,10 +168,7 @@ pub fn transient(
     }
     for is in &mut inds {
         is.v_prev = 0.0;
-        is.i_prev = u
-            .branch_row_by_name(&is.name)
-            .map(|r| x[r])
-            .unwrap_or(0.0);
+        is.i_prev = u.branch_row_by_name(&is.name).map(|r| x[r]).unwrap_or(0.0);
     }
 
     let mut times = vec![0.0];
@@ -217,8 +216,10 @@ fn step_adaptive(
         Ok(()) => Ok(()),
         Err(e) => {
             if depth >= opts.max_halvings {
+                ape_probe::counter("spice.tran.step_failures", 1);
                 return Err(e);
             }
+            ape_probe::counter("spice.tran.halvings", 1);
             // Restore and take two half steps.
             *x = saved_x;
             for (c, (v, i)) in caps.iter_mut().zip(&saved_caps) {
@@ -231,7 +232,19 @@ fn step_adaptive(
             }
             let h2 = h / 2.0;
             step_adaptive(circuit, tech, u, x, mat, caps, inds, t, h2, opts, depth + 1)?;
-            step_adaptive(circuit, tech, u, x, mat, caps, inds, t + h2, h2, opts, depth + 1)
+            step_adaptive(
+                circuit,
+                tech,
+                u,
+                x,
+                mat,
+                caps,
+                inds,
+                t + h2,
+                h2,
+                opts,
+                depth + 1,
+            )
         }
     }
 }
@@ -251,8 +264,10 @@ fn step_once(
     opts: TranOptions,
 ) -> Result<(), SpiceError> {
     let n = u.dim();
+    ape_probe::counter("spice.tran.steps", 1);
     let mut converged = false;
     for _ in 0..opts.max_newton {
+        ape_probe::counter("spice.tran.nr_iters", 1);
         mat.clear();
         let mut rhs = vec![0.0; n];
         stamp_nonreactive(
@@ -285,7 +300,9 @@ fn step_once(
         }
         // Inductor branch rows: v − (2L/h)·i = −v_prev − (2L/h)·i_prev.
         for is in inds.iter() {
-            let Some(k) = u.branch_row_by_name(&is.name) else { continue };
+            let Some(k) = u.branch_row_by_name(&is.name) else {
+                continue;
+            };
             let (a, b) = (u.node_row(is.a), u.node_row(is.b));
             if let Some(ra) = a {
                 mat.stamp(ra, k, 1.0);
@@ -330,10 +347,7 @@ fn step_once(
         cs.i_prev = i_new;
     }
     for is in inds.iter_mut() {
-        let i_new = u
-            .branch_row_by_name(&is.name)
-            .map(|r| x[r])
-            .unwrap_or(0.0);
+        let i_new = u.branch_row_by_name(&is.name).map(|r| x[r]).unwrap_or(0.0);
         let zl = 2.0 * is.l / h;
         let v_new = zl * (i_new - is.i_prev) - is.v_prev;
         is.v_prev = v_new;

@@ -62,7 +62,11 @@ fn inverter_static_transfer() {
     let sweep = dc_sweep(&ckt, &tech, "VIN", &values).unwrap();
     let v = sweep.voltages(out);
     assert!(v[0] > 4.9, "output high at vin=0: {}", v[0]);
-    assert!(*v.last().unwrap() < 0.1, "output low at vin=5: {}", v.last().unwrap());
+    assert!(
+        *v.last().unwrap() < 0.1,
+        "output low at vin=5: {}",
+        v.last().unwrap()
+    );
     // Monotone falling transfer with a sharp transition region.
     assert!(v.windows(2).all(|w| w[1] <= w[0] + 1e-6));
     let vm = sweep.crossing(out, tech.vdd / 2.0).unwrap();
@@ -123,7 +127,8 @@ fn two_inverter_chain_restores_edges() {
         MosGeometry::new(18e-6, 1.2e-6),
     )
     .unwrap();
-    ckt.add_capacitor("CL2", out2, Circuit::GROUND, 100e-15).unwrap();
+    ckt.add_capacitor("CL2", out2, Circuit::GROUND, 100e-15)
+        .unwrap();
     let op = dc_operating_point(&ckt, &tech).unwrap();
     let tr = transient(&ckt, &tech, &op, TranOptions::new(0.05e-9, 40e-9)).unwrap();
     // out2 follows the input polarity (double inversion).
@@ -131,12 +136,23 @@ fn two_inverter_chain_restores_edges() {
     let at = |t: f64| {
         w.iter()
             .min_by(|a, b| {
-                (a.0 - t).abs().partial_cmp(&(b.0 - t).abs()).expect("finite")
+                (a.0 - t)
+                    .abs()
+                    .partial_cmp(&(b.0 - t).abs())
+                    .expect("finite")
             })
             .map(|p| p.1)
             .unwrap_or(0.0)
     };
     assert!(at(2e-9) < 0.3, "before the pulse out2 is low: {}", at(2e-9));
-    assert!(at(15e-9) > 4.7, "during the pulse out2 is high: {}", at(15e-9));
-    assert!(at(35e-9) < 0.3, "after the pulse out2 is low again: {}", at(35e-9));
+    assert!(
+        at(15e-9) > 4.7,
+        "during the pulse out2 is high: {}",
+        at(15e-9)
+    );
+    assert!(
+        at(35e-9) < 0.3,
+        "after the pulse out2 is low again: {}",
+        at(35e-9)
+    );
 }

@@ -9,6 +9,7 @@ use ape_repro::netlist::Technology;
 use ape_repro::spice::{dc_operating_point, measure, transient, TranOptions};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _trace = ape_repro::probe::install_from_env();
     let tech = Technology::default_1p2um();
 
     // --- 4-bit flash ADC ----------------------------------------------------
@@ -26,7 +27,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for k in 0..8 {
         let vin = 1.1 + 0.4 * k as f64;
         let code = adc.convert(&tech, vin)?;
-        println!("  {:>6.2}   {:>4}        {:>4}", vin, code, adc.ideal_code(vin));
+        println!(
+            "  {:>6.2}   {:>4}        {:>4}",
+            vin,
+            code,
+            adc.ideal_code(vin)
+        );
     }
 
     // Comparator step response (the delay the paper tabulates).
@@ -34,8 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let op = dc_operating_point(&tb, &tech)?;
     let tr = transient(&tb, &tech, &op, TranOptions::new(5e-8, 16e-6))?;
     let out = tb.find_node("out").expect("testbench has out");
-    let t_cross = measure::crossing_time(&tr, out, tech.vdd / 2.0, true)
-        .expect("comparator trips");
+    let t_cross = measure::crossing_time(&tr, out, tech.vdd / 2.0, true).expect("comparator trips");
     println!(
         "\ncomparator simulated delay at half-LSB overdrive: {:.2} us (estimate {:.2} us)",
         (t_cross - 1e-6) * 1e6,
@@ -50,5 +55,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let v = dac.level(&tech, code)?;
         println!("  {:>4}  {:>9.3}  {:>11.3}", code, v, dac.ideal_level(code));
     }
+    ape_repro::probe::finish();
     Ok(())
 }

@@ -9,6 +9,7 @@ use ape_repro::netlist::Technology;
 use ape_repro::spice::{ac_sweep, dc_operating_point, decade_frequencies, measure};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _trace = ape_repro::probe::install_from_env();
     let tech = Technology::default_1p2um();
 
     // --- 4th-order Butterworth low-pass at 1 kHz ---------------------------
@@ -70,5 +71,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (k, f) in freqs.iter().enumerate() {
         println!("  {:>7.0}  {:>6.3}", f, sweep.voltage(k, out).norm());
     }
+    ape_repro::probe::finish();
     Ok(())
 }

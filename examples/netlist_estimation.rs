@@ -14,6 +14,7 @@ use ape_repro::netlist::{parse_spice, Technology};
 use ape_repro::spice::{ac_sweep, dc_operating_point, decade_frequencies, measure};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _trace = ape_repro::probe::install_from_env();
     // --- 1. User netlist estimation ----------------------------------------
     let deck = "\
 * user amplifier: common source + source follower
@@ -83,5 +84,6 @@ C1 out 0 5p
         est.perf.dc_gain.unwrap().abs(),
         est.is_stable()
     );
+    ape_repro::probe::finish();
     Ok(())
 }

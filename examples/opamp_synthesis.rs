@@ -40,7 +40,11 @@ fn describe(label: &str, out: &SynthesisOutcome) {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let evals: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(300);
+    let _trace = ape_repro::probe::install_from_env();
+    let evals: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300);
     let tech = Technology::default_1p2um();
     let topo = OpAmpTopology::miller(MirrorTopology::Simple, false);
     let spec = OpAmpSpec {
@@ -87,5 +91,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "search-effort ratio (blind/seeded evals): {:.0}x",
         blind.evals as f64 / seeded.evals.max(1) as f64
     );
+    ape_repro::probe::finish();
     Ok(())
 }

@@ -15,6 +15,7 @@ use ape_repro::oblx::{design_point_from_ape, synthesize, InitialPoint, Synthesis
 use ape_repro::spice::{ac_sweep, dc_operating_point, decade_frequencies, measure};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _trace = ape_repro::probe::install_from_env();
     println!("=== APE hierarchy (paper Figure 2) ===");
     println!("level 4: analog modules      (amplifiers, filters, S&H, ADC, DAC)");
     println!("level 3: operational amps    (Miller two-stage, Wilson/simple bias, buffer)");
@@ -45,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let topo = OpAmpTopology::miller(MirrorTopology::Simple, false);
     let t0 = std::time::Instant::now();
     let amp = OpAmp::design(&tech, topo, spec)?;
-    println!("\n=== APE estimate ({:.1} us) ===", t0.elapsed().as_secs_f64() * 1e6);
+    println!(
+        "\n=== APE estimate ({:.1} us) ===",
+        t0.elapsed().as_secs_f64() * 1e6
+    );
     println!("{}", amp.perf);
     println!(
         "devices: pair W/L = {:.1}/{:.1} um, M6 W/L = {:.1}/{:.1} um, Cc = {:.2} pF",
@@ -97,9 +101,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
+    // The estimator's sizing cache — the paper's reusable "sized
+    // transistor objects" — accumulated across everything above.
+    println!("\n=== {} ===", ape_repro::ape::cache::shared_cache_report());
+
     // Bonus: the SPICE deck the flow hands to layout (--netlist to print).
     if std::env::args().any(|a| a == "--netlist") {
         println!("\n=== SPICE deck ===\n{}", tb.to_spice_deck(&tech));
     }
+    ape_repro::probe::finish();
     Ok(())
 }

@@ -44,4 +44,5 @@ pub use ape_core as ape;
 pub use ape_mos as mos;
 pub use ape_netlist as netlist;
 pub use ape_oblx as oblx;
+pub use ape_probe as probe;
 pub use ape_spice as spice;

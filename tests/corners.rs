@@ -17,14 +17,18 @@ fn opamp_survives_all_corners() {
         zout_ohm: None,
         cl: 10e-12,
     };
-    let amp = OpAmp::design(&tt, OpAmpTopology::miller(MirrorTopology::Simple, false), spec)
-        .expect("sizes at TT");
+    let amp = OpAmp::design(
+        &tt,
+        OpAmpTopology::miller(MirrorTopology::Simple, false),
+        spec,
+    )
+    .expect("sizes at TT");
     let tb = amp.testbench_open_loop(&tt).expect("testbench");
     let mut gains = Vec::new();
     for corner in Corner::all() {
         let tech = tt.corner(corner);
-        let op = dc_operating_point(&tb, &tech)
-            .unwrap_or_else(|e| panic!("{corner}: dc failed: {e}"));
+        let op =
+            dc_operating_point(&tb, &tech).unwrap_or_else(|e| panic!("{corner}: dc failed: {e}"));
         let out = tb.find_node("out").expect("out");
         let sweep = ac_sweep(&tb, &tech, &op, &decade_frequencies(100.0, 1e9, 8))
             .unwrap_or_else(|e| panic!("{corner}: ac failed: {e}"));
@@ -78,7 +82,14 @@ fn corner_shifts_bias_currents_as_expected() {
     let i_ff = current_at(Corner::Ff);
     let i_tt = current_at(Corner::Tt);
     let i_ss = current_at(Corner::Ss);
-    assert!(i_ff > i_tt && i_tt > i_ss, "FF {i_ff} / TT {i_tt} / SS {i_ss}");
+    assert!(
+        i_ff > i_tt && i_tt > i_ss,
+        "FF {i_ff} / TT {i_tt} / SS {i_ss}"
+    );
     // The spread is substantial but bounded.
-    assert!(i_ff / i_ss > 1.2 && i_ff / i_ss < 4.0, "spread {}", i_ff / i_ss);
+    assert!(
+        i_ff / i_ss > 1.2 && i_ff / i_ss < 4.0,
+        "spread {}",
+        i_ff / i_ss
+    );
 }

@@ -67,12 +67,28 @@ fn level3_models_are_active_at_0p5um() {
     let mut card = tech.nmos().unwrap().clone();
     card.level = ape_repro::netlist::MosLevel::Level3;
     let geom = MosGeometry::new(10e-6, 0.5e-6);
-    let e3 = evaluate(&card, &geom, BiasPoint { vgs: 2.5, vds: 3.0, vsb: 0.0 });
+    let e3 = evaluate(
+        &card,
+        &geom,
+        BiasPoint {
+            vgs: 2.5,
+            vds: 3.0,
+            vsb: 0.0,
+        },
+    );
     let mut card1 = card.clone();
     card1.level = ape_repro::netlist::MosLevel::Level1;
     card1.theta = 0.0;
     card1.vmax = 0.0;
-    let e1 = evaluate(&card1, &geom, BiasPoint { vgs: 2.5, vds: 3.0, vsb: 0.0 });
+    let e1 = evaluate(
+        &card1,
+        &geom,
+        BiasPoint {
+            vgs: 2.5,
+            vds: 3.0,
+            vsb: 0.0,
+        },
+    );
     assert!(
         e3.ids < 0.7 * e1.ids,
         "velocity saturation must bite at 0.5um: L3 {} vs L1 {}",
@@ -89,12 +105,10 @@ fn estimator_consistency_across_both_processes() {
     let spec_id = 20e-6;
     let t12 = Technology::default_1p2um();
     let t05 = tech_05();
-    let m12 =
-        ape_repro::mos::sizing::size_for_gm_id(t12.nmos().unwrap(), spec_gm, spec_id, 2.4e-6)
-            .expect("sizes 1.2um");
-    let m05 =
-        ape_repro::mos::sizing::size_for_gm_id(t05.nmos().unwrap(), spec_gm, spec_id, 2.4e-6)
-            .expect("sizes 0.5um");
+    let m12 = ape_repro::mos::sizing::size_for_gm_id(t12.nmos().unwrap(), spec_gm, spec_id, 2.4e-6)
+        .expect("sizes 1.2um");
+    let m05 = ape_repro::mos::sizing::size_for_gm_id(t05.nmos().unwrap(), spec_gm, spec_id, 2.4e-6)
+        .expect("sizes 0.5um");
     assert!(
         m05.geometry.w < m12.geometry.w,
         "0.5um width {} should be below 1.2um width {}",

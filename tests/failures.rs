@@ -91,10 +91,28 @@ fn opamp_level_validates_every_field() {
     };
     for (mutate, field) in [
         (OpAmpSpec { gain: 0.0, ..good }, "gain"),
-        (OpAmpSpec { ugf_hz: -1.0, ..good }, "ugf"),
-        (OpAmpSpec { cl: f64::NAN, ..good }, "cl"),
+        (
+            OpAmpSpec {
+                ugf_hz: -1.0,
+                ..good
+            },
+            "ugf",
+        ),
+        (
+            OpAmpSpec {
+                cl: f64::NAN,
+                ..good
+            },
+            "cl",
+        ),
         (OpAmpSpec { ibias: 0.0, ..good }, "ibias"),
-        (OpAmpSpec { zout_ohm: Some(-1.0), ..good }, "zout"),
+        (
+            OpAmpSpec {
+                zout_ohm: Some(-1.0),
+                ..good
+            },
+            "zout",
+        ),
     ] {
         assert!(
             OpAmp::design(&tech, topo, mutate).is_err(),
@@ -114,7 +132,12 @@ fn module_level_validates_orders_and_ranges() {
     assert!(FlashAdc::design(&tech, 7, 1e-6).is_err());
     assert!(FoldedCascodeOta::design(
         &tech,
-        FoldedCascodeSpec { gain: 2000.0, ugf_hz: 10e6, ibias: 10e-6, cl: -1.0 }
+        FoldedCascodeSpec {
+            gain: 2000.0,
+            ugf_hz: 10e6,
+            ibias: 10e-6,
+            cl: -1.0
+        }
     )
     .is_err());
 }
@@ -128,7 +151,10 @@ fn missing_model_cards_surface_by_name() {
         MosPolarity::Nmos,
     ));
     let r = DiffPair::design(&tech, DiffTopology::MirrorLoad, 100.0, 1e-6, 0.0);
-    assert!(matches!(r, Err(ApeError::MissingModel("PMOS"))), "got {r:?}");
+    assert!(
+        matches!(r, Err(ApeError::MissingModel("PMOS"))),
+        "got {r:?}"
+    );
 }
 
 #[test]
@@ -147,7 +173,9 @@ fn synthesis_survives_hostile_seeds() {
         cl: 10e-12,
     };
     let hostile = DesignPoint {
-        values: vec![1.8e-6, 60e-6, 1.8e-6, 1.8e-6, 60e-6, 800e-6, 1.8e-6, 0.3e-12],
+        values: vec![
+            1.8e-6, 60e-6, 1.8e-6, 1.8e-6, 60e-6, 800e-6, 1.8e-6, 0.3e-12,
+        ],
     };
     let init = InitialPoint::ApeSeeded {
         point: hostile,

@@ -1,0 +1,251 @@
+//! Cross-crate sampled invariant tests over the reproduction's core
+//! properties. Each test sweeps a seeded pseudo-random sample of its input
+//! space (deterministic — no external property-testing framework), so a
+//! failure message pinpoints the violating inputs.
+
+use ape_repro::anneal::Rng64;
+use ape_repro::mos::sizing::{size_for_gm_id, size_for_id_vov, vgs_for_id};
+use ape_repro::mos::{evaluate, BiasPoint};
+use ape_repro::netlist::{parse_value, Circuit, MosGeometry, Technology};
+use ape_repro::spice::linalg::Matrix;
+use ape_repro::spice::{dc_operating_point, Complex};
+
+/// Sizing inversion round-trips: size for (gm, id), evaluate the forward
+/// model at the returned bias, and the targets come back.
+#[test]
+fn sizing_roundtrip_gm_id() {
+    let tech = Technology::default_1p2um();
+    let card = tech.nmos().expect("nmos");
+    let mut rng = Rng64::seed_from_u64(101);
+    for _ in 0..64 {
+        let id = rng.range_f64(0.5, 500.0) * 1e-6;
+        let gm = rng.range_f64(5.0, 18.0) * id;
+        let l = rng.range_f64(1.2, 10.0) * 1e-6;
+        let sized = size_for_gm_id(card, gm, id, l).expect("feasible region");
+        let e = evaluate(
+            card,
+            &sized.geometry,
+            BiasPoint {
+                vgs: sized.vgs,
+                vds: 2.5,
+                vsb: 0.0,
+            },
+        );
+        assert!((e.gm - gm).abs() / gm < 1e-3, "gm {} vs {}", e.gm, gm);
+        assert!((e.ids - id).abs() / id < 1e-3, "id {} vs {}", e.ids, id);
+    }
+}
+
+/// Width scales linearly with current at fixed overdrive.
+#[test]
+fn width_linear_in_current() {
+    let tech = Technology::default_1p2um();
+    let card = tech.nmos().expect("nmos");
+    let mut rng = Rng64::seed_from_u64(102);
+    for _ in 0..64 {
+        let id = rng.range_f64(1.0, 200.0) * 1e-6;
+        let vov = rng.range_f64(0.1, 0.8);
+        let a = size_for_id_vov(card, id, vov, 2.4e-6).expect("sizes");
+        let b = size_for_id_vov(card, 2.0 * id, vov, 2.4e-6).expect("sizes");
+        let ratio = b.geometry.w / a.geometry.w;
+        assert!(
+            (ratio - 2.0).abs() < 0.02,
+            "ratio {ratio} at id {id} vov {vov}"
+        );
+    }
+}
+
+/// The drain current is monotone in vgs (the property bisection relies on).
+#[test]
+fn ids_monotone_in_vgs() {
+    let tech = Technology::default_1p2um();
+    let card = tech.nmos().expect("nmos");
+    let mut rng = Rng64::seed_from_u64(103);
+    for _ in 0..64 {
+        let g = MosGeometry::new(
+            rng.range_f64(2.0, 100.0) * 1e-6,
+            rng.range_f64(1.2, 10.0) * 1e-6,
+        );
+        let vds = rng.range_f64(0.2, 5.0);
+        let v1 = rng.range_f64(0.0, 2.4);
+        let dv = rng.range_f64(0.01, 1.0);
+        let e1 = evaluate(
+            card,
+            &g,
+            BiasPoint {
+                vgs: v1,
+                vds,
+                vsb: 0.0,
+            },
+        );
+        let e2 = evaluate(
+            card,
+            &g,
+            BiasPoint {
+                vgs: v1 + dv,
+                vds,
+                vsb: 0.0,
+            },
+        );
+        assert!(e2.ids >= e1.ids, "ids dropped at vgs {v1}+{dv}, vds {vds}");
+    }
+}
+
+/// vgs_for_id inverts the forward model exactly.
+#[test]
+fn vgs_bisection_inverts() {
+    let tech = Technology::default_1p2um();
+    let card = tech.nmos().expect("nmos");
+    let mut rng = Rng64::seed_from_u64(104);
+    for _ in 0..64 {
+        let g = MosGeometry::new(rng.range_f64(5.0, 200.0) * 1e-6, 2.4e-6);
+        let id = rng.range_f64(1.0, 100.0) * 1e-6;
+        if let Ok(vgs) = vgs_for_id(card, &g, id, 2.5, 0.0) {
+            let e = evaluate(
+                card,
+                &g,
+                BiasPoint {
+                    vgs,
+                    vds: 2.5,
+                    vsb: 0.0,
+                },
+            );
+            assert!((e.ids - id).abs() / id < 1e-5, "{} vs {id}", e.ids);
+        }
+    }
+}
+
+/// LU solves random diagonally-dominant real systems to small residual.
+#[test]
+fn lu_residual_small() {
+    let mut rng = Rng64::seed_from_u64(105);
+    for _ in 0..64 {
+        let n = 2 + rng.range_usize(22);
+        let mut m: Matrix<f64> = Matrix::zeros(n);
+        for r in 0..n {
+            for c in 0..n {
+                m[(r, c)] = rng.f64() - 0.5;
+            }
+            m[(r, r)] += n as f64; // diagonally dominant
+        }
+        let b: Vec<f64> = (0..n).map(|_| rng.f64() - 0.5).collect();
+        let x = m.solve(&b).expect("nonsingular");
+        let ax = m.mul_vec(&x);
+        let resid = ax
+            .iter()
+            .zip(&b)
+            .map(|(a, bb)| (a - bb).abs())
+            .fold(0.0, f64::max);
+        assert!(resid < 1e-9, "residual {resid} at n {n}");
+    }
+}
+
+/// Complex LU solutions scale linearly with the right-hand side.
+#[test]
+fn complex_solve_is_linear() {
+    let mut rng = Rng64::seed_from_u64(106);
+    for _ in 0..64 {
+        let re = rng.range_f64(-5.0, 5.0);
+        let im = rng.range_f64(-5.0, 5.0);
+        let scale = rng.range_f64(0.5, 4.0);
+        let mut m: Matrix<Complex> = Matrix::zeros(2);
+        m[(0, 0)] = Complex::new(2.0 + re.abs(), im);
+        m[(0, 1)] = Complex::new(0.3, -0.1);
+        m[(1, 0)] = Complex::new(-0.2, 0.4);
+        m[(1, 1)] = Complex::new(3.0, -im);
+        let b = vec![Complex::new(re, im), Complex::new(1.0, -0.5)];
+        let x1 = m.solve(&b).expect("nonsingular");
+        let b2: Vec<Complex> = b.iter().map(|v| *v * scale).collect();
+        let x2 = m.solve(&b2).expect("nonsingular");
+        for (a, bb) in x1.iter().zip(&x2) {
+            assert!((*a * scale - *bb).norm() < 1e-9);
+        }
+    }
+}
+
+/// Engineering-notation parsing accepts anything format_si produces.
+#[test]
+fn si_format_parse_roundtrip() {
+    let mut rng = Rng64::seed_from_u64(107);
+    for _ in 0..128 {
+        let mant = rng.range_f64(1.0, 999.0);
+        let exp = rng.range_usize(21) as i32 - 12; // -12..=8
+        let v = mant * 10f64.powi(exp);
+        let s = ape_repro::netlist::format_si(v, "");
+        let parsed = parse_value(&s).expect("parses");
+        assert!((parsed - v).abs() / v < 1e-3, "{v} -> {s} -> {parsed}");
+    }
+}
+
+/// Resistive dividers solve to the analytic value for any positive pair.
+#[test]
+fn divider_dc_solution() {
+    let tech = Technology::default_1p2um();
+    let mut rng = Rng64::seed_from_u64(108);
+    for _ in 0..32 {
+        let r1_k = rng.range_f64(0.1, 1000.0);
+        let r2_k = rng.range_f64(0.1, 1000.0);
+        let v = rng.range_f64(0.1, 10.0);
+        let mut ckt = Circuit::new("div");
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vdc("V1", a, Circuit::GROUND, v);
+        ckt.add_resistor("R1", a, b, r1_k * 1e3).expect("r1");
+        ckt.add_resistor("R2", b, Circuit::GROUND, r2_k * 1e3)
+            .expect("r2");
+        let op = dc_operating_point(&ckt, &tech).expect("solves");
+        let expect = v * r2_k / (r1_k + r2_k);
+        assert!((op.voltage(b) - expect).abs() < 1e-6 + 1e-6 * expect.abs());
+    }
+}
+
+/// Annealer results always stay inside their box constraints.
+#[test]
+fn annealer_respects_bounds() {
+    use ape_repro::anneal::{anneal, AnnealOptions, Schedule, VectorRanges};
+    let mut rng = Rng64::seed_from_u64(109);
+    for seed in 0..32u64 {
+        let lo = rng.range_f64(-10.0, 0.0);
+        let span = rng.range_f64(0.1, 20.0);
+        let ranges = VectorRanges::new(vec![(lo, lo + span); 3]).expect("valid");
+        let opts = AnnealOptions {
+            schedule: Schedule::Geometric {
+                t0: 5.0,
+                alpha: 0.85,
+                moves_per_temp: 20,
+                t_min: 1e-4,
+            },
+            max_evals: 500,
+            seed,
+            target_cost: f64::NEG_INFINITY,
+        };
+        let r = anneal(
+            ranges.center(),
+            |s| s.iter().map(|x| x * x).sum(),
+            |s, t, rng| ranges.neighbor(s, t, rng),
+            &opts,
+        );
+        assert!(ranges.contains(&r.best_state));
+    }
+}
+
+/// Monotonicity of the estimator: more bias current never reduces the
+/// achievable UGF of a gain stage (sampled: design calls are comparatively
+/// slow).
+#[test]
+fn estimator_ugf_monotone_in_current() {
+    use ape_repro::ape::basic::{GainStage, GainTopology};
+    let tech = Technology::default_1p2um();
+    let mut last = 0.0;
+    for k in 1..8 {
+        let ibias = 20e-6 * k as f64;
+        let g =
+            GainStage::design(&tech, GainTopology::CmosActive, -20.0, ibias, 1e-12).expect("sizes");
+        let ugf = g.perf.ugf_hz.expect("has ugf");
+        assert!(
+            ugf >= last,
+            "ugf {ugf} dropped below {last} at ibias {ibias}"
+        );
+        last = ugf;
+    }
+}

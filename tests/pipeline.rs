@@ -57,7 +57,11 @@ fn figure1_flow_estimate_verify_synthesize() {
     );
     // The paper's headline: the seeded search needs a tiny fraction of the
     // blind budget.
-    assert!(outcome.evals <= 50, "seeded search took {} evals", outcome.evals);
+    assert!(
+        outcome.evals <= 50,
+        "seeded search took {} evals",
+        outcome.evals
+    );
 }
 
 #[test]
@@ -101,7 +105,11 @@ fn all_ten_table1_specs_size_through_ape() {
     for task in ape_bench::specs::table1_opamps() {
         let amp = OpAmp::design(&tech, task.topology, task.spec)
             .unwrap_or_else(|e| panic!("{} fails to size: {e}", task.name));
-        assert!(amp.perf.dc_gain.unwrap() >= task.spec.gain * 0.9, "{}", task.name);
+        assert!(
+            amp.perf.dc_gain.unwrap() >= task.spec.gain * 0.9,
+            "{}",
+            task.name
+        );
     }
     // Generous bound (debug builds are slow): well under a second each.
     assert!(t0.elapsed().as_secs_f64() < 10.0);
