@@ -161,6 +161,14 @@ pub struct TempStats {
 pub trait Observer {
     /// Called once per temperature plateau with its aggregate statistics.
     fn on_temperature(&mut self, stats: &TempStats);
+
+    /// Polled once per temperature plateau, before its moves run; returning
+    /// `true` stops the annealing loop early (the best state found so far
+    /// is still returned). Cooperative cancellation for batch drivers that
+    /// must abandon a synthesis without killing its worker thread.
+    fn should_stop(&mut self) -> bool {
+        false
+    }
 }
 
 /// The no-op observer: `anneal` uses it when no explicit observer is given.
@@ -256,6 +264,10 @@ where
 
     let mut t = t0.max(1e-300);
     while t > t_min && evals < opts.max_evals && best_cost > opts.target_cost {
+        if observer.should_stop() {
+            ape_probe::counter("anneal.stopped_early", 1);
+            break;
+        }
         let mut moves_here = 0usize;
         let mut accepted_here = 0usize;
         for _ in 0..moves_per_temp {
@@ -474,6 +486,37 @@ mod tests {
             seed,
             target_cost: f64::NEG_INFINITY,
         }
+    }
+
+    #[test]
+    fn observer_should_stop_halts_the_run() {
+        struct StopAfter {
+            plateaus: usize,
+            limit: usize,
+        }
+        impl Observer for StopAfter {
+            fn on_temperature(&mut self, _stats: &TempStats) {
+                self.plateaus += 1;
+            }
+            fn should_stop(&mut self) -> bool {
+                self.plateaus >= self.limit
+            }
+        }
+        let ranges = VectorRanges::new(vec![(-5.0, 5.0); 3]).unwrap();
+        let mut obs = StopAfter {
+            plateaus: 0,
+            limit: 2,
+        };
+        let r = anneal_with_observer(
+            ranges.center(),
+            |s| s.iter().map(|x| x * x).sum(),
+            |s, t, rng| ranges.neighbor(s, t, rng),
+            &quick_opts(5),
+            &mut obs,
+        );
+        assert_eq!(r.stats.temp_steps, 2, "stopped after exactly two plateaus");
+        assert!(r.evals < 30_000);
+        assert!(r.best_cost.is_finite(), "best state still returned");
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! Farm throughput: batch estimation at 1/2/4/8 workers.
+//!
+//! Each row runs the same design-space grid through a fresh [`Farm`] with
+//! the result cache doing no work (every request distinct), so the row
+//! measures raw estimator throughput through the queue/pool machinery.
+//! A second table dedups a 50%-duplicate stream to show the single-flight
+//! cache's effect.
+//!
+//! Speedup over the 1-worker row is hardware-dependent: on a single-core
+//! machine every row collapses to serial throughput, which is why the
+//! detected parallelism is printed with the results.
+//!
+//! Run with `cargo run --release -p ape-bench --bin farm`.
+
+use ape_bench::{fmt_val, render_table};
+use ape_core::basic::MirrorTopology;
+use ape_core::opamp::{OpAmpSpec, OpAmpTopology};
+use ape_farm::{Farm, FarmConfig, Request};
+use ape_netlist::Technology;
+use std::time::Instant;
+
+fn grid(points: usize) -> Vec<Request> {
+    // Distinct specs: walk gain and UGF so no two requests share a key.
+    (0..points)
+        .map(|i| Request::OpAmpDesign {
+            topology: OpAmpTopology::miller(
+                if i % 2 == 0 {
+                    MirrorTopology::Simple
+                } else {
+                    MirrorTopology::Wilson
+                },
+                false,
+            ),
+            spec: OpAmpSpec {
+                gain: 100.0 + (i as f64) * 7.0,
+                ugf_hz: 1e6 + (i as f64) * 3.7e4,
+                area_max_m2: 20_000e-12,
+                ibias: 10e-6,
+                zout_ohm: None,
+                cl: 10e-12,
+            },
+        })
+        .collect()
+}
+
+fn run(workers: usize, requests: &[Request]) -> (f64, u64, u64) {
+    let farm = Farm::new(
+        Technology::default_1p2um(),
+        FarmConfig::with_workers(workers),
+    );
+    let t0 = Instant::now();
+    let handles: Vec<_> = requests.iter().cloned().map(|r| farm.submit(r)).collect();
+    for h in &handles {
+        let _ = h.wait();
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let stats = farm.stats();
+    (elapsed, stats.executed, stats.cache_hits + stats.deduped)
+}
+
+fn main() {
+    let _trace = ape_probe::install_from_env();
+    let detected = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("== Farm throughput: batch op-amp estimation ==");
+    println!("detected parallelism: {detected} (speedup saturates there)\n");
+
+    let points = 400usize;
+    let requests = grid(points);
+    let mut rows = Vec::new();
+    let mut base = None;
+    for workers in [1usize, 2, 4, 8] {
+        let (secs, executed, _) = run(workers, &requests);
+        let thr = points as f64 / secs;
+        let base_thr = *base.get_or_insert(thr);
+        rows.push(vec![
+            workers.to_string(),
+            fmt_val(secs * 1e3),
+            fmt_val(thr),
+            format!("{:.2}x", thr / base_thr),
+            executed.to_string(),
+        ]);
+    }
+    println!("-- {points} distinct designs --");
+    println!(
+        "{}",
+        render_table(
+            &["workers", "wall (ms)", "designs/s", "speedup", "executed"],
+            &rows,
+        )
+    );
+
+    // Duplicate half the stream: the single-flight cache folds repeats.
+    let mut dup = grid(points / 2);
+    dup.extend(grid(points / 2));
+    let mut rows = Vec::new();
+    for workers in [1usize, 4] {
+        let (secs, executed, shared) = run(workers, &dup);
+        rows.push(vec![
+            workers.to_string(),
+            fmt_val(secs * 1e3),
+            executed.to_string(),
+            shared.to_string(),
+        ]);
+    }
+    println!("-- {points} submissions, 50% duplicates --");
+    println!(
+        "{}",
+        render_table(&["workers", "wall (ms)", "executed", "cache-shared"], &rows)
+    );
+    ape_probe::finish();
+}

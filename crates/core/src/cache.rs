@@ -13,8 +13,12 @@ use crate::error::ApeError;
 use ape_mos::sizing::{size_for_gm_id_at, size_for_id_vov_at, SizedMos};
 use ape_netlist::{MosModelCard, MosPolarity, Technology};
 use std::cell::RefCell;
-use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
+use std::collections::{HashMap, VecDeque};
+
+/// Default capacity of a [`SizingCache`]: comfortably above what a whole
+/// table reproduction touches (a few hundred objects), small enough that a
+/// million-point sweep cannot grow a worker's cache without bound.
+pub const DEFAULT_CAPACITY: usize = 4096;
 
 /// Cache statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -23,6 +27,8 @@ pub struct CacheStats {
     pub hits: usize,
     /// Requests that ran the numeric solver.
     pub misses: usize,
+    /// Sized objects evicted to hold the capacity bound.
+    pub evictions: usize,
 }
 
 impl CacheStats {
@@ -90,15 +96,29 @@ fn quant(x: f64) -> u64 {
 pub struct SizingCache {
     tech: Technology,
     entries: RefCell<HashMap<Key, SizedMos>>,
+    /// Keys in insertion order, for FIFO eviction at the capacity bound.
+    order: RefCell<VecDeque<Key>>,
+    capacity: usize,
     stats: RefCell<CacheStats>,
 }
 
 impl SizingCache {
-    /// Creates an empty cache bound to a technology.
+    /// Creates an empty cache bound to a technology, holding at most
+    /// [`DEFAULT_CAPACITY`] sized objects.
     pub fn new(tech: &Technology) -> Self {
+        Self::with_capacity(tech, DEFAULT_CAPACITY)
+    }
+
+    /// Creates an empty cache holding at most `capacity` sized objects
+    /// (minimum 1). Past the bound, the oldest entry is evicted first —
+    /// sweep workloads march through parameter space, so the oldest object
+    /// is the least likely to be requested again.
+    pub fn with_capacity(tech: &Technology, capacity: usize) -> Self {
         SizingCache {
             tech: tech.clone(),
             entries: RefCell::new(HashMap::new()),
+            order: RefCell::new(VecDeque::new()),
+            capacity: capacity.max(1),
             stats: RefCell::new(CacheStats::default()),
         }
     }
@@ -106,6 +126,11 @@ impl SizingCache {
     /// The bound technology.
     pub fn technology(&self) -> &Technology {
         &self.tech
+    }
+
+    /// The capacity bound (entries, not bytes).
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Current hit/miss statistics.
@@ -126,6 +151,7 @@ impl SizingCache {
     /// Empties the cache (statistics are kept).
     pub fn clear(&self) {
         self.entries.borrow_mut().clear();
+        self.order.borrow_mut().clear();
     }
 
     fn card(&self, pmos: bool) -> Result<&MosModelCard, ApeError> {
@@ -148,23 +174,36 @@ impl SizingCache {
         self.stats.borrow_mut().misses += 1;
         ape_probe::counter("ape.cache.miss", 1);
         let solved = solve()?;
-        self.entries.borrow_mut().insert(key, solved);
+        let mut entries = self.entries.borrow_mut();
+        let mut order = self.order.borrow_mut();
+        while entries.len() >= self.capacity {
+            let Some(oldest) = order.pop_front() else {
+                break;
+            };
+            entries.remove(&oldest);
+            self.stats.borrow_mut().evictions += 1;
+            ape_probe::counter("ape.cache.evict", 1);
+        }
+        if entries.insert(key, solved).is_none() {
+            order.push_back(key);
+        }
         Ok(solved)
     }
 
     /// Human-readable effectiveness summary, e.g. for end-of-run printing:
     ///
     /// ```text
-    /// sizing cache: 37 objects, 112 hits / 49 misses (69.6% hit rate)
+    /// sizing cache: 37 objects, 112 hits / 49 misses (69.6% hit rate), 0 evictions
     /// ```
     pub fn report(&self) -> String {
         let s = self.stats();
         format!(
-            "sizing cache: {} objects, {} hits / {} misses ({:.1}% hit rate)",
+            "sizing cache: {} objects, {} hits / {} misses ({:.1}% hit rate), {} evictions",
             self.len(),
             s.hits,
             s.misses,
-            100.0 * s.hit_rate()
+            100.0 * s.hit_rate(),
+            s.evictions
         )
     }
 
@@ -256,29 +295,6 @@ impl SizingCache {
     }
 }
 
-/// Stable fingerprint of a [`Technology`]: every model-card parameter and
-/// technology scalar participates, so two technologies share a cache slot
-/// only when they are numerically identical.
-fn tech_fingerprint(tech: &Technology) -> u64 {
-    let mut h = std::collections::hash_map::DefaultHasher::new();
-    tech.name.hash(&mut h);
-    for v in [tech.vdd, tech.vss, tech.lmin, tech.wmin, tech.wmax] {
-        v.to_bits().hash(&mut h);
-    }
-    for c in tech.models() {
-        c.name.hash(&mut h);
-        c.polarity.hash(&mut h);
-        std::mem::discriminant(&c.level).hash(&mut h);
-        for v in [
-            c.vto, c.kp, c.gamma, c.phi, c.lambda, c.tox, c.u0, c.ld, c.cgso, c.cgdo, c.cgbo, c.cj,
-            c.cjsw, c.mj, c.mjsw, c.pb, c.theta, c.vmax, c.eta, c.nfs, c.kappa,
-        ] {
-            v.to_bits().hash(&mut h);
-        }
-    }
-    h.finish()
-}
-
 thread_local! {
     /// One shared cache slot per thread, tagged with the fingerprint of the
     /// technology it was built for. Estimator internals route their level-1
@@ -288,7 +304,7 @@ thread_local! {
 }
 
 fn with_shared<R>(tech: &Technology, f: impl FnOnce(&SizingCache) -> R) -> R {
-    let fp = tech_fingerprint(tech);
+    let fp = tech.fingerprint();
     SHARED.with(|slot| {
         let mut slot = slot.borrow_mut();
         match &*slot {
@@ -424,5 +440,41 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_oldest_first() {
+        let tech = Technology::default_1p2um();
+        let cache = SizingCache::with_capacity(&tech, 3);
+        assert_eq!(cache.capacity(), 3);
+        // Four distinct operating points into a 3-slot cache.
+        for (i, id) in [10e-6, 20e-6, 40e-6, 80e-6].iter().enumerate() {
+            cache.size_for_gm_id(false, 100e-6, *id, 2.4e-6).unwrap();
+            assert!(cache.len() <= 3, "len {} after insert {i}", cache.len());
+        }
+        let s = cache.stats();
+        assert_eq!(s.misses, 4);
+        assert_eq!(s.evictions, 1);
+        // The oldest point (10 µA) was evicted: asking again re-solves...
+        cache.size_for_gm_id(false, 100e-6, 10e-6, 2.4e-6).unwrap();
+        assert_eq!(cache.stats().misses, 5);
+        // ...while the newest (80 µA) survived and still hits.
+        cache.size_for_gm_id(false, 100e-6, 80e-6, 2.4e-6).unwrap();
+        assert_eq!(cache.stats().hits, 1);
+        assert!(cache.report().contains("evictions"));
+    }
+
+    #[test]
+    fn clear_resets_eviction_order() {
+        let tech = Technology::default_1p2um();
+        let cache = SizingCache::with_capacity(&tech, 2);
+        cache.size_for_gm_id(false, 100e-6, 10e-6, 2.4e-6).unwrap();
+        cache.size_for_gm_id(false, 100e-6, 20e-6, 2.4e-6).unwrap();
+        cache.clear();
+        // A stale order queue would make these evict phantom entries.
+        cache.size_for_gm_id(false, 100e-6, 40e-6, 2.4e-6).unwrap();
+        cache.size_for_gm_id(false, 100e-6, 80e-6, 2.4e-6).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 0);
     }
 }

@@ -1,0 +1,244 @@
+//! Cooperative cancellation for long-running estimation work.
+//!
+//! Batch drivers (the `ape-farm` worker pool) need to abandon jobs whose
+//! deadline has passed or whose batch was cancelled, without killing the
+//! worker thread. The estimator cooperates: a [`CancelToken`] is parked as
+//! the *thread-current* token for the duration of a job, and the hierarchy
+//! checks it between levels — each [`OpAmp::design`](crate::opamp::OpAmp)
+//! overdrive refinement attempt, each synthesis temperature plateau — so a
+//! cancelled job unwinds with [`ApeError::Cancelled`] within one level's
+//! worth of work.
+//!
+//! Tokens form a tree: [`CancelToken::child`] inherits its parent's state,
+//! so cancelling a farm cancels every job token derived from it while one
+//! job's deadline never leaks into its siblings.
+//!
+//! # Example
+//!
+//! ```
+//! use ape_core::cancel::CancelToken;
+//!
+//! let farm = CancelToken::new();
+//! let job = farm.child();
+//! assert!(!job.is_cancelled());
+//! farm.cancel();
+//! assert!(job.is_cancelled()); // parent cancellation propagates
+//! ```
+
+use crate::error::ApeError;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+    parent: Option<Arc<Inner>>,
+}
+
+impl Inner {
+    fn is_cancelled(&self) -> bool {
+        if self.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return true;
+            }
+        }
+        match &self.parent {
+            Some(p) => p.is_cancelled(),
+            None => false,
+        }
+    }
+}
+
+/// A shareable cancellation token with an optional deadline and an optional
+/// parent. Cloning shares the same state; [`CancelToken::child`] derives a
+/// token that observes its parent but can be cancelled independently.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CancelToken {
+    /// A fresh token: not cancelled, no deadline, no parent.
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+                parent: None,
+            }),
+        }
+    }
+
+    /// A fresh token that auto-cancels once `timeout` has elapsed.
+    pub fn with_timeout(timeout: Duration) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(Instant::now() + timeout),
+                parent: None,
+            }),
+        }
+    }
+
+    /// Derives a token that is cancelled whenever `self` is, and can
+    /// additionally be cancelled on its own without affecting `self`.
+    pub fn child(&self) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+                parent: Some(self.inner.clone()),
+            }),
+        }
+    }
+
+    /// Like [`CancelToken::child`] with an additional deadline: the derived
+    /// token auto-cancels once `timeout` elapses.
+    pub fn child_with_timeout(&self, timeout: Duration) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(Instant::now() + timeout),
+                parent: Some(self.inner.clone()),
+            }),
+        }
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// `true` once this token, an ancestor, or an expired deadline has
+    /// cancelled the work.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.is_cancelled()
+    }
+
+    /// [`ApeError::Cancelled`] when cancelled, `Ok(())` otherwise — the
+    /// form the estimator's internal checkpoints use.
+    pub fn check(&self) -> Result<(), ApeError> {
+        if self.is_cancelled() {
+            Err(ApeError::Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<CancelToken>> = const { RefCell::new(None) };
+}
+
+/// Installs `token` as this thread's current cancellation token for the
+/// lifetime of the returned guard (the previous token is restored on drop).
+/// Estimator checkpoints observe it through [`check_current`].
+#[must_use = "the token is uninstalled when the guard drops"]
+pub fn set_current(token: CancelToken) -> CurrentGuard {
+    let prev = CURRENT.with(|c| c.borrow_mut().replace(token));
+    CurrentGuard { prev }
+}
+
+/// Restores the previously current token when dropped.
+#[derive(Debug)]
+pub struct CurrentGuard {
+    prev: Option<CancelToken>,
+}
+
+impl Drop for CurrentGuard {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        CURRENT.with(|c| *c.borrow_mut() = prev);
+    }
+}
+
+/// `true` when the thread-current token (if any) has been cancelled.
+pub fn current_cancelled() -> bool {
+    CURRENT.with(|c| {
+        c.borrow()
+            .as_ref()
+            .map(CancelToken::is_cancelled)
+            .unwrap_or(false)
+    })
+}
+
+/// Checkpoint used between hierarchy levels: fails with
+/// [`ApeError::Cancelled`] when the thread-current token has fired. A no-op
+/// (always `Ok`) on threads with no token installed, so direct synchronous
+/// callers never pay for cancellation they did not ask for.
+pub fn check_current() -> Result<(), ApeError> {
+    if current_cancelled() {
+        ape_probe::counter("ape.cancel.observed", 1);
+        Err(ApeError::Cancelled)
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_live() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert!(t.check().is_ok());
+        t.cancel();
+        assert!(t.is_cancelled());
+        assert_eq!(t.check(), Err(ApeError::Cancelled));
+    }
+
+    #[test]
+    fn clone_shares_state_child_does_not_leak_up() {
+        let parent = CancelToken::new();
+        let sibling = parent.clone();
+        let child = parent.child();
+        child.cancel();
+        assert!(child.is_cancelled());
+        assert!(!parent.is_cancelled(), "child cancel must not leak upward");
+        parent.cancel();
+        assert!(sibling.is_cancelled(), "clones share state");
+    }
+
+    #[test]
+    fn deadline_fires() {
+        let t = CancelToken::with_timeout(Duration::from_millis(0));
+        assert!(t.is_cancelled());
+        let child = CancelToken::new().child_with_timeout(Duration::from_millis(0));
+        assert!(child.is_cancelled());
+        let slow = CancelToken::with_timeout(Duration::from_secs(3600));
+        assert!(!slow.is_cancelled());
+    }
+
+    #[test]
+    fn current_token_scoping() {
+        assert!(check_current().is_ok(), "no token installed → ok");
+        let t = CancelToken::new();
+        {
+            let _g = set_current(t.clone());
+            assert!(check_current().is_ok());
+            t.cancel();
+            assert!(check_current().is_err());
+            {
+                // Nested guard shadows, then restores the outer token.
+                let _g2 = set_current(CancelToken::new());
+                assert!(check_current().is_ok());
+            }
+            assert!(check_current().is_err());
+        }
+        assert!(check_current().is_ok(), "guard drop uninstalls the token");
+    }
+}

@@ -30,6 +30,9 @@ pub enum ApeError {
     Netlist(NetlistError),
     /// The technology lacks a required model card.
     MissingModel(&'static str),
+    /// The work was abandoned because its cancellation token fired (batch
+    /// shutdown or an expired per-job deadline) — see [`crate::cancel`].
+    Cancelled,
 }
 
 impl fmt::Display for ApeError {
@@ -42,6 +45,7 @@ impl fmt::Display for ApeError {
             ApeError::Device(e) => write!(f, "device sizing failed: {e}"),
             ApeError::Netlist(e) => write!(f, "netlist emission failed: {e}"),
             ApeError::MissingModel(kind) => write!(f, "technology lacks a {kind} model card"),
+            ApeError::Cancelled => write!(f, "work cancelled (token fired or deadline expired)"),
         }
     }
 }

@@ -45,6 +45,7 @@
 mod attrs;
 pub mod basic;
 pub mod cache;
+pub mod cancel;
 mod error;
 pub mod folded;
 pub mod module;

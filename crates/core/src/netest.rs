@@ -78,10 +78,13 @@ pub fn estimate_netlist(
     output: NodeId,
 ) -> Result<NetlistEstimate, ApeError> {
     let _span = ape_probe::span("ape.netest");
+    crate::cancel::check_current()?;
     let op = dc_operating_point(circuit, tech).map_err(|e| ApeError::Infeasible {
         component: "netlist",
         message: format!("dc operating point: {e}"),
     })?;
+    // The DC solve dominates the cost; re-check before the AWE stage.
+    crate::cancel::check_current()?;
     let sys = linearize(circuit, tech, &op).map_err(|e| ApeError::Infeasible {
         component: "netlist",
         message: format!("linearisation: {e}"),

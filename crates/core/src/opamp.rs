@@ -145,6 +145,9 @@ impl OpAmp {
         // until the area budget is met.
         let mut last: Option<Result<Self, ApeError>> = None;
         for vov in [VOV_SIG, 0.15, 0.10, 0.07] {
+            // Cancellation checkpoint between refinement attempts: a batch
+            // driver abandoning this job loses at most one attempt's work.
+            crate::cancel::check_current()?;
             match Self::design_attempt(tech, topology, spec, vov) {
                 Ok(amp) => {
                     let fits = amp.perf.gate_area_m2 <= spec.area_max_m2;
@@ -223,6 +226,10 @@ impl OpAmp {
             0.0,
             vov_sig,
         )?;
+
+        // Level-2 → level-3 boundary: the remaining stages are pure level-1
+        // solves, so this is the last cheap place to abandon a cancelled job.
+        crate::cancel::check_current()?;
 
         // --- Stage 2: PMOS common source + NMOS sink -----------------------
         // M6's gate sits at stage 1's quiescent output, which the mirror

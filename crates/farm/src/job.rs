@@ -1,0 +1,302 @@
+//! The typed job model: what a farm can be asked to do ([`Request`]), what
+//! it answers ([`Response`]), how it fails ([`FarmError`]), and the
+//! content-addressed key that identifies a request for deduplication.
+
+use ape_core::netest::NetlistEstimate;
+use ape_core::opamp::{OpAmp, OpAmpSpec, OpAmpTopology};
+use ape_core::ApeError;
+use ape_netlist::{Circuit, NodeId, Technology};
+use ape_oblx::{InitialPoint, OblxError, SynthesisOptions, SynthesisOutcome};
+use std::hash::{Hash, Hasher};
+
+/// A unit of work submitted to a [`Farm`](crate::Farm).
+///
+/// Every variant is a pure function of the request payload plus the farm's
+/// [`Technology`]: submitting the same request twice yields the same
+/// response, which is what makes result caching and in-flight deduplication
+/// sound (workers reset the per-thread sizing cache before each job).
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Size a two-stage op-amp with [`OpAmp::design`] (hierarchy levels
+    /// 1–3 of the estimator).
+    OpAmpDesign {
+        /// Topology selections.
+        topology: OpAmpTopology,
+        /// Performance specification.
+        spec: OpAmpSpec,
+    },
+    /// Estimate an arbitrary netlist with
+    /// [`estimate_netlist`](ape_core::netest::estimate_netlist).
+    NetlistEstimate {
+        /// The circuit to analyse (boxed: circuits are large relative to
+        /// the other variants).
+        circuit: Box<Circuit>,
+        /// Node whose AC response is observed.
+        output: NodeId,
+    },
+    /// Run the full annealing synthesis with
+    /// [`synthesize`](ape_oblx::synthesize).
+    Synthesize {
+        /// Topology selections.
+        topology: OpAmpTopology,
+        /// Performance specification.
+        spec: OpAmpSpec,
+        /// Search starting point.
+        init: InitialPoint,
+        /// Annealing options.
+        opts: SynthesisOptions,
+    },
+    /// An arbitrary user job. The dedup key covers only `label` and
+    /// `nonce` — callers must pick a distinct `nonce` per distinct
+    /// computation (or a fresh one per call to opt out of caching).
+    Custom {
+        /// Human-readable label (also part of the dedup key).
+        label: &'static str,
+        /// Disambiguates distinct custom computations under one label.
+        nonce: u64,
+        /// The computation; receives the farm's technology.
+        run: fn(&Technology) -> Result<Response, FarmError>,
+    },
+}
+
+/// The result payload of a completed [`Request`].
+#[derive(Debug, Clone)]
+pub enum Response {
+    /// From [`Request::OpAmpDesign`].
+    OpAmp(Box<OpAmp>),
+    /// From [`Request::NetlistEstimate`].
+    Netlist(Box<NetlistEstimate>),
+    /// From [`Request::Synthesize`].
+    Synthesis(Box<SynthesisOutcome>),
+    /// Free-form payload for [`Request::Custom`] jobs.
+    Text(String),
+}
+
+impl Response {
+    /// The op-amp payload, if this is an [`Response::OpAmp`].
+    pub fn as_opamp(&self) -> Option<&OpAmp> {
+        match self {
+            Response::OpAmp(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The netlist estimate, if this is a [`Response::Netlist`].
+    pub fn as_netlist(&self) -> Option<&NetlistEstimate> {
+        match self {
+            Response::Netlist(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// The synthesis outcome, if this is a [`Response::Synthesis`].
+    pub fn as_synthesis(&self) -> Option<&SynthesisOutcome> {
+        match self {
+            Response::Synthesis(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// How a farm job can fail.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FarmError {
+    /// The estimator rejected or could not satisfy the request.
+    Ape(ApeError),
+    /// The synthesis engine failed.
+    Oblx(OblxError),
+    /// The job was cancelled (explicitly or by its deadline) before it
+    /// produced a result.
+    Cancelled,
+    /// The job panicked; the worker survived and the panic payload (when
+    /// it was a string) is preserved.
+    Panicked(String),
+    /// Fail-fast submission found the queue at capacity.
+    QueueFull,
+    /// The farm was shutting down when the job was submitted or queued.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for FarmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FarmError::Ape(e) => write!(f, "estimator error: {e}"),
+            FarmError::Oblx(e) => write!(f, "synthesis error: {e}"),
+            FarmError::Cancelled => write!(f, "job cancelled"),
+            FarmError::Panicked(m) => write!(f, "job panicked: {m}"),
+            FarmError::QueueFull => write!(f, "queue full"),
+            FarmError::ShuttingDown => write!(f, "farm shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for FarmError {}
+
+impl From<ApeError> for FarmError {
+    fn from(e: ApeError) -> Self {
+        match e {
+            ApeError::Cancelled => FarmError::Cancelled,
+            other => FarmError::Ape(other),
+        }
+    }
+}
+
+impl From<OblxError> for FarmError {
+    fn from(e: OblxError) -> Self {
+        match e {
+            OblxError::Cancelled => FarmError::Cancelled,
+            other => FarmError::Oblx(other),
+        }
+    }
+}
+
+fn hash_f64<H: Hasher>(h: &mut H, v: f64) {
+    v.to_bits().hash(h);
+}
+
+fn hash_topology<H: Hasher>(h: &mut H, t: &OpAmpTopology) {
+    t.current_source.hash(h);
+    t.buffer.hash(h);
+    t.compensated.hash(h);
+}
+
+fn hash_spec<H: Hasher>(h: &mut H, s: &OpAmpSpec) {
+    hash_f64(h, s.gain);
+    hash_f64(h, s.ugf_hz);
+    hash_f64(h, s.area_max_m2);
+    hash_f64(h, s.ibias);
+    match s.zout_ohm {
+        Some(z) => {
+            1u8.hash(h);
+            hash_f64(h, z);
+        }
+        None => 0u8.hash(h),
+    }
+    hash_f64(h, s.cl);
+}
+
+/// Content-addressed identity of `(technology, request)`.
+///
+/// Two requests with the same key are treated as the same computation by
+/// the farm's result cache. The hash is stable within a process (it uses
+/// `DefaultHasher` with a fixed key and bit-exact float hashing) but is
+/// not a persistent format. Circuits are hashed through their canonical
+/// SPICE deck; `InitialPoint` and `SynthesisOptions` are hashed through
+/// their `Debug` rendering, which is exact for this crate's field types.
+pub fn canonical_key(tech: &Technology, req: &Request) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    tech.fingerprint().hash(&mut h);
+    match req {
+        Request::OpAmpDesign { topology, spec } => {
+            0u8.hash(&mut h);
+            hash_topology(&mut h, topology);
+            hash_spec(&mut h, spec);
+        }
+        Request::NetlistEstimate { circuit, output } => {
+            1u8.hash(&mut h);
+            circuit.to_spice_deck(tech).hash(&mut h);
+            output.hash(&mut h);
+        }
+        Request::Synthesize {
+            topology,
+            spec,
+            init,
+            opts,
+        } => {
+            2u8.hash(&mut h);
+            hash_topology(&mut h, topology);
+            hash_spec(&mut h, spec);
+            format!("{init:?}").hash(&mut h);
+            format!("{opts:?}").hash(&mut h);
+        }
+        Request::Custom { label, nonce, .. } => {
+            3u8.hash(&mut h);
+            label.hash(&mut h);
+            nonce.hash(&mut h);
+        }
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ape_core::basic::MirrorTopology;
+
+    fn spec() -> OpAmpSpec {
+        OpAmpSpec {
+            gain: 200.0,
+            ugf_hz: 5e6,
+            area_max_m2: 5000e-12,
+            ibias: 10e-6,
+            zout_ohm: None,
+            cl: 10e-12,
+        }
+    }
+
+    #[test]
+    fn identical_requests_share_a_key() {
+        let tech = Technology::default_1p2um();
+        let t = OpAmpTopology::miller(MirrorTopology::Simple, false);
+        let a = Request::OpAmpDesign {
+            topology: t,
+            spec: spec(),
+        };
+        let b = Request::OpAmpDesign {
+            topology: t,
+            spec: spec(),
+        };
+        assert_eq!(canonical_key(&tech, &a), canonical_key(&tech, &b));
+    }
+
+    #[test]
+    fn spec_and_topology_perturbations_change_the_key() {
+        let tech = Technology::default_1p2um();
+        let t = OpAmpTopology::miller(MirrorTopology::Simple, false);
+        let base = Request::OpAmpDesign {
+            topology: t,
+            spec: spec(),
+        };
+        let k0 = canonical_key(&tech, &base);
+
+        let mut s = spec();
+        s.gain += 1e-9;
+        let k1 = canonical_key(
+            &tech,
+            &Request::OpAmpDesign {
+                topology: t,
+                spec: s,
+            },
+        );
+        assert_ne!(k0, k1, "bit-level spec change must re-key");
+
+        let k2 = canonical_key(
+            &tech,
+            &Request::OpAmpDesign {
+                topology: OpAmpTopology::miller(MirrorTopology::Wilson, false),
+                spec: spec(),
+            },
+        );
+        assert_ne!(k0, k2);
+    }
+
+    #[test]
+    fn technology_is_part_of_the_key() {
+        let tech = Technology::default_1p2um();
+        let mut tech2 = tech.clone();
+        tech2.vdd += 0.1;
+        let t = OpAmpTopology::miller(MirrorTopology::Simple, false);
+        let req = Request::OpAmpDesign {
+            topology: t,
+            spec: spec(),
+        };
+        assert_ne!(canonical_key(&tech, &req), canonical_key(&tech2, &req));
+    }
+
+    #[test]
+    fn cancelled_errors_fold_into_the_cancelled_variant() {
+        assert_eq!(FarmError::from(ApeError::Cancelled), FarmError::Cancelled);
+        assert_eq!(FarmError::from(OblxError::Cancelled), FarmError::Cancelled);
+    }
+}

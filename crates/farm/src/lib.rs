@@ -1,0 +1,48 @@
+//! `ape-farm`: a concurrent batch-estimation and design-space-sweep engine
+//! for the APE analog performance estimator.
+//!
+//! The estimator itself ([`ape_core`]) answers one question — "what does
+//! this sized circuit do?" — in microseconds to milliseconds. Synthesis
+//! front-ends want to ask that question thousands of times: topology
+//! races, specification sweeps, seeding experiments. This crate turns the
+//! single-shot estimator into a throughput engine:
+//!
+//! * a typed job model ([`Request`]/[`Response`]) covering op-amp design,
+//!   netlist estimation, and full annealing synthesis;
+//! * a bounded MPMC work queue ([`queue::BoundedQueue`]) with blocking
+//!   *and* fail-fast submission, so producers feel backpressure instead of
+//!   growing an unbounded backlog;
+//! * a fixed worker pool ([`Farm`]) with per-job deadlines, cooperative
+//!   cancellation (via [`ape_core::cancel`]), and panic isolation — a
+//!   panicking job fails that job, not the farm;
+//! * a content-addressed, single-flight result cache
+//!   ([`cache::ResultCache`]): identical requests are computed once,
+//!   whether they collide in flight or arrive after completion;
+//! * a sweep driver ([`SweepPlan`]) that expands a parameter grid into
+//!   jobs, reduces the results to an area/power/gain-error Pareto front,
+//!   and streams the lot as deterministic JSON Lines.
+//!
+//! Determinism is a design constraint, not an accident: sweeps produce
+//! byte-identical output whatever the worker count, because every job is
+//! executed as a pure function of `(technology, request)` (see
+//! [`FarmConfig::isolate_sizing_cache`]) and results are collected in grid
+//! order.
+//!
+//! Everything is built on `std` only — no external dependencies — and the
+//! whole stack is instrumented with [`ape_probe`] spans, counters, and
+//! gauges (`farm.*` names).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod job;
+pub mod pool;
+pub mod queue;
+pub mod sweep;
+
+pub use cache::{Claim, ResultCache};
+pub use job::{canonical_key, FarmError, Request, Response};
+pub use pool::{Farm, FarmConfig, FarmStats, JobHandle};
+pub use queue::{BoundedQueue, TryPushError};
+pub use sweep::{SweepMetrics, SweepPlan, SweepPoint, SweepRecord, SweepReport};

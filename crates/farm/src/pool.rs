@@ -1,0 +1,409 @@
+//! The worker pool: a fixed set of threads draining the bounded job queue,
+//! executing requests against a shared [`Technology`], publishing results
+//! into the single-flight [`ResultCache`], with per-job cancellation,
+//! deadlines, and panic isolation.
+
+use crate::cache::{Claim, ResultCache};
+use crate::job::{canonical_key, FarmError, Request, Response};
+use crate::queue::{BoundedQueue, TryPushError};
+use ape_core::cancel::{self, CancelToken};
+use ape_core::netest::estimate_netlist;
+use ape_core::opamp::OpAmp;
+use ape_netlist::Technology;
+use ape_oblx::synthesize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Configuration of a [`Farm`].
+#[derive(Debug, Clone)]
+pub struct FarmConfig {
+    /// Worker threads. Defaults to the machine's available parallelism.
+    pub workers: usize,
+    /// Bounded queue capacity (backpressure threshold). Default 256.
+    pub queue_capacity: usize,
+    /// Per-job deadline; a job still running past it is abandoned at the
+    /// estimator's next cancellation checkpoint. `None` = no deadline.
+    pub job_timeout: Option<Duration>,
+    /// Reset the per-thread sizing cache before every job (default
+    /// `true`). The sizing cache quantises its keys, so carrying it across
+    /// jobs makes a job's result depend on which jobs ran before it on the
+    /// same worker — breaking both cache-key soundness and the guarantee
+    /// that a sweep's output is independent of the worker count. Disable
+    /// only for throughput experiments where bit-reproducibility does not
+    /// matter.
+    pub isolate_sizing_cache: bool,
+}
+
+impl Default for FarmConfig {
+    fn default() -> Self {
+        FarmConfig {
+            workers: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            queue_capacity: 256,
+            job_timeout: None,
+            isolate_sizing_cache: true,
+        }
+    }
+}
+
+impl FarmConfig {
+    /// Config with `workers` threads and the other fields at their defaults.
+    pub fn with_workers(workers: usize) -> Self {
+        FarmConfig {
+            workers: workers.max(1),
+            ..FarmConfig::default()
+        }
+    }
+}
+
+/// Counters accumulated over a farm's lifetime (monotonic, racy reads).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FarmStats {
+    /// Requests accepted by `submit`/`try_submit` (including deduplicated
+    /// ones, which are accepted without queueing).
+    pub submitted: u64,
+    /// Jobs actually executed by a worker.
+    pub executed: u64,
+    /// Submissions served from a completed cache entry.
+    pub cache_hits: u64,
+    /// Submissions folded into an identical in-flight job.
+    pub deduped: u64,
+    /// Jobs that finished with [`FarmError::Cancelled`].
+    pub cancelled: u64,
+    /// Jobs that panicked (worker survived).
+    pub panicked: u64,
+    /// Fail-fast submissions rejected with [`FarmError::QueueFull`].
+    pub rejected: u64,
+}
+
+#[derive(Default)]
+struct StatCells {
+    submitted: AtomicU64,
+    executed: AtomicU64,
+    cache_hits: AtomicU64,
+    deduped: AtomicU64,
+    cancelled: AtomicU64,
+    panicked: AtomicU64,
+    rejected: AtomicU64,
+}
+
+struct WorkItem {
+    key: u64,
+    req: Request,
+    cancel: CancelToken,
+}
+
+struct Shared {
+    queue: BoundedQueue<WorkItem>,
+    cache: ResultCache,
+    tech: Technology,
+    inflight: AtomicUsize,
+    isolate_sizing_cache: bool,
+    stats: StatCells,
+}
+
+/// A handle to one submitted job.
+///
+/// Dropping the handle does not cancel the job; call
+/// [`JobHandle::cancel`] for that. [`JobHandle::wait`] may be called from
+/// any thread and any number of handles for the same key may wait
+/// concurrently.
+#[derive(Debug, Clone)]
+pub struct JobHandle {
+    key: u64,
+    cancel: CancelToken,
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("queue", &self.queue)
+            .field("cache", &self.cache)
+            .finish()
+    }
+}
+
+impl JobHandle {
+    /// The job's content-addressed key (stable within this process).
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+
+    /// Requests cancellation of this job. The running worker abandons it
+    /// at the estimator's next checkpoint; a queued job fails on dequeue.
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// Blocks until the job (or the identical job it was deduplicated
+    /// into) completes, and returns its result.
+    pub fn wait(&self) -> Result<Response, FarmError> {
+        self.shared.cache.wait(self.key)
+    }
+
+    /// Non-blocking result peek.
+    pub fn peek(&self) -> Option<Result<Response, FarmError>> {
+        self.shared.cache.peek(self.key)
+    }
+}
+
+/// A concurrent batch-estimation engine: bounded work queue, fixed worker
+/// pool, content-addressed single-flight result cache.
+///
+/// # Example
+///
+/// ```
+/// use ape_core::basic::MirrorTopology;
+/// use ape_core::opamp::{OpAmpSpec, OpAmpTopology};
+/// use ape_farm::{Farm, FarmConfig, Request};
+/// use ape_netlist::Technology;
+///
+/// let farm = Farm::new(Technology::default_1p2um(), FarmConfig::with_workers(2));
+/// let h = farm.submit(Request::OpAmpDesign {
+///     topology: OpAmpTopology::miller(MirrorTopology::Simple, false),
+///     spec: OpAmpSpec {
+///         gain: 200.0,
+///         ugf_hz: 5e6,
+///         area_max_m2: 5000e-12,
+///         ibias: 10e-6,
+///         zout_ohm: None,
+///         cl: 10e-12,
+///     },
+/// });
+/// let amp = h.wait().unwrap();
+/// assert!(amp.as_opamp().unwrap().perf.dc_gain.unwrap().abs() >= 150.0);
+/// drop(farm); // joins the workers
+/// ```
+#[derive(Debug)]
+pub struct Farm {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    cancel: CancelToken,
+    job_timeout: Option<Duration>,
+}
+
+impl Farm {
+    /// Spawns `config.workers` worker threads over a bounded queue.
+    pub fn new(tech: Technology, config: FarmConfig) -> Self {
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(config.queue_capacity),
+            cache: ResultCache::new(),
+            tech,
+            inflight: AtomicUsize::new(0),
+            isolate_sizing_cache: config.isolate_sizing_cache,
+            stats: StatCells::default(),
+        });
+        let cancel = CancelToken::new();
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("ape-farm-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn farm worker")
+            })
+            .collect();
+        Farm {
+            shared,
+            workers,
+            cancel,
+            job_timeout: config.job_timeout,
+        }
+    }
+
+    /// The technology every job runs against.
+    pub fn technology(&self) -> &Technology {
+        &self.shared.tech
+    }
+
+    /// Lifetime counters (racy snapshot).
+    pub fn stats(&self) -> FarmStats {
+        let s = &self.shared.stats;
+        FarmStats {
+            submitted: s.submitted.load(Ordering::Relaxed),
+            executed: s.executed.load(Ordering::Relaxed),
+            cache_hits: s.cache_hits.load(Ordering::Relaxed),
+            deduped: s.deduped.load(Ordering::Relaxed),
+            cancelled: s.cancelled.load(Ordering::Relaxed),
+            panicked: s.panicked.load(Ordering::Relaxed),
+            rejected: s.rejected.load(Ordering::Relaxed),
+        }
+    }
+
+    fn job_token(&self) -> CancelToken {
+        match self.job_timeout {
+            Some(t) => self.cancel.child_with_timeout(t),
+            None => self.cancel.child(),
+        }
+    }
+
+    /// Submits a request, blocking while the queue is full (backpressure).
+    ///
+    /// An identical in-flight or completed request is shared instead of
+    /// re-queued; the returned handle then waits on the shared flight.
+    pub fn submit(&self, req: Request) -> JobHandle {
+        self.submit_inner(req, false)
+    }
+
+    /// Fail-fast submission: like [`Farm::submit`] but a full queue yields
+    /// a handle already resolved to [`FarmError::QueueFull`] instead of
+    /// blocking. Deduplicated submissions never fail this way — sharing an
+    /// existing flight needs no queue slot.
+    pub fn try_submit(&self, req: Request) -> JobHandle {
+        self.submit_inner(req, true)
+    }
+
+    fn submit_inner(&self, req: Request, fail_fast: bool) -> JobHandle {
+        let shared = &self.shared;
+        shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        let key = canonical_key(&shared.tech, &req);
+        let token = self.job_token();
+        let handle = JobHandle {
+            key,
+            cancel: token.clone(),
+            shared: shared.clone(),
+        };
+        match shared.cache.claim(key) {
+            Claim::Shared => {
+                // Someone owns this key: completed → cache hit, in
+                // flight → dedup. Count by peeking at completion state.
+                if shared.cache.peek(key).is_some() {
+                    shared.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    shared.stats.deduped.fetch_add(1, Ordering::Relaxed);
+                }
+                handle
+            }
+            Claim::Owner => {
+                let item = WorkItem {
+                    key,
+                    req,
+                    cancel: token,
+                };
+                // Having claimed ownership we MUST publish an outcome for
+                // this key on every path, or deduplicated waiters hang.
+                if fail_fast {
+                    match shared.queue.try_push(item) {
+                        Ok(()) => {}
+                        Err((_, TryPushError::Full)) => {
+                            shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                            shared.cache.publish(key, Err(FarmError::QueueFull));
+                        }
+                        Err((_, TryPushError::Closed)) => {
+                            shared.cache.publish(key, Err(FarmError::ShuttingDown));
+                        }
+                    }
+                } else if shared.queue.push(item).is_err() {
+                    shared.cache.publish(key, Err(FarmError::ShuttingDown));
+                }
+                handle
+            }
+        }
+    }
+
+    /// Cancels every queued and running job. Workers stay alive and serve
+    /// later submissions; only jobs holding a token derived before this
+    /// call are affected... which is all of them, so in practice this
+    /// empties the farm. Subsequent submissions get fresh tokens from the
+    /// same root and are ALSO cancelled — use this only when tearing the
+    /// batch down.
+    pub fn cancel_all(&self) {
+        self.cancel.cancel();
+    }
+
+    /// Closes the queue and joins every worker. Queued-but-unstarted jobs
+    /// still execute (close drains); new submissions fail with
+    /// [`FarmError::ShuttingDown`]. Called automatically on drop.
+    pub fn shutdown(&mut self) {
+        self.shared.queue.close();
+        for w in self.workers.drain(..) {
+            // A worker that panicked through catch_unwind's net (alloc
+            // failure etc.) is not worth propagating during teardown.
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Farm {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let _span = ape_probe::span("farm.worker");
+    while let Some(item) = shared.queue.pop() {
+        let inflight = shared.inflight.fetch_add(1, Ordering::Relaxed) + 1;
+        ape_probe::gauge("farm.inflight", inflight as f64);
+        let t0 = Instant::now();
+        let result = run_item(shared, &item);
+        ape_probe::value("farm.job.latency_ns", t0.elapsed().as_nanos() as f64);
+        shared.stats.executed.fetch_add(1, Ordering::Relaxed);
+        match &result {
+            Err(FarmError::Cancelled) => {
+                shared.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+                ape_probe::counter("farm.job.cancelled", 1);
+            }
+            Err(FarmError::Panicked(_)) => {
+                shared.stats.panicked.fetch_add(1, Ordering::Relaxed);
+                ape_probe::counter("farm.job.panicked", 1);
+            }
+            Err(_) => ape_probe::counter("farm.job.failed", 1),
+            Ok(_) => ape_probe::counter("farm.job.ok", 1),
+        }
+        shared.cache.publish(item.key, result);
+        let inflight = shared.inflight.fetch_sub(1, Ordering::Relaxed) - 1;
+        ape_probe::gauge("farm.inflight", inflight as f64);
+    }
+}
+
+fn run_item(shared: &Shared, item: &WorkItem) -> Result<Response, FarmError> {
+    let _span = ape_probe::span("farm.job");
+    if item.cancel.is_cancelled() {
+        return Err(FarmError::Cancelled);
+    }
+    let _token_guard = cancel::set_current(item.cancel.clone());
+    if shared.isolate_sizing_cache {
+        ape_core::cache::reset_shared_cache();
+    }
+    let outcome = catch_unwind(AssertUnwindSafe(|| execute(&shared.tech, &item.req)));
+    match outcome {
+        Ok(result) => result,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Err(FarmError::Panicked(msg))
+        }
+    }
+}
+
+fn execute(tech: &Technology, req: &Request) -> Result<Response, FarmError> {
+    match req {
+        Request::OpAmpDesign { topology, spec } => {
+            let amp = OpAmp::design(tech, *topology, *spec)?;
+            Ok(Response::OpAmp(Box::new(amp)))
+        }
+        Request::NetlistEstimate { circuit, output } => {
+            let est = estimate_netlist(circuit, tech, *output)?;
+            Ok(Response::Netlist(Box::new(est)))
+        }
+        Request::Synthesize {
+            topology,
+            spec,
+            init,
+            opts,
+        } => {
+            let out = synthesize(tech, *topology, spec, init, opts)?;
+            Ok(Response::Synthesis(Box::new(out)))
+        }
+        Request::Custom { run, .. } => run(tech),
+    }
+}

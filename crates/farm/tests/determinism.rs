@@ -1,0 +1,63 @@
+//! Worker-count independence: the same sweep plan must produce
+//! byte-identical JSONL whether one worker or eight execute it. This holds
+//! because every job runs as a pure function of `(technology, request)` —
+//! workers reset the quantised per-thread sizing cache before each job —
+//! and the report collects results in grid order.
+
+use ape_core::basic::MirrorTopology;
+use ape_core::opamp::OpAmpTopology;
+use ape_farm::{Farm, FarmConfig, SweepPlan};
+use ape_netlist::Technology;
+
+fn small_plan() -> SweepPlan {
+    SweepPlan {
+        gains: vec![100.0, 400.0],
+        ugfs_hz: vec![1e6, 5e6],
+        loads_f: vec![5e-12, 20e-12],
+        topologies: vec![
+            OpAmpTopology::miller(MirrorTopology::Simple, false),
+            OpAmpTopology::miller(MirrorTopology::Wilson, false),
+        ],
+        ibias_a: 10e-6,
+        area_max_m2: 20_000e-12,
+        zout_ohm: None,
+    }
+}
+
+fn run_with(workers: usize) -> String {
+    let farm = Farm::new(
+        Technology::default_1p2um(),
+        FarmConfig::with_workers(workers),
+    );
+    small_plan().run(&farm).to_jsonl()
+}
+
+#[test]
+fn one_and_eight_workers_emit_identical_jsonl() {
+    let serial = run_with(1);
+    let parallel = run_with(8);
+    assert_eq!(
+        serial.lines().count(),
+        small_plan().len(),
+        "one JSONL line per grid point"
+    );
+    assert_eq!(serial, parallel, "sweep output depends on the worker count");
+    // The sweep must actually produce designs, not a wall of errors.
+    assert!(
+        serial
+            .lines()
+            .filter(|l| l.contains("\"area_um2\""))
+            .count()
+            >= small_plan().len() / 2,
+        "most grid points should size successfully:\n{serial}"
+    );
+    assert!(
+        serial.contains("\"pareto\":true"),
+        "a non-empty sweep has a non-empty Pareto front"
+    );
+}
+
+#[test]
+fn repeated_runs_are_reproducible() {
+    assert_eq!(run_with(2), run_with(2));
+}

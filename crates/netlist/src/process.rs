@@ -237,6 +237,34 @@ impl Technology {
         self.cards.values()
     }
 
+    /// Stable content fingerprint of the technology: every model-card
+    /// parameter and technology scalar participates, so two technologies
+    /// compare equal under the fingerprint only when they are numerically
+    /// identical. Cache layers use this as their technology key.
+    ///
+    /// The value is stable within a process run (it uses the std hasher with
+    /// fixed keys); do not persist it across executions.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.name.hash(&mut h);
+        for v in [self.vdd, self.vss, self.lmin, self.wmin, self.wmax] {
+            v.to_bits().hash(&mut h);
+        }
+        for c in self.models() {
+            c.name.hash(&mut h);
+            c.polarity.hash(&mut h);
+            std::mem::discriminant(&c.level).hash(&mut h);
+            for v in [
+                c.vto, c.kp, c.gamma, c.phi, c.lambda, c.tox, c.u0, c.ld, c.cgso, c.cgdo, c.cgbo,
+                c.cj, c.cjsw, c.mj, c.mjsw, c.pb, c.theta, c.vmax, c.eta, c.nfs, c.kappa,
+            ] {
+                v.to_bits().hash(&mut h);
+            }
+        }
+        h.finish()
+    }
+
     /// Representative mid-1990s 1.2 µm single-well CMOS process, 5 V supply.
     ///
     /// This is the default process for the whole reproduction: the paper's
@@ -374,5 +402,20 @@ mod tests {
         let t = Technology::default_1p2um();
         assert!(t.pmos().unwrap().vto < 0.0);
         assert!(t.nmos().unwrap().vto > 0.0);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_numerically_different_technologies() {
+        let a = Technology::default_1p2um();
+        let b = Technology::default_1p2um();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let mut c = Technology::default_1p2um();
+        c.vdd = 3.3;
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        let mut d = Technology::default_1p2um();
+        let mut card = d.nmos().unwrap().clone();
+        card.kp *= 1.0 + 1e-12;
+        d.insert_model(card);
+        assert_ne!(a.fingerprint(), d.fingerprint());
     }
 }

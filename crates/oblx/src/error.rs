@@ -13,6 +13,10 @@ pub enum OblxError {
     AuditFailed(String),
     /// The synthesis specification is malformed.
     BadSpec(String),
+    /// The run was abandoned at a temperature-plateau boundary because the
+    /// thread-current cancellation token fired (batch shutdown or an
+    /// expired per-job deadline).
+    Cancelled,
 }
 
 impl fmt::Display for OblxError {
@@ -21,6 +25,9 @@ impl fmt::Display for OblxError {
             OblxError::Template(m) => write!(f, "candidate template failed: {m}"),
             OblxError::AuditFailed(m) => write!(f, "final audit failed: {m}"),
             OblxError::BadSpec(m) => write!(f, "bad synthesis spec: {m}"),
+            OblxError::Cancelled => {
+                write!(f, "synthesis cancelled (token fired or deadline expired)")
+            }
         }
     }
 }

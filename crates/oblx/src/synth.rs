@@ -5,7 +5,7 @@ use crate::cost::{cost, CostWeights};
 use crate::error::OblxError;
 use crate::eval::{evaluate_candidate_with, EvalFidelity};
 use crate::vars::{blind_center, blind_ranges, seeded_ranges, DesignPoint};
-use ape_anneal::{anneal, AnnealOptions, Schedule};
+use ape_anneal::{anneal_with_observer, AnnealOptions, Observer, Schedule, TempStats};
 use ape_core::opamp::{OpAmpSpec, OpAmpTopology};
 use ape_netlist::Technology;
 use std::time::Instant;
@@ -83,13 +83,35 @@ impl SynthesisOutcome {
     }
 }
 
+/// Polls the thread-current cancellation token at every temperature
+/// plateau, so a batch driver can abandon a synthesis between plateaus
+/// without killing its worker thread.
+struct CancelObserver {
+    cancelled: bool,
+}
+
+impl Observer for CancelObserver {
+    fn on_temperature(&mut self, _stats: &TempStats) {}
+
+    fn should_stop(&mut self) -> bool {
+        if !self.cancelled {
+            self.cancelled = ape_core::cancel::current_cancelled();
+        }
+        self.cancelled
+    }
+}
+
 /// Runs the annealing-based sizing of the two-stage template against
 /// `spec`, in the style of ASTRX/OBLX.
 ///
 /// # Errors
 ///
-/// [`OblxError::BadSpec`] for malformed specs; everything downstream
-/// degrades gracefully into the outcome's audit field.
+/// * [`OblxError::BadSpec`] for malformed specs; everything downstream
+///   degrades gracefully into the outcome's audit field.
+/// * [`OblxError::Cancelled`] when the thread-current
+///   [`CancelToken`](ape_core::cancel::CancelToken) fires: the annealer
+///   stops at the next plateau boundary and the run is abandoned before
+///   the audit simulation.
 pub fn synthesize(
     tech: &Technology,
     topology: OpAmpTopology,
@@ -140,7 +162,8 @@ pub fn synthesize(
         // the search is comfortably inside that region.
         target_cost: 0.04,
     };
-    let result = anneal(
+    let mut cancel_obs = CancelObserver { cancelled: false };
+    let result = anneal_with_observer(
         start,
         |s| {
             let p = DesignPoint::from_log(s);
@@ -149,7 +172,11 @@ pub fn synthesize(
         },
         |s, t, rng| ranges.neighbor(s, t, rng),
         &anneal_opts,
+        &mut cancel_obs,
     );
+    if cancel_obs.cancelled || ape_core::cancel::current_cancelled() {
+        return Err(OblxError::Cancelled);
+    }
     let best = DesignPoint::from_log(&result.best_state);
     let audit = audit_candidate(tech, topology, spec, &best, opts.audit_tol).ok();
     Ok(SynthesisOutcome {
@@ -228,6 +255,26 @@ mod tests {
         };
         let out = synthesize(&tech, topo(), &hard, &InitialPoint::Blind, &opts).unwrap();
         assert!(!out.meets_spec());
+    }
+
+    #[test]
+    fn pre_cancelled_token_aborts_synthesis() {
+        let tech = Technology::default_1p2um();
+        let token = ape_core::cancel::CancelToken::new();
+        token.cancel();
+        let _guard = ape_core::cancel::set_current(token);
+        let r = synthesize(
+            &tech,
+            topo(),
+            &spec(),
+            &InitialPoint::Blind,
+            &SynthesisOptions {
+                max_evals: 100,
+                moves_per_temp: 10,
+                ..SynthesisOptions::default()
+            },
+        );
+        assert_eq!(r.unwrap_err(), OblxError::Cancelled);
     }
 
     #[test]

@@ -147,6 +147,14 @@ impl Sink for JsonLinesSink {
         ));
     }
 
+    fn on_gauge(&self, name: &'static str, v: f64) {
+        self.emit(&format!(
+            "{{\"type\":\"gauge\",\"name\":\"{}\",\"value\":{}}}",
+            escape(name),
+            json_f64(v)
+        ));
+    }
+
     fn flush_events(&self) {
         let mut guard = self.target.lock().unwrap_or_else(|e| e.into_inner());
         guard.flush();
@@ -164,9 +172,10 @@ mod tests {
         s.on_counter("c", 7);
         s.on_value("v", 0.25);
         s.on_value("nan", f64::NAN);
+        s.on_gauge("g", 3.0);
         let out = s.buffer_contents();
         let lines: Vec<&str> = out.lines().collect();
-        assert_eq!(lines.len(), 4);
+        assert_eq!(lines.len(), 5);
         assert_eq!(
             lines[0],
             "{\"type\":\"span\",\"name\":\"a.b\",\"depth\":2,\"ns\":12345}"
@@ -183,6 +192,7 @@ mod tests {
             lines[3],
             "{\"type\":\"value\",\"name\":\"nan\",\"value\":null}"
         );
+        assert_eq!(lines[4], "{\"type\":\"gauge\",\"name\":\"g\",\"value\":3}");
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //!   duration ([`span`]), nested by a thread-local depth;
 //! * **counters** — monotonic event counts ([`counter`]);
 //! * **values** — scalar observations aggregated into log-scale histograms
-//!   ([`value`]).
+//!   ([`value`]);
+//! * **gauges** — instantaneous levels such as queue depths, where the
+//!   last/min/max samples matter rather than the mean ([`gauge`]).
 //!
 //! Events flow to a process-global [`Sink`]. Three are built in:
 //!
@@ -57,7 +59,7 @@ mod jsonl;
 mod summary;
 
 pub use jsonl::JsonLinesSink;
-pub use summary::{CounterTotals, SpanAgg, SummarySink, ValueAgg};
+pub use summary::{CounterTotals, GaugeAgg, SpanAgg, SummarySink, ValueAgg};
 
 /// Receiver for probe events. Implementations must be cheap and must never
 /// panic: they run inside the hot paths they observe.
@@ -69,6 +71,13 @@ pub trait Sink: Send + Sync {
     fn on_counter(&self, name: &'static str, delta: u64);
     /// Scalar observation `v` recorded under `name`.
     fn on_value(&self, name: &'static str, v: f64);
+    /// Instantaneous level `v` sampled under `name` (queue depths, in-flight
+    /// job counts). Unlike [`Sink::on_value`], the *last* sample is the
+    /// headline statistic, not the mean. Defaults to forwarding to
+    /// `on_value` so pre-gauge sinks keep working.
+    fn on_gauge(&self, name: &'static str, v: f64) {
+        self.on_value(name, v);
+    }
     /// Renders an end-of-run report, if this sink aggregates one.
     fn render_report(&self) -> Option<String> {
         None
@@ -87,6 +96,7 @@ impl Sink for NullSink {
     fn on_span(&self, _name: &'static str, _depth: usize, _nanos: u64) {}
     fn on_counter(&self, _name: &'static str, _delta: u64) {}
     fn on_value(&self, _name: &'static str, _v: f64) {}
+    fn on_gauge(&self, _name: &'static str, _v: f64) {}
 }
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
@@ -144,6 +154,15 @@ pub fn counter(name: &'static str, delta: u64) {
 pub fn value(name: &'static str, v: f64) {
     if is_enabled() {
         with_sink(|s| s.on_value(name, v));
+    }
+}
+
+/// Samples gauge `name` at level `v` (queue depth, in-flight count). A
+/// single relaxed atomic load when no sink is installed.
+#[inline]
+pub fn gauge(name: &'static str, v: f64) {
+    if is_enabled() {
+        with_sink(|s| s.on_gauge(name, v));
     }
 }
 
@@ -301,6 +320,7 @@ mod tests {
         s.on_span("a", 0, 1);
         s.on_counter("b", 2);
         s.on_value("c", 3.0);
+        s.on_gauge("d", 4.0);
         assert!(s.render_report().is_none());
     }
 

@@ -90,11 +90,46 @@ pub fn bucket_of(v: f64) -> usize {
 /// Counter totals keyed by name.
 pub type CounterTotals = BTreeMap<&'static str, u64>;
 
+/// Aggregated statistics of one gauge series: the last sampled level plus
+/// the envelope it moved in.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaugeAgg {
+    /// Samples recorded.
+    pub count: u64,
+    /// Most recent sample.
+    pub last: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Default for GaugeAgg {
+    fn default() -> Self {
+        GaugeAgg {
+            count: 0,
+            last: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl GaugeAgg {
+    fn record(&mut self, v: f64) {
+        self.count += 1;
+        self.last = v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+}
+
 #[derive(Debug, Default)]
 struct State {
     spans: BTreeMap<&'static str, SpanAgg>,
     counters: CounterTotals,
     values: BTreeMap<&'static str, ValueAgg>,
+    gauges: BTreeMap<&'static str, GaugeAgg>,
 }
 
 /// A [`Sink`] that aggregates all events into per-name statistics and
@@ -137,6 +172,11 @@ impl SummarySink {
     /// Snapshot of the value aggregates.
     pub fn values(&self) -> BTreeMap<&'static str, ValueAgg> {
         self.lock().values.clone()
+    }
+
+    /// Snapshot of the gauge aggregates.
+    pub fn gauges(&self) -> BTreeMap<&'static str, GaugeAgg> {
+        self.lock().gauges.clone()
     }
 
     /// Renders the aggregated report.
@@ -186,7 +226,28 @@ impl SummarySink {
                 .collect();
             render_rows(&mut out, &["name", "count", "mean", "min", "max"], &rows);
         }
-        if st.spans.is_empty() && st.counters.is_empty() && st.values.is_empty() {
+        if !st.gauges.is_empty() {
+            out.push_str("gauges\n");
+            let rows: Vec<Vec<String>> = st
+                .gauges
+                .iter()
+                .map(|(name, a)| {
+                    vec![
+                        name.to_string(),
+                        a.count.to_string(),
+                        format!("{:.1}", a.last),
+                        format!("{:.1}", a.min),
+                        format!("{:.1}", a.max),
+                    ]
+                })
+                .collect();
+            render_rows(&mut out, &["name", "samples", "last", "min", "max"], &rows);
+        }
+        if st.spans.is_empty()
+            && st.counters.is_empty()
+            && st.values.is_empty()
+            && st.gauges.is_empty()
+        {
             out.push_str("(no events recorded)\n");
         }
         out
@@ -214,6 +275,11 @@ impl Sink for SummarySink {
     fn on_value(&self, name: &'static str, v: f64) {
         let mut st = self.lock();
         st.values.entry(name).or_default().record(v);
+    }
+
+    fn on_gauge(&self, name: &'static str, v: f64) {
+        let mut st = self.lock();
+        st.gauges.entry(name).or_default().record(v);
     }
 
     fn render_report(&self) -> Option<String> {
@@ -293,5 +359,20 @@ mod tests {
     #[test]
     fn empty_report_says_so() {
         assert!(SummarySink::new().report().contains("no events"));
+    }
+
+    #[test]
+    fn gauge_tracks_last_and_envelope() {
+        let s = SummarySink::new();
+        for v in [3.0, 9.0, 1.0, 4.0] {
+            s.on_gauge("depth", v);
+        }
+        let g = s.gauges()["depth"];
+        assert_eq!(g.count, 4);
+        assert_eq!(g.last, 4.0);
+        assert_eq!(g.min, 1.0);
+        assert_eq!(g.max, 9.0);
+        assert!(s.report().contains("gauges"));
+        assert!(s.report().contains("depth"));
     }
 }

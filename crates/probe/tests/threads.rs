@@ -1,0 +1,76 @@
+//! Cross-thread aggregation regression tests.
+//!
+//! The farm runs estimation jobs on worker threads; every probe event they
+//! record must merge into the one process-level [`SummarySink`] report.
+//! These tests pin that guarantee down: if sink routing ever became
+//! thread-local, they would observe only the installing thread's events and
+//! fail.
+
+use ape_probe::SummarySink;
+use std::sync::Arc;
+use std::thread;
+
+/// One test function only: the sink registry is process-global, so separate
+/// `#[test]`s would race each other's install/uninstall.
+#[test]
+fn worker_thread_events_merge_into_process_sink() {
+    let sink = Arc::new(SummarySink::new());
+    ape_probe::install(sink.clone());
+
+    // Two worker threads, each recording a distinctly named counter and
+    // span plus contributions to shared series.
+    let workers: Vec<_> = [
+        ("farm.test.w0", "farm.test.span0"),
+        ("farm.test.w1", "farm.test.span1"),
+    ]
+    .into_iter()
+    .map(|(counter_name, span_name)| {
+        thread::spawn(move || {
+            for _ in 0..10 {
+                ape_probe::counter(counter_name, 1);
+                ape_probe::counter("farm.test.shared", 1);
+                let _s = ape_probe::span(span_name);
+                ape_probe::value("farm.test.value", 2.0);
+                ape_probe::gauge("farm.test.gauge", 5.0);
+            }
+        })
+    })
+    .collect();
+    for w in workers {
+        w.join().expect("worker thread panicked");
+    }
+    // Events from the installing thread merge into the same report.
+    ape_probe::counter("farm.test.main", 3);
+    ape_probe::uninstall();
+
+    let counters = sink.counters();
+    assert_eq!(counters["farm.test.w0"], 10, "worker 0 counters dropped");
+    assert_eq!(counters["farm.test.w1"], 10, "worker 1 counters dropped");
+    assert_eq!(
+        counters["farm.test.shared"], 20,
+        "shared counter lost deltas"
+    );
+    assert_eq!(counters["farm.test.main"], 3);
+
+    let spans = sink.spans();
+    assert_eq!(spans["farm.test.span0"].count, 10, "worker 0 spans dropped");
+    assert_eq!(spans["farm.test.span1"].count, 10, "worker 1 spans dropped");
+
+    let values = sink.values();
+    assert_eq!(values["farm.test.value"].count, 20);
+    let gauges = sink.gauges();
+    assert_eq!(gauges["farm.test.gauge"].count, 20);
+    assert_eq!(gauges["farm.test.gauge"].last, 5.0);
+
+    // And the rendered report names every thread's series.
+    let report = sink.report();
+    for needle in [
+        "farm.test.w0",
+        "farm.test.w1",
+        "farm.test.span0",
+        "farm.test.span1",
+        "farm.test.gauge",
+    ] {
+        assert!(report.contains(needle), "report lacks {needle}:\n{report}");
+    }
+}

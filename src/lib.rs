@@ -13,6 +13,8 @@
 //! * [`ape`] — the hierarchical estimator, the paper's contribution
 //!   (`ape-core`)
 //! * [`oblx`] — the ASTRX/OBLX-style synthesis engine (`ape-oblx`)
+//! * [`farm`] — concurrent batch estimation and design-space sweeps
+//!   (`ape-farm`)
 //!
 //! # Example
 //!
@@ -41,6 +43,7 @@
 pub use ape_anneal as anneal;
 pub use ape_awe as awe;
 pub use ape_core as ape;
+pub use ape_farm as farm;
 pub use ape_mos as mos;
 pub use ape_netlist as netlist;
 pub use ape_oblx as oblx;
