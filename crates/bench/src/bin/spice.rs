@@ -1,0 +1,265 @@
+//! Solver-path benchmarks: DC, AC, and transient on the paper's testbench
+//! circuits, dense backend vs the sparse pattern-cached path, with the AC
+//! sweep additionally fanned out over 1/2/4/8 threads.
+//!
+//! Prints aligned tables and writes a machine-readable summary to
+//! `results/BENCH_spice.json` (analyses per second, solver allocation
+//! counters, symbolic-cache statistics).
+//!
+//! Run with `cargo run --release -p ape-bench --bin spice`; pass `--smoke`
+//! for the fast CI variant (fewer samples and frequency points).
+
+use ape_bench::{fmt_val, render_table};
+use ape_core::basic::{GainStage, GainTopology};
+use ape_core::module::SallenKeyLowPass;
+use ape_core::opamp::OpAmp;
+use ape_netlist::{Circuit, Technology};
+use ape_spice::{
+    ac_sweep_with, alloc_events, dc_operating_point_with, decade_frequencies, symbolic_cache_stats,
+    transient, AcOptions, Backend, DcOptions, OperatingPoint, TranOptions, Unknowns,
+};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+struct Case {
+    name: &'static str,
+    ckt: Circuit,
+}
+
+fn cases(tech: &Technology) -> Vec<Case> {
+    let gain = GainStage::design(tech, GainTopology::CmosActive, -19.0, 120e-6, 1e-12)
+        .expect("gain stage designs");
+    let opamp_task = &ape_bench::specs::table3_opamps()[3];
+    let opamp = OpAmp::design(tech, opamp_task.topology, opamp_task.spec).expect("op-amp designs");
+    let lpf = SallenKeyLowPass::design(tech, 1e3, 4, 10e-12).expect("filter designs");
+    vec![
+        Case {
+            name: "gain-stage",
+            ckt: gain.testbench(tech),
+        },
+        Case {
+            name: "opamp-ol",
+            ckt: opamp.testbench_open_loop(tech).expect("open-loop tb"),
+        },
+        Case {
+            name: "lpf4",
+            ckt: lpf.testbench(tech).expect("filter tb"),
+        },
+    ]
+}
+
+/// Median-of-samples wall time per call, seconds.
+fn time_it<R>(samples: u32, mut f: impl FnMut() -> R) -> f64 {
+    std::hint::black_box(f()); // warm-up
+    let mut times: Vec<f64> = (0..samples.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    times[times.len() / 2]
+}
+
+fn dc_opts(backend: Backend) -> DcOptions {
+    DcOptions {
+        backend,
+        ..DcOptions::default()
+    }
+}
+
+struct CaseResult {
+    name: &'static str,
+    unknowns: usize,
+    dc_dense: f64,
+    dc_sparse: f64,
+    ac_points: usize,
+    ac_dense: f64,
+    /// Sparse AC wall time per sweep, indexed like [`THREADS`].
+    ac_sparse: Vec<f64>,
+    tran_dense: f64,
+    tran_sparse: f64,
+    /// Solver allocation events in one steady-state sparse AC sweep.
+    ac_allocs: u64,
+}
+
+fn run_case(tech: &Technology, case: &Case, samples: u32, freq_ppd: usize) -> CaseResult {
+    let ckt = &case.ckt;
+    let unknowns = Unknowns::for_circuit(ckt).dim();
+    let freqs = decade_frequencies(10.0, 1e9, freq_ppd);
+
+    let dc_dense = time_it(samples, || {
+        dc_operating_point_with(ckt, tech, dc_opts(Backend::Dense)).expect("dense DC")
+    });
+    let dc_sparse = time_it(samples, || {
+        dc_operating_point_with(ckt, tech, dc_opts(Backend::Sparse)).expect("sparse DC")
+    });
+
+    let op: OperatingPoint =
+        dc_operating_point_with(ckt, tech, DcOptions::default()).expect("op for AC");
+    let ac = |backend: Backend, threads: usize| {
+        ac_sweep_with(ckt, tech, &op, &freqs, AcOptions { threads, backend }).expect("AC sweep")
+    };
+    let ac_dense = time_it(samples, || ac(Backend::Dense, 1));
+    let ac_sparse: Vec<f64> = THREADS
+        .iter()
+        .map(|&t| time_it(samples, || ac(Backend::Sparse, t)))
+        .collect();
+    let before = alloc_events();
+    ac(Backend::Sparse, 1);
+    let ac_allocs = alloc_events() - before;
+
+    let mut topts = TranOptions::new(2e-7, 20e-6);
+    topts.backend = Backend::Dense;
+    let tran_dense = time_it(samples, || transient(ckt, tech, &op, topts).expect("tran"));
+    topts.backend = Backend::Sparse;
+    let tran_sparse = time_it(samples, || transient(ckt, tech, &op, topts).expect("tran"));
+
+    CaseResult {
+        name: case.name,
+        unknowns,
+        dc_dense,
+        dc_sparse,
+        ac_points: freqs.len(),
+        ac_dense,
+        ac_sparse,
+        tran_dense,
+        tran_sparse,
+        ac_allocs,
+    }
+}
+
+/// Hardware threads available to this run — the ceiling for any observed
+/// AC-sweep scaling (on a 1-core runner every multi-thread row reads ≤ 1x).
+fn detected_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+fn json(results: &[CaseResult], samples: u32) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"spice\",");
+    let _ = writeln!(out, "  \"samples\": {samples},");
+    let _ = writeln!(out, "  \"threads\": [1, 2, 4, 8],");
+    let _ = writeln!(
+        out,
+        "  \"detected_parallelism\": {},",
+        detected_parallelism()
+    );
+    out.push_str("  \"circuits\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"name\": \"{}\",", r.name);
+        let _ = writeln!(out, "      \"unknowns\": {},", r.unknowns);
+        let _ = writeln!(
+            out,
+            "      \"dc_ops_per_s\": {{\"dense\": {:.3}, \"sparse\": {:.3}}},",
+            1.0 / r.dc_dense,
+            1.0 / r.dc_sparse
+        );
+        let _ = writeln!(out, "      \"ac_points\": {},", r.ac_points);
+        let _ = writeln!(
+            out,
+            "      \"ac_sweeps_per_s\": {{\"dense\": {:.3}, \"sparse\": [{}]}},",
+            1.0 / r.ac_dense,
+            r.ac_sparse
+                .iter()
+                .map(|t| format!("{:.3}", 1.0 / t))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        let _ = writeln!(
+            out,
+            "      \"ac_speedup_sparse_vs_dense\": {:.3},",
+            r.ac_dense / r.ac_sparse[0]
+        );
+        let _ = writeln!(
+            out,
+            "      \"tran_runs_per_s\": {{\"dense\": {:.3}, \"sparse\": {:.3}}},",
+            1.0 / r.tran_dense,
+            1.0 / r.tran_sparse
+        );
+        let _ = writeln!(out, "      \"ac_sweep_alloc_events\": {}", r.ac_allocs);
+        let _ = write!(
+            out,
+            "    }}{}",
+            if i + 1 < results.len() { ",\n" } else { "\n" }
+        );
+    }
+    out.push_str("  ],\n");
+    let (hits, misses, repivots) = symbolic_cache_stats();
+    let _ = writeln!(
+        out,
+        "  \"symbolic_cache\": {{\"hits\": {hits}, \"misses\": {misses}, \"repivots\": {repivots}}}"
+    );
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let _trace = ape_probe::install_from_env();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (samples, freq_ppd) = if smoke { (1, 4) } else { (5, 20) };
+    let tech = Technology::default_1p2um();
+
+    let mut results = Vec::new();
+    for case in cases(&tech) {
+        results.push(run_case(&tech, &case, samples, freq_ppd));
+    }
+
+    let mut rows = Vec::new();
+    for r in &results {
+        rows.push(vec![
+            r.name.to_string(),
+            r.unknowns.to_string(),
+            fmt_val(1.0 / r.dc_dense),
+            fmt_val(1.0 / r.dc_sparse),
+            fmt_val(1.0 / r.ac_dense),
+            fmt_val(1.0 / r.ac_sparse[0]),
+            format!("{:.2}x", r.ac_dense / r.ac_sparse[0]),
+            fmt_val(1.0 / r.tran_dense),
+            fmt_val(1.0 / r.tran_sparse),
+            r.ac_allocs.to_string(),
+        ]);
+    }
+    println!("== Solver throughput: dense vs sparse (per analysis) ==");
+    println!(
+        "{}",
+        render_table(
+            &[
+                "circuit", "n", "dc-d/s", "dc-s/s", "ac-d/s", "ac-s/s", "ac-spd", "tr-d/s",
+                "tr-s/s", "allocs"
+            ],
+            &rows,
+        )
+    );
+
+    let mut rows = Vec::new();
+    for r in &results {
+        let mut row = vec![r.name.to_string()];
+        for (k, &t) in THREADS.iter().enumerate() {
+            let _ = t;
+            row.push(format!("{:.2}x", r.ac_sparse[0] / r.ac_sparse[k]));
+        }
+        rows.push(row);
+    }
+    println!("== Sparse AC sweep scaling over threads (vs 1 thread) ==");
+    println!(
+        "{}",
+        render_table(&["circuit", "1t", "2t", "4t", "8t"], &rows)
+    );
+    println!(
+        "detected parallelism: {} (scaling saturates there)",
+        detected_parallelism()
+    );
+
+    let payload = json(&results, samples);
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/BENCH_spice.json", &payload).expect("write BENCH_spice.json");
+    println!("wrote results/BENCH_spice.json");
+    ape_probe::finish();
+}

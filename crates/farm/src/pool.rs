@@ -221,6 +221,15 @@ impl Farm {
         &self.shared.tech
     }
 
+    /// Human-readable summary of the sparse solver's symbolic-factorisation
+    /// cache across all workers, in the same spirit as
+    /// [`ape_core::cache::shared_cache_report`]. With
+    /// [`FarmConfig::isolate_sizing_cache`] unset, repeated same-topology
+    /// jobs on one worker reuse pivot orders and the hit rate here shows it.
+    pub fn solver_cache_report(&self) -> String {
+        ape_spice::symbolic_cache_report()
+    }
+
     /// Lifetime counters (racy snapshot).
     pub fn stats(&self) -> FarmStats {
         let s = &self.shared.stats;
@@ -370,6 +379,10 @@ fn run_item(shared: &Shared, item: &WorkItem) -> Result<Response, FarmError> {
     let _token_guard = cancel::set_current(item.cancel.clone());
     if shared.isolate_sizing_cache {
         ape_core::cache::reset_shared_cache();
+        // Same determinism contract for the sparse solver's pivot orders:
+        // a cached symbolic factorisation is a function of the job that
+        // built it, so isolated jobs each start cold.
+        ape_spice::reset_symbolic_cache();
     }
     let outcome = catch_unwind(AssertUnwindSafe(|| execute(&shared.tech, &item.req)));
     match outcome {

@@ -186,3 +186,50 @@ fn shutdown_rejects_new_submissions() {
     let h = farm.submit(design(120.0));
     assert_eq!(h.wait().unwrap_err(), FarmError::ShuttingDown);
 }
+
+/// Netlist-estimation jobs exercise the SPICE sparse solver; with
+/// `isolate_sizing_cache` set (the default) every job starts with a cold
+/// symbolic-factorisation cache, so each distinct job re-analyses its
+/// pattern — visible as cache misses — and the farm exposes the counters
+/// through `solver_cache_report()`.
+#[test]
+fn netlist_jobs_reset_solver_cache_and_report_it() {
+    use ape_netlist::{Circuit, SourceWaveform};
+
+    fn ladder(r: f64) -> Box<Circuit> {
+        let mut c = Circuit::new("ladder");
+        let mut prev = c.node("n0");
+        c.add_vsource("VIN", prev, Circuit::GROUND, 1.0, 1.0, SourceWaveform::Dc)
+            .unwrap();
+        for k in 1..=9 {
+            let next = c.node(&format!("n{k}"));
+            c.add_resistor(&format!("R{k}"), prev, next, r).unwrap();
+            c.add_capacitor(&format!("C{k}"), next, Circuit::GROUND, 10e-12)
+                .unwrap();
+            prev = next;
+        }
+        Box::new(c)
+    }
+
+    let farm = Farm::new(Technology::default_1p2um(), FarmConfig::with_workers(1));
+    let (_, misses_before, _) = ape_spice::symbolic_cache_stats();
+    for r in [1e3, 2e3] {
+        let circuit = ladder(r);
+        let output = circuit.find_node("n9").expect("ladder output node");
+        let resp = farm
+            .submit(Request::NetlistEstimate { circuit, output })
+            .wait()
+            .expect("netlist estimate succeeds");
+        assert!(resp.as_netlist().is_some());
+    }
+    let (_, misses_after, _) = ape_spice::symbolic_cache_stats();
+    assert!(
+        misses_after >= misses_before + 2,
+        "each isolated job should re-analyse: {misses_before} -> {misses_after}"
+    );
+    let report = farm.solver_cache_report();
+    assert!(
+        report.contains("solver symbolic cache"),
+        "unexpected report: {report}"
+    );
+}

@@ -10,8 +10,10 @@ use crate::complex::Complex;
 use crate::dc::OperatingPoint;
 use crate::error::SpiceError;
 use crate::linalg::Matrix;
+use crate::linearize::stamp_small_signal;
 use crate::mna::Unknowns;
-use ape_netlist::{Circuit, ElementKind, NodeId, Technology};
+use crate::sparse::{Backend, PatternBuilder, SparseFactor, SparseMatrix};
+use ape_netlist::{Circuit, NodeId, Technology};
 
 /// The result of an AC sweep: node voltage phasors per frequency.
 #[derive(Debug, Clone)]
@@ -94,7 +96,29 @@ pub fn decade_frequencies(fstart: f64, fstop: f64, points_per_decade: usize) -> 
     out
 }
 
-/// Runs an AC sweep of `circuit`, linearised at `op`, over `freqs`.
+/// Options for [`ac_sweep_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct AcOptions {
+    /// Worker threads for the frequency sweep: `1` = sequential (default),
+    /// `0` = one per available core. Results are identical for any thread
+    /// count — frequency points are independent and every worker shares
+    /// the same symbolic factorisation.
+    pub threads: usize,
+    /// Solver backend selection.
+    pub backend: Backend,
+}
+
+impl Default for AcOptions {
+    fn default() -> Self {
+        AcOptions {
+            threads: 1,
+            backend: Backend::Auto,
+        }
+    }
+}
+
+/// Runs an AC sweep of `circuit`, linearised at `op`, over `freqs`, with
+/// default [`AcOptions`].
 ///
 /// # Errors
 ///
@@ -106,23 +130,43 @@ pub fn ac_sweep(
     op: &OperatingPoint,
     freqs: &[f64],
 ) -> Result<AcSweep, SpiceError> {
+    ac_sweep_with(circuit, tech, op, freqs, AcOptions::default())
+}
+
+/// [`ac_sweep`] with explicit backend/threading options.
+///
+/// The circuit is stamped once into separate real `G` (conductance) and `C`
+/// (susceptance) matrices over one shared sparsity pattern; each frequency
+/// point then assembles `G + jωC` elementwise and refactors numerically,
+/// reusing the symbolic analysis computed at the first point.
+///
+/// # Errors
+///
+/// See [`ac_sweep`].
+pub fn ac_sweep_with(
+    circuit: &Circuit,
+    tech: &Technology,
+    op: &OperatingPoint,
+    freqs: &[f64],
+    opts: AcOptions,
+) -> Result<AcSweep, SpiceError> {
     let _span = ape_probe::span("spice.ac");
     ape_probe::counter("spice.ac.sweeps", 1);
     ape_probe::counter("spice.ac.points", freqs.len() as u64);
     let u = Unknowns::for_circuit(circuit);
     let n = u.dim();
-    let mut points = Vec::with_capacity(freqs.len());
-    let mut mat = Matrix::<Complex>::zeros(n);
-    for &f in freqs {
-        let w = 2.0 * std::f64::consts::PI * f;
-        mat.clear();
-        let mut rhs = vec![Complex::ZERO; n];
-        stamp_ac(circuit, tech, op, &u, w, &mut mat, &mut rhs)?;
-        let mut x = rhs;
-        mat.solve_in_place(&mut x)
-            .ok_or(SpiceError::SingularMatrix { analysis: "ac" })?;
-        points.push(x[..u.n_nodes].to_vec());
+    if freqs.is_empty() {
+        return Ok(AcSweep {
+            freqs: Vec::new(),
+            points: Vec::new(),
+            n_nodes: u.n_nodes,
+        });
     }
+    let points = if opts.backend.use_sparse(n) {
+        sweep_sparse(circuit, tech, op, &u, freqs, opts)?
+    } else {
+        sweep_dense(circuit, tech, op, &u, freqs)?
+    };
     Ok(AcSweep {
         freqs: freqs.to_vec(),
         points,
@@ -130,161 +174,182 @@ pub fn ac_sweep(
     })
 }
 
-fn stamp_ac(
+/// Dense path for small systems: stamp `G`/`C`/`b` once, assemble the
+/// complex matrix per point into a reused buffer.
+fn sweep_dense(
     circuit: &Circuit,
     tech: &Technology,
     op: &OperatingPoint,
     u: &Unknowns,
-    w: f64,
-    mat: &mut Matrix<Complex>,
+    freqs: &[f64],
+) -> Result<Vec<Vec<Complex>>, SpiceError> {
+    let n = u.dim();
+    let mut g = Matrix::<f64>::zeros(n);
+    let mut c = Matrix::<f64>::zeros(n);
+    let mut b = vec![0.0; n];
+    stamp_small_signal(circuit, tech, op, u, &mut g, &mut c, &mut b)?;
+    let mut mat = Matrix::<Complex>::zeros(n);
+    let mut rhs = vec![Complex::ZERO; n];
+    let mut points = Vec::with_capacity(freqs.len());
+    for &f in freqs {
+        let w = 2.0 * std::f64::consts::PI * f;
+        for r in 0..n {
+            for cc in 0..n {
+                mat[(r, cc)] = Complex::new(g[(r, cc)], w * c[(r, cc)]);
+            }
+        }
+        for (dst, &src) in rhs.iter_mut().zip(&b) {
+            *dst = Complex::real(src);
+        }
+        mat.solve_in_place(&mut rhs)
+            .ok_or(SpiceError::SingularMatrix { analysis: "ac" })?;
+        points.push(rhs[..u.n_nodes].to_vec());
+    }
+    Ok(points)
+}
+
+/// Sparse path: one union pattern for `G` and `C`, symbolic analysis done
+/// once on the calling thread, numeric refactorisation per point —
+/// optionally fanned out across threads in contiguous chunks.
+fn sweep_sparse(
+    circuit: &Circuit,
+    tech: &Technology,
+    op: &OperatingPoint,
+    u: &Unknowns,
+    freqs: &[f64],
+    opts: AcOptions,
+) -> Result<Vec<Vec<Complex>>, SpiceError> {
+    let n = u.dim();
+    let n_nodes = u.n_nodes;
+    // Union pattern covering both matrices, so `G + jωC` assembles
+    // elementwise over aligned value arrays.
+    let mut pg = PatternBuilder::new(n);
+    let mut pc = PatternBuilder::new(n);
+    let mut b = vec![0.0; n];
+    stamp_small_signal(circuit, tech, op, u, &mut pg, &mut pc, &mut b)?;
+    pg.merge(&pc);
+    let pattern = pg.build();
+
+    let mut gsp = SparseMatrix::<f64>::new(pattern.clone());
+    let mut csp = SparseMatrix::<f64>::new(pattern.clone());
+    b.iter_mut().for_each(|v| *v = 0.0);
+    stamp_small_signal(circuit, tech, op, u, &mut gsp, &mut csp, &mut b)?;
+
+    // Analyze once at the first frequency; every worker reuses the
+    // resulting pivot order for numeric-only refactorisation.
+    let mut cmat = SparseMatrix::<Complex>::new(pattern.clone());
+    let mut factor = SparseFactor::<Complex>::new();
+    assemble(&mut cmat, &gsp, &csp, freqs[0]);
+    factor
+        .factor(&cmat)
+        .ok_or(SpiceError::SingularMatrix { analysis: "ac" })?;
+    let sym = factor
+        .symbolic()
+        .expect("factorisation succeeded, symbolic present");
+
+    let threads = match opts.threads {
+        0 => std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1),
+        t => t,
+    }
+    .clamp(1, freqs.len());
+
+    let mut points: Vec<Vec<Complex>> = vec![Vec::new(); freqs.len()];
+    if threads <= 1 {
+        let mut rhs = vec![Complex::ZERO; n];
+        solve_chunk(
+            freqs,
+            &mut points,
+            &gsp,
+            &csp,
+            &b,
+            n_nodes,
+            &mut cmat,
+            &mut factor,
+            &mut rhs,
+        )?;
+        return Ok(points);
+    }
+
+    ape_probe::value("spice.ac.threads", threads as f64);
+    let chunk = freqs.len().div_ceil(threads);
+    let mut first_err: Option<SpiceError> = None;
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for (fs, out) in freqs.chunks(chunk).zip(points.chunks_mut(chunk)) {
+            let pattern = pattern.clone();
+            let sym = sym.clone();
+            let (gsp, csp, b) = (&gsp, &csp, &b);
+            handles.push(s.spawn(move || {
+                let mut cmat = SparseMatrix::<Complex>::new(pattern);
+                let mut factor = SparseFactor::<Complex>::with_symbolic(sym);
+                let mut rhs = vec![Complex::ZERO; n];
+                solve_chunk(
+                    fs,
+                    out,
+                    gsp,
+                    csp,
+                    b,
+                    n_nodes,
+                    &mut cmat,
+                    &mut factor,
+                    &mut rhs,
+                )
+            }));
+        }
+        for h in handles {
+            if let Err(e) = h.join().expect("ac worker panicked") {
+                first_err.get_or_insert(e);
+            }
+        }
+    });
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(points),
+    }
+}
+
+/// Writes `G + jωC` into `cmat` (all three share one pattern).
+fn assemble(
+    cmat: &mut SparseMatrix<Complex>,
+    g: &SparseMatrix<f64>,
+    c: &SparseMatrix<f64>,
+    f: f64,
+) {
+    let w = 2.0 * std::f64::consts::PI * f;
+    let (gv, cv) = (g.values(), c.values());
+    for (dst, (ga, ca)) in cmat.values_mut().iter_mut().zip(gv.iter().zip(cv)) {
+        *dst = Complex::new(*ga, w * ca);
+    }
+}
+
+/// Solves a contiguous run of frequency points into `out`, reusing the
+/// caller's matrix, factor, and right-hand-side buffers.
+#[allow(clippy::too_many_arguments)]
+fn solve_chunk(
+    freqs: &[f64],
+    out: &mut [Vec<Complex>],
+    g: &SparseMatrix<f64>,
+    c: &SparseMatrix<f64>,
+    b: &[f64],
+    n_nodes: usize,
+    cmat: &mut SparseMatrix<Complex>,
+    factor: &mut SparseFactor<Complex>,
     rhs: &mut [Complex],
 ) -> Result<(), SpiceError> {
-    // Tiny shunt keeps isolated nodes solvable, as in DC.
-    for r in 0..u.n_nodes {
-        mat.stamp(r, r, Complex::real(1e-12));
-    }
-    let g2 = |mat: &mut Matrix<Complex>, a: Option<usize>, b: Option<usize>, g: Complex| {
-        if let Some(ra) = a {
-            mat.stamp(ra, ra, g);
+    for (k, &f) in freqs.iter().enumerate() {
+        assemble(cmat, g, c, f);
+        for (dst, &src) in rhs.iter_mut().zip(b) {
+            *dst = Complex::real(src);
         }
-        if let Some(rb) = b {
-            mat.stamp(rb, rb, g);
-        }
-        if let (Some(ra), Some(rb)) = (a, b) {
-            mat.stamp(ra, rb, -g);
-            mat.stamp(rb, ra, -g);
-        }
-    };
-    let gtrans = |mat: &mut Matrix<Complex>,
-                  a: Option<usize>,
-                  b: Option<usize>,
-                  cp: Option<usize>,
-                  cn: Option<usize>,
-                  g: Complex| {
-        for (row, sr) in [(a, 1.0), (b, -1.0)] {
-            let Some(r) = row else { continue };
-            for (col, sc) in [(cp, 1.0), (cn, -1.0)] {
-                let Some(c) = col else { continue };
-                mat.stamp(r, c, g * (sr * sc));
-            }
-        }
-    };
-    let cap = |mat: &mut Matrix<Complex>, a: Option<usize>, b: Option<usize>, c: f64| {
-        g2(mat, a, b, Complex::new(0.0, w * c));
-    };
-
-    for e in circuit.elements() {
-        let a = u.node_row(e.a);
-        let b = u.node_row(e.b);
-        match &e.kind {
-            ElementKind::Resistor { ohms } => g2(mat, a, b, Complex::real(1.0 / ohms)),
-            ElementKind::Capacitor { farads } => cap(mat, a, b, *farads),
-            ElementKind::Inductor { henries } => {
-                let k = u.branch_row(e);
-                if let Some(ra) = a {
-                    mat.stamp(ra, k, Complex::ONE);
-                    mat.stamp(k, ra, Complex::ONE);
-                }
-                if let Some(rb) = b {
-                    mat.stamp(rb, k, -Complex::ONE);
-                    mat.stamp(k, rb, -Complex::ONE);
-                }
-                mat.stamp(k, k, Complex::new(0.0, -w * henries));
-            }
-            ElementKind::VoltageSource { ac_mag, .. } => {
-                let k = u.branch_row(e);
-                if let Some(ra) = a {
-                    mat.stamp(ra, k, Complex::ONE);
-                    mat.stamp(k, ra, Complex::ONE);
-                }
-                if let Some(rb) = b {
-                    mat.stamp(rb, k, -Complex::ONE);
-                    mat.stamp(k, rb, -Complex::ONE);
-                }
-                rhs[k] += Complex::real(*ac_mag);
-            }
-            ElementKind::CurrentSource { ac_mag, .. } => {
-                if let Some(ra) = a {
-                    rhs[ra] -= Complex::real(*ac_mag);
-                }
-                if let Some(rb) = b {
-                    rhs[rb] += Complex::real(*ac_mag);
-                }
-            }
-            ElementKind::Vcvs { gain, cp, cn } => {
-                let k = u.branch_row(e);
-                if let Some(ra) = a {
-                    mat.stamp(ra, k, Complex::ONE);
-                    mat.stamp(k, ra, Complex::ONE);
-                }
-                if let Some(rb) = b {
-                    mat.stamp(rb, k, -Complex::ONE);
-                    mat.stamp(k, rb, -Complex::ONE);
-                }
-                if let Some(rc) = u.node_row(*cp) {
-                    mat.stamp(k, rc, Complex::real(-gain));
-                }
-                if let Some(rc) = u.node_row(*cn) {
-                    mat.stamp(k, rc, Complex::real(*gain));
-                }
-            }
-            ElementKind::Vccs { gm, cp, cn } => {
-                gtrans(
-                    mat,
-                    a,
-                    b,
-                    u.node_row(*cp),
-                    u.node_row(*cn),
-                    Complex::real(*gm),
-                );
-            }
-            ElementKind::Switch {
-                cp,
-                cn,
-                vt,
-                ron,
-                roff,
-            } => {
-                // Frozen at its DC conductance.
-                let vc = op.voltage(*cp) - op.voltage(*cn);
-                let s = 1.0 / (1.0 + (-(vc - vt) / 0.05).exp());
-                let g = 1.0 / roff + (1.0 / ron - 1.0 / roff) * s;
-                g2(mat, a, b, Complex::real(g));
-            }
-            ElementKind::Mosfet {
-                model,
-                source,
-                bulk,
-                ..
-            } => {
-                let _ = tech
-                    .model(model)
-                    .ok_or_else(|| SpiceError::UnknownModel(model.clone()))?;
-                let info = op.mos.get(&e.name).ok_or_else(|| {
-                    SpiceError::BadCircuit(format!(
-                        "operating point lacks MOSFET `{}` (wrong circuit?)",
-                        e.name
-                    ))
-                })?;
-                let d = a;
-                let g_row = b;
-                let s_row = u.node_row(*source);
-                let b_row = u.node_row(*bulk);
-                g2(mat, d, s_row, Complex::real(info.eval.gds.max(0.0)));
-                gtrans(mat, d, s_row, g_row, s_row, Complex::real(info.eval.gm));
-                gtrans(mat, d, s_row, b_row, s_row, Complex::real(info.eval.gmb));
-                cap(mat, g_row, s_row, info.caps.cgs);
-                cap(mat, g_row, d, info.caps.cgd);
-                cap(mat, g_row, b_row, info.caps.cgb);
-                cap(mat, d, b_row, info.caps.cdb);
-                cap(mat, s_row, b_row, info.caps.csb);
-            }
-            other => {
-                return Err(SpiceError::BadCircuit(format!(
-                    "unsupported element kind {other:?} in ac analysis"
-                )))
-            }
-        }
+        factor
+            .factor(cmat)
+            .ok_or(SpiceError::SingularMatrix { analysis: "ac" })?;
+        factor
+            .solve(rhs)
+            .ok_or(SpiceError::SingularMatrix { analysis: "ac" })?;
+        out[k] = rhs[..n_nodes].to_vec();
     }
     Ok(())
 }

@@ -8,9 +8,11 @@
 //! * **source stepping** — if gmin stepping stalls, all independent sources
 //!   ramp from 5 % to 100 % of their DC value.
 
+use crate::engine::{MatSnapshot, RealSolver};
 use crate::error::SpiceError;
-use crate::linalg::Matrix;
 use crate::mna::Unknowns;
+use crate::sparse::{Backend, PatternBuilder};
+use crate::stamp::{g2, gtrans, Stamp};
 use ape_mos::{evaluate, junction_caps, meyer_caps, BiasPoint, DeviceEval, MosCaps};
 use ape_netlist::{Circuit, ElementKind, NodeId, Technology};
 use std::collections::BTreeMap;
@@ -149,103 +151,120 @@ impl SourceValue {
     }
 }
 
-/// Stamps every non-reactive element (everything except C and L bodies) of
-/// the circuit, linearised at `x`.
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn stamp_nonreactive(
-    circuit: &Circuit,
-    tech: &Technology,
-    u: &Unknowns,
-    x: &[f64],
-    mat: &mut Matrix<f64>,
-    rhs: &mut [f64],
-    gmin: f64,
-    sv: SourceValue,
-) -> Result<(), SpiceError> {
-    // gmin shunts keep the matrix nonsingular when devices cut off.
-    for r in 0..u.n_nodes {
-        mat.stamp(r, r, gmin);
+/// Adds current `i` flowing `a → b` through an element to the right-hand
+/// side (it leaves node `a`).
+pub(crate) fn inject(rhs: &mut [f64], a: Option<usize>, b: Option<usize>, i: f64) {
+    if let Some(ra) = a {
+        rhs[ra] -= i;
     }
-    let g2 = |mat: &mut Matrix<f64>, a: Option<usize>, b: Option<usize>, g: f64| {
-        if let Some(ra) = a {
-            mat.stamp(ra, ra, g);
-        }
-        if let Some(rb) = b {
-            mat.stamp(rb, rb, g);
-        }
-        if let (Some(ra), Some(rb)) = (a, b) {
-            mat.stamp(ra, rb, -g);
-            mat.stamp(rb, ra, -g);
-        }
-    };
-    // VCCS-like stamp: current g·v(cp,cn) flowing a → b.
-    let gtrans = |mat: &mut Matrix<f64>,
-                  a: Option<usize>,
-                  b: Option<usize>,
-                  cp: Option<usize>,
-                  cn: Option<usize>,
-                  g: f64| {
-        for (row, sign_row) in [(a, 1.0), (b, -1.0)] {
-            let Some(r) = row else { continue };
-            for (col, sign_col) in [(cp, 1.0), (cn, -1.0)] {
-                let Some(c) = col else { continue };
-                mat.stamp(r, c, sign_row * sign_col * g);
-            }
-        }
-    };
-    let inject = |rhs: &mut [f64], a: Option<usize>, b: Option<usize>, i: f64| {
-        // Current i flows a → b through the element: it leaves node a.
-        if let Some(ra) = a {
-            rhs[ra] -= i;
-        }
-        if let Some(rb) = b {
-            rhs[rb] += i;
-        }
-    };
+    if let Some(rb) = b {
+        rhs[rb] += i;
+    }
+}
 
+/// Stamps the **static** (value-independent) part of the DC/transient
+/// system: resistors, voltage-source and VCVS branch constraints, VCCS
+/// transconductances and inductor branch couplings (inductors are DC
+/// shorts; the transient companion adds the `-2L/h` diagonal separately).
+///
+/// This part is stamped once per analysis and restored from a snapshot at
+/// the top of every Newton iteration; only [`stamp_devices`] re-stamps.
+pub(crate) fn stamp_linear_dc<M: Stamp<f64>>(
+    circuit: &Circuit,
+    u: &Unknowns,
+    m: &mut M,
+) -> Result<(), SpiceError> {
     for e in circuit.elements() {
         let a = u.node_row(e.a);
         let b = u.node_row(e.b);
         match &e.kind {
-            ElementKind::Resistor { ohms } => g2(mat, a, b, 1.0 / ohms),
-            ElementKind::Capacitor { .. } | ElementKind::Inductor { .. } => {
-                // Reactive bodies are stamped by the calling analysis.
+            ElementKind::Resistor { ohms } => g2(m, a, b, 1.0 / ohms),
+            ElementKind::Capacitor { .. } => {
+                // Capacitor bodies are stamped by the transient companion.
             }
-            ElementKind::VoltageSource { dc, waveform, .. } => {
+            ElementKind::CurrentSource { .. } => {
+                // Right-hand side only: see `rhs_sources`.
+            }
+            ElementKind::Inductor { .. } | ElementKind::VoltageSource { .. } => {
                 let k = u.branch_row(e);
                 if let Some(ra) = a {
-                    mat.stamp(ra, k, 1.0);
-                    mat.stamp(k, ra, 1.0);
+                    m.stamp(ra, k, 1.0);
+                    m.stamp(k, ra, 1.0);
                 }
                 if let Some(rb) = b {
-                    mat.stamp(rb, k, -1.0);
-                    mat.stamp(k, rb, -1.0);
+                    m.stamp(rb, k, -1.0);
+                    m.stamp(k, rb, -1.0);
                 }
-                rhs[k] += sv.eval(*dc, waveform);
-            }
-            ElementKind::CurrentSource { dc, waveform, .. } => {
-                inject(rhs, a, b, sv.eval(*dc, waveform));
             }
             ElementKind::Vcvs { gain, cp, cn } => {
                 let k = u.branch_row(e);
                 if let Some(ra) = a {
-                    mat.stamp(ra, k, 1.0);
-                    mat.stamp(k, ra, 1.0);
+                    m.stamp(ra, k, 1.0);
+                    m.stamp(k, ra, 1.0);
                 }
                 if let Some(rb) = b {
-                    mat.stamp(rb, k, -1.0);
-                    mat.stamp(k, rb, -1.0);
+                    m.stamp(rb, k, -1.0);
+                    m.stamp(k, rb, -1.0);
                 }
                 if let Some(rc) = u.node_row(*cp) {
-                    mat.stamp(k, rc, -gain);
+                    m.stamp(k, rc, -gain);
                 }
                 if let Some(rc) = u.node_row(*cn) {
-                    mat.stamp(k, rc, *gain);
+                    m.stamp(k, rc, *gain);
                 }
             }
             ElementKind::Vccs { gm, cp, cn } => {
-                gtrans(mat, a, b, u.node_row(*cp), u.node_row(*cn), *gm);
+                gtrans(m, a, b, u.node_row(*cp), u.node_row(*cn), *gm);
             }
+            ElementKind::Switch { .. } | ElementKind::Mosfet { .. } => {
+                // Dynamic part: see `stamp_devices`.
+            }
+            other => {
+                return Err(SpiceError::BadCircuit(format!(
+                    "unsupported element kind {other:?} in dc analysis"
+                )))
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Fills the right-hand-side contributions of the independent sources.
+/// Linear in source value, so the DC path computes it once at scale 1 and
+/// rescales per stepping stage.
+pub(crate) fn rhs_sources(circuit: &Circuit, u: &Unknowns, rhs: &mut [f64], sv: SourceValue) {
+    for e in circuit.elements() {
+        match &e.kind {
+            ElementKind::VoltageSource { dc, waveform, .. } => {
+                rhs[u.branch_row(e)] += sv.eval(*dc, waveform);
+            }
+            ElementKind::CurrentSource { dc, waveform, .. } => {
+                inject(
+                    rhs,
+                    u.node_row(e.a),
+                    u.node_row(e.b),
+                    sv.eval(*dc, waveform),
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Stamps the **dynamic** part: switch and MOSFET linearisations at `x`.
+/// Re-run every Newton iteration on top of the restored static part.
+pub(crate) fn stamp_devices<M: Stamp<f64>>(
+    circuit: &Circuit,
+    tech: &Technology,
+    u: &Unknowns,
+    x: &[f64],
+    m: &mut M,
+    rhs: &mut [f64],
+) -> Result<(), SpiceError> {
+    for e in circuit.elements() {
+        let a = u.node_row(e.a);
+        let b = u.node_row(e.b);
+        match &e.kind {
             ElementKind::Switch {
                 cp,
                 cn,
@@ -262,12 +281,12 @@ pub(crate) fn stamp_nonreactive(
                 let goff = 1.0 / roff;
                 let g = goff + (gon - goff) * s;
                 let dg_dvc = (gon - goff) * s * (1.0 - s) / width;
-                g2(mat, a, b, g);
+                g2(m, a, b, g);
                 let k = dg_dvc * vab;
-                gtrans(mat, a, b, u.node_row(*cp), u.node_row(*cn), k);
+                gtrans(m, a, b, u.node_row(*cp), u.node_row(*cn), k);
                 // Norton correction so the linearisation passes through the
                 // true current at x.
-                let ieq = -k * (vc);
+                let ieq = -k * vc;
                 inject(rhs, a, b, ieq);
             }
             ElementKind::Mosfet {
@@ -299,24 +318,47 @@ pub(crate) fn stamp_nonreactive(
                 let g_row = b;
                 let b_row = u.node_row(*bulk);
                 // Conductance gds between drain and source.
-                g2(mat, d, s_row, ev.gds.max(0.0));
+                g2(m, d, s_row, ev.gds.max(0.0));
                 // gm: current d → s controlled by (g, s).
-                gtrans(mat, d, s_row, g_row, s_row, ev.gm);
+                gtrans(m, d, s_row, g_row, s_row, ev.gm);
                 // gmb: current d → s controlled by (b, s).
-                gtrans(mat, d, s_row, b_row, s_row, ev.gmb);
+                gtrans(m, d, s_row, b_row, s_row, ev.gmb);
                 // Norton equivalent current.
                 let ieq =
                     ev.ids - ev.gm * (vg - vs) - ev.gds.max(0.0) * (vd - vs) - ev.gmb * (vb - vs);
                 inject(rhs, d, s_row, ieq);
             }
-            other => {
-                return Err(SpiceError::BadCircuit(format!(
-                    "unsupported element kind {other:?} in dc analysis"
-                )))
-            }
+            _ => {}
         }
     }
     Ok(())
+}
+
+/// Builds the solver for an `n`-unknown DC/transient system, collecting the
+/// sparsity pattern (static + dynamic footprint, gmin diagonal, plus any
+/// analysis-specific extras via `extra`) when the backend resolves sparse.
+pub(crate) fn build_real_solver(
+    circuit: &Circuit,
+    tech: &Technology,
+    u: &Unknowns,
+    x: &[f64],
+    backend: Backend,
+    extra: impl FnOnce(&mut PatternBuilder),
+) -> Result<RealSolver, SpiceError> {
+    let n = u.dim();
+    if !backend.use_sparse(n) {
+        return Ok(RealSolver::dense(n));
+    }
+    let mut pb = PatternBuilder::new(n);
+    // gmin / artificial-capacitance diagonal on every node row.
+    for r in 0..u.n_nodes {
+        pb.add(r, r);
+    }
+    stamp_linear_dc(circuit, u, &mut pb)?;
+    let mut rhs_scratch = vec![0.0; n];
+    stamp_devices(circuit, tech, u, x, &mut pb, &mut rhs_scratch)?;
+    extra(&mut pb);
+    Ok(RealSolver::sparse(pb.build()))
 }
 
 /// Options controlling the DC solve.
@@ -330,6 +372,8 @@ pub struct DcOptions {
     pub reltol: f64,
     /// Largest voltage update applied per iteration (damping), volts.
     pub vstep_limit: f64,
+    /// Linear-solver backend selection.
+    pub backend: Backend,
 }
 
 impl Default for DcOptions {
@@ -339,6 +383,7 @@ impl Default for DcOptions {
             vtol: 1e-7,
             reltol: 1e-6,
             vstep_limit: 0.6,
+            backend: Backend::Auto,
         }
     }
 }
@@ -381,6 +426,7 @@ pub fn dc_operating_point_with(
     }
     let u = Unknowns::for_circuit(circuit);
     let mut x = initial_guess(circuit, &u);
+    let mut eng = DcEngine::new(circuit, tech, &u, &x, opts)?;
 
     // Stage 1: gmin stepping at full bias.
     let gmins = [1e-2, 1e-4, 1e-6, 1e-8, 1e-10, 1e-12];
@@ -388,7 +434,7 @@ pub fn dc_operating_point_with(
     let mut final_iters = 0;
     for (idx, &gmin) in gmins.iter().enumerate() {
         ape_probe::counter("spice.dc.gmin_steps", 1);
-        match newton(circuit, tech, &u, &mut x, gmin, 1.0, opts) {
+        match eng.newton(&mut x, gmin, 1.0, opts) {
             Ok(iters) => {
                 if idx == gmins.len() - 1 {
                     final_iters = iters;
@@ -408,14 +454,14 @@ pub fn dc_operating_point_with(
         for k in 1..=20 {
             ape_probe::counter("spice.dc.source_steps", 1);
             let scale = k as f64 / 20.0;
-            if newton(circuit, tech, &u, &mut x, 1e-9, scale, opts).is_err() {
+            if eng.newton(&mut x, 1e-9, scale, opts).is_err() {
                 ok = false;
                 break;
             }
         }
         if ok {
             for &gmin in &[1e-10, 1e-12] {
-                if newton(circuit, tech, &u, &mut x, gmin, 1.0, opts).is_err() {
+                if eng.newton(&mut x, gmin, 1.0, opts).is_err() {
                     ok = false;
                     break;
                 }
@@ -430,8 +476,8 @@ pub fn dc_operating_point_with(
             // trajectory settles. The heavy-duty fallback for feedback
             // circuits with marginal loop gain.
             ape_probe::counter("spice.dc.ptran_fallbacks", 1);
-            x = pseudo_transient(circuit, tech, &u, opts)?;
-            newton(circuit, tech, &u, &mut x, 1e-12, 1.0, opts)?;
+            x = eng.pseudo_transient(opts)?;
+            eng.newton(&mut x, 1e-12, 1.0, opts)?;
             final_iters = opts.max_iter;
         }
     }
@@ -490,105 +536,189 @@ pub fn dc_operating_point_with(
     })
 }
 
-/// Pseudo-transient continuation: backward-Euler relaxation with an
-/// artificial capacitor from every node to ground. Converges to a stable
-/// DC solution for circuits whose Newton iteration oscillates.
-fn pseudo_transient(
-    circuit: &Circuit,
-    tech: &Technology,
-    u: &Unknowns,
-    opts: DcOptions,
-) -> Result<Vec<f64>, SpiceError> {
-    let n = u.dim();
-    let mut x = initial_guess(circuit, u);
-    let c_art = 1e-9;
-    let mut h = 1e-9;
-    let mut mat = Matrix::<f64>::zeros(n);
-    for _step in 0..600 {
-        let x_prev = x.clone();
-        let mut converged = false;
-        for _ in 0..40 {
-            mat.clear();
-            let mut rhs = vec![0.0; n];
-            stamp_nonreactive(
-                circuit,
-                tech,
-                u,
-                &x,
-                &mut mat,
-                &mut rhs,
-                1e-12,
-                SourceValue::DcScaled(1.0),
+/// The reusable per-analysis DC solve state: backend solver, the static
+/// (linear) matrix snapshot, the unit-scale source vector and the working
+/// right-hand side. Built once per [`dc_operating_point_with`] call and
+/// shared by every gmin/source-stepping stage, so the steady-state Newton
+/// loop performs zero heap allocations.
+pub(crate) struct DcEngine<'a> {
+    circuit: &'a Circuit,
+    tech: &'a Technology,
+    u: &'a Unknowns,
+    solver: RealSolver,
+    linear: MatSnapshot,
+    rhs_unit: Vec<f64>,
+    rhs: Vec<f64>,
+}
+
+impl<'a> DcEngine<'a> {
+    pub(crate) fn new(
+        circuit: &'a Circuit,
+        tech: &'a Technology,
+        u: &'a Unknowns,
+        x0: &[f64],
+        opts: DcOptions,
+    ) -> Result<Self, SpiceError> {
+        let n = u.dim();
+        let mut solver = build_real_solver(circuit, tech, u, x0, opts.backend, |_| {})?;
+        solver.clear();
+        stamp_linear_dc(circuit, u, &mut solver)?;
+        let linear = solver.snapshot();
+        let mut rhs_unit = vec![0.0; n];
+        rhs_sources(circuit, u, &mut rhs_unit, SourceValue::DcScaled(1.0));
+        Ok(DcEngine {
+            circuit,
+            tech,
+            u,
+            solver,
+            linear,
+            rhs_unit,
+            rhs: vec![0.0; n],
+        })
+    }
+
+    /// One damped Newton-Raphson stage; returns iterations on success.
+    pub(crate) fn newton(
+        &mut self,
+        x: &mut [f64],
+        gmin: f64,
+        srcscale: f64,
+        opts: DcOptions,
+    ) -> Result<usize, SpiceError> {
+        let n = self.u.dim();
+        for it in 0..opts.max_iter {
+            // Static part from the snapshot, gmin diagonal, scaled sources,
+            // then only the device linearisations are re-stamped.
+            self.solver.restore(&self.linear);
+            for r in 0..self.u.n_nodes {
+                self.solver.stamp(r, r, gmin);
+            }
+            for (r, v) in self.rhs.iter_mut().zip(&self.rhs_unit) {
+                *r = v * srcscale;
+            }
+            stamp_devices(
+                self.circuit,
+                self.tech,
+                self.u,
+                x,
+                &mut self.solver,
+                &mut self.rhs,
             )?;
-            for e in circuit.elements() {
-                if let ElementKind::Inductor { .. } = e.kind {
-                    let k = u.branch_row(e);
-                    if let Some(ra) = u.node_row(e.a) {
-                        mat.stamp(ra, k, 1.0);
-                        mat.stamp(k, ra, 1.0);
-                    }
-                    if let Some(rb) = u.node_row(e.b) {
-                        mat.stamp(rb, k, -1.0);
-                        mat.stamp(k, rb, -1.0);
-                    }
-                }
-            }
-            let geq = c_art / h;
-            for r in 0..u.n_nodes {
-                mat.stamp(r, r, geq);
-                rhs[r] += geq * x_prev[r];
-            }
-            let sol = mat
-                .solve(&rhs)
+            self.solver
+                .solve(&mut self.rhs)
                 .ok_or(SpiceError::SingularMatrix { analysis: "dc" })?;
+            // Damped update and convergence test.
+            let sol = &self.rhs;
             let mut worst = 0.0f64;
             for r in 0..n {
                 let delta = sol[r] - x[r];
-                let lim = if r < u.n_nodes {
+                let lim = if r < self.u.n_nodes {
                     opts.vstep_limit
                 } else {
                     f64::INFINITY
                 };
-                x[r] += delta.clamp(-lim, lim);
+                let applied = delta.clamp(-lim, lim);
+                x[r] += applied;
                 let scale = opts.vtol + opts.reltol * sol[r].abs();
                 worst = worst.max(delta.abs() / scale);
             }
             if worst < 1.0 {
-                converged = true;
-                break;
+                ape_probe::counter("spice.dc.nr_iters", (it + 1) as u64);
+                return Ok(it + 1);
             }
         }
-        if !converged {
-            // Shrink the step and retry from the previous state.
-            ape_probe::counter("spice.dc.ptran_retries", 1);
-            ape_probe::value("spice.dc.ptran_h", h);
-            x = x_prev;
-            h /= 4.0;
-            if h < 1e-15 {
-                break;
-            }
-            continue;
-        }
-        // Steady state?
-        let dx = x
-            .iter()
-            .zip(&x_prev)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max);
-        ape_probe::counter("spice.dc.ptran_steps", 1);
-        ape_probe::value("spice.dc.ptran_dx", dx);
-        if dx < 1e-7 && h > 1e-3 {
-            return Ok(x);
-        }
-        // Backward Euler is A-stable: the step can grow without bound, so
-        // slow artificial-cap modes on high-impedance nodes settle in a
-        // handful of steps rather than thousands.
-        h = (h * 2.5).min(1e3);
+        ape_probe::counter("spice.dc.nr_iters", opts.max_iter as u64);
+        ape_probe::counter("spice.dc.convergence_failures", 1);
+        Err(SpiceError::NoConvergence {
+            analysis: "dc",
+            detail: format!("stage gmin={gmin:.0e} scale={srcscale}"),
+        })
     }
-    Err(SpiceError::NoConvergence {
-        analysis: "dc",
-        detail: "pseudo-transient continuation did not settle".into(),
-    })
+
+    /// Pseudo-transient continuation: backward-Euler relaxation with an
+    /// artificial capacitor from every node to ground. Converges to a
+    /// stable DC solution for circuits whose Newton iteration oscillates.
+    fn pseudo_transient(&mut self, opts: DcOptions) -> Result<Vec<f64>, SpiceError> {
+        let n = self.u.dim();
+        let n_nodes = self.u.n_nodes;
+        let mut x = initial_guess(self.circuit, self.u);
+        let mut x_prev = vec![0.0; n];
+        let c_art = 1e-9;
+        let mut h = 1e-9;
+        for _step in 0..600 {
+            x_prev.copy_from_slice(&x);
+            let mut converged = false;
+            for _ in 0..40 {
+                self.solver.restore(&self.linear);
+                let geq = c_art / h;
+                for r in 0..n_nodes {
+                    self.solver.stamp(r, r, 1e-12 + geq);
+                }
+                self.rhs.copy_from_slice(&self.rhs_unit);
+                for (r, &xp) in x_prev.iter().enumerate().take(n_nodes) {
+                    self.rhs[r] += geq * xp;
+                }
+                stamp_devices(
+                    self.circuit,
+                    self.tech,
+                    self.u,
+                    &x,
+                    &mut self.solver,
+                    &mut self.rhs,
+                )?;
+                self.solver
+                    .solve(&mut self.rhs)
+                    .ok_or(SpiceError::SingularMatrix { analysis: "dc" })?;
+                let sol = &self.rhs;
+                let mut worst = 0.0f64;
+                for r in 0..n {
+                    let delta = sol[r] - x[r];
+                    let lim = if r < n_nodes {
+                        opts.vstep_limit
+                    } else {
+                        f64::INFINITY
+                    };
+                    x[r] += delta.clamp(-lim, lim);
+                    let scale = opts.vtol + opts.reltol * sol[r].abs();
+                    worst = worst.max(delta.abs() / scale);
+                }
+                if worst < 1.0 {
+                    converged = true;
+                    break;
+                }
+            }
+            if !converged {
+                // Shrink the step and retry from the previous state.
+                ape_probe::counter("spice.dc.ptran_retries", 1);
+                ape_probe::value("spice.dc.ptran_h", h);
+                x.copy_from_slice(&x_prev);
+                h /= 4.0;
+                if h < 1e-15 {
+                    break;
+                }
+                continue;
+            }
+            // Steady state?
+            let dx = x
+                .iter()
+                .zip(&x_prev)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            ape_probe::counter("spice.dc.ptran_steps", 1);
+            ape_probe::value("spice.dc.ptran_dx", dx);
+            if dx < 1e-7 && h > 1e-3 {
+                return Ok(x);
+            }
+            // Backward Euler is A-stable: the step can grow without bound,
+            // so slow artificial-cap modes on high-impedance nodes settle
+            // in a handful of steps rather than thousands.
+            h = (h * 2.5).min(1e3);
+        }
+        Err(SpiceError::NoConvergence {
+            analysis: "dc",
+            detail: "pseudo-transient continuation did not settle".into(),
+        })
+    }
 }
 
 /// Seeds node voltages from directly-attached voltage sources.
@@ -608,76 +738,6 @@ fn initial_guess(circuit: &Circuit, u: &Unknowns) -> Vec<f64> {
         }
     }
     x
-}
-
-/// One damped Newton-Raphson stage; returns iterations on success.
-fn newton(
-    circuit: &Circuit,
-    tech: &Technology,
-    u: &Unknowns,
-    x: &mut [f64],
-    gmin: f64,
-    srcscale: f64,
-    opts: DcOptions,
-) -> Result<usize, SpiceError> {
-    let n = u.dim();
-    let mut mat = Matrix::<f64>::zeros(n);
-    let mut rhs = vec![0.0; n];
-    for it in 0..opts.max_iter {
-        mat.clear();
-        rhs.iter_mut().for_each(|v| *v = 0.0);
-        stamp_nonreactive(
-            circuit,
-            tech,
-            u,
-            x,
-            &mut mat,
-            &mut rhs,
-            gmin,
-            SourceValue::DcScaled(srcscale),
-        )?;
-        // Inductors are DC shorts: 0 V branch constraints.
-        for e in circuit.elements() {
-            if let ElementKind::Inductor { .. } = e.kind {
-                let k = u.branch_row(e);
-                if let Some(ra) = u.node_row(e.a) {
-                    mat.stamp(ra, k, 1.0);
-                    mat.stamp(k, ra, 1.0);
-                }
-                if let Some(rb) = u.node_row(e.b) {
-                    mat.stamp(rb, k, -1.0);
-                    mat.stamp(k, rb, -1.0);
-                }
-            }
-        }
-        let sol = mat
-            .solve(&rhs)
-            .ok_or(SpiceError::SingularMatrix { analysis: "dc" })?;
-        // Damped update and convergence test.
-        let mut worst = 0.0f64;
-        for r in 0..n {
-            let delta = sol[r] - x[r];
-            let lim = if r < u.n_nodes {
-                opts.vstep_limit
-            } else {
-                f64::INFINITY
-            };
-            let applied = delta.clamp(-lim, lim);
-            x[r] += applied;
-            let scale = opts.vtol + opts.reltol * sol[r].abs();
-            worst = worst.max(delta.abs() / scale);
-        }
-        if worst < 1.0 {
-            ape_probe::counter("spice.dc.nr_iters", (it + 1) as u64);
-            return Ok(it + 1);
-        }
-    }
-    ape_probe::counter("spice.dc.nr_iters", opts.max_iter as u64);
-    ape_probe::counter("spice.dc.convergence_failures", 1);
-    Err(SpiceError::NoConvergence {
-        analysis: "dc",
-        detail: format!("stage gmin={gmin:.0e} scale={srcscale}"),
-    })
 }
 
 #[cfg(test)]

@@ -48,19 +48,25 @@
 mod ac;
 mod complex;
 mod dc;
+mod engine;
 mod error;
 pub mod linalg;
 mod linearize;
 pub mod measure;
 mod mna;
+pub mod sparse;
+pub mod stamp;
 mod sweep;
 mod tran;
 
-pub use ac::{ac_sweep, decade_frequencies, AcSweep};
+pub use ac::{ac_sweep, ac_sweep_with, decade_frequencies, AcOptions, AcSweep};
 pub use complex::Complex;
 pub use dc::{dc_operating_point, dc_operating_point_with, DcOptions, MosOp, OperatingPoint};
 pub use error::SpiceError;
 pub use linearize::{linearize, LinearizedSystem};
 pub use mna::Unknowns;
-pub use sweep::{dc_sweep, DcSweep};
+pub use sparse::{
+    alloc_events, reset_symbolic_cache, symbolic_cache_report, symbolic_cache_stats, Backend,
+};
+pub use sweep::{dc_sweep, dc_sweep_with, DcSweep};
 pub use tran::{transient, TranOptions, Transient};

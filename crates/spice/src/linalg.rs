@@ -1,12 +1,33 @@
 //! Dense linear algebra: LU factorisation with partial pivoting, generic
 //! over real and complex scalars.
 //!
-//! Circuit matrices in this reproduction stay small (tens to a few hundred
-//! unknowns), so a dense solver is both simpler and faster than a sparse one
-//! at this scale.
+//! The dense solver serves systems of up to [`DENSE_CUTOFF`] unknowns
+//! (where it beats the sparse bookkeeping) and acts as the reference
+//! oracle the sparse path is differentially tested against; circuits
+//! beyond a handful of nodes go through [`crate::sparse`].
+//!
+//! [`DENSE_CUTOFF`]: crate::sparse::DENSE_CUTOFF
 
 use crate::complex::Complex;
 use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// Relative pivot tolerance: a pivot is treated as numerically zero when it
+/// falls below `REL_PIVOT × ‖A‖_max`.
+///
+/// Deliberately far below `n·ε·‖A‖` — MNA matrices legitimately mix gmin
+/// pivots (`1e-12`) with companion-model conductances around `1e3`, and
+/// those tiny pivots are exact, not cancellation noise. The tolerance only
+/// needs to reject true singularities (all-zero columns, floating nodes)
+/// relative to the matrix scale rather than against the old absolute
+/// `1e-300` that even denormal garbage passed.
+const REL_PIVOT: f64 = 1e-18;
+
+/// Singularity threshold for a matrix whose largest entry magnitude is
+/// `max_norm`. Shared by the dense and sparse factorisations so both paths
+/// judge pivots by the same rule.
+pub(crate) fn pivot_tol(max_norm: f64) -> f64 {
+    (max_norm * REL_PIVOT).max(f64::MIN_POSITIVE)
+}
 
 /// Scalar types the LU solver can factorise over.
 pub trait Scalar:
@@ -51,7 +72,10 @@ impl Scalar for Complex {
         Complex::ONE
     }
     fn magnitude(self) -> f64 {
-        self.norm()
+        // L1 modulus (`|re| + |im|`, LINPACK's `cabs1`): within √2 of the
+        // true modulus, which is ample for threshold pivoting and relative
+        // tolerances, and keeps the hot pivot scans free of sqrt/hypot.
+        self.re.abs() + self.im.abs()
     }
     fn finite(self) -> bool {
         self.is_finite()
@@ -127,7 +151,8 @@ impl<T: Scalar> Matrix<T> {
     /// modifying `self`.
     ///
     /// Returns `None` when the matrix is numerically singular (pivot below
-    /// `1e-300`) or a non-finite value appears.
+    /// a relative tolerance scaled by the largest entry magnitude) or a
+    /// non-finite value appears.
     ///
     /// # Panics
     ///
@@ -140,12 +165,39 @@ impl<T: Scalar> Matrix<T> {
         Some(x)
     }
 
+    /// Like [`solve`](Self::solve), but reuses caller-provided scratch
+    /// storage for the factorisation copy and the solution — no heap
+    /// allocation once `scratch`/`x` have grown to size.
+    pub fn solve_with(&self, b: &[T], scratch: &mut Matrix<T>, x: &mut Vec<T>) -> Option<()> {
+        assert_eq!(b.len(), self.n);
+        scratch.copy_from(self);
+        x.clear();
+        x.extend_from_slice(b);
+        scratch.solve_in_place(x)
+    }
+
+    /// Copies values from a same-sized matrix without reallocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn copy_from(&mut self, other: &Matrix<T>) {
+        assert_eq!(self.n, other.n);
+        self.data.copy_from_slice(&other.data);
+    }
+
+    /// Largest entry magnitude (max-norm), the scale for pivot tolerance.
+    pub fn max_magnitude(&self) -> f64 {
+        self.data.iter().fold(0.0f64, |m, v| m.max(v.magnitude()))
+    }
+
     /// Factorises in place and overwrites `b` with the solution.
     ///
     /// Returns `None` on singularity. The matrix contents are destroyed
     /// either way.
     pub fn solve_in_place(&mut self, b: &mut [T]) -> Option<()> {
         let n = self.n;
+        let tol = pivot_tol(self.max_magnitude());
         let a = &mut self.data;
         for k in 0..n {
             // Partial pivot.
@@ -158,7 +210,7 @@ impl<T: Scalar> Matrix<T> {
                     p = r;
                 }
             }
-            if best.is_nan() || best <= 1e-300 || !best.is_finite() {
+            if !(best.is_finite() && best > tol) {
                 return None;
             }
             if p != k {
@@ -255,6 +307,42 @@ mod tests {
         let x = m.solve(&[Complex::new(0.0, 2.0)]).unwrap();
         assert!((x[0].re - 1.0).abs() < 1e-14);
         assert!((x[0].im - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn relative_tolerance_rejects_hopelessly_ill_conditioned() {
+        // The pivot 1e-30 sails past the old absolute 1e-300 threshold but
+        // is noise next to the 1e30 entry: condition number ~1e60.
+        let mut m: Matrix<f64> = Matrix::zeros(2);
+        m[(0, 0)] = 1e-30;
+        m[(1, 1)] = 1e30;
+        assert!(m.solve(&[1.0, 1.0]).is_none());
+    }
+
+    #[test]
+    fn gmin_scale_pivots_survive_relative_tolerance() {
+        // A gmin-only node diagonal (1e-12) coexisting with companion-model
+        // conductances (1e3) is legitimate, not singular.
+        let mut m: Matrix<f64> = Matrix::zeros(2);
+        m[(0, 0)] = 1e-12;
+        m[(1, 1)] = 2e3;
+        let x = m.solve(&[1e-12, 2e3]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-9);
+        assert!((x[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solve_with_reuses_scratch() {
+        let mut m: Matrix<f64> = Matrix::zeros(2);
+        m[(0, 0)] = 2.0;
+        m[(1, 1)] = 4.0;
+        let mut scratch: Matrix<f64> = Matrix::zeros(2);
+        let mut x = Vec::new();
+        m.solve_with(&[2.0, 8.0], &mut scratch, &mut x).unwrap();
+        assert_eq!(x, vec![1.0, 2.0]);
+        m[(0, 1)] = 1.0;
+        m.solve_with(&[3.0, 8.0], &mut scratch, &mut x).unwrap();
+        assert_eq!(x, vec![0.5, 2.0]);
     }
 
     #[test]

@@ -10,6 +10,7 @@ use crate::dc::OperatingPoint;
 use crate::error::SpiceError;
 use crate::linalg::Matrix;
 use crate::mna::Unknowns;
+use crate::stamp::{g2, gtrans, Stamp};
 use ape_netlist::{Circuit, ElementKind, NodeId, Technology};
 
 /// The linearised frequency-domain system of a circuit at an operating point.
@@ -53,43 +54,42 @@ pub fn linearize(
     let mut g = Matrix::<f64>::zeros(n);
     let mut c = Matrix::<f64>::zeros(n);
     let mut b = vec![0.0; n];
+    stamp_small_signal(circuit, tech, op, &u, &mut g, &mut c, &mut b)?;
+    Ok(LinearizedSystem {
+        g,
+        c,
+        b,
+        unknowns: u,
+    })
+}
+
+/// Stamps the small-signal system of `circuit` at `op` into separate
+/// conductance (`g`) and susceptance (`c`) sinks plus the AC excitation
+/// vector `b`. The AC analysis assembles `G + jωC` from the same routine,
+/// so both views of a circuit are one stamping function apart — sinks can
+/// be dense matrices, sparse matrices, or pattern builders.
+///
+/// The inductor branch equation `v − sL·i = 0` puts `−L` on the branch
+/// diagonal of `c`; everything else in `c` is a capacitance.
+pub(crate) fn stamp_small_signal<MG: Stamp<f64>, MC: Stamp<f64>>(
+    circuit: &Circuit,
+    tech: &Technology,
+    op: &OperatingPoint,
+    u: &Unknowns,
+    g: &mut MG,
+    c: &mut MC,
+    b: &mut [f64],
+) -> Result<(), SpiceError> {
+    // Tiny shunt keeps isolated nodes solvable, as in DC.
     for r in 0..u.n_nodes {
         g.stamp(r, r, 1e-12);
     }
-
-    let g2 = |m: &mut Matrix<f64>, a: Option<usize>, bb: Option<usize>, v: f64| {
-        if let Some(ra) = a {
-            m.stamp(ra, ra, v);
-        }
-        if let Some(rb) = bb {
-            m.stamp(rb, rb, v);
-        }
-        if let (Some(ra), Some(rb)) = (a, bb) {
-            m.stamp(ra, rb, -v);
-            m.stamp(rb, ra, -v);
-        }
-    };
-    let gtrans = |m: &mut Matrix<f64>,
-                  a: Option<usize>,
-                  bb: Option<usize>,
-                  cp: Option<usize>,
-                  cn: Option<usize>,
-                  v: f64| {
-        for (row, sr) in [(a, 1.0), (bb, -1.0)] {
-            let Some(r) = row else { continue };
-            for (col, sc) in [(cp, 1.0), (cn, -1.0)] {
-                let Some(cc) = col else { continue };
-                m.stamp(r, cc, sr * sc * v);
-            }
-        }
-    };
-
     for e in circuit.elements() {
         let a = u.node_row(e.a);
         let bb = u.node_row(e.b);
         match &e.kind {
-            ElementKind::Resistor { ohms } => g2(&mut g, a, bb, 1.0 / ohms),
-            ElementKind::Capacitor { farads } => g2(&mut c, a, bb, *farads),
+            ElementKind::Resistor { ohms } => g2(g, a, bb, 1.0 / ohms),
+            ElementKind::Capacitor { farads } => g2(c, a, bb, *farads),
             ElementKind::Inductor { henries } => {
                 let k = u.branch_row(e);
                 if let Some(ra) = a {
@@ -140,7 +140,7 @@ pub fn linearize(
                 }
             }
             ElementKind::Vccs { gm, cp, cn } => {
-                gtrans(&mut g, a, bb, u.node_row(*cp), u.node_row(*cn), *gm);
+                gtrans(g, a, bb, u.node_row(*cp), u.node_row(*cn), *gm);
             }
             ElementKind::Switch {
                 cp,
@@ -149,10 +149,11 @@ pub fn linearize(
                 ron,
                 roff,
             } => {
+                // Frozen at its DC conductance.
                 let vc = op.voltage(*cp) - op.voltage(*cn);
                 let s = 1.0 / (1.0 + (-(vc - vt) / 0.05).exp());
                 let gv = 1.0 / roff + (1.0 / ron - 1.0 / roff) * s;
-                g2(&mut g, a, bb, gv);
+                g2(g, a, bb, gv);
             }
             ElementKind::Mosfet {
                 model,
@@ -164,20 +165,23 @@ pub fn linearize(
                     .model(model)
                     .ok_or_else(|| SpiceError::UnknownModel(model.clone()))?;
                 let info = op.mos.get(&e.name).ok_or_else(|| {
-                    SpiceError::BadCircuit(format!("operating point lacks MOSFET `{}`", e.name))
+                    SpiceError::BadCircuit(format!(
+                        "operating point lacks MOSFET `{}` (wrong circuit?)",
+                        e.name
+                    ))
                 })?;
                 let d = a;
                 let g_row = bb;
                 let s_row = u.node_row(*source);
                 let b_row = u.node_row(*bulk);
-                g2(&mut g, d, s_row, info.eval.gds.max(0.0));
-                gtrans(&mut g, d, s_row, g_row, s_row, info.eval.gm);
-                gtrans(&mut g, d, s_row, b_row, s_row, info.eval.gmb);
-                g2(&mut c, g_row, s_row, info.caps.cgs);
-                g2(&mut c, g_row, d, info.caps.cgd);
-                g2(&mut c, g_row, b_row, info.caps.cgb);
-                g2(&mut c, d, b_row, info.caps.cdb);
-                g2(&mut c, s_row, b_row, info.caps.csb);
+                g2(g, d, s_row, info.eval.gds.max(0.0));
+                gtrans(g, d, s_row, g_row, s_row, info.eval.gm);
+                gtrans(g, d, s_row, b_row, s_row, info.eval.gmb);
+                g2(c, g_row, s_row, info.caps.cgs);
+                g2(c, g_row, d, info.caps.cgd);
+                g2(c, g_row, b_row, info.caps.cgb);
+                g2(c, d, b_row, info.caps.cdb);
+                g2(c, s_row, b_row, info.caps.csb);
             }
             other => {
                 return Err(SpiceError::BadCircuit(format!(
@@ -186,12 +190,7 @@ pub fn linearize(
             }
         }
     }
-    Ok(LinearizedSystem {
-        g,
-        c,
-        b,
-        unknowns: u,
-    })
+    Ok(())
 }
 
 #[cfg(test)]

@@ -1,0 +1,59 @@
+//! The stamping abstraction shared by every matrix backend.
+//!
+//! MNA assembly is expressed as a stream of `(row, col, value)` additions.
+//! Abstracting the receiver lets the same element-stamping code drive three
+//! very different consumers:
+//!
+//! * [`Matrix`](crate::linalg::Matrix) — the dense backend;
+//! * [`SparseMatrix`](crate::sparse::SparseMatrix) — the sparse backend;
+//! * [`PatternBuilder`](crate::sparse::PatternBuilder) — a value-blind pass
+//!   that records only *where* stamps land, so the sparsity pattern can be
+//!   fixed once per circuit and reused by every factorisation.
+
+use crate::linalg::{Matrix, Scalar};
+
+/// A receiver of MNA matrix stamps.
+pub trait Stamp<T> {
+    /// Adds `v` to entry `(r, c)`.
+    fn stamp(&mut self, r: usize, c: usize, v: T);
+}
+
+impl<T: Scalar> Stamp<T> for Matrix<T> {
+    fn stamp(&mut self, r: usize, c: usize, v: T) {
+        Matrix::stamp(self, r, c, v);
+    }
+}
+
+/// Two-terminal conductance stamp between optional rows `a` and `b`
+/// (`None` = ground).
+pub(crate) fn g2<T: Scalar, M: Stamp<T>>(m: &mut M, a: Option<usize>, b: Option<usize>, g: T) {
+    if let Some(ra) = a {
+        m.stamp(ra, ra, g);
+    }
+    if let Some(rb) = b {
+        m.stamp(rb, rb, g);
+    }
+    if let (Some(ra), Some(rb)) = (a, b) {
+        m.stamp(ra, rb, -g);
+        m.stamp(rb, ra, -g);
+    }
+}
+
+/// VCCS-like stamp: current `g·v(cp,cn)` flowing `a → b`.
+pub(crate) fn gtrans<T: Scalar, M: Stamp<T>>(
+    m: &mut M,
+    a: Option<usize>,
+    b: Option<usize>,
+    cp: Option<usize>,
+    cn: Option<usize>,
+    g: T,
+) {
+    for (row, neg_row) in [(a, false), (b, true)] {
+        let Some(r) = row else { continue };
+        for (col, neg_col) in [(cp, false), (cn, true)] {
+            let Some(c) = col else { continue };
+            let v = if neg_row != neg_col { -g } else { g };
+            m.stamp(r, c, v);
+        }
+    }
+}

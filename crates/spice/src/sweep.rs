@@ -62,6 +62,22 @@ pub fn dc_sweep(
     source: &str,
     values: &[f64],
 ) -> Result<DcSweep, SpiceError> {
+    dc_sweep_with(circuit, tech, source, values, DcOptions::default())
+}
+
+/// [`dc_sweep`] with explicit DC solver options (backend selection,
+/// iteration limits, continuation knobs).
+///
+/// # Errors
+///
+/// See [`dc_sweep`].
+pub fn dc_sweep_with(
+    circuit: &Circuit,
+    tech: &Technology,
+    source: &str,
+    values: &[f64],
+    opts: DcOptions,
+) -> Result<DcSweep, SpiceError> {
     let Some(e) = circuit.element(source) else {
         return Err(SpiceError::BadCircuit(format!(
             "no element named `{source}`"
@@ -81,7 +97,7 @@ pub fn dc_sweep(
         set_source_dc(&mut work, source, v);
         // Warm-starting across the sweep would be faster; correctness first:
         // each point gets the full ladder of convergence aids.
-        let op = dc_operating_point_with(&work, tech, DcOptions::default())?;
+        let op = dc_operating_point_with(&work, tech, opts)?;
         points.push(op);
     }
     Ok(DcSweep {

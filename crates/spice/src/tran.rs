@@ -6,10 +6,14 @@
 //! slew/settling/delay measurements the reproduction needs and documented in
 //! `DESIGN.md`. Steps that fail to converge are halved recursively.
 
-use crate::dc::{stamp_nonreactive, OperatingPoint, SourceValue};
+use crate::dc::{
+    build_real_solver, rhs_sources, stamp_devices, stamp_linear_dc, OperatingPoint, SourceValue,
+};
+use crate::engine::{MatSnapshot, RealSolver};
 use crate::error::SpiceError;
-use crate::linalg::Matrix;
 use crate::mna::Unknowns;
+use crate::sparse::Backend;
+use crate::stamp::Stamp;
 use ape_netlist::{Circuit, ElementKind, NodeId, Technology};
 
 /// Options controlling a transient run.
@@ -23,6 +27,8 @@ pub struct TranOptions {
     pub max_newton: usize,
     /// Maximum number of recursive step halvings before giving up.
     pub max_halvings: usize,
+    /// Linear-solver backend selection.
+    pub backend: Backend,
 }
 
 impl TranOptions {
@@ -33,6 +39,7 @@ impl TranOptions {
             tstop,
             max_newton: 60,
             max_halvings: 12,
+            backend: Backend::Auto,
         }
     }
 }
@@ -83,9 +90,8 @@ struct CapState {
 }
 
 struct IndState {
-    name: String,
-    a: NodeId,
-    b: NodeId,
+    /// Branch-current row, resolved once at collection time.
+    row: Option<usize>,
     l: f64,
     v_prev: f64,
     i_prev: f64,
@@ -129,9 +135,7 @@ pub fn transient(
                 i_prev: 0.0,
             }),
             ElementKind::Inductor { henries } => inds.push(IndState {
-                name: e.name.clone(),
-                a: e.a,
-                b: e.b,
+                row: u.branch_row_by_name(&e.name),
                 l: *henries,
                 v_prev: 0.0,
                 i_prev: 0.0,
@@ -168,19 +172,51 @@ pub fn transient(
     }
     for is in &mut inds {
         is.v_prev = 0.0;
-        is.i_prev = u.branch_row_by_name(&is.name).map(|r| x[r]).unwrap_or(0.0);
+        is.i_prev = is.row.map(|r| x[r]).unwrap_or(0.0);
     }
+
+    let solver = build_real_solver(circuit, tech, &u, &x, opts.backend, |pb| {
+        // Companion footprints on top of the shared DC pattern.
+        for cs in &caps {
+            let (a, b) = (u.node_row(cs.a), u.node_row(cs.b));
+            if let Some(ra) = a {
+                pb.add(ra, ra);
+            }
+            if let Some(rb) = b {
+                pb.add(rb, rb);
+            }
+            if let (Some(ra), Some(rb)) = (a, b) {
+                pb.add(ra, rb);
+                pb.add(rb, ra);
+            }
+        }
+        for is in &inds {
+            if let Some(k) = is.row {
+                pb.add(k, k);
+            }
+        }
+    })?;
+    let static_snap = solver.snapshot();
+    let mut eng = TranEngine {
+        circuit,
+        tech,
+        u: &u,
+        solver,
+        static_snap,
+        snap_h: 0.0,
+        rhs_base: vec![0.0; n],
+        rhs: vec![0.0; n],
+        caps,
+        inds,
+    };
 
     let mut times = vec![0.0];
     let mut samples = vec![x[..u.n_nodes].to_vec()];
     let mut t = 0.0;
-    let mut mat = Matrix::<f64>::zeros(n);
 
     while t < opts.tstop - 1e-18 {
         let h_out = opts.tstep.min(opts.tstop - t);
-        step_adaptive(
-            circuit, tech, &u, &mut x, &mut mat, &mut caps, &mut inds, t, h_out, opts, 0,
-        )?;
+        eng.step_adaptive(&mut x, t, h_out, opts, 0)?;
         t += h_out;
         times.push(t);
         samples.push(x[..u.n_nodes].to_vec());
@@ -193,167 +229,192 @@ pub fn transient(
     })
 }
 
-/// Advances the solution by `h`, recursively halving on failure.
-#[allow(clippy::too_many_arguments)]
-fn step_adaptive(
-    circuit: &Circuit,
-    tech: &Technology,
-    u: &Unknowns,
-    x: &mut Vec<f64>,
-    mat: &mut Matrix<f64>,
-    caps: &mut [CapState],
-    inds: &mut [IndState],
-    t: f64,
-    h: f64,
-    opts: TranOptions,
-    depth: usize,
-) -> Result<(), SpiceError> {
-    let saved_x = x.clone();
-    let saved_caps: Vec<(f64, f64)> = caps.iter().map(|c| (c.v_prev, c.i_prev)).collect();
-    let saved_inds: Vec<(f64, f64)> = inds.iter().map(|l| (l.v_prev, l.i_prev)).collect();
-
-    match step_once(circuit, tech, u, x, mat, caps, inds, t + h, h, opts) {
-        Ok(()) => Ok(()),
-        Err(e) => {
-            if depth >= opts.max_halvings {
-                ape_probe::counter("spice.tran.step_failures", 1);
-                return Err(e);
-            }
-            ape_probe::counter("spice.tran.halvings", 1);
-            // Restore and take two half steps.
-            *x = saved_x;
-            for (c, (v, i)) in caps.iter_mut().zip(&saved_caps) {
-                c.v_prev = *v;
-                c.i_prev = *i;
-            }
-            for (l, (v, i)) in inds.iter_mut().zip(&saved_inds) {
-                l.v_prev = *v;
-                l.i_prev = *i;
-            }
-            let h2 = h / 2.0;
-            step_adaptive(circuit, tech, u, x, mat, caps, inds, t, h2, opts, depth + 1)?;
-            step_adaptive(
-                circuit,
-                tech,
-                u,
-                x,
-                mat,
-                caps,
-                inds,
-                t + h2,
-                h2,
-                opts,
-                depth + 1,
-            )
-        }
-    }
+/// Per-analysis transient state: the backend solver, the static matrix
+/// snapshot for the current step size (linear elements + gmin + trapezoidal
+/// companion conductances — everything that does not change across a
+/// step's Newton iterations), and reusable right-hand-side buffers.
+struct TranEngine<'a> {
+    circuit: &'a Circuit,
+    tech: &'a Technology,
+    u: &'a Unknowns,
+    solver: RealSolver,
+    static_snap: MatSnapshot,
+    /// Step size the snapshot was built for (companion conductances are
+    /// `2C/h` / `-2L/h`); a different `h` triggers a rebuild.
+    snap_h: f64,
+    rhs_base: Vec<f64>,
+    rhs: Vec<f64>,
+    caps: Vec<CapState>,
+    inds: Vec<IndState>,
 }
 
-/// One trapezoidal step to absolute time `t_new` with step `h`.
-#[allow(clippy::too_many_arguments)]
-fn step_once(
-    circuit: &Circuit,
-    tech: &Technology,
-    u: &Unknowns,
-    x: &mut [f64],
-    mat: &mut Matrix<f64>,
-    caps: &mut [CapState],
-    inds: &mut [IndState],
-    t_new: f64,
-    h: f64,
-    opts: TranOptions,
-) -> Result<(), SpiceError> {
-    let n = u.dim();
-    ape_probe::counter("spice.tran.steps", 1);
-    let mut converged = false;
-    for _ in 0..opts.max_newton {
-        ape_probe::counter("spice.tran.nr_iters", 1);
-        mat.clear();
-        let mut rhs = vec![0.0; n];
-        stamp_nonreactive(
-            circuit,
-            tech,
-            u,
-            x,
-            mat,
-            &mut rhs,
-            1e-12,
-            SourceValue::AtTime(t_new),
-        )?;
-        // Trapezoidal companions. i_new = geq·v_new − (geq·v_prev + i_prev).
-        for cs in caps.iter() {
+impl TranEngine<'_> {
+    /// Rebuilds the static matrix snapshot for step size `h`.
+    fn rebuild_static(&mut self, h: f64) -> Result<(), SpiceError> {
+        self.solver.clear();
+        for r in 0..self.u.n_nodes {
+            self.solver.stamp(r, r, 1e-12);
+        }
+        stamp_linear_dc(self.circuit, self.u, &mut self.solver)?;
+        for cs in &self.caps {
             let geq = 2.0 * cs.c / h;
-            let ieq = -(geq * cs.v_prev + cs.i_prev);
-            let (a, b) = (u.node_row(cs.a), u.node_row(cs.b));
+            let (a, b) = (self.u.node_row(cs.a), self.u.node_row(cs.b));
             if let Some(ra) = a {
-                mat.stamp(ra, ra, geq);
-                rhs[ra] -= ieq;
+                self.solver.stamp(ra, ra, geq);
             }
             if let Some(rb) = b {
-                mat.stamp(rb, rb, geq);
-                rhs[rb] += ieq;
+                self.solver.stamp(rb, rb, geq);
             }
             if let (Some(ra), Some(rb)) = (a, b) {
-                mat.stamp(ra, rb, -geq);
-                mat.stamp(rb, ra, -geq);
+                self.solver.stamp(ra, rb, -geq);
+                self.solver.stamp(rb, ra, -geq);
             }
         }
-        // Inductor branch rows: v − (2L/h)·i = −v_prev − (2L/h)·i_prev.
-        for is in inds.iter() {
-            let Some(k) = u.branch_row_by_name(&is.name) else {
-                continue;
-            };
-            let (a, b) = (u.node_row(is.a), u.node_row(is.b));
-            if let Some(ra) = a {
-                mat.stamp(ra, k, 1.0);
-                mat.stamp(k, ra, 1.0);
+        for is in &self.inds {
+            if let Some(k) = is.row {
+                self.solver.stamp(k, k, -2.0 * is.l / h);
             }
-            if let Some(rb) = b {
-                mat.stamp(rb, k, -1.0);
-                mat.stamp(k, rb, -1.0);
+        }
+        self.solver.save_into(&mut self.static_snap);
+        self.snap_h = h;
+        Ok(())
+    }
+
+    /// Advances the solution by `h`, recursively halving on failure.
+    fn step_adaptive(
+        &mut self,
+        x: &mut Vec<f64>,
+        t: f64,
+        h: f64,
+        opts: TranOptions,
+        depth: usize,
+    ) -> Result<(), SpiceError> {
+        let saved_x = x.clone();
+        let saved_caps: Vec<(f64, f64)> = self.caps.iter().map(|c| (c.v_prev, c.i_prev)).collect();
+        let saved_inds: Vec<(f64, f64)> = self.inds.iter().map(|l| (l.v_prev, l.i_prev)).collect();
+
+        match self.step_once(x, t + h, h, opts) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                if depth >= opts.max_halvings {
+                    ape_probe::counter("spice.tran.step_failures", 1);
+                    return Err(e);
+                }
+                ape_probe::counter("spice.tran.halvings", 1);
+                // Restore and take two half steps.
+                *x = saved_x;
+                for (c, (v, i)) in self.caps.iter_mut().zip(&saved_caps) {
+                    c.v_prev = *v;
+                    c.i_prev = *i;
+                }
+                for (l, (v, i)) in self.inds.iter_mut().zip(&saved_inds) {
+                    l.v_prev = *v;
+                    l.i_prev = *i;
+                }
+                let h2 = h / 2.0;
+                self.step_adaptive(x, t, h2, opts, depth + 1)?;
+                self.step_adaptive(x, t + h2, h2, opts, depth + 1)
             }
+        }
+    }
+
+    /// One trapezoidal step to absolute time `t_new` with step `h`.
+    fn step_once(
+        &mut self,
+        x: &mut [f64],
+        t_new: f64,
+        h: f64,
+        opts: TranOptions,
+    ) -> Result<(), SpiceError> {
+        let n = self.u.dim();
+        ape_probe::counter("spice.tran.steps", 1);
+        if h != self.snap_h {
+            self.rebuild_static(h)?;
+        }
+        // Per-step right-hand-side base: sources at t_new plus companion
+        // history currents — constant across this step's Newton iterations.
+        // i_new = geq·v_new − (geq·v_prev + i_prev) for capacitors;
+        // inductor branch rows read v − (2L/h)·i = −v_prev − (2L/h)·i_prev.
+        self.rhs_base.iter_mut().for_each(|v| *v = 0.0);
+        rhs_sources(
+            self.circuit,
+            self.u,
+            &mut self.rhs_base,
+            SourceValue::AtTime(t_new),
+        );
+        for cs in &self.caps {
+            let geq = 2.0 * cs.c / h;
+            let ieq = -(geq * cs.v_prev + cs.i_prev);
+            if let Some(ra) = self.u.node_row(cs.a) {
+                self.rhs_base[ra] -= ieq;
+            }
+            if let Some(rb) = self.u.node_row(cs.b) {
+                self.rhs_base[rb] += ieq;
+            }
+        }
+        for is in &self.inds {
+            if let Some(k) = is.row {
+                let zl = 2.0 * is.l / h;
+                self.rhs_base[k] += -is.v_prev - zl * is.i_prev;
+            }
+        }
+        let mut converged = false;
+        for _ in 0..opts.max_newton {
+            ape_probe::counter("spice.tran.nr_iters", 1);
+            self.solver.restore(&self.static_snap);
+            self.rhs.copy_from_slice(&self.rhs_base);
+            stamp_devices(
+                self.circuit,
+                self.tech,
+                self.u,
+                x,
+                &mut self.solver,
+                &mut self.rhs,
+            )?;
+            self.solver
+                .solve(&mut self.rhs)
+                .ok_or(SpiceError::SingularMatrix { analysis: "tran" })?;
+            let sol = &self.rhs;
+            let mut worst = 0.0f64;
+            for r in 0..n {
+                let delta = sol[r] - x[r];
+                let lim = if r < self.u.n_nodes {
+                    0.6
+                } else {
+                    f64::INFINITY
+                };
+                x[r] += delta.clamp(-lim, lim);
+                let scale = 1e-6 + 1e-6 * sol[r].abs();
+                worst = worst.max(delta.abs() / scale);
+            }
+            if worst < 1.0 {
+                converged = true;
+                break;
+            }
+        }
+        if !converged {
+            return Err(SpiceError::NoConvergence {
+                analysis: "tran",
+                detail: format!("time {t_new:.3e} step {h:.3e}"),
+            });
+        }
+        // Update companion states with converged values.
+        for cs in self.caps.iter_mut() {
+            let v_new = self.u.voltage(x, cs.a) - self.u.voltage(x, cs.b);
+            let geq = 2.0 * cs.c / h;
+            let i_new = geq * (v_new - cs.v_prev) - cs.i_prev;
+            cs.v_prev = v_new;
+            cs.i_prev = i_new;
+        }
+        for is in self.inds.iter_mut() {
+            let i_new = is.row.map(|r| x[r]).unwrap_or(0.0);
             let zl = 2.0 * is.l / h;
-            mat.stamp(k, k, -zl);
-            rhs[k] += -is.v_prev - zl * is.i_prev;
+            let v_new = zl * (i_new - is.i_prev) - is.v_prev;
+            is.v_prev = v_new;
+            is.i_prev = i_new;
         }
-        let sol = mat
-            .solve(&rhs)
-            .ok_or(SpiceError::SingularMatrix { analysis: "tran" })?;
-        let mut worst = 0.0f64;
-        for r in 0..n {
-            let delta = sol[r] - x[r];
-            let lim = if r < u.n_nodes { 0.6 } else { f64::INFINITY };
-            x[r] += delta.clamp(-lim, lim);
-            let scale = 1e-6 + 1e-6 * sol[r].abs();
-            worst = worst.max(delta.abs() / scale);
-        }
-        if worst < 1.0 {
-            converged = true;
-            break;
-        }
+        Ok(())
     }
-    if !converged {
-        return Err(SpiceError::NoConvergence {
-            analysis: "tran",
-            detail: format!("time {t_new:.3e} step {h:.3e}"),
-        });
-    }
-    // Update companion states with converged values.
-    for cs in caps.iter_mut() {
-        let v_new = u.voltage(x, cs.a) - u.voltage(x, cs.b);
-        let geq = 2.0 * cs.c / h;
-        let i_new = geq * (v_new - cs.v_prev) - cs.i_prev;
-        cs.v_prev = v_new;
-        cs.i_prev = i_new;
-    }
-    for is in inds.iter_mut() {
-        let i_new = u.branch_row_by_name(&is.name).map(|r| x[r]).unwrap_or(0.0);
-        let zl = 2.0 * is.l / h;
-        let v_new = zl * (i_new - is.i_prev) - is.v_prev;
-        is.v_prev = v_new;
-        is.i_prev = i_new;
-    }
-    Ok(())
 }
 
 #[cfg(test)]

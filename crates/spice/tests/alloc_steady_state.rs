@@ -1,0 +1,95 @@
+//! Asserts the zero-steady-state-allocation invariant of the sparse solve
+//! path: once an analysis has built its pattern, factor workspaces, and
+//! scratch buffers, further solves allocate nothing inside the solver.
+//!
+//! Measured via the [`ape_spice::alloc_events`] counter, which every sparse
+//! structure bump on construction. The strategy: run the same analysis at
+//! two workloads (N and ~4N solves) and require identical counter deltas —
+//! any per-solve allocation would scale with the workload.
+//!
+//! These tests share one process-global counter, so they serialise on a
+//! mutex; this file deliberately holds nothing else.
+
+use ape_netlist::{Circuit, SourceWaveform, Technology};
+use ape_spice::{
+    ac_sweep_with, alloc_events, dc_operating_point, transient, AcOptions, Backend, TranOptions,
+};
+use std::sync::Mutex;
+
+static COUNTER_LOCK: Mutex<()> = Mutex::new(());
+
+/// A 12-section RC ladder: 14 unknowns, sparse under `Backend::Auto`.
+fn rc_ladder() -> Circuit {
+    let mut c = Circuit::new("ladder");
+    let mut prev = c.node("n0");
+    c.add_vsource(
+        "VIN",
+        prev,
+        Circuit::GROUND,
+        1.0,
+        1.0,
+        SourceWaveform::Pulse {
+            v1: 0.0,
+            v2: 1.0,
+            delay: 1e-7,
+            rise: 1e-8,
+            fall: 1e-8,
+            width: 5e-6,
+            period: f64::INFINITY,
+        },
+    )
+    .unwrap();
+    for k in 1..=12 {
+        let next = c.node(&format!("n{k}"));
+        c.add_resistor(&format!("R{k}"), prev, next, 1e3).unwrap();
+        c.add_capacitor(&format!("C{k}"), next, Circuit::GROUND, 10e-12)
+            .unwrap();
+        prev = next;
+    }
+    c
+}
+
+#[test]
+fn ac_sweep_solves_do_not_allocate() {
+    let _guard = COUNTER_LOCK.lock().unwrap();
+    let tech = Technology::default_1p2um();
+    let ckt = rc_ladder();
+    let op = dc_operating_point(&ckt, &tech).expect("DC");
+    let opts = AcOptions {
+        threads: 1,
+        backend: Backend::Sparse,
+    };
+    let run = |points: usize| {
+        let freqs: Vec<f64> = (0..points).map(|k| 1e3 * 1.1f64.powi(k as i32)).collect();
+        let before = alloc_events();
+        ac_sweep_with(&ckt, &tech, &op, &freqs, opts).expect("AC");
+        alloc_events() - before
+    };
+    let small = run(10);
+    let large = run(40);
+    assert_eq!(
+        small, large,
+        "solver allocations grew with sweep length: {small} vs {large}"
+    );
+}
+
+#[test]
+fn transient_solves_do_not_allocate() {
+    let _guard = COUNTER_LOCK.lock().unwrap();
+    let tech = Technology::default_1p2um();
+    let ckt = rc_ladder();
+    let op = dc_operating_point(&ckt, &tech).expect("DC");
+    let run = |tstop: f64| {
+        let mut opts = TranOptions::new(2e-8, tstop);
+        opts.backend = Backend::Sparse;
+        let before = alloc_events();
+        transient(&ckt, &tech, &op, opts).expect("tran");
+        alloc_events() - before
+    };
+    let small = run(1e-6);
+    let large = run(4e-6);
+    assert_eq!(
+        small, large,
+        "solver allocations grew with simulated time: {small} vs {large}"
+    );
+}
