@@ -32,6 +32,7 @@
 //! assert!((result.best_state[0] - 3.0).abs() < 0.1);
 //! ```
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -238,7 +239,7 @@ where
 {
     let _run_span = ape_probe::span("anneal.run");
     let mut rng = Rng64::seed_from_u64(opts.seed);
-    let (t0, mut alpha, moves_per_temp, t_min, adaptive) = match opts.schedule {
+    let (t0, alpha, moves_per_temp, t_min, adaptive) = match opts.schedule {
         Schedule::Geometric {
             t0,
             alpha,
@@ -251,6 +252,17 @@ where
             t_min,
         } => (t0, 0.95, moves_per_temp, t_min, true),
     };
+    // Hostile schedules must not hang the loop: a zero `moves_per_temp`
+    // never advances `evals`, and an `alpha` outside (0, 1) never cools, so
+    // together they spin forever. Clamp to the nearest sane value instead.
+    let moves_per_temp = moves_per_temp.max(1);
+    let mut alpha = if alpha.is_finite() && alpha > 0.0 && alpha < 1.0 {
+        alpha
+    } else {
+        ape_probe::counter("anneal.bad_alpha", 1);
+        0.9
+    };
+    let t0 = if t0.is_finite() { t0 } else { 1.0 };
 
     let mut current = initial.clone();
     let mut current_cost = cost(&current);

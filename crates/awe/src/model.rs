@@ -86,7 +86,7 @@ impl ReducedModel {
             .iter()
             .filter(|p| p.re < 0.0)
             .map(|p| p.norm() / (2.0 * std::f64::consts::PI))
-            .min_by(|a, b| a.partial_cmp(b).expect("finite pole magnitudes"))
+            .min_by(|a, b| a.total_cmp(b))
     }
 
     /// −3 dB bandwidth found by bisection on the magnitude response.

@@ -1,3 +1,5 @@
+// Test/harness code: panicking on bad results is the assertion mechanism.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 //! Sampled invariant tests for the AWE reduction: Padé identities over
 //! random stable systems, swept deterministically from fixed seeds.
 

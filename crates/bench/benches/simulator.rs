@@ -26,7 +26,7 @@ fn main() {
         black_box(dc_operating_point(&tb, &tech).expect("op"))
     });
 
-    let freqs = decade_frequencies(100.0, 1e9, 8);
+    let freqs = decade_frequencies(100.0, 1e9, 8).unwrap();
     g.bench("ac_sweep_opamp_57pt", || {
         black_box(ac_sweep(&tb, &tech, &op, &freqs).expect("sweep"))
     });

@@ -34,7 +34,7 @@ fn main() {
         ))
     });
 
-    let blind_point = blind_center(task.topology);
+    let blind_point = blind_center(task.topology).expect("built-in bounds");
     g.bench("candidate_eval_blind_center", || {
         black_box(evaluate_candidate(
             &tech,

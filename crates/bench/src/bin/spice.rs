@@ -37,7 +37,7 @@ fn cases(tech: &Technology) -> Vec<Case> {
     vec![
         Case {
             name: "gain-stage",
-            ckt: gain.testbench(tech),
+            ckt: gain.testbench(tech).expect("gain testbench"),
         },
         Case {
             name: "opamp-ol",
@@ -89,7 +89,7 @@ struct CaseResult {
 fn run_case(tech: &Technology, case: &Case, samples: u32, freq_ppd: usize) -> CaseResult {
     let ckt = &case.ckt;
     let unknowns = Unknowns::for_circuit(ckt).dim();
-    let freqs = decade_frequencies(10.0, 1e9, freq_ppd);
+    let freqs = decade_frequencies(10.0, 1e9, freq_ppd).unwrap();
 
     let dc_dense = time_it(samples, || {
         dc_operating_point_with(ckt, tech, dc_opts(Backend::Dense)).expect("dense DC")

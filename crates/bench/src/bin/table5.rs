@@ -60,9 +60,9 @@ fn synthesized_opamp(
 fn gain_bw(tech: &Technology, tb: &Circuit) -> (f64, f64) {
     let out = tb.find_node("out").expect("testbench has out");
     match dc_operating_point(tb, tech) {
-        Ok(op) => match ac_sweep(tb, tech, &op, &decade_frequencies(10.0, 1e8, 10)) {
+        Ok(op) => match ac_sweep(tb, tech, &op, &decade_frequencies(10.0, 1e8, 10).unwrap()) {
             Ok(sweep) => (
-                measure::dc_gain(&sweep, out),
+                measure::dc_gain(&sweep, out).unwrap(),
                 measure::bandwidth_3db(&sweep, out).unwrap_or(0.0),
             ),
             Err(_) => (f64::NAN, f64::NAN),
@@ -321,7 +321,8 @@ fn main() {
             let Ok(op) = dc_operating_point(tb, &tech) else {
                 return (f64::NAN, f64::NAN);
             };
-            let Ok(sweep) = ac_sweep(tb, &tech, &op, &decade_frequencies(20.0, 50e3, 30)) else {
+            let Ok(sweep) = ac_sweep(tb, &tech, &op, &decade_frequencies(20.0, 50e3, 30).unwrap())
+            else {
                 return (f64::NAN, f64::NAN);
             };
             let mags = sweep.magnitude(out);

@@ -71,7 +71,7 @@ pub fn table2_rows(tech: &Technology) -> Result<Vec<ComponentRow>, BoxError> {
     // --- DCVolt: 2.5 V at 100 µA --------------------------------------
     {
         let d = DcVolt::design(tech, 2.5, 100e-6)?;
-        let tb = d.testbench(tech);
+        let tb = d.testbench(tech)?;
         let op = dc_operating_point(&tb, tech)?;
         let out = tb.find_node("out").expect("testbench has out");
         rows.push(ComponentRow {
@@ -108,7 +108,7 @@ pub fn table2_rows(tech: &Technology) -> Result<Vec<ComponentRow>, BoxError> {
     // --- Current mirrors at 100 µA ------------------------------------
     for topo in [MirrorTopology::Simple, MirrorTopology::Wilson] {
         let m = CurrentMirror::design(tech, topo, 100e-6, 1.0)?;
-        let tb = m.testbench(tech);
+        let tb = m.testbench(tech)?;
         let op = dc_operating_point(&tb, tech)?;
         rows.push(ComponentRow {
             name: topo.to_string(),
@@ -145,11 +145,11 @@ pub fn table2_rows(tech: &Technology) -> Result<Vec<ComponentRow>, BoxError> {
     ];
     for (topo, gain, ibias) in gain_cases {
         let g = GainStage::design(tech, topo, gain, ibias, 1e-12)?;
-        let tb = g.testbench(tech);
+        let tb = g.testbench(tech)?;
         let op = dc_operating_point(&tb, tech)?;
         let out = tb.find_node("out").expect("testbench has out");
-        let sweep = ac_sweep(&tb, tech, &op, &decade_frequencies(10.0, 1e9, 10))?;
-        let a_sim = measure::dc_gain(&sweep, out);
+        let sweep = ac_sweep(&tb, tech, &op, &decade_frequencies(10.0, 1e9, 10)?)?;
+        let a_sim = measure::dc_gain(&sweep, out).unwrap();
         let u_sim = measure::unity_gain_frequency(&sweep, out).unwrap_or(0.0);
         rows.push(ComponentRow {
             name: topo.to_string(),
@@ -185,7 +185,7 @@ pub fn table2_rows(tech: &Technology) -> Result<Vec<ComponentRow>, BoxError> {
     // --- Follower at 100 µA ---------------------------------------------
     {
         let f = Follower::design(tech, 100e-6, 10e-12)?;
-        let tb = f.testbench(tech);
+        let tb = f.testbench(tech)?;
         let op = dc_operating_point(&tb, tech)?;
         let out = tb.find_node("out").expect("testbench has out");
         let sweep = ac_sweep(&tb, tech, &op, &[100.0])?;
@@ -209,7 +209,7 @@ pub fn table2_rows(tech: &Technology) -> Result<Vec<ComponentRow>, BoxError> {
                     name: "gain",
                     unit: "V/V",
                     est: f.perf.dc_gain.unwrap_or(0.0),
-                    sim: measure::dc_gain(&sweep, out),
+                    sim: measure::dc_gain(&sweep, out).unwrap(),
                 },
                 Metric {
                     name: "current",
@@ -227,11 +227,11 @@ pub fn table2_rows(tech: &Technology) -> Result<Vec<ComponentRow>, BoxError> {
         (DiffTopology::MirrorLoad, 1000.0),
     ] {
         let p = DiffPair::design(tech, topo, adm, 1e-6, 1e-12)?;
-        let tb = p.testbench(tech);
+        let tb = p.testbench(tech)?;
         let op = dc_operating_point(&tb, tech)?;
         let out = tb.find_node("out").expect("testbench has out");
         let outb = tb.find_node("outb").expect("testbench has outb");
-        let sweep = ac_sweep(&tb, tech, &op, &decade_frequencies(10.0, 1e9, 10))?;
+        let sweep = ac_sweep(&tb, tech, &op, &decade_frequencies(10.0, 1e9, 10)?)?;
         // The diode-load pair is fully differential: gain and UGF are
         // measured on out − outb, not single-ended.
         let (a_sim, u_sim) = match topo {
@@ -251,7 +251,7 @@ pub fn table2_rows(tech: &Technology) -> Result<Vec<ComponentRow>, BoxError> {
                 (-mags[0], u)
             }
             DiffTopology::MirrorLoad => (
-                measure::dc_gain(&sweep, out),
+                measure::dc_gain(&sweep, out).unwrap(),
                 measure::unity_gain_frequency(&sweep, out).unwrap_or(0.0),
             ),
         };
@@ -308,10 +308,10 @@ pub fn sim_zout(tech: &Technology, amp: &OpAmp) -> Result<f64, BoxError> {
     let inp = ckt.node("inp");
     let inn = ckt.node("inn");
     let out = ckt.node("out");
-    ckt.add_vdc("VDD", vdd, Circuit::GROUND, tech.vdd);
+    ckt.add_vdc("VDD", vdd, Circuit::GROUND, tech.vdd)?;
     let vcm = tech.vdd / 2.0;
-    ckt.add_vdc("VINP", inp, Circuit::GROUND, vcm);
-    ckt.add_vdc("VINN", inn, Circuit::GROUND, vcm);
+    ckt.add_vdc("VINP", inp, Circuit::GROUND, vcm)?;
+    ckt.add_vdc("VINN", inn, Circuit::GROUND, vcm)?;
     amp.build_into(&mut ckt, tech, "X1", inp, inn, out, vdd)?;
     ckt.add_isource("IZ", Circuit::GROUND, out, 0.0, 1.0, SourceWaveform::Dc)?;
     let op = dc_operating_point(&ckt, tech)?;
@@ -332,7 +332,7 @@ pub fn sim_cmrr_db(tech: &Technology, amp: &OpAmp) -> Result<f64, BoxError> {
         let inp = ckt.node("inp");
         let inn = ckt.node("inn");
         let out = ckt.node("out");
-        ckt.add_vdc("VDD", vdd, Circuit::GROUND, tech.vdd);
+        ckt.add_vdc("VDD", vdd, Circuit::GROUND, tech.vdd)?;
         let vcm = tech.vdd / 2.0;
         let (acp, acn) = if common { (1.0, 1.0) } else { (0.5, -0.5) };
         ckt.add_vsource("VINP", inp, Circuit::GROUND, vcm, acp, SourceWaveform::Dc)?;
@@ -375,8 +375,8 @@ pub fn table3_row(tech: &Technology, task: &OpAmpTask) -> Result<ComponentRow, B
     let tb = amp.testbench_open_loop(tech)?;
     let op = dc_operating_point(&tb, tech)?;
     let out = tb.find_node("out").expect("testbench has out");
-    let sweep = ac_sweep(&tb, tech, &op, &decade_frequencies(10.0, 2e9, 8))?;
-    let gain_sim = measure::dc_gain(&sweep, out);
+    let sweep = ac_sweep(&tb, tech, &op, &decade_frequencies(10.0, 2e9, 8)?)?;
+    let gain_sim = measure::dc_gain(&sweep, out).unwrap();
     let ugf_sim = measure::unity_gain_frequency(&sweep, out).unwrap_or(0.0);
     let tail_sim = op
         .mos
@@ -458,7 +458,7 @@ pub fn table5_ape_rows(tech: &Technology) -> Result<Vec<ComponentRow>, BoxError>
         let tb = sh.testbench_tracking(tech)?;
         let op = dc_operating_point(&tb, tech)?;
         let out = tb.find_node("out").expect("testbench has out");
-        let sweep = ac_sweep(&tb, tech, &op, &decade_frequencies(100.0, 1e7, 10))?;
+        let sweep = ac_sweep(&tb, tech, &op, &decade_frequencies(100.0, 1e7, 10)?)?;
         rows.push(ComponentRow {
             name: "s&h".into(),
             metrics: vec![
@@ -466,7 +466,7 @@ pub fn table5_ape_rows(tech: &Technology) -> Result<Vec<ComponentRow>, BoxError>
                     name: "gain",
                     unit: "V/V",
                     est: sh.perf.dc_gain.unwrap_or(0.0),
-                    sim: measure::dc_gain(&sweep, out),
+                    sim: measure::dc_gain(&sweep, out).unwrap(),
                 },
                 Metric {
                     name: "bw",
@@ -490,7 +490,7 @@ pub fn table5_ape_rows(tech: &Technology) -> Result<Vec<ComponentRow>, BoxError>
         let tb = amp.testbench(tech)?;
         let op = dc_operating_point(&tb, tech)?;
         let out = tb.find_node("out").expect("testbench has out");
-        let sweep = ac_sweep(&tb, tech, &op, &decade_frequencies(10.0, 1e8, 10))?;
+        let sweep = ac_sweep(&tb, tech, &op, &decade_frequencies(10.0, 1e8, 10)?)?;
         rows.push(ComponentRow {
             name: "amp".into(),
             metrics: vec![
@@ -498,7 +498,7 @@ pub fn table5_ape_rows(tech: &Technology) -> Result<Vec<ComponentRow>, BoxError>
                     name: "gain",
                     unit: "V/V",
                     est: amp.perf.dc_gain.unwrap_or(0.0),
-                    sim: measure::dc_gain(&sweep, out),
+                    sim: measure::dc_gain(&sweep, out).unwrap(),
                 },
                 Metric {
                     name: "bw",
@@ -557,8 +557,8 @@ pub fn table5_ape_rows(tech: &Technology) -> Result<Vec<ComponentRow>, BoxError>
         let tb = lpf.testbench(tech)?;
         let op = dc_operating_point(&tb, tech)?;
         let out = tb.find_node("out").expect("testbench has out");
-        let sweep = ac_sweep(&tb, tech, &op, &decade_frequencies(10.0, 1e5, 20))?;
-        let g_sim = measure::dc_gain(&sweep, out);
+        let sweep = ac_sweep(&tb, tech, &op, &decade_frequencies(10.0, 1e5, 20)?)?;
+        let g_sim = measure::dc_gain(&sweep, out).unwrap();
         let f3_sim = measure::bandwidth_3db(&sweep, out).unwrap_or(0.0);
         let f20_sim = measure::crossing_frequency(&sweep, out, g_sim / 10.0).unwrap_or(0.0);
         rows.push(ComponentRow {
@@ -598,7 +598,7 @@ pub fn table5_ape_rows(tech: &Technology) -> Result<Vec<ComponentRow>, BoxError>
         let tb = bpf.testbench(tech)?;
         let op = dc_operating_point(&tb, tech)?;
         let out = tb.find_node("out").expect("testbench has out");
-        let sweep = ac_sweep(&tb, tech, &op, &decade_frequencies(20.0, 50e3, 30))?;
+        let sweep = ac_sweep(&tb, tech, &op, &decade_frequencies(20.0, 50e3, 30)?)?;
         let mags = sweep.magnitude(out);
         let (kmax, peak) = mags
             .iter()

@@ -1,0 +1,221 @@
+//! Drivers: one generated case through one public entry point, under
+//! `catch_unwind`, with the three assertions every call must satisfy:
+//! no panic, every `Err` renders a non-empty message, and `Ok` payloads
+//! respect their basic invariants (positive area/power, finite numbers).
+
+use crate::gen;
+use ape_anneal::Rng64;
+use ape_core::netest::estimate_netlist;
+use ape_core::opamp::OpAmp;
+use ape_netlist::{parse_spice, NodeId};
+use ape_oblx::{synthesize, DesignPoint, InitialPoint, SynthesisOptions};
+use ape_spice::{ac_sweep, dc_operating_point, decade_frequencies, transient, TranOptions};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// The outcome of one fuzz case.
+pub struct CaseOutcome {
+    /// Which entry point ran.
+    pub entry: &'static str,
+    /// `None` = the case passed; `Some` = a human-readable failure.
+    pub failure: Option<String>,
+}
+
+fn run_case<F: FnOnce() -> Option<String>>(entry: &'static str, seed: u64, f: F) -> CaseOutcome {
+    let failure = match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(None) => None,
+        Ok(Some(msg)) => Some(format!("{entry} seed {seed:#x}: {msg}")),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string payload".to_string());
+            Some(format!("{entry} seed {seed:#x}: PANIC: {msg}"))
+        }
+    };
+    CaseOutcome { entry, failure }
+}
+
+/// Checks that an error value renders a non-empty message.
+fn err_message_ok<E: std::error::Error>(e: &E) -> Option<String> {
+    if e.to_string().trim().is_empty() {
+        Some(format!("error with empty message: {e:?}"))
+    } else {
+        None
+    }
+}
+
+fn finite_or(v: Option<f64>, what: &str) -> Option<String> {
+    match v {
+        Some(x) if !x.is_finite() => Some(format!("non-finite {what}: {x}")),
+        _ => None,
+    }
+}
+
+/// `parse_spice` on a hostile or valid deck.
+pub fn parse(seed: u64) -> CaseOutcome {
+    run_case("parse_spice", seed, || {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let text = if rng.range_usize(5) == 0 {
+            gen::valid_deck(&mut rng)
+        } else {
+            gen::deck(&mut rng)
+        };
+        match parse_spice(&text) {
+            Ok(_) => None,
+            Err(e) => err_message_ok(&e),
+        }
+    })
+}
+
+/// `OpAmp::design` on a possibly poisoned spec.
+pub fn design(seed: u64) -> CaseOutcome {
+    run_case("OpAmp::design", seed, || {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let tech = gen::technology(&mut rng);
+        let topo = gen::topology(&mut rng);
+        let spec = gen::opamp_spec(&mut rng);
+        match OpAmp::design(&tech, topo, spec) {
+            Err(e) => err_message_ok(&e),
+            Ok(amp) => {
+                if !(amp.perf.power_w.is_finite() && amp.perf.power_w > 0.0) {
+                    return Some(format!("non-positive power {}", amp.perf.power_w));
+                }
+                if !(amp.perf.gate_area_m2.is_finite() && amp.perf.gate_area_m2 > 0.0) {
+                    return Some(format!("non-positive area {}", amp.perf.gate_area_m2));
+                }
+                finite_or(amp.perf.dc_gain, "dc gain")
+                    .or_else(|| finite_or(amp.perf.ugf_hz, "ugf"))
+                    .or_else(|| finite_or(amp.perf.bw_hz, "bandwidth"))
+                    .or_else(|| finite_or(amp.perf.slew_v_per_s, "slew rate"))
+            }
+        }
+    })
+}
+
+/// `estimate_netlist` on a generated circuit (including an out-of-range
+/// output node every few cases).
+pub fn netest(seed: u64) -> CaseOutcome {
+    run_case("estimate_netlist", seed, || {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let (ckt, tech) = if rng.range_usize(3) == 0 {
+            match parse_spice(&gen::valid_deck(&mut rng)) {
+                Ok(p) => p,
+                Err(e) => return err_message_ok(&e),
+            }
+        } else {
+            (gen::circuit(&mut rng), gen::technology(&mut rng))
+        };
+        let out = if rng.range_usize(6) == 0 {
+            NodeId::new(rng.range_usize(1000) as u32) // often out of range
+        } else {
+            NodeId::new(rng.range_usize(ckt.num_nodes().max(1)) as u32)
+        };
+        match estimate_netlist(&ckt, &tech, out) {
+            Err(e) => err_message_ok(&e),
+            Ok(est) => {
+                if !est.perf.power_w.is_finite() {
+                    return Some(format!("non-finite power {}", est.perf.power_w));
+                }
+                finite_or(est.perf.dc_gain, "dc gain")
+                    .or_else(|| finite_or(est.perf.bw_hz, "bandwidth"))
+                    .or_else(|| finite_or(est.perf.ugf_hz, "ugf"))
+                    .or_else(|| finite_or(est.phase_margin_deg, "phase margin"))
+            }
+        }
+    })
+}
+
+/// `dc_operating_point`, then — when it converges — `ac_sweep` over a
+/// possibly degenerate grid and `transient` over a possibly degenerate
+/// window. One seed exercises the whole simulator surface.
+pub fn spice(seed: u64) -> CaseOutcome {
+    run_case("spice", seed, || {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let (ckt, tech) = if rng.range_usize(3) == 0 {
+            match parse_spice(&gen::valid_deck(&mut rng)) {
+                Ok(p) => p,
+                Err(e) => return err_message_ok(&e),
+            }
+        } else {
+            (gen::circuit(&mut rng), gen::technology(&mut rng))
+        };
+        let op = match dc_operating_point(&ckt, &tech) {
+            Ok(op) => op,
+            Err(e) => return err_message_ok(&e),
+        };
+        let freqs = match decade_frequencies(
+            gen::hostile_f64(&mut rng).abs(),
+            gen::hostile_f64(&mut rng).abs(),
+            rng.range_usize(5),
+        ) {
+            Ok(f) => f,
+            Err(e) => {
+                if let Some(m) = err_message_ok(&e) {
+                    return Some(m);
+                }
+                vec![1.0, 1e3, 1e6]
+            }
+        };
+        if let Err(e) = ac_sweep(&ckt, &tech, &op, &freqs) {
+            if let Some(m) = err_message_ok(&e) {
+                return Some(m);
+            }
+        }
+        let opts = TranOptions::new(gen::hostile_f64(&mut rng), gen::hostile_f64(&mut rng).abs());
+        if let Err(e) = transient(&ckt, &tech, &op, opts) {
+            if let Some(m) = err_message_ok(&e) {
+                return Some(m);
+            }
+        }
+        None
+    })
+}
+
+/// `oblx::synthesize` with a tiny annealing budget, blind or seeded from a
+/// possibly wrong-dimension design point.
+pub fn oblx(seed: u64) -> CaseOutcome {
+    run_case("oblx::synthesize", seed, || {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let tech = gen::technology(&mut rng);
+        let topo = gen::topology(&mut rng);
+        let spec = gen::opamp_spec(&mut rng);
+        let init = match rng.range_usize(3) {
+            0 => InitialPoint::Blind,
+            1 => InitialPoint::ApeSeeded {
+                // Deliberately wrong-dimension / hostile-valued point.
+                point: DesignPoint {
+                    values: (0..rng.range_usize(12))
+                        .map(|_| gen::hostile_f64(&mut rng))
+                        .collect(),
+                },
+                interval_frac: gen::hostile_f64(&mut rng),
+            },
+            _ => InitialPoint::ApeSeeded {
+                point: DesignPoint {
+                    values: (0..10).map(|_| rng.range_f64(1e-7, 1e-4)).collect(),
+                },
+                interval_frac: 0.2,
+            },
+        };
+        let opts = SynthesisOptions {
+            max_evals: 4,
+            moves_per_temp: 2,
+            ..SynthesisOptions::default()
+        };
+        match synthesize(&tech, topo, &spec, &init, &opts) {
+            Err(e) => err_message_ok(&e),
+            Ok(out) => {
+                if !out.cost.is_finite() && !out.cost.is_nan() {
+                    // A cost of +inf is a legitimate "everything violated"
+                    // grade; NaN would mean the cost function leaked poison.
+                    return None;
+                }
+                if out.cost.is_nan() {
+                    return Some("synthesis returned NaN cost".to_string());
+                }
+                None
+            }
+        }
+    })
+}

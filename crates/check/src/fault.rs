@@ -1,0 +1,161 @@
+//! Farm fault injection: jobs that fail, time out, or panic on purpose,
+//! asserted at several worker counts. The farm must keep all three
+//! guarantees under fire: the pool stays alive, the single-flight cache
+//! never serves a stale failure to a later submission, and every waiter
+//! (owner or deduplicated) is woken with a result.
+
+use ape_farm::{Farm, FarmConfig, FarmError, Request, Response};
+use ape_netlist::Technology;
+use std::time::Duration;
+
+fn erroring_job(_tech: &Technology) -> Result<Response, FarmError> {
+    Err(FarmError::Ape(ape_core::ApeError::Infeasible {
+        component: "fault-injection",
+        message: "deliberate failure".to_string(),
+    }))
+}
+
+fn panicking_job(_tech: &Technology) -> Result<Response, FarmError> {
+    panic!("deliberate fault-injection panic");
+}
+
+fn slow_job(_tech: &Technology) -> Result<Response, FarmError> {
+    std::thread::sleep(Duration::from_millis(30));
+    Ok(Response::Text("slow ok".into()))
+}
+
+fn honest_job(_tech: &Technology) -> Result<Response, FarmError> {
+    Ok(Response::Text("ok".into()))
+}
+
+/// Runs the whole fault-injection suite at `workers` threads. Returns the
+/// failures it found (empty = all guarantees held).
+pub fn run(workers: usize) -> Vec<String> {
+    let mut failures = Vec::new();
+    let tech = Technology::default_1p2um();
+
+    // 1. Erroring jobs: every waiter sees the error; the key is then
+    //    reclaimable and the pool still serves honest work.
+    {
+        let farm = Farm::new(tech.clone(), FarmConfig::with_workers(workers));
+        let handles: Vec<_> = (0..6)
+            .map(|_| {
+                farm.submit(Request::Custom {
+                    label: "inject-error",
+                    nonce: 1,
+                    run: erroring_job,
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.wait() {
+                Err(FarmError::Ape(_)) => {}
+                other => failures.push(format!(
+                    "{workers}w: erroring job returned {other:?}, expected Ape error"
+                )),
+            }
+        }
+        let again = farm.submit(Request::Custom {
+            label: "inject-error",
+            nonce: 1,
+            run: honest_job,
+        });
+        if again.wait().is_err() {
+            failures.push(format!("{workers}w: error poisoned the cache key"));
+        }
+    }
+
+    // 2. Panicking jobs: waiters get `Panicked`, workers survive, and the
+    //    farm keeps executing afterwards.
+    {
+        let farm = Farm::new(tech.clone(), FarmConfig::with_workers(workers));
+        let handles: Vec<_> = (0..6)
+            .map(|_| {
+                farm.submit(Request::Custom {
+                    label: "inject-panic",
+                    nonce: 2,
+                    run: panicking_job,
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.wait() {
+                Err(FarmError::Panicked(m)) if !m.trim().is_empty() => {}
+                other => failures.push(format!(
+                    "{workers}w: panicking job returned {other:?}, expected Panicked"
+                )),
+            }
+        }
+        if farm.stats().panicked == 0 {
+            failures.push(format!("{workers}w: panic not counted in stats"));
+        }
+        let after = farm.submit(Request::Custom {
+            label: "inject-panic-recovery",
+            nonce: 3,
+            run: honest_job,
+        });
+        if after.wait().is_err() {
+            failures.push(format!("{workers}w: pool dead after panics"));
+        }
+    }
+
+    // 3. Timed-out jobs: an already-expired deadline cancels cleanly.
+    {
+        let cfg = FarmConfig {
+            job_timeout: Some(Duration::from_millis(0)),
+            ..FarmConfig::with_workers(workers)
+        };
+        let farm = Farm::new(tech.clone(), cfg);
+        let h = farm.submit(Request::Custom {
+            label: "inject-timeout",
+            nonce: 4,
+            run: slow_job,
+        });
+        match h.wait() {
+            Err(FarmError::Cancelled) | Ok(_) => {}
+            other => failures.push(format!(
+                "{workers}w: timed-out job returned {other:?}, expected Cancelled"
+            )),
+        }
+    }
+
+    // 4. Mixed storm: interleave honest, erroring, panicking, and slow jobs
+    //    under distinct keys; every single waiter must be woken.
+    {
+        let farm = Farm::new(tech, FarmConfig::with_workers(workers));
+        let mut handles = Vec::new();
+        for k in 0..24u64 {
+            let run = match k % 4 {
+                0 => honest_job,
+                1 => erroring_job,
+                2 => panicking_job,
+                _ => slow_job,
+            };
+            handles.push(farm.submit(Request::Custom {
+                label: "storm",
+                nonce: 100 + k,
+                run,
+            }));
+        }
+        for (k, h) in handles.into_iter().enumerate() {
+            let r = h.wait();
+            let ok = match k % 4 {
+                0 | 3 => r.is_ok(),
+                1 => matches!(r, Err(FarmError::Ape(_))),
+                _ => matches!(r, Err(FarmError::Panicked(_))),
+            };
+            if !ok {
+                failures.push(format!("{workers}w: storm job {k} got {r:?}"));
+            }
+        }
+        let stats = farm.stats();
+        if stats.executed != 24 {
+            failures.push(format!(
+                "{workers}w: storm executed {} of 24 jobs",
+                stats.executed
+            ));
+        }
+    }
+
+    failures
+}

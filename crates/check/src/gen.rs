@@ -1,0 +1,253 @@
+//! Seeded generators for valid, boundary, and hostile inputs.
+//!
+//! Everything is a pure function of an [`Rng64`] stream, so a failing case
+//! is reproduced by re-running with the same seed. Three bands per
+//! generator: *valid* inputs the estimator should accept, *boundary*
+//! inputs at the edge of each domain, and *hostile* inputs (NaN, ±inf,
+//! zeros, wrong dimensions, garbage text) that must come back as typed
+//! errors — never as a panic.
+
+use ape_anneal::Rng64;
+use ape_core::basic::MirrorTopology;
+use ape_core::opamp::{OpAmpSpec, OpAmpTopology};
+use ape_netlist::{Circuit, MosGeometry, MosPolarity, SourceWaveform, Technology};
+
+/// A value drawn from a band that mixes sane magnitudes with poison.
+pub fn hostile_f64(rng: &mut Rng64) -> f64 {
+    match rng.range_usize(10) {
+        0 => 0.0,
+        1 => -1.0,
+        2 => f64::NAN,
+        3 => f64::INFINITY,
+        4 => f64::NEG_INFINITY,
+        5 => 1e-300,
+        6 => 1e300,
+        7 => -rng.f64() * 1e6,
+        _ => rng.range_f64(1e-15, 1e6),
+    }
+}
+
+/// A plausible positive value with occasional boundary magnitudes.
+pub fn plausible_f64(rng: &mut Rng64, lo: f64, hi: f64) -> f64 {
+    match rng.range_usize(8) {
+        0 => lo,
+        1 => hi,
+        _ => rng.range_f64(lo, hi),
+    }
+}
+
+/// Technology variants: the shipped 1.2 µm process, mutated copies, and a
+/// hostile cardless process that must surface `MissingModel`-class errors.
+pub fn technology(rng: &mut Rng64) -> Technology {
+    match rng.range_usize(6) {
+        0 => Technology::new("empty", 5.0, 0.0, 1.2e-6, 1.8e-6),
+        1 => {
+            let mut t = Technology::default_1p2um();
+            t.vdd = hostile_f64(rng);
+            t
+        }
+        2 => {
+            let mut t = Technology::default_1p2um();
+            t.lmin = plausible_f64(rng, 1e-9, 1e-5);
+            t.wmin = plausible_f64(rng, 1e-9, 1e-5);
+            t
+        }
+        _ => Technology::default_1p2um(),
+    }
+}
+
+/// An op-amp spec whose every field may be poisoned.
+pub fn opamp_spec(rng: &mut Rng64) -> OpAmpSpec {
+    let hostile = rng.range_usize(3) == 0;
+    fn field(rng: &mut Rng64, hostile: bool, lo: f64, hi: f64) -> f64 {
+        if hostile && rng.range_usize(3) == 0 {
+            hostile_f64(rng)
+        } else {
+            plausible_f64(rng, lo, hi)
+        }
+    }
+    OpAmpSpec {
+        gain: field(rng, hostile, 1.5, 5e4),
+        ugf_hz: field(rng, hostile, 1e3, 5e8),
+        area_max_m2: field(rng, hostile, 1e-12, 1e-6),
+        ibias: field(rng, hostile, 1e-7, 1e-3),
+        zout_ohm: if rng.range_usize(2) == 0 {
+            Some(field(rng, hostile, 1.0, 1e6))
+        } else {
+            None
+        },
+        cl: field(rng, hostile, 1e-14, 1e-9),
+    }
+}
+
+/// One of the six supported op-amp topologies.
+pub fn topology(rng: &mut Rng64) -> OpAmpTopology {
+    let mirror = match rng.range_usize(3) {
+        0 => MirrorTopology::Simple,
+        1 => MirrorTopology::Wilson,
+        _ => MirrorTopology::Cascode,
+    };
+    OpAmpTopology::miller(mirror, rng.range_usize(2) == 0)
+}
+
+/// A random SPICE deck built from valid, boundary, and hostile lines.
+pub fn deck(rng: &mut Rng64) -> String {
+    let mut out = String::from("* generated deck\n");
+    let lines = rng.range_usize(14);
+    for k in 0..lines {
+        let line = match rng.range_usize(16) {
+            0 => format!(
+                "R{k} n{} n{} {}\n",
+                rng.range_usize(6),
+                rng.range_usize(6),
+                value_token(rng)
+            ),
+            1 => format!("C{k} n{} 0 {}\n", rng.range_usize(6), value_token(rng)),
+            2 => format!(
+                "L{k} n{} n{} {}\n",
+                rng.range_usize(6),
+                rng.range_usize(6),
+                value_token(rng)
+            ),
+            3 => format!(
+                "V{k} n{} 0 DC {} AC 1\n",
+                rng.range_usize(6),
+                value_token(rng)
+            ),
+            4 => format!(
+                "I{k} n{} n{} DC {}\n",
+                rng.range_usize(6),
+                rng.range_usize(6),
+                value_token(rng)
+            ),
+            5 => format!(
+                "M{k} n{} n{} n{} n{} {} W={} L={}\n",
+                rng.range_usize(6),
+                rng.range_usize(6),
+                rng.range_usize(6),
+                rng.range_usize(6),
+                if rng.range_usize(3) == 0 {
+                    "NOSUCH"
+                } else {
+                    "CMOSN"
+                },
+                value_token(rng),
+                value_token(rng),
+            ),
+            6 => format!("E{k} n1 0 n2 n3 {}\n", value_token(rng)),
+            7 => String::from(".subckt inner a b\n"),
+            8 => String::from(".ends\n"),
+            9 => String::from(".model junk\n"),
+            10 => format!("R0 n1 n2 {}\n", value_token(rng)), // duplicate name bait
+            11 => format!("Rself{k} n4 n4 1k\n"),             // self-loop
+            12 => garbage_line(rng),
+            13 => String::from("\n"),
+            14 => format!("* comment {k}\n"),
+            _ => format!("X{k} a b c sub{k}\n"),
+        };
+        out.push_str(&line);
+    }
+    if rng.range_usize(4) != 0 {
+        out.push_str(".end\n");
+    }
+    out
+}
+
+/// A well-formed amplifier deck (keeps the valid band honest so Ok paths
+/// are exercised too, not just rejections).
+pub fn valid_deck(rng: &mut Rng64) -> String {
+    let rd = rng.range_f64(10e3, 200e3);
+    let w = rng.range_f64(3e-6, 60e-6);
+    format!(
+        "* generated amplifier\n\
+         V1 in 0 DC 1.2 AC 1\n\
+         VDD vdd 0 DC 5\n\
+         RD vdd out {rd:.1}\n\
+         CL out 0 1p\n\
+         M1 out in 0 0 CMOSN W={w:.2e} L=2.4u\n\
+         .end\n"
+    )
+}
+
+fn value_token(rng: &mut Rng64) -> String {
+    match rng.range_usize(12) {
+        0 => String::from("."),
+        1 => String::from("+."),
+        2 => String::from("+k"),
+        3 => String::from("1e-"),
+        4 => String::from("1e+"),
+        5 => String::from("NaN"),
+        6 => String::from("0"),
+        7 => String::from("-5k"),
+        8 => String::from("1e308"),
+        9 => format!("{}meg", 1 + rng.range_usize(99)),
+        _ => format!("{:.3}k", rng.range_f64(0.001, 999.0)),
+    }
+}
+
+fn garbage_line(rng: &mut Rng64) -> String {
+    let n = 1 + rng.range_usize(29);
+    let mut s = String::new();
+    for _ in 0..n {
+        // Printable ASCII plus the occasional tab keeps the parser honest
+        // without drifting into invalid UTF-8 (strings can't hold that).
+        let c = (32 + rng.range_usize(95)) as u8 as char;
+        s.push(if rng.range_usize(20) == 0 { '\t' } else { c });
+    }
+    s.push('\n');
+    s
+}
+
+/// A programmatically built circuit: elements with plausible values, a few
+/// hostile ones (which the builders may reject — both outcomes are fine),
+/// always returned together with a node count for picking probe nodes.
+pub fn circuit(rng: &mut Rng64) -> Circuit {
+    let mut c = Circuit::new("gen");
+    let n_nodes = 1 + rng.range_usize(7);
+    let nodes: Vec<_> = (0..n_nodes).map(|k| c.node(&format!("n{k}"))).collect();
+    let pick = |rng: &mut Rng64| {
+        if rng.range_usize(5) == 0 {
+            Circuit::GROUND
+        } else {
+            nodes[rng.range_usize(nodes.len())]
+        }
+    };
+    let elems = rng.range_usize(12);
+    for k in 0..elems {
+        let a = pick(rng);
+        let b = pick(rng);
+        let v = if rng.range_usize(4) == 0 {
+            hostile_f64(rng)
+        } else {
+            rng.range_f64(1e-13, 1e6)
+        };
+        // The builders reject bad values/self-loops with typed errors;
+        // rejection is an acceptable outcome here, so results are dropped.
+        let _ = match rng.range_usize(6) {
+            0 => c.add_resistor(&format!("R{k}"), a, b, v),
+            1 => c.add_capacitor(&format!("C{k}"), a, b, v * 1e-12),
+            2 => c.add_vsource(&format!("V{k}"), a, b, v, 1.0, SourceWaveform::Dc),
+            3 => c.add_idc(&format!("I{k}"), a, b, v * 1e-6),
+            4 => c.add_mosfet(
+                &format!("M{k}"),
+                a,
+                b,
+                pick(rng),
+                Circuit::GROUND,
+                if rng.range_usize(2) == 0 {
+                    MosPolarity::Nmos
+                } else {
+                    MosPolarity::Pmos
+                },
+                if rng.range_usize(4) == 0 {
+                    "NOSUCH"
+                } else {
+                    "CMOSN"
+                },
+                MosGeometry::new(v * 1e-6, 2.4e-6),
+            ),
+            _ => c.add_inductor(&format!("Lx{k}"), a, b, v * 1e-9),
+        };
+    }
+    c
+}

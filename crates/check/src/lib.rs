@@ -1,0 +1,108 @@
+//! `ape-check`: the panic-freedom harness for the APE estimation surface.
+//!
+//! The paper's premise (§5) is that an estimator inside a synthesis loop is
+//! hammered with thousands of candidate points, many infeasible, and must
+//! return a graded answer or a typed error — never crash. This crate
+//! proves that property mechanically: a seeded SplitMix64 generator
+//! ([`ape_anneal::Rng64`], no new dependencies) produces valid, boundary,
+//! and hostile inputs for every public entry point, each call runs under
+//! `catch_unwind`, and three assertions are checked per case:
+//!
+//! 1. **No panic.** Any unwind is a failure, reported with its seed.
+//! 2. **Typed, non-empty errors.** Every `Err` renders a non-empty message.
+//! 3. **Ok invariants.** Accepted designs/estimates have positive area and
+//!    power and finite performance numbers.
+//!
+//! [`fault::run`] additionally injects failing, panicking, and timed-out
+//! jobs into an [`ape_farm::Farm`] and asserts the pool, the single-flight
+//! cache, and all waiting submitters stay live.
+//!
+//! Run it via the `ape-check` binary: `--smoke` for the ~200-case CI gate,
+//! the default for the full ≥10,000-case sweep.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod drive;
+pub mod fault;
+pub mod gen;
+
+/// Aggregate result of a fuzzing run.
+#[derive(Debug, Default)]
+pub struct CheckReport {
+    /// Cases run per entry point, in execution order.
+    pub cases: Vec<(&'static str, usize)>,
+    /// Failure descriptions (seed included) — empty means the run passed.
+    pub failures: Vec<String>,
+}
+
+impl CheckReport {
+    /// Total number of cases across all entry points.
+    pub fn total_cases(&self) -> usize {
+        self.cases.iter().map(|(_, n)| n).sum()
+    }
+
+    /// `true` when every case passed.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Runs `total` fuzz cases (split across the entry points, the cheap ones
+/// weighted heaviest) plus the farm fault-injection suite at 1 and 8
+/// workers. `base_seed` makes the whole run reproducible.
+pub fn run_all(base_seed: u64, total: usize) -> CheckReport {
+    let mut report = CheckReport::default();
+    // Weights: parsing is microseconds, synthesis is milliseconds even at
+    // a 4-eval budget. The split keeps a full 10k-case run in CI budget.
+    let n_parse = total * 40 / 100;
+    let n_netest = total * 20 / 100;
+    let n_spice = total * 20 / 100;
+    let n_design = total * 15 / 100;
+    let n_oblx = (total - n_parse - n_netest - n_spice - n_design).max(1);
+
+    type Driver = fn(u64) -> drive::CaseOutcome;
+    let sections: [(&'static str, usize, Driver); 5] = [
+        ("parse_spice", n_parse, drive::parse),
+        ("estimate_netlist", n_netest, drive::netest),
+        ("spice", n_spice, drive::spice),
+        ("OpAmp::design", n_design, drive::design),
+        ("oblx::synthesize", n_oblx, drive::oblx),
+    ];
+    for (name, count, driver) in sections {
+        for k in 0..count {
+            // Seeds are decorrelated per entry point by hashing the index
+            // with a distinct odd constant (SplitMix64 finalises anyway).
+            let seed = base_seed
+                .wrapping_add((k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .wrapping_add(name.len() as u64);
+            let outcome = driver(seed);
+            if let Some(f) = outcome.failure {
+                report.failures.push(f);
+            }
+        }
+        report.cases.push((name, count));
+    }
+
+    for workers in [1usize, 8] {
+        let failures = fault::run(workers);
+        report
+            .cases
+            .push((if workers == 1 { "farm@1" } else { "farm@8" }, 1));
+        report.failures.extend(failures);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The in-tree smoke: a small fixed-seed sweep must be panic-free.
+    #[test]
+    fn smoke_sweep_passes() {
+        let report = run_all(0xA9E5_EED0, 60);
+        assert!(report.passed(), "failures:\n{}", report.failures.join("\n"));
+        assert!(report.total_cases() >= 60);
+    }
+}

@@ -1,0 +1,87 @@
+//! CLI for the robustness harness.
+//!
+//! ```text
+//! ape-check                  # full sweep: 10,000 cases, seed 0xA9E5EED
+//! ape-check --smoke          # CI gate: 200 cases, fixed seed
+//! ape-check --cases N        # custom case count
+//! ape-check --seed S         # custom base seed (hex or decimal)
+//! ```
+//!
+//! Exit status 0 = every case passed; 1 = at least one failure (each is
+//! printed with the seed that reproduces it).
+
+use std::process::ExitCode;
+
+const DEFAULT_SEED: u64 = 0xA9E_5EED;
+const FULL_CASES: usize = 10_000;
+const SMOKE_CASES: usize = 200;
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn main() -> ExitCode {
+    let mut cases = FULL_CASES;
+    let mut seed = DEFAULT_SEED;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => cases = SMOKE_CASES,
+            "--cases" => match args.next().as_deref().and_then(parse_u64) {
+                Some(n) => cases = n as usize,
+                None => return usage("--cases needs a number"),
+            },
+            "--seed" => match args.next().as_deref().and_then(parse_u64) {
+                Some(s) => seed = s,
+                None => return usage("--seed needs a number"),
+            },
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    // Deliberate panics (fault injection, and any bug this harness exists
+    // to catch) otherwise spam stderr with hook output for every unwind.
+    std::panic::set_hook(Box::new(|_| {}));
+    let t0 = std::time::Instant::now();
+    let report = ape_check::run_all(seed, cases);
+    let _ = std::panic::take_hook();
+
+    println!(
+        "ape-check: {} cases, seed {seed:#x}, {:.1}s",
+        report.total_cases(),
+        t0.elapsed().as_secs_f64()
+    );
+    for (entry, n) in &report.cases {
+        println!("  {entry:<20} {n:>6} cases");
+    }
+    if report.passed() {
+        println!("PASS: no panics, all errors typed, all Ok invariants held");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "FAIL: {} case(s) violated the contract",
+            report.failures.len()
+        );
+        for f in &report.failures {
+            println!("  {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("ape-check: {err}");
+    }
+    eprintln!("usage: ape-check [--smoke] [--cases N] [--seed S]");
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

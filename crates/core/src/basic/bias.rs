@@ -94,11 +94,15 @@ impl DcVolt {
 
     /// Emits a self-contained testbench: `VDD` rail, the two diodes, output
     /// node `out`.
-    pub fn testbench(&self, tech: &Technology) -> Circuit {
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a template card is rejected by the netlist layer.
+    pub fn testbench(&self, tech: &Technology) -> Result<Circuit, ApeError> {
         let mut ckt = Circuit::new("dcvolt-tb");
         let vdd = ckt.node("vdd");
         let out = ckt.node("out");
-        ckt.add_vdc("VDD", vdd, Circuit::GROUND, tech.vdd);
+        ckt.add_vdc("VDD", vdd, Circuit::GROUND, tech.vdd)?;
         let n_name = tech.nmos().map(|c| c.name.clone()).unwrap_or_default();
         ckt.add_mosfet(
             "MHI",
@@ -109,8 +113,7 @@ impl DcVolt {
             MosPolarity::Nmos,
             &n_name,
             self.m_high.geometry,
-        )
-        .expect("template netlist is well-formed");
+        )?;
         ckt.add_mosfet(
             "MLO",
             out,
@@ -120,9 +123,8 @@ impl DcVolt {
             MosPolarity::Nmos,
             &n_name,
             self.m_low.geometry,
-        )
-        .expect("template netlist is well-formed");
-        ckt
+        )?;
+        Ok(ckt)
     }
 }
 
@@ -135,7 +137,7 @@ mod tests {
     fn estimate_matches_simulation() {
         let tech = Technology::default_1p2um();
         let bias = DcVolt::design(&tech, 2.5, 100e-6).unwrap();
-        let tb = bias.testbench(&tech);
+        let tb = bias.testbench(&tech).unwrap();
         let op = dc_operating_point(&tb, &tech).unwrap();
         let v_sim = op.voltage(tb.find_node("out").unwrap());
         assert!(

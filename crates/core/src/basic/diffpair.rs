@@ -259,17 +259,26 @@ impl DiffPair {
 
     /// Emits a testbench with a mirror tail, differential AC drive
     /// (`VINP` carries +½, `VINN` −½), output node `out`.
-    pub fn testbench(&self, tech: &Technology) -> Circuit {
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the technology lacks device cards or the tail
+    /// device cannot be sized for this pair's bias.
+    pub fn testbench(&self, tech: &Technology) -> Result<Circuit, ApeError> {
         self.testbench_mode(tech, false)
     }
 
     /// Like [`DiffPair::testbench`] but driving both inputs with the same
     /// AC phase, for common-mode gain measurement.
-    pub fn testbench_common_mode(&self, tech: &Technology) -> Circuit {
+    ///
+    /// # Errors
+    ///
+    /// See [`DiffPair::testbench`].
+    pub fn testbench_common_mode(&self, tech: &Technology) -> Result<Circuit, ApeError> {
         self.testbench_mode(tech, true)
     }
 
-    fn testbench_mode(&self, tech: &Technology, common_mode: bool) -> Circuit {
+    fn testbench_mode(&self, tech: &Technology, common_mode: bool) -> Result<Circuit, ApeError> {
         let mut ckt = Circuit::new(&format!("{}-tb", self.topology));
         let vdd = ckt.node("vdd");
         let inp = ckt.node("inp");
@@ -277,7 +286,7 @@ impl DiffPair {
         let out = ckt.node("out");
         let outb = ckt.node("outb");
         let tail = ckt.node("tail");
-        ckt.add_vdc("VDD", vdd, Circuit::GROUND, tech.vdd);
+        ckt.add_vdc("VDD", vdd, Circuit::GROUND, tech.vdd)?;
         let (acp, acn) = if common_mode { (1.0, 1.0) } else { (0.5, -0.5) };
         ckt.add_vsource(
             "VINP",
@@ -286,8 +295,7 @@ impl DiffPair {
             self.vcm,
             acp,
             SourceWaveform::Dc,
-        )
-        .expect("template netlist is well-formed");
+        )?;
         ckt.add_vsource(
             "VINN",
             inn,
@@ -295,24 +303,21 @@ impl DiffPair {
             self.vcm,
             acn,
             SourceWaveform::Dc,
-        )
-        .expect("template netlist is well-formed");
+        )?;
         // Real tail device biased by an ideal mirror reference, so the
         // common-mode rejection is finite as the estimate assumes.
         let bias = ckt.node("bias");
-        ckt.add_idc("IBIAS", vdd, bias, self.itail)
-            .expect("template netlist is well-formed");
+        ckt.add_idc("IBIAS", vdd, bias, self.itail)?;
         let n_name = tech.nmos().map(|c| c.name.clone()).unwrap_or_default();
         let p_name = tech.pmos().map(|c| c.name.clone()).unwrap_or_default();
         // Tail mirror (same geometry both sides).
-        let c = cards(tech).expect("default technology has both cards");
+        let c = cards(tech)?;
         let l_tail = super::length_for_min_width(
             super::aspect_for_id_vov(c.n, self.itail, 0.35),
             L_BIAS,
             tech,
         );
-        let tail_dev = cached_size_for_id_vov_at(tech, false, self.itail, 0.35, l_tail, 1.0, 0.0)
-            .expect("tail sizing is feasible for a designed pair");
+        let tail_dev = cached_size_for_id_vov_at(tech, false, self.itail, 0.35, l_tail, 1.0, 0.0)?;
         ckt.add_mosfet(
             "MTREF",
             bias,
@@ -322,8 +327,7 @@ impl DiffPair {
             MosPolarity::Nmos,
             &n_name,
             tail_dev.geometry,
-        )
-        .expect("template netlist is well-formed");
+        )?;
         ckt.add_mosfet(
             "MTAIL",
             tail,
@@ -333,8 +337,7 @@ impl DiffPair {
             MosPolarity::Nmos,
             &n_name,
             tail_dev.geometry,
-        )
-        .expect("template netlist is well-formed");
+        )?;
         // Input pair: M1 (inp → outb side), M2 (inn → out side).
         ckt.add_mosfet(
             "M1",
@@ -345,8 +348,7 @@ impl DiffPair {
             MosPolarity::Nmos,
             &n_name,
             self.input.geometry,
-        )
-        .expect("template netlist is well-formed");
+        )?;
         ckt.add_mosfet(
             "M2",
             out,
@@ -356,8 +358,7 @@ impl DiffPair {
             MosPolarity::Nmos,
             &n_name,
             self.input.geometry,
-        )
-        .expect("template netlist is well-formed");
+        )?;
         match self.topology {
             DiffTopology::DiodeLoad => {
                 for (name, node) in [("ML1", outb), ("ML2", out)] {
@@ -370,8 +371,7 @@ impl DiffPair {
                         MosPolarity::Pmos,
                         &p_name,
                         self.load.geometry,
-                    )
-                    .expect("template netlist is well-formed");
+                    )?;
                 }
             }
             DiffTopology::MirrorLoad => {
@@ -384,8 +384,7 @@ impl DiffPair {
                     MosPolarity::Pmos,
                     &p_name,
                     self.load.geometry,
-                )
-                .expect("template netlist is well-formed");
+                )?;
                 ckt.add_mosfet(
                     "ML2",
                     out,
@@ -395,21 +394,18 @@ impl DiffPair {
                     MosPolarity::Pmos,
                     &p_name,
                     self.load.geometry,
-                )
-                .expect("template netlist is well-formed");
+                )?;
             }
         }
         if self.cl > 0.0 {
-            ckt.add_capacitor("CL", out, Circuit::GROUND, self.cl)
-                .expect("template netlist is well-formed");
+            ckt.add_capacitor("CL", out, Circuit::GROUND, self.cl)?;
             // A fully differential pair needs balanced loading, or the
             // unloaded side dominates the high-frequency response.
             if self.topology == DiffTopology::DiodeLoad {
-                ckt.add_capacitor("CLB", outb, Circuit::GROUND, self.cl)
-                    .expect("template netlist is well-formed");
+                ckt.add_capacitor("CLB", outb, Circuit::GROUND, self.cl)?;
             }
         }
-        ckt
+        Ok(ckt)
     }
 }
 
@@ -419,11 +415,11 @@ mod tests {
     use ape_spice::{ac_sweep, dc_operating_point, measure};
 
     fn sim_adm(pair: &DiffPair, tech: &Technology) -> f64 {
-        let tb = pair.testbench(tech);
+        let tb = pair.testbench(tech).unwrap();
         let op = dc_operating_point(&tb, tech).unwrap();
         let out = tb.find_node("out").unwrap();
         let sweep = ac_sweep(&tb, tech, &op, &[10.0]).unwrap();
-        measure::dc_gain(&sweep, out)
+        measure::dc_gain(&sweep, out).unwrap()
     }
 
     #[test]
@@ -432,7 +428,7 @@ mod tests {
         let pair = DiffPair::design(&tech, DiffTopology::DiodeLoad, 10.0, 1e-6, 1e-12).unwrap();
         // The diode-load pair is fully differential: the estimate is the
         // differential-in → differential-out gain, so measure out − outb.
-        let tb = pair.testbench(&tech);
+        let tb = pair.testbench(&tech).unwrap();
         let op = dc_operating_point(&tb, &tech).unwrap();
         let out = tb.find_node("out").unwrap();
         let outb = tb.find_node("outb").unwrap();
@@ -462,13 +458,15 @@ mod tests {
     fn cmrr_positive_and_large() {
         let tech = Technology::default_1p2um();
         let pair = DiffPair::design(&tech, DiffTopology::MirrorLoad, 500.0, 2e-6, 1e-12).unwrap();
-        let tb_dm = pair.testbench(&tech);
-        let tb_cm = pair.testbench_common_mode(&tech);
+        let tb_dm = pair.testbench(&tech).unwrap();
+        let tb_cm = pair.testbench_common_mode(&tech).unwrap();
         let out = tb_dm.find_node("out").unwrap();
         let op_dm = dc_operating_point(&tb_dm, &tech).unwrap();
         let op_cm = dc_operating_point(&tb_cm, &tech).unwrap();
-        let adm = measure::dc_gain(&ac_sweep(&tb_dm, &tech, &op_dm, &[10.0]).unwrap(), out);
-        let acm = measure::dc_gain(&ac_sweep(&tb_cm, &tech, &op_cm, &[10.0]).unwrap(), out);
+        let adm =
+            measure::dc_gain(&ac_sweep(&tb_dm, &tech, &op_dm, &[10.0]).unwrap(), out).unwrap();
+        let acm =
+            measure::dc_gain(&ac_sweep(&tb_cm, &tech, &op_cm, &[10.0]).unwrap(), out).unwrap();
         let cmrr_sim_db = 20.0 * (adm / acm.max(1e-12)).log10();
         assert!(cmrr_sim_db > 40.0, "sim CMRR {cmrr_sim_db} dB");
     }

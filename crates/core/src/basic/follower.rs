@@ -104,13 +104,17 @@ impl Follower {
 
     /// Emits a testbench: `VDD`, AC-driven `VIN`, follower + mirror sink,
     /// output node `out` loaded by `cl`.
-    pub fn testbench(&self, tech: &Technology) -> Circuit {
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a template card is rejected by the netlist layer.
+    pub fn testbench(&self, tech: &Technology) -> Result<Circuit, ApeError> {
         let mut ckt = Circuit::new("follower-tb");
         let vdd = ckt.node("vdd");
         let vin = ckt.node("in");
         let out = ckt.node("out");
         let bias = ckt.node("bias");
-        ckt.add_vdc("VDD", vdd, Circuit::GROUND, tech.vdd);
+        ckt.add_vdc("VDD", vdd, Circuit::GROUND, tech.vdd)?;
         ckt.add_vsource(
             "VIN",
             vin,
@@ -118,10 +122,8 @@ impl Follower {
             self.vin_bias,
             1.0,
             SourceWaveform::Dc,
-        )
-        .expect("template netlist is well-formed");
-        ckt.add_idc("IREF", vdd, bias, self.ibias)
-            .expect("template netlist is well-formed");
+        )?;
+        ckt.add_idc("IREF", vdd, bias, self.ibias)?;
         let n_name = tech.nmos().map(|c| c.name.clone()).unwrap_or_default();
         ckt.add_mosfet(
             "MDRV",
@@ -132,8 +134,7 @@ impl Follower {
             MosPolarity::Nmos,
             &n_name,
             self.driver.geometry,
-        )
-        .expect("template netlist is well-formed");
+        )?;
         ckt.add_mosfet(
             "MREF",
             bias,
@@ -143,8 +144,7 @@ impl Follower {
             MosPolarity::Nmos,
             &n_name,
             self.sink_ref.geometry,
-        )
-        .expect("template netlist is well-formed");
+        )?;
         ckt.add_mosfet(
             "MSINK",
             out,
@@ -154,13 +154,11 @@ impl Follower {
             MosPolarity::Nmos,
             &n_name,
             self.sink_out.geometry,
-        )
-        .expect("template netlist is well-formed");
+        )?;
         if self.cl > 0.0 {
-            ckt.add_capacitor("CL", out, Circuit::GROUND, self.cl)
-                .expect("template netlist is well-formed");
+            ckt.add_capacitor("CL", out, Circuit::GROUND, self.cl)?;
         }
-        ckt
+        Ok(ckt)
     }
 }
 
@@ -173,7 +171,7 @@ mod tests {
     fn est_vs_sim_gain_and_level() {
         let tech = Technology::default_1p2um();
         let buf = Follower::design(&tech, 100e-6, 10e-12).unwrap();
-        let tb = buf.testbench(&tech);
+        let tb = buf.testbench(&tech).unwrap();
         let op = dc_operating_point(&tb, &tech).unwrap();
         let out = tb.find_node("out").unwrap();
         let v_q = op.voltage(out);
@@ -183,7 +181,7 @@ mod tests {
             buf.vout_q
         );
         let sweep = ac_sweep(&tb, &tech, &op, &[100.0]).unwrap();
-        let a_sim = measure::dc_gain(&sweep, out);
+        let a_sim = measure::dc_gain(&sweep, out).unwrap();
         let a_est = buf.perf.dc_gain.unwrap();
         assert!(
             (a_sim - a_est).abs() / a_est < 0.1,

@@ -218,12 +218,17 @@ impl GainStage {
 
     /// Emits a testbench: `VDD`, AC-driven input `VIN`, the stage, and the
     /// load capacitor on node `out`.
-    pub fn testbench(&self, tech: &Technology) -> Circuit {
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the stage is internally inconsistent (e.g. an
+    /// active load without a bias voltage) or a template card is rejected.
+    pub fn testbench(&self, tech: &Technology) -> Result<Circuit, ApeError> {
         let mut ckt = Circuit::new(&format!("{}-tb", self.topology));
         let vdd = ckt.node("vdd");
         let vin = ckt.node("in");
         let out = ckt.node("out");
-        ckt.add_vdc("VDD", vdd, Circuit::GROUND, tech.vdd);
+        ckt.add_vdc("VDD", vdd, Circuit::GROUND, tech.vdd)?;
         ckt.add_vsource(
             "VIN",
             vin,
@@ -231,8 +236,7 @@ impl GainStage {
             self.vin_bias,
             1.0,
             SourceWaveform::Dc,
-        )
-        .expect("template netlist is well-formed");
+        )?;
         let n_name = tech.nmos().map(|c| c.name.clone()).unwrap_or_default();
         let p_name = tech.pmos().map(|c| c.name.clone()).unwrap_or_default();
         ckt.add_mosfet(
@@ -244,8 +248,7 @@ impl GainStage {
             MosPolarity::Nmos,
             &n_name,
             self.driver.geometry,
-        )
-        .expect("template netlist is well-formed");
+        )?;
         match self.topology {
             GainTopology::NmosLoad => {
                 ckt.add_mosfet(
@@ -257,17 +260,15 @@ impl GainStage {
                     MosPolarity::Nmos,
                     &n_name,
                     self.load.geometry,
-                )
-                .expect("template netlist is well-formed");
+                )?;
             }
             GainTopology::CmosActive => {
                 let vb = ckt.node("pbias");
-                ckt.add_vdc(
-                    "VB",
-                    vb,
-                    Circuit::GROUND,
-                    self.vload_bias.expect("active load has a bias"),
-                );
+                let vload_bias = self.vload_bias.ok_or_else(|| ApeError::Infeasible {
+                    component: "gain-stage",
+                    message: "active load has no bias voltage".to_string(),
+                })?;
+                ckt.add_vdc("VB", vb, Circuit::GROUND, vload_bias)?;
                 ckt.add_mosfet(
                     "MLOAD",
                     out,
@@ -277,8 +278,7 @@ impl GainStage {
                     MosPolarity::Pmos,
                     &p_name,
                     self.load.geometry,
-                )
-                .expect("template netlist is well-formed");
+                )?;
             }
             GainTopology::CmosDiode => {
                 ckt.add_mosfet(
@@ -290,15 +290,13 @@ impl GainStage {
                     MosPolarity::Pmos,
                     &p_name,
                     self.load.geometry,
-                )
-                .expect("template netlist is well-formed");
+                )?;
             }
         }
         if self.cl > 0.0 {
-            ckt.add_capacitor("CL", out, Circuit::GROUND, self.cl)
-                .expect("template netlist is well-formed");
+            ckt.add_capacitor("CL", out, Circuit::GROUND, self.cl)?;
         }
-        ckt
+        Ok(ckt)
     }
 }
 
@@ -308,12 +306,12 @@ mod tests {
     use ape_spice::{ac_sweep, dc_operating_point, decade_frequencies, measure};
 
     fn sim_gain(stage: &GainStage, tech: &Technology) -> (f64, f64) {
-        let tb = stage.testbench(tech);
+        let tb = stage.testbench(tech).unwrap();
         let op = dc_operating_point(&tb, tech).unwrap();
         let out = tb.find_node("out").unwrap();
-        let freqs = decade_frequencies(10.0, 1e9, 10);
+        let freqs = decade_frequencies(10.0, 1e9, 10).unwrap();
         let sweep = ac_sweep(&tb, tech, &op, &freqs).unwrap();
-        let a = measure::dc_gain(&sweep, out);
+        let a = measure::dc_gain(&sweep, out).unwrap();
         let u = measure::unity_gain_frequency(&sweep, out).unwrap_or(0.0);
         (a, u)
     }

@@ -131,15 +131,18 @@ impl CurrentMirror {
     /// Emits a testbench: reference current pulled from `VDD` through an
     /// ideal source into the mirror input; the output sinks from a 2.5 V
     /// measurement source `VMEAS`, so `I(VMEAS)` is the mirrored current.
-    pub fn testbench(&self, tech: &Technology) -> Circuit {
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a template card is rejected by the netlist layer.
+    pub fn testbench(&self, tech: &Technology) -> Result<Circuit, ApeError> {
         let mut ckt = Circuit::new(&format!("{}-tb", self.topology));
         let vdd = ckt.node("vdd");
         let inn = ckt.node("in");
         let out = ckt.node("out");
-        ckt.add_vdc("VDD", vdd, Circuit::GROUND, tech.vdd);
-        ckt.add_idc("IREF", vdd, inn, self.iref)
-            .expect("template netlist is well-formed");
-        ckt.add_vdc("VMEAS", out, Circuit::GROUND, tech.vdd / 2.0);
+        ckt.add_vdc("VDD", vdd, Circuit::GROUND, tech.vdd)?;
+        ckt.add_idc("IREF", vdd, inn, self.iref)?;
+        ckt.add_vdc("VMEAS", out, Circuit::GROUND, tech.vdd / 2.0)?;
         let n_name = tech.nmos().map(|c| c.name.clone()).unwrap_or_default();
         let mos = |ckt: &mut Circuit, name: &str, d, g, s, m: &SizedMos| {
             ckt.add_mosfet(
@@ -152,11 +155,10 @@ impl CurrentMirror {
                 &n_name,
                 m.geometry,
             )
-            .expect("template netlist is well-formed");
         };
         match self.topology {
             MirrorTopology::Simple => {
-                mos(&mut ckt, "MIN", inn, inn, Circuit::GROUND, &self.devices[0]);
+                mos(&mut ckt, "MIN", inn, inn, Circuit::GROUND, &self.devices[0])?;
                 mos(
                     &mut ckt,
                     "MOUT",
@@ -164,26 +166,26 @@ impl CurrentMirror {
                     inn,
                     Circuit::GROUND,
                     &self.devices[1],
-                );
+                )?;
             }
             MirrorTopology::Wilson => {
                 // in = gate of the output cascode; feedback through the
                 // diode at node y.
                 let y = ckt.node("y");
-                mos(&mut ckt, "MIN", inn, y, Circuit::GROUND, &self.devices[0]);
-                mos(&mut ckt, "MDIODE", y, y, Circuit::GROUND, &self.devices[1]);
-                mos(&mut ckt, "MCASC", out, inn, y, &self.devices[2]);
+                mos(&mut ckt, "MIN", inn, y, Circuit::GROUND, &self.devices[0])?;
+                mos(&mut ckt, "MDIODE", y, y, Circuit::GROUND, &self.devices[1])?;
+                mos(&mut ckt, "MCASC", out, inn, y, &self.devices[2])?;
             }
             MirrorTopology::Cascode => {
                 let y = ckt.node("y");
                 let z = ckt.node("z");
-                mos(&mut ckt, "MIN", y, y, Circuit::GROUND, &self.devices[0]);
-                mos(&mut ckt, "MCREF", inn, inn, y, &self.devices[2]);
-                mos(&mut ckt, "MOUT", z, y, Circuit::GROUND, &self.devices[1]);
-                mos(&mut ckt, "MCOUT", out, inn, z, &self.devices[3]);
+                mos(&mut ckt, "MIN", y, y, Circuit::GROUND, &self.devices[0])?;
+                mos(&mut ckt, "MCREF", inn, inn, y, &self.devices[2])?;
+                mos(&mut ckt, "MOUT", z, y, Circuit::GROUND, &self.devices[1])?;
+                mos(&mut ckt, "MCOUT", out, inn, z, &self.devices[3])?;
             }
         }
-        ckt
+        Ok(ckt)
     }
 }
 
@@ -193,7 +195,7 @@ mod tests {
     use ape_spice::dc_operating_point;
 
     fn sim_iout(m: &CurrentMirror, tech: &Technology) -> f64 {
-        let tb = m.testbench(tech);
+        let tb = m.testbench(tech).unwrap();
         let op = dc_operating_point(&tb, tech).unwrap();
         // The mirror pulls current out of VMEAS's + terminal, so the branch
         // current (defined + → − through the source) is negative.

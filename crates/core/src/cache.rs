@@ -307,12 +307,13 @@ fn with_shared<R>(tech: &Technology, f: impl FnOnce(&SizingCache) -> R) -> R {
     let fp = tech.fingerprint();
     SHARED.with(|slot| {
         let mut slot = slot.borrow_mut();
-        match &*slot {
-            Some((have, _)) if *have == fp => {}
-            _ => *slot = Some((fp, SizingCache::new(tech))),
+        match &mut *slot {
+            Some((have, cache)) if *have == fp => f(cache),
+            other => {
+                let (_, cache) = other.insert((fp, SizingCache::new(tech)));
+                f(cache)
+            }
         }
-        let (_, cache) = slot.as_ref().expect("just installed");
-        f(cache)
     })
 }
 

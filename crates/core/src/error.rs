@@ -33,6 +33,16 @@ pub enum ApeError {
     /// The work was abandoned because its cancellation token fired (batch
     /// shutdown or an expired per-job deadline) — see [`crate::cancel`].
     Cancelled,
+    /// A composed performance figure came out NaN or infinite. The inputs
+    /// passed their individual range checks but their combination collapsed
+    /// (division by a vanishing conductance, sqrt of a negative gain
+    /// budget, overflow) — reported instead of returning poisoned numbers.
+    NonFinite {
+        /// Which composition stage produced the non-finite value.
+        stage: &'static str,
+        /// Which figure went non-finite.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for ApeError {
@@ -46,6 +56,9 @@ impl fmt::Display for ApeError {
             ApeError::Netlist(e) => write!(f, "netlist emission failed: {e}"),
             ApeError::MissingModel(kind) => write!(f, "technology lacks a {kind} model card"),
             ApeError::Cancelled => write!(f, "work cancelled (token fired or deadline expired)"),
+            ApeError::NonFinite { stage, what } => {
+                write!(f, "{stage} produced a non-finite {what}")
+            }
         }
     }
 }

@@ -269,9 +269,9 @@ impl FoldedCascodeOta {
         let vbn = ckt.fresh_node(&format!("{prefix}_vbn"));
 
         ckt.add_idc(&format!("{prefix}.IB"), vdd, bias, self.spec.ibias)?;
-        ckt.add_vdc(&format!("{prefix}.VBS"), vbs, gnd, self.vb_src);
-        ckt.add_vdc(&format!("{prefix}.VBC"), vbc, gnd, self.vb_casc);
-        ckt.add_vdc(&format!("{prefix}.VBN"), vbn, gnd, self.vb_ncasc);
+        ckt.add_vdc(&format!("{prefix}.VBS"), vbs, gnd, self.vb_src)?;
+        ckt.add_vdc(&format!("{prefix}.VBC"), vbc, gnd, self.vb_casc)?;
+        ckt.add_vdc(&format!("{prefix}.VBN"), vbn, gnd, self.vb_ncasc)?;
         ckt.add_mosfet(
             &format!("{prefix}.MB1"),
             bias,
@@ -413,7 +413,7 @@ impl FoldedCascodeOta {
         let inp = ckt.node("inp");
         let inn = ckt.node("inn");
         let out = ckt.node("out");
-        ckt.add_vdc("VDD", vdd, Circuit::GROUND, tech.vdd);
+        ckt.add_vdc("VDD", vdd, Circuit::GROUND, tech.vdd)?;
         let vcm = 0.5 * tech.vdd;
         ckt.add_vsource("VINP", inp, Circuit::GROUND, vcm, 0.5, SourceWaveform::Dc)?;
         ckt.add_vsource("VINN", inn, Circuit::GROUND, vcm, -0.5, SourceWaveform::Dc)?;
@@ -453,8 +453,8 @@ mod tests {
         let tb = ota.testbench_open_loop(&tech).unwrap();
         let op = dc_operating_point(&tb, &tech).unwrap();
         let out = tb.find_node("out").unwrap();
-        let sweep = ac_sweep(&tb, &tech, &op, &decade_frequencies(100.0, 2e9, 8)).unwrap();
-        let a_sim = measure::dc_gain(&sweep, out);
+        let sweep = ac_sweep(&tb, &tech, &op, &decade_frequencies(100.0, 2e9, 8).unwrap()).unwrap();
+        let a_sim = measure::dc_gain(&sweep, out).unwrap();
         let a_est = ota.perf.dc_gain.unwrap();
         assert!(
             (a_sim - a_est).abs() / a_est < 0.7,

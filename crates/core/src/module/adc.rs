@@ -120,8 +120,8 @@ impl Comparator {
         let inn = ckt.node("inn");
         let out = ckt.node("out");
         let vth = tech.vdd / 2.0;
-        ckt.add_vdc("VDD", vdd, Circuit::GROUND, tech.vdd);
-        ckt.add_vdc("VTH", inn, Circuit::GROUND, vth);
+        ckt.add_vdc("VDD", vdd, Circuit::GROUND, tech.vdd)?;
+        ckt.add_vdc("VTH", inn, Circuit::GROUND, vth)?;
         ckt.add_vsource(
             "VINP",
             inp,
@@ -242,9 +242,9 @@ impl FlashAdc {
         let vrh = ckt.node("vrh");
         let vrl = ckt.node("vrl");
         let vin_n = ckt.node("vin");
-        ckt.add_vdc("VDD", vdd, Circuit::GROUND, tech.vdd);
-        ckt.add_vdc("VRH", vrh, Circuit::GROUND, self.vref_hi);
-        ckt.add_vdc("VRL", vrl, Circuit::GROUND, self.vref_lo);
+        ckt.add_vdc("VDD", vdd, Circuit::GROUND, tech.vdd)?;
+        ckt.add_vdc("VRH", vrh, Circuit::GROUND, self.vref_hi)?;
+        ckt.add_vdc("VRL", vrl, Circuit::GROUND, self.vref_lo)?;
         ckt.add_vsource("VIN", vin_n, Circuit::GROUND, vin, 0.0, SourceWaveform::Dc)?;
         // Ladder: 2^bits equal segments from vrl to vrh.
         let n = 1usize << self.bits;

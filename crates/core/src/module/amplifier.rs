@@ -125,8 +125,8 @@ impl InvertingAmplifier {
         let vref = ckt.node("vref");
         let out = ckt.node("out");
         let sum = ckt.node("sum");
-        ckt.add_vdc("VDD", vdd, Circuit::GROUND, tech.vdd);
-        ckt.add_vdc("VREF", vref, Circuit::GROUND, tech.vdd / 2.0);
+        ckt.add_vdc("VDD", vdd, Circuit::GROUND, tech.vdd)?;
+        ckt.add_vdc("VREF", vref, Circuit::GROUND, tech.vdd / 2.0)?;
         ckt.add_vsource(
             "VIN",
             vin,
@@ -210,8 +210,8 @@ impl NonInvertingAmplifier {
         let vin = ckt.node("in");
         let vref = ckt.node("vref");
         let out = ckt.node("out");
-        ckt.add_vdc("VDD", vdd, Circuit::GROUND, tech.vdd);
-        ckt.add_vdc("VREF", vref, Circuit::GROUND, tech.vdd / 2.0);
+        ckt.add_vdc("VDD", vdd, Circuit::GROUND, tech.vdd)?;
+        ckt.add_vdc("VREF", vref, Circuit::GROUND, tech.vdd / 2.0)?;
         ckt.add_vsource(
             "VIN",
             vin,
@@ -332,7 +332,7 @@ impl AudioAmplifier {
         let inp = ckt.node("inp");
         let inn = ckt.node("inn");
         let out = ckt.node("out");
-        ckt.add_vdc("VDD", vdd, Circuit::GROUND, tech.vdd);
+        ckt.add_vdc("VDD", vdd, Circuit::GROUND, tech.vdd)?;
         let vcm = 0.5 * tech.vdd;
         ckt.add_vsource("VINP", inp, Circuit::GROUND, vcm, 0.5, SourceWaveform::Dc)?;
         ckt.add_vsource("VINN", inn, Circuit::GROUND, vcm, -0.5, SourceWaveform::Dc)?;
@@ -340,7 +340,7 @@ impl AudioAmplifier {
             .build_into(&mut ckt, tech, "X1", inp, inn, out, vdd)?;
         if let Some(rl) = self.r_load {
             let vref = ckt.node("vref");
-            ckt.add_vdc("VREF", vref, Circuit::GROUND, vcm);
+            ckt.add_vdc("VREF", vref, Circuit::GROUND, vcm)?;
             ckt.add_resistor("RL", out, vref, rl)?;
         }
         ckt.add_capacitor("CL", out, Circuit::GROUND, self.opamp.spec.cl)?;
@@ -360,8 +360,8 @@ mod tests {
         let tb = amp.testbench(&tech).unwrap();
         let op = dc_operating_point(&tb, &tech).unwrap();
         let out = tb.find_node("out").unwrap();
-        let sweep = ac_sweep(&tb, &tech, &op, &decade_frequencies(10.0, 1e8, 10)).unwrap();
-        let g_sim = measure::dc_gain(&sweep, out);
+        let sweep = ac_sweep(&tb, &tech, &op, &decade_frequencies(10.0, 1e8, 10).unwrap()).unwrap();
+        let g_sim = measure::dc_gain(&sweep, out).unwrap();
         assert!((g_sim - 4.0).abs() / 4.0 < 0.1, "sim gain {g_sim}");
         let bw_sim = measure::bandwidth_3db(&sweep, out).unwrap();
         let bw_est = amp.perf.bw_hz.unwrap();
@@ -380,7 +380,7 @@ mod tests {
         let op = dc_operating_point(&tb, &tech).unwrap();
         let out = tb.find_node("out").unwrap();
         let sweep = ac_sweep(&tb, &tech, &op, &[100.0]).unwrap();
-        let g_sim = measure::dc_gain(&sweep, out);
+        let g_sim = measure::dc_gain(&sweep, out).unwrap();
         assert!((g_sim - 2.0).abs() < 0.15, "sim gain {g_sim}");
     }
 
@@ -392,7 +392,7 @@ mod tests {
         let op = dc_operating_point(&tb, &tech).unwrap();
         let out = tb.find_node("out").unwrap();
         let sweep = ac_sweep(&tb, &tech, &op, &[100.0]).unwrap();
-        let g_sim = measure::dc_gain(&sweep, out);
+        let g_sim = measure::dc_gain(&sweep, out).unwrap();
         assert!((g_sim - 1.0).abs() < 0.05, "follower gain {g_sim}");
     }
 
@@ -410,8 +410,8 @@ mod tests {
         let tb = amp.testbench(&tech).unwrap();
         let op = dc_operating_point(&tb, &tech).unwrap();
         let out = tb.find_node("out").unwrap();
-        let sweep = ac_sweep(&tb, &tech, &op, &decade_frequencies(10.0, 1e8, 10)).unwrap();
-        let g_sim = measure::dc_gain(&sweep, out);
+        let sweep = ac_sweep(&tb, &tech, &op, &decade_frequencies(10.0, 1e8, 10).unwrap()).unwrap();
+        let g_sim = measure::dc_gain(&sweep, out).unwrap();
         assert!(g_sim > 70.0, "audio amp sim gain {g_sim}");
     }
 

@@ -129,8 +129,8 @@ impl R2rDac {
         let vdd = ckt.node("vdd");
         let out = ckt.node("out");
         let vlo = ckt.node("vlo");
-        ckt.add_vdc("VDD", vdd, Circuit::GROUND, tech.vdd);
-        ckt.add_vdc("VLO", vlo, Circuit::GROUND, self.v_lo);
+        ckt.add_vdc("VDD", vdd, Circuit::GROUND, tech.vdd)?;
+        ckt.add_vdc("VLO", vlo, Circuit::GROUND, self.v_lo)?;
         // R-2R ladder, MSB nearest the output node.
         // node chain: ladder output `lad`, then successive internal nodes.
         let lad = ckt.node("lad");
@@ -145,7 +145,7 @@ impl R2rDac {
                 bnode,
                 Circuit::GROUND,
                 if bit_set { self.v_hi } else { self.v_lo },
-            );
+            )?;
             ckt.add_resistor(&format!("R2A{bit}"), node, bnode, 2.0 * self.r)?;
             if bit > 0 {
                 let next = ckt.node(&format!("n{bit}"));

@@ -39,7 +39,7 @@ pub(crate) fn butterworth_qs(order: usize) -> Result<Vec<f64>, ApeError> {
             1.0 / (2.0 * ang.sin())
         })
         .collect();
-    qs.sort_by(|a, b| a.partial_cmp(b).expect("finite Q"));
+    qs.sort_by(f64::total_cmp);
     Ok(qs)
 }
 
@@ -173,8 +173,8 @@ impl SallenKeyLowPass {
         let mut ckt = Circuit::new("sk-lpf-tb");
         let vdd = ckt.node("vdd");
         let vref = ckt.node("vref");
-        ckt.add_vdc("VDD", vdd, Circuit::GROUND, tech.vdd);
-        ckt.add_vdc("VREF", vref, Circuit::GROUND, tech.vdd / 2.0);
+        ckt.add_vdc("VDD", vdd, Circuit::GROUND, tech.vdd)?;
+        ckt.add_vdc("VREF", vref, Circuit::GROUND, tech.vdd / 2.0)?;
         let mut stage_in = ckt.node("in");
         ckt.add_vsource(
             "VIN",
@@ -321,8 +321,8 @@ impl SallenKeyBandPass {
         let n1 = ckt.node("n1");
         let n2 = ckt.node("n2");
         let out = ckt.node("out");
-        ckt.add_vdc("VDD", vdd, Circuit::GROUND, tech.vdd);
-        ckt.add_vdc("VREF", vref, Circuit::GROUND, tech.vdd / 2.0);
+        ckt.add_vdc("VDD", vdd, Circuit::GROUND, tech.vdd)?;
+        ckt.add_vdc("VREF", vref, Circuit::GROUND, tech.vdd / 2.0)?;
         ckt.add_vsource(
             "VIN",
             vin,
@@ -375,8 +375,8 @@ mod tests {
         let tb = lpf.testbench(&tech).unwrap();
         let op = dc_operating_point(&tb, &tech).unwrap();
         let out = tb.find_node("out").unwrap();
-        let sweep = ac_sweep(&tb, &tech, &op, &decade_frequencies(10.0, 1e5, 15)).unwrap();
-        let g_sim = measure::dc_gain(&sweep, out);
+        let sweep = ac_sweep(&tb, &tech, &op, &decade_frequencies(10.0, 1e5, 15).unwrap()).unwrap();
+        let g_sim = measure::dc_gain(&sweep, out).unwrap();
         let g_est = lpf.perf.dc_gain.unwrap();
         assert!(
             (g_sim - g_est).abs() / g_est < 0.12,
@@ -439,7 +439,13 @@ mod tests {
         let tb = bpf.testbench(&tech).unwrap();
         let op = dc_operating_point(&tb, &tech).unwrap();
         let out = tb.find_node("out").unwrap();
-        let sweep = ac_sweep(&tb, &tech, &op, &decade_frequencies(50.0, 20e3, 40)).unwrap();
+        let sweep = ac_sweep(
+            &tb,
+            &tech,
+            &op,
+            &decade_frequencies(50.0, 20e3, 40).unwrap(),
+        )
+        .unwrap();
         let m = sweep.magnitude(out);
         let peak = m.iter().cloned().fold(0.0, f64::max);
         let target = peak / 2f64.sqrt();

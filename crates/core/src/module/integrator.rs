@@ -101,8 +101,8 @@ impl Integrator {
         let vref = ckt.node("vref");
         let out = ckt.node("out");
         let sum = ckt.node("sum");
-        ckt.add_vdc("VDD", vdd, Circuit::GROUND, tech.vdd);
-        ckt.add_vdc("VREF", vref, Circuit::GROUND, tech.vdd / 2.0);
+        ckt.add_vdc("VDD", vdd, Circuit::GROUND, tech.vdd)?;
+        ckt.add_vdc("VREF", vref, Circuit::GROUND, tech.vdd / 2.0)?;
         ckt.add_vsource(
             "VIN",
             vin,
@@ -212,8 +212,8 @@ impl SummingAmplifier {
         let vref = ckt.node("vref");
         let out = ckt.node("out");
         let sum = ckt.node("sum");
-        ckt.add_vdc("VDD", vdd, Circuit::GROUND, tech.vdd);
-        ckt.add_vdc("VREF", vref, Circuit::GROUND, tech.vdd / 2.0);
+        ckt.add_vdc("VDD", vdd, Circuit::GROUND, tech.vdd)?;
+        ckt.add_vdc("VREF", vref, Circuit::GROUND, tech.vdd / 2.0)?;
         for (i, r) in self.r_in.iter().enumerate() {
             let vin = ckt.node(&format!("in{i}"));
             let ac = if i == 0 { 1.0 } else { 0.0 };
@@ -262,9 +262,9 @@ mod tests {
         let tb = adder.testbench(&tech).unwrap();
         let op = dc_operating_point(&tb, &tech).unwrap();
         let out = tb.find_node("out").unwrap();
-        let sweep = ac_sweep(&tb, &tech, &op, &decade_frequencies(10.0, 1e5, 5)).unwrap();
+        let sweep = ac_sweep(&tb, &tech, &op, &decade_frequencies(10.0, 1e5, 5).unwrap()).unwrap();
         // Input 0 has gain 2 (AC-driven); the sim gain should be ≈ 2.
-        let g = measure::dc_gain(&sweep, out);
+        let g = measure::dc_gain(&sweep, out).unwrap();
         assert!((g - 2.0).abs() < 0.2, "adder input-0 gain {g}");
     }
 

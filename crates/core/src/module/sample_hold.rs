@@ -139,14 +139,14 @@ impl SampleHold {
         let hold = ckt.node("hold");
         let out = ckt.node("out");
         let ctl = ckt.node("ctl");
-        ckt.add_vdc("VDD", vdd, Circuit::GROUND, tech.vdd);
-        ckt.add_vdc("VREF", vref, Circuit::GROUND, tech.vdd / 2.0);
+        ckt.add_vdc("VDD", vdd, Circuit::GROUND, tech.vdd)?;
+        ckt.add_vdc("VREF", vref, Circuit::GROUND, tech.vdd / 2.0)?;
         ckt.add_vdc(
             "VCTL",
             ctl,
             Circuit::GROUND,
             if tracking { tech.vdd } else { 0.0 },
-        );
+        )?;
         ckt.add_vsource(
             "VIN",
             vin,
@@ -194,8 +194,14 @@ mod tests {
         let tb = sh.testbench_tracking(&tech).unwrap();
         let op = dc_operating_point(&tb, &tech).unwrap();
         let out = tb.find_node("out").unwrap();
-        let sweep = ac_sweep(&tb, &tech, &op, &decade_frequencies(100.0, 1e7, 10)).unwrap();
-        let g_sim = measure::dc_gain(&sweep, out);
+        let sweep = ac_sweep(
+            &tb,
+            &tech,
+            &op,
+            &decade_frequencies(100.0, 1e7, 10).unwrap(),
+        )
+        .unwrap();
+        let g_sim = measure::dc_gain(&sweep, out).unwrap();
         assert!((g_sim - 2.0).abs() < 0.15, "tracking gain {g_sim}");
         let bw_sim = measure::bandwidth_3db(&sweep, out).unwrap();
         let bw_est = sh.perf.bw_hz.unwrap();
@@ -214,7 +220,7 @@ mod tests {
         let op = dc_operating_point(&tb, &tech).unwrap();
         let out = tb.find_node("out").unwrap();
         let sweep = ac_sweep(&tb, &tech, &op, &[1e3]).unwrap();
-        let g = measure::dc_gain(&sweep, out);
+        let g = measure::dc_gain(&sweep, out).unwrap();
         assert!(g < 0.05, "hold-mode feedthrough {g}");
     }
 

@@ -79,6 +79,16 @@ pub fn estimate_netlist(
 ) -> Result<NetlistEstimate, ApeError> {
     let _span = ape_probe::span("ape.netest");
     crate::cancel::check_current()?;
+    if usize::from(output) >= circuit.num_nodes() {
+        return Err(ApeError::BadSpec {
+            param: "output",
+            message: format!(
+                "output node {} is not in the circuit ({} nodes)",
+                usize::from(output),
+                circuit.num_nodes()
+            ),
+        });
+    }
     let op = dc_operating_point(circuit, tech).map_err(|e| ApeError::Infeasible {
         component: "netlist",
         message: format!("dc operating point: {e}"),
@@ -94,6 +104,12 @@ pub fn estimate_netlist(
         message: format!("moment computation: {e}"),
     })?;
     let m0 = moments[0];
+    if !m0.is_finite() {
+        return Err(ApeError::NonFinite {
+            stage: "netlist moment composition",
+            what: "dc gain",
+        });
+    }
     if m0.abs() < 1e-15 {
         return Err(ApeError::Infeasible {
             component: "netlist",
@@ -119,12 +135,27 @@ pub fn estimate_netlist(
         }
         Err(_) => (None, None, Vec::new()),
     };
+    let power = op.supply_power(circuit);
+    let area = circuit.total_gate_area();
+    for (what, v) in [
+        ("power", Some(power)),
+        ("gate area", Some(area)),
+        ("bandwidth", bw),
+        ("unity-gain frequency", ugf),
+    ] {
+        if v.is_some_and(|v| !v.is_finite()) {
+            return Err(ApeError::NonFinite {
+                stage: "netlist estimate",
+                what,
+            });
+        }
+    }
     let perf = Performance {
         dc_gain: Some(m0),
         bw_hz: bw,
         ugf_hz: ugf,
-        power_w: op.supply_power(circuit),
-        gate_area_m2: circuit.total_gate_area(),
+        power_w: power,
+        gate_area_m2: area,
         ..Performance::default()
     };
     Ok(NetlistEstimate {
@@ -177,8 +208,14 @@ C1 out 0 5p
         let out = ckt.find_node("out").unwrap();
         let est = estimate_netlist(&ckt, &tech, out).unwrap();
         let op = dc_operating_point(&ckt, &tech).unwrap();
-        let sweep = ac_sweep(&ckt, &tech, &op, &decade_frequencies(10.0, 1e9, 10)).unwrap();
-        let g_sim = measure::dc_gain(&sweep, out);
+        let sweep = ac_sweep(
+            &ckt,
+            &tech,
+            &op,
+            &decade_frequencies(10.0, 1e9, 10).unwrap(),
+        )
+        .unwrap();
+        let g_sim = measure::dc_gain(&sweep, out).unwrap();
         let g_est = est.perf.dc_gain.unwrap().abs();
         assert!(
             (g_sim - g_est).abs() / g_sim < 0.01,
@@ -233,7 +270,7 @@ C1 out 0 5p
         let tech = Technology::default_1p2um();
         let mut c = Circuit::new("quiet");
         let a = c.node("a");
-        c.add_vdc("V1", a, Circuit::GROUND, 1.0);
+        c.add_vdc("V1", a, Circuit::GROUND, 1.0).unwrap();
         c.add_resistor("R1", a, Circuit::GROUND, 1e3).unwrap();
         let err = estimate_netlist(&c, &tech, a).unwrap_err();
         assert!(err.to_string().contains("AC"));

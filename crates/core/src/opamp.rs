@@ -396,6 +396,30 @@ impl OpAmp {
             area += b.gate_area() + s.gate_area();
         }
         let rz = 1.2 / m6.gm;
+        // Inputs can pass their individual range checks yet combine into a
+        // degenerate design (vanishing conductances, overflowing products).
+        // Catch that here rather than hand back an OpAmp full of NaNs.
+        for (what, v) in [
+            ("dc gain", a_total),
+            ("unity-gain frequency", ugf),
+            ("slew rate", sr),
+            ("power", power),
+            ("gate area", area),
+            ("output impedance", zout_est),
+        ] {
+            if !v.is_finite() {
+                return Err(ApeError::NonFinite {
+                    stage: "op-amp composition",
+                    what,
+                });
+            }
+        }
+        if !(power > 0.0 && area > 0.0) {
+            return Err(ApeError::Infeasible {
+                component: "op-amp",
+                message: format!("non-positive power ({power}) or area ({area})"),
+            });
+        }
         let perf = Performance {
             dc_gain: Some(a_total),
             ugf_hz: Some(ugf),
@@ -689,7 +713,7 @@ impl OpAmp {
         let inp = ckt.node("inp");
         let inn = ckt.node("inn");
         let out = ckt.node("out");
-        ckt.add_vdc("VDD", vdd, Circuit::GROUND, tech.vdd);
+        ckt.add_vdc("VDD", vdd, Circuit::GROUND, tech.vdd)?;
         let vcm = 0.5 * tech.vdd;
         ckt.add_vsource("VINP", inp, Circuit::GROUND, vcm, 0.5, SourceWaveform::Dc)?;
         ckt.add_vsource("VINN", inn, Circuit::GROUND, vcm, -0.5, SourceWaveform::Dc)?;
@@ -715,7 +739,7 @@ impl OpAmp {
         let vdd = ckt.node("vdd");
         let inp = ckt.node("inp");
         let out = ckt.node("out");
-        ckt.add_vdc("VDD", vdd, Circuit::GROUND, tech.vdd);
+        ckt.add_vdc("VDD", vdd, Circuit::GROUND, tech.vdd)?;
         ckt.add_vsource(
             "VINP",
             inp,
@@ -815,8 +839,8 @@ mod tests {
         let tb = amp.testbench_open_loop(&tech).unwrap();
         let op = dc_operating_point(&tb, &tech).unwrap();
         let out = tb.find_node("out").unwrap();
-        let sweep = ac_sweep(&tb, &tech, &op, &decade_frequencies(10.0, 1e9, 10)).unwrap();
-        let a_sim = measure::dc_gain(&sweep, out);
+        let sweep = ac_sweep(&tb, &tech, &op, &decade_frequencies(10.0, 1e9, 10).unwrap()).unwrap();
+        let a_sim = measure::dc_gain(&sweep, out).unwrap();
         let a_est = amp.perf.dc_gain.unwrap();
         assert!(
             (a_sim - a_est).abs() / a_est < 0.6,
@@ -844,7 +868,7 @@ mod tests {
         let op = dc_operating_point(&tb, &tech).unwrap();
         let out = tb.find_node("out").unwrap();
         let sweep = ac_sweep(&tb, &tech, &op, &[10.0]).unwrap();
-        let a_sim = measure::dc_gain(&sweep, out);
+        let a_sim = measure::dc_gain(&sweep, out).unwrap();
         assert!(a_sim > 50.0, "buffered wilson amp gain {a_sim}");
     }
 
@@ -869,7 +893,7 @@ mod tests {
         );
         let out = tb.find_node("out").unwrap();
         let sweep = ac_sweep(&tb, &tech, &op, &[10.0]).unwrap();
-        assert!(measure::dc_gain(&sweep, out) > 200.0);
+        assert!(measure::dc_gain(&sweep, out).unwrap() > 200.0);
     }
 
     #[test]
@@ -949,5 +973,23 @@ mod tests {
         let mut s = spec_basic();
         s.ugf_hz = f64::NAN;
         assert!(OpAmp::design(&tech, topo, s).is_err());
+    }
+
+    /// A process with zero channel-length modulation makes every stage's
+    /// `gm/gds` infinite: the spec passes its field checks, the devices
+    /// size fine, and only the composed gain is degenerate — exactly the
+    /// case [`ApeError::NonFinite`] exists to catch.
+    #[test]
+    fn degenerate_process_surfaces_as_non_finite() {
+        let mut tech = Technology::default_1p2um();
+        let mut n = tech.nmos().unwrap().clone();
+        let mut p = tech.pmos().unwrap().clone();
+        n.lambda = 0.0;
+        p.lambda = 0.0;
+        tech.insert_model(n);
+        tech.insert_model(p);
+        let topo = OpAmpTopology::miller(MirrorTopology::Simple, false);
+        let r = OpAmp::design(&tech, topo, spec_basic());
+        assert!(matches!(r, Err(ApeError::NonFinite { .. })), "got {r:?}");
     }
 }

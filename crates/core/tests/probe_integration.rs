@@ -1,3 +1,5 @@
+// Test/harness code: panicking on bad results is the assertion mechanism.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 //! End-to-end check that the estimator emits probe telemetry: designing a
 //! diff pair under a `SummarySink` must produce level-1 and level-2 spans
 //! with the expected nesting, and a repeated solve must hit the sizing

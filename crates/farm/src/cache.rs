@@ -112,10 +112,8 @@ impl ResultCache {
 
     /// Blocks until `key` has a published result and returns a clone of it.
     ///
-    /// # Panics
-    ///
-    /// Panics if `key` was never claimed — waiting on an unknown key would
-    /// sleep forever, which is a caller bug, not a recoverable state.
+    /// Waiting on a key that was never claimed is a caller bug; it yields
+    /// [`FarmError::WorkerLost`] instead of sleeping forever or panicking.
     pub fn wait(&self, key: u64) -> Result<Response, FarmError> {
         let mut map = self.lock();
         loop {
@@ -124,7 +122,12 @@ impl ResultCache {
                 Some(Entry::InFlight) => {
                     map = self.done.wait(map).unwrap_or_else(|e| e.into_inner());
                 }
-                None => panic!("ResultCache::wait on a key that was never claimed"),
+                None => {
+                    ape_probe::counter("farm.cache.unclaimed_wait", 1);
+                    return Err(FarmError::WorkerLost(format!(
+                        "wait on key {key:#x} that was never claimed"
+                    )));
+                }
             }
         }
     }
@@ -168,6 +171,12 @@ mod tests {
         assert_eq!(c.claim(1), Claim::Owner);
         c.publish(1, Ok(Response::Text("ok".into())));
         assert!(c.wait(1).is_ok());
+    }
+
+    #[test]
+    fn waiting_on_unclaimed_key_is_an_error() {
+        let c = ResultCache::new();
+        assert!(matches!(c.wait(42), Err(FarmError::WorkerLost(_))));
     }
 
     #[test]

@@ -116,6 +116,10 @@ pub enum FarmError {
     QueueFull,
     /// The farm was shutting down when the job was submitted or queued.
     ShuttingDown,
+    /// The farm lost track of the job: its worker died outside the panic
+    /// net, or a result was awaited for a key no submission ever claimed.
+    /// Surfaced as an error instead of hanging or panicking the waiter.
+    WorkerLost(String),
 }
 
 impl std::fmt::Display for FarmError {
@@ -127,6 +131,7 @@ impl std::fmt::Display for FarmError {
             FarmError::Panicked(m) => write!(f, "job panicked: {m}"),
             FarmError::QueueFull => write!(f, "queue full"),
             FarmError::ShuttingDown => write!(f, "farm shutting down"),
+            FarmError::WorkerLost(m) => write!(f, "farm lost the job: {m}"),
         }
     }
 }

@@ -32,6 +32,7 @@
 //! whole stack is instrumented with [`ape_probe`] spans, counters, and
 //! gauges (`farm.*` names).
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

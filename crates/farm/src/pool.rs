@@ -199,15 +199,27 @@ impl Farm {
             stats: StatCells::default(),
         });
         let cancel = CancelToken::new();
-        let workers = (0..config.workers.max(1))
-            .map(|i| {
-                let shared = shared.clone();
-                std::thread::Builder::new()
-                    .name(format!("ape-farm-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn farm worker")
-            })
-            .collect();
+        let mut workers = Vec::with_capacity(config.workers.max(1));
+        for i in 0..config.workers.max(1) {
+            let shared_i = shared.clone();
+            match std::thread::Builder::new()
+                .name(format!("ape-farm-{i}"))
+                .spawn(move || worker_loop(&shared_i))
+            {
+                Ok(handle) => workers.push(handle),
+                Err(_) => {
+                    // Run with however many threads the OS granted; the
+                    // farm still works (degraded) as long as one exists.
+                    ape_probe::counter("farm.worker.spawn_failed", 1);
+                    break;
+                }
+            }
+        }
+        if workers.is_empty() {
+            // No worker will ever drain the queue: close it so every
+            // submission resolves to `ShuttingDown` instead of hanging.
+            shared.queue.close();
+        }
         Farm {
             shared,
             workers,
@@ -344,9 +356,43 @@ impl Drop for Farm {
     }
 }
 
+/// Publishes a `WorkerLost` result for a claimed key unless defused.
+///
+/// `run_item` already nets ordinary job panics with `catch_unwind`, but a
+/// panic *outside* that net (probe sink, cache reset, a non-unwind payload
+/// aborting the worker thread) used to leave the key `InFlight` forever —
+/// every deduplicated waiter would then sleep until process exit. Arming
+/// this guard before running the job guarantees an outcome is published on
+/// every exit path.
+struct PublishOnDrop<'a> {
+    shared: &'a Shared,
+    key: u64,
+    armed: bool,
+}
+
+impl Drop for PublishOnDrop<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            ape_probe::counter("farm.worker.lost_job", 1);
+            self.shared.stats.panicked.fetch_add(1, Ordering::Relaxed);
+            self.shared.cache.publish(
+                self.key,
+                Err(FarmError::WorkerLost(
+                    "worker died before publishing a result".to_string(),
+                )),
+            );
+        }
+    }
+}
+
 fn worker_loop(shared: &Shared) {
     let _span = ape_probe::span("farm.worker");
     while let Some(item) = shared.queue.pop() {
+        let mut guard = PublishOnDrop {
+            shared,
+            key: item.key,
+            armed: true,
+        };
         let inflight = shared.inflight.fetch_add(1, Ordering::Relaxed) + 1;
         ape_probe::gauge("farm.inflight", inflight as f64);
         let t0 = Instant::now();
@@ -365,6 +411,7 @@ fn worker_loop(shared: &Shared) {
             Err(_) => ape_probe::counter("farm.job.failed", 1),
             Ok(_) => ape_probe::counter("farm.job.ok", 1),
         }
+        guard.armed = false;
         shared.cache.publish(item.key, result);
         let inflight = shared.inflight.fetch_sub(1, Ordering::Relaxed) - 1;
         ape_probe::gauge("farm.inflight", inflight as f64);

@@ -1,3 +1,5 @@
+// Test/harness code: panicking on bad results is the assertion mechanism.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 //! Worker-count independence: the same sweep plan must produce
 //! byte-identical JSONL whether one worker or eight execute it. This holds
 //! because every job runs as a pure function of `(technology, request)` —

@@ -1,3 +1,5 @@
+// Test/harness code: panicking on bad results is the assertion mechanism.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 //! End-to-end behaviour of the farm: real estimator jobs, deduplication,
 //! cancellation, panic isolation, and backpressure.
 
@@ -109,11 +111,17 @@ fn expired_deadline_cancels_jobs() {
 #[test]
 fn cancel_all_drains_queued_jobs() {
     let farm = Farm::new(Technology::default_1p2um(), FarmConfig::with_workers(1));
-    // Occupy the single worker so the design jobs stay queued.
+    // Occupy the single worker so the design jobs stay queued. Uses its own
+    // job fn: sharing `slow_job` would bump SLOW_RUNS concurrently with
+    // `identical_submissions_run_once` and flake its exact-count assertion.
+    fn blocker_job(_tech: &Technology) -> Result<Response, FarmError> {
+        std::thread::sleep(Duration::from_millis(100));
+        Ok(Response::Text("blocker done".into()))
+    }
     let blocker = farm.submit(Request::Custom {
         label: "blocker",
         nonce: 3,
-        run: slow_job,
+        run: blocker_job,
     });
     let queued: Vec<_> = (0..4)
         .map(|i| farm.submit(design(100.0 + i as f64)))
@@ -232,4 +240,45 @@ fn netlist_jobs_reset_solver_cache_and_report_it() {
         report.contains("solver symbolic cache"),
         "unexpected report: {report}"
     );
+}
+
+/// Regression: a panicking job must not poison the single-flight cache.
+/// Its waiters (the owner and every deduplicated submission) all receive
+/// `Panicked`, and the *next* submission of the same key re-owns the entry
+/// and can succeed — at one worker and at eight.
+#[test]
+fn panicking_job_does_not_poison_the_cache() {
+    for workers in [1usize, 8] {
+        let farm = Farm::new(
+            Technology::default_1p2um(),
+            FarmConfig::with_workers(workers),
+        );
+        let req = Request::Custom {
+            label: "panic-then-recover",
+            nonce: 77,
+            run: panicking_job,
+        };
+        let handles: Vec<_> = (0..4).map(|_| farm.submit(req.clone())).collect();
+        for h in handles {
+            match h.wait() {
+                Err(FarmError::Panicked(_)) => {}
+                other => panic!("expected Panicked at {workers} workers, got {other:?}"),
+            }
+        }
+        // The failed flight is reclaimed: an honest job under the same key
+        // runs and succeeds instead of being served the stale panic.
+        fn honest_job(_tech: &Technology) -> Result<Response, FarmError> {
+            Ok(Response::Text("recovered".into()))
+        }
+        let again = farm.submit(Request::Custom {
+            label: "panic-then-recover",
+            nonce: 77,
+            run: honest_job,
+        });
+        match again.wait() {
+            Ok(Response::Text(s)) => assert_eq!(s, "recovered"),
+            other => panic!("expected recovery at {workers} workers, got {other:?}"),
+        }
+        assert!(farm.stats().panicked >= 1);
+    }
 }

@@ -1,3 +1,5 @@
+// Test/harness code: panicking on bad results is the assertion mechanism.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 //! Compile-time guarantees the farm relies on: every job payload and
 //! result type crossing a thread boundary is `Clone + Send + Sync +
 //! Debug`, and the farm's own handles are shareable. These are static

@@ -1,3 +1,5 @@
+// Test/harness code: panicking on bad results is the assertion mechanism.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 //! Sampled invariant tests over the device models: the forward evaluation
 //! must be finite, sign-correct and continuous everywhere the simulator can
 //! land during Newton iterations. Deterministic seeded sweeps stand in for

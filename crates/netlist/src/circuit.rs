@@ -100,13 +100,11 @@ impl Circuit {
         self.name_to_node.get(name).copied()
     }
 
-    /// Name of a node id.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `id` does not belong to this circuit.
+    /// Name of a node id, or `"?"` if `id` does not belong to this circuit.
     pub fn node_name(&self, id: NodeId) -> &str {
-        &self.node_names[usize::from(id)]
+        self.node_names
+            .get(usize::from(id))
+            .map_or("?", String::as_str)
     }
 
     /// Number of nodes including ground.
@@ -146,6 +144,25 @@ impl Circuit {
                     node: n.index(),
                 });
             }
+        }
+        // Self-loops on branch/conductance elements either vanish from the
+        // MNA system (R/C/L) or make it singular (V sources, VCVS outputs);
+        // current sources and MOS devices keep their freedom (d == s dummies
+        // and i(a,a) no-ops are physically meaningful).
+        if e.a == e.b
+            && matches!(
+                e.kind,
+                ElementKind::Resistor { .. }
+                    | ElementKind::Capacitor { .. }
+                    | ElementKind::Inductor { .. }
+                    | ElementKind::VoltageSource { .. }
+                    | ElementKind::Vcvs { .. }
+            )
+        {
+            return Err(NetlistError::InvalidParameter {
+                element: e.name,
+                message: "element connects a node to itself (self-loop)".to_string(),
+            });
         }
         self.elements.push(e);
         Ok(())
@@ -231,13 +248,18 @@ impl Circuit {
 
     /// Adds a DC voltage source with zero AC magnitude.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on a duplicate element name (DC rails are added early by
-    /// construction code that owns its namespace).
-    pub fn add_vdc(&mut self, name: &str, pos: NodeId, neg: NodeId, volts: f64) {
+    /// Returns an error on duplicate names, dangling nodes, or a self-loop
+    /// (`pos == neg`, which would make the MNA system singular).
+    pub fn add_vdc(
+        &mut self,
+        name: &str,
+        pos: NodeId,
+        neg: NodeId,
+        volts: f64,
+    ) -> Result<(), NetlistError> {
         self.add_vsource(name, pos, neg, volts, 0.0, SourceWaveform::Dc)
-            .expect("duplicate voltage source name");
     }
 
     /// Adds a voltage source with full control of DC, AC magnitude and waveform.
@@ -693,7 +715,7 @@ mod tests {
         let mut c = Circuit::new("rc");
         let a = c.node("in");
         let b = c.node("out");
-        c.add_vdc("V1", a, Circuit::GROUND, 1.0);
+        c.add_vdc("V1", a, Circuit::GROUND, 1.0).unwrap();
         c.add_resistor("R1", a, b, 1e3).unwrap();
         c.add_capacitor("C1", b, Circuit::GROUND, 1e-9).unwrap();
         c
@@ -812,7 +834,7 @@ mod tests {
         let mut top = Circuit::new("top");
         let a = top.node("a");
         let b = top.node("b");
-        top.add_vdc("V1", a, Circuit::GROUND, 1.0);
+        top.add_vdc("V1", a, Circuit::GROUND, 1.0).unwrap();
         top.instantiate("X1", &inner, &[("in", a), ("out", b)])
             .unwrap();
         assert!(top.element("X1.R1").is_some());
@@ -834,7 +856,7 @@ mod tests {
 
         let mut top = Circuit::new("top");
         let a = top.node("a");
-        top.add_vdc("V", a, Circuit::GROUND, 1.0);
+        top.add_vdc("V", a, Circuit::GROUND, 1.0).unwrap();
         top.instantiate("X", &inner, &[("in", a)]).unwrap();
         assert!(top.find_node("X.mid").is_some());
     }

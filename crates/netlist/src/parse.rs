@@ -66,6 +66,18 @@ pub fn parse_spice(deck: &str) -> Result<(Circuit, Technology), NetlistError> {
             continue;
         }
         let lower = line.to_ascii_lowercase();
+        // Subcircuit definitions are not supported by this flat parser;
+        // silently skipping `.subckt` would drop elements on the floor (and
+        // an unclosed `.subckt` would previously terminate the deck via the
+        // `.end` prefix match on `.ends`).
+        if lower.starts_with(".subckt") || lower.starts_with(".ends") {
+            return Err(NetlistError::ParseLine {
+                line: *lineno,
+                message: "subcircuit definitions (.subckt/.ends) are not supported; \
+                          flatten the deck first"
+                    .to_string(),
+            });
+        }
         if lower.starts_with(".end") {
             break;
         }

@@ -48,6 +48,19 @@ pub fn parse_value(text: &str) -> Result<f64, NetlistError> {
             seen_digit |= c.is_ascii_digit();
             i += 1;
         } else if (c == 'e' || c == 'E') && seen_digit {
+            // A bare `e`/`E` with no digits after it is ambiguous between a
+            // malformed exponent ("1e-") and a unit ("1eV"). Treat `e`
+            // followed by a sign but no digit as malformed: "1e-" and "1e+"
+            // look like truncated exponents, not units.
+            let next = bytes.get(i + 1).copied().map(|b| b as char);
+            if matches!(next, Some('+') | Some('-'))
+                && !bytes
+                    .get(i + 2)
+                    .copied()
+                    .is_some_and(|b| (b as char).is_ascii_digit())
+            {
+                return Err(NetlistError::ParseValue(text.to_string()));
+            }
             // Could be an exponent ("1e3") or the start of a unit. Accept it
             // as an exponent only when followed by a digit or sign+digit.
             let next = bytes.get(i + 1).copied().map(|b| b as char);
@@ -75,6 +88,11 @@ pub fn parse_value(text: &str) -> Result<f64, NetlistError> {
     }
     if i <= s.len() {
         split = i;
+    }
+    // A mantissa with no digit at all ("." , "+." , "+k") is never a number,
+    // regardless of what the float parser would make of the prefix.
+    if !seen_digit {
+        return Err(NetlistError::ParseValue(text.to_string()));
     }
     let (mant, suffix) = s.split_at(split);
     let base: f64 = mant
@@ -118,6 +136,11 @@ fn suffix_multiplier(suffix: &str) -> f64 {
 /// assert_eq!(format_si(0.0, "V"), "0V");
 /// ```
 pub fn format_si(value: f64, unit: &str) -> String {
+    if !value.is_finite() {
+        // NaN/±inf would otherwise fall through every magnitude threshold
+        // into the femto branch and render as "NaNf…"/"inff…".
+        return format!("{value}{unit}");
+    }
     if value == 0.0 {
         return format!("0{unit}");
     }
@@ -211,5 +234,36 @@ mod tests {
     fn exponent_vs_unit_disambiguation() {
         // 'e' followed by non-digit is a unit, not an exponent.
         assert_eq!(parse_value("1e").unwrap(), 1.0);
+    }
+
+    #[test]
+    fn rejects_mantissa_less_inputs() {
+        for s in [".", "+.", "-.", "+", "-", "+k", "-meg", ".k", "+.u"] {
+            assert!(
+                matches!(parse_value(s), Err(NetlistError::ParseValue(_))),
+                "{s:?} should be ParseValue"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_truncated_exponents() {
+        // "1e-"/"1e+" look like truncated exponents, not units; they used to
+        // silently parse as 1.0 with suffix "e-".
+        for s in ["1e-", "1e+", "2.5E-", "1e-k"] {
+            assert!(
+                matches!(parse_value(s), Err(NetlistError::ParseValue(_))),
+                "{s:?} should be ParseValue"
+            );
+        }
+        // But 'e' followed by a unit letter is still a unit.
+        assert_eq!(parse_value("1eV").unwrap(), 1.0);
+    }
+
+    #[test]
+    fn format_si_nonfinite() {
+        assert_eq!(format_si(f64::NAN, "V"), "NaNV");
+        assert_eq!(format_si(f64::INFINITY, "Hz"), "infHz");
+        assert_eq!(format_si(f64::NEG_INFINITY, ""), "-inf");
     }
 }

@@ -54,10 +54,12 @@ pub fn audit_candidate(
     let (ckt, out) = build_candidate(tech, topology, spec, point)?;
     let op =
         dc_operating_point(&ckt, tech).map_err(|e| OblxError::AuditFailed(format!("dc: {e}")))?;
-    let freqs = decade_frequencies(100.0, 2e9, 8);
+    let freqs = decade_frequencies(100.0, 2e9, 8)
+        .map_err(|e| OblxError::AuditFailed(format!("freq grid: {e}")))?;
     let sweep = ac_sweep(&ckt, tech, &op, &freqs)
         .map_err(|e| OblxError::AuditFailed(format!("ac: {e}")))?;
-    let gain = measure::dc_gain(&sweep, out);
+    let gain =
+        measure::dc_gain(&sweep, out).map_err(|e| OblxError::AuditFailed(format!("gain: {e}")))?;
     let ugf = measure::unity_gain_frequency(&sweep, out).ok();
     let pm = measure::phase_margin(&sweep, out).ok();
     let area = candidate_area(tech, topology, spec, point);

@@ -13,6 +13,9 @@ pub enum OblxError {
     AuditFailed(String),
     /// The synthesis specification is malformed.
     BadSpec(String),
+    /// A design point does not fit the topology's variable table
+    /// (wrong dimension or an unknown variable name).
+    BadPoint(String),
     /// The run was abandoned at a temperature-plateau boundary because the
     /// thread-current cancellation token fired (batch shutdown or an
     /// expired per-job deadline).
@@ -25,6 +28,7 @@ impl fmt::Display for OblxError {
             OblxError::Template(m) => write!(f, "candidate template failed: {m}"),
             OblxError::AuditFailed(m) => write!(f, "final audit failed: {m}"),
             OblxError::BadSpec(m) => write!(f, "bad synthesis spec: {m}"),
+            OblxError::BadPoint(m) => write!(f, "bad design point: {m}"),
             OblxError::Cancelled => {
                 write!(f, "synthesis cancelled (token fired or deadline expired)")
             }

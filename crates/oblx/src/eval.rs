@@ -302,7 +302,7 @@ mod tests {
     #[test]
     fn blind_center_evaluates_without_panic() {
         let tech = Technology::default_1p2um();
-        let p = blind_center(topo());
+        let p = blind_center(topo()).unwrap();
         let e = evaluate_candidate(&tech, topo(), &spec(), &p);
         // Whatever the numbers, the evaluation must complete and the area
         // formula must fire.

@@ -120,21 +120,36 @@ pub fn synthesize(
     opts: &SynthesisOptions,
 ) -> Result<SynthesisOutcome, OblxError> {
     let _span = ape_probe::span("oblx.synthesize");
-    if !(spec.gain > 1.0 && spec.ugf_hz > 0.0 && spec.cl > 0.0 && spec.ibias > 0.0) {
+    // Every field participates in the cost function as a divisor or scale,
+    // so infinities are as poisonous as NaN: an inf gain makes the gain
+    // shortfall NaN and the annealer chases noise forever.
+    if !(spec.gain.is_finite()
+        && spec.gain > 1.0
+        && spec.ugf_hz.is_finite()
+        && spec.ugf_hz > 0.0
+        && spec.cl.is_finite()
+        && spec.cl > 0.0
+        && spec.ibias.is_finite()
+        && spec.ibias > 0.0
+        && spec.area_max_m2.is_finite()
+        && spec.area_max_m2 > 0.0
+        && spec.zout_ohm.is_none_or(|z| z.is_finite() && z > 0.0))
+    {
         return Err(OblxError::BadSpec(format!(
-            "gain {}, ugf {}, cl {}, ibias {}",
-            spec.gain, spec.ugf_hz, spec.cl, spec.ibias
+            "gain {}, ugf {}, cl {}, ibias {}, area_max {}, zout {:?}",
+            spec.gain, spec.ugf_hz, spec.cl, spec.ibias, spec.area_max_m2, spec.zout_ohm
         )));
     }
     let t0 = Instant::now();
     let (ranges, start) = match init {
-        InitialPoint::Blind => (blind_ranges(topology), blind_center(topology).to_log()),
+        InitialPoint::Blind => (blind_ranges(topology)?, blind_center(topology)?.to_log()),
         InitialPoint::ApeSeeded {
             point,
             interval_frac,
         } => {
-            let r = seeded_ranges(topology, point, *interval_frac);
-            (r.clone(), r.clamp(point.to_log()))
+            let r = seeded_ranges(topology, point, *interval_frac)?;
+            let clamped = r.clamp(point.to_log());
+            (r, clamped)
         }
     };
     let weights = opts.weights;

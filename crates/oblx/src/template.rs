@@ -73,7 +73,8 @@ pub fn build_candidate(
     let o1 = ckt.node("o1");
     let o2 = if topology.buffer { ckt.node("o2") } else { out };
 
-    ckt.add_vdc("VDD", vdd, Circuit::GROUND, tech.vdd);
+    ckt.add_vdc("VDD", vdd, Circuit::GROUND, tech.vdd)
+        .map_err(err)?;
     let vcm = tech.vdd / 2.0;
     ckt.add_vsource("VINP", inp, Circuit::GROUND, vcm, 0.5, SourceWaveform::Dc)
         .map_err(err)?;
@@ -305,7 +306,7 @@ mod tests {
     #[test]
     fn template_builds_and_validates() {
         let tech = Technology::default_1p2um();
-        let p = blind_center(topo());
+        let p = blind_center(topo()).unwrap();
         let (ckt, out) = build_candidate(&tech, topo(), &spec(), &p).unwrap();
         assert!(ckt.validate().is_ok());
         assert!(!out.is_ground());
@@ -316,7 +317,7 @@ mod tests {
     fn buffered_and_wilson_variants() {
         let tech = Technology::default_1p2um();
         let topo_b = OpAmpTopology::miller(MirrorTopology::Wilson, true);
-        let p = blind_center(topo_b);
+        let p = blind_center(topo_b).unwrap();
         let (ckt, _) = build_candidate(&tech, topo_b, &spec(), &p).unwrap();
         assert!(ckt.validate().is_ok());
         // 2 pair + 2 load + M6 + M7 + MB1 + MWD + MWC + MBUF + MSINK = 11.
@@ -326,7 +327,7 @@ mod tests {
     #[test]
     fn area_formula_matches_netlist() {
         let tech = Technology::default_1p2um();
-        let p = blind_center(topo());
+        let p = blind_center(topo()).unwrap();
         let (ckt, _) = build_candidate(&tech, topo(), &spec(), &p).unwrap();
         let from_netlist = ckt.total_gate_area();
         let from_formula = candidate_area(&tech, topo(), &spec(), &p);

@@ -6,6 +6,7 @@
 //! intervals used in Table 1, and the APE-seeded ±20 % intervals used in
 //! Table 4.
 
+use crate::error::OblxError;
 use ape_anneal::VectorRanges;
 use ape_core::opamp::{OpAmp, OpAmpTopology};
 
@@ -30,17 +31,11 @@ pub struct DesignPoint {
 }
 
 impl DesignPoint {
-    /// Value of a named variable.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `name` is not a variable of `topology`.
-    pub fn get(&self, topology: OpAmpTopology, name: &str) -> f64 {
-        let idx = variables(topology)
-            .iter()
-            .position(|v| v.name == name)
-            .unwrap_or_else(|| panic!("unknown design variable `{name}`"));
-        self.values[idx]
+    /// Value of a named variable, or `None` when `name` is not a variable
+    /// of `topology` or the point is shorter than the variable table.
+    pub fn get(&self, topology: OpAmpTopology, name: &str) -> Option<f64> {
+        let idx = variables(topology).iter().position(|v| v.name == name)?;
+        self.values.get(idx).copied()
     }
 
     /// Converts to the log-space vector the annealer searches.
@@ -118,27 +113,39 @@ pub fn variables(topology: OpAmpTopology) -> Vec<VarDef> {
 
 /// Blind decade-wide intervals (Table 1 mode), in log space.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Never panics for the built-in variable tables (bounds are valid).
-pub fn blind_ranges(topology: OpAmpTopology) -> VectorRanges {
+/// [`OblxError::BadPoint`] if the built-in variable bounds were rejected —
+/// unreachable for the shipped tables, but surfaced instead of panicking.
+pub fn blind_ranges(topology: OpAmpTopology) -> Result<VectorRanges, OblxError> {
     let pairs = variables(topology)
         .iter()
         .map(|v| (v.lo.ln(), v.hi.ln()))
         .collect();
-    VectorRanges::new(pairs).expect("built-in variable bounds are valid")
+    VectorRanges::new(pairs).map_err(|e| OblxError::BadPoint(format!("blind bounds: {e}")))
 }
 
 /// APE-seeded intervals: ±`frac` around `point` (Table 4 mode, the paper
 /// uses `frac = 0.2`), intersected with the blind bounds, in log space.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `point` has the wrong dimension.
-pub fn seeded_ranges(topology: OpAmpTopology, point: &DesignPoint, frac: f64) -> VectorRanges {
-    let blind = blind_ranges(topology);
+/// [`OblxError::BadPoint`] if `point` has the wrong dimension for the
+/// topology, or the resulting bounds are rejected.
+pub fn seeded_ranges(
+    topology: OpAmpTopology,
+    point: &DesignPoint,
+    frac: f64,
+) -> Result<VectorRanges, OblxError> {
+    let blind = blind_ranges(topology)?;
     let defs = variables(topology);
-    assert_eq!(point.values.len(), defs.len(), "design point dimension");
+    if point.values.len() != defs.len() {
+        return Err(OblxError::BadPoint(format!(
+            "design point has {} values, topology needs {}",
+            point.values.len(),
+            defs.len()
+        )));
+    }
     // ±frac in linear space maps to ln(1±frac) offsets in log space.
     let lo_off = (1.0 - frac).ln();
     let hi_off = (1.0 + frac).ln();
@@ -157,7 +164,7 @@ pub fn seeded_ranges(topology: OpAmpTopology, point: &DesignPoint, frac: f64) ->
             }
         })
         .collect();
-    VectorRanges::new(pairs).expect("seeded bounds are valid")
+    VectorRanges::new(pairs).map_err(|e| OblxError::BadPoint(format!("seeded bounds: {e}")))
 }
 
 /// Extracts the design point an APE-sized amplifier corresponds to — the
@@ -203,8 +210,12 @@ pub fn design_point_from_ape(tech: &ape_netlist::Technology, amp: &OpAmp) -> Des
 }
 
 /// The geometric centre of the blind space — the "no initial point" start.
-pub fn blind_center(topology: OpAmpTopology) -> DesignPoint {
-    DesignPoint::from_log(&blind_ranges(topology).center())
+///
+/// # Errors
+///
+/// See [`blind_ranges`].
+pub fn blind_center(topology: OpAmpTopology) -> Result<DesignPoint, OblxError> {
+    Ok(DesignPoint::from_log(&blind_ranges(topology)?.center()))
 }
 
 /// Writes a synthesised design point back into an APE op-amp object, so
@@ -223,6 +234,11 @@ pub fn apply_point_to_opamp(
     use ape_netlist::MosGeometry;
     let v = &point.values;
     let mut a = amp.clone();
+    if v.len() < 8 {
+        debug_assert!(false, "design point too short for two-stage template");
+        ape_probe::counter("oblx.vars.short_point", 1);
+        return a;
+    }
     a.stage1.input.geometry = MosGeometry::new(v[0], v[1]);
     a.stage1.load.geometry = MosGeometry::new(v[2], v[1]);
     a.m6.geometry = MosGeometry::new(v[3], v[4]);
@@ -277,8 +293,8 @@ mod tests {
         let p = DesignPoint {
             values: vec![10e-6, 2.4e-6, 20e-6, 50e-6, 1.2e-6, 8e-6, 12e-6, 2e-12],
         };
-        let seeded = seeded_ranges(topo(), &p, 0.2);
-        let blind = blind_ranges(topo());
+        let seeded = seeded_ranges(topo(), &p, 0.2).unwrap();
+        let blind = blind_ranges(topo()).unwrap();
         for i in 0..seeded.len() {
             let seeded_span = seeded.upper()[i] - seeded.lower()[i];
             let blind_span = blind.upper()[i] - blind.lower()[i];
@@ -302,14 +318,25 @@ mod tests {
         let amp = OpAmp::design(&tech, topo(), spec).unwrap();
         let p = design_point_from_ape(&tech, &amp);
         assert_eq!(p.values.len(), 8);
-        assert!((p.get(topo(), "cc") - amp.cc).abs() < 1e-15);
-        assert!(p.get(topo(), "w_pair") > 0.0);
+        assert!((p.get(topo(), "cc").unwrap() - amp.cc).abs() < 1e-15);
+        assert!(p.get(topo(), "w_pair").unwrap() > 0.0);
     }
 
     #[test]
-    fn named_access_panics_on_unknown() {
-        let p = blind_center(topo());
-        let result = std::panic::catch_unwind(|| p.get(topo(), "nope"));
-        assert!(result.is_err());
+    fn named_access_returns_none_on_unknown() {
+        let p = blind_center(topo()).unwrap();
+        assert_eq!(p.get(topo(), "nope"), None);
+        // A short point cannot index past its own length either.
+        let short = DesignPoint { values: vec![1.0] };
+        assert_eq!(short.get(topo(), "cc"), None);
+    }
+
+    #[test]
+    fn seeded_ranges_reject_wrong_dimension() {
+        let short = DesignPoint { values: vec![1.0] };
+        assert!(matches!(
+            seeded_ranges(topo(), &short, 0.2),
+            Err(OblxError::BadPoint(_))
+        ));
     }
 }

@@ -1,3 +1,5 @@
+// Test/harness code: panicking on bad results is the assertion mechanism.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 //! Round-trip test: events written by `JsonLinesSink` parse back into the
 //! same (type, name, payload) triples with a minimal JSON-object parser.
 

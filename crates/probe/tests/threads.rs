@@ -1,3 +1,5 @@
+// Test/harness code: panicking on bad results is the assertion mechanism.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 //! Cross-thread aggregation regression tests.
 //!
 //! The farm runs estimation jobs on worker threads; every probe event they

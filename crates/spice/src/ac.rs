@@ -27,12 +27,16 @@ pub struct AcSweep {
 impl AcSweep {
     /// Phasor voltage of `node` at sweep index `k`.
     ///
-    /// # Panics
-    ///
-    /// Panics if `k` is out of range.
+    /// Out-of-range indices and foreign nodes read as [`Complex::ZERO`],
+    /// matching the grounded-node convention.
     pub fn voltage(&self, k: usize, node: NodeId) -> Complex {
         match node.matrix_row() {
-            Some(r) if r < self.n_nodes => self.points[k][r],
+            Some(r) if r < self.n_nodes => self
+                .points
+                .get(k)
+                .and_then(|p| p.get(r))
+                .copied()
+                .unwrap_or(Complex::ZERO),
             Some(_) | None => Complex::ZERO,
         }
     }
@@ -80,20 +84,43 @@ impl AcSweep {
 /// Generates a logarithmic frequency grid with `points_per_decade` points
 /// from `fstart` to `fstop` (both included).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `fstart <= 0`, `fstop < fstart` or `points_per_decade == 0`.
-pub fn decade_frequencies(fstart: f64, fstop: f64, points_per_decade: usize) -> Vec<f64> {
-    assert!(fstart > 0.0 && fstop >= fstart && points_per_decade > 0);
-    let decades = (fstop / fstart).log10();
-    let n = (decades * points_per_decade as f64).ceil() as usize;
+/// [`SpiceError::BadCircuit`] if `fstart <= 0`, `fstop < fstart`,
+/// `points_per_decade == 0`, or either endpoint is non-finite.
+pub fn decade_frequencies(
+    fstart: f64,
+    fstop: f64,
+    points_per_decade: usize,
+) -> Result<Vec<f64>, SpiceError> {
+    if !(fstart > 0.0 && fstart.is_finite() && fstop.is_finite() && fstop >= fstart)
+        || points_per_decade == 0
+    {
+        return Err(SpiceError::BadCircuit(format!(
+            "invalid frequency grid: fstart={fstart}, fstop={fstop}, \
+             points_per_decade={points_per_decade}"
+        )));
+    }
+    // log10(fstop) - log10(fstart), not log10(fstop/fstart): the ratio of
+    // two representable frequencies can overflow to infinity (1e-300 →
+    // 1e300 spans 600 decades but the quotient is 1e600), which would turn
+    // the point count into usize::MAX and abort on allocation.
+    let decades = fstop.log10() - fstart.log10();
+    let n_points = decades * points_per_decade as f64;
+    const MAX_POINTS: f64 = 10_000_000.0;
+    if n_points > MAX_POINTS {
+        return Err(SpiceError::BadCircuit(format!(
+            "frequency grid of {n_points:.0} points exceeds the {MAX_POINTS:.0}-point limit"
+        )));
+    }
+    let n = n_points.ceil() as usize;
     let mut out: Vec<f64> = (0..=n)
         .map(|k| fstart * 10f64.powf(k as f64 / points_per_decade as f64))
         .collect();
     if let Some(last) = out.last_mut() {
         *last = fstop;
     }
-    out
+    Ok(out)
 }
 
 /// Options for [`ac_sweep_with`].
@@ -243,9 +270,11 @@ fn sweep_sparse(
     factor
         .factor(&cmat)
         .ok_or(SpiceError::SingularMatrix { analysis: "ac" })?;
-    let sym = factor
-        .symbolic()
-        .expect("factorisation succeeded, symbolic present");
+    let Some(sym) = factor.symbolic() else {
+        return Err(SpiceError::Internal(
+            "factorisation succeeded but symbolic analysis is missing",
+        ));
+    };
 
     let threads = match opts.threads {
         0 => std::thread::available_parallelism()
@@ -299,8 +328,14 @@ fn sweep_sparse(
             }));
         }
         for h in handles {
-            if let Err(e) = h.join().expect("ac worker panicked") {
-                first_err.get_or_insert(e);
+            match h.join() {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => {
+                    first_err.get_or_insert(e);
+                }
+                Err(_) => {
+                    first_err.get_or_insert(SpiceError::Internal("ac worker thread panicked"));
+                }
             }
         }
     });
@@ -360,6 +395,24 @@ mod tests {
     use crate::dc::dc_operating_point;
     use ape_netlist::{Circuit, SourceWaveform, Technology};
 
+    /// The grid generator must reject empty/invalid windows, and bound the
+    /// point count even when the fstop/fstart ratio overflows a double.
+    #[test]
+    fn decade_grid_rejects_degenerate_windows() {
+        assert!(decade_frequencies(0.0, 1e6, 10).is_err());
+        assert!(decade_frequencies(-1.0, 1e6, 10).is_err());
+        assert!(decade_frequencies(1e6, 1e3, 10).is_err());
+        assert!(decade_frequencies(1.0, f64::INFINITY, 10).is_err());
+        assert!(decade_frequencies(1.0, 1e6, 0).is_err());
+        // 600 decades: the naive ratio is 1e600 = inf. Must error on the
+        // point limit, not allocate usize::MAX entries.
+        assert!(decade_frequencies(1e-300, 1e300, 100_000).is_err());
+        // ...while a legitimate extreme-but-sane window still works.
+        let f = decade_frequencies(1e-300, 1e300, 2).unwrap();
+        assert!(f.len() > 1000 && f.len() < 2000);
+        assert_eq!(*f.last().unwrap(), 1e300);
+    }
+
     fn rc_lowpass() -> (Circuit, NodeId) {
         let mut c = Circuit::new("rc");
         let i = c.node("in");
@@ -389,7 +442,7 @@ mod tests {
         let (c, o) = rc_lowpass();
         let tech = Technology::default_1p2um();
         let op = dc_operating_point(&c, &tech).unwrap();
-        let freqs = decade_frequencies(1e2, 1e9, 5);
+        let freqs = decade_frequencies(1e2, 1e9, 5).unwrap();
         let sweep = ac_sweep(&c, &tech, &op, &freqs).unwrap();
         let ph = sweep.phase_unwrapped(o);
         let last = ph.last().unwrap().to_degrees();
@@ -419,7 +472,7 @@ mod tests {
 
     #[test]
     fn decade_grid_endpoints() {
-        let f = decade_frequencies(1.0, 1e3, 10);
+        let f = decade_frequencies(1.0, 1e3, 10).unwrap();
         assert_eq!(f[0], 1.0);
         assert_eq!(*f.last().unwrap(), 1e3);
         assert_eq!(f.len(), 31);
@@ -434,7 +487,7 @@ mod tests {
         let vdd = c.node("vdd");
         let g = c.node("g");
         let d = c.node("d");
-        c.add_vdc("VDD", vdd, Circuit::GROUND, 5.0);
+        c.add_vdc("VDD", vdd, Circuit::GROUND, 5.0).unwrap();
         c.add_vsource("VG", g, Circuit::GROUND, 1.2, 1.0, SourceWaveform::Dc)
             .unwrap();
         c.add_resistor("RD", vdd, d, 50e3).unwrap();

@@ -750,7 +750,7 @@ mod tests {
         let mut c = Circuit::new("div");
         let a = c.node("a");
         let b = c.node("b");
-        c.add_vdc("V1", a, Circuit::GROUND, 6.0);
+        c.add_vdc("V1", a, Circuit::GROUND, 6.0).unwrap();
         c.add_resistor("R1", a, b, 1e3).unwrap();
         c.add_resistor("R2", b, Circuit::GROUND, 2e3).unwrap();
         let op = dc_operating_point(&c, &Technology::default_1p2um()).unwrap();
@@ -774,7 +774,7 @@ mod tests {
         let mut c = Circuit::new("e");
         let i = c.node("in");
         let o = c.node("out");
-        c.add_vdc("V1", i, Circuit::GROUND, 0.5);
+        c.add_vdc("V1", i, Circuit::GROUND, 0.5).unwrap();
         c.add_vcvs("E1", o, Circuit::GROUND, i, Circuit::GROUND, 10.0)
             .unwrap();
         c.add_resistor("RL", o, Circuit::GROUND, 1e3).unwrap();
@@ -787,7 +787,7 @@ mod tests {
         let mut c = Circuit::new("g");
         let i = c.node("in");
         let o = c.node("out");
-        c.add_vdc("V1", i, Circuit::GROUND, 1.0);
+        c.add_vdc("V1", i, Circuit::GROUND, 1.0).unwrap();
         // 1 mS transconductance pulling current out of `o`.
         c.add_vccs("G1", o, Circuit::GROUND, i, Circuit::GROUND, 1e-3)
             .unwrap();
@@ -832,8 +832,8 @@ mod tests {
         let vdd = c.node("vdd");
         let g = c.node("g");
         let d = c.node("d");
-        c.add_vdc("VDD", vdd, Circuit::GROUND, 5.0);
-        c.add_vdc("VG", g, Circuit::GROUND, 1.2);
+        c.add_vdc("VDD", vdd, Circuit::GROUND, 5.0).unwrap();
+        c.add_vdc("VG", g, Circuit::GROUND, 1.2).unwrap();
         c.add_resistor("RD", vdd, d, 50e3).unwrap();
         c.add_mosfet(
             "M1",
@@ -862,7 +862,7 @@ mod tests {
         let vdd = c.node("vdd");
         let ref_n = c.node("ref");
         let out = c.node("out");
-        c.add_vdc("VDD", vdd, Circuit::GROUND, 5.0);
+        c.add_vdc("VDD", vdd, Circuit::GROUND, 5.0).unwrap();
         // Reference branch: 20 µA pulled from the diode-connected PMOS.
         c.add_idc("IREF", ref_n, Circuit::GROUND, 20e-6).unwrap();
         let geom = MosGeometry::new(30e-6, 2.4e-6);
@@ -899,8 +899,8 @@ mod tests {
             let i = c.node("in");
             let o = c.node("out");
             let ctl = c.node("ctl");
-            c.add_vdc("V1", i, Circuit::GROUND, 2.0);
-            c.add_vdc("VC", ctl, Circuit::GROUND, vctl);
+            c.add_vdc("V1", i, Circuit::GROUND, 2.0).unwrap();
+            c.add_vdc("VC", ctl, Circuit::GROUND, vctl).unwrap();
             c.add_switch("S1", i, o, ctl, Circuit::GROUND, 2.5, 1e3, 1e12)
                 .unwrap();
             c.add_resistor("RL", o, Circuit::GROUND, 1e6).unwrap();
@@ -919,7 +919,7 @@ mod tests {
         let mut c = Circuit::new("bad");
         let a = c.node("a");
         let b = c.node("b");
-        c.add_vdc("V1", a, Circuit::GROUND, 1.0);
+        c.add_vdc("V1", a, Circuit::GROUND, 1.0).unwrap();
         c.add_resistor("R1", a, Circuit::GROUND, 1.0).unwrap();
         c.add_capacitor("C1", b, Circuit::GROUND, 1e-12).unwrap();
         // Node b floats at DC (only a capacitor) — gmin keeps it solvable,
@@ -933,7 +933,7 @@ mod tests {
         let mut c = Circuit::new("l");
         let a = c.node("a");
         let b = c.node("b");
-        c.add_vdc("V1", a, Circuit::GROUND, 1.0);
+        c.add_vdc("V1", a, Circuit::GROUND, 1.0).unwrap();
         c.add_inductor("L1", a, b, 1e-3).unwrap();
         c.add_resistor("R1", b, Circuit::GROUND, 100.0).unwrap();
         let op = dc_operating_point(&c, &Technology::default_1p2um()).unwrap();
@@ -969,7 +969,7 @@ mod tests {
     fn unknown_model_is_typed_error() {
         let mut c = Circuit::new("bad");
         let d = c.node("d");
-        c.add_vdc("V1", d, Circuit::GROUND, 1.0);
+        c.add_vdc("V1", d, Circuit::GROUND, 1.0).unwrap();
         c.add_mosfet(
             "M1",
             d,

@@ -69,23 +69,33 @@ impl RealSolver {
     }
 
     /// Re-saves the current matrix values into an existing snapshot
-    /// without allocating.
+    /// without allocating. A backend-mismatched snapshot (a caller bug) is
+    /// replaced wholesale with a fresh one rather than panicking.
     pub fn save_into(&self, snap: &mut MatSnapshot) {
         match (self, snap) {
             (RealSolver::Dense { mat, .. }, MatSnapshot::Dense(s)) => s.copy_from(mat),
             (RealSolver::Sparse { mat, .. }, MatSnapshot::Sparse(s)) => {
                 s.copy_from_slice(mat.values());
             }
-            _ => unreachable!("snapshot backend mismatch"),
+            (_, snap) => {
+                debug_assert!(false, "snapshot backend mismatch");
+                ape_probe::counter("spice.engine.snapshot_mismatch", 1);
+                *snap = self.snapshot();
+            }
         }
     }
 
     /// Restores matrix values from a snapshot taken on this solver.
+    /// A backend-mismatched snapshot (a caller bug) leaves the matrix
+    /// untouched rather than panicking.
     pub fn restore(&mut self, snap: &MatSnapshot) {
         match (self, snap) {
             (RealSolver::Dense { mat, .. }, MatSnapshot::Dense(s)) => mat.copy_from(s),
             (RealSolver::Sparse { mat, .. }, MatSnapshot::Sparse(s)) => mat.restore(s),
-            _ => unreachable!("snapshot backend mismatch"),
+            _ => {
+                debug_assert!(false, "snapshot backend mismatch");
+                ape_probe::counter("spice.engine.snapshot_mismatch", 1);
+            }
         }
     }
 

@@ -26,6 +26,11 @@ pub enum SpiceError {
     /// A measurement was requested on data that does not contain it
     /// (e.g. UGF of a transfer function that never crosses unity).
     MeasureFailed(String),
+    /// An internal solver invariant did not hold (e.g. a worker thread
+    /// died, or a factorisation lost its symbolic analysis). These are
+    /// bugs surfaced as errors instead of panics so one bad job cannot
+    /// take down a batch worker.
+    Internal(&'static str),
 }
 
 impl fmt::Display for SpiceError {
@@ -40,6 +45,7 @@ impl fmt::Display for SpiceError {
             SpiceError::UnknownModel(m) => write!(f, "unknown MOS model `{m}`"),
             SpiceError::BadCircuit(m) => write!(f, "bad circuit: {m}"),
             SpiceError::MeasureFailed(m) => write!(f, "measurement failed: {m}"),
+            SpiceError::Internal(m) => write!(f, "internal solver invariant violated: {m}"),
         }
     }
 }
@@ -56,5 +62,15 @@ mod tests {
         assert_traits::<SpiceError>();
         let e = SpiceError::SingularMatrix { analysis: "dc" };
         assert!(e.to_string().contains("dc"));
+    }
+
+    /// `Internal` carries its own explanation: it replaces what used to be
+    /// an `unreachable!`, so the message must stand alone in a job log.
+    #[test]
+    fn internal_message_is_self_describing() {
+        let e = SpiceError::Internal("ac worker thread panicked");
+        let msg = e.to_string();
+        assert!(msg.contains("invariant"), "got {msg}");
+        assert!(msg.contains("ac worker thread panicked"));
     }
 }

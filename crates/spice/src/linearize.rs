@@ -244,6 +244,6 @@ mod tests {
         let op = dc_operating_point(&ckt, &tech).unwrap();
         let sys = linearize(&ckt, &tech, &op).unwrap();
         assert_eq!(sys.dim(), 2); // node a + V1 branch
-        let _ = decade_frequencies(1.0, 10.0, 1); // silence unused import lint path
+        let _ = decade_frequencies(1.0, 10.0, 1).unwrap(); // silence unused import lint path
     }
 }

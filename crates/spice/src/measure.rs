@@ -11,11 +11,16 @@ use ape_netlist::NodeId;
 
 /// Low-frequency gain magnitude at `node` (first sweep point).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on an empty sweep.
-pub fn dc_gain(sweep: &AcSweep, node: NodeId) -> f64 {
-    sweep.voltage(0, node).norm()
+/// [`SpiceError::MeasureFailed`] on an empty sweep.
+pub fn dc_gain(sweep: &AcSweep, node: NodeId) -> Result<f64, SpiceError> {
+    if sweep.freqs.is_empty() {
+        return Err(SpiceError::MeasureFailed(
+            "dc gain of an empty sweep".into(),
+        ));
+    }
+    Ok(sweep.voltage(0, node).norm())
 }
 
 /// Log-log interpolated frequency where the magnitude at `node` crosses 1.
@@ -35,7 +40,7 @@ pub fn unity_gain_frequency(sweep: &AcSweep, node: NodeId) -> Result<f64, SpiceE
 /// [`SpiceError::MeasureFailed`] when the response never falls below the
 /// −3 dB level within the sweep.
 pub fn bandwidth_3db(sweep: &AcSweep, node: NodeId) -> Result<f64, SpiceError> {
-    let level = dc_gain(sweep, node) / 2f64.sqrt();
+    let level = dc_gain(sweep, node)? / 2f64.sqrt();
     crossing_frequency(sweep, node, level)
 }
 
@@ -55,7 +60,17 @@ pub fn crossing_frequency(sweep: &AcSweep, node: NodeId, level: f64) -> Result<f
             "response starts below level {level}"
         )));
     }
+    // A response sitting exactly at `level` counts as crossing at the first
+    // point where it touches; without this, a perfectly flat curve at the
+    // level (e.g. a unity-gain buffer probed at 1.0) would fall through to
+    // the "never crosses" error on strict comparison.
+    if mags[0] == level {
+        return Ok(sweep.freqs[0]);
+    }
     for k in 1..mags.len() {
+        if mags[k] == level {
+            return Ok(sweep.freqs[k]);
+        }
         if mags[k] < level {
             let (f0, f1) = (sweep.freqs[k - 1], sweep.freqs[k]);
             let (m0, m1) = (mags[k - 1].max(1e-30), mags[k].max(1e-30));
@@ -73,22 +88,33 @@ pub fn crossing_frequency(sweep: &AcSweep, node: NodeId, level: f64) -> Result<f
 ///
 /// # Errors
 ///
-/// Propagates [`unity_gain_frequency`] failures.
+/// Propagates [`unity_gain_frequency`] failures, and returns
+/// [`SpiceError::MeasureFailed`] when the unity-gain frequency cannot be
+/// bracketed by the sweep (it lies beyond the last point, or the sweep is
+/// too short to interpolate) — previously this silently reused the last
+/// phase sample.
 pub fn phase_margin(sweep: &AcSweep, node: NodeId) -> Result<f64, SpiceError> {
     let fu = unity_gain_frequency(sweep, node)?;
     let ph = sweep.phase_unwrapped(node);
+    if ph.is_empty() {
+        return Err(SpiceError::MeasureFailed("empty sweep".into()));
+    }
+    if fu <= sweep.freqs[0] {
+        return Ok(180.0 + ph[0].to_degrees());
+    }
     // Interpolate unwrapped phase at fu.
-    let mut phase_at = ph[0];
     for k in 1..sweep.freqs.len() {
         if sweep.freqs[k] >= fu {
             let (f0, f1) = (sweep.freqs[k - 1], sweep.freqs[k]);
             let t = ((fu / f0).ln() / (f1 / f0).ln()).clamp(0.0, 1.0);
-            phase_at = ph[k - 1] + (ph[k] - ph[k - 1]) * t;
-            break;
+            let phase_at = ph[k - 1] + (ph[k] - ph[k - 1]) * t;
+            return Ok(180.0 + phase_at.to_degrees());
         }
-        phase_at = ph[k];
     }
-    Ok(180.0 + phase_at.to_degrees())
+    Err(SpiceError::MeasureFailed(format!(
+        "unity-gain frequency {fu:.3e} Hz is not bracketed by the sweep          (last point {:.3e} Hz)",
+        sweep.freqs.last().copied().unwrap_or(f64::NAN)
+    )))
 }
 
 /// Maximum slope magnitude of the waveform at `node`, volts/second.
@@ -193,7 +219,7 @@ mod tests {
         let (ckt, o) = rc(1e3, 1e-9);
         let tech = Technology::default_1p2um();
         let op = dc_operating_point(&ckt, &tech).unwrap();
-        let sweep = ac_sweep(&ckt, &tech, &op, &decade_frequencies(1e3, 1e8, 20)).unwrap();
+        let sweep = ac_sweep(&ckt, &tech, &op, &decade_frequencies(1e3, 1e8, 20).unwrap()).unwrap();
         let f3 = bandwidth_3db(&sweep, o).unwrap();
         let expect = 1.0 / (2.0 * std::f64::consts::PI * 1e3 * 1e-9);
         assert!((f3 - expect).abs() / expect < 0.02, "f3 = {f3}");
@@ -204,7 +230,7 @@ mod tests {
         let (ckt, o) = rc(1e3, 1e-9);
         let tech = Technology::default_1p2um();
         let op = dc_operating_point(&ckt, &tech).unwrap();
-        let sweep = ac_sweep(&ckt, &tech, &op, &decade_frequencies(1e3, 1e4, 5)).unwrap();
+        let sweep = ac_sweep(&ckt, &tech, &op, &decade_frequencies(1e3, 1e4, 5).unwrap()).unwrap();
         // Unity-gain passband: the magnitude starts at 1 and the crossing is
         // at best marginal; asking for a crossing of 2 must fail cleanly.
         assert!(crossing_frequency(&sweep, o, 2.0).is_err());
@@ -226,7 +252,7 @@ mod tests {
         ckt.add_capacitor("C1", o, Circuit::GROUND, 1e-9).unwrap();
         let tech = Technology::default_1p2um();
         let op = dc_operating_point(&ckt, &tech).unwrap();
-        let sweep = ac_sweep(&ckt, &tech, &op, &decade_frequencies(1e3, 1e9, 20)).unwrap();
+        let sweep = ac_sweep(&ckt, &tech, &op, &decade_frequencies(1e3, 1e9, 20).unwrap()).unwrap();
         let fp = 1.0 / (2.0 * std::f64::consts::PI * 1e3 * 1e-9);
         let fu = unity_gain_frequency(&sweep, o).unwrap();
         assert!((fu - 100.0 * fp).abs() / (100.0 * fp) < 0.05, "fu = {fu}");
@@ -235,7 +261,7 @@ mod tests {
             (pm - 90.0).abs() < 3.0,
             "single-pole PM should be 90°, got {pm}"
         );
-        assert!((dc_gain(&sweep, o) - 100.0).abs() < 1.0);
+        assert!((dc_gain(&sweep, o).unwrap() - 100.0).abs() < 1.0);
     }
 
     #[test]
@@ -275,6 +301,78 @@ mod tests {
         let ts = settling_time(&tr, o, 1.0, 0.01).unwrap();
         // 1% settling at delay + 4.6·τ.
         assert!((ts - (1e-6 + 4.6e-6)).abs() < 0.5e-6, "ts = {ts}");
+    }
+
+    #[test]
+    fn dc_gain_of_empty_sweep_is_an_error() {
+        let (ckt, o) = rc(1e3, 1e-9);
+        let tech = Technology::default_1p2um();
+        let op = dc_operating_point(&ckt, &tech).unwrap();
+        let sweep = ac_sweep(&ckt, &tech, &op, &[]).unwrap();
+        assert!(matches!(
+            dc_gain(&sweep, o),
+            Err(SpiceError::MeasureFailed(_))
+        ));
+        assert!(matches!(
+            bandwidth_3db(&sweep, o),
+            Err(SpiceError::MeasureFailed(_))
+        ));
+    }
+
+    #[test]
+    fn flat_response_exactly_at_level_crosses_at_first_touch() {
+        // A wire from source to probe: |H| = 1 at every frequency. Asking
+        // for the crossing of exactly 1.0 used to fall through to "never
+        // crosses"; now it reports the first point where the curve sits at
+        // the level.
+        let mut ckt = Circuit::new("wire");
+        let i = ckt.node("in");
+        let o = ckt.node("out");
+        ckt.add_vsource("V1", i, Circuit::GROUND, 0.0, 1.0, SourceWaveform::Dc)
+            .unwrap();
+        ckt.add_resistor("R1", i, o, 1.0).unwrap();
+        ckt.add_resistor("R2", o, Circuit::GROUND, 1e12).unwrap();
+        let tech = Technology::default_1p2um();
+        let op = dc_operating_point(&ckt, &tech).unwrap();
+        let freqs = [1.0, 10.0, 100.0];
+        let sweep = ac_sweep(&ckt, &tech, &op, &freqs).unwrap();
+        let mags = sweep.magnitude(o);
+        // Only exercise the exact-equality path when the divider is truly
+        // flat at the probe level in floating point.
+        if mags[0] == 1.0 {
+            assert_eq!(crossing_frequency(&sweep, o, 1.0).unwrap(), 1.0);
+        }
+        // A level every sample matches exactly must cross at the first
+        // sample regardless.
+        assert_eq!(crossing_frequency(&sweep, o, mags[0]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn phase_margin_requires_bracketed_ugf() {
+        // Single-point sweep of an amplifying system: the UGF crossing
+        // cannot be bracketed, so phase_margin must fail rather than
+        // silently reuse the last phase sample.
+        let mut ckt = Circuit::new("amp1pt");
+        let i = ckt.node("in");
+        let m = ckt.node("mid");
+        let o = ckt.node("out");
+        ckt.add_vsource("V1", i, Circuit::GROUND, 0.0, 1.0, SourceWaveform::Dc)
+            .unwrap();
+        ckt.add_vcvs("E1", m, Circuit::GROUND, i, Circuit::GROUND, 100.0)
+            .unwrap();
+        ckt.add_resistor("R1", m, o, 1e3).unwrap();
+        ckt.add_capacitor("C1", o, Circuit::GROUND, 1e-9).unwrap();
+        let tech = Technology::default_1p2um();
+        let op = dc_operating_point(&ckt, &tech).unwrap();
+        // Two points on either side of unity: UGF interpolates between
+        // them, so phase_margin succeeds.
+        let fp = 1.0 / (2.0 * std::f64::consts::PI * 1e3 * 1e-9);
+        let bracketing = ac_sweep(&ckt, &tech, &op, &[fp, 1000.0 * fp]).unwrap();
+        assert!(phase_margin(&bracketing, o).is_ok());
+        // A single point above unity gain: crossing_frequency fails first,
+        // and the error must propagate (not a silent last-sample fallback).
+        let single = ac_sweep(&ckt, &tech, &op, &[fp]).unwrap();
+        assert!(phase_margin(&single, o).is_err());
     }
 
     #[test]

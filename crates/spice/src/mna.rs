@@ -75,7 +75,7 @@ mod tests {
         let mut c = Circuit::new("t");
         let a = c.node("a");
         let b = c.node("b");
-        c.add_vdc("V1", a, Circuit::GROUND, 1.0);
+        c.add_vdc("V1", a, Circuit::GROUND, 1.0).unwrap();
         c.add_resistor("R1", a, b, 1.0).unwrap();
         c.add_inductor("L1", b, Circuit::GROUND, 1e-3).unwrap();
         let u = Unknowns::for_circuit(&c);

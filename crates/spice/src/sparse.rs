@@ -114,8 +114,12 @@ impl PatternBuilder {
     /// Absorbs every position recorded in `other` (same dimension), so a
     /// union pattern can cover several matrices — e.g. `G` and `C` sharing
     /// one structure for `G + jωC` assembly.
+    /// Dimension-mismatched merges (a caller bug) are ignored.
     pub fn merge(&mut self, other: &PatternBuilder) {
-        assert_eq!(self.n, other.n, "pattern dimension mismatch");
+        if self.n != other.n {
+            debug_assert!(false, "pattern dimension mismatch");
+            return;
+        }
         self.entries.extend_from_slice(&other.entries);
     }
 
@@ -283,19 +287,25 @@ impl<T: Scalar> SparseMatrix<T> {
         self.vals.clone()
     }
 
-    /// Restores values from a snapshot taken on this matrix.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `snap` was not taken from a matrix with this pattern.
+    /// Restores values from a snapshot taken on this matrix. Snapshots of
+    /// a different pattern (a caller bug) are ignored.
     pub fn restore(&mut self, snap: &[T]) {
-        self.vals.copy_from_slice(snap);
+        if snap.len() == self.vals.len() {
+            self.vals.copy_from_slice(snap);
+        } else {
+            debug_assert!(false, "snapshot pattern mismatch");
+            ape_probe::counter("spice.sparse.snapshot_mismatch", 1);
+        }
     }
 
-    /// Matrix-vector product, for residual checks in tests.
+    /// Matrix-vector product, for residual checks in tests. Returns an
+    /// all-zero vector when `x` does not match the matrix dimension.
     pub fn mul_vec(&self, x: &[T]) -> Vec<T> {
-        assert_eq!(x.len(), self.dim());
         let mut y = vec![T::zero(); self.dim()];
+        if x.len() != self.dim() {
+            debug_assert!(false, "mul_vec dimension mismatch");
+            return y;
+        }
         for (r, yr) in y.iter_mut().enumerate() {
             let base = self.pattern.row_start[r] as usize;
             let mut acc = T::zero();
@@ -315,11 +325,16 @@ impl<T: Scalar> SparseMatrix<T> {
 
 impl<T: Scalar> Stamp<T> for SparseMatrix<T> {
     fn stamp(&mut self, r: usize, c: usize, v: T) {
-        let i = self
-            .pattern
-            .idx(r, c)
-            .expect("stamp outside the collected sparsity pattern");
-        self.vals[i] = self.vals[i] + v;
+        // The pattern is collected from the exact stamp sequence replayed
+        // here, so a miss is a solver bug; count it and drop the stamp
+        // instead of taking the whole worker down.
+        match self.pattern.idx(r, c) {
+            Some(i) => self.vals[i] = self.vals[i] + v,
+            None => {
+                debug_assert!(false, "stamp outside the collected sparsity pattern");
+                ape_probe::counter("spice.sparse.stamp_miss", 1);
+            }
+        }
     }
 }
 
@@ -406,9 +421,16 @@ fn analyze<T: Scalar>(a: &SparseMatrix<T>) -> Option<(Symbolic, Vec<T>)> {
                 }
             }
         }
+        if chosen == usize::MAX {
+            // Every candidate magnitude compared false against the
+            // threshold — only possible when the column went NaN.
+            return None;
+        }
         pos.swap(k, chosen);
         let prow = pos[k];
-        let di = rows[prow].binary_search(&kk).expect("pivot entry exists");
+        let Ok(di) = rows[prow].binary_search(&kk) else {
+            return None;
+        };
         let pivot = vals[prow][di];
         piv_cols.clear();
         piv_cols.extend_from_slice(&rows[prow][di + 1..]);
@@ -465,9 +487,9 @@ fn analyze<T: Scalar>(a: &SparseMatrix<T>) -> Option<(Symbolic, Vec<T>)> {
     let mut fvals = Vec::with_capacity(total as usize);
     let mut diag = Vec::with_capacity(n);
     for (k, &row) in pos.iter().enumerate() {
-        let d = rows[row]
-            .binary_search(&(k as u32))
-            .expect("diagonal present in factor row");
+        let Ok(d) = rows[row].binary_search(&(k as u32)) else {
+            return None;
+        };
         diag.push(row_start[k] + d as u32);
         cols.extend_from_slice(&rows[row]);
         fvals.append(&mut vals[row]);
@@ -652,7 +674,9 @@ impl<T: Scalar> SparseFactor<T> {
     fn refactor(&mut self, a: &SparseMatrix<T>) -> Result<(), ()> {
         ape_probe::counter("spice.factor.numeric", 1);
         let SparseFactor { sym, vals, w, .. } = self;
-        let sym = sym.as_ref().expect("refactor without symbolic");
+        let Some(sym) = sym.as_ref() else {
+            return Err(());
+        };
         let n = sym.n;
         let tol = pivot_tol(a.max_magnitude());
         let pat = a.pattern();
@@ -696,16 +720,15 @@ impl<T: Scalar> SparseFactor<T> {
 
     /// Solves `A·x = b` in place using the current factorisation.
     /// Allocation-free. `None` when substitution produces non-finite
-    /// values.
-    ///
-    /// # Panics
-    ///
-    /// Panics if called before a successful [`factor`](Self::factor).
+    /// values, when called before a successful [`factor`](Self::factor),
+    /// or when `b` does not match the factored dimension.
     pub fn solve(&mut self, b: &mut [T]) -> Option<()> {
         let SparseFactor { sym, vals, y, .. } = self;
-        let sym = sym.as_ref().expect("solve before factor");
+        let sym = sym.as_ref()?;
         let n = sym.n;
-        assert_eq!(b.len(), n);
+        if b.len() != n {
+            return None;
+        }
         for (dst, &p) in y.iter_mut().zip(&sym.perm) {
             *dst = b[p as usize];
         }

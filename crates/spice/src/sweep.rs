@@ -127,7 +127,7 @@ mod tests {
         let mut c = Circuit::new("div");
         let a = c.node("a");
         let b = c.node("b");
-        c.add_vdc("V1", a, Circuit::GROUND, 0.0);
+        c.add_vdc("V1", a, Circuit::GROUND, 0.0).unwrap();
         c.add_resistor("R1", a, b, 1e3).unwrap();
         c.add_resistor("R2", b, Circuit::GROUND, 1e3).unwrap();
         let tech = Technology::default_1p2um();
@@ -150,8 +150,8 @@ mod tests {
         let vdd = c.node("vdd");
         let g = c.node("g");
         let d = c.node("d");
-        c.add_vdc("VDD", vdd, Circuit::GROUND, 5.0);
-        c.add_vdc("VIN", g, Circuit::GROUND, 0.0);
+        c.add_vdc("VDD", vdd, Circuit::GROUND, 5.0).unwrap();
+        c.add_vdc("VIN", g, Circuit::GROUND, 0.0).unwrap();
         c.add_resistor("RD", vdd, d, 50e3).unwrap();
         c.add_mosfet(
             "M1",
@@ -178,7 +178,7 @@ mod tests {
     fn rejects_non_sources() {
         let mut c = Circuit::new("t");
         let a = c.node("a");
-        c.add_vdc("V1", a, Circuit::GROUND, 1.0);
+        c.add_vdc("V1", a, Circuit::GROUND, 1.0).unwrap();
         c.add_resistor("R1", a, Circuit::GROUND, 1e3).unwrap();
         let tech = Technology::default_1p2um();
         assert!(dc_sweep(&c, &tech, "R1", &[1.0]).is_err());

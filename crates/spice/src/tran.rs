@@ -112,6 +112,25 @@ pub fn transient(
 ) -> Result<Transient, SpiceError> {
     let _span = ape_probe::span("spice.tran");
     ape_probe::counter("spice.tran.runs", 1);
+    // The stepping loop advances `t += tstep`; a zero, negative, or
+    // non-finite step would spin forever (or terminate with a bogus
+    // single sample), so reject degenerate windows up front.
+    if !(opts.tstep.is_finite() && opts.tstep > 0.0 && opts.tstop.is_finite() && opts.tstop >= 0.0)
+    {
+        return Err(SpiceError::BadCircuit(format!(
+            "invalid transient window: tstep={}, tstop={}",
+            opts.tstep, opts.tstop
+        )));
+    }
+    // A positive-but-microscopic step under a large stop time is as good as
+    // an infinite loop (10^600 iterations); bound the output sample count.
+    const MAX_STEPS: f64 = 10_000_000.0;
+    if opts.tstop / opts.tstep > MAX_STEPS {
+        return Err(SpiceError::BadCircuit(format!(
+            "transient window needs {:.3e} steps, over the {MAX_STEPS:.0}-step limit",
+            opts.tstop / opts.tstep
+        )));
+    }
     let u = Unknowns::for_circuit(circuit);
     let n = u.dim();
     let mut x = op.solution().to_vec();
@@ -423,6 +442,33 @@ mod tests {
     use crate::dc::dc_operating_point;
     use ape_netlist::{Circuit, SourceWaveform, Technology};
 
+    /// Degenerate windows — zero/negative/non-finite steps, and a
+    /// microscopic step under a huge stop time — are rejected up front
+    /// instead of spinning the stepping loop (quasi-)forever.
+    #[test]
+    fn rejects_degenerate_windows() {
+        let tech = Technology::default_1p2um();
+        let mut c = Circuit::new("rc");
+        let i = c.node("in");
+        c.add_vsource("V1", i, Circuit::GROUND, 1.0, 0.0, SourceWaveform::Dc)
+            .unwrap();
+        c.add_resistor("R1", i, Circuit::GROUND, 1e3).unwrap();
+        let op = dc_operating_point(&c, &tech).unwrap();
+        for (tstep, tstop) in [
+            (0.0, 1e-3),
+            (-1e-6, 1e-3),
+            (f64::NAN, 1e-3),
+            (1e-6, f64::INFINITY),
+            (1e-300, 1e300), // 10^600 steps
+        ] {
+            let r = transient(&c, &tech, &op, TranOptions::new(tstep, tstop));
+            assert!(
+                matches!(r, Err(SpiceError::BadCircuit(_))),
+                "tstep={tstep} tstop={tstop} gave {r:?}"
+            );
+        }
+    }
+
     #[test]
     fn rc_charging_curve() {
         let mut c = Circuit::new("rc");
@@ -549,7 +595,7 @@ mod tests {
         let mut c = Circuit::new("static");
         let a = c.node("a");
         let b = c.node("b");
-        c.add_vdc("V1", a, Circuit::GROUND, 2.0);
+        c.add_vdc("V1", a, Circuit::GROUND, 2.0).unwrap();
         c.add_resistor("R1", a, b, 1e3).unwrap();
         c.add_resistor("R2", b, Circuit::GROUND, 1e3).unwrap();
         c.add_capacitor("C1", b, Circuit::GROUND, 1e-12).unwrap();

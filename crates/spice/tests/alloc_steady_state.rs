@@ -1,3 +1,5 @@
+// Test/harness code: panicking on bad results is the assertion mechanism.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 //! Asserts the zero-steady-state-allocation invariant of the sparse solve
 //! path: once an analysis has built its pattern, factor workspaces, and
 //! scratch buffers, further solves allocate nothing inside the solver.

@@ -1,3 +1,5 @@
+// Test/harness code: panicking on bad results is the assertion mechanism.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 //! Differential tests: the sparse pattern-cached solve path against the
 //! dense reference oracle, on raw linear systems and on full analyses of
 //! representative circuits. Agreement gates at 1e-9 relative.
@@ -128,7 +130,7 @@ fn rc_ladder() -> (Circuit, NodeId) {
 fn mos_bank() -> (Circuit, NodeId) {
     let mut c = Circuit::new("mos-bank");
     let vdd = c.node("vdd");
-    c.add_vdc("VDD", vdd, Circuit::GROUND, 5.0);
+    c.add_vdc("VDD", vdd, Circuit::GROUND, 5.0).unwrap();
     let mut last_drain = vdd;
     for k in 0..4 {
         let g = c.node(&format!("g{k}"));

@@ -1,3 +1,5 @@
+// Test/harness code: panicking on bad results is the assertion mechanism.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 //! Transient stress tests on switching CMOS circuits: the simulator must
 //! handle devices sweeping through every region within one edge.
 
@@ -10,7 +12,7 @@ fn inverter(tech: &Technology, load_f: f64) -> (Circuit, NodeId, NodeId) {
     let vdd = c.node("vdd");
     let vin = c.node("in");
     let out = c.node("out");
-    c.add_vdc("VDD", vdd, Circuit::GROUND, tech.vdd);
+    c.add_vdc("VDD", vdd, Circuit::GROUND, tech.vdd).unwrap();
     c.add_vsource(
         "VIN",
         vin,

@@ -1,3 +1,5 @@
+// Test/harness code: panicking on bad results is the assertion mechanism.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 //! Data-converter design example: the paper's 4-bit flash ADC (Table 5 /
 //! Figure 3e) converting a ramp through the full transistor-level netlist,
 //! plus the R-2R DAC driving a staircase.

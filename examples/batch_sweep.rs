@@ -1,3 +1,5 @@
+// Test/harness code: panicking on bad results is the assertion mechanism.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 //! Batch design-space sweep: size 144 op-amp variants concurrently and
 //! reduce them to an area/power/gain-error Pareto front.
 //!

@@ -1,3 +1,5 @@
+// Test/harness code: panicking on bad results is the assertion mechanism.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 //! Active-filter design example: the paper's 4th-order Sallen-Key
 //! Butterworth low-pass and 2nd-order band-pass (Table 5 / Figure 3c-3d),
 //! with a small Bode table from the transistor-level simulation.
@@ -44,10 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let m = sweep.voltage(k, out).norm();
         println!("  {:>7.0}  {:>8.2}", f, 20.0 * (m / a0).log10());
     }
-    let full = ac_sweep(&tb, &tech, &op, &decade_frequencies(10.0, 1e5, 20))?;
+    let full = ac_sweep(&tb, &tech, &op, &decade_frequencies(10.0, 1e5, 20)?)?;
     println!(
         "simulated: gain {:.2}, f3dB {:.0} Hz",
-        measure::dc_gain(&full, out),
+        measure::dc_gain(&full, out).unwrap(),
         measure::bandwidth_3db(&full, out)?
     );
 

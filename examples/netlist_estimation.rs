@@ -1,3 +1,5 @@
+// Test/harness code: panicking on bad results is the assertion mechanism.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 //! The paper's §6 extensions in action:
 //!
 //! 1. performance estimation for a *user-level netlist* — a hand-written
@@ -38,7 +40,7 @@ C1 out 0 5p
 
     let t0 = std::time::Instant::now();
     let op = dc_operating_point(&ckt, &tech)?;
-    let sweep = ac_sweep(&ckt, &tech, &op, &decade_frequencies(10.0, 1e9, 10))?;
+    let sweep = ac_sweep(&ckt, &tech, &op, &decade_frequencies(10.0, 1e9, 10)?)?;
     let t_sweep = t0.elapsed();
 
     println!(
@@ -51,7 +53,7 @@ C1 out 0 5p
     println!(
         "full AC sweep   ({:>8.1} us): gain {:.2}, f3dB {:.2} MHz",
         t_sweep.as_secs_f64() * 1e6,
-        measure::dc_gain(&sweep, out),
+        measure::dc_gain(&sweep, out).unwrap(),
         measure::bandwidth_3db(&sweep, out)? * 1e-6
     );
 
@@ -69,10 +71,10 @@ C1 out 0 5p
     let tb = ota.testbench_open_loop(&tech)?;
     let op = dc_operating_point(&tb, &tech)?;
     let out = tb.find_node("out").expect("tb has out");
-    let sweep = ac_sweep(&tb, &tech, &op, &decade_frequencies(100.0, 2e9, 8))?;
+    let sweep = ac_sweep(&tb, &tech, &op, &decade_frequencies(100.0, 2e9, 8)?)?;
     println!(
         "simulation:   gain {:.0}, UGF {:.2} MHz, PM {:.0} deg",
-        measure::dc_gain(&sweep, out),
+        measure::dc_gain(&sweep, out).unwrap(),
         measure::unity_gain_frequency(&sweep, out)? * 1e-6,
         measure::phase_margin(&sweep, out)?
     );

@@ -1,3 +1,5 @@
+// Test/harness code: panicking on bad results is the assertion mechanism.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 //! Synthesis-effectiveness demo: one op-amp spec run through the stand-alone
 //! engine (blind intervals, Table 1 mode) and the APE-seeded engine
 //! (±20 % intervals, Table 4 mode), side by side.

@@ -1,3 +1,5 @@
+// Test/harness code: panicking on bad results is the assertion mechanism.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 //! Quickstart: the full VASE-style flow of Figure 1 on one op-amp.
 //!
 //! 1. specify requirements;
@@ -64,11 +66,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tb = amp.testbench_open_loop(&tech)?;
     let op = dc_operating_point(&tb, &tech)?;
     let out = tb.find_node("out").expect("testbench has out");
-    let sweep = ac_sweep(&tb, &tech, &op, &decade_frequencies(100.0, 1e9, 8))?;
+    let sweep = ac_sweep(&tb, &tech, &op, &decade_frequencies(100.0, 1e9, 8)?)?;
     println!("\n=== Simulation of the emitted netlist ===");
     println!(
         "gain = {:.0}, UGF = {:.2} MHz, PM = {:.0} deg, power = {:.3} mW",
-        measure::dc_gain(&sweep, out),
+        measure::dc_gain(&sweep, out).unwrap(),
         measure::unity_gain_frequency(&sweep, out)? * 1e-6,
         measure::phase_margin(&sweep, out)?,
         op.supply_power(&tb) * 1e3

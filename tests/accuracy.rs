@@ -1,3 +1,5 @@
+// Test/harness code: panicking on bad results is the assertion mechanism.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 //! Est-vs-sim accuracy gates over the paper's evaluation tables — the
 //! reproduction's analogue of "these results show that the models used in
 //! the APE are reasonably accurate".

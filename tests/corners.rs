@@ -1,3 +1,5 @@
+// Test/harness code: panicking on bad results is the assertion mechanism.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 //! Process-corner robustness: APE designs sized at the typical corner must
 //! stay alive — and close to spec — at the four fast/slow extremes.
 
@@ -30,9 +32,9 @@ fn opamp_survives_all_corners() {
         let op =
             dc_operating_point(&tb, &tech).unwrap_or_else(|e| panic!("{corner}: dc failed: {e}"));
         let out = tb.find_node("out").expect("out");
-        let sweep = ac_sweep(&tb, &tech, &op, &decade_frequencies(100.0, 1e9, 8))
+        let sweep = ac_sweep(&tb, &tech, &op, &decade_frequencies(100.0, 1e9, 8).unwrap())
             .unwrap_or_else(|e| panic!("{corner}: ac failed: {e}"));
-        let gain = measure::dc_gain(&sweep, out);
+        let gain = measure::dc_gain(&sweep, out).unwrap();
         let ugf = measure::unity_gain_frequency(&sweep, out)
             .unwrap_or_else(|e| panic!("{corner}: no crossover: {e}"));
         let pm = measure::phase_margin(&sweep, out)
@@ -61,8 +63,8 @@ fn corner_shifts_bias_currents_as_expected() {
     let mut c = Circuit::new("bias");
     let g = c.node("g");
     let d = c.node("d");
-    c.add_vdc("VG", g, Circuit::GROUND, 1.2);
-    c.add_vdc("VD", d, Circuit::GROUND, 2.5);
+    c.add_vdc("VG", g, Circuit::GROUND, 1.2).unwrap();
+    c.add_vdc("VD", d, Circuit::GROUND, 2.5).unwrap();
     c.add_mosfet(
         "M1",
         d,

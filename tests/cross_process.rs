@@ -1,3 +1,5 @@
+// Test/harness code: panicking on bad results is the assertion mechanism.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 //! Cross-process tests: the whole flow on the 0.5 µm / 3.3 V technology
 //! (Level 3 short-channel models), checking that nothing in the estimator
 //! or simulator is hard-wired to the default 1.2 µm process.
@@ -16,11 +18,11 @@ fn diff_pair_designs_and_verifies_at_0p5um() {
     let tech = tech_05();
     let pair = DiffPair::design(&tech, DiffTopology::MirrorLoad, 300.0, 2e-6, 1e-12)
         .expect("sizes on 0.5um");
-    let tb = pair.testbench(&tech);
+    let tb = pair.testbench(&tech).unwrap();
     let op = dc_operating_point(&tb, &tech).expect("dc");
     let out = tb.find_node("out").expect("out");
     let sweep = ac_sweep(&tb, &tech, &op, &[10.0]).expect("ac");
-    let a_sim = measure::dc_gain(&sweep, out);
+    let a_sim = measure::dc_gain(&sweep, out).unwrap();
     let a_est = pair.perf.dc_gain.unwrap();
     assert!(
         (a_sim - a_est).abs() / a_est < 0.6,
@@ -48,8 +50,8 @@ fn opamp_designs_and_meets_spec_at_0p5um() {
     let tb = amp.testbench_open_loop(&tech).expect("testbench");
     let op = dc_operating_point(&tb, &tech).expect("dc");
     let out = tb.find_node("out").expect("out");
-    let sweep = ac_sweep(&tb, &tech, &op, &decade_frequencies(100.0, 2e9, 8)).expect("ac");
-    let gain = measure::dc_gain(&sweep, out);
+    let sweep = ac_sweep(&tb, &tech, &op, &decade_frequencies(100.0, 2e9, 8).unwrap()).expect("ac");
+    let gain = measure::dc_gain(&sweep, out).unwrap();
     let ugf = measure::unity_gain_frequency(&sweep, out).expect("crosses unity");
     let pm = measure::phase_margin(&sweep, out).expect("has pm");
     assert!(gain >= 150.0 * 0.75, "0.5um gain {gain}");

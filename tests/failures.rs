@@ -1,3 +1,5 @@
+// Test/harness code: panicking on bad results is the assertion mechanism.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 //! Failure-injection tests: every level must fail *typed and loud*, never
 //! panic, never return garbage silently.
 
@@ -43,8 +45,8 @@ fn simulator_reports_singular_structures() {
     let tech = Technology::default_1p2um();
     let mut c = Circuit::new("fight");
     let a = c.node("a");
-    c.add_vdc("V1", a, Circuit::GROUND, 1.0);
-    c.add_vdc("V2", a, Circuit::GROUND, 2.0);
+    c.add_vdc("V1", a, Circuit::GROUND, 1.0).unwrap();
+    c.add_vdc("V2", a, Circuit::GROUND, 2.0).unwrap();
     c.add_resistor("R1", a, Circuit::GROUND, 1e3).unwrap();
     let r = dc_operating_point(&c, &tech);
     assert!(
@@ -192,4 +194,86 @@ fn synthesis_survives_hostile_seeds() {
     if let Some(audit) = &out.audit {
         assert!(audit.meets_spec() || !audit.violations.is_empty());
     }
+}
+
+/// Table-driven hostile decks: each must come back as a typed parse error
+/// (or, for the semantic rows, parse and then fail cleanly downstream) —
+/// never a panic, never a silently-truncated circuit.
+#[test]
+fn hostile_decks_fail_typed() {
+    use ape_repro::netlist::parse_spice;
+    let cases: &[(&str, &str)] = &[
+        (
+            "unclosed subckt",
+            "* sub\n.subckt inner a b\nR1 a b 1k\nV1 a 0 DC 1\n.end\n",
+        ),
+        ("stray ends", "* sub\nR1 a 0 1k\n.ends\n.end\n"),
+        (
+            "self-loop resistor",
+            "* loop\nV1 in 0 DC 1\nR1 in in 1k\n.end\n",
+        ),
+        (
+            "self-loop capacitor",
+            "* loop\nV1 in 0 DC 1\nC1 n1 n1 1p\n.end\n",
+        ),
+        (
+            "zero-value resistor",
+            "* zero\nV1 in 0 DC 1\nR1 in 0 0\n.end\n",
+        ),
+        (
+            "zero-value capacitor",
+            "* zero\nV1 in 0 DC 1\nC1 in 0 0\n.end\n",
+        ),
+        (
+            "duplicate element names",
+            "* dup\nV1 in 0 DC 1\nR1 in 0 1k\nR1 in 0 2k\n.end\n",
+        ),
+        (
+            "mantissa-less value",
+            "* dot\nV1 in 0 DC 1\nR1 in 0 .\n.end\n",
+        ),
+        (
+            "truncated exponent",
+            "* e-\nV1 in 0 DC 1\nR1 in 0 1e-\n.end\n",
+        ),
+        (
+            "negative resistor",
+            "* neg\nV1 in 0 DC 1\nR1 in 0 -5k\n.end\n",
+        ),
+    ];
+    for (what, deck) in cases {
+        let r = parse_spice(deck);
+        let err = match r {
+            Err(e) => e,
+            Ok(_) => panic!("{what}: hostile deck accepted"),
+        };
+        assert!(
+            !err.to_string().trim().is_empty(),
+            "{what}: error message is empty"
+        );
+    }
+}
+
+/// The estimator rejects an output node that is not part of the circuit
+/// instead of indexing out of bounds.
+#[test]
+fn netest_rejects_foreign_output_node() {
+    use ape_repro::ape::netest::estimate_netlist;
+    use ape_repro::netlist::{parse_spice, NodeId};
+    let (ckt, tech) = parse_spice(
+        "* amp\nV1 in 0 DC 1.2 AC 1\nVDD vdd 0 DC 5\nRD vdd out 50k\n\
+         M1 out in 0 0 CMOSN W=10u L=2.4u\n.end\n",
+    )
+    .unwrap();
+    let r = estimate_netlist(&ckt, &tech, NodeId::new(999));
+    assert!(
+        matches!(
+            r,
+            Err(ApeError::BadSpec {
+                param: "output",
+                ..
+            })
+        ),
+        "got {r:?}"
+    );
 }

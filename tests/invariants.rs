@@ -1,3 +1,5 @@
+// Test/harness code: panicking on bad results is the assertion mechanism.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 //! Cross-crate sampled invariant tests over the reproduction's core
 //! properties. Each test sweeps a seeded pseudo-random sample of its input
 //! space (deterministic — no external property-testing framework), so a
@@ -189,7 +191,7 @@ fn divider_dc_solution() {
         let mut ckt = Circuit::new("div");
         let a = ckt.node("a");
         let b = ckt.node("b");
-        ckt.add_vdc("V1", a, Circuit::GROUND, v);
+        ckt.add_vdc("V1", a, Circuit::GROUND, v).unwrap();
         ckt.add_resistor("R1", a, b, r1_k * 1e3).expect("r1");
         ckt.add_resistor("R2", b, Circuit::GROUND, r2_k * 1e3)
             .expect("r2");
