@@ -1,7 +1,7 @@
 //! Asymptotic Waveform Evaluation (AWE).
 //!
 //! ASTRX/OBLX — the synthesis engine the paper seeds with APE estimates —
-//! evaluates candidate circuits with AWE (Pillage & Rohrer, paper ref [15])
+//! evaluates candidate circuits with AWE (Pillage & Rohrer, paper ref \[15\])
 //! instead of full AC sweeps. This crate reproduces that substrate:
 //!
 //! 1. **Moments** of the transfer function are computed from the linearised

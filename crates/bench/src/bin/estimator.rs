@@ -1,0 +1,206 @@
+//! Estimation-graph benchmarks: cold vs incremental re-estimation.
+//!
+//! The annealing loop and the sweep driver both ask the estimator almost
+//! the same question over and over — one variable nudged per move. The
+//! estimation graph answers the unchanged subtrees from its memo, so an
+//! incremental redesign should beat a cold one. This bench measures that
+//! speedup on a single-variable move trajectory (cycling gain, UGF, bias
+//! current, load, and area), then runs a neighbour-stream sweep through an
+//! [`ape_farm::Farm`] at 1/2/4/8 workers.
+//!
+//! Prints aligned tables, the per-kind graph report, and writes a
+//! machine-readable summary to `results/BENCH_estimator.json`
+//! (`incremental_speedup_single_var` is the CI gate: `--smoke` exits
+//! non-zero when the speedup drops below 1.5x).
+//!
+//! Run with `cargo run --release -p ape-bench --bin estimator`; set
+//! `APE_TRACE=summary` to see the per-node `ape.graph.<kind>.*` hit/miss
+//! counters.
+
+use ape_bench::{fmt_val, render_table};
+use ape_core::basic::MirrorTopology;
+use ape_core::graph::{graph_report, reset_thread_graph};
+use ape_core::opamp::{OpAmp, OpAmpSpec, OpAmpTopology, SpecDelta};
+use ape_farm::{Farm, FarmConfig, Request};
+use ape_netlist::Technology;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn base_spec() -> OpAmpSpec {
+    OpAmpSpec {
+        gain: 200.0,
+        ugf_hz: 5e6,
+        area_max_m2: 5000e-12,
+        ibias: 10e-6,
+        zout_ohm: None,
+        cl: 10e-12,
+    }
+}
+
+/// A trajectory of single-variable annealing-style moves, cycling through
+/// the five tunable fields. Each move sets its field to a *fresh* value
+/// within ±5% of the base spec (a hashed perturbation, so no two moves
+/// revisit an earlier spec) — the incremental path must genuinely
+/// recompute the dirty subtree every move, not answer whole designs from
+/// the memo.
+fn trajectory(moves: usize) -> Vec<SpecDelta> {
+    let base = base_spec();
+    (0..moves)
+        .map(|k| {
+            let h = (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 24;
+            let f = 0.95 + 0.1 * (h as f64 / (1u64 << 40) as f64);
+            let mut d = SpecDelta::default();
+            match k % 5 {
+                0 => d.gain = Some(base.gain * f),
+                1 => d.ugf_hz = Some(base.ugf_hz * f),
+                2 => d.ibias = Some(base.ibias * f),
+                3 => d.cl = Some(base.cl * f),
+                _ => d.area_max_m2 = Some(base.area_max_m2 * f),
+            }
+            d
+        })
+        .collect()
+}
+
+/// Wall time for the trajectory with a graph reset before every move —
+/// every design is a from-scratch estimate.
+fn run_cold(tech: &Technology, topology: OpAmpTopology, deltas: &[SpecDelta]) -> f64 {
+    let mut spec = base_spec();
+    let t0 = Instant::now();
+    for d in deltas {
+        spec = d.apply(&spec);
+        reset_thread_graph();
+        std::hint::black_box(OpAmp::design(tech, topology, spec).expect("cold design"));
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+/// Wall time for the same trajectory through [`OpAmp::redesign`] on a warm
+/// graph: unchanged subtrees answer from the memo.
+fn run_incremental(tech: &Technology, topology: OpAmpTopology, deltas: &[SpecDelta]) -> f64 {
+    reset_thread_graph();
+    let mut amp = OpAmp::design(tech, topology, base_spec()).expect("base design");
+    let t0 = Instant::now();
+    for d in deltas {
+        amp = OpAmp::redesign(tech, &amp, d).expect("incremental redesign");
+        std::hint::black_box(&amp);
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+/// Runs the neighbour stream through a farm and returns wall seconds.
+fn run_sweep(tech: &Technology, workers: usize, requests: &[Request]) -> f64 {
+    let farm = Farm::new(tech.clone(), FarmConfig::with_workers(workers));
+    let t0 = Instant::now();
+    let handles: Vec<_> = requests.iter().cloned().map(|r| farm.submit(r)).collect();
+    for h in &handles {
+        let _ = h.wait();
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let _trace = ape_probe::install_from_env();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let moves = if smoke { 60 } else { 300 };
+    let tech = Technology::default_1p2um();
+    let topology = OpAmpTopology::miller(MirrorTopology::Simple, false);
+    let deltas = trajectory(moves);
+
+    // Single-variable anneal moves: cold vs incremental. Best of three
+    // repetitions keeps the smoke gate out of scheduler-noise territory.
+    let best = |f: &dyn Fn() -> f64| (0..3).map(|_| f()).fold(f64::INFINITY, f64::min);
+    let cold = best(&|| run_cold(&tech, topology, &deltas));
+    let incremental = best(&|| run_incremental(&tech, topology, &deltas));
+    let speedup = cold / incremental;
+    println!("== Single-variable anneal moves: cold vs incremental ==");
+    println!(
+        "{}",
+        render_table(
+            &[
+                "moves",
+                "cold (ms)",
+                "incr (ms)",
+                "cold/s",
+                "incr/s",
+                "speedup"
+            ],
+            &[vec![
+                moves.to_string(),
+                fmt_val(cold * 1e3),
+                fmt_val(incremental * 1e3),
+                fmt_val(moves as f64 / cold),
+                fmt_val(moves as f64 / incremental),
+                format!("{speedup:.2}x"),
+            ]],
+        )
+    );
+    println!("{}\n", graph_report());
+
+    // Sweep neighbours through the farm: every request differs from its
+    // predecessor in one variable, so warm worker graphs reuse most
+    // subtrees (isolate_sizing_cache defaults to off).
+    let mut spec = base_spec();
+    let requests: Vec<Request> = deltas
+        .iter()
+        .map(|d| {
+            spec = d.apply(&spec);
+            Request::OpAmpDesign { topology, spec }
+        })
+        .collect();
+    let workers_axis = [1usize, 2, 4, 8];
+    let sweep_walls: Vec<f64> = workers_axis
+        .iter()
+        .map(|&w| run_sweep(&tech, w, &requests))
+        .collect();
+    let mut rows = Vec::new();
+    for (k, &w) in workers_axis.iter().enumerate() {
+        rows.push(vec![
+            w.to_string(),
+            fmt_val(sweep_walls[k] * 1e3),
+            fmt_val(requests.len() as f64 / sweep_walls[k]),
+            format!("{:.2}x", sweep_walls[0] / sweep_walls[k]),
+        ]);
+    }
+    println!("== Sweep neighbours through the farm ==");
+    println!(
+        "{}",
+        render_table(&["workers", "wall (ms)", "designs/s", "speedup"], &rows)
+    );
+    let detected = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    println!("detected parallelism: {detected} (scaling saturates there)");
+
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"estimator\",");
+    let _ = writeln!(out, "  \"moves\": {moves},");
+    let _ = writeln!(out, "  \"cold_moves_per_s\": {:.3},", moves as f64 / cold);
+    let _ = writeln!(
+        out,
+        "  \"incremental_moves_per_s\": {:.3},",
+        moves as f64 / incremental
+    );
+    let _ = writeln!(out, "  \"incremental_speedup_single_var\": {speedup:.3},");
+    let _ = writeln!(out, "  \"detected_parallelism\": {detected},");
+    let _ = writeln!(
+        out,
+        "  \"sweep_neighbors\": {{\"jobs\": {}, \"workers\": [1, 2, 4, 8], \"jobs_per_s\": [{}]}}",
+        requests.len(),
+        sweep_walls
+            .iter()
+            .map(|t| format!("{:.3}", requests.len() as f64 / t))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    out.push_str("}\n");
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/BENCH_estimator.json", &out).expect("write BENCH_estimator.json");
+    println!("wrote results/BENCH_estimator.json");
+    ape_probe::finish();
+
+    if smoke && speedup < 1.5 {
+        eprintln!("FAIL: incremental speedup {speedup:.2}x is below the 1.5x gate");
+        std::process::exit(1);
+    }
+}

@@ -5,6 +5,7 @@
 
 use crate::gen;
 use ape_anneal::Rng64;
+use ape_core::graph::reset_thread_graph;
 use ape_core::netest::estimate_netlist;
 use ape_core::opamp::OpAmp;
 use ape_netlist::{parse_spice, NodeId};
@@ -89,6 +90,43 @@ pub fn design(seed: u64) -> CaseOutcome {
                     .or_else(|| finite_or(amp.perf.bw_hz, "bandwidth"))
                     .or_else(|| finite_or(amp.perf.slew_v_per_s, "slew rate"))
             }
+        }
+    })
+}
+
+/// Incremental re-estimation vs a cold run on a seeded random delta: after
+/// `OpAmp::design` warms the estimation graph, `OpAmp::redesign` with the
+/// delta must agree bit for bit with a from-scratch design of the updated
+/// spec — `Ok` payloads compared through their `Debug` rendering (`f64`
+/// prints its unique shortest round-trip form) and errors message for
+/// message. Hostile deltas must come back as typed errors on both paths.
+pub fn incremental(seed: u64) -> CaseOutcome {
+    run_case("OpAmp::redesign", seed, || {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let tech = gen::technology(&mut rng);
+        let topo = gen::topology(&mut rng);
+        let spec = gen::opamp_spec(&mut rng);
+        let delta = gen::spec_delta(&mut rng);
+        reset_thread_graph();
+        let base = match OpAmp::design(&tech, topo, spec) {
+            Ok(amp) => amp,
+            // An unsizable base spec leaves nothing to redesign; the error
+            // itself must still be well-formed.
+            Err(e) => return err_message_ok(&e),
+        };
+        let warm = OpAmp::redesign(&tech, &base, &delta);
+        reset_thread_graph();
+        let cold = OpAmp::design(&tech, topo, delta.apply(&spec));
+        reset_thread_graph();
+        let (w, c) = (format!("{warm:?}"), format!("{cold:?}"));
+        if w != c {
+            return Some(format!(
+                "incremental diverged from cold for {delta:?}:\n warm: {w}\n cold: {c}"
+            ));
+        }
+        match &warm {
+            Err(e) => err_message_ok(e),
+            Ok(_) => None,
         }
     })
 }

@@ -9,7 +9,7 @@
 
 use ape_anneal::Rng64;
 use ape_core::basic::MirrorTopology;
-use ape_core::opamp::{OpAmpSpec, OpAmpTopology};
+use ape_core::opamp::{OpAmpSpec, OpAmpTopology, SpecDelta};
 use ape_netlist::{Circuit, MosGeometry, MosPolarity, SourceWaveform, Technology};
 
 /// A value drawn from a band that mixes sane magnitudes with poison.
@@ -75,6 +75,35 @@ pub fn opamp_spec(rng: &mut Rng64) -> OpAmpSpec {
             Some(field(rng, hostile, 1.0, 1e6))
         } else {
             None
+        },
+        cl: field(rng, hostile, 1e-14, 1e-9),
+    }
+}
+
+/// A specification delta for incremental re-estimation: every field is
+/// independently absent, plausible, boundary, or hostile, so the fuzzer
+/// exercises single-variable annealing-style moves as well as poisoned
+/// multi-field updates.
+pub fn spec_delta(rng: &mut Rng64) -> SpecDelta {
+    let hostile = rng.range_usize(3) == 0;
+    fn field(rng: &mut Rng64, hostile: bool, lo: f64, hi: f64) -> Option<f64> {
+        if rng.range_usize(3) == 0 {
+            None
+        } else if hostile && rng.range_usize(3) == 0 {
+            Some(hostile_f64(rng))
+        } else {
+            Some(plausible_f64(rng, lo, hi))
+        }
+    }
+    SpecDelta {
+        gain: field(rng, hostile, 1.5, 5e4),
+        ugf_hz: field(rng, hostile, 1e3, 5e8),
+        area_max_m2: field(rng, hostile, 1e-12, 1e-6),
+        ibias: field(rng, hostile, 1e-7, 1e-3),
+        zout_ohm: match rng.range_usize(4) {
+            0 => Some(None),
+            1 => Some(Some(field(rng, hostile, 1.0, 1e6).unwrap_or(1e3))),
+            _ => None,
         },
         cl: field(rng, hostile, 1e-14, 1e-9),
     }

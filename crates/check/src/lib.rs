@@ -13,6 +13,11 @@
 //! 3. **Ok invariants.** Accepted designs/estimates have positive area and
 //!    power and finite performance numbers.
 //!
+//! [`drive::incremental`] additionally fuzzes the estimation graph's
+//! incremental path: seeded random spec deltas (valid, boundary, hostile)
+//! are applied through `OpAmp::redesign` on a warm graph and the result is
+//! required to match a cold from-scratch design bit for bit.
+//!
 //! [`fault::run`] additionally injects failing, panicking, and timed-out
 //! jobs into an [`ape_farm::Farm`] and asserts the pool, the single-flight
 //! cache, and all waiting submitters stay live.
@@ -55,18 +60,20 @@ pub fn run_all(base_seed: u64, total: usize) -> CheckReport {
     let mut report = CheckReport::default();
     // Weights: parsing is microseconds, synthesis is milliseconds even at
     // a 4-eval budget. The split keeps a full 10k-case run in CI budget.
-    let n_parse = total * 40 / 100;
+    let n_parse = total * 35 / 100;
     let n_netest = total * 20 / 100;
-    let n_spice = total * 20 / 100;
-    let n_design = total * 15 / 100;
-    let n_oblx = (total - n_parse - n_netest - n_spice - n_design).max(1);
+    let n_spice = total * 15 / 100;
+    let n_design = total * 10 / 100;
+    let n_incr = total * 10 / 100;
+    let n_oblx = (total - n_parse - n_netest - n_spice - n_design - n_incr).max(1);
 
     type Driver = fn(u64) -> drive::CaseOutcome;
-    let sections: [(&'static str, usize, Driver); 5] = [
+    let sections: [(&'static str, usize, Driver); 6] = [
         ("parse_spice", n_parse, drive::parse),
         ("estimate_netlist", n_netest, drive::netest),
         ("spice", n_spice, drive::spice),
         ("OpAmp::design", n_design, drive::design),
+        ("OpAmp::redesign", n_incr, drive::incremental),
         ("oblx::synthesize", n_oblx, drive::oblx),
     ];
     for (name, count, driver) in sections {

@@ -7,8 +7,37 @@ use super::{cards, L_BIAS};
 use crate::attrs::Performance;
 use crate::cache::cached_size_for_id_vov_at;
 use crate::error::ApeError;
+use crate::graph::{with_thread_graph, Component, EstimationGraph};
+use ape_mos::fingerprint::Fingerprint;
 use ape_mos::sizing::{threshold, SizedMos};
 use ape_netlist::{Circuit, MosPolarity, Technology};
+
+/// Estimation-graph node for a [`DcVolt`] design.
+#[derive(Debug, Clone, Copy)]
+struct DcVoltNode {
+    vout: f64,
+    ibias: f64,
+}
+
+impl Component for DcVoltNode {
+    type Output = DcVolt;
+
+    fn kind(&self) -> &'static str {
+        "l2.bias"
+    }
+
+    fn fingerprint(&self) -> u64 {
+        Fingerprint::new().f64(self.vout).f64(self.ibias).finish()
+    }
+
+    fn children(&self) -> &'static [&'static str] {
+        &["l1.id_vov"]
+    }
+
+    fn compute(&self, graph: &EstimationGraph) -> Result<DcVolt, ApeError> {
+        DcVolt::design_uncached(graph.technology(), self.vout, self.ibias)
+    }
+}
 
 /// A sized DC bias-voltage generator.
 ///
@@ -49,6 +78,12 @@ impl DcVolt {
     /// * [`ApeError::Device`] when a device cannot be sized.
     pub fn design(tech: &Technology, vout: f64, ibias: f64) -> Result<Self, ApeError> {
         let _span = ape_probe::span("ape.l2.bias");
+        with_thread_graph(tech, |g| g.evaluate(&DcVoltNode { vout, ibias }))
+    }
+
+    /// [`design`](Self::design) without the graph memo — the node's
+    /// compute body.
+    fn design_uncached(tech: &Technology, vout: f64, ibias: f64) -> Result<Self, ApeError> {
         let c = cards(tech)?;
         if !(ibias.is_finite() && ibias > 0.0) {
             return Err(ApeError::BadSpec {

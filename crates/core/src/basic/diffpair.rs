@@ -17,6 +17,8 @@ use super::{cards, length_for_gain, vov_for_gm_id, L_BIAS};
 use crate::attrs::Performance;
 use crate::cache::{cached_size_for_gm_id_at, cached_size_for_id_vov_at};
 use crate::error::ApeError;
+use crate::graph::{with_thread_graph, Component, EstimationGraph};
+use ape_mos::fingerprint::Fingerprint;
 use ape_mos::sizing::{threshold, SizedMos};
 use ape_netlist::{Circuit, MosPolarity, SourceWaveform, Technology};
 
@@ -28,6 +30,59 @@ pub enum DiffTopology {
     /// PMOS current-mirror load (`DiffCMOS`): single-ended output, gain
     /// `gm_i/(gd_i+gd_l)` — also the differential-to-single-ended converter.
     MirrorLoad,
+}
+
+impl DiffTopology {
+    /// Stable one-byte tag for estimation-graph fingerprints.
+    pub(crate) fn fingerprint_tag(&self) -> u8 {
+        match self {
+            DiffTopology::DiodeLoad => 0,
+            DiffTopology::MirrorLoad => 1,
+        }
+    }
+}
+
+/// Estimation-graph node for a [`DiffPair`] design.
+#[derive(Debug, Clone, Copy)]
+struct DiffPairNode {
+    topology: DiffTopology,
+    adm: f64,
+    itail: f64,
+    cl: f64,
+    vov_i_sel: f64,
+}
+
+impl Component for DiffPairNode {
+    type Output = DiffPair;
+
+    fn kind(&self) -> &'static str {
+        "l2.diffpair"
+    }
+
+    fn fingerprint(&self) -> u64 {
+        Fingerprint::new()
+            .u8(self.topology.fingerprint_tag())
+            .f64(self.adm)
+            .f64(self.itail)
+            .f64(self.cl)
+            .f64(self.vov_i_sel)
+            .finish()
+    }
+
+    fn children(&self) -> &'static [&'static str] {
+        &["l1.gm_id", "l1.id_vov"]
+    }
+
+    fn compute(&self, graph: &EstimationGraph) -> Result<DiffPair, ApeError> {
+        DiffPair::design_uncached(
+            graph.technology(),
+            self.topology,
+            self.adm,
+            self.itail,
+            self.cl,
+            self.vov_i_sel,
+        )
+    }
 }
 
 impl std::fmt::Display for DiffTopology {
@@ -112,6 +167,27 @@ impl DiffPair {
         vov_i_sel: f64,
     ) -> Result<Self, ApeError> {
         let _span = ape_probe::span("ape.l2.diffpair");
+        with_thread_graph(tech, |g| {
+            g.evaluate(&DiffPairNode {
+                topology,
+                adm,
+                itail,
+                cl,
+                vov_i_sel,
+            })
+        })
+    }
+
+    /// [`design_with_overdrive`](Self::design_with_overdrive) without the
+    /// graph memo — the node's compute body.
+    fn design_uncached(
+        tech: &Technology,
+        topology: DiffTopology,
+        adm: f64,
+        itail: f64,
+        cl: f64,
+        vov_i_sel: f64,
+    ) -> Result<Self, ApeError> {
         let c = cards(tech)?;
         if !(adm.is_finite() && adm > 1.0) {
             return Err(ApeError::BadSpec {

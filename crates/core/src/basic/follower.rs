@@ -8,8 +8,37 @@ use super::{cards, L_BIAS, VOV_MIRROR};
 use crate::attrs::Performance;
 use crate::cache::cached_size_for_id_vov_at;
 use crate::error::ApeError;
+use crate::graph::{with_thread_graph, Component, EstimationGraph};
+use ape_mos::fingerprint::Fingerprint;
 use ape_mos::sizing::{threshold, SizedMos};
 use ape_netlist::{Circuit, MosPolarity, SourceWaveform, Technology};
+
+/// Estimation-graph node for a [`Follower`] design.
+#[derive(Debug, Clone, Copy)]
+struct FollowerNode {
+    ibias: f64,
+    cl: f64,
+}
+
+impl Component for FollowerNode {
+    type Output = Follower;
+
+    fn kind(&self) -> &'static str {
+        "l2.follower"
+    }
+
+    fn fingerprint(&self) -> u64 {
+        Fingerprint::new().f64(self.ibias).f64(self.cl).finish()
+    }
+
+    fn children(&self) -> &'static [&'static str] {
+        &["l1.id_vov"]
+    }
+
+    fn compute(&self, graph: &EstimationGraph) -> Result<Follower, ApeError> {
+        Follower::design_uncached(graph.technology(), self.ibias, self.cl)
+    }
+}
 
 /// A sized source-follower buffer.
 ///
@@ -56,6 +85,12 @@ impl Follower {
     /// * [`ApeError::Device`] when a device cannot be sized.
     pub fn design(tech: &Technology, ibias: f64, cl: f64) -> Result<Self, ApeError> {
         let _span = ape_probe::span("ape.l2.follower");
+        with_thread_graph(tech, |g| g.evaluate(&FollowerNode { ibias, cl }))
+    }
+
+    /// [`design`](Self::design) without the graph memo — the node's
+    /// compute body.
+    fn design_uncached(tech: &Technology, ibias: f64, cl: f64) -> Result<Self, ApeError> {
         let c = cards(tech)?;
         if !(ibias.is_finite() && ibias > 0.0) {
             return Err(ApeError::BadSpec {

@@ -13,6 +13,8 @@ use super::{cards, length_for_gain, vov_for_gm_id, L_BIAS, VOV_MIRROR};
 use crate::attrs::Performance;
 use crate::cache::{cached_size_for_gm_id_at, cached_size_for_id_vov_at};
 use crate::error::ApeError;
+use crate::graph::{with_thread_graph, Component, EstimationGraph};
+use ape_mos::fingerprint::Fingerprint;
 use ape_mos::sizing::{threshold, SizedMos};
 use ape_netlist::{Circuit, MosPolarity, SourceWaveform, Technology};
 
@@ -25,6 +27,57 @@ pub enum GainTopology {
     CmosActive,
     /// PMOS diode load (`GainCMOSH`).
     CmosDiode,
+}
+
+impl GainTopology {
+    /// Stable one-byte tag for estimation-graph fingerprints.
+    pub(crate) fn fingerprint_tag(&self) -> u8 {
+        match self {
+            GainTopology::NmosLoad => 0,
+            GainTopology::CmosActive => 1,
+            GainTopology::CmosDiode => 2,
+        }
+    }
+}
+
+/// Estimation-graph node for a [`GainStage`] design.
+#[derive(Debug, Clone, Copy)]
+struct GainNode {
+    topology: GainTopology,
+    gain: f64,
+    ibias: f64,
+    cl: f64,
+}
+
+impl Component for GainNode {
+    type Output = GainStage;
+
+    fn kind(&self) -> &'static str {
+        "l2.gain"
+    }
+
+    fn fingerprint(&self) -> u64 {
+        Fingerprint::new()
+            .u8(self.topology.fingerprint_tag())
+            .f64(self.gain)
+            .f64(self.ibias)
+            .f64(self.cl)
+            .finish()
+    }
+
+    fn children(&self) -> &'static [&'static str] {
+        &["l1.gm_id", "l1.id_vov"]
+    }
+
+    fn compute(&self, graph: &EstimationGraph) -> Result<GainStage, ApeError> {
+        GainStage::design_uncached(
+            graph.technology(),
+            self.topology,
+            self.gain,
+            self.ibias,
+            self.cl,
+        )
+    }
 }
 
 impl std::fmt::Display for GainTopology {
@@ -91,6 +144,25 @@ impl GainStage {
         cl: f64,
     ) -> Result<Self, ApeError> {
         let _span = ape_probe::span("ape.l2.gain");
+        with_thread_graph(tech, |g| {
+            g.evaluate(&GainNode {
+                topology,
+                gain,
+                ibias,
+                cl,
+            })
+        })
+    }
+
+    /// [`design`](Self::design) without the graph memo — the node's
+    /// compute body.
+    fn design_uncached(
+        tech: &Technology,
+        topology: GainTopology,
+        gain: f64,
+        ibias: f64,
+        cl: f64,
+    ) -> Result<Self, ApeError> {
         let c = cards(tech)?;
         if gain >= -1.0 {
             return Err(ApeError::BadSpec {

@@ -7,6 +7,8 @@ use super::{cards, L_BIAS, VOV_MIRROR};
 use crate::attrs::Performance;
 use crate::cache::cached_size_for_id_vov_at;
 use crate::error::ApeError;
+use crate::graph::{with_thread_graph, Component, EstimationGraph};
+use ape_mos::fingerprint::Fingerprint;
 use ape_mos::sizing::SizedMos;
 use ape_netlist::{Circuit, MosPolarity, Technology};
 
@@ -19,6 +21,49 @@ pub enum MirrorTopology {
     Wilson,
     /// Four-transistor cascode mirror.
     Cascode,
+}
+
+impl MirrorTopology {
+    /// Stable one-byte tag for estimation-graph fingerprints.
+    pub(crate) fn fingerprint_tag(&self) -> u8 {
+        match self {
+            MirrorTopology::Simple => 0,
+            MirrorTopology::Wilson => 1,
+            MirrorTopology::Cascode => 2,
+        }
+    }
+}
+
+/// Estimation-graph node for a [`CurrentMirror`] design.
+#[derive(Debug, Clone, Copy)]
+struct MirrorNode {
+    topology: MirrorTopology,
+    iref: f64,
+    ratio: f64,
+}
+
+impl Component for MirrorNode {
+    type Output = CurrentMirror;
+
+    fn kind(&self) -> &'static str {
+        "l2.mirror"
+    }
+
+    fn fingerprint(&self) -> u64 {
+        Fingerprint::new()
+            .u8(self.topology.fingerprint_tag())
+            .f64(self.iref)
+            .f64(self.ratio)
+            .finish()
+    }
+
+    fn children(&self) -> &'static [&'static str] {
+        &["l1.id_vov"]
+    }
+
+    fn compute(&self, graph: &EstimationGraph) -> Result<CurrentMirror, ApeError> {
+        CurrentMirror::design_uncached(graph.technology(), self.topology, self.iref, self.ratio)
+    }
 }
 
 impl std::fmt::Display for MirrorTopology {
@@ -75,6 +120,23 @@ impl CurrentMirror {
         ratio: f64,
     ) -> Result<Self, ApeError> {
         let _span = ape_probe::span("ape.l2.mirror");
+        with_thread_graph(tech, |g| {
+            g.evaluate(&MirrorNode {
+                topology,
+                iref,
+                ratio,
+            })
+        })
+    }
+
+    /// [`design`](Self::design) without the graph memo — the node's
+    /// compute body.
+    fn design_uncached(
+        tech: &Technology,
+        topology: MirrorTopology,
+        iref: f64,
+        ratio: f64,
+    ) -> Result<Self, ApeError> {
         cards(tech)?;
         if !(iref.is_finite() && iref > 0.0) {
             return Err(ApeError::BadSpec {

@@ -10,9 +10,9 @@
 //! 1. a `design` constructor solves the component's symbolic equations for
 //!    the transistor-level constraints, then calls the level-1 sizing
 //!    solvers in `ape-mos`;
-//! 2. the sized object carries its devices and a [`Performance`] attribute
-//!    sheet composed from their small-signal parameters;
-//! 3. `testbench()` emits a self-contained SPICE-ready [`Circuit`] whose
+//! 2. the sized object carries its devices and a [`Performance`](crate::attrs::Performance)
+//!    attribute sheet composed from their small-signal parameters;
+//! 3. `testbench()` emits a self-contained SPICE-ready `Circuit` whose
 //!    conventions (`VDD` rail element, `out` node, `VIN` AC drive) the
 //!    verification harness relies on.
 

@@ -1,33 +1,42 @@
-//! Sized-transistor object cache.
+//! Sized-transistor object cache, as a view over the estimation graph.
 //!
 //! Paper §4.1: *"The sized transistor is saved as an object which contains
 //! the size and performance parameters. Several objects can be generated
 //! with different operating points as they are needed to construct the
 //! other levels in the circuit hierarchy."*
 //!
-//! Different specifications hit the same transistor-level operating points
-//! over and over (bias mirrors at standard overdrives, pairs at standard
-//! gm/Id); the cache makes those repeat solves free.
+//! Since the estimation-graph refactor, the object store lives in
+//! [`crate::graph`]: level-1 sizing requests are
+//! [`Component`](crate::graph::Component) nodes
+//! (`l1.gm_id`, `l1.id_vov`) memoized per bit-exact input fingerprint,
+//! alongside every higher-level node. [`SizingCache`] remains as the
+//! level-1-only convenience wrapper (an [`EstimationGraph`] restricted to
+//! sizing nodes), and the `cached_size_for_*` free functions now route
+//! through the thread-shared graph — so a repeated solve inside an op-amp
+//! design and a direct call from user code hit the same memo. The old
+//! FIFO-evicting quantised-key cache and its `shared_cache_*` accessors
+//! are gone; use [`crate::graph::graph_report`] and friends instead.
 
 use crate::error::ApeError;
-use ape_mos::sizing::{size_for_gm_id_at, size_for_id_vov_at, SizedMos};
-use ape_netlist::{MosModelCard, MosPolarity, Technology};
-use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque};
+use crate::graph::{
+    with_thread_graph, EstimationGraph, SizeForGmId, SizeForIdVov, DEFAULT_KIND_CAPACITY,
+};
+use ape_mos::sizing::SizedMos;
+use ape_netlist::Technology;
 
-/// Default capacity of a [`SizingCache`]: comfortably above what a whole
-/// table reproduction touches (a few hundred objects), small enough that a
-/// million-point sweep cannot grow a worker's cache without bound.
-pub const DEFAULT_CAPACITY: usize = 4096;
+/// Default capacity of a [`SizingCache`], per request kind (gm/Id and
+/// Id/Vov are bounded independently). Matches the graph-wide
+/// [`DEFAULT_KIND_CAPACITY`].
+pub const DEFAULT_CAPACITY: usize = DEFAULT_KIND_CAPACITY;
 
-/// Cache statistics.
+/// Cache statistics, summed over the level-1 sizing kinds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Requests answered from the cache.
     pub hits: usize,
     /// Requests that ran the numeric solver.
     pub misses: usize,
-    /// Sized objects evicted to hold the capacity bound.
+    /// Sized objects dropped to hold the capacity bound.
     pub evictions: usize,
 }
 
@@ -45,34 +54,6 @@ impl CacheStats {
             self.hits as f64 / self.total() as f64
         }
     }
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum Request {
-    GmId,
-    IdVov,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct Key {
-    req: Request,
-    polarity: MosPolarity,
-    // Quantized to 0.1 % so physically-identical requests share an entry
-    // while distinct operating points stay distinct.
-    a: u64,
-    b: u64,
-    l: u64,
-    vds: u64,
-    vsb: u64,
-}
-
-fn quant(x: f64) -> u64 {
-    if x == 0.0 {
-        return 0;
-    }
-    // ~0.1 % relative quantization: keep the exponent and 10 bits of mantissa.
-    let bits = x.to_bits();
-    bits >> 42
 }
 
 /// A memoizing wrapper over the level-1 sizing solvers.
@@ -94,100 +75,59 @@ fn quant(x: f64) -> u64 {
 /// ```
 #[derive(Debug)]
 pub struct SizingCache {
-    tech: Technology,
-    entries: RefCell<HashMap<Key, SizedMos>>,
-    /// Keys in insertion order, for FIFO eviction at the capacity bound.
-    order: RefCell<VecDeque<Key>>,
-    capacity: usize,
-    stats: RefCell<CacheStats>,
+    graph: EstimationGraph,
 }
 
 impl SizingCache {
     /// Creates an empty cache bound to a technology, holding at most
-    /// [`DEFAULT_CAPACITY`] sized objects.
+    /// [`DEFAULT_CAPACITY`] sized objects per request kind.
     pub fn new(tech: &Technology) -> Self {
         Self::with_capacity(tech, DEFAULT_CAPACITY)
     }
 
-    /// Creates an empty cache holding at most `capacity` sized objects
-    /// (minimum 1). Past the bound, the oldest entry is evicted first —
-    /// sweep workloads march through parameter space, so the oldest object
-    /// is the least likely to be requested again.
+    /// Creates an empty cache holding at most `capacity` sized objects per
+    /// request kind (minimum 1). Past the bound, the kind's whole
+    /// generation is dropped at once — sound because a fresh solve is
+    /// bit-identical to the dropped object.
     pub fn with_capacity(tech: &Technology, capacity: usize) -> Self {
         SizingCache {
-            tech: tech.clone(),
-            entries: RefCell::new(HashMap::new()),
-            order: RefCell::new(VecDeque::new()),
-            capacity: capacity.max(1),
-            stats: RefCell::new(CacheStats::default()),
+            graph: EstimationGraph::with_kind_capacity(tech, capacity),
         }
     }
 
     /// The bound technology.
     pub fn technology(&self) -> &Technology {
-        &self.tech
+        self.graph.technology()
     }
 
-    /// The capacity bound (entries, not bytes).
+    /// The per-kind capacity bound (entries, not bytes).
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.graph.kind_capacity()
     }
 
     /// Current hit/miss statistics.
     pub fn stats(&self) -> CacheStats {
-        *self.stats.borrow()
+        let t = self.graph.totals();
+        CacheStats {
+            hits: t.hits,
+            misses: t.misses,
+            evictions: t.evictions,
+        }
     }
 
     /// Number of distinct sized objects held.
     pub fn len(&self) -> usize {
-        self.entries.borrow().len()
+        self.graph.len()
     }
 
     /// `true` when no objects are cached.
     pub fn is_empty(&self) -> bool {
-        self.entries.borrow().is_empty()
+        self.graph.is_empty()
     }
 
     /// Empties the cache (statistics are kept).
     pub fn clear(&self) {
-        self.entries.borrow_mut().clear();
-        self.order.borrow_mut().clear();
-    }
-
-    fn card(&self, pmos: bool) -> Result<&MosModelCard, ApeError> {
-        if pmos {
-            self.tech.pmos().ok_or(ApeError::MissingModel("PMOS"))
-        } else {
-            self.tech.nmos().ok_or(ApeError::MissingModel("NMOS"))
-        }
-    }
-
-    fn lookup_or<F>(&self, key: Key, solve: F) -> Result<SizedMos, ApeError>
-    where
-        F: FnOnce() -> Result<SizedMos, ApeError>,
-    {
-        if let Some(hit) = self.entries.borrow().get(&key) {
-            self.stats.borrow_mut().hits += 1;
-            ape_probe::counter("ape.cache.hit", 1);
-            return Ok(*hit);
-        }
-        self.stats.borrow_mut().misses += 1;
-        ape_probe::counter("ape.cache.miss", 1);
-        let solved = solve()?;
-        let mut entries = self.entries.borrow_mut();
-        let mut order = self.order.borrow_mut();
-        while entries.len() >= self.capacity {
-            let Some(oldest) = order.pop_front() else {
-                break;
-            };
-            entries.remove(&oldest);
-            self.stats.borrow_mut().evictions += 1;
-            ape_probe::counter("ape.cache.evict", 1);
-        }
-        if entries.insert(key, solved).is_none() {
-            order.push_back(key);
-        }
-        Ok(solved)
+        self.graph.clear();
     }
 
     /// Human-readable effectiveness summary, e.g. for end-of-run printing:
@@ -207,8 +147,8 @@ impl SizingCache {
         )
     }
 
-    /// Cached [`size_for_gm_id_at`] at default biases (`vds = vdd/2`,
-    /// `vsb = 0`).
+    /// Cached [`size_for_gm_id_at`](ape_mos::sizing::size_for_gm_id_at) at
+    /// default biases (`vds = vdd/2`, `vsb = 0`).
     ///
     /// # Errors
     ///
@@ -220,23 +160,12 @@ impl SizingCache {
         id: f64,
         l: f64,
     ) -> Result<SizedMos, ApeError> {
-        let vds = self.tech.vdd / 2.0;
-        let card = self.card(pmos)?;
-        let key = Key {
-            req: Request::GmId,
-            polarity: card.polarity,
-            a: quant(gm),
-            b: quant(id),
-            l: quant(l),
-            vds: quant(vds),
-            vsb: 0,
-        };
-        self.lookup_or(key, || {
-            size_for_gm_id_at(card, gm, id, l, vds, 0.0).map_err(ApeError::from)
-        })
+        let vds = self.technology().vdd / 2.0;
+        self.size_for_gm_id_at(pmos, gm, id, l, vds, 0.0)
     }
 
-    /// Cached [`size_for_gm_id_at`] at explicit biases.
+    /// Cached [`size_for_gm_id_at`](ape_mos::sizing::size_for_gm_id_at) at
+    /// explicit biases.
     ///
     /// # Errors
     ///
@@ -250,22 +179,18 @@ impl SizingCache {
         vds: f64,
         vsb: f64,
     ) -> Result<SizedMos, ApeError> {
-        let card = self.card(pmos)?;
-        let key = Key {
-            req: Request::GmId,
-            polarity: card.polarity,
-            a: quant(gm),
-            b: quant(id),
-            l: quant(l),
-            vds: quant(vds),
-            vsb: quant(vsb),
-        };
-        self.lookup_or(key, || {
-            size_for_gm_id_at(card, gm, id, l, vds, vsb).map_err(ApeError::from)
+        self.graph.evaluate(&SizeForGmId {
+            pmos,
+            gm,
+            id,
+            l,
+            vds,
+            vsb,
         })
     }
 
-    /// Cached [`size_for_id_vov_at`] at explicit biases.
+    /// Cached [`size_for_id_vov_at`](ape_mos::sizing::size_for_id_vov_at)
+    /// at explicit biases.
     ///
     /// # Errors
     ///
@@ -279,50 +204,23 @@ impl SizingCache {
         vds: f64,
         vsb: f64,
     ) -> Result<SizedMos, ApeError> {
-        let card = self.card(pmos)?;
-        let key = Key {
-            req: Request::IdVov,
-            polarity: card.polarity,
-            a: quant(id),
-            b: quant(vov),
-            l: quant(l),
-            vds: quant(vds),
-            vsb: quant(vsb),
-        };
-        self.lookup_or(key, || {
-            size_for_id_vov_at(card, id, vov, l, vds, vsb).map_err(ApeError::from)
+        self.graph.evaluate(&SizeForIdVov {
+            pmos,
+            id,
+            vov,
+            l,
+            vds,
+            vsb,
         })
     }
 }
 
-thread_local! {
-    /// One shared cache slot per thread, tagged with the fingerprint of the
-    /// technology it was built for. Estimator internals route their level-1
-    /// sizing through it so repeated (sub)circuit designs reuse objects, as
-    /// the paper's §4.1 object store does.
-    static SHARED: RefCell<Option<(u64, SizingCache)>> = const { RefCell::new(None) };
-}
-
-fn with_shared<R>(tech: &Technology, f: impl FnOnce(&SizingCache) -> R) -> R {
-    let fp = tech.fingerprint();
-    SHARED.with(|slot| {
-        let mut slot = slot.borrow_mut();
-        match &mut *slot {
-            Some((have, cache)) if *have == fp => f(cache),
-            other => {
-                let (_, cache) = other.insert((fp, SizingCache::new(tech)));
-                f(cache)
-            }
-        }
-    })
-}
-
-/// [`SizingCache::size_for_gm_id_at`] through this thread's shared cache for
+/// Level-1 gm/Id sizing through this thread's shared estimation graph for
 /// `tech` (created on first use; replaced when `tech` changes).
 ///
 /// # Errors
 ///
-/// Propagates the solver's errors (errors are not cached).
+/// Propagates the solver's errors (errors are not memoized).
 pub fn cached_size_for_gm_id_at(
     tech: &Technology,
     pmos: bool,
@@ -332,15 +230,24 @@ pub fn cached_size_for_gm_id_at(
     vds: f64,
     vsb: f64,
 ) -> Result<SizedMos, ApeError> {
-    with_shared(tech, |c| c.size_for_gm_id_at(pmos, gm, id, l, vds, vsb))
+    with_thread_graph(tech, |g| {
+        g.evaluate(&SizeForGmId {
+            pmos,
+            gm,
+            id,
+            l,
+            vds,
+            vsb,
+        })
+    })
 }
 
-/// [`SizingCache::size_for_id_vov_at`] through this thread's shared cache
-/// for `tech`.
+/// Level-1 Id/Vov sizing through this thread's shared estimation graph for
+/// `tech`.
 ///
 /// # Errors
 ///
-/// Propagates the solver's errors (errors are not cached).
+/// Propagates the solver's errors (errors are not memoized).
 pub fn cached_size_for_id_vov_at(
     tech: &Technology,
     pmos: bool,
@@ -350,40 +257,22 @@ pub fn cached_size_for_id_vov_at(
     vds: f64,
     vsb: f64,
 ) -> Result<SizedMos, ApeError> {
-    with_shared(tech, |c| c.size_for_id_vov_at(pmos, id, vov, l, vds, vsb))
-}
-
-/// Statistics of this thread's shared cache (zero when none exists yet).
-pub fn shared_cache_stats() -> CacheStats {
-    SHARED.with(|slot| {
-        slot.borrow()
-            .as_ref()
-            .map(|(_, c)| c.stats())
-            .unwrap_or_default()
+    with_thread_graph(tech, |g| {
+        g.evaluate(&SizeForIdVov {
+            pmos,
+            id,
+            vov,
+            l,
+            vds,
+            vsb,
+        })
     })
-}
-
-/// Number of sized objects in this thread's shared cache.
-pub fn shared_cache_len() -> usize {
-    SHARED.with(|slot| slot.borrow().as_ref().map(|(_, c)| c.len()).unwrap_or(0))
-}
-
-/// [`SizingCache::report`] for this thread's shared cache.
-pub fn shared_cache_report() -> String {
-    SHARED.with(|slot| match &*slot.borrow() {
-        Some((_, c)) => c.report(),
-        None => "sizing cache: unused".into(),
-    })
-}
-
-/// Drops this thread's shared cache entirely (objects and statistics).
-pub fn reset_shared_cache() {
-    SHARED.with(|slot| *slot.borrow_mut() = None);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ape_mos::sizing::size_for_id_vov_at;
 
     #[test]
     fn repeat_requests_hit() {
@@ -444,38 +333,54 @@ mod tests {
     }
 
     #[test]
-    fn capacity_bound_evicts_oldest_first() {
+    fn capacity_bound_drops_the_oldest_generation() {
+        // PR-2 regression, updated for the graph's generation-drop
+        // eviction: past the bound the kind is emptied wholesale (a
+        // re-solve is bit-identical, so no recency bookkeeping is kept).
         let tech = Technology::default_1p2um();
         let cache = SizingCache::with_capacity(&tech, 3);
         assert_eq!(cache.capacity(), 3);
-        // Four distinct operating points into a 3-slot cache.
+        // Four distinct operating points into a 3-slot kind.
         for (i, id) in [10e-6, 20e-6, 40e-6, 80e-6].iter().enumerate() {
             cache.size_for_gm_id(false, 100e-6, *id, 2.4e-6).unwrap();
             assert!(cache.len() <= 3, "len {} after insert {i}", cache.len());
         }
         let s = cache.stats();
         assert_eq!(s.misses, 4);
-        assert_eq!(s.evictions, 1);
-        // The oldest point (10 µA) was evicted: asking again re-solves...
+        // The fourth insert dropped the full first generation (3 objects).
+        assert_eq!(s.evictions, 3);
+        // A dropped point (10 µA) re-solves...
         cache.size_for_gm_id(false, 100e-6, 10e-6, 2.4e-6).unwrap();
         assert_eq!(cache.stats().misses, 5);
-        // ...while the newest (80 µA) survived and still hits.
+        // ...while the newest (80 µA, cached after the drop) still hits.
         cache.size_for_gm_id(false, 100e-6, 80e-6, 2.4e-6).unwrap();
         assert_eq!(cache.stats().hits, 1);
         assert!(cache.report().contains("evictions"));
     }
 
     #[test]
-    fn clear_resets_eviction_order() {
+    fn clear_resets_eviction_state() {
+        // PR-2 regression, updated: clear() starts a fresh generation, so
+        // refilling to the bound must not evict phantom entries.
         let tech = Technology::default_1p2um();
         let cache = SizingCache::with_capacity(&tech, 2);
         cache.size_for_gm_id(false, 100e-6, 10e-6, 2.4e-6).unwrap();
         cache.size_for_gm_id(false, 100e-6, 20e-6, 2.4e-6).unwrap();
         cache.clear();
-        // A stale order queue would make these evict phantom entries.
         cache.size_for_gm_id(false, 100e-6, 40e-6, 2.4e-6).unwrap();
         cache.size_for_gm_id(false, 100e-6, 80e-6, 2.4e-6).unwrap();
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn free_functions_share_the_thread_graph() {
+        crate::graph::reset_thread_graph();
+        let tech = Technology::default_1p2um();
+        let a = cached_size_for_id_vov_at(&tech, false, 50e-6, 0.35, 2.4e-6, 1.2, 0.0).unwrap();
+        let b = cached_size_for_id_vov_at(&tech, false, 50e-6, 0.35, 2.4e-6, 1.2, 0.0).unwrap();
+        assert_eq!(a.geometry, b.geometry);
+        assert_eq!(crate::graph::thread_graph_totals().hits, 1);
+        crate::graph::reset_thread_graph();
     }
 }

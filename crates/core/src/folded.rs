@@ -30,8 +30,41 @@ use crate::attrs::Performance;
 use crate::basic::{cards, vov_for_gm_id, L_BIAS};
 use crate::cache::{cached_size_for_gm_id_at, cached_size_for_id_vov_at};
 use crate::error::ApeError;
+use crate::graph::{with_thread_graph, Component, EstimationGraph};
+use ape_mos::fingerprint::Fingerprint;
 use ape_mos::sizing::{threshold, SizedMos};
 use ape_netlist::{Circuit, MosPolarity, NodeId, SourceWaveform, Technology};
+
+/// Estimation-graph node for a [`FoldedCascodeOta`] design.
+#[derive(Debug, Clone, Copy)]
+struct FoldedNode {
+    spec: FoldedCascodeSpec,
+}
+
+impl Component for FoldedNode {
+    type Output = FoldedCascodeOta;
+
+    fn kind(&self) -> &'static str {
+        "l3.folded"
+    }
+
+    fn fingerprint(&self) -> u64 {
+        Fingerprint::new()
+            .f64(self.spec.gain)
+            .f64(self.spec.ugf_hz)
+            .f64(self.spec.ibias)
+            .f64(self.spec.cl)
+            .finish()
+    }
+
+    fn children(&self) -> &'static [&'static str] {
+        &["l1.gm_id", "l1.id_vov"]
+    }
+
+    fn compute(&self, graph: &EstimationGraph) -> Result<FoldedCascodeOta, ApeError> {
+        FoldedCascodeOta::design_uncached(graph.technology(), self.spec)
+    }
+}
 
 /// Specification for a folded-cascode OTA.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -102,6 +135,12 @@ impl FoldedCascodeOta {
     /// * [`ApeError::Infeasible`] when the gain or gm allocation fails.
     pub fn design(tech: &Technology, spec: FoldedCascodeSpec) -> Result<Self, ApeError> {
         let _span = ape_probe::span("ape.l3.folded");
+        with_thread_graph(tech, |g| g.evaluate(&FoldedNode { spec }))
+    }
+
+    /// [`design`](Self::design) without the graph memo — the node's
+    /// compute body.
+    fn design_uncached(tech: &Technology, spec: FoldedCascodeSpec) -> Result<Self, ApeError> {
         let c = cards(tech)?;
         if !(spec.gain > 1.0 && spec.ugf_hz > 0.0 && spec.ibias > 0.0 && spec.cl > 0.0)
             || !(spec.gain.is_finite()

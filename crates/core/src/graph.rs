@@ -1,0 +1,731 @@
+#![deny(missing_docs)]
+//! The estimation graph: a memoized component DAG over the APE hierarchy.
+//!
+//! The paper composes performance bottom-up through four levels
+//! (transistor → basic component → op-amp → module). This module makes
+//! that composition an explicit graph: every design step is a
+//! [`Component`] node whose inputs are condensed into a bit-exact
+//! [fingerprint](Component::fingerprint), and the [`EstimationGraph`]
+//! memoizes each node's result under `(kind, fingerprint)`. Parent nodes
+//! declare their [children](Component::children), so the graph knows the
+//! DAG shape and can report per-node traffic.
+//!
+//! Two properties follow directly from bit-exact fingerprints:
+//!
+//! * **Incremental re-estimation.** Re-running a design after a spec or
+//!   design-variable delta recomputes only the nodes whose inputs
+//!   actually changed — every clean subtree is answered from the memo.
+//!   There is no explicit dirty-marking pass: a node is "dirty" exactly
+//!   when its fingerprint is new to the graph.
+//! * **History independence.** A memoized value is a pure function of
+//!   its fingerprint, so a warm (incremental) evaluation is bit-identical
+//!   to a cold one. The equivalence suite and `ape-check`'s delta fuzzing
+//!   prove this across every topology and module.
+//!
+//! Per-node hits, misses, and dirty recomputes are counted in
+//! [`NodeStats`] and mirrored to `ape-probe` counters
+//! (`ape.graph.<kind>.hit` / `.miss` / `.dirty`), so `APE_TRACE=summary`
+//! shows exactly which levels of the hierarchy the memo is saving.
+
+use crate::error::ApeError;
+use ape_mos::fingerprint::Fingerprint;
+use ape_mos::sizing::{size_for_gm_id_at, size_for_id_vov_at, SizedMos};
+use ape_netlist::{MosModelCard, Technology};
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+use std::sync::{Mutex, OnceLock};
+
+/// Default per-kind memo capacity: comfortably above what a whole table
+/// reproduction touches per node kind, small enough that a million-point
+/// sweep cannot grow a worker's graph without bound.
+pub const DEFAULT_KIND_CAPACITY: usize = 4096;
+
+/// A node in the estimation graph.
+///
+/// Implementors condense every input that influences the result into
+/// [`fingerprint`](Self::fingerprint) (bit-exactly — use
+/// [`Fingerprint::f64`]), and perform the actual design work in
+/// [`compute`](Self::compute), recursing into child components through the
+/// graph so their results are memoized too.
+///
+/// The bound technology is *not* part of a node's fingerprint: a graph is
+/// constructed for one [`Technology`] and the thread-shared graph is
+/// re-created whenever the technology fingerprint changes.
+pub trait Component {
+    /// The memoized result type. Cloned out of the memo on a hit, so keep
+    /// it cheap to clone (all APE results are plain data).
+    type Output: Clone + 'static;
+
+    /// Stable node-kind name, e.g. `"l2.diffpair"`. One kind must map to
+    /// one `Output` type; kinds are also the unit of capacity bounding and
+    /// per-node statistics.
+    fn kind(&self) -> &'static str;
+
+    /// Bit-exact condensation of every input that influences the result.
+    fn fingerprint(&self) -> u64;
+
+    /// The kinds of child nodes this component evaluates through the
+    /// graph (empty for leaves). Declared statically so reports can show
+    /// the DAG shape.
+    fn children(&self) -> &'static [&'static str] {
+        &[]
+    }
+
+    /// Designs/estimates this node from its inputs. Called only on a memo
+    /// miss; must be a pure function of the fingerprinted inputs plus the
+    /// graph's technology.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying design error. Errors are **not**
+    /// memoized — a failing node is recomputed on every request, matching
+    /// the old sizing-cache contract.
+    fn compute(&self, graph: &EstimationGraph) -> Result<Self::Output, ApeError>;
+}
+
+/// Per-kind traffic counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NodeStats {
+    /// Requests answered from the memo.
+    pub hits: usize,
+    /// Requests that ran [`Component::compute`].
+    pub misses: usize,
+    /// The subset of misses that hit a kind which already held entries —
+    /// i.e. recomputes caused by changed inputs rather than a cold graph.
+    pub dirty: usize,
+    /// Entries dropped to hold the per-kind capacity bound.
+    pub evictions: usize,
+}
+
+impl NodeStats {
+    /// Total requests served.
+    pub fn total(&self) -> usize {
+        self.hits + self.misses
+    }
+
+    /// Fraction of requests answered from the memo (0 when unused).
+    pub fn hit_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total() as f64
+        }
+    }
+
+    /// Element-wise sum, for aggregating kinds into graph totals.
+    #[must_use]
+    pub fn merged(&self, other: &NodeStats) -> NodeStats {
+        NodeStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            dirty: self.dirty + other.dirty,
+            evictions: self.evictions + other.evictions,
+        }
+    }
+}
+
+/// Snapshot of one kind's memo state, as returned by
+/// [`EstimationGraph::stats`].
+#[derive(Debug, Clone)]
+pub struct KindStats {
+    /// The node kind.
+    pub kind: &'static str,
+    /// Child kinds the component declared.
+    pub children: &'static [&'static str],
+    /// Entries currently memoized.
+    pub len: usize,
+    /// Traffic counters.
+    pub stats: NodeStats,
+}
+
+struct KindMemo {
+    entries: HashMap<u64, Rc<dyn Any>>,
+    stats: NodeStats,
+    children: &'static [&'static str],
+    hit_ctr: &'static str,
+    miss_ctr: &'static str,
+    dirty_ctr: &'static str,
+}
+
+impl KindMemo {
+    fn new(kind: &'static str, children: &'static [&'static str]) -> Self {
+        KindMemo {
+            entries: HashMap::new(),
+            stats: NodeStats::default(),
+            children,
+            hit_ctr: interned_counter(kind, "hit"),
+            miss_ctr: interned_counter(kind, "miss"),
+            dirty_ctr: interned_counter(kind, "dirty"),
+        }
+    }
+}
+
+/// Returns a `'static` counter name `ape.graph.<kind>.<event>`, leaking
+/// each distinct name at most once per process (the set of kinds is small
+/// and fixed, so the leak is bounded).
+fn interned_counter(kind: &str, event: &str) -> &'static str {
+    static INTERNED: OnceLock<Mutex<HashMap<String, &'static str>>> = OnceLock::new();
+    let name = format!("ape.graph.{kind}.{event}");
+    let table = INTERNED.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut table = match table.lock() {
+        Ok(t) => t,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    if let Some(&s) = table.get(&name) {
+        return s;
+    }
+    let leaked: &'static str = Box::leak(name.clone().into_boxed_str());
+    table.insert(name, leaked);
+    leaked
+}
+
+/// A memoized estimation graph bound to one technology.
+///
+/// Cheap to create; estimator entry points normally share one per thread
+/// via [`with_thread_graph`] so consecutive designs — annealing moves,
+/// sweep neighbors — reuse each other's clean subtrees.
+pub struct EstimationGraph {
+    tech: Technology,
+    tech_fp: u64,
+    kinds: RefCell<BTreeMap<&'static str, KindMemo>>,
+    kind_capacity: usize,
+}
+
+impl std::fmt::Debug for EstimationGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EstimationGraph")
+            .field("tech_fp", &self.tech_fp)
+            .field("kinds", &self.kinds.borrow().len())
+            .field("nodes", &self.len())
+            .finish()
+    }
+}
+
+impl EstimationGraph {
+    /// Creates an empty graph for `tech` with the default per-kind
+    /// capacity.
+    pub fn new(tech: &Technology) -> Self {
+        Self::with_kind_capacity(tech, DEFAULT_KIND_CAPACITY)
+    }
+
+    /// Creates an empty graph holding at most `kind_capacity` memoized
+    /// results per node kind (minimum 1). When a kind fills up, its whole
+    /// generation is dropped at once — sound because a recompute is
+    /// bit-identical to the dropped entry, and per-kind so that churn in
+    /// one level (e.g. thousands of annealing candidates) cannot evict
+    /// hot entries at another.
+    pub fn with_kind_capacity(tech: &Technology, kind_capacity: usize) -> Self {
+        EstimationGraph {
+            tech: tech.clone(),
+            tech_fp: tech.fingerprint(),
+            kinds: RefCell::new(BTreeMap::new()),
+            kind_capacity: kind_capacity.max(1),
+        }
+    }
+
+    /// The bound technology.
+    pub fn technology(&self) -> &Technology {
+        &self.tech
+    }
+
+    /// Fingerprint of the bound technology.
+    pub fn technology_fingerprint(&self) -> u64 {
+        self.tech_fp
+    }
+
+    /// The per-kind capacity bound (entries, not bytes).
+    pub fn kind_capacity(&self) -> usize {
+        self.kind_capacity
+    }
+
+    /// Model card lookup on the bound technology.
+    ///
+    /// # Errors
+    ///
+    /// [`ApeError::MissingModel`] when the technology lacks the card.
+    pub fn card(&self, pmos: bool) -> Result<&MosModelCard, ApeError> {
+        if pmos {
+            self.tech.pmos().ok_or(ApeError::MissingModel("PMOS"))
+        } else {
+            self.tech.nmos().ok_or(ApeError::MissingModel("NMOS"))
+        }
+    }
+
+    /// Evaluates `component`, answering from the memo when its
+    /// `(kind, fingerprint)` was seen before and computing (then
+    /// memoizing) otherwise. Nested child evaluations through the same
+    /// graph are fine — no memo lock is held while
+    /// [`Component::compute`] runs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Component::compute`]'s error; errors are not memoized.
+    pub fn evaluate<C: Component>(&self, component: &C) -> Result<C::Output, ApeError> {
+        let kind = component.kind();
+        let fp = component.fingerprint();
+        {
+            let mut kinds = self.kinds.borrow_mut();
+            if let Some(memo) = kinds.get_mut(kind) {
+                if let Some(found) = memo.entries.get(&fp) {
+                    if let Some(out) = found.downcast_ref::<C::Output>() {
+                        memo.stats.hits += 1;
+                        ape_probe::counter("ape.graph.hit", 1);
+                        ape_probe::counter(memo.hit_ctr, 1);
+                        return Ok(out.clone());
+                    }
+                }
+            }
+        }
+        {
+            let mut kinds = self.kinds.borrow_mut();
+            let memo = kinds
+                .entry(kind)
+                .or_insert_with(|| KindMemo::new(kind, component.children()));
+            memo.stats.misses += 1;
+            ape_probe::counter("ape.graph.miss", 1);
+            ape_probe::counter(memo.miss_ctr, 1);
+            if !memo.entries.is_empty() {
+                memo.stats.dirty += 1;
+                ape_probe::counter("ape.graph.dirty", 1);
+                ape_probe::counter(memo.dirty_ctr, 1);
+            }
+        }
+        // The memo lock is released: compute may recurse into evaluate()
+        // for child nodes of this same graph.
+        let out = component.compute(self)?;
+        let mut kinds = self.kinds.borrow_mut();
+        let memo = kinds
+            .entry(kind)
+            .or_insert_with(|| KindMemo::new(kind, component.children()));
+        if memo.entries.len() >= self.kind_capacity {
+            // Generation drop: recomputes are bit-identical, so clearing
+            // the kind wholesale needs no recency bookkeeping.
+            let dropped = memo.entries.len();
+            memo.entries.clear();
+            memo.stats.evictions += dropped;
+            ape_probe::counter("ape.graph.evict", dropped as u64);
+        }
+        memo.entries.insert(fp, Rc::new(out.clone()));
+        Ok(out)
+    }
+
+    /// Per-kind snapshots, sorted by kind name.
+    pub fn stats(&self) -> Vec<KindStats> {
+        self.kinds
+            .borrow()
+            .iter()
+            .map(|(kind, memo)| KindStats {
+                kind,
+                children: memo.children,
+                len: memo.entries.len(),
+                stats: memo.stats,
+            })
+            .collect()
+    }
+
+    /// Traffic counters summed across all kinds.
+    pub fn totals(&self) -> NodeStats {
+        self.kinds
+            .borrow()
+            .values()
+            .fold(NodeStats::default(), |acc, memo| acc.merged(&memo.stats))
+    }
+
+    /// Total memoized results across all kinds.
+    pub fn len(&self) -> usize {
+        self.kinds
+            .borrow()
+            .values()
+            .map(|memo| memo.entries.len())
+            .sum()
+    }
+
+    /// `true` when nothing is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every memoized result (statistics are kept).
+    pub fn clear(&self) {
+        for memo in self.kinds.borrow_mut().values_mut() {
+            memo.entries.clear();
+        }
+    }
+
+    /// Human-readable per-node traffic summary, e.g.:
+    ///
+    /// ```text
+    /// estimation graph: 3 kinds, 21 nodes, 61 hits / 29 misses (67.8% hit rate), 8 dirty, 0 evicted
+    ///   l1.id_vov: 12 nodes, 40 hits / 16 misses, 4 dirty  <- leaf
+    ///   l2.diffpair: 2 nodes, 6 hits / 2 misses, 1 dirty  <- l1.gm_id, l1.id_vov
+    /// ```
+    pub fn report(&self) -> String {
+        let totals = self.totals();
+        let mut out = format!(
+            "estimation graph: {} kinds, {} nodes, {} hits / {} misses ({:.1}% hit rate), {} dirty, {} evicted",
+            self.kinds.borrow().len(),
+            self.len(),
+            totals.hits,
+            totals.misses,
+            100.0 * totals.hit_rate(),
+            totals.dirty,
+            totals.evictions
+        );
+        for k in self.stats() {
+            let deps = if k.children.is_empty() {
+                "leaf".to_string()
+            } else {
+                k.children.join(", ")
+            };
+            out.push_str(&format!(
+                "\n  {}: {} nodes, {} hits / {} misses, {} dirty  <- {}",
+                k.kind, k.len, k.stats.hits, k.stats.misses, k.stats.dirty, deps
+            ));
+        }
+        out
+    }
+}
+
+thread_local! {
+    /// One shared graph slot per thread, tagged with the fingerprint of
+    /// the technology it was built for. Estimator entry points route
+    /// through it so repeated (sub)designs reuse memoized nodes, as the
+    /// paper's §4.1 object store does — generalised to every level.
+    static CURRENT: RefCell<Option<(u64, Rc<EstimationGraph>)>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` against this thread's shared graph for `tech`, creating it on
+/// first use and replacing it when the technology fingerprint changes.
+///
+/// The slot's borrow is released before `f` runs, so nested
+/// `with_thread_graph` calls (an op-amp node designing a diff pair which
+/// sizes transistors) all see the same graph instance.
+pub fn with_thread_graph<R>(tech: &Technology, f: impl FnOnce(&EstimationGraph) -> R) -> R {
+    let fp = tech.fingerprint();
+    let graph = CURRENT.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        match &*slot {
+            Some((have, graph)) if *have == fp => Rc::clone(graph),
+            _ => {
+                let graph = Rc::new(EstimationGraph::new(tech));
+                *slot = Some((fp, Rc::clone(&graph)));
+                graph
+            }
+        }
+    });
+    f(&graph)
+}
+
+/// Per-kind snapshots of this thread's shared graph (empty when none
+/// exists yet).
+pub fn thread_graph_stats() -> Vec<KindStats> {
+    CURRENT.with(|slot| {
+        slot.borrow()
+            .as_ref()
+            .map(|(_, g)| g.stats())
+            .unwrap_or_default()
+    })
+}
+
+/// Traffic totals of this thread's shared graph (zero when none exists
+/// yet).
+pub fn thread_graph_totals() -> NodeStats {
+    CURRENT.with(|slot| {
+        slot.borrow()
+            .as_ref()
+            .map(|(_, g)| g.totals())
+            .unwrap_or_default()
+    })
+}
+
+/// Total memoized results in this thread's shared graph.
+pub fn thread_graph_len() -> usize {
+    CURRENT.with(|slot| slot.borrow().as_ref().map(|(_, g)| g.len()).unwrap_or(0))
+}
+
+/// [`EstimationGraph::report`] for this thread's shared graph. Replaces
+/// the old `shared_cache_report()`.
+pub fn graph_report() -> String {
+    CURRENT.with(|slot| match &*slot.borrow() {
+        Some((_, g)) => g.report(),
+        None => "estimation graph: unused".into(),
+    })
+}
+
+/// Drops this thread's shared graph entirely (nodes and statistics).
+pub fn reset_thread_graph() {
+    CURRENT.with(|slot| *slot.borrow_mut() = None);
+}
+
+/// Level-1 node: size a device for a `(gm, Id)` target at explicit biases.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeForGmId {
+    /// `true` for PMOS, `false` for NMOS.
+    pub pmos: bool,
+    /// Target transconductance, siemens.
+    pub gm: f64,
+    /// Target drain current, amperes.
+    pub id: f64,
+    /// Channel length, meters.
+    pub l: f64,
+    /// Drain-source bias, volts.
+    pub vds: f64,
+    /// Source-bulk bias, volts.
+    pub vsb: f64,
+}
+
+impl Component for SizeForGmId {
+    type Output = SizedMos;
+
+    fn kind(&self) -> &'static str {
+        "l1.gm_id"
+    }
+
+    fn fingerprint(&self) -> u64 {
+        Fingerprint::new()
+            .bool(self.pmos)
+            .f64(self.gm)
+            .f64(self.id)
+            .f64(self.l)
+            .f64(self.vds)
+            .f64(self.vsb)
+            .finish()
+    }
+
+    fn compute(&self, graph: &EstimationGraph) -> Result<SizedMos, ApeError> {
+        let card = graph.card(self.pmos)?;
+        size_for_gm_id_at(card, self.gm, self.id, self.l, self.vds, self.vsb)
+            .map_err(ApeError::from)
+    }
+}
+
+/// Level-1 node: size a device for an `(Id, Vov)` target at explicit
+/// biases.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeForIdVov {
+    /// `true` for PMOS, `false` for NMOS.
+    pub pmos: bool,
+    /// Target drain current, amperes.
+    pub id: f64,
+    /// Target overdrive voltage, volts.
+    pub vov: f64,
+    /// Channel length, meters.
+    pub l: f64,
+    /// Drain-source bias, volts.
+    pub vds: f64,
+    /// Source-bulk bias, volts.
+    pub vsb: f64,
+}
+
+impl Component for SizeForIdVov {
+    type Output = SizedMos;
+
+    fn kind(&self) -> &'static str {
+        "l1.id_vov"
+    }
+
+    fn fingerprint(&self) -> u64 {
+        Fingerprint::new()
+            .bool(self.pmos)
+            .f64(self.id)
+            .f64(self.vov)
+            .f64(self.l)
+            .f64(self.vds)
+            .f64(self.vsb)
+            .finish()
+    }
+
+    fn compute(&self, graph: &EstimationGraph) -> Result<SizedMos, ApeError> {
+        let card = graph.card(self.pmos)?;
+        size_for_id_vov_at(card, self.id, self.vov, self.l, self.vds, self.vsb)
+            .map_err(ApeError::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(id: f64) -> SizeForIdVov {
+        SizeForIdVov {
+            pmos: false,
+            id,
+            vov: 0.35,
+            l: 2.4e-6,
+            vds: 1.2,
+            vsb: 0.0,
+        }
+    }
+
+    #[test]
+    fn repeat_evaluations_hit() {
+        let tech = Technology::default_1p2um();
+        let graph = EstimationGraph::new(&tech);
+        let a = graph.evaluate(&node(10e-6)).unwrap();
+        let b = graph.evaluate(&node(10e-6)).unwrap();
+        assert_eq!(a.geometry, b.geometry);
+        let t = graph.totals();
+        assert_eq!(t.misses, 1);
+        assert_eq!(t.hits, 1);
+        assert_eq!(t.dirty, 0);
+        assert_eq!(graph.len(), 1);
+    }
+
+    #[test]
+    fn changed_inputs_are_dirty_recomputes() {
+        let tech = Technology::default_1p2um();
+        let graph = EstimationGraph::new(&tech);
+        graph.evaluate(&node(10e-6)).unwrap();
+        graph.evaluate(&node(20e-6)).unwrap();
+        let t = graph.totals();
+        assert_eq!(t.misses, 2);
+        // The second miss found the kind populated: an input-change
+        // recompute, not a cold start.
+        assert_eq!(t.dirty, 1);
+    }
+
+    #[test]
+    fn memoized_results_are_bit_identical_to_direct_solves() {
+        let tech = Technology::default_1p2um();
+        let graph = EstimationGraph::new(&tech);
+        let warm = {
+            graph.evaluate(&node(50e-6)).unwrap();
+            graph.evaluate(&node(50e-6)).unwrap()
+        };
+        let direct =
+            size_for_id_vov_at(tech.nmos().unwrap(), 50e-6, 0.35, 2.4e-6, 1.2, 0.0).unwrap();
+        assert_eq!(warm.geometry, direct.geometry);
+        assert_eq!(warm.vgs.to_bits(), direct.vgs.to_bits());
+    }
+
+    #[test]
+    fn errors_are_not_memoized() {
+        let tech = Technology::default_1p2um();
+        let graph = EstimationGraph::new(&tech);
+        let bad = SizeForGmId {
+            pmos: false,
+            gm: 1e-6,
+            id: 1e-3,
+            l: 2.4e-6,
+            vds: 2.5,
+            vsb: 0.0,
+        };
+        assert!(graph.evaluate(&bad).is_err());
+        assert!(graph.evaluate(&bad).is_err());
+        assert_eq!(graph.totals().misses, 2);
+        assert!(graph.is_empty());
+    }
+
+    #[test]
+    fn kind_capacity_drops_a_generation() {
+        let tech = Technology::default_1p2um();
+        let graph = EstimationGraph::with_kind_capacity(&tech, 3);
+        assert_eq!(graph.kind_capacity(), 3);
+        for (i, id) in [10e-6, 20e-6, 40e-6, 80e-6].iter().enumerate() {
+            graph.evaluate(&node(*id)).unwrap();
+            assert!(graph.len() <= 3, "len {} after insert {i}", graph.len());
+        }
+        let t = graph.totals();
+        assert_eq!(t.misses, 4);
+        // The fourth insert found the kind full and dropped the whole
+        // generation (3 entries) before memoizing itself.
+        assert_eq!(t.evictions, 3);
+        // Dropped points re-solve...
+        graph.evaluate(&node(10e-6)).unwrap();
+        assert_eq!(graph.totals().misses, 5);
+        // ...while the newest (80 µA, memoized after the drop) still hits.
+        graph.evaluate(&node(80e-6)).unwrap();
+        assert_eq!(graph.totals().hits, 1);
+        assert!(graph.report().contains("evicted"));
+    }
+
+    #[test]
+    fn eviction_is_per_kind() {
+        // Filling one kind must not evict another kind's entries.
+        let tech = Technology::default_1p2um();
+        let graph = EstimationGraph::with_kind_capacity(&tech, 2);
+        let gm_node = SizeForGmId {
+            pmos: false,
+            gm: 100e-6,
+            id: 10e-6,
+            l: 2.4e-6,
+            vds: 2.5,
+            vsb: 0.0,
+        };
+        graph.evaluate(&gm_node).unwrap();
+        for id in [10e-6, 20e-6, 40e-6, 80e-6] {
+            graph.evaluate(&node(id)).unwrap();
+        }
+        // l1.id_vov churned past its bound; l1.gm_id still hits.
+        graph.evaluate(&gm_node).unwrap();
+        let by_kind = graph.stats();
+        let gm = by_kind.iter().find(|k| k.kind == "l1.gm_id").unwrap();
+        assert_eq!(gm.stats.hits, 1);
+        assert_eq!(gm.stats.evictions, 0);
+    }
+
+    #[test]
+    fn clear_keeps_stats_and_resets_entries() {
+        let tech = Technology::default_1p2um();
+        let graph = EstimationGraph::with_kind_capacity(&tech, 2);
+        graph.evaluate(&node(10e-6)).unwrap();
+        graph.evaluate(&node(20e-6)).unwrap();
+        graph.clear();
+        assert!(graph.is_empty());
+        assert_eq!(graph.totals().misses, 2);
+        // A cleared kind starts a fresh generation: no phantom evictions.
+        graph.evaluate(&node(40e-6)).unwrap();
+        graph.evaluate(&node(80e-6)).unwrap();
+        assert_eq!(graph.len(), 2);
+        assert_eq!(graph.totals().evictions, 0);
+    }
+
+    #[test]
+    fn thread_graph_is_shared_and_resettable() {
+        reset_thread_graph();
+        let tech = Technology::default_1p2um();
+        let a = with_thread_graph(&tech, |g| g.evaluate(&node(10e-6))).unwrap();
+        let b = with_thread_graph(&tech, |g| g.evaluate(&node(10e-6))).unwrap();
+        assert_eq!(a.geometry, b.geometry);
+        assert_eq!(thread_graph_totals().hits, 1);
+        assert!(thread_graph_len() >= 1);
+        assert!(graph_report().contains("l1.id_vov"));
+        reset_thread_graph();
+        assert_eq!(thread_graph_totals().total(), 0);
+        assert_eq!(graph_report(), "estimation graph: unused");
+    }
+
+    #[test]
+    fn technology_change_replaces_the_thread_graph() {
+        reset_thread_graph();
+        let tech = Technology::default_1p2um();
+        with_thread_graph(&tech, |g| g.evaluate(&node(10e-6))).unwrap();
+        let mut other = tech.clone();
+        other.vdd += 0.5;
+        with_thread_graph(&other, |g| {
+            assert_eq!(g.technology_fingerprint(), other.fingerprint());
+            assert!(g.is_empty());
+        });
+        reset_thread_graph();
+    }
+
+    #[test]
+    fn nested_with_thread_graph_reenters_the_same_graph() {
+        reset_thread_graph();
+        let tech = Technology::default_1p2um();
+        with_thread_graph(&tech, |outer| {
+            outer.evaluate(&node(10e-6)).unwrap();
+            // Re-entry (as an L2 compute would do) must observe the same
+            // memo, not deadlock or create a second graph.
+            with_thread_graph(&tech, |inner| {
+                inner.evaluate(&node(10e-6)).unwrap();
+            });
+        });
+        let t = thread_graph_totals();
+        assert_eq!(t.misses, 1);
+        assert_eq!(t.hits, 1);
+        reset_thread_graph();
+    }
+}

@@ -17,6 +17,11 @@
 //! and [`folded`] adds a second level-3 topology (folded-cascode OTA),
 //! exercising the paper's "easily add new components" claim.
 //!
+//! All four levels evaluate through the [`graph`] — a memoized component
+//! DAG keyed by bit-exact input fingerprints — so re-estimating after a
+//! spec or design-variable delta (an annealing move, a sweep neighbor)
+//! recomputes only the dirty subtrees and is bit-identical to a cold run.
+//!
 //! Every sized object carries a [`Performance`] attribute sheet and can emit
 //! a SPICE-ready testbench [`Circuit`](ape_netlist::Circuit) for
 //! verification with `ape-spice` — exactly the est-vs-sim methodology of the
@@ -49,6 +54,7 @@ pub mod cache;
 pub mod cancel;
 mod error;
 pub mod folded;
+pub mod graph;
 pub mod module;
 pub mod netest;
 pub mod opamp;

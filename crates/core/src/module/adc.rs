@@ -10,9 +10,71 @@
 use crate::attrs::Performance;
 use crate::basic::MirrorTopology;
 use crate::error::ApeError;
+use crate::graph::{with_thread_graph, Component, EstimationGraph};
 use crate::opamp::{OpAmp, OpAmpSpec, OpAmpTopology};
+use ape_mos::fingerprint::Fingerprint;
 use ape_netlist::{Circuit, NodeId, SourceWaveform, Technology};
 use ape_spice::dc_operating_point;
+
+/// Estimation-graph node for a [`Comparator`] design.
+#[derive(Debug, Clone, Copy)]
+struct ComparatorNode {
+    overdrive: f64,
+    t_delay: f64,
+}
+
+impl Component for ComparatorNode {
+    type Output = Comparator;
+
+    fn kind(&self) -> &'static str {
+        "l4.comparator"
+    }
+
+    fn fingerprint(&self) -> u64 {
+        Fingerprint::new()
+            .f64(self.overdrive)
+            .f64(self.t_delay)
+            .finish()
+    }
+
+    fn children(&self) -> &'static [&'static str] {
+        &["l3.opamp"]
+    }
+
+    fn compute(&self, graph: &EstimationGraph) -> Result<Comparator, ApeError> {
+        Comparator::design_uncached(graph.technology(), self.overdrive, self.t_delay)
+    }
+}
+
+/// Estimation-graph node for a [`FlashAdc`] design.
+#[derive(Debug, Clone, Copy)]
+struct FlashAdcNode {
+    bits: u32,
+    t_delay: f64,
+}
+
+impl Component for FlashAdcNode {
+    type Output = FlashAdc;
+
+    fn kind(&self) -> &'static str {
+        "l4.adc"
+    }
+
+    fn fingerprint(&self) -> u64 {
+        Fingerprint::new()
+            .u64(u64::from(self.bits))
+            .f64(self.t_delay)
+            .finish()
+    }
+
+    fn children(&self) -> &'static [&'static str] {
+        &["l4.comparator"]
+    }
+
+    fn compute(&self, graph: &EstimationGraph) -> Result<FlashAdc, ApeError> {
+        FlashAdc::design_uncached(graph.technology(), self.bits, self.t_delay)
+    }
+}
 
 /// A clocked-less (continuous) comparator: an op-amp run open loop.
 ///
@@ -52,6 +114,12 @@ impl Comparator {
     /// * Op-amp design errors.
     pub fn design(tech: &Technology, overdrive: f64, t_delay: f64) -> Result<Self, ApeError> {
         let _span = ape_probe::span("ape.l4.comparator");
+        with_thread_graph(tech, |g| g.evaluate(&ComparatorNode { overdrive, t_delay }))
+    }
+
+    /// [`design`](Self::design) without the graph memo — the node's
+    /// compute body.
+    fn design_uncached(tech: &Technology, overdrive: f64, t_delay: f64) -> Result<Self, ApeError> {
         if !(overdrive.is_finite() && overdrive > 0.0) {
             return Err(ApeError::BadSpec {
                 param: "overdrive",
@@ -185,6 +253,12 @@ impl FlashAdc {
     /// * Comparator design errors.
     pub fn design(tech: &Technology, bits: u32, t_delay: f64) -> Result<Self, ApeError> {
         let _span = ape_probe::span("ape.l4.adc");
+        with_thread_graph(tech, |g| g.evaluate(&FlashAdcNode { bits, t_delay }))
+    }
+
+    /// [`design`](Self::design) without the graph memo — the node's
+    /// compute body.
+    fn design_uncached(tech: &Technology, bits: u32, t_delay: f64) -> Result<Self, ApeError> {
         if !(1..=6).contains(&bits) {
             return Err(ApeError::BadSpec {
                 param: "bits",

@@ -4,8 +4,106 @@ use super::{noninverting_bw, noninverting_gain_actual, noninverting_into, R_FEED
 use crate::attrs::Performance;
 use crate::basic::MirrorTopology;
 use crate::error::ApeError;
+use crate::graph::{with_thread_graph, Component, EstimationGraph};
 use crate::opamp::{OpAmp, OpAmpSpec, OpAmpTopology};
+use ape_mos::fingerprint::Fingerprint;
 use ape_netlist::{Circuit, SourceWaveform, Technology};
+
+/// Graph node for [`InvertingAmplifier::design`].
+#[derive(Debug, Clone, Copy)]
+struct InvertingAmpNode {
+    gain: f64,
+    bw: f64,
+    cl: f64,
+}
+
+impl Component for InvertingAmpNode {
+    type Output = InvertingAmplifier;
+
+    fn kind(&self) -> &'static str {
+        "l4.inverting_amp"
+    }
+
+    fn fingerprint(&self) -> u64 {
+        Fingerprint::new()
+            .f64(self.gain)
+            .f64(self.bw)
+            .f64(self.cl)
+            .finish()
+    }
+
+    fn children(&self) -> &'static [&'static str] {
+        &["l3.opamp"]
+    }
+
+    fn compute(&self, graph: &EstimationGraph) -> Result<InvertingAmplifier, ApeError> {
+        InvertingAmplifier::design_uncached(graph.technology(), self.gain, self.bw, self.cl)
+    }
+}
+
+/// Graph node for [`NonInvertingAmplifier::design`].
+#[derive(Debug, Clone, Copy)]
+struct NonInvertingAmpNode {
+    gain: f64,
+    bw: f64,
+    cl: f64,
+}
+
+impl Component for NonInvertingAmpNode {
+    type Output = NonInvertingAmplifier;
+
+    fn kind(&self) -> &'static str {
+        "l4.noninverting_amp"
+    }
+
+    fn fingerprint(&self) -> u64 {
+        Fingerprint::new()
+            .f64(self.gain)
+            .f64(self.bw)
+            .f64(self.cl)
+            .finish()
+    }
+
+    fn children(&self) -> &'static [&'static str] {
+        &["l3.opamp"]
+    }
+
+    fn compute(&self, graph: &EstimationGraph) -> Result<NonInvertingAmplifier, ApeError> {
+        NonInvertingAmplifier::design_uncached(graph.technology(), self.gain, self.bw, self.cl)
+    }
+}
+
+/// Graph node for [`AudioAmplifier::design`].
+#[derive(Debug, Clone, Copy)]
+struct AudioAmpNode {
+    gain: f64,
+    bw: f64,
+    cl: f64,
+}
+
+impl Component for AudioAmpNode {
+    type Output = AudioAmplifier;
+
+    fn kind(&self) -> &'static str {
+        "l4.audio_amp"
+    }
+
+    fn fingerprint(&self) -> u64 {
+        Fingerprint::new()
+            .f64(self.gain)
+            .f64(self.bw)
+            .f64(self.cl)
+            .finish()
+    }
+
+    fn children(&self) -> &'static [&'static str] {
+        &["l3.opamp"]
+    }
+
+    fn compute(&self, graph: &EstimationGraph) -> Result<AudioAmplifier, ApeError> {
+        AudioAmplifier::design_uncached(graph.technology(), self.gain, self.bw, self.cl)
+    }
+}
 
 /// Sizes the internal op-amp for a closed-loop stage with noise gain `k`
 /// and signal bandwidth `bw`: open-loop gain 50× the closed-loop ideal for
@@ -73,6 +171,12 @@ impl InvertingAmplifier {
     /// * Op-amp sizing errors.
     pub fn design(tech: &Technology, gain: f64, bw: f64, cl: f64) -> Result<Self, ApeError> {
         let _span = ape_probe::span("ape.l4.inverting_amp");
+        with_thread_graph(tech, |g| g.evaluate(&InvertingAmpNode { gain, bw, cl }))
+    }
+
+    /// [`design`](Self::design) without the graph memo — the node's
+    /// compute body.
+    fn design_uncached(tech: &Technology, gain: f64, bw: f64, cl: f64) -> Result<Self, ApeError> {
         if !(gain.is_finite() && gain >= 1.0) {
             return Err(ApeError::BadSpec {
                 param: "gain",
@@ -168,6 +272,12 @@ impl NonInvertingAmplifier {
     /// * Op-amp sizing errors.
     pub fn design(tech: &Technology, gain: f64, bw: f64, cl: f64) -> Result<Self, ApeError> {
         let _span = ape_probe::span("ape.l4.noninverting_amp");
+        with_thread_graph(tech, |g| g.evaluate(&NonInvertingAmpNode { gain, bw, cl }))
+    }
+
+    /// [`design`](Self::design) without the graph memo — the node's
+    /// compute body.
+    fn design_uncached(tech: &Technology, gain: f64, bw: f64, cl: f64) -> Result<Self, ApeError> {
         if !(gain.is_finite() && gain >= 1.0) {
             return Err(ApeError::BadSpec {
                 param: "gain",
@@ -267,6 +377,12 @@ impl AudioAmplifier {
     /// Propagates op-amp design errors.
     pub fn design(tech: &Technology, gain: f64, bw: f64, cl: f64) -> Result<Self, ApeError> {
         let _span = ape_probe::span("ape.l4.audio_amp");
+        with_thread_graph(tech, |g| g.evaluate(&AudioAmpNode { gain, bw, cl }))
+    }
+
+    /// [`design`](Self::design) without the graph memo — the node's
+    /// compute body.
+    fn design_uncached(tech: &Technology, gain: f64, bw: f64, cl: f64) -> Result<Self, ApeError> {
         if !(gain.is_finite() && gain > 1.0 && bw.is_finite() && bw > 0.0) {
             return Err(ApeError::BadSpec {
                 param: "gain/bw",

@@ -3,9 +3,41 @@
 use crate::attrs::Performance;
 use crate::basic::MirrorTopology;
 use crate::error::ApeError;
+use crate::graph::{with_thread_graph, Component, EstimationGraph};
 use crate::opamp::{OpAmp, OpAmpSpec, OpAmpTopology};
+use ape_mos::fingerprint::Fingerprint;
 use ape_netlist::{Circuit, NodeId, Technology};
 use ape_spice::dc_operating_point;
+
+/// Graph node for [`R2rDac::design`].
+#[derive(Debug, Clone, Copy)]
+struct R2rDacNode {
+    bits: u32,
+    bw: f64,
+}
+
+impl Component for R2rDacNode {
+    type Output = R2rDac;
+
+    fn kind(&self) -> &'static str {
+        "l4.dac"
+    }
+
+    fn fingerprint(&self) -> u64 {
+        Fingerprint::new()
+            .u64(u64::from(self.bits))
+            .f64(self.bw)
+            .finish()
+    }
+
+    fn children(&self) -> &'static [&'static str] {
+        &["l3.opamp"]
+    }
+
+    fn compute(&self, graph: &EstimationGraph) -> Result<R2rDac, ApeError> {
+        R2rDac::design_uncached(graph.technology(), self.bits, self.bw)
+    }
+}
 
 /// An R-2R ladder DAC with a unity-gain output buffer.
 ///
@@ -51,6 +83,12 @@ impl R2rDac {
     /// * Op-amp design errors.
     pub fn design(tech: &Technology, bits: u32, bw: f64) -> Result<Self, ApeError> {
         let _span = ape_probe::span("ape.l4.dac");
+        with_thread_graph(tech, |g| g.evaluate(&R2rDacNode { bits, bw }))
+    }
+
+    /// [`design`](Self::design) without the graph memo — the node's
+    /// compute body.
+    fn design_uncached(tech: &Technology, bits: u32, bw: f64) -> Result<Self, ApeError> {
         if !(1..=10).contains(&bits) {
             return Err(ApeError::BadSpec {
                 param: "bits",

@@ -17,8 +17,74 @@ use super::{noninverting_into, R_FEEDBACK};
 use crate::attrs::Performance;
 use crate::basic::MirrorTopology;
 use crate::error::ApeError;
+use crate::graph::{with_thread_graph, Component, EstimationGraph};
 use crate::opamp::{OpAmp, OpAmpSpec, OpAmpTopology};
+use ape_mos::fingerprint::Fingerprint;
 use ape_netlist::{Circuit, SourceWaveform, Technology};
+
+/// Graph node for [`SallenKeyLowPass::design`].
+#[derive(Debug, Clone, Copy)]
+struct LowPassNode {
+    fc: f64,
+    order: usize,
+    cl: f64,
+}
+
+impl Component for LowPassNode {
+    type Output = SallenKeyLowPass;
+
+    fn kind(&self) -> &'static str {
+        "l4.filter_lp"
+    }
+
+    fn fingerprint(&self) -> u64 {
+        Fingerprint::new()
+            .f64(self.fc)
+            .u64(self.order as u64)
+            .f64(self.cl)
+            .finish()
+    }
+
+    fn children(&self) -> &'static [&'static str] {
+        &["l3.opamp"]
+    }
+
+    fn compute(&self, graph: &EstimationGraph) -> Result<SallenKeyLowPass, ApeError> {
+        SallenKeyLowPass::design_uncached(graph.technology(), self.fc, self.order, self.cl)
+    }
+}
+
+/// Graph node for [`SallenKeyBandPass::design`].
+#[derive(Debug, Clone, Copy)]
+struct BandPassNode {
+    f0: f64,
+    q: f64,
+    cl: f64,
+}
+
+impl Component for BandPassNode {
+    type Output = SallenKeyBandPass;
+
+    fn kind(&self) -> &'static str {
+        "l4.filter_bp"
+    }
+
+    fn fingerprint(&self) -> u64 {
+        Fingerprint::new()
+            .f64(self.f0)
+            .f64(self.q)
+            .f64(self.cl)
+            .finish()
+    }
+
+    fn children(&self) -> &'static [&'static str] {
+        &["l3.opamp"]
+    }
+
+    fn compute(&self, graph: &EstimationGraph) -> Result<SallenKeyBandPass, ApeError> {
+        SallenKeyBandPass::design_uncached(graph.technology(), self.f0, self.q, self.cl)
+    }
+}
 
 /// Butterworth stage Q values for an even order `n`, highest Q last.
 ///
@@ -94,6 +160,17 @@ impl SallenKeyLowPass {
     /// * Op-amp design errors.
     pub fn design(tech: &Technology, fc: f64, order: usize, cl: f64) -> Result<Self, ApeError> {
         let _span = ape_probe::span("ape.l4.filter_lp");
+        with_thread_graph(tech, |g| g.evaluate(&LowPassNode { fc, order, cl }))
+    }
+
+    /// [`design`](Self::design) without the graph memo — the node's
+    /// compute body.
+    fn design_uncached(
+        tech: &Technology,
+        fc: f64,
+        order: usize,
+        cl: f64,
+    ) -> Result<Self, ApeError> {
         if !(fc.is_finite() && fc > 0.0) {
             return Err(ApeError::BadSpec {
                 param: "fc",
@@ -258,6 +335,12 @@ impl SallenKeyBandPass {
     /// * Op-amp design errors.
     pub fn design(tech: &Technology, f0: f64, q: f64, cl: f64) -> Result<Self, ApeError> {
         let _span = ape_probe::span("ape.l4.filter_bp");
+        with_thread_graph(tech, |g| g.evaluate(&BandPassNode { f0, q, cl }))
+    }
+
+    /// [`design`](Self::design) without the graph memo — the node's
+    /// compute body.
+    fn design_uncached(tech: &Technology, f0: f64, q: f64, cl: f64) -> Result<Self, ApeError> {
         if !(f0.is_finite() && f0 > 0.0) {
             return Err(ApeError::BadSpec {
                 param: "f0",

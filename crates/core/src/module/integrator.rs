@@ -4,8 +4,69 @@ use super::R_FEEDBACK;
 use crate::attrs::Performance;
 use crate::basic::MirrorTopology;
 use crate::error::ApeError;
+use crate::graph::{with_thread_graph, Component, EstimationGraph};
 use crate::opamp::{OpAmp, OpAmpSpec, OpAmpTopology};
+use ape_mos::fingerprint::Fingerprint;
 use ape_netlist::{Circuit, SourceWaveform, Technology};
+
+/// Graph node for [`Integrator::design`].
+#[derive(Debug, Clone, Copy)]
+struct IntegratorNode {
+    unity_hz: f64,
+    cl: f64,
+}
+
+impl Component for IntegratorNode {
+    type Output = Integrator;
+
+    fn kind(&self) -> &'static str {
+        "l4.integrator"
+    }
+
+    fn fingerprint(&self) -> u64 {
+        Fingerprint::new().f64(self.unity_hz).f64(self.cl).finish()
+    }
+
+    fn children(&self) -> &'static [&'static str] {
+        &["l3.opamp"]
+    }
+
+    fn compute(&self, graph: &EstimationGraph) -> Result<Integrator, ApeError> {
+        Integrator::design_uncached(graph.technology(), self.unity_hz, self.cl)
+    }
+}
+
+/// Graph node for [`SummingAmplifier::design`].
+#[derive(Debug, Clone)]
+struct SummingNode {
+    gains: Vec<f64>,
+    bw: f64,
+    cl: f64,
+}
+
+impl Component for SummingNode {
+    type Output = SummingAmplifier;
+
+    fn kind(&self) -> &'static str {
+        "l4.summing_amp"
+    }
+
+    fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new().u64(self.gains.len() as u64);
+        for g in &self.gains {
+            fp = fp.f64(*g);
+        }
+        fp.f64(self.bw).f64(self.cl).finish()
+    }
+
+    fn children(&self) -> &'static [&'static str] {
+        &["l3.opamp"]
+    }
+
+    fn compute(&self, graph: &EstimationGraph) -> Result<SummingAmplifier, ApeError> {
+        SummingAmplifier::design_uncached(graph.technology(), &self.gains, self.bw, self.cl)
+    }
+}
 
 /// An inverting (Miller) integrator: `H(s) = −1/(s·R·C)`.
 ///
@@ -47,6 +108,12 @@ impl Integrator {
     /// * Op-amp design errors.
     pub fn design(tech: &Technology, unity_hz: f64, cl: f64) -> Result<Self, ApeError> {
         let _span = ape_probe::span("ape.l4.integrator");
+        with_thread_graph(tech, |g| g.evaluate(&IntegratorNode { unity_hz, cl }))
+    }
+
+    /// [`design`](Self::design) without the graph memo — the node's
+    /// compute body.
+    fn design_uncached(tech: &Technology, unity_hz: f64, cl: f64) -> Result<Self, ApeError> {
         if !(unity_hz.is_finite() && unity_hz > 0.0) {
             return Err(ApeError::BadSpec {
                 param: "unity_hz",
@@ -137,7 +204,7 @@ pub struct SummingAmplifier {
     pub r_in: Vec<f64>,
     /// The internal op-amp.
     pub opamp: OpAmp,
-    /// Composed performance (dc_gain = −gains[0]).
+    /// Composed performance (dc_gain = `-gains[0]`).
     pub perf: Performance,
 }
 
@@ -151,6 +218,23 @@ impl SummingAmplifier {
     /// * Op-amp design errors.
     pub fn design(tech: &Technology, gains: &[f64], bw: f64, cl: f64) -> Result<Self, ApeError> {
         let _span = ape_probe::span("ape.l4.summing_amp");
+        with_thread_graph(tech, |g| {
+            g.evaluate(&SummingNode {
+                gains: gains.to_vec(),
+                bw,
+                cl,
+            })
+        })
+    }
+
+    /// [`design`](Self::design) without the graph memo — the node's
+    /// compute body.
+    fn design_uncached(
+        tech: &Technology,
+        gains: &[f64],
+        bw: f64,
+        cl: f64,
+    ) -> Result<Self, ApeError> {
         if gains.is_empty() {
             return Err(ApeError::BadSpec {
                 param: "gains",

@@ -7,8 +7,42 @@ use super::{noninverting_bw, noninverting_gain_actual, noninverting_into};
 use crate::attrs::Performance;
 use crate::basic::MirrorTopology;
 use crate::error::ApeError;
+use crate::graph::{with_thread_graph, Component, EstimationGraph};
 use crate::opamp::{OpAmp, OpAmpSpec, OpAmpTopology};
+use ape_mos::fingerprint::Fingerprint;
 use ape_netlist::{Circuit, SourceWaveform, Technology};
+
+/// Graph node for [`SampleHold::design`].
+#[derive(Debug, Clone, Copy)]
+struct SampleHoldNode {
+    gain: f64,
+    bw: f64,
+    cl: f64,
+}
+
+impl Component for SampleHoldNode {
+    type Output = SampleHold;
+
+    fn kind(&self) -> &'static str {
+        "l4.sample_hold"
+    }
+
+    fn fingerprint(&self) -> u64 {
+        Fingerprint::new()
+            .f64(self.gain)
+            .f64(self.bw)
+            .f64(self.cl)
+            .finish()
+    }
+
+    fn children(&self) -> &'static [&'static str] {
+        &["l3.opamp"]
+    }
+
+    fn compute(&self, graph: &EstimationGraph) -> Result<SampleHold, ApeError> {
+        SampleHold::design_uncached(graph.technology(), self.gain, self.bw, self.cl)
+    }
+}
 
 /// A sized sample-and-hold.
 ///
@@ -50,6 +84,12 @@ impl SampleHold {
     /// * Op-amp design errors.
     pub fn design(tech: &Technology, gain: f64, bw: f64, cl: f64) -> Result<Self, ApeError> {
         let _span = ape_probe::span("ape.l4.sample_hold");
+        with_thread_graph(tech, |g| g.evaluate(&SampleHoldNode { gain, bw, cl }))
+    }
+
+    /// [`design`](Self::design) without the graph memo — the node's
+    /// compute body.
+    fn design_uncached(tech: &Technology, gain: f64, bw: f64, cl: f64) -> Result<Self, ApeError> {
         if !(gain.is_finite() && gain >= 1.0) {
             return Err(ApeError::BadSpec {
                 param: "gain",

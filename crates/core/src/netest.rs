@@ -17,7 +17,9 @@
 
 use crate::attrs::Performance;
 use crate::error::ApeError;
+use crate::graph::{with_thread_graph, Component, EstimationGraph};
 use ape_awe::awe_transfer_auto;
+use ape_mos::fingerprint::Fingerprint;
 use ape_netlist::{Circuit, NodeId, Technology};
 use ape_spice::{dc_operating_point, linearize, Complex};
 
@@ -30,6 +32,44 @@ pub struct NetlistEstimate {
     pub phase_margin_deg: Option<f64>,
     /// The dominant poles of the reduced model (negative-real-part = stable).
     pub poles: Vec<Complex>,
+    /// Fingerprint of the `(netlist, output)` input this estimate was
+    /// computed from — the key [`estimate_netlist_incremental`] uses to
+    /// detect an unchanged input.
+    pub input_fingerprint: u64,
+}
+
+/// Estimation-graph node for a netlist estimate. The netlist estimator is
+/// a monolithic pipeline (one DC solve → linearisation → AWE), so it
+/// memoizes as a single node keyed on the rendered SPICE deck and the
+/// output node; incremental reuse is whole-estimate.
+#[derive(Debug, Clone, Copy)]
+struct NetestNode<'a> {
+    circuit: &'a Circuit,
+    output: NodeId,
+    fp: u64,
+}
+
+impl Component for NetestNode<'_> {
+    type Output = NetlistEstimate;
+
+    fn kind(&self) -> &'static str {
+        "netest"
+    }
+
+    fn fingerprint(&self) -> u64 {
+        self.fp
+    }
+
+    fn compute(&self, graph: &EstimationGraph) -> Result<NetlistEstimate, ApeError> {
+        estimate_uncached(self.circuit, graph.technology(), self.output, self.fp)
+    }
+}
+
+fn netest_fingerprint(circuit: &Circuit, tech: &Technology, output: NodeId) -> u64 {
+    Fingerprint::new()
+        .str(&circuit.to_spice_deck(tech))
+        .u64(usize::from(output) as u64)
+        .finish()
 }
 
 impl NetlistEstimate {
@@ -89,6 +129,46 @@ pub fn estimate_netlist(
             ),
         });
     }
+    let fp = netest_fingerprint(circuit, tech, output);
+    with_thread_graph(tech, |g| {
+        g.evaluate(&NetestNode {
+            circuit,
+            output,
+            fp,
+        })
+    })
+}
+
+/// [`estimate_netlist`] given a previous estimate: when the
+/// `(netlist, output)` input is unchanged (delta-free), the previous
+/// estimate is returned directly; otherwise the circuit is re-estimated
+/// through this thread's warm estimation graph. Either way the result is
+/// bit-identical to a cold [`estimate_netlist`] of the same input.
+///
+/// # Errors
+///
+/// Same as [`estimate_netlist`].
+pub fn estimate_netlist_incremental(
+    circuit: &Circuit,
+    tech: &Technology,
+    output: NodeId,
+    previous: &NetlistEstimate,
+) -> Result<NetlistEstimate, ApeError> {
+    if usize::from(output) < circuit.num_nodes()
+        && netest_fingerprint(circuit, tech, output) == previous.input_fingerprint
+    {
+        return Ok(previous.clone());
+    }
+    estimate_netlist(circuit, tech, output)
+}
+
+/// The estimation pipeline itself — [`NetestNode`]'s compute body.
+fn estimate_uncached(
+    circuit: &Circuit,
+    tech: &Technology,
+    output: NodeId,
+    input_fingerprint: u64,
+) -> Result<NetlistEstimate, ApeError> {
     let op = dc_operating_point(circuit, tech).map_err(|e| ApeError::Infeasible {
         component: "netlist",
         message: format!("dc operating point: {e}"),
@@ -162,6 +242,7 @@ pub fn estimate_netlist(
         perf,
         phase_margin_deg: pm,
         poles,
+        input_fingerprint,
     })
 }
 

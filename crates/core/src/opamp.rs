@@ -17,6 +17,8 @@ use crate::attrs::Performance;
 use crate::basic::{DiffPair, DiffTopology, MirrorTopology};
 use crate::cache::{cached_size_for_gm_id_at, cached_size_for_id_vov_at};
 use crate::error::ApeError;
+use crate::graph::{with_thread_graph, Component, EstimationGraph};
+use ape_mos::fingerprint::Fingerprint;
 use ape_mos::sizing::SizedMos;
 use ape_netlist::{Circuit, MosPolarity, NodeId, SourceWaveform, Technology};
 
@@ -40,6 +42,13 @@ impl OpAmpTopology {
             compensated: true,
         }
     }
+
+    /// Folds this topology into an estimation-graph fingerprint.
+    pub fn fold_fingerprint(&self, fp: Fingerprint) -> Fingerprint {
+        fp.u8(self.current_source.fingerprint_tag())
+            .bool(self.buffer)
+            .bool(self.compensated)
+    }
 }
 
 /// Performance specification for an op-amp (one row of Table 1).
@@ -57,6 +66,158 @@ pub struct OpAmpSpec {
     pub zout_ohm: Option<f64>,
     /// Load capacitance, farads.
     pub cl: f64,
+}
+
+impl OpAmpSpec {
+    /// Folds every spec field into an estimation-graph fingerprint
+    /// (bit-exactly; the `zout_ohm` option is tagged so `None` and
+    /// `Some(0.0)` stay distinct).
+    pub fn fold_fingerprint(&self, fp: Fingerprint) -> Fingerprint {
+        let fp = fp
+            .f64(self.gain)
+            .f64(self.ugf_hz)
+            .f64(self.area_max_m2)
+            .f64(self.ibias)
+            .f64(self.cl);
+        match self.zout_ohm {
+            Some(z) => fp.u8(1).f64(z),
+            None => fp.u8(0),
+        }
+    }
+}
+
+/// A sparse change to an [`OpAmpSpec`]: `Some` fields replace the
+/// previous value, `None` fields are kept. This is the "delta" half of
+/// incremental re-estimation — see [`OpAmp::redesign`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SpecDelta {
+    /// New DC gain requirement, if changed.
+    pub gain: Option<f64>,
+    /// New unity-gain frequency requirement, if changed.
+    pub ugf_hz: Option<f64>,
+    /// New gate-area budget, if changed.
+    pub area_max_m2: Option<f64>,
+    /// New reference bias current, if changed.
+    pub ibias: Option<f64>,
+    /// New output-impedance requirement, if changed (the outer `Option`
+    /// is "changed?", the inner one the new value — `Some(None)` clears
+    /// the requirement).
+    pub zout_ohm: Option<Option<f64>>,
+    /// New load capacitance, if changed.
+    pub cl: Option<f64>,
+}
+
+impl SpecDelta {
+    /// `true` when no field changes.
+    pub fn is_empty(&self) -> bool {
+        *self == SpecDelta::default()
+    }
+
+    /// Applies the delta to `base`, returning the updated specification.
+    pub fn apply(&self, base: &OpAmpSpec) -> OpAmpSpec {
+        OpAmpSpec {
+            gain: self.gain.unwrap_or(base.gain),
+            ugf_hz: self.ugf_hz.unwrap_or(base.ugf_hz),
+            area_max_m2: self.area_max_m2.unwrap_or(base.area_max_m2),
+            ibias: self.ibias.unwrap_or(base.ibias),
+            zout_ohm: self.zout_ohm.unwrap_or(base.zout_ohm),
+            cl: self.cl.unwrap_or(base.cl),
+        }
+    }
+}
+
+/// Estimation-graph node for a full [`OpAmp::design`] (the overdrive
+/// refinement loop). Its children are the per-overdrive attempts.
+#[derive(Debug, Clone, Copy)]
+struct OpAmpNode {
+    topology: OpAmpTopology,
+    spec: OpAmpSpec,
+}
+
+impl Component for OpAmpNode {
+    type Output = OpAmp;
+
+    fn kind(&self) -> &'static str {
+        "l3.opamp"
+    }
+
+    fn fingerprint(&self) -> u64 {
+        self.spec
+            .fold_fingerprint(self.topology.fold_fingerprint(Fingerprint::new()))
+            .finish()
+    }
+
+    fn children(&self) -> &'static [&'static str] {
+        &["l3.opamp.attempt"]
+    }
+
+    fn compute(&self, graph: &EstimationGraph) -> Result<OpAmp, ApeError> {
+        // Area-aware refinement: a lower signal overdrive shrinks the
+        // channel-length stretching that manufacturable widths force on
+        // low-current designs, at the cost of slew headroom. Walk down
+        // until the area budget is met.
+        let mut last: Option<Result<OpAmp, ApeError>> = None;
+        for vov in [VOV_SIG, 0.15, 0.10, 0.07] {
+            // Cancellation checkpoint between refinement attempts: a batch
+            // driver abandoning this job loses at most one attempt's work.
+            crate::cancel::check_current()?;
+            let attempt = graph.evaluate(&OpAmpAttemptNode {
+                topology: self.topology,
+                spec: self.spec,
+                vov_sig: vov,
+            });
+            match attempt {
+                Ok(amp) => {
+                    let fits = amp.perf.gate_area_m2 <= self.spec.area_max_m2;
+                    let ret = Ok(amp);
+                    if fits {
+                        return ret;
+                    }
+                    last = Some(ret);
+                }
+                Err(e) => {
+                    if last.is_none() {
+                        last = Some(Err(e));
+                    }
+                }
+            }
+        }
+        last.unwrap_or(Err(ApeError::Infeasible {
+            component: "OpAmp",
+            message: "no overdrive candidate produced a design".into(),
+        }))
+    }
+}
+
+/// Estimation-graph node for one sizing pass at a fixed signal overdrive.
+#[derive(Debug, Clone, Copy)]
+struct OpAmpAttemptNode {
+    topology: OpAmpTopology,
+    spec: OpAmpSpec,
+    vov_sig: f64,
+}
+
+impl Component for OpAmpAttemptNode {
+    type Output = OpAmp;
+
+    fn kind(&self) -> &'static str {
+        "l3.opamp.attempt"
+    }
+
+    fn fingerprint(&self) -> u64 {
+        self.spec
+            .fold_fingerprint(self.topology.fold_fingerprint(Fingerprint::new()))
+            .f64(self.vov_sig)
+            .finish()
+    }
+
+    fn children(&self) -> &'static [&'static str] {
+        &["l2.diffpair", "l1.gm_id", "l1.id_vov"]
+    }
+
+    fn compute(&self, graph: &EstimationGraph) -> Result<OpAmp, ApeError> {
+        OpAmp::design_attempt(graph.technology(), self.topology, self.spec, self.vov_sig)
+    }
 }
 
 /// A fully sized operational amplifier with composed performance estimates.
@@ -139,35 +300,27 @@ impl OpAmp {
         spec: OpAmpSpec,
     ) -> Result<Self, ApeError> {
         let _span = ape_probe::span("ape.l3.opamp");
-        // Area-aware refinement: a lower signal overdrive shrinks the
-        // channel-length stretching that manufacturable widths force on
-        // low-current designs, at the cost of slew headroom. Walk down
-        // until the area budget is met.
-        let mut last: Option<Result<Self, ApeError>> = None;
-        for vov in [VOV_SIG, 0.15, 0.10, 0.07] {
-            // Cancellation checkpoint between refinement attempts: a batch
-            // driver abandoning this job loses at most one attempt's work.
-            crate::cancel::check_current()?;
-            match Self::design_attempt(tech, topology, spec, vov) {
-                Ok(amp) => {
-                    let fits = amp.perf.gate_area_m2 <= spec.area_max_m2;
-                    let ret = Ok(amp);
-                    if fits {
-                        return ret;
-                    }
-                    last = Some(ret);
-                }
-                Err(e) => {
-                    if last.is_none() {
-                        last = Some(Err(e));
-                    }
-                }
-            }
-        }
-        last.unwrap_or(Err(ApeError::Infeasible {
-            component: "OpAmp",
-            message: "no overdrive candidate produced a design".into(),
-        }))
+        // An already-cancelled job must not be answered from the memo.
+        crate::cancel::check_current()?;
+        with_thread_graph(tech, |g| g.evaluate(&OpAmpNode { topology, spec }))
+    }
+
+    /// Incrementally re-designs after a spec delta: applies `delta` to
+    /// `previous.spec` and re-estimates `previous.topology` through this
+    /// thread's warm estimation graph, so only the subtrees whose inputs
+    /// actually changed are recomputed. The result is bit-identical to a
+    /// cold [`OpAmp::design`] at the updated spec — memoized nodes are
+    /// pure functions of their fingerprinted inputs.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`OpAmp::design`] at the updated spec.
+    pub fn redesign(
+        tech: &Technology,
+        previous: &OpAmp,
+        delta: &SpecDelta,
+    ) -> Result<Self, ApeError> {
+        Self::design(tech, previous.topology, delta.apply(&previous.spec))
     }
 
     /// One sizing pass at a fixed signal overdrive.

@@ -1,0 +1,275 @@
+// Test/harness code: panicking on bad results is the assertion mechanism.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+//! Incremental == cold, bit for bit.
+//!
+//! The estimation graph's contract is that a warm memo never changes an
+//! answer: every node's key is a bit-exact fingerprint of its inputs, so
+//! re-estimating after a delta (a warm graph with some subtrees still
+//! valid) must produce results identical to a cold, from-scratch run.
+//!
+//! `f64`'s `Debug` rendering is the shortest string that round-trips
+//! uniquely, so comparing `format!("{:?}")` of two results is a bit-exact
+//! comparison of every float they carry.
+
+use ape_core::basic::MirrorTopology;
+use ape_core::folded::{FoldedCascodeOta, FoldedCascodeSpec};
+use ape_core::graph::reset_thread_graph;
+use ape_core::module::{
+    AudioAmplifier, Comparator, FlashAdc, Integrator, InvertingAmplifier, NonInvertingAmplifier,
+    R2rDac, SallenKeyBandPass, SallenKeyLowPass, SampleHold, SummingAmplifier,
+};
+use ape_core::netest::{estimate_netlist, estimate_netlist_incremental};
+use ape_core::opamp::{OpAmp, OpAmpSpec, OpAmpTopology, SpecDelta};
+use ape_netlist::{Circuit, SourceWaveform, Technology};
+use std::fmt::Debug;
+
+fn spec() -> OpAmpSpec {
+    OpAmpSpec {
+        gain: 200.0,
+        ugf_hz: 5e6,
+        area_max_m2: 5000e-12,
+        ibias: 10e-6,
+        zout_ohm: None,
+        cl: 10e-12,
+    }
+}
+
+fn all_topologies() -> Vec<OpAmpTopology> {
+    let mut v = Vec::new();
+    for mirror in [
+        MirrorTopology::Simple,
+        MirrorTopology::Wilson,
+        MirrorTopology::Cascode,
+    ] {
+        for buffer in [false, true] {
+            v.push(OpAmpTopology::miller(mirror, buffer));
+        }
+    }
+    v
+}
+
+/// Runs `build` against a graph warmed by `warm_up`, then against a cold
+/// graph, and requires the two results to render identically (bit-exact
+/// for every float; errors must match message for message).
+fn assert_warm_equals_cold<T: Debug, E: Debug>(
+    warm_up: impl Fn(),
+    build: impl Fn() -> Result<T, E>,
+    label: &str,
+) {
+    reset_thread_graph();
+    warm_up();
+    let warm = build();
+    reset_thread_graph();
+    let cold = build();
+    assert_eq!(
+        format!("{warm:?}"),
+        format!("{cold:?}"),
+        "warm result diverged from cold for {label}"
+    );
+}
+
+#[test]
+fn incremental_redesign_is_bit_identical_across_topologies_and_deltas() {
+    let tech = Technology::default_1p2um();
+    let deltas = [
+        SpecDelta {
+            gain: Some(250.0),
+            ..SpecDelta::default()
+        },
+        SpecDelta {
+            ugf_hz: Some(6e6),
+            ..SpecDelta::default()
+        },
+        SpecDelta {
+            area_max_m2: Some(6000e-12),
+            ..SpecDelta::default()
+        },
+        SpecDelta {
+            ibias: Some(12e-6),
+            ..SpecDelta::default()
+        },
+        SpecDelta {
+            zout_ohm: Some(Some(2e3)),
+            ..SpecDelta::default()
+        },
+        SpecDelta {
+            cl: Some(12e-12),
+            ..SpecDelta::default()
+        },
+    ];
+    for topology in all_topologies() {
+        for delta in &deltas {
+            // Incremental: design the base spec (warming every subtree),
+            // then redesign with the delta on the warm graph.
+            reset_thread_graph();
+            let base = OpAmp::design(&tech, topology, spec());
+            let warm = base
+                .as_ref()
+                .map(|amp| OpAmp::redesign(&tech, amp, delta))
+                .ok();
+            // Cold: one from-scratch design of the post-delta spec.
+            reset_thread_graph();
+            let cold = OpAmp::design(&tech, topology, delta.apply(&spec()));
+            if let Some(warm) = warm {
+                assert_eq!(
+                    format!("{warm:?}"),
+                    format!("{cold:?}"),
+                    "incremental redesign diverged for {topology:?} {delta:?}"
+                );
+            } else {
+                // The base spec itself failed on this topology; the delta
+                // path is vacuous, but the cold result must agree that the
+                // base fails too (same inputs).
+                reset_thread_graph();
+                let base2 = OpAmp::design(&tech, topology, spec());
+                assert_eq!(format!("{base:?}"), format!("{base2:?}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn folded_cascode_warm_equals_cold() {
+    let tech = Technology::default_1p2um();
+    let fspec = FoldedCascodeSpec {
+        gain: 300.0,
+        ugf_hz: 8e6,
+        ibias: 20e-6,
+        cl: 5e-12,
+    };
+    let mut warm_spec = fspec;
+    warm_spec.ugf_hz = 7e6;
+    assert_warm_equals_cold(
+        || {
+            let _ = FoldedCascodeOta::design(&tech, warm_spec);
+        },
+        || FoldedCascodeOta::design(&tech, fspec),
+        "folded cascode",
+    );
+}
+
+#[test]
+fn l4_modules_warm_equals_cold() {
+    let tech = Technology::default_1p2um();
+
+    assert_warm_equals_cold(
+        || {
+            let _ = InvertingAmplifier::design(&tech, 5.0, 50e3, 10e-12);
+        },
+        || InvertingAmplifier::design(&tech, 4.0, 50e3, 10e-12),
+        "inverting amplifier",
+    );
+    assert_warm_equals_cold(
+        || {
+            let _ = NonInvertingAmplifier::design(&tech, 2.0, 25e3, 10e-12);
+        },
+        || NonInvertingAmplifier::design(&tech, 2.0, 20e3, 10e-12),
+        "non-inverting amplifier",
+    );
+    assert_warm_equals_cold(
+        || {
+            let _ = AudioAmplifier::design(&tech, 100.0, 25e3, 10e-12);
+        },
+        || AudioAmplifier::design(&tech, 100.0, 20e3, 10e-12),
+        "audio amplifier",
+    );
+    assert_warm_equals_cold(
+        || {
+            let _ = Comparator::design(&tech, 0.2, 1e-6);
+        },
+        || Comparator::design(&tech, 0.1, 1e-6),
+        "comparator",
+    );
+    assert_warm_equals_cold(
+        || {
+            let _ = FlashAdc::design(&tech, 3, 1e-6);
+        },
+        || FlashAdc::design(&tech, 4, 1e-6),
+        "flash adc",
+    );
+    assert_warm_equals_cold(
+        || {
+            let _ = R2rDac::design(&tech, 6, 1e5);
+        },
+        || R2rDac::design(&tech, 4, 1e5),
+        "r-2r dac",
+    );
+    assert_warm_equals_cold(
+        || {
+            let _ = SallenKeyLowPass::design(&tech, 2e3, 4, 10e-12);
+        },
+        || SallenKeyLowPass::design(&tech, 1e3, 4, 10e-12),
+        "sallen-key low-pass",
+    );
+    assert_warm_equals_cold(
+        || {
+            let _ = SallenKeyBandPass::design(&tech, 1e3, 2.0, 10e-12);
+        },
+        || SallenKeyBandPass::design(&tech, 1e3, 3.0, 10e-12),
+        "sallen-key band-pass",
+    );
+    assert_warm_equals_cold(
+        || {
+            let _ = Integrator::design(&tech, 20e3, 10e-12);
+        },
+        || Integrator::design(&tech, 10e3, 10e-12),
+        "integrator",
+    );
+    assert_warm_equals_cold(
+        || {
+            let _ = SummingAmplifier::design(&tech, &[1.0, 2.0], 20e3, 10e-12);
+        },
+        || SummingAmplifier::design(&tech, &[1.0, 2.0, 3.0], 20e3, 10e-12),
+        "summing amplifier",
+    );
+    assert_warm_equals_cold(
+        || {
+            let _ = SampleHold::design(&tech, 2.0, 50e3, 10e-12);
+        },
+        || SampleHold::design(&tech, 2.0, 40e3, 10e-12),
+        "sample-and-hold",
+    );
+}
+
+fn rc_ladder(r: f64, stages: usize) -> Circuit {
+    let mut c = Circuit::new("ladder");
+    let mut prev = c.node("n0");
+    c.add_vsource("VIN", prev, Circuit::GROUND, 1.0, 1.0, SourceWaveform::Dc)
+        .unwrap();
+    for k in 1..=stages {
+        let next = c.node(&format!("n{k}"));
+        c.add_resistor(&format!("R{k}"), prev, next, r).unwrap();
+        c.add_capacitor(&format!("C{k}"), next, Circuit::GROUND, 10e-12)
+            .unwrap();
+        prev = next;
+    }
+    c
+}
+
+#[test]
+fn netlist_incremental_short_circuits_and_stays_exact() {
+    let tech = Technology::default_1p2um();
+    let ckt = rc_ladder(1e3, 6);
+    let out = ckt.find_node("n6").unwrap();
+
+    reset_thread_graph();
+    let first = estimate_netlist(&ckt, &tech, out).unwrap();
+
+    // Unchanged circuit: the incremental path answers from the previous
+    // estimate (same input fingerprint) and must be identical.
+    let again = estimate_netlist_incremental(&ckt, &tech, out, &first).unwrap();
+    assert_eq!(format!("{first:?}"), format!("{again:?}"));
+
+    // Changed circuit: the incremental path must fall through to a fresh
+    // estimate that matches a cold one bit for bit.
+    let changed = rc_ladder(2e3, 6);
+    let out2 = changed.find_node("n6").unwrap();
+    let incr = estimate_netlist_incremental(&changed, &tech, out2, &first).unwrap();
+    reset_thread_graph();
+    let cold = estimate_netlist(&changed, &tech, out2).unwrap();
+    assert_eq!(format!("{incr:?}"), format!("{cold:?}"));
+    assert_ne!(
+        first.input_fingerprint, cold.input_fingerprint,
+        "distinct circuits must have distinct input fingerprints"
+    );
+}

@@ -2,29 +2,29 @@
 #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 //! End-to-end check that the estimator emits probe telemetry: designing a
 //! diff pair under a `SummarySink` must produce level-1 and level-2 spans
-//! with the expected nesting, and a repeated solve must hit the sizing
-//! cache.
+//! with the expected nesting, and a repeated solve must hit the estimation
+//! graph's memo.
 //!
 //! The probe sink is process-global, so everything lives in one `#[test]`
 //! to avoid cross-test interference under the parallel test runner.
 
 use ape_core::basic::{DiffPair, DiffTopology};
-use ape_core::cache;
+use ape_core::graph;
 use ape_netlist::Technology;
 use ape_probe::SummarySink;
 use std::sync::Arc;
 
 #[test]
-fn diffpair_design_emits_spans_and_cache_counters() {
+fn diffpair_design_emits_spans_and_graph_counters() {
     let tech = Technology::default_1p2um();
-    cache::reset_shared_cache();
+    graph::reset_thread_graph();
 
     let sink = Arc::new(SummarySink::new());
     ape_probe::install(sink.clone());
 
     DiffPair::design(&tech, DiffTopology::MirrorLoad, 20.0, 100e-6, 0.0)
         .expect("diff pair designs");
-    // Same spec again: every sizing problem is now a cache hit.
+    // Same spec again: the whole l2 node is now a memo hit.
     DiffPair::design(&tech, DiffTopology::MirrorLoad, 20.0, 100e-6, 0.0)
         .expect("diff pair designs twice");
 
@@ -36,9 +36,9 @@ fn diffpair_design_emits_spans_and_cache_counters() {
         .expect("level-2 diffpair span recorded");
     assert_eq!(l2.count, 2, "one span per design call");
 
-    // Level-1 sizing spans come from the first (cache-cold) solve only:
-    // the second solve answers every sizing problem from the cache without
-    // re-entering the solver.
+    // Level-1 sizing spans come from the first (graph-cold) solve only:
+    // the second solve answers the whole diff-pair node from the memo
+    // without re-entering the solver.
     let l1: Vec<_> = spans
         .iter()
         .filter(|(name, _)| name.starts_with("ape.l1."))
@@ -59,18 +59,31 @@ fn diffpair_design_emits_spans_and_cache_counters() {
     }
 
     let counters = sink.counters();
-    let hits = counters.get("ape.cache.hit").copied().unwrap_or(0);
-    let misses = counters.get("ape.cache.miss").copied().unwrap_or(0);
-    assert!(misses > 0, "first solve populates the cache");
-    assert!(hits > 0, "second solve hits the cache");
-
-    let stats = cache::shared_cache_stats();
-    assert_eq!(stats.hits as u64, hits, "probe counter mirrors cache stats");
-    assert_eq!(
-        stats.misses as u64, misses,
-        "probe counter mirrors cache stats"
+    let hits = counters.get("ape.graph.hit").copied().unwrap_or(0);
+    let misses = counters.get("ape.graph.miss").copied().unwrap_or(0);
+    assert!(misses > 0, "first solve populates the graph");
+    assert!(hits > 0, "second solve hits the graph memo");
+    // Per-kind counters break the totals down; the l2 diff-pair node's own
+    // hit is the second design call.
+    let l2_hits = counters
+        .get("ape.graph.l2.diffpair.hit")
+        .copied()
+        .unwrap_or(0);
+    assert!(
+        l2_hits >= 1,
+        "repeat design hits the l2 node, got {l2_hits}"
     );
-    assert!(cache::shared_cache_len() > 0);
+
+    let totals = graph::thread_graph_totals();
+    assert_eq!(
+        totals.hits as u64, hits,
+        "probe counter mirrors graph stats"
+    );
+    assert_eq!(
+        totals.misses as u64, misses,
+        "probe counter mirrors graph stats"
+    );
+    assert!(graph::thread_graph_len() > 0);
 
     // The report names its span section entries.
     let report = sink.report();

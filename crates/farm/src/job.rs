@@ -5,16 +5,18 @@
 use ape_core::netest::NetlistEstimate;
 use ape_core::opamp::{OpAmp, OpAmpSpec, OpAmpTopology};
 use ape_core::ApeError;
+use ape_mos::fingerprint::Fingerprint;
 use ape_netlist::{Circuit, NodeId, Technology};
 use ape_oblx::{InitialPoint, OblxError, SynthesisOptions, SynthesisOutcome};
-use std::hash::{Hash, Hasher};
 
 /// A unit of work submitted to a [`Farm`](crate::Farm).
 ///
 /// Every variant is a pure function of the request payload plus the farm's
 /// [`Technology`]: submitting the same request twice yields the same
 /// response, which is what makes result caching and in-flight deduplication
-/// sound (workers reset the per-thread sizing cache before each job).
+/// sound. The estimation graph's bit-exact memo keys make every estimate a
+/// pure function of its inputs, so results are identical whether a worker's
+/// graph is cold or warm.
 #[derive(Debug, Clone)]
 pub enum Request {
     /// Size a two-stage op-amp with [`OpAmp::design`] (hierarchy levels
@@ -156,72 +158,40 @@ impl From<OblxError> for FarmError {
     }
 }
 
-fn hash_f64<H: Hasher>(h: &mut H, v: f64) {
-    v.to_bits().hash(h);
-}
-
-fn hash_topology<H: Hasher>(h: &mut H, t: &OpAmpTopology) {
-    t.current_source.hash(h);
-    t.buffer.hash(h);
-    t.compensated.hash(h);
-}
-
-fn hash_spec<H: Hasher>(h: &mut H, s: &OpAmpSpec) {
-    hash_f64(h, s.gain);
-    hash_f64(h, s.ugf_hz);
-    hash_f64(h, s.area_max_m2);
-    hash_f64(h, s.ibias);
-    match s.zout_ohm {
-        Some(z) => {
-            1u8.hash(h);
-            hash_f64(h, z);
-        }
-        None => 0u8.hash(h),
-    }
-    hash_f64(h, s.cl);
-}
-
 /// Content-addressed identity of `(technology, request)`.
 ///
 /// Two requests with the same key are treated as the same computation by
-/// the farm's result cache. The hash is stable within a process (it uses
-/// `DefaultHasher` with a fixed key and bit-exact float hashing) but is
-/// not a persistent format. Circuits are hashed through their canonical
-/// SPICE deck; `InitialPoint` and `SynthesisOptions` are hashed through
-/// their `Debug` rendering, which is exact for this crate's field types.
+/// the farm's result cache. The key is built on the same bit-exact
+/// [`Fingerprint`] helper the estimation graph uses for its memo keys
+/// (topologies and specs fold through their `fold_fingerprint` methods),
+/// so the farm cache and the graph agree on what "the same inputs" means.
+/// The hash is stable within a process but is not a persistent format.
+/// Circuits are hashed through their canonical SPICE deck; `InitialPoint`
+/// and `SynthesisOptions` are hashed through their `Debug` rendering,
+/// which is exact for this crate's field types.
 pub fn canonical_key(tech: &Technology, req: &Request) -> u64 {
-    let mut h = std::collections::hash_map::DefaultHasher::new();
-    tech.fingerprint().hash(&mut h);
+    let fp = Fingerprint::new().u64(tech.fingerprint());
     match req {
-        Request::OpAmpDesign { topology, spec } => {
-            0u8.hash(&mut h);
-            hash_topology(&mut h, topology);
-            hash_spec(&mut h, spec);
-        }
-        Request::NetlistEstimate { circuit, output } => {
-            1u8.hash(&mut h);
-            circuit.to_spice_deck(tech).hash(&mut h);
-            output.hash(&mut h);
-        }
+        Request::OpAmpDesign { topology, spec } => spec
+            .fold_fingerprint(topology.fold_fingerprint(fp.u8(0)))
+            .finish(),
+        Request::NetlistEstimate { circuit, output } => fp
+            .u8(1)
+            .str(&circuit.to_spice_deck(tech))
+            .u64(usize::from(*output) as u64)
+            .finish(),
         Request::Synthesize {
             topology,
             spec,
             init,
             opts,
-        } => {
-            2u8.hash(&mut h);
-            hash_topology(&mut h, topology);
-            hash_spec(&mut h, spec);
-            format!("{init:?}").hash(&mut h);
-            format!("{opts:?}").hash(&mut h);
-        }
-        Request::Custom { label, nonce, .. } => {
-            3u8.hash(&mut h);
-            label.hash(&mut h);
-            nonce.hash(&mut h);
-        }
+        } => spec
+            .fold_fingerprint(topology.fold_fingerprint(fp.u8(2)))
+            .str(&format!("{init:?}"))
+            .str(&format!("{opts:?}"))
+            .finish(),
+        Request::Custom { label, nonce, .. } => fp.u8(3).str(label).u64(*nonce).finish(),
     }
-    h.finish()
 }
 
 #[cfg(test)]
@@ -284,6 +254,24 @@ mod tests {
             },
         );
         assert_ne!(k0, k2);
+    }
+
+    #[test]
+    fn canonical_key_matches_the_shared_fingerprint_helper() {
+        // The farm's content-addressed key and the estimation graph's memo
+        // keys are built from the same `ape_mos::fingerprint` helper and the
+        // same `fold_fingerprint` methods, so a hand-built chain reproduces
+        // the farm key exactly.
+        let tech = Technology::default_1p2um();
+        let t = OpAmpTopology::miller(MirrorTopology::Simple, false);
+        let req = Request::OpAmpDesign {
+            topology: t,
+            spec: spec(),
+        };
+        let expect = spec()
+            .fold_fingerprint(t.fold_fingerprint(Fingerprint::new().u64(tech.fingerprint()).u8(0)))
+            .finish();
+        assert_eq!(canonical_key(&tech, &req), expect);
     }
 
     #[test]

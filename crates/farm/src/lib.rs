@@ -24,8 +24,10 @@
 //!
 //! Determinism is a design constraint, not an accident: sweeps produce
 //! byte-identical output whatever the worker count, because every job is
-//! executed as a pure function of `(technology, request)` (see
-//! [`FarmConfig::isolate_sizing_cache`]) and results are collected in grid
+//! executed as a pure function of `(technology, request)` — the estimation
+//! graph's bit-exact memo keys make a warm worker return exactly what a
+//! cold one would (see [`FarmConfig::isolate_solver_cache`] for the one
+//! cache that still resets per job) — and results are collected in grid
 //! order.
 //!
 //! Everything is built on `std` only — no external dependencies — and the

@@ -27,14 +27,19 @@ pub struct FarmConfig {
     /// Per-job deadline; a job still running past it is abandoned at the
     /// estimator's next cancellation checkpoint. `None` = no deadline.
     pub job_timeout: Option<Duration>,
-    /// Reset the per-thread sizing cache before every job (default
-    /// `true`). The sizing cache quantises its keys, so carrying it across
-    /// jobs makes a job's result depend on which jobs ran before it on the
-    /// same worker — breaking both cache-key soundness and the guarantee
-    /// that a sweep's output is independent of the worker count. Disable
-    /// only for throughput experiments where bit-reproducibility does not
-    /// matter.
+    /// Reset the per-thread estimation graph before every job (default
+    /// `false`). The graph's memo keys are bit-exact fingerprints of every
+    /// input, so a warm graph returns exactly what a cold recompute would —
+    /// results are independent of job order and worker count either way.
+    /// Enable only to measure cold-path latency; it forfeits the
+    /// incremental-estimation speedup across a sweep's neighbouring jobs.
     pub isolate_sizing_cache: bool,
+    /// Reset the sparse solver's symbolic-factorisation cache before every
+    /// job (default `true`). A cached pivot order is a function of the job
+    /// that built it; isolated jobs each start cold, keeping a job's
+    /// floating-point path independent of what ran before it on the same
+    /// worker.
+    pub isolate_solver_cache: bool,
 }
 
 impl Default for FarmConfig {
@@ -45,7 +50,8 @@ impl Default for FarmConfig {
                 .unwrap_or(1),
             queue_capacity: 256,
             job_timeout: None,
-            isolate_sizing_cache: true,
+            isolate_sizing_cache: false,
+            isolate_solver_cache: true,
         }
     }
 }
@@ -103,6 +109,7 @@ struct Shared {
     tech: Technology,
     inflight: AtomicUsize,
     isolate_sizing_cache: bool,
+    isolate_solver_cache: bool,
     stats: StatCells,
 }
 
@@ -196,6 +203,7 @@ impl Farm {
             tech,
             inflight: AtomicUsize::new(0),
             isolate_sizing_cache: config.isolate_sizing_cache,
+            isolate_solver_cache: config.isolate_solver_cache,
             stats: StatCells::default(),
         });
         let cancel = CancelToken::new();
@@ -235,8 +243,8 @@ impl Farm {
 
     /// Human-readable summary of the sparse solver's symbolic-factorisation
     /// cache across all workers, in the same spirit as
-    /// [`ape_core::cache::shared_cache_report`]. With
-    /// [`FarmConfig::isolate_sizing_cache`] unset, repeated same-topology
+    /// [`ape_core::graph::graph_report`]. With
+    /// [`FarmConfig::isolate_solver_cache`] unset, repeated same-topology
     /// jobs on one worker reuse pivot orders and the hit rate here shows it.
     pub fn solver_cache_report(&self) -> String {
         ape_spice::symbolic_cache_report()
@@ -425,10 +433,9 @@ fn run_item(shared: &Shared, item: &WorkItem) -> Result<Response, FarmError> {
     }
     let _token_guard = cancel::set_current(item.cancel.clone());
     if shared.isolate_sizing_cache {
-        ape_core::cache::reset_shared_cache();
-        // Same determinism contract for the sparse solver's pivot orders:
-        // a cached symbolic factorisation is a function of the job that
-        // built it, so isolated jobs each start cold.
+        ape_core::graph::reset_thread_graph();
+    }
+    if shared.isolate_solver_cache {
         ape_spice::reset_symbolic_cache();
     }
     let outcome = catch_unwind(AssertUnwindSafe(|| execute(&shared.tech, &item.req)));

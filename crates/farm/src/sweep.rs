@@ -4,9 +4,10 @@
 //!
 //! The sweep is deterministic by construction: points are enumerated in a
 //! fixed row-major order, every job is a pure function of
-//! `(technology, request)` (workers reset the sizing cache per job), and
-//! results are collected in point order — so the JSONL output is
-//! byte-identical whatever the worker count.
+//! `(technology, request)` (the estimation graph memoizes on bit-exact
+//! input fingerprints, so warm and cold workers agree), and results are
+//! collected in point order — so the JSONL output is byte-identical
+//! whatever the worker count.
 
 use crate::job::Request;
 use crate::pool::Farm;

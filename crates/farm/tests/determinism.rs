@@ -3,8 +3,9 @@
 //! Worker-count independence: the same sweep plan must produce
 //! byte-identical JSONL whether one worker or eight execute it. This holds
 //! because every job runs as a pure function of `(technology, request)` —
-//! workers reset the quantised per-thread sizing cache before each job —
-//! and the report collects results in grid order.
+//! the estimation graph's bit-exact memo keys make warm workers answer
+//! exactly as cold ones would — and the report collects results in grid
+//! order.
 
 use ape_core::basic::MirrorTopology;
 use ape_core::opamp::OpAmpTopology;

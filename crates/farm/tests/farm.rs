@@ -196,7 +196,7 @@ fn shutdown_rejects_new_submissions() {
 }
 
 /// Netlist-estimation jobs exercise the SPICE sparse solver; with
-/// `isolate_sizing_cache` set (the default) every job starts with a cold
+/// `isolate_solver_cache` set (the default) every job starts with a cold
 /// symbolic-factorisation cache, so each distinct job re-analyses its
 /// pattern — visible as cache misses — and the farm exposes the counters
 /// through `solver_cache_report()`.

@@ -74,7 +74,7 @@ pub fn meyer_caps(card: &MosModelCard, geom: &MosGeometry, region: Region) -> Mo
 
 /// Reverse-biased junction capacitances of the drain and source diffusions.
 ///
-/// Areas are derived from the device width and [`DIFFUSION_LENGTH`]; the
+/// Areas are derived from the device width and `DIFFUSION_LENGTH`; the
 /// voltage dependence follows the SPICE grading law
 /// `C = C0 / (1 + V_rev/pb)^mj`, with the forward-bias side clamped.
 pub fn junction_caps(

@@ -46,6 +46,7 @@
 mod caps;
 mod error;
 mod eval;
+pub mod fingerprint;
 pub mod sizing;
 
 pub use caps::{junction_caps, meyer_caps, MosCaps};

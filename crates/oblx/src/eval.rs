@@ -8,7 +8,10 @@
 use crate::template::{build_candidate, candidate_area};
 use crate::vars::DesignPoint;
 use ape_awe::{awe_transfer_auto, transfer_moments};
+use ape_core::graph::{with_thread_graph, Component, EstimationGraph};
 use ape_core::opamp::{OpAmpSpec, OpAmpTopology};
+use ape_core::ApeError;
+use ape_mos::fingerprint::Fingerprint;
 use ape_netlist::Technology;
 use ape_spice::linalg::Matrix;
 use ape_spice::{dc_operating_point_with, linearize, Complex, DcOptions, LinearizedSystem};
@@ -62,7 +65,62 @@ pub fn evaluate_candidate(
     evaluate_candidate_with(tech, topology, spec, point, EvalFidelity::Exact)
 }
 
+/// Graph node memoizing [`evaluate_candidate_with`].
+///
+/// The annealing loop re-visits design points — a rejected move returns to
+/// the previous point, and sweep neighbours share a candidate with their
+/// origin — and [`CandidateEval`] is a pure function of
+/// `(topology, spec, point, fidelity)`, so the shared estimation graph can
+/// answer repeats without re-running the DC + AWE pipeline.
+#[derive(Debug, Clone)]
+struct CandidateNode {
+    topology: OpAmpTopology,
+    spec: OpAmpSpec,
+    values: Vec<f64>,
+    fidelity: EvalFidelity,
+}
+
+impl Component for CandidateNode {
+    type Output = CandidateEval;
+
+    fn kind(&self) -> &'static str {
+        "oblx.candidate"
+    }
+
+    fn fingerprint(&self) -> u64 {
+        let mut fp = self
+            .spec
+            .fold_fingerprint(self.topology.fold_fingerprint(Fingerprint::new()))
+            .u8(match self.fidelity {
+                EvalFidelity::AweOnly => 0,
+                EvalFidelity::Exact => 1,
+            })
+            .u64(self.values.len() as u64);
+        for v in &self.values {
+            fp = fp.f64(*v);
+        }
+        fp.finish()
+    }
+
+    fn compute(&self, graph: &EstimationGraph) -> Result<CandidateEval, ApeError> {
+        let point = DesignPoint {
+            values: self.values.clone(),
+        };
+        Ok(evaluate_candidate_uncached(
+            graph.technology(),
+            self.topology,
+            &self.spec,
+            &point,
+            self.fidelity,
+        ))
+    }
+}
+
 /// [`evaluate_candidate`] with an explicit evaluation fidelity.
+///
+/// Memoized on the thread's estimation graph under the `oblx.candidate`
+/// kind; the cost-eval counters count *requests*, while memo effectiveness
+/// shows up in the `ape.graph.oblx.candidate.*` counters.
 pub fn evaluate_candidate_with(
     tech: &Technology,
     topology: OpAmpTopology,
@@ -74,6 +132,26 @@ pub fn evaluate_candidate_with(
         EvalFidelity::AweOnly => ape_probe::counter("oblx.cost_evals.awe", 1),
         EvalFidelity::Exact => ape_probe::counter("oblx.cost_evals.exact", 1),
     }
+    with_thread_graph(tech, |g| {
+        g.evaluate(&CandidateNode {
+            topology,
+            spec: *spec,
+            values: point.values.clone(),
+            fidelity,
+        })
+    })
+    .unwrap_or_else(|_| evaluate_candidate_uncached(tech, topology, spec, point, fidelity))
+}
+
+/// [`evaluate_candidate_with`] without the graph memo — the node's compute
+/// body.
+fn evaluate_candidate_uncached(
+    tech: &Technology,
+    topology: OpAmpTopology,
+    spec: &OpAmpSpec,
+    point: &DesignPoint,
+    fidelity: EvalFidelity,
+) -> CandidateEval {
     let area = candidate_area(tech, topology, spec, point);
     let mut eval = CandidateEval {
         dc_ok: false,

@@ -299,7 +299,15 @@ pub(crate) fn stamp_devices<M: Stamp<f64>>(
                 let card = tech
                     .model(model)
                     .ok_or_else(|| SpiceError::UnknownModel(model.clone()))?;
-                debug_assert_eq!(card.polarity, *polarity);
+                if card.polarity != *polarity {
+                    // A PMOS device bound to an NMOS card (or vice versa)
+                    // is a netlist mistake, not a solver bug: reject it as
+                    // a typed error so fuzzed circuits cannot panic here.
+                    return Err(SpiceError::BadCircuit(format!(
+                        "device polarity {:?} does not match model '{model}' ({:?})",
+                        polarity, card.polarity
+                    )));
+                }
                 let vd = u.voltage(x, e.a);
                 let vg = u.voltage(x, e.b);
                 let vs = u.voltage(x, *source);

@@ -7,7 +7,7 @@
 //!
 //! 1. [`PatternBuilder`] records the stamp positions once per circuit and
 //!    freezes them into an immutable [`Pattern`] (CSR, sorted columns).
-//! 2. The first factorisation ([`analyze`]) runs a right-looking sparse LU
+//! 2. The first factorisation (`analyze`) runs a right-looking sparse LU
 //!    with threshold pivoting (numeric stability) and a Markowitz-style
 //!    minimum-row-count tie-break (sparsity preservation), recording the
 //!    row permutation and the fill-in pattern as a [`Symbolic`] object.
@@ -558,7 +558,7 @@ pub fn symbolic_cache_stats() -> (u64, u64, u64) {
 }
 
 /// Human-readable symbolic-cache report, in the same spirit as
-/// `ape_core::cache::shared_cache_report()`.
+/// `ape_core::graph::graph_report()`.
 pub fn symbolic_cache_report() -> String {
     let (hits, misses, repivots) = symbolic_cache_stats();
     let total = hits + misses;

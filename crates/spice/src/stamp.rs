@@ -4,7 +4,7 @@
 //! Abstracting the receiver lets the same element-stamping code drive three
 //! very different consumers:
 //!
-//! * [`Matrix`](crate::linalg::Matrix) — the dense backend;
+//! * [`Matrix`] — the dense backend;
 //! * [`SparseMatrix`](crate::sparse::SparseMatrix) — the sparse backend;
 //! * [`PatternBuilder`](crate::sparse::PatternBuilder) — a value-blind pass
 //!   that records only *where* stamps land, so the sparsity pattern can be

@@ -103,9 +103,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    // The estimator's sizing cache — the paper's reusable "sized
-    // transistor objects" — accumulated across everything above.
-    println!("\n=== {} ===", ape_repro::ape::cache::shared_cache_report());
+    // The estimation graph — the paper's reusable "sized transistor
+    // objects", memoized per node — accumulated across everything above.
+    println!("\n=== {} ===", ape_repro::ape::graph::graph_report());
 
     // Bonus: the SPICE deck the flow hands to layout (--netlist to print).
     if std::env::args().any(|a| a == "--netlist") {
