@@ -17,6 +17,7 @@
 //! `APE_TRACE=summary` to see the per-node `ape.graph.<kind>.*` hit/miss
 //! counters.
 
+use ape_bench::report::{latency_section, BENCH_SCHEMA};
 use ape_bench::{fmt_val, render_table};
 use ape_core::basic::MirrorTopology;
 use ape_core::graph::{graph_report, reset_thread_graph};
@@ -63,40 +64,65 @@ fn trajectory(moves: usize) -> Vec<SpecDelta> {
 }
 
 /// Wall time for the trajectory with a graph reset before every move —
-/// every design is a from-scratch estimate.
-fn run_cold(tech: &Technology, topology: OpAmpTopology, deltas: &[SpecDelta]) -> f64 {
+/// every design is a from-scratch estimate. Per-move latencies land in
+/// `lat` for the standardized `latency_ns` bench block.
+fn run_cold(
+    tech: &Technology,
+    topology: OpAmpTopology,
+    deltas: &[SpecDelta],
+    lat: &ape_probe::Histogram,
+) -> f64 {
     let mut spec = base_spec();
     let t0 = Instant::now();
     for d in deltas {
         spec = d.apply(&spec);
         reset_thread_graph();
+        let m0 = Instant::now();
         std::hint::black_box(OpAmp::design(tech, topology, spec).expect("cold design"));
+        lat.record(m0.elapsed().as_nanos() as f64);
     }
     t0.elapsed().as_secs_f64()
 }
 
 /// Wall time for the same trajectory through [`OpAmp::redesign`] on a warm
 /// graph: unchanged subtrees answer from the memo.
-fn run_incremental(tech: &Technology, topology: OpAmpTopology, deltas: &[SpecDelta]) -> f64 {
+fn run_incremental(
+    tech: &Technology,
+    topology: OpAmpTopology,
+    deltas: &[SpecDelta],
+    lat: &ape_probe::Histogram,
+) -> f64 {
     reset_thread_graph();
     let mut amp = OpAmp::design(tech, topology, base_spec()).expect("base design");
     let t0 = Instant::now();
     for d in deltas {
+        let m0 = Instant::now();
         amp = OpAmp::redesign(tech, &amp, d).expect("incremental redesign");
+        lat.record(m0.elapsed().as_nanos() as f64);
         std::hint::black_box(&amp);
     }
     t0.elapsed().as_secs_f64()
 }
 
-/// Runs the neighbour stream through a farm and returns wall seconds.
-fn run_sweep(tech: &Technology, workers: usize, requests: &[Request]) -> f64 {
+/// Runs the neighbour stream through a farm and returns wall seconds plus
+/// the farm's queue-wait and job-latency distributions.
+fn run_sweep(
+    tech: &Technology,
+    workers: usize,
+    requests: &[Request],
+) -> (
+    f64,
+    ape_probe::HistogramSnapshot,
+    ape_probe::HistogramSnapshot,
+) {
     let farm = Farm::new(tech.clone(), FarmConfig::with_workers(workers));
     let t0 = Instant::now();
     let handles: Vec<_> = requests.iter().cloned().map(|r| farm.submit(r)).collect();
     for h in &handles {
         let _ = h.wait();
     }
-    t0.elapsed().as_secs_f64()
+    let wall = t0.elapsed().as_secs_f64();
+    (wall, farm.queue_wait_ns(), farm.job_latency_ns())
 }
 
 fn main() {
@@ -110,8 +136,10 @@ fn main() {
     // Single-variable anneal moves: cold vs incremental. Best of three
     // repetitions keeps the smoke gate out of scheduler-noise territory.
     let best = |f: &dyn Fn() -> f64| (0..3).map(|_| f()).fold(f64::INFINITY, f64::min);
-    let cold = best(&|| run_cold(&tech, topology, &deltas));
-    let incremental = best(&|| run_incremental(&tech, topology, &deltas));
+    let cold_lat = ape_probe::Histogram::new();
+    let incr_lat = ape_probe::Histogram::new();
+    let cold = best(&|| run_cold(&tech, topology, &deltas, &cold_lat));
+    let incremental = best(&|| run_incremental(&tech, topology, &deltas, &incr_lat));
     let speedup = cold / incremental;
     println!("== Single-variable anneal moves: cold vs incremental ==");
     println!(
@@ -149,10 +177,15 @@ fn main() {
         })
         .collect();
     let workers_axis = [1usize, 2, 4, 8];
-    let sweep_walls: Vec<f64> = workers_axis
+    let sweeps: Vec<(
+        f64,
+        ape_probe::HistogramSnapshot,
+        ape_probe::HistogramSnapshot,
+    )> = workers_axis
         .iter()
         .map(|&w| run_sweep(&tech, w, &requests))
         .collect();
+    let sweep_walls: Vec<f64> = sweeps.iter().map(|(w, _, _)| *w).collect();
     let mut rows = Vec::new();
     for (k, &w) in workers_axis.iter().enumerate() {
         rows.push(vec![
@@ -174,6 +207,7 @@ fn main() {
 
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"bench\": \"estimator\",");
+    let _ = writeln!(out, "  \"schema\": {BENCH_SCHEMA},");
     let _ = writeln!(out, "  \"moves\": {moves},");
     let _ = writeln!(out, "  \"cold_moves_per_s\": {:.3},", moves as f64 / cold);
     let _ = writeln!(
@@ -185,13 +219,28 @@ fn main() {
     let _ = writeln!(out, "  \"detected_parallelism\": {detected},");
     let _ = writeln!(
         out,
-        "  \"sweep_neighbors\": {{\"jobs\": {}, \"workers\": [1, 2, 4, 8], \"jobs_per_s\": [{}]}}",
+        "  \"sweep_neighbors\": {{\"jobs\": {}, \"workers\": [1, 2, 4, 8], \"jobs_per_s\": [{}]}},",
         requests.len(),
         sweep_walls
             .iter()
             .map(|t| format!("{:.3}", requests.len() as f64 / t))
             .collect::<Vec<_>>()
             .join(", ")
+    );
+    // Quantile blocks: per-move estimator latency (all three repetitions
+    // pooled) and the farm's queue behaviour at the widest sweep.
+    let (_, farm_wait, farm_lat) = &sweeps[sweeps.len() - 1];
+    let cold_snap = cold_lat.snapshot();
+    let incr_snap = incr_lat.snapshot();
+    let _ = writeln!(
+        out,
+        "  {}",
+        latency_section(&[
+            ("cold_move", &cold_snap),
+            ("incremental_move", &incr_snap),
+            ("farm_queue_wait", farm_wait),
+            ("farm_job", farm_lat),
+        ])
     );
     out.push_str("}\n");
     std::fs::create_dir_all("results").expect("create results dir");

@@ -10,13 +10,19 @@
 //! machine every row collapses to serial throughput, which is why the
 //! detected parallelism is printed with the results.
 //!
+//! Writes a machine-readable summary to `results/BENCH_farm.json`
+//! (schema 2) whose `latency_ns` block carries the queue-wait and
+//! job-latency quantiles from the widest distinct-design row.
+//!
 //! Run with `cargo run --release -p ape-bench --bin farm`.
 
+use ape_bench::report::{latency_section, BENCH_SCHEMA};
 use ape_bench::{fmt_val, render_table};
 use ape_core::basic::MirrorTopology;
 use ape_core::opamp::{OpAmpSpec, OpAmpTopology};
 use ape_farm::{Farm, FarmConfig, Request};
 use ape_netlist::Technology;
+use std::fmt::Write as _;
 use std::time::Instant;
 
 fn grid(points: usize) -> Vec<Request> {
@@ -43,7 +49,15 @@ fn grid(points: usize) -> Vec<Request> {
         .collect()
 }
 
-fn run(workers: usize, requests: &[Request]) -> (f64, u64, u64) {
+struct RunResult {
+    secs: f64,
+    executed: u64,
+    shared: u64,
+    queue_wait: ape_probe::HistogramSnapshot,
+    job_latency: ape_probe::HistogramSnapshot,
+}
+
+fn run(workers: usize, requests: &[Request]) -> RunResult {
     let farm = Farm::new(
         Technology::default_1p2um(),
         FarmConfig::with_workers(workers),
@@ -53,9 +67,15 @@ fn run(workers: usize, requests: &[Request]) -> (f64, u64, u64) {
     for h in &handles {
         let _ = h.wait();
     }
-    let elapsed = t0.elapsed().as_secs_f64();
+    let secs = t0.elapsed().as_secs_f64();
     let stats = farm.stats();
-    (elapsed, stats.executed, stats.cache_hits + stats.deduped)
+    RunResult {
+        secs,
+        executed: stats.executed,
+        shared: stats.cache_hits + stats.deduped,
+        queue_wait: farm.queue_wait_ns(),
+        job_latency: farm.job_latency_ns(),
+    }
 }
 
 fn main() {
@@ -70,17 +90,22 @@ fn main() {
     let requests = grid(points);
     let mut rows = Vec::new();
     let mut base = None;
-    for workers in [1usize, 2, 4, 8] {
-        let (secs, executed, _) = run(workers, &requests);
-        let thr = points as f64 / secs;
+    let workers_axis = [1usize, 2, 4, 8];
+    let mut throughputs = Vec::new();
+    let mut widest = None;
+    for workers in workers_axis {
+        let r = run(workers, &requests);
+        let thr = points as f64 / r.secs;
         let base_thr = *base.get_or_insert(thr);
         rows.push(vec![
             workers.to_string(),
-            fmt_val(secs * 1e3),
+            fmt_val(r.secs * 1e3),
             fmt_val(thr),
             format!("{:.2}x", thr / base_thr),
-            executed.to_string(),
+            r.executed.to_string(),
         ]);
+        throughputs.push(thr);
+        widest = Some(r);
     }
     println!("-- {points} distinct designs --");
     println!(
@@ -95,13 +120,15 @@ fn main() {
     let mut dup = grid(points / 2);
     dup.extend(grid(points / 2));
     let mut rows = Vec::new();
+    let mut dedup_executed = 0;
     for workers in [1usize, 4] {
-        let (secs, executed, shared) = run(workers, &dup);
+        let r = run(workers, &dup);
+        dedup_executed = r.executed;
         rows.push(vec![
             workers.to_string(),
-            fmt_val(secs * 1e3),
-            executed.to_string(),
-            shared.to_string(),
+            fmt_val(r.secs * 1e3),
+            r.executed.to_string(),
+            r.shared.to_string(),
         ]);
     }
     println!("-- {points} submissions, 50% duplicates --");
@@ -109,5 +136,43 @@ fn main() {
         "{}",
         render_table(&["workers", "wall (ms)", "executed", "cache-shared"], &rows)
     );
+
+    let widest = widest.expect("at least one worker row ran");
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"farm\",");
+    let _ = writeln!(out, "  \"schema\": {BENCH_SCHEMA},");
+    let _ = writeln!(out, "  \"points\": {points},");
+    let _ = writeln!(out, "  \"detected_parallelism\": {detected},");
+    let _ = writeln!(
+        out,
+        "  \"workers\": [{}],",
+        workers_axis
+            .iter()
+            .map(usize::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(
+        out,
+        "  \"designs_per_s\": [{}],",
+        throughputs
+            .iter()
+            .map(|t| format!("{t:.3}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(out, "  \"dedup_executed\": {dedup_executed},");
+    let _ = writeln!(
+        out,
+        "  {}",
+        latency_section(&[
+            ("queue_wait", &widest.queue_wait),
+            ("job", &widest.job_latency),
+        ])
+    );
+    out.push_str("}\n");
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/BENCH_farm.json", &out).expect("write BENCH_farm.json");
+    println!("wrote results/BENCH_farm.json");
     ape_probe::finish();
 }

@@ -1,0 +1,98 @@
+//! Bench regression differ: `cargo run -p ape-bench --bin report --
+//! <baseline.json> <new.json> [--tolerance 0.10]`.
+//!
+//! Flattens both `BENCH_*.json` files to dotted numeric paths, infers each
+//! metric's quality direction from its name (`*_per_s` up is good, `*_ns`
+//! down is good, `count`/`schema`/... informational), and prints every
+//! path that moved the bad way past the tolerance. Exits non-zero when any
+//! regression is flagged, so CI can gate on
+//! `report results/BENCH_x.json.baseline results/BENCH_x.json`.
+
+use ape_bench::minijson;
+use ape_bench::report::{diff, Delta, Direction};
+
+fn load(path: &str) -> minijson::Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    minijson::parse(&text).unwrap_or_else(|e| {
+        eprintln!("error: {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn arrow(d: &Delta) -> &'static str {
+    match d.direction {
+        Direction::HigherIsBetter => "higher is better",
+        Direction::LowerIsBetter => "lower is better",
+        Direction::Informational => "informational",
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut tolerance = 0.10f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--tolerance" {
+            let v = it.next().and_then(|v| v.parse().ok());
+            tolerance = v.unwrap_or_else(|| {
+                eprintln!("error: --tolerance needs a fractional number (e.g. 0.10)");
+                std::process::exit(2);
+            });
+        } else {
+            paths.push(a.clone());
+        }
+    }
+    let [baseline, candidate] = paths.as_slice() else {
+        eprintln!("usage: report <baseline.json> <new.json> [--tolerance 0.10]");
+        std::process::exit(2);
+    };
+
+    let old = load(baseline);
+    let new = load(candidate);
+    let deltas = diff(&old, &new, tolerance);
+    if deltas.is_empty() {
+        eprintln!("error: no numeric paths shared between {baseline} and {candidate}");
+        std::process::exit(2);
+    }
+
+    let regressions: Vec<&Delta> = deltas.iter().filter(|d| d.regression).collect();
+    let improved = deltas
+        .iter()
+        .filter(|d| {
+            !d.regression
+                && match d.direction {
+                    Direction::HigherIsBetter => d.rel_change() > tolerance,
+                    Direction::LowerIsBetter => d.rel_change() < -tolerance,
+                    Direction::Informational => false,
+                }
+        })
+        .count();
+
+    println!(
+        "compared {} numeric paths ({baseline} -> {candidate}, tolerance {:.0}%)",
+        deltas.len(),
+        tolerance * 100.0
+    );
+    println!(
+        "  {improved} improved past the tolerance, {} regressed",
+        regressions.len()
+    );
+    for d in &regressions {
+        println!(
+            "  REGRESSION {}: {:.3} -> {:.3} ({:+.1}%, {})",
+            d.path,
+            d.old,
+            d.new,
+            d.rel_change() * 100.0,
+            arrow(d)
+        );
+    }
+    if !regressions.is_empty() {
+        std::process::exit(1);
+    }
+    println!("no regressions");
+}

@@ -9,6 +9,7 @@
 //! Run with `cargo run --release -p ape-bench --bin spice`; pass `--smoke`
 //! for the fast CI variant (fewer samples and frequency points).
 
+use ape_bench::report::{latency_section, BENCH_SCHEMA};
 use ape_bench::{fmt_val, render_table};
 use ape_core::basic::{GainStage, GainTopology};
 use ape_core::module::SallenKeyLowPass;
@@ -50,14 +51,29 @@ fn cases(tech: &Technology) -> Vec<Case> {
     ]
 }
 
-/// Median-of-samples wall time per call, seconds.
-fn time_it<R>(samples: u32, mut f: impl FnMut() -> R) -> f64 {
+/// Per-analysis latency distributions over every sampled sparse call,
+/// pooled across the testbench circuits — the standardized `latency_ns`
+/// block of `BENCH_spice.json`.
+#[derive(Default)]
+struct Latencies {
+    dc_sparse: ape_probe::Histogram,
+    ac_sparse: ape_probe::Histogram,
+    tran_sparse: ape_probe::Histogram,
+}
+
+/// Median-of-samples wall time per call, seconds. Every sample also lands
+/// in `hist` (when given) so quantiles survive the median reduction.
+fn time_it<R>(samples: u32, hist: Option<&ape_probe::Histogram>, mut f: impl FnMut() -> R) -> f64 {
     std::hint::black_box(f()); // warm-up
     let mut times: Vec<f64> = (0..samples.max(1))
         .map(|_| {
             let t0 = Instant::now();
             std::hint::black_box(f());
-            t0.elapsed().as_secs_f64()
+            let secs = t0.elapsed().as_secs_f64();
+            if let Some(h) = hist {
+                h.record(secs * 1e9);
+            }
+            secs
         })
         .collect();
     times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
@@ -86,15 +102,21 @@ struct CaseResult {
     ac_allocs: u64,
 }
 
-fn run_case(tech: &Technology, case: &Case, samples: u32, freq_ppd: usize) -> CaseResult {
+fn run_case(
+    tech: &Technology,
+    case: &Case,
+    samples: u32,
+    freq_ppd: usize,
+    lat: &Latencies,
+) -> CaseResult {
     let ckt = &case.ckt;
     let unknowns = Unknowns::for_circuit(ckt).dim();
     let freqs = decade_frequencies(10.0, 1e9, freq_ppd).unwrap();
 
-    let dc_dense = time_it(samples, || {
+    let dc_dense = time_it(samples, None, || {
         dc_operating_point_with(ckt, tech, dc_opts(Backend::Dense)).expect("dense DC")
     });
-    let dc_sparse = time_it(samples, || {
+    let dc_sparse = time_it(samples, Some(&lat.dc_sparse), || {
         dc_operating_point_with(ckt, tech, dc_opts(Backend::Sparse)).expect("sparse DC")
     });
 
@@ -103,10 +125,13 @@ fn run_case(tech: &Technology, case: &Case, samples: u32, freq_ppd: usize) -> Ca
     let ac = |backend: Backend, threads: usize| {
         ac_sweep_with(ckt, tech, &op, &freqs, AcOptions { threads, backend }).expect("AC sweep")
     };
-    let ac_dense = time_it(samples, || ac(Backend::Dense, 1));
+    let ac_dense = time_it(samples, None, || ac(Backend::Dense, 1));
     let ac_sparse: Vec<f64> = THREADS
         .iter()
-        .map(|&t| time_it(samples, || ac(Backend::Sparse, t)))
+        .map(|&t| {
+            let hist = (t == 1).then_some(&lat.ac_sparse);
+            time_it(samples, hist, || ac(Backend::Sparse, t))
+        })
         .collect();
     let before = alloc_events();
     ac(Backend::Sparse, 1);
@@ -114,9 +139,13 @@ fn run_case(tech: &Technology, case: &Case, samples: u32, freq_ppd: usize) -> Ca
 
     let mut topts = TranOptions::new(2e-7, 20e-6);
     topts.backend = Backend::Dense;
-    let tran_dense = time_it(samples, || transient(ckt, tech, &op, topts).expect("tran"));
+    let tran_dense = time_it(samples, None, || {
+        transient(ckt, tech, &op, topts).expect("tran")
+    });
     topts.backend = Backend::Sparse;
-    let tran_sparse = time_it(samples, || transient(ckt, tech, &op, topts).expect("tran"));
+    let tran_sparse = time_it(samples, Some(&lat.tran_sparse), || {
+        transient(ckt, tech, &op, topts).expect("tran")
+    });
 
     CaseResult {
         name: case.name,
@@ -140,9 +169,10 @@ fn detected_parallelism() -> usize {
         .unwrap_or(1)
 }
 
-fn json(results: &[CaseResult], samples: u32) -> String {
+fn json(results: &[CaseResult], samples: u32, lat: &Latencies) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"bench\": \"spice\",");
+    let _ = writeln!(out, "  \"schema\": {BENCH_SCHEMA},");
     let _ = writeln!(out, "  \"samples\": {samples},");
     let _ = writeln!(out, "  \"threads\": [1, 2, 4, 8],");
     let _ = writeln!(
@@ -194,7 +224,16 @@ fn json(results: &[CaseResult], samples: u32) -> String {
     let (hits, misses, repivots) = symbolic_cache_stats();
     let _ = writeln!(
         out,
-        "  \"symbolic_cache\": {{\"hits\": {hits}, \"misses\": {misses}, \"repivots\": {repivots}}}"
+        "  \"symbolic_cache\": {{\"hits\": {hits}, \"misses\": {misses}, \"repivots\": {repivots}}},"
+    );
+    let _ = writeln!(
+        out,
+        "  {}",
+        latency_section(&[
+            ("dc_sparse", &lat.dc_sparse.snapshot()),
+            ("ac_sparse_1t", &lat.ac_sparse.snapshot()),
+            ("tran_sparse", &lat.tran_sparse.snapshot()),
+        ])
     );
     out.push_str("}\n");
     out
@@ -206,9 +245,10 @@ fn main() {
     let (samples, freq_ppd) = if smoke { (1, 4) } else { (5, 20) };
     let tech = Technology::default_1p2um();
 
+    let lat = Latencies::default();
     let mut results = Vec::new();
     for case in cases(&tech) {
-        results.push(run_case(&tech, &case, samples, freq_ppd));
+        results.push(run_case(&tech, &case, samples, freq_ppd, &lat));
     }
 
     let mut rows = Vec::new();
@@ -257,7 +297,7 @@ fn main() {
         detected_parallelism()
     );
 
-    let payload = json(&results, samples);
+    let payload = json(&results, samples, &lat);
     std::fs::create_dir_all("results").expect("create results dir");
     std::fs::write("results/BENCH_spice.json", &payload).expect("write BENCH_spice.json");
     println!("wrote results/BENCH_spice.json");

@@ -9,6 +9,8 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod minijson;
+pub mod report;
 pub mod rows;
 pub mod specs;
 

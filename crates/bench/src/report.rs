@@ -1,0 +1,229 @@
+//! The standardized `BENCH_*.json` schema and the regression differ behind
+//! `cargo run -p ape-bench --bin report`.
+//!
+//! Every bench JSON carries `"schema": 2` and a `"latency_ns"` section of
+//! per-metric quantile blocks rendered by [`latency_block`] from
+//! [`ape_probe::HistogramSnapshot`]s, so CI and humans read p50/p99 the
+//! same way in every file. [`diff`] flattens two reports to dotted numeric
+//! paths and flags the ones that moved the wrong way past a tolerance,
+//! with the good direction inferred from the key name ([`direction_for`]).
+
+use crate::minijson::Json;
+use ape_probe::HistogramSnapshot;
+use std::fmt::Write as _;
+
+/// Current version stamped into every `BENCH_*.json` as `"schema"`.
+pub const BENCH_SCHEMA: u64 = 2;
+
+/// Renders one histogram as the standardized latency JSON object:
+/// `{"count", "mean_ns", "p50_ns", "p90_ns", "p99_ns", "p999_ns", "max_ns"}`.
+pub fn latency_block(h: &HistogramSnapshot) -> String {
+    let max = if h.count == 0 { 0.0 } else { h.max };
+    format!(
+        "{{\"count\": {}, \"mean_ns\": {:.1}, \"p50_ns\": {:.1}, \"p90_ns\": {:.1}, \"p99_ns\": {:.1}, \"p999_ns\": {:.1}, \"max_ns\": {max:.1}}}",
+        h.count,
+        h.mean(),
+        h.p50(),
+        h.p90(),
+        h.p99(),
+        h.p999(),
+    )
+}
+
+/// Renders the whole `"latency_ns"` section (sorted by metric name) ready
+/// to drop into a bench JSON: `"latency_ns": {"name": {...}, ...}`.
+pub fn latency_section(entries: &[(&str, &HistogramSnapshot)]) -> String {
+    let mut sorted: Vec<&(&str, &HistogramSnapshot)> = entries.iter().collect();
+    sorted.sort_by_key(|(name, _)| *name);
+    let mut out = String::from("\"latency_ns\": {");
+    for (i, (name, h)) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"{name}\": {}", latency_block(h));
+    }
+    out.push('}');
+    out
+}
+
+/// Which way a metric should move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Bigger is better (throughput, speedups, hit counts).
+    HigherIsBetter,
+    /// Smaller is better (latencies, allocation counts, misses).
+    LowerIsBetter,
+    /// No quality direction (configuration echoes, sample counts).
+    Informational,
+}
+
+/// Infers the quality direction of a metric from its dotted path.
+///
+/// Heuristic by construction — the emitters name their keys so that this
+/// classification is right: throughputs end in `per_s`, latencies in `_ns`,
+/// and configuration echoes (`schema`, `samples`, `count`, ...) match
+/// neither list.
+pub fn direction_for(path: &str) -> Direction {
+    let leaf = path.rsplit('.').next().unwrap_or(path);
+    if leaf == "count" || leaf == "schema" {
+        return Direction::Informational;
+    }
+    const HIGHER: [&str; 5] = ["per_s", "speedup", "hit", "pareto", "parallelism"];
+    const LOWER: [&str; 8] = [
+        "_ns", "latency", "wall", "alloc", "miss", "repivot", "wait", "failure",
+    ];
+    if HIGHER.iter().any(|m| path.contains(m)) {
+        Direction::HigherIsBetter
+    } else if LOWER.iter().any(|m| path.contains(m)) {
+        Direction::LowerIsBetter
+    } else {
+        Direction::Informational
+    }
+}
+
+/// One numeric path compared across two reports.
+#[derive(Debug, Clone)]
+pub struct Delta {
+    /// Dotted path of the metric (arrays indexed, e.g. `circuits.0.name`).
+    pub path: String,
+    /// Value in the baseline report.
+    pub old: f64,
+    /// Value in the new report.
+    pub new: f64,
+    /// The metric's quality direction.
+    pub direction: Direction,
+    /// `true` when the metric moved the bad way past the tolerance.
+    pub regression: bool,
+}
+
+impl Delta {
+    /// Relative change `new/old - 1`, positive when the value grew.
+    pub fn rel_change(&self) -> f64 {
+        if self.old == 0.0 {
+            if self.new == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY * self.new.signum()
+            }
+        } else {
+            self.new / self.old - 1.0
+        }
+    }
+}
+
+fn flatten(prefix: &str, v: &Json, out: &mut Vec<(String, f64)>) {
+    match v {
+        Json::Num(n) => out.push((prefix.to_string(), *n)),
+        Json::Obj(members) => {
+            for (k, child) in members {
+                let path = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                flatten(&path, child, out);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, child) in items.iter().enumerate() {
+                flatten(&format!("{prefix}.{i}"), child, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Compares two parsed bench reports. Every numeric path present in both
+/// becomes a [`Delta`]; a delta is a regression when its direction is
+/// known and it moved the bad way by more than `tolerance` (fractional:
+/// `0.10` = 10 %).
+pub fn diff(old: &Json, new: &Json, tolerance: f64) -> Vec<Delta> {
+    let mut old_paths = Vec::new();
+    let mut new_paths = Vec::new();
+    flatten("", old, &mut old_paths);
+    flatten("", new, &mut new_paths);
+    let mut deltas = Vec::new();
+    for (path, old_v) in &old_paths {
+        let Some((_, new_v)) = new_paths.iter().find(|(p, _)| p == path) else {
+            continue;
+        };
+        let direction = direction_for(path);
+        let regression = match direction {
+            Direction::HigherIsBetter => *new_v < *old_v * (1.0 - tolerance),
+            Direction::LowerIsBetter => *new_v > *old_v * (1.0 + tolerance),
+            Direction::Informational => false,
+        };
+        deltas.push(Delta {
+            path: path.clone(),
+            old: *old_v,
+            new: *new_v,
+            direction,
+            regression,
+        });
+    }
+    deltas
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minijson::parse;
+
+    #[test]
+    fn latency_block_shape() {
+        let h = ape_probe::Histogram::new();
+        h.record(1000.0);
+        h.record(3000.0);
+        let block = latency_block(&h.snapshot());
+        let doc = parse(&block).expect("block is valid json");
+        assert_eq!(doc.get("count").and_then(Json::as_f64), Some(2.0));
+        for key in ["mean_ns", "p50_ns", "p90_ns", "p99_ns", "p999_ns", "max_ns"] {
+            let v = doc.get(key).and_then(Json::as_f64).expect(key);
+            assert!((0.0..=3000.0).contains(&v), "{key} = {v}");
+        }
+        // An empty histogram renders finite zeros, not inf/nan.
+        let empty = latency_block(&HistogramSnapshot::empty());
+        parse(&empty).expect("empty block is valid json");
+        assert!(!empty.contains("inf") && !empty.contains("NaN"), "{empty}");
+    }
+
+    #[test]
+    fn direction_heuristics() {
+        assert_eq!(
+            direction_for("sweep.jobs_per_s.0"),
+            Direction::HigherIsBetter
+        );
+        assert_eq!(
+            direction_for("incremental_speedup_single_var"),
+            Direction::HigherIsBetter
+        );
+        assert_eq!(
+            direction_for("latency_ns.job.p99_ns"),
+            Direction::LowerIsBetter
+        );
+        assert_eq!(
+            direction_for("circuits.0.ac_sweep_alloc_events"),
+            Direction::LowerIsBetter
+        );
+        assert_eq!(direction_for("moves"), Direction::Informational);
+        assert_eq!(
+            direction_for("latency_ns.job.count"),
+            Direction::Informational
+        );
+        assert_eq!(direction_for("schema"), Direction::Informational);
+    }
+
+    #[test]
+    fn diff_flags_only_bad_moves() {
+        let old = parse(r#"{"x_per_s": 100, "p99_ns": 50, "moves": 10}"#).expect("old");
+        let new = parse(r#"{"x_per_s": 80, "p99_ns": 54, "moves": 99}"#).expect("new");
+        let deltas = diff(&old, &new, 0.10);
+        let by_path = |p: &str| deltas.iter().find(|d| d.path == p).expect("path present");
+        assert!(by_path("x_per_s").regression, "20% throughput drop flagged");
+        assert!(!by_path("p99_ns").regression, "8% latency rise tolerated");
+        assert!(!by_path("moves").regression, "informational never flags");
+        // Improvements never flag either.
+        let better = parse(r#"{"x_per_s": 300, "p99_ns": 10, "moves": 10}"#).expect("better");
+        assert!(diff(&old, &better, 0.10).iter().all(|d| !d.regression));
+    }
+}

@@ -86,16 +86,16 @@ impl ResultCache {
                 Claim::Owner
             }
             Some(Entry::InFlight) => {
-                ape_probe::counter("farm.cache.dedup", 1);
+                ape_probe::counter("ape.farm.cache.dedup", 1);
                 Claim::Shared
             }
             Some(Entry::Done(Ok(_))) => {
-                ape_probe::counter("farm.cache.hit", 1);
+                ape_probe::counter("ape.farm.cache.hit", 1);
                 Claim::Shared
             }
             Some(Entry::Done(Err(_))) => {
                 // Failed flights are not cached: reclaim and retry.
-                ape_probe::counter("farm.cache.retry", 1);
+                ape_probe::counter("ape.farm.cache.retry", 1);
                 map.insert(key, Entry::InFlight);
                 Claim::Owner
             }
@@ -123,7 +123,7 @@ impl ResultCache {
                     map = self.done.wait(map).unwrap_or_else(|e| e.into_inner());
                 }
                 None => {
-                    ape_probe::counter("farm.cache.unclaimed_wait", 1);
+                    ape_probe::counter("ape.farm.cache.unclaimed_wait", 1);
                     return Err(FarmError::WorkerLost(format!(
                         "wait on key {key:#x} that was never claimed"
                     )));

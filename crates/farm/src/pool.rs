@@ -101,6 +101,12 @@ struct WorkItem {
     key: u64,
     req: Request,
     cancel: CancelToken,
+    /// Innermost open span on the submitting thread, captured so the
+    /// worker-side `ape.farm.job` span parents under the submitting
+    /// request in the trace tree.
+    parent_span: Option<u64>,
+    /// Enqueue time, for the queue-wait histogram.
+    enqueued: Instant,
 }
 
 struct Shared {
@@ -111,6 +117,10 @@ struct Shared {
     isolate_sizing_cache: bool,
     isolate_solver_cache: bool,
     stats: StatCells,
+    /// Always-on latency telemetry, independent of whether a probe sink is
+    /// installed: the farm owns its own lock-free histograms.
+    queue_wait_ns: ape_probe::Histogram,
+    job_latency_ns: ape_probe::Histogram,
 }
 
 /// A handle to one submitted job.
@@ -205,6 +215,8 @@ impl Farm {
             isolate_sizing_cache: config.isolate_sizing_cache,
             isolate_solver_cache: config.isolate_solver_cache,
             stats: StatCells::default(),
+            queue_wait_ns: ape_probe::Histogram::new(),
+            job_latency_ns: ape_probe::Histogram::new(),
         });
         let cancel = CancelToken::new();
         let mut workers = Vec::with_capacity(config.workers.max(1));
@@ -218,7 +230,7 @@ impl Farm {
                 Err(_) => {
                     // Run with however many threads the OS granted; the
                     // farm still works (degraded) as long as one exists.
-                    ape_probe::counter("farm.worker.spawn_failed", 1);
+                    ape_probe::counter("ape.farm.worker.spawn_failed", 1);
                     break;
                 }
             }
@@ -248,6 +260,54 @@ impl Farm {
     /// jobs on one worker reuse pivot orders and the hit rate here shows it.
     pub fn solver_cache_report(&self) -> String {
         ape_spice::symbolic_cache_report()
+    }
+
+    /// Distribution of per-job queue wait (submit → dequeue),
+    /// nanoseconds. Recorded for every executed job whether or not a probe
+    /// sink is installed.
+    pub fn queue_wait_ns(&self) -> ape_probe::HistogramSnapshot {
+        self.shared.queue_wait_ns.snapshot()
+    }
+
+    /// Distribution of per-job execution latency (dequeue → published
+    /// result), nanoseconds.
+    pub fn job_latency_ns(&self) -> ape_probe::HistogramSnapshot {
+        self.shared.job_latency_ns.snapshot()
+    }
+
+    /// Human-readable one-stop report: lifetime counters plus queue-wait
+    /// and job-latency quantiles.
+    pub fn report(&self) -> String {
+        use std::fmt::Write as _;
+        let s = self.stats();
+        let wait = self.queue_wait_ns();
+        let lat = self.job_latency_ns();
+        let mut out = String::from("=== ape-farm report ===\n");
+        let _ = writeln!(
+            out,
+            "  jobs: {} submitted, {} executed, {} cache hits, {} deduped, {} cancelled, {} panicked, {} rejected",
+            s.submitted, s.executed, s.cache_hits, s.deduped, s.cancelled, s.panicked, s.rejected
+        );
+        let fmt_ns = |v: f64| ape_probe::fmt_nanos(v.max(0.0) as u64);
+        let _ = writeln!(
+            out,
+            "  queue wait:  p50 {}  p90 {}  p99 {}  max {}  (n={})",
+            fmt_ns(wait.p50()),
+            fmt_ns(wait.p90()),
+            fmt_ns(wait.p99()),
+            fmt_ns(if wait.count == 0 { 0.0 } else { wait.max }),
+            wait.count
+        );
+        let _ = writeln!(
+            out,
+            "  job latency: p50 {}  p90 {}  p99 {}  max {}  (n={})",
+            fmt_ns(lat.p50()),
+            fmt_ns(lat.p90()),
+            fmt_ns(lat.p99()),
+            fmt_ns(if lat.count == 0 { 0.0 } else { lat.max }),
+            lat.count
+        );
+        out
     }
 
     /// Lifetime counters (racy snapshot).
@@ -313,6 +373,8 @@ impl Farm {
                     key,
                     req,
                     cancel: token,
+                    parent_span: ape_probe::current_span(),
+                    enqueued: Instant::now(),
                 };
                 // Having claimed ownership we MUST publish an outcome for
                 // this key on every path, or deduplicated waiters hang.
@@ -381,7 +443,7 @@ struct PublishOnDrop<'a> {
 impl Drop for PublishOnDrop<'_> {
     fn drop(&mut self) {
         if self.armed {
-            ape_probe::counter("farm.worker.lost_job", 1);
+            ape_probe::counter("ape.farm.worker.lost_job", 1);
             self.shared.stats.panicked.fetch_add(1, Ordering::Relaxed);
             self.shared.cache.publish(
                 self.key,
@@ -394,40 +456,48 @@ impl Drop for PublishOnDrop<'_> {
 }
 
 fn worker_loop(shared: &Shared) {
-    let _span = ape_probe::span("farm.worker");
+    let _span = ape_probe::span("ape.farm.worker");
     while let Some(item) = shared.queue.pop() {
         let mut guard = PublishOnDrop {
             shared,
             key: item.key,
             armed: true,
         };
+        let wait_ns = item.enqueued.elapsed().as_nanos() as f64;
+        shared.queue_wait_ns.record(wait_ns);
+        ape_probe::value("ape.farm.queue.wait_ns", wait_ns);
         let inflight = shared.inflight.fetch_add(1, Ordering::Relaxed) + 1;
-        ape_probe::gauge("farm.inflight", inflight as f64);
+        ape_probe::gauge("ape.farm.inflight", inflight as f64);
         let t0 = Instant::now();
         let result = run_item(shared, &item);
-        ape_probe::value("farm.job.latency_ns", t0.elapsed().as_nanos() as f64);
+        let latency_ns = t0.elapsed().as_nanos() as f64;
+        shared.job_latency_ns.record(latency_ns);
+        ape_probe::value("ape.farm.job.latency_ns", latency_ns);
         shared.stats.executed.fetch_add(1, Ordering::Relaxed);
         match &result {
             Err(FarmError::Cancelled) => {
                 shared.stats.cancelled.fetch_add(1, Ordering::Relaxed);
-                ape_probe::counter("farm.job.cancelled", 1);
+                ape_probe::counter("ape.farm.job.cancelled", 1);
             }
             Err(FarmError::Panicked(_)) => {
                 shared.stats.panicked.fetch_add(1, Ordering::Relaxed);
-                ape_probe::counter("farm.job.panicked", 1);
+                ape_probe::counter("ape.farm.job.panicked", 1);
             }
-            Err(_) => ape_probe::counter("farm.job.failed", 1),
-            Ok(_) => ape_probe::counter("farm.job.ok", 1),
+            Err(_) => ape_probe::counter("ape.farm.job.failed", 1),
+            Ok(_) => ape_probe::counter("ape.farm.job.ok", 1),
         }
         guard.armed = false;
         shared.cache.publish(item.key, result);
         let inflight = shared.inflight.fetch_sub(1, Ordering::Relaxed) - 1;
-        ape_probe::gauge("farm.inflight", inflight as f64);
+        ape_probe::gauge("ape.farm.inflight", inflight as f64);
     }
 }
 
 fn run_item(shared: &Shared, item: &WorkItem) -> Result<Response, FarmError> {
-    let _span = ape_probe::span("farm.job");
+    // Parent the worker-side span under the innermost span that was open on
+    // the submitting thread, so a sweep's jobs hang off its request span in
+    // the exported trace tree instead of floating as roots.
+    let _span = ape_probe::span_with_parent("ape.farm.job", item.parent_span);
     if item.cancel.is_cancelled() {
         return Err(FarmError::Cancelled);
     }

@@ -85,7 +85,7 @@ impl<T> BoundedQueue<T> {
             }
             if st.items.len() < self.capacity {
                 st.items.push_back(item);
-                ape_probe::gauge("farm.queue.depth", st.items.len() as f64);
+                ape_probe::gauge("ape.farm.queue.depth", st.items.len() as f64);
                 drop(st);
                 self.not_empty.notify_one();
                 return Ok(());
@@ -101,11 +101,11 @@ impl<T> BoundedQueue<T> {
             return Err((item, TryPushError::Closed));
         }
         if st.items.len() >= self.capacity {
-            ape_probe::counter("farm.queue.rejected", 1);
+            ape_probe::counter("ape.farm.queue.rejected", 1);
             return Err((item, TryPushError::Full));
         }
         st.items.push_back(item);
-        ape_probe::gauge("farm.queue.depth", st.items.len() as f64);
+        ape_probe::gauge("ape.farm.queue.depth", st.items.len() as f64);
         drop(st);
         self.not_empty.notify_one();
         Ok(())
@@ -118,7 +118,7 @@ impl<T> BoundedQueue<T> {
         let mut st = self.lock();
         loop {
             if let Some(item) = st.items.pop_front() {
-                ape_probe::gauge("farm.queue.depth", st.items.len() as f64);
+                ape_probe::gauge("ape.farm.queue.depth", st.items.len() as f64);
                 drop(st);
                 self.not_full.notify_one();
                 return Some(item);

@@ -110,9 +110,9 @@ impl SweepPlan {
     /// report (and its JSONL rendering) does not depend on the farm's
     /// worker count.
     pub fn run(&self, farm: &Farm) -> SweepReport {
-        let _span = ape_probe::span("farm.sweep");
+        let _span = ape_probe::span("ape.farm.sweep");
         let points = self.points();
-        ape_probe::counter("farm.sweep.points", points.len() as u64);
+        ape_probe::counter("ape.farm.sweep.points", points.len() as u64);
         let handles: Vec<_> = points
             .iter()
             .map(|p| farm.submit(self.request_for(p)))

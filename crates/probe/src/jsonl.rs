@@ -2,7 +2,8 @@
 //! to stderr or a file for offline analysis (no serde — the event grammar
 //! is tiny and hand-rolled).
 
-use crate::Sink;
+use crate::trace::escape;
+use crate::{Sink, SpanEvent};
 use std::fs::File;
 use std::io::{BufWriter, Stderr, Write};
 use std::path::Path;
@@ -35,12 +36,16 @@ impl Target {
 /// A [`Sink`] that emits each event as one JSON line:
 ///
 /// ```text
-/// {"type":"span","name":"ape.l3.opamp","depth":0,"ns":81234}
+/// {"type":"span","name":"ape.l3.opamp","id":7,"parent":3,"tid":0,"depth":1,"start_ns":12000,"ns":81234}
 /// {"type":"counter","name":"ape.cache.hit","delta":4}
 /// {"type":"value","name":"anneal.accept_ratio","value":0.44}
 /// ```
 ///
-/// Non-finite values serialise as `null`.
+/// Non-finite values serialise as `null`, as does an absent span parent.
+///
+/// Output is flushed by [`Sink::flush_events`] (which [`crate::finish`],
+/// [`crate::uninstall`] and the panic hook all call) *and* on drop, so a
+/// scope-local sink never loses buffered lines.
 pub struct JsonLinesSink {
     target: Mutex<Target>,
 }
@@ -93,42 +98,39 @@ impl JsonLinesSink {
     }
 }
 
-/// Escapes a string for inclusion in a JSON string literal.
-fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
+impl Drop for JsonLinesSink {
+    /// Flush-on-drop guard: a sink torn down without an explicit
+    /// [`crate::finish`] still leaves complete JSONL lines behind.
+    fn drop(&mut self) {
+        self.flush_events();
     }
-    out
 }
 
 /// Serialises an `f64` as a JSON number (`null` when non-finite).
 fn json_f64(v: f64) -> String {
     if v.is_finite() {
-        let s = format!("{v}");
-        // `{}` on f64 never prints an integer-looking NaN/inf here; it may
-        // print `5` for 5.0, which is still a valid JSON number.
-        s
+        // `{}` on f64 may print `5` for 5.0, which is still a valid JSON
+        // number.
+        format!("{v}")
     } else {
         "null".into()
     }
 }
 
 impl Sink for JsonLinesSink {
-    fn on_span(&self, name: &'static str, depth: usize, nanos: u64) {
+    fn on_span(&self, ev: &SpanEvent) {
+        let parent = match ev.parent {
+            Some(p) => p.to_string(),
+            None => "null".into(),
+        };
         self.emit(&format!(
-            "{{\"type\":\"span\",\"name\":\"{}\",\"depth\":{depth},\"ns\":{nanos}}}",
-            escape(name)
+            "{{\"type\":\"span\",\"name\":\"{}\",\"id\":{},\"parent\":{parent},\"tid\":{},\"depth\":{},\"start_ns\":{},\"ns\":{}}}",
+            escape(ev.name),
+            ev.id,
+            ev.tid,
+            ev.depth,
+            ev.start_ns,
+            ev.dur_ns,
         ));
     }
 
@@ -168,7 +170,15 @@ mod tests {
     #[test]
     fn events_serialize_one_per_line() {
         let s = JsonLinesSink::to_buffer();
-        s.on_span("a.b", 2, 12345);
+        s.on_span(&SpanEvent {
+            name: "a.b",
+            id: 9,
+            parent: Some(4),
+            tid: 1,
+            depth: 2,
+            start_ns: 777,
+            dur_ns: 12345,
+        });
         s.on_counter("c", 7);
         s.on_value("v", 0.25);
         s.on_value("nan", f64::NAN);
@@ -178,7 +188,7 @@ mod tests {
         assert_eq!(lines.len(), 5);
         assert_eq!(
             lines[0],
-            "{\"type\":\"span\",\"name\":\"a.b\",\"depth\":2,\"ns\":12345}"
+            "{\"type\":\"span\",\"name\":\"a.b\",\"id\":9,\"parent\":4,\"tid\":1,\"depth\":2,\"start_ns\":777,\"ns\":12345}"
         );
         assert_eq!(
             lines[1],
@@ -193,6 +203,21 @@ mod tests {
             "{\"type\":\"value\",\"name\":\"nan\",\"value\":null}"
         );
         assert_eq!(lines[4], "{\"type\":\"gauge\",\"name\":\"g\",\"value\":3}");
+    }
+
+    #[test]
+    fn root_span_parent_serializes_null() {
+        let s = JsonLinesSink::to_buffer();
+        s.on_span(&SpanEvent {
+            name: "root",
+            id: 1,
+            parent: None,
+            tid: 0,
+            depth: 0,
+            start_ns: 0,
+            dur_ns: 10,
+        });
+        assert!(s.buffer_contents().contains("\"parent\":null"));
     }
 
     #[test]

@@ -1,0 +1,125 @@
+//! Prometheus text-exposition rendering of a [`RegistrySnapshot`] — the
+//! groundwork for `ape-serve`'s `/metrics` endpoint.
+//!
+//! Counters render as `counter`, gauges as `gauge`, and value/span
+//! histograms as `summary` families with p50/p90/p99/p999 quantile labels
+//! plus `_sum` and `_count` series (span families get a `_duration_ns`
+//! suffix). Metric names are sanitised to the Prometheus grammar
+//! (`[a-zA-Z_:][a-zA-Z0-9_:]*`); output is deterministic (sorted by name).
+
+use crate::registry::{HistogramSnapshot, RegistrySnapshot};
+use std::fmt::Write as _;
+
+/// Maps a dotted probe name onto the Prometheus metric-name grammar.
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if ok {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Formats an f64 the way Prometheus expects (`NaN`/`+Inf`/`-Inf` spelled
+/// out).
+fn num(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".into()
+    } else if v == f64::INFINITY {
+        "+Inf".into()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".into()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn render_summary(out: &mut String, name: &str, h: &HistogramSnapshot) {
+    let _ = writeln!(out, "# TYPE {name} summary");
+    for (label, q) in [
+        ("0.5", h.p50()),
+        ("0.9", h.p90()),
+        ("0.99", h.p99()),
+        ("0.999", h.p999()),
+    ] {
+        let _ = writeln!(out, "{name}{{quantile=\"{label}\"}} {}", num(q));
+    }
+    let _ = writeln!(out, "{name}_sum {}", num(h.sum));
+    let _ = writeln!(out, "{name}_count {}", h.count);
+}
+
+/// Renders a registry snapshot as Prometheus text exposition (version
+/// 0.0.4, the `text/plain` format every scraper accepts).
+///
+/// # Example
+///
+/// ```
+/// use ape_probe::{render_prometheus, Registry};
+/// let r = Registry::new();
+/// r.counter_add("ape.graph.hit", 3);
+/// let text = render_prometheus(&r.snapshot());
+/// assert!(text.contains("ape_graph_hit 3"));
+/// ```
+pub fn render_prometheus(snap: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    for (name, total) in &snap.counters {
+        let name = sanitize(name);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {total}");
+    }
+    for (name, g) in &snap.gauges {
+        let name = sanitize(name);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {}", num(g.last));
+    }
+    for (name, h) in &snap.values {
+        render_summary(&mut out, &sanitize(name), h);
+    }
+    for (name, s) in &snap.spans {
+        let name = format!("{}_duration_ns", sanitize(name));
+        render_summary(&mut out, &name, &s.durations);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn sanitizes_names() {
+        assert_eq!(sanitize("ape.farm.queue.depth"), "ape_farm_queue_depth");
+        assert_eq!(sanitize("9lives"), "_lives");
+        assert_eq!(sanitize(""), "_");
+    }
+
+    #[test]
+    fn renders_all_families() {
+        let r = Registry::new();
+        r.counter_add("t.hits", 4);
+        r.gauge_set("t.depth", 2.0);
+        r.value_record("t.lat", 100.0);
+        r.span_record("t.solve", 0, 5_000);
+        let text = render_prometheus(&r.snapshot());
+        assert!(text.contains("# TYPE t_hits counter\nt_hits 4\n"));
+        assert!(text.contains("# TYPE t_depth gauge\nt_depth 2\n"));
+        assert!(text.contains("t_lat{quantile=\"0.5\"}"));
+        assert!(text.contains("t_lat_count 1"));
+        assert!(text.contains("t_solve_duration_ns{quantile=\"0.99\"}"));
+    }
+
+    #[test]
+    fn non_finite_spelled_out() {
+        assert_eq!(num(f64::NAN), "NaN");
+        assert_eq!(num(f64::INFINITY), "+Inf");
+        assert_eq!(num(f64::NEG_INFINITY), "-Inf");
+    }
+}

@@ -1,0 +1,689 @@
+//! The lock-free metrics registry: sharded atomic counters, gauges, and
+//! log-linear quantile histograms, addressable by static name.
+//!
+//! The registry replaces the mutexed aggregation maps the old
+//! [`SummarySink`](crate::SummarySink) carried: hot paths (graph node
+//! lookups, sparse refactorisation, farm dispatch) update padded atomics
+//! and never block each other. The only locks are sharded `RwLock`s around
+//! the name → metric maps, taken once per *(thread, name)* pair: every
+//! thread memoizes the `Arc` handles it has resolved, so the steady-state
+//! record path is a thread-local hash lookup plus one relaxed atomic RMW.
+//!
+//! Layout:
+//!
+//! * [`Counter`] — monotonic total, striped over 8 cache-line-padded
+//!   atomic cells so concurrent increments from different threads do not
+//!   bounce one cache line;
+//! * [`Gauge`] — last/min/max/count of an instantaneous level;
+//! * [`Histogram`] — log-linear (HDR-style) distribution with 8 linear
+//!   sub-buckets per power of two, yielding p50/p90/p99/p999 with a
+//!   relative error bound of 2^(1/8) ≈ 9 % — far inside the ≤ 2× bound
+//!   the old log10 bucket means could not offer at all;
+//! * span series — a [`Histogram`] of durations plus the minimum nesting
+//!   depth, fed by [`SpanEvent`](crate::SpanEvent)s.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Linear sub-buckets per power of two (as a bit count): 2^3 = 8.
+const SUB_BITS: u32 = 3;
+/// Sub-buckets per octave.
+const SUBS: usize = 1 << SUB_BITS;
+/// Smallest biased f64 exponent with its own buckets (2^-40 ≈ 9.1e-13):
+/// anything positive but smaller lands in the underflow bucket.
+const EXP_MIN: u64 = 1023 - 40;
+/// Largest biased f64 exponent with its own buckets (2^63 ≈ 9.2e18).
+const EXP_MAX: u64 = 1023 + 63;
+/// Total bucket count: underflow + octaves*subs + overflow.
+const NBUCKETS: usize = ((EXP_MAX - EXP_MIN + 1) as usize) * SUBS + 2;
+
+/// Cache-line-padded atomic cell, so striped counters do not false-share.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct PaddedU64(AtomicU64);
+
+/// Stripes per [`Counter`].
+const STRIPES: usize = 8;
+
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static THREAD_INDEX: u64 = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A small dense per-thread index (0, 1, 2, …) in assignment order; also
+/// used as the `tid` of [`SpanEvent`](crate::SpanEvent)s.
+pub fn thread_index() -> u64 {
+    THREAD_INDEX.with(|t| *t)
+}
+
+/// A monotonic counter striped over cache-line-padded atomic cells:
+/// concurrent `add`s from different threads usually hit different lines.
+#[derive(Debug, Default)]
+pub struct Counter {
+    cells: [PaddedU64; STRIPES],
+}
+
+impl Counter {
+    /// An empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to this thread's stripe (relaxed).
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        let stripe = (thread_index() as usize) % STRIPES;
+        self.cells[stripe].0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Sum over all stripes (racy snapshot, monotone per stripe).
+    pub fn total(&self) -> u64 {
+        self.cells
+            .iter()
+            .map(|c| c.0.load(Ordering::Relaxed))
+            .fold(0u64, u64::wrapping_add)
+    }
+}
+
+/// Atomically folds `v` into the f64 stored (as bits) in `cell` with `f`.
+fn atomic_f64_update(cell: &AtomicU64, v: f64, f: impl Fn(f64, f64) -> f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = f(f64::from_bits(cur), v).to_bits();
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(now) => cur = now,
+        }
+    }
+}
+
+/// An instantaneous level: the last sample is the headline statistic, with
+/// the min/max envelope and the sample count alongside.
+#[derive(Debug)]
+pub struct Gauge {
+    count: AtomicU64,
+    last: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge {
+            count: AtomicU64::new(0),
+            last: AtomicU64::new(0f64.to_bits()),
+            min: AtomicU64::new(f64::INFINITY.to_bits()),
+            max: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+}
+
+impl Gauge {
+    /// An empty gauge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records sample `v` (NaN samples are dropped).
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.last.store(v.to_bits(), Ordering::Relaxed);
+        atomic_f64_update(&self.min, v, f64::min);
+        atomic_f64_update(&self.max, v, f64::max);
+    }
+
+    /// Racy snapshot of the gauge.
+    pub fn snapshot(&self) -> GaugeSnapshot {
+        GaugeSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            last: f64::from_bits(self.last.load(Ordering::Relaxed)),
+            min: f64::from_bits(self.min.load(Ordering::Relaxed)),
+            max: f64::from_bits(self.max.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Gauge`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaugeSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Most recent sample.
+    pub last: f64,
+    /// Smallest sample (`+inf` with no samples).
+    pub min: f64,
+    /// Largest sample (`-inf` with no samples).
+    pub max: f64,
+}
+
+/// Bucket index of a finite observation: underflow (0), one of the
+/// log-linear buckets, or overflow (`NBUCKETS - 1`). Zero and negative
+/// observations land in the underflow bucket.
+#[inline]
+fn bucket_index(v: f64) -> usize {
+    // NaN, zero, and negatives all land in the underflow bucket.
+    if v.is_nan() || v <= 0.0 {
+        return 0;
+    }
+    let bits = v.to_bits();
+    let exp = (bits >> 52) & 0x7ff;
+    if exp < EXP_MIN {
+        return 0;
+    }
+    if exp > EXP_MAX {
+        return NBUCKETS - 1;
+    }
+    let sub = ((bits >> (52 - SUB_BITS)) & (SUBS as u64 - 1)) as usize;
+    ((exp - EXP_MIN) as usize) * SUBS + sub + 1
+}
+
+/// Midpoint of bucket `idx` (1-based within the log-linear range).
+fn bucket_mid(idx: usize) -> f64 {
+    let k = idx - 1;
+    let exp = (EXP_MIN as i64) + (k / SUBS) as i64 - 1023;
+    let sub = (k % SUBS) as f64;
+    let scale = (exp as f64).exp2();
+    scale * (1.0 + (sub + 0.5) / SUBS as f64)
+}
+
+/// A log-linear (HDR-style) histogram over positive magnitudes: 8 linear
+/// sub-buckets per power of two from 2^-40 up to 2^64, so every recorded
+/// value is represented by its bucket midpoint with relative error below
+/// 1/16. Zero and negative values are counted in the underflow bucket but
+/// still tracked exactly by `min`/`max`/`sum`.
+///
+/// All updates are relaxed atomics — safe and non-blocking from any number
+/// of threads.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: Box<[AtomicU64]>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        let buckets: Vec<AtomicU64> = (0..NBUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0f64.to_bits()),
+            min: AtomicU64::new(f64::INFINITY.to_bits()),
+            max: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+            buckets: buckets.into_boxed_slice(),
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records observation `v` (NaN observations are dropped).
+    #[inline]
+    pub fn record(&self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        atomic_f64_update(&self.sum, v, |acc, x| acc + x);
+        atomic_f64_update(&self.min, v, f64::min);
+        atomic_f64_update(&self.max, v, f64::max);
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Racy snapshot of the distribution (only non-empty buckets kept).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                buckets.push((i, n));
+            }
+        }
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: f64::from_bits(self.sum.load(Ordering::Relaxed)),
+            min: f64::from_bits(self.min.load(Ordering::Relaxed)),
+            max: f64::from_bits(self.max.load(Ordering::Relaxed)),
+            buckets,
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`], answering quantile queries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Smallest observation (`+inf` with none).
+    pub min: f64,
+    /// Largest observation (`-inf` with none).
+    pub max: f64,
+    /// Non-empty buckets as `(bucket index, count)` pairs in index order.
+    buckets: Vec<(usize, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (for default-constructed report rows).
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Mean of the observations (0 with none).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the midpoint of the bucket
+    /// holding that rank, clamped into the exact `[min, max]` envelope.
+    /// Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for &(idx, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                let mid = if idx == 0 {
+                    self.min
+                } else if idx == NBUCKETS - 1 {
+                    self.max
+                } else {
+                    bucket_mid(idx)
+                };
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// p50 shorthand.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// p90 shorthand.
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.90)
+    }
+
+    /// p99 shorthand.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// p999 shorthand.
+    pub fn p999(&self) -> f64 {
+        self.quantile(0.999)
+    }
+}
+
+/// Per-span-name statistics: a duration histogram plus the minimum nesting
+/// depth the span was observed at.
+#[derive(Debug, Default)]
+pub struct SpanStat {
+    /// Distribution of span durations, nanoseconds.
+    pub durations: Histogram,
+    min_depth: AtomicUsize,
+}
+
+impl SpanStat {
+    fn new() -> Self {
+        SpanStat {
+            durations: Histogram::new(),
+            min_depth: AtomicUsize::new(usize::MAX),
+        }
+    }
+
+    /// Records one completed span.
+    pub fn record(&self, depth: usize, dur_ns: u64) {
+        self.durations.record(dur_ns as f64);
+        self.min_depth.fetch_min(depth, Ordering::Relaxed);
+    }
+
+    /// Racy snapshot.
+    pub fn snapshot(&self) -> SpanSnapshot {
+        SpanSnapshot {
+            durations: self.durations.snapshot(),
+            min_depth: self.min_depth.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of a span series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanSnapshot {
+    /// Distribution of durations, nanoseconds.
+    pub durations: HistogramSnapshot,
+    /// Smallest nesting depth observed (`usize::MAX` with no spans).
+    pub min_depth: usize,
+}
+
+/// Shards per name → metric map.
+const SHARDS: usize = 8;
+
+/// FNV-1a over the name bytes, for shard selection.
+fn shard_of(name: &str) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h as usize) % SHARDS
+}
+
+/// One metric family: a name-sharded map of `Arc<T>` handles.
+#[derive(Debug)]
+struct Family<T> {
+    shards: [RwLock<HashMap<&'static str, Arc<T>>>; SHARDS],
+}
+
+impl<T> Default for Family<T> {
+    fn default() -> Self {
+        Family {
+            shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+        }
+    }
+}
+
+impl<T> Family<T> {
+    fn get_or_insert(&self, name: &'static str, make: impl FnOnce() -> T) -> Arc<T> {
+        let shard = &self.shards[shard_of(name)];
+        if let Some(hit) = shard
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .cloned()
+        {
+            return hit;
+        }
+        let mut map = shard.write().unwrap_or_else(|e| e.into_inner());
+        map.entry(name).or_insert_with(|| Arc::new(make())).clone()
+    }
+
+    fn snapshot_with<S>(&self, f: impl Fn(&T) -> S) -> BTreeMap<String, S> {
+        let mut out = BTreeMap::new();
+        for shard in &self.shards {
+            for (name, m) in shard.read().unwrap_or_else(|e| e.into_inner()).iter() {
+                out.insert((*name).to_string(), f(m));
+            }
+        }
+        out
+    }
+}
+
+static NEXT_REGISTRY: AtomicU64 = AtomicU64::new(0);
+
+/// Entries allowed in each thread-local handle cache before it is cleared
+/// (a safety valve against unbounded dynamic name sets).
+const TL_CACHE_CAP: usize = 1024;
+
+thread_local! {
+    static TL_COUNTERS: std::cell::RefCell<HashMap<(u64, usize), Arc<Counter>>> =
+        std::cell::RefCell::new(HashMap::new());
+    static TL_GAUGES: std::cell::RefCell<HashMap<(u64, usize), Arc<Gauge>>> =
+        std::cell::RefCell::new(HashMap::new());
+    static TL_VALUES: std::cell::RefCell<HashMap<(u64, usize), Arc<Histogram>>> =
+        std::cell::RefCell::new(HashMap::new());
+    static TL_SPANS: std::cell::RefCell<HashMap<(u64, usize), Arc<SpanStat>>> =
+        std::cell::RefCell::new(HashMap::new());
+}
+
+/// Resolves a metric handle through a thread-local memo so the steady-state
+/// record path takes no lock at all.
+macro_rules! cached_handle {
+    ($cache:ident, $registry:expr, $family:expr, $name:expr, $make:expr) => {{
+        let key = ($registry.id, $name.as_ptr() as usize);
+        $cache.with(|c| {
+            let mut c = c.borrow_mut();
+            if let Some(hit) = c.get(&key) {
+                return hit.clone();
+            }
+            if c.len() >= TL_CACHE_CAP {
+                c.clear();
+            }
+            let handle = $family.get_or_insert($name, $make);
+            c.insert(key, handle.clone());
+            handle
+        })
+    }};
+}
+
+/// The registry: four name-addressed metric families sharing one namespace
+/// convention (dot-separated static names).
+///
+/// # Example
+///
+/// ```
+/// use ape_probe::Registry;
+/// let r = Registry::new();
+/// r.counter_add("demo.events", 2);
+/// r.value_record("demo.latency_ns", 1500.0);
+/// let snap = r.snapshot();
+/// assert_eq!(snap.counters["demo.events"], 2);
+/// assert!(snap.values["demo.latency_ns"].p50() > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct Registry {
+    id: u64,
+    counters: Family<Counter>,
+    gauges: Family<Gauge>,
+    values: Family<Histogram>,
+    spans: Family<SpanStat>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry {
+            id: NEXT_REGISTRY.fetch_add(1, Ordering::Relaxed),
+            counters: Family::default(),
+            gauges: Family::default(),
+            values: Family::default(),
+            spans: Family::default(),
+        }
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter registered under `name` (created on first use).
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        cached_handle!(TL_COUNTERS, self, self.counters, name, Counter::new)
+    }
+
+    /// The gauge registered under `name` (created on first use).
+    pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
+        cached_handle!(TL_GAUGES, self, self.gauges, name, Gauge::new)
+    }
+
+    /// The value histogram registered under `name` (created on first use).
+    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        cached_handle!(TL_VALUES, self, self.values, name, Histogram::new)
+    }
+
+    /// The span series registered under `name` (created on first use).
+    pub fn span_stat(&self, name: &'static str) -> Arc<SpanStat> {
+        cached_handle!(TL_SPANS, self, self.spans, name, SpanStat::new)
+    }
+
+    /// Adds `delta` to counter `name`.
+    #[inline]
+    pub fn counter_add(&self, name: &'static str, delta: u64) {
+        self.counter(name).add(delta);
+    }
+
+    /// Samples gauge `name` at `v`.
+    #[inline]
+    pub fn gauge_set(&self, name: &'static str, v: f64) {
+        self.gauge(name).set(v);
+    }
+
+    /// Records `v` into value histogram `name`.
+    #[inline]
+    pub fn value_record(&self, name: &'static str, v: f64) {
+        self.histogram(name).record(v);
+    }
+
+    /// Records a completed span into series `name`.
+    #[inline]
+    pub fn span_record(&self, name: &'static str, depth: usize, dur_ns: u64) {
+        self.span_stat(name).record(depth, dur_ns);
+    }
+
+    /// Point-in-time copy of every metric in the registry.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            counters: self.counters.snapshot_with(Counter::total),
+            gauges: self.gauges.snapshot_with(Gauge::snapshot),
+            values: self.values.snapshot_with(Histogram::snapshot),
+            spans: self.spans.snapshot_with(SpanStat::snapshot),
+        }
+    }
+}
+
+/// Point-in-time copy of a whole [`Registry`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RegistrySnapshot {
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge snapshots by name.
+    pub gauges: BTreeMap<String, GaugeSnapshot>,
+    /// Value histograms by name.
+    pub values: BTreeMap<String, HistogramSnapshot>,
+    /// Span series by name.
+    pub spans: BTreeMap<String, SpanSnapshot>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_stripes_sum() {
+        let c = Counter::new();
+        c.add(1);
+        c.add(41);
+        assert_eq!(c.total(), 42);
+    }
+
+    #[test]
+    fn gauge_tracks_last_and_envelope() {
+        let g = Gauge::new();
+        for v in [3.0, 9.0, 1.0, 4.0] {
+            g.set(v);
+        }
+        let s = g.snapshot();
+        assert_eq!((s.count, s.last, s.min, s.max), (4, 4.0, 1.0, 9.0));
+    }
+
+    #[test]
+    fn bucket_index_monotone_on_edges() {
+        let mut last = 0;
+        for e in -45..=70 {
+            let v = (e as f64).exp2();
+            let i = bucket_index(v);
+            assert!(i >= last, "bucket index must be monotone at 2^{e}");
+            last = i;
+        }
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-5.0), 0);
+        assert_eq!(bucket_index(f64::INFINITY), NBUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_mid_brackets_value() {
+        for v in [1.0, 3.5, 1234.5, 1e-9, 7.7e12] {
+            let idx = bucket_index(v);
+            let mid = bucket_mid(idx);
+            let rel = (mid - v).abs() / v;
+            // A value on a bucket's lower edge is exactly half a
+            // sub-bucket from the midpoint.
+            assert!(rel <= 1.0 / 16.0, "mid {mid} vs {v}: rel {rel}");
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_land_in_bucket_error() {
+        let h = Histogram::new();
+        for i in 1..=10_000u64 {
+            h.record(i as f64);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 10_000);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 10_000.0);
+        for (q, exact) in [(0.5, 5000.0), (0.9, 9000.0), (0.99, 9900.0)] {
+            let got = s.quantile(q);
+            assert!(
+                got / exact < 2.0 && exact / got < 2.0,
+                "q{q}: got {got}, exact {exact}"
+            );
+        }
+        assert!((s.mean() - 5000.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quantile_of_empty_and_single() {
+        assert_eq!(HistogramSnapshot::empty().quantile(0.5), 0.0);
+        let h = Histogram::new();
+        h.record(7.0);
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.0), 7.0);
+        assert_eq!(s.quantile(1.0), 7.0);
+    }
+
+    #[test]
+    fn registry_round_trip() {
+        let r = Registry::new();
+        r.counter_add("t.c", 5);
+        r.counter_add("t.c", 2);
+        r.gauge_set("t.g", 3.0);
+        r.value_record("t.v", 10.0);
+        r.span_record("t.s", 2, 1000);
+        let s = r.snapshot();
+        assert_eq!(s.counters["t.c"], 7);
+        assert_eq!(s.gauges["t.g"].last, 3.0);
+        assert_eq!(s.values["t.v"].count, 1);
+        assert_eq!(s.spans["t.s"].min_depth, 2);
+        assert_eq!(s.spans["t.s"].durations.count, 1);
+    }
+
+    #[test]
+    fn distinct_registries_do_not_share_state() {
+        let a = Registry::new();
+        let b = Registry::new();
+        a.counter_add("same.name", 1);
+        b.counter_add("same.name", 10);
+        assert_eq!(a.snapshot().counters["same.name"], 1);
+        assert_eq!(b.snapshot().counters["same.name"], 10);
+    }
+}

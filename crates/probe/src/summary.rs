@@ -1,14 +1,21 @@
-//! Aggregating sink: everything collapses to per-name statistics rendered
-//! as one human-readable report at the end of a run.
+//! Aggregating sink: a thin event adapter over the lock-free [`Registry`],
+//! rendered as one human-readable report at the end of a run.
+//!
+//! Before the registry existed this sink serialised every event through a
+//! `Mutex<BTreeMap<..>>`; hot paths on eight workers contended on that one
+//! lock. Now [`SummarySink`] owns a [`Registry`] and every event lands in
+//! padded atomics — the sink itself is only a *reader*, taking snapshots
+//! when a report or accessor is asked for.
 
-use crate::{fmt_nanos, render_rows, Sink};
+use crate::registry::{GaugeSnapshot, HistogramSnapshot, Registry, SpanSnapshot};
+use crate::{fmt_nanos, render_rows, Sink, SpanEvent};
 use std::collections::BTreeMap;
-use std::sync::Mutex;
 
-/// Number of log10 histogram buckets kept per value series.
-pub const VALUE_BUCKETS: usize = 25;
+/// Counter totals keyed by name.
+pub type CounterTotals = BTreeMap<String, u64>;
 
-/// Aggregated statistics of one span name.
+/// Aggregated statistics of one span name, derived from the registry's
+/// duration histogram.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct SpanAgg {
     /// Completed spans observed.
@@ -19,120 +26,46 @@ pub struct SpanAgg {
     pub max_ns: u64,
     /// Smallest nesting depth at which the span was observed.
     pub min_depth: usize,
+    /// Median span duration, nanoseconds (log-linear bucket resolution).
+    pub p50_ns: u64,
+    /// 90th-percentile span duration, nanoseconds.
+    pub p90_ns: u64,
+    /// 99th-percentile span duration, nanoseconds.
+    pub p99_ns: u64,
+    /// 99.9th-percentile span duration, nanoseconds.
+    pub p999_ns: u64,
 }
 
 impl SpanAgg {
     /// Mean span duration, nanoseconds (0 with no observations).
     pub fn mean_ns(&self) -> u64 {
-        self.total_ns.checked_div(self.count).unwrap_or(0)
-    }
-}
-
-/// Aggregated statistics of one value series, including a log10-bucketed
-/// magnitude histogram: bucket `i` counts observations with
-/// `10^(i-12) <= |v| < 10^(i-11)` (bucket 0 also holds anything smaller,
-/// the last bucket anything larger; zero lands in bucket 0).
-#[derive(Debug, Clone, PartialEq)]
-pub struct ValueAgg {
-    /// Observations recorded.
-    pub count: u64,
-    /// Sum of all observations.
-    pub sum: f64,
-    /// Smallest observation.
-    pub min: f64,
-    /// Largest observation.
-    pub max: f64,
-    /// Log10 magnitude histogram (see type docs).
-    pub buckets: [u64; VALUE_BUCKETS],
-}
-
-impl Default for ValueAgg {
-    fn default() -> Self {
-        ValueAgg {
-            count: 0,
-            sum: 0.0,
-            min: f64::INFINITY,
-            max: f64::NEG_INFINITY,
-            buckets: [0; VALUE_BUCKETS],
-        }
-    }
-}
-
-impl ValueAgg {
-    /// Mean of the observations (0 with none).
-    pub fn mean(&self) -> f64 {
         if self.count == 0 {
-            0.0
+            0
         } else {
-            self.sum / self.count as f64
+            (self.total_ns as f64 / self.count as f64) as u64
         }
     }
 
-    fn record(&mut self, v: f64) {
-        self.count += 1;
-        self.sum += v;
-        self.min = self.min.min(v);
-        self.max = self.max.max(v);
-        self.buckets[bucket_of(v)] += 1;
-    }
-}
-
-/// Histogram bucket index for a value (log10 magnitude, offset +12).
-pub fn bucket_of(v: f64) -> usize {
-    let a = v.abs();
-    if !(a.is_finite()) || a <= 0.0 {
-        return 0;
-    }
-    let idx = a.log10().floor() + 12.0;
-    idx.clamp(0.0, (VALUE_BUCKETS - 1) as f64) as usize
-}
-
-/// Counter totals keyed by name.
-pub type CounterTotals = BTreeMap<&'static str, u64>;
-
-/// Aggregated statistics of one gauge series: the last sampled level plus
-/// the envelope it moved in.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct GaugeAgg {
-    /// Samples recorded.
-    pub count: u64,
-    /// Most recent sample.
-    pub last: f64,
-    /// Smallest sample.
-    pub min: f64,
-    /// Largest sample.
-    pub max: f64,
-}
-
-impl Default for GaugeAgg {
-    fn default() -> Self {
-        GaugeAgg {
-            count: 0,
-            last: 0.0,
-            min: f64::INFINITY,
-            max: f64::NEG_INFINITY,
+    fn from_snapshot(s: &SpanSnapshot) -> Self {
+        let d = &s.durations;
+        SpanAgg {
+            count: d.count,
+            total_ns: d.sum.max(0.0) as u64,
+            max_ns: if d.count == 0 {
+                0
+            } else {
+                d.max.max(0.0) as u64
+            },
+            min_depth: s.min_depth,
+            p50_ns: d.p50().max(0.0) as u64,
+            p90_ns: d.p90().max(0.0) as u64,
+            p99_ns: d.p99().max(0.0) as u64,
+            p999_ns: d.p999().max(0.0) as u64,
         }
     }
 }
 
-impl GaugeAgg {
-    fn record(&mut self, v: f64) {
-        self.count += 1;
-        self.last = v;
-        self.min = self.min.min(v);
-        self.max = self.max.max(v);
-    }
-}
-
-#[derive(Debug, Default)]
-struct State {
-    spans: BTreeMap<&'static str, SpanAgg>,
-    counters: CounterTotals,
-    values: BTreeMap<&'static str, ValueAgg>,
-    gauges: BTreeMap<&'static str, GaugeAgg>,
-}
-
-/// A [`Sink`] that aggregates all events into per-name statistics and
+/// A [`Sink`] that aggregates all events into a lock-free [`Registry`] and
 /// renders them as one aligned report.
 ///
 /// # Example
@@ -146,7 +79,7 @@ struct State {
 /// ```
 #[derive(Debug, Default)]
 pub struct SummarySink {
-    state: Mutex<State>,
+    registry: Registry,
 }
 
 impl SummarySink {
@@ -155,98 +88,119 @@ impl SummarySink {
         Self::default()
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
-        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    /// The registry every event is aggregated into. Hand this to
+    /// [`render_prometheus`](crate::render_prometheus) (after
+    /// [`Registry::snapshot`]) to expose the run as a `/metrics` payload.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// Snapshot of the span aggregates.
-    pub fn spans(&self) -> BTreeMap<&'static str, SpanAgg> {
-        self.lock().spans.clone()
+    pub fn spans(&self) -> BTreeMap<String, SpanAgg> {
+        self.registry
+            .snapshot()
+            .spans
+            .iter()
+            .map(|(name, s)| (name.clone(), SpanAgg::from_snapshot(s)))
+            .collect()
     }
 
     /// Snapshot of the counter totals.
     pub fn counters(&self) -> CounterTotals {
-        self.lock().counters.clone()
+        self.registry.snapshot().counters
     }
 
-    /// Snapshot of the value aggregates.
-    pub fn values(&self) -> BTreeMap<&'static str, ValueAgg> {
-        self.lock().values.clone()
+    /// Snapshot of the value histograms.
+    pub fn values(&self) -> BTreeMap<String, HistogramSnapshot> {
+        self.registry.snapshot().values
     }
 
     /// Snapshot of the gauge aggregates.
-    pub fn gauges(&self) -> BTreeMap<&'static str, GaugeAgg> {
-        self.lock().gauges.clone()
+    pub fn gauges(&self) -> BTreeMap<String, GaugeSnapshot> {
+        self.registry.snapshot().gauges
     }
 
     /// Renders the aggregated report.
     pub fn report(&self) -> String {
-        let st = self.lock();
+        let snap = self.registry.snapshot();
         let mut out = String::from("=== ape-probe summary ===\n");
-        if !st.spans.is_empty() {
+        if !snap.spans.is_empty() {
             out.push_str("spans\n");
-            let rows: Vec<Vec<String>> = st
+            let rows: Vec<Vec<String>> = snap
                 .spans
                 .iter()
-                .map(|(name, a)| {
+                .map(|(name, s)| {
+                    let a = SpanAgg::from_snapshot(s);
                     vec![
-                        format!("{}{}", "  ".repeat(a.min_depth), name),
+                        format!("{}{}", "  ".repeat(a.min_depth.min(16)), name),
                         a.count.to_string(),
                         fmt_nanos(a.total_ns),
                         fmt_nanos(a.mean_ns()),
+                        fmt_nanos(a.p50_ns),
+                        fmt_nanos(a.p99_ns),
                         fmt_nanos(a.max_ns),
                     ]
                 })
                 .collect();
-            render_rows(&mut out, &["name", "count", "total", "mean", "max"], &rows);
+            render_rows(
+                &mut out,
+                &["name", "count", "total", "mean", "p50", "p99", "max"],
+                &rows,
+            );
         }
-        if !st.counters.is_empty() {
+        if !snap.counters.is_empty() {
             out.push_str("counters\n");
-            let rows: Vec<Vec<String>> = st
+            let rows: Vec<Vec<String>> = snap
                 .counters
                 .iter()
-                .map(|(name, v)| vec![name.to_string(), v.to_string()])
+                .map(|(name, v)| vec![name.clone(), v.to_string()])
                 .collect();
             render_rows(&mut out, &["name", "total"], &rows);
         }
-        if !st.values.is_empty() {
+        if !snap.values.is_empty() {
             out.push_str("values\n");
-            let rows: Vec<Vec<String>> = st
+            let rows: Vec<Vec<String>> = snap
                 .values
                 .iter()
-                .map(|(name, a)| {
+                .map(|(name, h)| {
                     vec![
-                        name.to_string(),
-                        a.count.to_string(),
-                        format!("{:.4}", a.mean()),
-                        format!("{:.4}", a.min),
-                        format!("{:.4}", a.max),
+                        name.clone(),
+                        h.count.to_string(),
+                        format!("{:.4}", h.mean()),
+                        format!("{:.4}", h.p50()),
+                        format!("{:.4}", h.p99()),
+                        format!("{:.4}", h.min),
+                        format!("{:.4}", h.max),
                     ]
                 })
                 .collect();
-            render_rows(&mut out, &["name", "count", "mean", "min", "max"], &rows);
+            render_rows(
+                &mut out,
+                &["name", "count", "mean", "p50", "p99", "min", "max"],
+                &rows,
+            );
         }
-        if !st.gauges.is_empty() {
+        if !snap.gauges.is_empty() {
             out.push_str("gauges\n");
-            let rows: Vec<Vec<String>> = st
+            let rows: Vec<Vec<String>> = snap
                 .gauges
                 .iter()
-                .map(|(name, a)| {
+                .map(|(name, g)| {
                     vec![
-                        name.to_string(),
-                        a.count.to_string(),
-                        format!("{:.1}", a.last),
-                        format!("{:.1}", a.min),
-                        format!("{:.1}", a.max),
+                        name.clone(),
+                        g.count.to_string(),
+                        format!("{:.1}", g.last),
+                        format!("{:.1}", g.min),
+                        format!("{:.1}", g.max),
                     ]
                 })
                 .collect();
             render_rows(&mut out, &["name", "samples", "last", "min", "max"], &rows);
         }
-        if st.spans.is_empty()
-            && st.counters.is_empty()
-            && st.values.is_empty()
-            && st.gauges.is_empty()
+        if snap.spans.is_empty()
+            && snap.counters.is_empty()
+            && snap.values.is_empty()
+            && snap.gauges.is_empty()
         {
             out.push_str("(no events recorded)\n");
         }
@@ -255,31 +209,20 @@ impl SummarySink {
 }
 
 impl Sink for SummarySink {
-    fn on_span(&self, name: &'static str, depth: usize, nanos: u64) {
-        let mut st = self.lock();
-        let a = st.spans.entry(name).or_insert(SpanAgg {
-            min_depth: usize::MAX,
-            ..SpanAgg::default()
-        });
-        a.count += 1;
-        a.total_ns = a.total_ns.saturating_add(nanos);
-        a.max_ns = a.max_ns.max(nanos);
-        a.min_depth = a.min_depth.min(depth);
+    fn on_span(&self, ev: &SpanEvent) {
+        self.registry.span_record(ev.name, ev.depth, ev.dur_ns);
     }
 
     fn on_counter(&self, name: &'static str, delta: u64) {
-        let mut st = self.lock();
-        *st.counters.entry(name).or_insert(0) += delta;
+        self.registry.counter_add(name, delta);
     }
 
     fn on_value(&self, name: &'static str, v: f64) {
-        let mut st = self.lock();
-        st.values.entry(name).or_default().record(v);
+        self.registry.value_record(name, v);
     }
 
     fn on_gauge(&self, name: &'static str, v: f64) {
-        let mut st = self.lock();
-        st.gauges.entry(name).or_default().record(v);
+        self.registry.gauge_set(name, v);
     }
 
     fn render_report(&self) -> Option<String> {
@@ -291,12 +234,24 @@ impl Sink for SummarySink {
 mod tests {
     use super::*;
 
+    fn ev(name: &'static str, depth: usize, ns: u64) -> SpanEvent {
+        SpanEvent {
+            name,
+            id: 1,
+            parent: None,
+            tid: 0,
+            depth,
+            start_ns: 0,
+            dur_ns: ns,
+        }
+    }
+
     #[test]
     fn span_aggregation() {
         let s = SummarySink::new();
-        s.on_span("a", 1, 100);
-        s.on_span("a", 2, 300);
-        s.on_span("b", 0, 50);
+        s.on_span(&ev("a", 1, 100));
+        s.on_span(&ev("a", 2, 300));
+        s.on_span(&ev("b", 0, 50));
         let spans = s.spans();
         assert_eq!(spans["a"].count, 2);
         assert_eq!(spans["a"].total_ns, 400);
@@ -304,6 +259,9 @@ mod tests {
         assert_eq!(spans["a"].max_ns, 300);
         assert_eq!(spans["a"].min_depth, 1);
         assert_eq!(spans["b"].count, 1);
+        // Quantiles resolve to within the log-linear bucket width.
+        let p50 = spans["a"].p50_ns as f64;
+        assert!((90.0..=330.0).contains(&p50), "p50 {p50}");
     }
 
     #[test]
@@ -318,7 +276,7 @@ mod tests {
     }
 
     #[test]
-    fn value_aggregation_and_histogram() {
+    fn value_aggregation_and_quantiles() {
         let s = SummarySink::new();
         for v in [0.5, 1.5, 2.5, 250.0] {
             s.on_value("v", v);
@@ -328,31 +286,22 @@ mod tests {
         assert!((v.mean() - 63.625).abs() < 1e-12);
         assert_eq!(v.min, 0.5);
         assert_eq!(v.max, 250.0);
-        // 0.5 → bucket 11; 1.5 and 2.5 → bucket 12; 250 → bucket 14.
-        assert_eq!(v.buckets[11], 1);
-        assert_eq!(v.buckets[12], 2);
-        assert_eq!(v.buckets[14], 1);
-    }
-
-    #[test]
-    fn bucket_edges() {
-        assert_eq!(bucket_of(0.0), 0);
-        assert_eq!(bucket_of(f64::NAN), 0);
-        assert_eq!(bucket_of(1e-30), 0);
-        assert_eq!(bucket_of(1.0), 12);
-        assert_eq!(bucket_of(1e30), VALUE_BUCKETS - 1);
+        let p50 = v.p50();
+        assert!(p50 / 1.5 < 2.0 && 1.5 / p50 < 2.0, "p50 {p50}");
+        assert!((v.p999() - 250.0).abs() / 250.0 < 0.1);
     }
 
     #[test]
     fn report_contains_all_sections() {
         let s = SummarySink::new();
-        s.on_span("spans.demo", 0, 1_000);
+        s.on_span(&ev("spans.demo", 0, 1_000));
         s.on_counter("counters.demo", 9);
         s.on_value("values.demo", 3.25);
         let r = s.report();
         assert!(r.contains("spans.demo"));
         assert!(r.contains("counters.demo"));
         assert!(r.contains("values.demo"));
+        assert!(r.contains("p99"));
         assert!(r.contains("=== ape-probe summary ==="));
     }
 

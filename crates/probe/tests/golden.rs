@@ -1,0 +1,95 @@
+// Test/harness code: panicking on bad results is the assertion mechanism.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+//! Golden-output tests for the exporters: a fixed event set must render
+//! byte-identically, so a formatting regression in either the Chrome
+//! trace-event (Perfetto) or the Prometheus renderer fails loudly here.
+
+use ape_probe::{render_chrome_trace, render_prometheus, Registry, SpanRecord};
+
+fn fixed_spans() -> Vec<SpanRecord> {
+    vec![
+        SpanRecord {
+            name: "sweep.submit".into(),
+            id: 1,
+            parent: None,
+            tid: 0,
+            depth: 0,
+            start_ns: 1_000,
+            dur_ns: 90_000,
+        },
+        SpanRecord {
+            name: "farm.job".into(),
+            id: 2,
+            parent: Some(1),
+            tid: 3,
+            depth: 0,
+            start_ns: 11_500,
+            dur_ns: 40_250,
+        },
+        SpanRecord {
+            name: "ape.l3.opamp".into(),
+            id: 3,
+            parent: Some(2),
+            tid: 3,
+            depth: 1,
+            start_ns: 12_000,
+            dur_ns: 30_000,
+        },
+    ]
+}
+
+#[test]
+fn chrome_trace_golden() {
+    let got = render_chrome_trace(&fixed_spans());
+    let want = concat!(
+        "{\"traceEvents\":[\n",
+        "{\"name\":\"sweep.submit\",\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":1.000,\"dur\":90.000,\"args\":{\"id\":1,\"parent\":null,\"depth\":0}},\n",
+        "{\"name\":\"farm.job\",\"ph\":\"X\",\"pid\":1,\"tid\":3,\"ts\":11.500,\"dur\":40.250,\"args\":{\"id\":2,\"parent\":1,\"depth\":0}},\n",
+        "{\"name\":\"sweep.submit\",\"cat\":\"flow\",\"ph\":\"s\",\"pid\":1,\"tid\":0,\"ts\":1.000,\"id\":2},\n",
+        "{\"name\":\"sweep.submit\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\",\"pid\":1,\"tid\":3,\"ts\":11.500,\"id\":2},\n",
+        "{\"name\":\"ape.l3.opamp\",\"ph\":\"X\",\"pid\":1,\"tid\":3,\"ts\":12.000,\"dur\":30.000,\"args\":{\"id\":3,\"parent\":2,\"depth\":1}}\n",
+        "],\"displayTimeUnit\":\"ns\"}\n",
+    );
+    assert_eq!(got, want);
+}
+
+#[test]
+fn prometheus_golden() {
+    let reg = Registry::new();
+    reg.counter_add("ape.graph.hit", 42);
+    reg.gauge_set("ape.farm.queue.depth", 3.0);
+    reg.value_record("ape.farm.job.latency_ns", 1024.0);
+    reg.span_record("farm.job", 0, 2048);
+    let got = render_prometheus(&reg.snapshot());
+    // 1024 sits exactly on a bucket boundary: the log-linear midpoint of
+    // its bucket is 1024 * (1 + 0.5/8) = 1088; 2048's is 2176.
+    let want = concat!(
+        "# TYPE ape_graph_hit counter\n",
+        "ape_graph_hit 42\n",
+        "# TYPE ape_farm_queue_depth gauge\n",
+        "ape_farm_queue_depth 3\n",
+        "# TYPE ape_farm_job_latency_ns summary\n",
+        "ape_farm_job_latency_ns{quantile=\"0.5\"} 1024\n",
+        "ape_farm_job_latency_ns{quantile=\"0.9\"} 1024\n",
+        "ape_farm_job_latency_ns{quantile=\"0.99\"} 1024\n",
+        "ape_farm_job_latency_ns{quantile=\"0.999\"} 1024\n",
+        "ape_farm_job_latency_ns_sum 1024\n",
+        "ape_farm_job_latency_ns_count 1\n",
+        "# TYPE farm_job_duration_ns summary\n",
+        "farm_job_duration_ns{quantile=\"0.5\"} 2048\n",
+        "farm_job_duration_ns{quantile=\"0.9\"} 2048\n",
+        "farm_job_duration_ns{quantile=\"0.99\"} 2048\n",
+        "farm_job_duration_ns{quantile=\"0.999\"} 2048\n",
+        "farm_job_duration_ns_sum 2048\n",
+        "farm_job_duration_ns_count 1\n",
+    );
+    assert_eq!(got, want);
+}
+
+#[test]
+fn chrome_trace_of_empty_run_is_valid() {
+    assert_eq!(
+        render_chrome_trace(&[]),
+        "{\"traceEvents\":[\n],\"displayTimeUnit\":\"ns\"}\n"
+    );
+}

@@ -1,0 +1,124 @@
+// Test/harness code: panicking on bad results is the assertion mechanism.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+//! Registry guarantees under load: histogram quantile error bounds (the
+//! log-linear buckets must stay within 2× of the exact quantile — in
+//! practice they stay within ~9 %), and exact counter/histogram totals
+//! under concurrent updates from 8 threads.
+
+use ape_probe::{Histogram, Registry};
+use std::sync::Arc;
+use std::thread;
+
+/// Deterministic SplitMix64 stream for reproducible "random" values.
+fn splitmix(seed: &mut u64) -> u64 {
+    *seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *seed;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[test]
+fn quantiles_within_log_linear_error_bound() {
+    // Log-uniform values over 9 decades: the hardest case for a bucketed
+    // histogram, since every decade must resolve.
+    let mut seed = 42u64;
+    let mut vals: Vec<f64> = (0..100_000)
+        .map(|_| {
+            let u = splitmix(&mut seed) as f64 / u64::MAX as f64;
+            10f64.powf(u * 9.0 - 3.0) // 1e-3 ..= 1e6
+        })
+        .collect();
+    let h = Histogram::new();
+    for &v in &vals {
+        h.record(v);
+    }
+    vals.sort_by(f64::total_cmp);
+    let s = h.snapshot();
+    assert_eq!(s.count, vals.len() as u64);
+    for q in [0.01, 0.1, 0.5, 0.9, 0.99, 0.999] {
+        let exact = vals[((q * vals.len() as f64) as usize).min(vals.len() - 1)];
+        let got = s.quantile(q);
+        let ratio = (got / exact).max(exact / got);
+        assert!(
+            ratio <= 2.0,
+            "q{q}: got {got}, exact {exact}, ratio {ratio}"
+        );
+        // The design bound is much tighter than the acceptance bound: one
+        // sub-bucket is 2^(1/8) wide, so allow ~2 sub-buckets of slack.
+        assert!(
+            ratio <= 1.5,
+            "q{q} drifted past the design bound: {got} vs {exact}"
+        );
+    }
+}
+
+#[test]
+fn extreme_values_clamp_into_envelope() {
+    let h = Histogram::new();
+    h.record(1e-300); // below bucket range -> underflow bucket
+    h.record(1e300); // above bucket range -> overflow bucket
+    h.record(0.0);
+    h.record(-5.0);
+    let s = h.snapshot();
+    assert_eq!(s.count, 4);
+    assert_eq!(s.min, -5.0);
+    assert_eq!(s.max, 1e300);
+    // Quantiles stay inside the exact envelope even for out-of-range
+    // buckets.
+    let p0 = s.quantile(0.0);
+    let p100 = s.quantile(1.0);
+    assert!((-5.0..=1e300).contains(&p0));
+    assert!((-5.0..=1e300).contains(&p100));
+    assert_eq!(p100, 1e300);
+}
+
+#[test]
+fn concurrent_registry_updates_from_8_threads_lose_nothing() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 50_000;
+    let reg = Arc::new(Registry::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let reg = reg.clone();
+            thread::spawn(move || {
+                let mut seed = t as u64 + 1;
+                for i in 0..PER_THREAD {
+                    reg.counter_add("conc.counter", 1);
+                    reg.counter_add("conc.weighted", t as u64 + 1);
+                    let v = (splitmix(&mut seed) % 1_000_000) as f64 + 1.0;
+                    reg.value_record("conc.hist", v);
+                    reg.gauge_set("conc.gauge", v);
+                    reg.span_record("conc.span", t, i + 1);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("worker thread");
+    }
+    let snap = reg.snapshot();
+    let n = (THREADS as u64) * PER_THREAD;
+    assert_eq!(
+        snap.counters["conc.counter"], n,
+        "striped counter lost adds"
+    );
+    assert_eq!(
+        snap.counters["conc.weighted"],
+        PER_THREAD * (1..=THREADS as u64).sum::<u64>(),
+        "weighted counter lost adds"
+    );
+    assert_eq!(snap.values["conc.hist"].count, n, "histogram lost records");
+    assert_eq!(snap.gauges["conc.gauge"].count, n, "gauge lost samples");
+    let sp = &snap.spans["conc.span"];
+    assert_eq!(sp.durations.count, n, "span series lost records");
+    assert_eq!(sp.min_depth, 0, "min depth must survive concurrent min");
+    // The histogram's envelope is exact even under concurrency.
+    let hv = &snap.values["conc.hist"];
+    assert!(hv.min >= 1.0 && hv.max <= 1_000_000.0);
+    let p50 = hv.p50();
+    assert!(
+        (hv.min..=hv.max).contains(&p50),
+        "p50 {p50} outside envelope"
+    );
+}

@@ -1,0 +1,57 @@
+// Test/harness code: panicking on bad results is the assertion mechanism.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+//! Regression test for JSONL event loss when `finish()` is never called:
+//! a binary that panics mid-run must still leave complete JSONL lines on
+//! disk. `install()` arms a panic hook that flushes the installed sink, so
+//! the buffered file writer cannot swallow the tail of the trace.
+//!
+//! One `#[test]` only: the probe sink is process-global and this file gets
+//! its own test binary, so nothing else can race the install.
+
+use ape_probe::JsonLinesSink;
+use std::sync::Arc;
+
+#[test]
+fn panicking_thread_still_leaves_complete_jsonl_lines() {
+    let path = std::env::temp_dir().join(format!("ape_probe_panic_{}.jsonl", std::process::id()));
+    let sink = Arc::new(JsonLinesSink::to_file(&path).expect("temp file"));
+    ape_probe::install(sink);
+
+    // Suppress the default hook's backtrace chatter but keep whatever hook
+    // chain install() built (ours flushes after delegating).
+    let worker = std::thread::spawn(|| {
+        let _outer = ape_probe::span("panic.outer");
+        for i in 0..500u64 {
+            ape_probe::counter("panic.events", 1);
+            ape_probe::value("panic.value", i as f64);
+        }
+        panic!("simulated estimator crash");
+    });
+    assert!(worker.join().is_err(), "worker must have panicked");
+
+    // No finish(), no uninstall(): the panic hook alone must have flushed.
+    // (The 500 counter + 500 value lines far exceed BufWriter's default
+    // 8 KiB buffer only in aggregate — without a flush the tail would be
+    // missing.)
+    let text = std::fs::read_to_string(&path).expect("trace file exists");
+    let counter_lines = text
+        .lines()
+        .filter(|l| l.contains("\"panic.events\""))
+        .count();
+    let value_lines = text
+        .lines()
+        .filter(|l| l.contains("\"panic.value\""))
+        .count();
+    assert_eq!(counter_lines, 500, "counter events lost:\n{text}");
+    assert_eq!(value_lines, 500, "value events lost");
+    // Every line is a complete JSON object — no truncated tail.
+    for line in text.lines() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "incomplete line: {line:?}"
+        );
+    }
+
+    ape_probe::uninstall();
+    let _ = std::fs::remove_file(&path);
+}

@@ -3,7 +3,7 @@
 //! Round-trip test: events written by `JsonLinesSink` parse back into the
 //! same (type, name, payload) triples with a minimal JSON-object parser.
 
-use ape_probe::{JsonLinesSink, Sink};
+use ape_probe::{JsonLinesSink, Sink, SpanEvent};
 use std::collections::HashMap;
 
 /// Parses one flat JSON object of string/number/null fields. Only the
@@ -58,7 +58,15 @@ fn take_string(s: &str) -> (String, &str) {
 #[test]
 fn jsonl_output_parses_back() {
     let sink = JsonLinesSink::to_buffer();
-    sink.on_span("ape.l3.opamp", 1, 81_234);
+    sink.on_span(&SpanEvent {
+        name: "ape.l3.opamp",
+        id: 17,
+        parent: Some(4),
+        tid: 2,
+        depth: 1,
+        start_ns: 5_500,
+        dur_ns: 81_234,
+    });
     sink.on_counter("ape.cache.hit", 42);
     sink.on_value("anneal.accept_ratio", 0.4375);
     sink.on_value("weird\"name", -1.5e-9);
@@ -70,7 +78,11 @@ fn jsonl_output_parses_back() {
 
     assert_eq!(events[0]["type"], "span");
     assert_eq!(events[0]["name"], "ape.l3.opamp");
+    assert_eq!(events[0]["id"], "17");
+    assert_eq!(events[0]["parent"], "4");
+    assert_eq!(events[0]["tid"], "2");
     assert_eq!(events[0]["depth"], "1");
+    assert_eq!(events[0]["start_ns"], "5500");
     assert_eq!(events[0]["ns"], "81234");
 
     assert_eq!(events[1]["type"], "counter");
@@ -98,6 +110,24 @@ fn file_sink_writes_and_flushes() {
     assert_eq!(text.lines().count(), 1);
     let ev = parse_flat_object(text.lines().next().unwrap());
     assert_eq!(ev["name"], "c");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn file_sink_flushes_on_drop_without_explicit_flush() {
+    let path = std::env::temp_dir().join(format!("ape_probe_drop_{}.jsonl", std::process::id()));
+    {
+        let sink = JsonLinesSink::to_file(&path).expect("temp file");
+        for _ in 0..100 {
+            sink.on_counter("dropped.without.flush", 1);
+        }
+        // No flush_events(): the Drop impl must save the buffered lines.
+    }
+    let text = std::fs::read_to_string(&path).expect("file exists");
+    assert_eq!(text.lines().count(), 100);
+    for line in text.lines() {
+        assert_eq!(parse_flat_object(line)["name"], "dropped.without.flush");
+    }
     let _ = std::fs::remove_file(&path);
 }
 

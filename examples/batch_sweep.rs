@@ -33,7 +33,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let ok = report.successes().count();
     let pareto = report.pareto_front().count();
-    let stats = farm.stats();
     eprintln!(
         "{} points in {:.2} s ({:.0} designs/s): {} sized, {} failed, {} on the Pareto front",
         report.records.len(),
@@ -43,10 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.records.len() - ok,
         pareto
     );
-    eprintln!(
-        "farm: {} submitted, {} executed, {} cache hits, {} deduped",
-        stats.submitted, stats.executed, stats.cache_hits, stats.deduped
-    );
+    eprint!("{}", farm.report());
 
     let jsonl = report.to_jsonl();
     match std::env::args().nth(1) {

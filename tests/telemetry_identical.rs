@@ -1,0 +1,77 @@
+// Test/harness code: panicking on bad results is the assertion mechanism.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+//! Acceptance gate: estimation results are bit-identical whether telemetry
+//! is off (no sink), a `NullSink`, the registry-backed `SummarySink`, or a
+//! span-buffering `ChromeTraceSink` is installed. Telemetry observes the
+//! estimator; it must never perturb a single bit of its output.
+//!
+//! One `#[test]` only: the probe sink is process-global and this file gets
+//! its own test binary, so nothing else can race the installs.
+
+use ape_repro::ape::basic::MirrorTopology;
+use ape_repro::ape::graph::reset_thread_graph;
+use ape_repro::ape::opamp::{OpAmp, OpAmpSpec, OpAmpTopology};
+use ape_repro::netlist::Technology;
+use ape_repro::probe::{ChromeTraceSink, NullSink, SummarySink};
+use std::sync::Arc;
+
+/// Every f64 the design run produces, as exact bit patterns.
+fn design_bits(tech: &Technology) -> Vec<u64> {
+    reset_thread_graph();
+    let mut bits = Vec::new();
+    for (i, mirror) in [MirrorTopology::Simple, MirrorTopology::Wilson]
+        .into_iter()
+        .enumerate()
+    {
+        let spec = OpAmpSpec {
+            gain: 180.0 + 25.0 * i as f64,
+            ugf_hz: 4e6,
+            area_max_m2: 20_000e-12,
+            ibias: 10e-6,
+            zout_ohm: None,
+            cl: 10e-12,
+        };
+        let amp = OpAmp::design(tech, OpAmpTopology::miller(mirror, false), spec)
+            .expect("design succeeds");
+        for v in [
+            amp.perf.dc_gain.unwrap_or(f64::NAN),
+            amp.perf.ugf_hz.unwrap_or(f64::NAN),
+            amp.perf.bw_hz.unwrap_or(f64::NAN),
+            amp.perf.power_w,
+            amp.perf.gate_area_m2,
+            amp.perf.slew_v_per_s.unwrap_or(f64::NAN),
+        ] {
+            bits.push(v.to_bits());
+        }
+    }
+    bits
+}
+
+#[test]
+fn estimation_is_bit_identical_under_every_sink() {
+    let tech = Technology::default_1p2um();
+
+    ape_repro::probe::uninstall();
+    let baseline = design_bits(&tech);
+
+    ape_repro::probe::install(Arc::new(NullSink));
+    let with_null = design_bits(&tech);
+
+    ape_repro::probe::install(Arc::new(SummarySink::new()));
+    let with_summary = design_bits(&tech);
+
+    ape_repro::probe::install(Arc::new(ChromeTraceSink::new()));
+    let with_chrome = design_bits(&tech);
+
+    ape_repro::probe::uninstall();
+
+    assert_eq!(baseline, with_null, "NullSink changed estimation bits");
+    assert_eq!(
+        baseline, with_summary,
+        "registry-backed SummarySink changed estimation bits"
+    );
+    assert_eq!(
+        baseline, with_chrome,
+        "span capture changed estimation bits"
+    );
+}
