@@ -85,6 +85,13 @@ fn main() {
         .unwrap_or(1);
     println!("== Farm throughput: batch op-amp estimation ==");
     println!("detected parallelism: {detected} (speedup saturates there)\n");
+    if detected == 1 {
+        eprintln!(
+            "farm bench: WARNING: detected parallelism is 1 — every worker count \
+             serializes on one core, so the speedup column measures scheduling \
+             overhead, not concurrent scaling"
+        );
+    }
 
     let points = 400usize;
     let requests = grid(points);

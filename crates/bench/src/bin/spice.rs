@@ -296,6 +296,13 @@ fn main() {
         "detected parallelism: {} (scaling saturates there)",
         detected_parallelism()
     );
+    if detected_parallelism() == 1 {
+        eprintln!(
+            "spice bench: WARNING: detected parallelism is 1 — thread counts above 1 \
+             serialize on one core, so the scaling table measures scheduling overhead, \
+             not concurrent speedup"
+        );
+    }
 
     let payload = json(&results, samples, &lat);
     std::fs::create_dir_all("results").expect("create results dir");

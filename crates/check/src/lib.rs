@@ -22,6 +22,11 @@
 //! jobs into an [`ape_farm::Farm`] and asserts the pool, the single-flight
 //! cache, and all waiting submitters stay live.
 //!
+//! [`serve::run`] additionally drives seeded hostile NDJSON traffic
+//! (truncated, oversized, garbage, unknown fingerprints) through a
+//! resident `ape-serve` daemon state and asserts every line gets a typed
+//! response and the connection never wedges.
+//!
 //! Run it via the `ape-check` binary: `--smoke` for the ~200-case CI gate,
 //! the default for the full ≥10,000-case sweep.
 
@@ -31,6 +36,7 @@
 pub mod drive;
 pub mod fault;
 pub mod gen;
+pub mod serve;
 
 /// Aggregate result of a fuzzing run.
 #[derive(Debug, Default)]
@@ -98,6 +104,14 @@ pub fn run_all(base_seed: u64, total: usize) -> CheckReport {
             .push((if workers == 1 { "farm@1" } else { "farm@8" }, 1));
         report.failures.extend(failures);
     }
+
+    // The daemon's wire protocol: ~1 batch of 24 hostile lines per 100
+    // fuzz cases, at least 2 so a wedge left by batch 1 is caught.
+    let serve_batches = (total / 100).max(2);
+    report
+        .failures
+        .extend(serve::run(base_seed ^ 0x5E4E, serve_batches));
+    report.cases.push(("serve", serve_batches));
     report
 }
 

@@ -26,6 +26,22 @@
 //! [`NodeStats`] and mirrored to `ape-probe` counters
 //! (`ape.graph.<kind>.hit` / `.miss` / `.dirty`), so `APE_TRACE=summary`
 //! shows exactly which levels of the hierarchy the memo is saving.
+//!
+//! # Sharing memos across threads
+//!
+//! A thread's graph is private (single-threaded, `Rc`-based), which is
+//! the right shape for one sweep but wastes work in a long-lived service:
+//! every worker re-derives the same subtrees from cold. A [`SharedMemo`]
+//! is a process-wide, sharded read-through layer behind any number of
+//! per-thread graphs: a local miss consults the shared store before
+//! computing, and every computed value is published back. Because a
+//! memoized value is a pure function of its bit-exact fingerprint, a
+//! value computed by one thread is bit-identical to what any other
+//! thread would have computed — reading through the shared store cannot
+//! change results, only skip work. Attach one with
+//! [`set_thread_shared_memo`] (done by `ape-farm` workers when
+//! `FarmConfig::shared_graph` is set) and watch
+//! `ape.graph.<kind>.shared_hit` to see cross-thread reuse.
 
 use crate::error::ApeError;
 use ape_mos::fingerprint::Fingerprint;
@@ -35,7 +51,8 @@ use std::any::Any;
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
-use std::sync::{Mutex, OnceLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Default per-kind memo capacity: comfortably above what a whole table
 /// reproduction touches per node kind, small enough that a million-point
@@ -55,8 +72,9 @@ pub const DEFAULT_KIND_CAPACITY: usize = 4096;
 /// re-created whenever the technology fingerprint changes.
 pub trait Component {
     /// The memoized result type. Cloned out of the memo on a hit, so keep
-    /// it cheap to clone (all APE results are plain data).
-    type Output: Clone + 'static;
+    /// it cheap to clone (all APE results are plain data). `Send + Sync`
+    /// so values can be published to a cross-thread [`SharedMemo`].
+    type Output: Clone + Send + Sync + 'static;
 
     /// Stable node-kind name, e.g. `"l2.diffpair"`. One kind must map to
     /// one `Output` type; kinds are also the unit of capacity bounding and
@@ -88,8 +106,11 @@ pub trait Component {
 /// Per-kind traffic counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct NodeStats {
-    /// Requests answered from the memo.
+    /// Requests answered from the thread-local memo.
     pub hits: usize,
+    /// Requests answered from an attached [`SharedMemo`] (another thread
+    /// computed the value first).
+    pub shared_hits: usize,
     /// Requests that ran [`Component::compute`].
     pub misses: usize,
     /// The subset of misses that hit a kind which already held entries —
@@ -102,15 +123,16 @@ pub struct NodeStats {
 impl NodeStats {
     /// Total requests served.
     pub fn total(&self) -> usize {
-        self.hits + self.misses
+        self.hits + self.shared_hits + self.misses
     }
 
-    /// Fraction of requests answered from the memo (0 when unused).
+    /// Fraction of requests answered from a memo — local or shared —
+    /// (0 when unused).
     pub fn hit_rate(&self) -> f64 {
         if self.total() == 0 {
             0.0
         } else {
-            self.hits as f64 / self.total() as f64
+            (self.hits + self.shared_hits) as f64 / self.total() as f64
         }
     }
 
@@ -119,6 +141,7 @@ impl NodeStats {
     pub fn merged(&self, other: &NodeStats) -> NodeStats {
         NodeStats {
             hits: self.hits + other.hits,
+            shared_hits: self.shared_hits + other.shared_hits,
             misses: self.misses + other.misses,
             dirty: self.dirty + other.dirty,
             evictions: self.evictions + other.evictions,
@@ -144,18 +167,26 @@ struct KindMemo {
     entries: HashMap<u64, Rc<dyn Any>>,
     stats: NodeStats,
     children: &'static [&'static str],
+    /// Key prefix for this `(technology, kind)` pair in an attached
+    /// [`SharedMemo`]; kinds are hashed (not pointer-compared) so two
+    /// graphs agree on the tag regardless of where the `&'static str`
+    /// lives.
+    shared_tag: u64,
     hit_ctr: &'static str,
+    shared_hit_ctr: &'static str,
     miss_ctr: &'static str,
     dirty_ctr: &'static str,
 }
 
 impl KindMemo {
-    fn new(kind: &'static str, children: &'static [&'static str]) -> Self {
+    fn new(kind: &'static str, children: &'static [&'static str], tech_fp: u64) -> Self {
         KindMemo {
             entries: HashMap::new(),
             stats: NodeStats::default(),
             children,
+            shared_tag: Fingerprint::new().u64(tech_fp).str(kind).finish(),
             hit_ctr: interned_counter(kind, "hit"),
+            shared_hit_ctr: interned_counter(kind, "shared_hit"),
             miss_ctr: interned_counter(kind, "miss"),
             dirty_ctr: interned_counter(kind, "dirty"),
         }
@@ -181,16 +212,188 @@ fn interned_counter(kind: &str, event: &str) -> &'static str {
     leaked
 }
 
+/// Number of independently locked shards in a [`SharedMemo`]. A power of
+/// two comfortably above any realistic worker count, so concurrent
+/// lookups rarely contend on one lock.
+const SHARED_SHARDS: usize = 16;
+
+/// Default total entry capacity of a [`SharedMemo`] (spread over its
+/// shards): an order of magnitude above the per-thread default so a
+/// service's resident store outlives any single sweep.
+pub const DEFAULT_SHARED_CAPACITY: usize = 64 * 1024;
+
+/// Lifetime counters of a [`SharedMemo`] (monotonic, racy reads).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SharedMemoStats {
+    /// Lookups answered from the shared store.
+    pub hits: u64,
+    /// Lookups that found nothing (the caller went on to compute).
+    pub misses: u64,
+    /// Values published into the store.
+    pub inserts: u64,
+    /// Entries dropped to hold a shard's capacity bound.
+    pub evictions: u64,
+}
+
+type SharedShard = HashMap<(u64, u64), Arc<dyn Any + Send + Sync>>;
+
+/// A process-wide, sharded memo store shared by many per-thread
+/// [`EstimationGraph`]s.
+///
+/// Keys are `(shared_tag, fingerprint)` where the tag folds the
+/// technology fingerprint with the node kind, so one store can serve
+/// multiple tenants' technologies at once without cross-talk. Values are
+/// type-erased `Arc`s; a downcast mismatch (possible only under a hash
+/// collision between kinds) is treated as a miss, never an error.
+///
+/// Sharing is sound for the same reason per-thread memoization is:
+/// every value is a pure function of its bit-exact key, so a value
+/// computed on any thread is bit-identical to a local recompute. Each
+/// shard holds at most `capacity / SHARED_SHARDS` entries and drops its
+/// whole generation when full — recomputes repopulate it losslessly.
+pub struct SharedMemo {
+    shards: Vec<Mutex<SharedShard>>,
+    shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for SharedMemo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedMemo")
+            .field("len", &self.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Default for SharedMemo {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SharedMemo {
+    /// An empty store with [`DEFAULT_SHARED_CAPACITY`] total entries.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_SHARED_CAPACITY)
+    }
+
+    /// An empty store holding at most `capacity` entries across all
+    /// shards (minimum one per shard).
+    pub fn with_capacity(capacity: usize) -> Self {
+        SharedMemo {
+            shards: (0..SHARED_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            shard_capacity: (capacity / SHARED_SHARDS).max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, tag: u64, fp: u64) -> &Mutex<SharedShard> {
+        // Mix both halves so sequential fingerprints spread; the shard
+        // count divides the mixed value, not the raw fingerprint.
+        let mixed = (tag ^ fp).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(mixed >> 32) as usize % SHARED_SHARDS]
+    }
+
+    fn lookup(&self, tag: u64, fp: u64) -> Option<Arc<dyn Any + Send + Sync>> {
+        let shard = self.shard(tag, fp);
+        let guard = shard.lock().unwrap_or_else(|e| e.into_inner());
+        let found = guard.get(&(tag, fp)).cloned();
+        drop(guard);
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    fn insert(&self, tag: u64, fp: u64, value: Arc<dyn Any + Send + Sync>) {
+        let shard = self.shard(tag, fp);
+        let mut guard = shard.lock().unwrap_or_else(|e| e.into_inner());
+        if guard.len() >= self.shard_capacity && !guard.contains_key(&(tag, fp)) {
+            // Generation drop, same argument as the per-kind memo:
+            // recomputes are bit-identical, so no recency bookkeeping.
+            let dropped = guard.len() as u64;
+            guard.clear();
+            self.evictions.fetch_add(dropped, Ordering::Relaxed);
+            ape_probe::counter("ape.graph.shared.evict", dropped);
+        }
+        if guard.insert((tag, fp), value).is_none() {
+            self.inserts.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Total entries resident across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).len())
+            .sum()
+    }
+
+    /// `true` when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime counters (racy snapshot).
+    pub fn stats(&self) -> SharedMemoStats {
+        SharedMemoStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drops every entry (statistics are kept).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        }
+    }
+
+    /// One-line human-readable summary.
+    pub fn report(&self) -> String {
+        let s = self.stats();
+        let total = s.hits + s.misses;
+        let rate = if total == 0 {
+            0.0
+        } else {
+            100.0 * s.hits as f64 / total as f64
+        };
+        format!(
+            "shared memo: {} entries, {} hits / {} misses ({rate:.1}% hit rate), {} inserts, {} evicted",
+            self.len(),
+            s.hits,
+            s.misses,
+            s.inserts,
+            s.evictions
+        )
+    }
+}
+
 /// A memoized estimation graph bound to one technology.
 ///
 /// Cheap to create; estimator entry points normally share one per thread
 /// via [`with_thread_graph`] so consecutive designs — annealing moves,
-/// sweep neighbors — reuse each other's clean subtrees.
+/// sweep neighbors — reuse each other's clean subtrees. Optionally backed
+/// by a cross-thread [`SharedMemo`] consulted on local misses.
 pub struct EstimationGraph {
     tech: Technology,
     tech_fp: u64,
     kinds: RefCell<BTreeMap<&'static str, KindMemo>>,
     kind_capacity: usize,
+    shared: Option<Arc<SharedMemo>>,
 }
 
 impl std::fmt::Debug for EstimationGraph {
@@ -222,7 +425,21 @@ impl EstimationGraph {
             tech_fp: tech.fingerprint(),
             kinds: RefCell::new(BTreeMap::new()),
             kind_capacity: kind_capacity.max(1),
+            shared: None,
         }
+    }
+
+    /// Creates an empty graph backed by `memo`: local misses read through
+    /// the shared store, and computed values are published back to it.
+    pub fn with_shared(tech: &Technology, memo: Arc<SharedMemo>) -> Self {
+        let mut g = Self::new(tech);
+        g.shared = Some(memo);
+        g
+    }
+
+    /// The attached cross-thread store, if any.
+    pub fn shared_memo(&self) -> Option<&Arc<SharedMemo>> {
+        self.shared.as_ref()
     }
 
     /// The bound technology.
@@ -265,16 +482,34 @@ impl EstimationGraph {
     pub fn evaluate<C: Component>(&self, component: &C) -> Result<C::Output, ApeError> {
         let kind = component.kind();
         let fp = component.fingerprint();
-        {
+        let shared_tag = {
             let mut kinds = self.kinds.borrow_mut();
-            if let Some(memo) = kinds.get_mut(kind) {
-                if let Some(found) = memo.entries.get(&fp) {
-                    if let Some(out) = found.downcast_ref::<C::Output>() {
-                        memo.stats.hits += 1;
-                        ape_probe::counter("ape.graph.hit", 1);
-                        ape_probe::counter(memo.hit_ctr, 1);
-                        return Ok(out.clone());
+            let memo = kinds
+                .entry(kind)
+                .or_insert_with(|| KindMemo::new(kind, component.children(), self.tech_fp));
+            if let Some(found) = memo.entries.get(&fp) {
+                if let Some(out) = found.downcast_ref::<C::Output>() {
+                    memo.stats.hits += 1;
+                    ape_probe::counter("ape.graph.hit", 1);
+                    ape_probe::counter(memo.hit_ctr, 1);
+                    return Ok(out.clone());
+                }
+            }
+            memo.shared_tag
+        };
+        // Local miss: another thread may have computed this node already.
+        if let Some(store) = &self.shared {
+            if let Some(found) = store.lookup(shared_tag, fp) {
+                if let Some(out) = found.downcast_ref::<C::Output>() {
+                    let out = out.clone();
+                    let mut kinds = self.kinds.borrow_mut();
+                    if let Some(memo) = kinds.get_mut(kind) {
+                        memo.stats.shared_hits += 1;
+                        ape_probe::counter("ape.graph.shared.hit", 1);
+                        ape_probe::counter(memo.shared_hit_ctr, 1);
+                        Self::insert_local(memo, self.kind_capacity, fp, Rc::new(out.clone()));
                     }
+                    return Ok(out);
                 }
             }
         }
@@ -282,7 +517,7 @@ impl EstimationGraph {
             let mut kinds = self.kinds.borrow_mut();
             let memo = kinds
                 .entry(kind)
-                .or_insert_with(|| KindMemo::new(kind, component.children()));
+                .or_insert_with(|| KindMemo::new(kind, component.children(), self.tech_fp));
             memo.stats.misses += 1;
             ape_probe::counter("ape.graph.miss", 1);
             ape_probe::counter(memo.miss_ctr, 1);
@@ -295,11 +530,20 @@ impl EstimationGraph {
         // The memo lock is released: compute may recurse into evaluate()
         // for child nodes of this same graph.
         let out = component.compute(self)?;
+        if let Some(store) = &self.shared {
+            store.insert(shared_tag, fp, Arc::new(out.clone()));
+            ape_probe::counter("ape.graph.shared.insert", 1);
+        }
         let mut kinds = self.kinds.borrow_mut();
         let memo = kinds
             .entry(kind)
-            .or_insert_with(|| KindMemo::new(kind, component.children()));
-        if memo.entries.len() >= self.kind_capacity {
+            .or_insert_with(|| KindMemo::new(kind, component.children(), self.tech_fp));
+        Self::insert_local(memo, self.kind_capacity, fp, Rc::new(out.clone()));
+        Ok(out)
+    }
+
+    fn insert_local(memo: &mut KindMemo, capacity: usize, fp: u64, value: Rc<dyn Any>) {
+        if memo.entries.len() >= capacity && !memo.entries.contains_key(&fp) {
             // Generation drop: recomputes are bit-identical, so clearing
             // the kind wholesale needs no recency bookkeeping.
             let dropped = memo.entries.len();
@@ -307,8 +551,7 @@ impl EstimationGraph {
             memo.stats.evictions += dropped;
             ape_probe::counter("ape.graph.evict", dropped as u64);
         }
-        memo.entries.insert(fp, Rc::new(out.clone()));
-        Ok(out)
+        memo.entries.insert(fp, value);
     }
 
     /// Per-kind snapshots, sorted by kind name.
@@ -364,10 +607,11 @@ impl EstimationGraph {
     pub fn report(&self) -> String {
         let totals = self.totals();
         let mut out = format!(
-            "estimation graph: {} kinds, {} nodes, {} hits / {} misses ({:.1}% hit rate), {} dirty, {} evicted",
+            "estimation graph: {} kinds, {} nodes, {} hits + {} shared / {} misses ({:.1}% hit rate), {} dirty, {} evicted",
             self.kinds.borrow().len(),
             self.len(),
             totals.hits,
+            totals.shared_hits,
             totals.misses,
             100.0 * totals.hit_rate(),
             totals.dirty,
@@ -380,9 +624,19 @@ impl EstimationGraph {
                 k.children.join(", ")
             };
             out.push_str(&format!(
-                "\n  {}: {} nodes, {} hits / {} misses, {} dirty  <- {}",
-                k.kind, k.len, k.stats.hits, k.stats.misses, k.stats.dirty, deps
+                "\n  {}: {} nodes, {} hits + {} shared / {} misses, {} dirty  <- {}",
+                k.kind,
+                k.len,
+                k.stats.hits,
+                k.stats.shared_hits,
+                k.stats.misses,
+                k.stats.dirty,
+                deps
             ));
+        }
+        if let Some(store) = &self.shared {
+            out.push('\n');
+            out.push_str(&store.report());
         }
         out
     }
@@ -394,10 +648,15 @@ thread_local! {
     /// through it so repeated (sub)designs reuse memoized nodes, as the
     /// paper's §4.1 object store does — generalised to every level.
     static CURRENT: RefCell<Option<(u64, Rc<EstimationGraph>)>> = const { RefCell::new(None) };
+    /// Cross-thread store this thread's graphs attach to at creation;
+    /// installed by pool workers via [`set_thread_shared_memo`].
+    static SHARED_OVERRIDE: RefCell<Option<Arc<SharedMemo>>> = const { RefCell::new(None) };
 }
 
 /// Runs `f` against this thread's shared graph for `tech`, creating it on
 /// first use and replacing it when the technology fingerprint changes.
+/// A [`SharedMemo`] installed via [`set_thread_shared_memo`] is attached
+/// to every graph created here.
 ///
 /// The slot's borrow is released before `f` runs, so nested
 /// `with_thread_graph` calls (an op-amp node designing a diff pair which
@@ -409,13 +668,34 @@ pub fn with_thread_graph<R>(tech: &Technology, f: impl FnOnce(&EstimationGraph) 
         match &*slot {
             Some((have, graph)) if *have == fp => Rc::clone(graph),
             _ => {
-                let graph = Rc::new(EstimationGraph::new(tech));
+                let shared = SHARED_OVERRIDE.with(|s| s.borrow().clone());
+                let graph = Rc::new(match shared {
+                    Some(memo) => EstimationGraph::with_shared(tech, memo),
+                    None => EstimationGraph::new(tech),
+                });
                 *slot = Some((fp, Rc::clone(&graph)));
                 graph
             }
         }
     });
     f(&graph)
+}
+
+/// Installs (or removes) the [`SharedMemo`] this thread's graphs read
+/// through, dropping any existing thread graph so the setting takes
+/// effect on the next evaluation. Farm workers call this once at pool
+/// start when `FarmConfig::shared_graph` is enabled — which is also what
+/// removes the per-worker warm-up cost: the first job on every other
+/// worker finds the first worker's subtrees in the shared store instead
+/// of cold-computing them.
+pub fn set_thread_shared_memo(memo: Option<Arc<SharedMemo>>) {
+    CURRENT.with(|slot| *slot.borrow_mut() = None);
+    SHARED_OVERRIDE.with(|s| *s.borrow_mut() = memo);
+}
+
+/// The [`SharedMemo`] this thread's graphs attach to, if any.
+pub fn thread_shared_memo() -> Option<Arc<SharedMemo>> {
+    SHARED_OVERRIDE.with(|s| s.borrow().clone())
 }
 
 /// Per-kind snapshots of this thread's shared graph (empty when none
@@ -708,6 +988,106 @@ mod tests {
             assert_eq!(g.technology_fingerprint(), other.fingerprint());
             assert!(g.is_empty());
         });
+        reset_thread_graph();
+    }
+
+    #[test]
+    fn shared_memo_read_through_is_bit_identical() {
+        let tech = Technology::default_1p2um();
+        let store = Arc::new(SharedMemo::new());
+        let a = EstimationGraph::with_shared(&tech, store.clone());
+        let b = EstimationGraph::with_shared(&tech, store.clone());
+        let cold = a.evaluate(&node(10e-6)).unwrap();
+        // Graph `b` never computed this node: it reads through the store.
+        let warm = b.evaluate(&node(10e-6)).unwrap();
+        assert_eq!(cold.geometry, warm.geometry);
+        assert_eq!(cold.vgs.to_bits(), warm.vgs.to_bits());
+        assert_eq!(b.totals().shared_hits, 1);
+        assert_eq!(b.totals().misses, 0, "no recompute behind the store");
+        let s = store.stats();
+        assert_eq!(s.inserts, 1);
+        assert_eq!(s.hits, 1);
+        assert!(store.report().contains("hit rate"));
+        // The shared value is now in b's local memo too: a second request
+        // is a plain local hit, no store traffic.
+        b.evaluate(&node(10e-6)).unwrap();
+        assert_eq!(b.totals().hits, 1);
+        assert_eq!(store.stats().hits, 1);
+    }
+
+    #[test]
+    fn shared_memo_isolates_technologies() {
+        let store = Arc::new(SharedMemo::new());
+        let tech = Technology::default_1p2um();
+        let mut other = tech.clone();
+        other.vdd += 0.5;
+        let a = EstimationGraph::with_shared(&tech, store.clone());
+        let b = EstimationGraph::with_shared(&other, store.clone());
+        a.evaluate(&node(10e-6)).unwrap();
+        // Same node fingerprint, different technology: must not be served
+        // from the other tenant's entry.
+        b.evaluate(&node(10e-6)).unwrap();
+        assert_eq!(b.totals().shared_hits, 0);
+        assert_eq!(b.totals().misses, 1);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn shared_memo_capacity_drops_generations() {
+        let store = Arc::new(SharedMemo::with_capacity(0)); // 1 entry/shard
+        let tech = Technology::default_1p2um();
+        let g = EstimationGraph::with_shared(&tech, store.clone());
+        for id in [10e-6, 20e-6, 40e-6, 80e-6] {
+            g.evaluate(&node(id)).unwrap();
+        }
+        let s = store.stats();
+        assert_eq!(s.inserts, 4);
+        // With one slot per shard, any two nodes landing on one shard
+        // evicted a generation; at minimum the store stayed bounded.
+        assert!(store.len() <= SHARED_SHARDS);
+    }
+
+    #[test]
+    fn shared_memo_is_concurrent() {
+        let store = Arc::new(SharedMemo::new());
+        let tech = Technology::default_1p2um();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let store = store.clone();
+            let tech = tech.clone();
+            handles.push(std::thread::spawn(move || {
+                let g = EstimationGraph::with_shared(&tech, store);
+                (0..16)
+                    .map(|i| g.evaluate(&node((1 + i) as f64 * 5e-6)).unwrap().geometry)
+                    .collect::<Vec<_>>()
+            }));
+        }
+        let mut results = handles.into_iter().map(|h| h.join().unwrap());
+        let first = results.next().unwrap();
+        for r in results {
+            assert_eq!(r, first, "all threads see bit-identical geometries");
+        }
+        let s = store.stats();
+        // 64 evaluations of 16 distinct nodes: at most 16 computed fresh
+        // per interleaving, and with any overlap some were shared.
+        assert_eq!(store.len(), 16);
+        assert!(s.inserts >= 16);
+    }
+
+    #[test]
+    fn thread_shared_memo_attaches_to_new_graphs() {
+        reset_thread_graph();
+        let tech = Technology::default_1p2um();
+        let store = Arc::new(SharedMemo::new());
+        set_thread_shared_memo(Some(store.clone()));
+        with_thread_graph(&tech, |g| {
+            assert!(g.shared_memo().is_some());
+            g.evaluate(&node(10e-6)).unwrap();
+        });
+        assert_eq!(store.stats().inserts, 1);
+        assert!(thread_shared_memo().is_some());
+        set_thread_shared_memo(None);
+        with_thread_graph(&tech, |g| assert!(g.shared_memo().is_none()));
         reset_thread_graph();
     }
 

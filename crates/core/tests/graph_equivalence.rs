@@ -231,6 +231,63 @@ fn l4_modules_warm_equals_cold() {
     );
 }
 
+/// The shared cross-thread memo is a pure read-through cache: a graph
+/// served entirely out of another thread's published results must produce
+/// bit-identical designs to a cold, isolated run.
+#[test]
+fn shared_memo_results_are_bit_identical_to_cold() {
+    use ape_core::graph::{set_thread_shared_memo, SharedMemo};
+    use std::sync::Arc;
+
+    let tech = Technology::default_1p2um();
+    let store = Arc::new(SharedMemo::new());
+
+    // Publisher thread: designs every topology cold, filling the store.
+    let publisher = {
+        let tech = tech.clone();
+        let store = store.clone();
+        std::thread::spawn(move || {
+            set_thread_shared_memo(Some(store));
+            all_topologies()
+                .into_iter()
+                .map(|t| format!("{:?}", OpAmp::design(&tech, t, spec())))
+                .collect::<Vec<_>>()
+        })
+    };
+    let published = publisher.join().expect("publisher thread");
+    assert!(!store.is_empty(), "publisher populated the shared store");
+
+    // Reader thread: same designs through the shared store.
+    let reader = {
+        let tech = tech.clone();
+        let store = store.clone();
+        std::thread::spawn(move || {
+            set_thread_shared_memo(Some(store));
+            let rendered = all_topologies()
+                .into_iter()
+                .map(|t| format!("{:?}", OpAmp::design(&tech, t, spec())))
+                .collect::<Vec<_>>();
+            let shared_hits = ape_core::graph::with_thread_graph(&tech, |g| g.totals().shared_hits);
+            (rendered, shared_hits)
+        })
+    };
+    let (read_back, shared_hits) = reader.join().expect("reader thread");
+    assert!(
+        shared_hits > 0,
+        "reader must have been served from the shared store"
+    );
+
+    // Cold oracle: no shared store at all.
+    reset_thread_graph();
+    let cold: Vec<String> = all_topologies()
+        .into_iter()
+        .map(|t| format!("{:?}", OpAmp::design(&tech, t, spec())))
+        .collect();
+
+    assert_eq!(published, cold, "publisher diverged from cold");
+    assert_eq!(read_back, cold, "shared-store reader diverged from cold");
+}
+
 fn rc_ladder(r: f64, stages: usize) -> Circuit {
     let mut c = Circuit::new("ladder");
     let mut prev = c.node("n0");

@@ -122,6 +122,10 @@ pub enum FarmError {
     /// net, or a result was awaited for a key no submission ever claimed.
     /// Surfaced as an error instead of hanging or panicking the waiter.
     WorkerLost(String),
+    /// A submission referenced a technology fingerprint that was never
+    /// registered with [`Farm::register_technology`](crate::Farm::register_technology).
+    /// The job is rejected before it touches the queue or the result cache.
+    UnknownTechnology(u64),
 }
 
 impl std::fmt::Display for FarmError {
@@ -134,6 +138,9 @@ impl std::fmt::Display for FarmError {
             FarmError::QueueFull => write!(f, "queue full"),
             FarmError::ShuttingDown => write!(f, "farm shutting down"),
             FarmError::WorkerLost(m) => write!(f, "farm lost the job: {m}"),
+            FarmError::UnknownTechnology(fp) => {
+                write!(f, "unknown technology fingerprint {fp:#018x}")
+            }
         }
     }
 }

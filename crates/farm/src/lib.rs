@@ -46,6 +46,6 @@ pub mod sweep;
 
 pub use cache::{Claim, ResultCache};
 pub use job::{canonical_key, FarmError, Request, Response};
-pub use pool::{Farm, FarmConfig, FarmStats, JobHandle};
+pub use pool::{Farm, FarmConfig, FarmStats, JobHandle, SubmitOptions};
 pub use queue::{BoundedQueue, TryPushError};
 pub use sweep::{SweepMetrics, SweepPlan, SweepPoint, SweepRecord, SweepReport};

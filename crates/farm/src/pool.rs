@@ -7,13 +7,15 @@ use crate::cache::{Claim, ResultCache};
 use crate::job::{canonical_key, FarmError, Request, Response};
 use crate::queue::{BoundedQueue, TryPushError};
 use ape_core::cancel::{self, CancelToken};
+use ape_core::graph::SharedMemo;
 use ape_core::netest::estimate_netlist;
 use ape_core::opamp::OpAmp;
 use ape_netlist::Technology;
 use ape_oblx::synthesize;
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -40,6 +42,15 @@ pub struct FarmConfig {
     /// floating-point path independent of what ran before it on the same
     /// worker.
     pub isolate_solver_cache: bool,
+    /// Attach one process-wide [`SharedMemo`] to every worker's estimation
+    /// graph (default `false`). Memo keys are bit-exact input fingerprints,
+    /// so the shared store is a pure read-through cache: results are
+    /// identical to isolated per-thread graphs, but a subtree computed by
+    /// one worker is served to every other worker — the pool warms up once
+    /// instead of once per thread. With this set, per-job graph resets
+    /// ([`FarmConfig::isolate_sizing_cache`]) only clear the cheap local
+    /// view; warmth survives in the shared store.
+    pub shared_graph: bool,
 }
 
 impl Default for FarmConfig {
@@ -52,6 +63,7 @@ impl Default for FarmConfig {
             job_timeout: None,
             isolate_sizing_cache: false,
             isolate_solver_cache: true,
+            shared_graph: false,
         }
     }
 }
@@ -97,9 +109,33 @@ struct StatCells {
     rejected: AtomicU64,
 }
 
+/// Per-submission options for [`Farm::submit_opts`]: tenant technology
+/// selection, an externally owned cancellation token, and the
+/// blocking-vs-fail-fast queue policy.
+#[derive(Debug, Clone, Default)]
+pub struct SubmitOptions {
+    /// Run against the registered technology with this fingerprint instead
+    /// of the farm's default. Unknown fingerprints resolve the handle
+    /// immediately to [`FarmError::UnknownTechnology`] without queueing.
+    pub technology: Option<u64>,
+    /// Parent the job's cancellation token under this caller-owned token
+    /// instead of the farm root. The farm's per-job deadline still applies
+    /// (composed as a timed child), but [`Farm::cancel_all`] no longer
+    /// reaches the job — the caller owns its lifetime.
+    pub token: Option<CancelToken>,
+    /// Extra deadline for this job, composed with (not replacing) the
+    /// farm's [`FarmConfig::job_timeout`]: the job is abandoned at
+    /// whichever expires first.
+    pub deadline: Option<Duration>,
+    /// `true` = behave like [`Farm::try_submit`] (a full queue resolves the
+    /// handle to [`FarmError::QueueFull`]); `false` = block for a slot.
+    pub fail_fast: bool,
+}
+
 struct WorkItem {
     key: u64,
     req: Request,
+    tech: Arc<Technology>,
     cancel: CancelToken,
     /// Innermost open span on the submitting thread, captured so the
     /// worker-side `ape.farm.job` span parents under the submitting
@@ -112,7 +148,13 @@ struct WorkItem {
 struct Shared {
     queue: BoundedQueue<WorkItem>,
     cache: ResultCache,
-    tech: Technology,
+    tech: Arc<Technology>,
+    /// Registered tenant technologies, keyed by fingerprint. The default
+    /// technology is registered at construction; the map only grows.
+    tenants: RwLock<HashMap<u64, Arc<Technology>>>,
+    /// Cross-worker estimation memo store when
+    /// [`FarmConfig::shared_graph`] is set.
+    shared_graph: Option<Arc<SharedMemo>>,
     inflight: AtomicUsize,
     isolate_sizing_cache: bool,
     isolate_solver_cache: bool,
@@ -134,6 +176,21 @@ pub struct JobHandle {
     key: u64,
     cancel: CancelToken,
     shared: Arc<Shared>,
+    /// A submission rejected before it touched the queue or cache (e.g. an
+    /// unknown technology fingerprint): the handle is born resolved and
+    /// never consults the single-flight cache, so the bad submission can't
+    /// interfere with an honest job under the same key.
+    immediate: Option<FarmError>,
+}
+
+impl Shared {
+    fn lookup_technology(&self, fp: u64) -> Option<Arc<Technology>> {
+        self.tenants
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&fp)
+            .cloned()
+    }
 }
 
 impl std::fmt::Debug for Shared {
@@ -160,11 +217,17 @@ impl JobHandle {
     /// Blocks until the job (or the identical job it was deduplicated
     /// into) completes, and returns its result.
     pub fn wait(&self) -> Result<Response, FarmError> {
+        if let Some(err) = &self.immediate {
+            return Err(err.clone());
+        }
         self.shared.cache.wait(self.key)
     }
 
     /// Non-blocking result peek.
     pub fn peek(&self) -> Option<Result<Response, FarmError>> {
+        if let Some(err) = &self.immediate {
+            return Some(Err(err.clone()));
+        }
         self.shared.cache.peek(self.key)
     }
 }
@@ -207,10 +270,15 @@ pub struct Farm {
 impl Farm {
     /// Spawns `config.workers` worker threads over a bounded queue.
     pub fn new(tech: Technology, config: FarmConfig) -> Self {
+        let tech = Arc::new(tech);
+        let mut tenants = HashMap::new();
+        tenants.insert(tech.fingerprint(), tech.clone());
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(config.queue_capacity),
             cache: ResultCache::new(),
             tech,
+            tenants: RwLock::new(tenants),
+            shared_graph: config.shared_graph.then(|| Arc::new(SharedMemo::new())),
             inflight: AtomicUsize::new(0),
             isolate_sizing_cache: config.isolate_sizing_cache,
             isolate_solver_cache: config.isolate_solver_cache,
@@ -248,9 +316,37 @@ impl Farm {
         }
     }
 
-    /// The technology every job runs against.
+    /// The default technology, used by jobs that don't select a tenant.
     pub fn technology(&self) -> &Technology {
         &self.shared.tech
+    }
+
+    /// Registers a tenant technology and returns its fingerprint, the id a
+    /// [`SubmitOptions::technology`] selection refers to. Registering the
+    /// same card twice is idempotent (same fingerprint, same entry); two
+    /// cards that differ only in `name` share a fingerprint by design
+    /// (the fingerprint covers process-relevant fields only) and the first
+    /// registration wins.
+    pub fn register_technology(&self, tech: Technology) -> u64 {
+        let fp = tech.fingerprint();
+        let mut tenants = self
+            .shared
+            .tenants
+            .write()
+            .unwrap_or_else(|e| e.into_inner());
+        tenants.entry(fp).or_insert_with(|| Arc::new(tech));
+        fp
+    }
+
+    /// Looks up a registered tenant technology by fingerprint.
+    pub fn technology_by_fingerprint(&self, fp: u64) -> Option<Arc<Technology>> {
+        self.shared.lookup_technology(fp)
+    }
+
+    /// The cross-worker shared estimation memo, when
+    /// [`FarmConfig::shared_graph`] is enabled.
+    pub fn shared_memo(&self) -> Option<&Arc<SharedMemo>> {
+        self.shared.shared_graph.as_ref()
     }
 
     /// Human-readable summary of the sparse solver's symbolic-factorisation
@@ -307,6 +403,9 @@ impl Farm {
             fmt_ns(if lat.count == 0 { 0.0 } else { lat.max }),
             lat.count
         );
+        if let Some(store) = &self.shared.shared_graph {
+            let _ = writeln!(out, "  {}", store.report());
+        }
         out
     }
 
@@ -324,10 +423,19 @@ impl Farm {
         }
     }
 
-    fn job_token(&self) -> CancelToken {
-        match self.job_timeout {
-            Some(t) => self.cancel.child_with_timeout(t),
-            None => self.cancel.child(),
+    fn job_token(&self, opts: &SubmitOptions) -> CancelToken {
+        // The job's token parents under the caller's token when one is
+        // given (the caller owns the job's lifetime), else under the farm
+        // root (so `cancel_all` reaches it). The effective deadline is the
+        // tighter of the farm-wide timeout and the per-submission one.
+        let parent = opts.token.as_ref().unwrap_or(&self.cancel);
+        let deadline = match (self.job_timeout, opts.deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        match deadline {
+            Some(t) => parent.child_with_timeout(t),
+            None => parent.child(),
         }
     }
 
@@ -336,7 +444,7 @@ impl Farm {
     /// An identical in-flight or completed request is shared instead of
     /// re-queued; the returned handle then waits on the shared flight.
     pub fn submit(&self, req: Request) -> JobHandle {
-        self.submit_inner(req, false)
+        self.submit_opts(req, SubmitOptions::default())
     }
 
     /// Fail-fast submission: like [`Farm::submit`] but a full queue yields
@@ -344,18 +452,45 @@ impl Farm {
     /// blocking. Deduplicated submissions never fail this way — sharing an
     /// existing flight needs no queue slot.
     pub fn try_submit(&self, req: Request) -> JobHandle {
-        self.submit_inner(req, true)
+        self.submit_opts(
+            req,
+            SubmitOptions {
+                fail_fast: true,
+                ..SubmitOptions::default()
+            },
+        )
     }
 
-    fn submit_inner(&self, req: Request, fail_fast: bool) -> JobHandle {
+    /// Submits a request with per-submission [`SubmitOptions`]: tenant
+    /// technology selection, caller-owned cancellation, extra deadline,
+    /// and queue policy.
+    pub fn submit_opts(&self, req: Request, opts: SubmitOptions) -> JobHandle {
         let shared = &self.shared;
         shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
-        let key = canonical_key(&shared.tech, &req);
-        let token = self.job_token();
+        let tech = match opts.technology {
+            None => shared.tech.clone(),
+            Some(fp) => match shared.lookup_technology(fp) {
+                Some(t) => t,
+                None => {
+                    shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                    ape_probe::counter("ape.farm.unknown_technology", 1);
+                    return JobHandle {
+                        key: 0,
+                        cancel: CancelToken::new(),
+                        shared: shared.clone(),
+                        immediate: Some(FarmError::UnknownTechnology(fp)),
+                    };
+                }
+            },
+        };
+        let fail_fast = opts.fail_fast;
+        let key = canonical_key(&tech, &req);
+        let token = self.job_token(&opts);
         let handle = JobHandle {
             key,
             cancel: token.clone(),
             shared: shared.clone(),
+            immediate: None,
         };
         match shared.cache.claim(key) {
             Claim::Shared => {
@@ -372,6 +507,7 @@ impl Farm {
                 let item = WorkItem {
                     key,
                     req,
+                    tech,
                     cancel: token,
                     parent_span: ape_probe::current_span(),
                     enqueued: Instant::now(),
@@ -457,6 +593,16 @@ impl Drop for PublishOnDrop<'_> {
 
 fn worker_loop(shared: &Shared) {
     let _span = ape_probe::span("ape.farm.worker");
+    // With a shared graph, attach this worker's thread-local estimation
+    // graph to the pool-wide memo store before the first job. This
+    // replaces per-worker graph warm-up: instead of every thread paying
+    // the same cold evaluations at pool start, the first worker to compute
+    // a subtree publishes it and the rest read through. The override
+    // outlives per-job `reset_thread_graph` calls, so isolation modes
+    // only clear the cheap local view.
+    if let Some(store) = &shared.shared_graph {
+        ape_core::graph::set_thread_shared_memo(Some(store.clone()));
+    }
     while let Some(item) = shared.queue.pop() {
         let mut guard = PublishOnDrop {
             shared,
@@ -508,7 +654,7 @@ fn run_item(shared: &Shared, item: &WorkItem) -> Result<Response, FarmError> {
     if shared.isolate_solver_cache {
         ape_spice::reset_symbolic_cache();
     }
-    let outcome = catch_unwind(AssertUnwindSafe(|| execute(&shared.tech, &item.req)));
+    let outcome = catch_unwind(AssertUnwindSafe(|| execute(&item.tech, &item.req)));
     match outcome {
         Ok(result) => result,
         Err(payload) => {

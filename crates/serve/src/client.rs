@@ -1,0 +1,203 @@
+//! A small blocking client for the daemon's NDJSON protocol, used by the
+//! bench load generator, the `ape-check` serve driver, and integration
+//! tests. Supports pipelining: `send` many, then `recv` in order.
+
+use crate::json::{self, obj, Value};
+use crate::proto::{ErrorCode, WireError};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One response envelope, decoded.
+#[derive(Debug, Clone)]
+pub struct Reply {
+    /// The echoed request id.
+    pub id: u64,
+    /// `result` on success, the typed error otherwise.
+    pub outcome: Result<Value, ReplyError>,
+}
+
+/// The decoded error object of a failed response.
+#[derive(Debug, Clone)]
+pub struct ReplyError {
+    /// Protocol error code string (e.g. `"overloaded"`).
+    pub code: String,
+    /// HTTP-flavoured status.
+    pub status: u16,
+    /// Human-readable message.
+    pub message: String,
+    /// Whether the server marked the failure retryable.
+    pub retryable: bool,
+}
+
+impl std::fmt::Display for ReplyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({}): {}", self.code, self.status, self.message)
+    }
+}
+
+/// A blocking NDJSON client over one TCP connection.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+            next_id: 1,
+        })
+    }
+
+    /// Sets a read timeout for `recv`.
+    pub fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(t)
+    }
+
+    /// Sends one request built from `op` plus extra fields; returns the id
+    /// assigned to it. Does not wait for the response.
+    pub fn send(&mut self, op: &str, mut fields: Value) -> io::Result<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        if let Value::Obj(m) = &mut fields {
+            m.insert("op".to_string(), Value::Str(op.to_string()));
+            m.insert("id".to_string(), Value::Num(id as f64));
+        }
+        writeln!(self.writer, "{}", fields.render())?;
+        self.writer.flush()?;
+        Ok(id)
+    }
+
+    /// Sends a raw line verbatim (protocol robustness tests).
+    pub fn send_raw(&mut self, line: &str) -> io::Result<()> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()
+    }
+
+    /// Receives the next response line.
+    pub fn recv(&mut self) -> io::Result<Reply> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        decode_reply(line.trim_end()).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Sends one request and waits for one response — only correct when
+    /// nothing else is in flight on this connection.
+    pub fn call(&mut self, op: &str, fields: Value) -> io::Result<Reply> {
+        self.send(op, fields)?;
+        self.recv()
+    }
+
+    /// Liveness round-trip.
+    pub fn ping(&mut self) -> io::Result<bool> {
+        let reply = self.call("ping", obj([]))?;
+        Ok(matches!(
+            reply.outcome.as_ref().ok().and_then(|r| r.get("pong")),
+            Some(Value::Bool(true))
+        ))
+    }
+
+    /// Shuts the connection's write half, simulating a client vanishing
+    /// mid-request (the read half stays open for observing).
+    pub fn shutdown_write(&self) -> io::Result<()> {
+        self.writer.shutdown(std::net::Shutdown::Write)
+    }
+}
+
+/// Decodes one response line into a [`Reply`].
+pub fn decode_reply(line: &str) -> Result<Reply, String> {
+    let doc = json::parse(line)?;
+    let id = doc
+        .get("id")
+        .and_then(Value::as_f64)
+        .map(|v| v as u64)
+        .ok_or("response missing `id`")?;
+    let ok = doc
+        .get("ok")
+        .and_then(Value::as_bool)
+        .ok_or("response missing `ok`")?;
+    if ok {
+        let result = doc.get("result").cloned().unwrap_or(Value::Null);
+        return Ok(Reply {
+            id,
+            outcome: Ok(result),
+        });
+    }
+    let err = doc.get("error").ok_or("failed response missing `error`")?;
+    Ok(Reply {
+        id,
+        outcome: Err(ReplyError {
+            code: err
+                .get("code")
+                .and_then(Value::as_str)
+                .unwrap_or("internal")
+                .to_string(),
+            status: err
+                .get("status")
+                .and_then(Value::as_f64)
+                .map(|v| v as u16)
+                .unwrap_or(500),
+            message: err
+                .get("message")
+                .and_then(Value::as_str)
+                .unwrap_or("")
+                .to_string(),
+            retryable: err
+                .get("retryable")
+                .and_then(Value::as_bool)
+                .unwrap_or(false),
+        }),
+    })
+}
+
+impl From<&WireError> for ReplyError {
+    fn from(e: &WireError) -> Self {
+        ReplyError {
+            code: e.code.as_str().to_string(),
+            status: e.code.status(),
+            message: e.message.clone(),
+            retryable: e.code.retryable(),
+        }
+    }
+}
+
+/// Convenience: checks a decoded error against a typed [`ErrorCode`].
+pub fn is_code(err: &ReplyError, code: ErrorCode) -> bool {
+    err.code == code.as_str()
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+    use super::*;
+
+    #[test]
+    fn decodes_both_envelopes() {
+        let ok = decode_reply(r#"{"id":4,"ok":true,"result":{"pong":true}}"#).unwrap();
+        assert_eq!(ok.id, 4);
+        assert!(ok.outcome.is_ok());
+
+        let err = decode_reply(
+            r#"{"id":5,"ok":false,"error":{"code":"overloaded","status":429,"message":"x","retryable":true}}"#,
+        )
+        .unwrap();
+        let e = err.outcome.unwrap_err();
+        assert!(is_code(&e, ErrorCode::Overloaded));
+        assert_eq!(e.status, 429);
+        assert!(e.retryable);
+    }
+}

@@ -15,6 +15,8 @@
 //! * [`oblx`] — the ASTRX/OBLX-style synthesis engine (`ape-oblx`)
 //! * [`farm`] — concurrent batch estimation and design-space sweeps
 //!   (`ape-farm`)
+//! * [`serve`] — the persistent multi-tenant estimation daemon
+//!   (`ape-serve`)
 //!
 //! # Example
 //!
@@ -49,4 +51,5 @@ pub use ape_mos as mos;
 pub use ape_netlist as netlist;
 pub use ape_oblx as oblx;
 pub use ape_probe as probe;
+pub use ape_serve as serve;
 pub use ape_spice as spice;

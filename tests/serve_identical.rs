@@ -1,0 +1,167 @@
+// Test/harness code: panicking on bad results is the assertion mechanism.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+//! The daemon's contract: answers over the wire are **bit-identical** to
+//! calling `OpAmp::design` directly — same floats, same rendering — and
+//! the shared estimation graph actually carries traffic *across
+//! connections* (hit rate > 0), so a resident daemon is a cache, not just
+//! a socket in front of the library.
+//!
+//! The server runs with `isolate_sizing: true` so every request reads
+//! through the shared store: cross-connection hits become deterministic
+//! instead of depending on which worker happened to warm its local graph.
+
+use ape_repro::ape::basic::MirrorTopology;
+use ape_repro::ape::opamp::{OpAmp, OpAmpSpec, OpAmpTopology};
+use ape_repro::netlist::Technology;
+use ape_repro::serve::json::{n, obj, s, Value};
+use ape_repro::serve::proto::design_result;
+use ape_repro::serve::{Client, Server, ServerConfig};
+
+fn spec(gain: f64, cl: f64) -> OpAmpSpec {
+    OpAmpSpec {
+        gain,
+        ugf_hz: 4e6,
+        area_max_m2: 20e-9,
+        ibias: 1e-5,
+        zout_ohm: None,
+        cl,
+    }
+}
+
+fn design_fields(gain: f64, cl: f64) -> Value {
+    obj([
+        ("topology", obj([("mirror", s("simple"))])),
+        (
+            "spec",
+            obj([
+                ("gain", n(gain)),
+                ("ugf_hz", n(4e6)),
+                ("area_max_m2", n(20e-9)),
+                ("ibias", n(1e-5)),
+                ("cl", n(cl)),
+            ]),
+        ),
+    ])
+}
+
+/// Wire answers must render byte-for-byte like the direct library call.
+#[test]
+fn daemon_results_are_bit_identical_and_shared_across_connections() {
+    let tech = Technology::default_1p2um();
+    let config = ServerConfig {
+        workers: 2,
+        shared_graph: true,
+        isolate_sizing: true,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", tech.clone(), config).expect("bind");
+    let handle = server.spawn().expect("spawn");
+    let addr = handle.addr();
+
+    // Connection 1: a small grid, all distinct specs.
+    let mut conn1 = Client::connect(addr).expect("conn1");
+    let grid: Vec<(f64, f64)> = (0..4).map(|i| (120.0 + 40.0 * i as f64, 8e-12)).collect();
+    let mut wire = Vec::new();
+    for &(gain, cl) in &grid {
+        let reply = conn1.call("design", design_fields(gain, cl)).expect("call");
+        wire.push((gain, cl, reply.outcome.expect("designs")));
+    }
+
+    // Connection 2: same gains, different load — shares every diff-pair
+    // subtree with connection 1's requests, so with per-job sizing
+    // isolation the shared store *must* serve hits across connections.
+    let mut conn2 = Client::connect(addr).expect("conn2");
+    for &(gain, _) in &grid {
+        let reply = conn2
+            .call("design", design_fields(gain, 12e-12))
+            .expect("call");
+        wire.push((gain, 12e-12, reply.outcome.expect("designs")));
+    }
+
+    // Bit-identical: render the wire value and the direct library result
+    // through the same canonical renderer and compare bytes.
+    let topo = OpAmpTopology::miller(MirrorTopology::Simple, false);
+    for (gain, cl, value) in &wire {
+        let direct = OpAmp::design(&tech, topo, spec(*gain, *cl)).expect("direct design");
+        assert_eq!(
+            value.render(),
+            design_result(&direct).render(),
+            "wire result diverged from direct OpAmp::design at gain={gain} cl={cl}"
+        );
+    }
+
+    // Shared-graph traffic crossed connections.
+    let stats = conn2
+        .call("stats", obj([]))
+        .expect("stats")
+        .outcome
+        .expect("ok");
+    let hits = stats
+        .get("shared_graph")
+        .and_then(|g| g.get("hits"))
+        .and_then(Value::as_f64)
+        .expect("shared_graph.hits in stats");
+    assert!(
+        hits > 0.0,
+        "no shared-graph hits across connections (stats: {})",
+        stats.render()
+    );
+
+    handle.stop();
+}
+
+/// Tenant routing end-to-end: a card registered over one connection is
+/// used for designs on another, and the answer matches the direct call on
+/// that card — not the default.
+#[test]
+fn registered_tenant_answers_match_direct_design_on_that_card() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Technology::default_1p2um(),
+        ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let handle = server.spawn().expect("spawn");
+    let addr = handle.addr();
+
+    let mut admin = Client::connect(addr).expect("admin conn");
+    let reg = admin
+        .call("register_tech", obj([("base", s("0p5um"))]))
+        .expect("register")
+        .outcome
+        .expect("registers");
+    let fp = reg
+        .get("technology")
+        .and_then(Value::as_str)
+        .expect("fingerprint")
+        .to_string();
+
+    let mut conn = Client::connect(addr).expect("tenant conn");
+    let mut fields = design_fields(180.0, 8e-12);
+    if let Value::Obj(map) = &mut fields {
+        map.insert("technology".to_string(), s(&fp));
+    }
+    let wire = conn
+        .call("design", fields)
+        .expect("call")
+        .outcome
+        .expect("designs");
+
+    let tech05 = Technology::default_0p5um();
+    let direct = OpAmp::design(
+        &tech05,
+        OpAmpTopology::miller(MirrorTopology::Simple, false),
+        spec(180.0, 8e-12),
+    )
+    .expect("direct 0.5um design");
+    assert_eq!(
+        wire.render(),
+        design_result(&direct).render(),
+        "tenant-routed result diverged from direct 0.5um design"
+    );
+
+    handle.stop();
+}
