@@ -169,12 +169,16 @@ fn main() {
     // predecessor in one variable, so warm worker graphs reuse most
     // subtrees (isolate_sizing_cache defaults to off).
     let mut spec = base_spec();
-    let requests: Vec<Request> = deltas
+    let neighbor_pairs: Vec<(OpAmpTopology, OpAmpSpec)> = deltas
         .iter()
         .map(|d| {
             spec = d.apply(&spec);
-            Request::OpAmpDesign { topology, spec }
+            (topology, spec)
         })
+        .collect();
+    let requests: Vec<Request> = neighbor_pairs
+        .iter()
+        .map(|&(topology, spec)| Request::OpAmpDesign { topology, spec })
         .collect();
     let workers_axis = [1usize, 2, 4, 8];
     let sweeps: Vec<(
@@ -205,6 +209,31 @@ fn main() {
         .unwrap_or(1);
     println!("detected parallelism: {detected} (scaling saturates there)");
 
+    // The same neighbour stream through `OpAmp::design_many_on` on
+    // explicit `Executor::new(w)` pools: estimation-graph scaling without
+    // the farm's queue in the way.
+    let mut exec_thr = Vec::new();
+    let mut rows = Vec::new();
+    for &w in &workers_axis {
+        let exec = ape_exec::Executor::new(w);
+        reset_thread_graph();
+        let t0 = Instant::now();
+        std::hint::black_box(OpAmp::design_many_on(&exec, &tech, &neighbor_pairs));
+        let thr = neighbor_pairs.len() as f64 / t0.elapsed().as_secs_f64();
+        reset_thread_graph();
+        rows.push(vec![
+            w.to_string(),
+            fmt_val(thr),
+            format!("{:.2}x", thr / exec_thr.first().copied().unwrap_or(thr)),
+        ]);
+        exec_thr.push(thr);
+    }
+    println!("== Neighbour stream on explicit executors ==");
+    println!(
+        "{}",
+        render_table(&["workers", "designs/s", "speedup"], &rows)
+    );
+
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"bench\": \"estimator\",");
     let _ = writeln!(out, "  \"schema\": {BENCH_SCHEMA},");
@@ -224,6 +253,17 @@ fn main() {
         sweep_walls
             .iter()
             .map(|t| format!("{:.3}", requests.len() as f64 / t))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    // Worker-count scaling on explicit executors — gated for monotone
+    // throughput by `ape-bench report` (auto-skipped at parallelism 1).
+    let _ = writeln!(
+        out,
+        "  \"executor\": {{\"workers\": [1, 2, 4, 8], \"design_many_per_s\": [{}]}},",
+        exec_thr
+            .iter()
+            .map(|t| format!("{t:.3}"))
             .collect::<Vec<_>>()
             .join(", ")
     );

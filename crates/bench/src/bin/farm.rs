@@ -19,33 +19,43 @@
 use ape_bench::report::{latency_section, BENCH_SCHEMA};
 use ape_bench::{fmt_val, render_table};
 use ape_core::basic::MirrorTopology;
-use ape_core::opamp::{OpAmpSpec, OpAmpTopology};
+use ape_core::graph::reset_thread_graph;
+use ape_core::opamp::{OpAmp, OpAmpSpec, OpAmpTopology};
 use ape_farm::{Farm, FarmConfig, Request};
 use ape_netlist::Technology;
 use std::fmt::Write as _;
 use std::time::Instant;
 
-fn grid(points: usize) -> Vec<Request> {
+fn grid_pairs(points: usize) -> Vec<(OpAmpTopology, OpAmpSpec)> {
     // Distinct specs: walk gain and UGF so no two requests share a key.
     (0..points)
-        .map(|i| Request::OpAmpDesign {
-            topology: OpAmpTopology::miller(
-                if i % 2 == 0 {
-                    MirrorTopology::Simple
-                } else {
-                    MirrorTopology::Wilson
+        .map(|i| {
+            (
+                OpAmpTopology::miller(
+                    if i % 2 == 0 {
+                        MirrorTopology::Simple
+                    } else {
+                        MirrorTopology::Wilson
+                    },
+                    false,
+                ),
+                OpAmpSpec {
+                    gain: 100.0 + (i as f64) * 7.0,
+                    ugf_hz: 1e6 + (i as f64) * 3.7e4,
+                    area_max_m2: 20_000e-12,
+                    ibias: 10e-6,
+                    zout_ohm: None,
+                    cl: 10e-12,
                 },
-                false,
-            ),
-            spec: OpAmpSpec {
-                gain: 100.0 + (i as f64) * 7.0,
-                ugf_hz: 1e6 + (i as f64) * 3.7e4,
-                area_max_m2: 20_000e-12,
-                ibias: 10e-6,
-                zout_ohm: None,
-                cl: 10e-12,
-            },
+            )
         })
+        .collect()
+}
+
+fn grid(points: usize) -> Vec<Request> {
+    grid_pairs(points)
+        .into_iter()
+        .map(|(topology, spec)| Request::OpAmpDesign { topology, spec })
         .collect()
 }
 
@@ -123,6 +133,37 @@ fn main() {
         )
     );
 
+    // Explicit-executor scaling: the same distinct grid through
+    // `OpAmp::design_many_on` on `Executor::new(w)` pools — the estimation
+    // work a farm job does, minus the queue machinery, with real worker
+    // threads even on a 1-core machine (where the farm itself clamps).
+    let pairs = grid_pairs(points);
+    let mut exec_thr = Vec::new();
+    let mut rows = Vec::new();
+    for &w in &workers_axis {
+        let exec = ape_exec::Executor::new(w);
+        reset_thread_graph();
+        let t0 = Instant::now();
+        std::hint::black_box(OpAmp::design_many_on(
+            &exec,
+            &Technology::default_1p2um(),
+            &pairs,
+        ));
+        let thr = pairs.len() as f64 / t0.elapsed().as_secs_f64();
+        reset_thread_graph();
+        rows.push(vec![
+            w.to_string(),
+            fmt_val(thr),
+            format!("{:.2}x", thr / exec_thr.first().copied().unwrap_or(thr)),
+        ]);
+        exec_thr.push(thr);
+    }
+    println!("-- {points} distinct designs, explicit executors --");
+    println!(
+        "{}",
+        render_table(&["workers", "designs/s", "speedup"], &rows)
+    );
+
     // Duplicate half the stream: the single-flight cache folds repeats.
     let mut dup = grid(points / 2);
     dup.extend(grid(points / 2));
@@ -169,6 +210,22 @@ fn main() {
             .join(", ")
     );
     let _ = writeln!(out, "  \"dedup_executed\": {dedup_executed},");
+    // Worker-count scaling on explicit executors — gated for monotone
+    // throughput by `ape-bench report` (auto-skipped at parallelism 1).
+    let _ = writeln!(
+        out,
+        "  \"executor\": {{\"workers\": [{}], \"design_many_per_s\": [{}]}},",
+        workers_axis
+            .iter()
+            .map(usize::to_string)
+            .collect::<Vec<_>>()
+            .join(", "),
+        exec_thr
+            .iter()
+            .map(|t| format!("{t:.3}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
     let _ = writeln!(
         out,
         "  {}",

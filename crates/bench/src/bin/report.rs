@@ -7,8 +7,16 @@
 //! path that moved the bad way past the tolerance. Exits non-zero when any
 //! regression is flagged, so CI can gate on
 //! `report results/BENCH_x.json.baseline results/BENCH_x.json`.
+//!
+//! Reports carrying an `"executor"` section (worker-count scaling arrays)
+//! additionally pass through the monotone-scaling gate: every `*per_s`
+//! array under it must not fall below its 1-worker entry by more than the
+//! tolerance at any higher worker count. Both the cross-report executor
+//! diff and the monotone gate auto-skip with a loud warning when either
+//! run recorded `detected_parallelism` of 1 — worker counts serialize on
+//! one core there, so the arrays measure scheduling overhead, not scaling.
 
-use ape_bench::minijson;
+use ape_bench::minijson::{self, Json};
 use ape_bench::report::{diff, Delta, Direction};
 
 fn load(path: &str) -> minijson::Json {
@@ -20,6 +28,51 @@ fn load(path: &str) -> minijson::Json {
         eprintln!("error: {path}: {e}");
         std::process::exit(2);
     })
+}
+
+/// The hardware parallelism the run recorded, defaulting to 1 for bench
+/// files that don't carry the field (they have no scaling sections).
+fn detected_parallelism(doc: &Json) -> f64 {
+    doc.get("detected_parallelism")
+        .and_then(Json::as_f64)
+        .unwrap_or(1.0)
+}
+
+/// Walks the `"executor"` section for throughput arrays (`*per_s` keys)
+/// and returns a violation line for every entry that falls below the
+/// first (1-worker) entry by more than `slack`: adding workers must never
+/// cost throughput.
+fn monotone_violations(prefix: &str, v: &Json, slack: f64, out: &mut Vec<String>) {
+    match v {
+        Json::Obj(members) => {
+            for (k, child) in members {
+                let path = format!("{prefix}.{k}");
+                if k.contains("per_s") {
+                    if let Some(items) = child.as_arr() {
+                        let vals: Vec<f64> = items.iter().filter_map(Json::as_f64).collect();
+                        if let Some(&base) = vals.first() {
+                            for (i, &t) in vals.iter().enumerate().skip(1) {
+                                if t < base * (1.0 - slack) {
+                                    out.push(format!(
+                                        "{path}.{i}: {t:.3}/s at a higher worker count vs \
+                                         {base:.3}/s at the lowest ({:+.1}%)",
+                                        (t / base - 1.0) * 100.0
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                }
+                monotone_violations(&path, child, slack, out);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, child) in items.iter().enumerate() {
+                monotone_violations(&format!("{prefix}.{i}"), child, slack, out);
+            }
+        }
+        _ => {}
+    }
 }
 
 fn arrow(d: &Delta) -> &'static str {
@@ -53,10 +106,39 @@ fn main() {
 
     let old = load(baseline);
     let new = load(candidate);
-    let deltas = diff(&old, &new, tolerance);
+    let mut deltas = diff(&old, &new, tolerance);
     if deltas.is_empty() {
         eprintln!("error: no numeric paths shared between {baseline} and {candidate}");
         std::process::exit(2);
+    }
+
+    // Worker-count scaling only measures real concurrency when both runs
+    // had more than one hardware thread to scale onto.
+    let scaling_live = detected_parallelism(&old).min(detected_parallelism(&new)) > 1.0;
+    let has_executor = new.get("executor").is_some() || old.get("executor").is_some();
+    if !scaling_live && has_executor {
+        let mut masked = 0usize;
+        for d in deltas
+            .iter_mut()
+            .filter(|d| d.path.starts_with("executor."))
+        {
+            d.regression = false;
+            masked += 1;
+        }
+        eprintln!(
+            "WARNING: detected_parallelism is 1 in at least one run — skipping the \
+             executor scaling gate and {masked} executor.* path(s): worker counts \
+             serialize on one core, the arrays measure overhead, not scaling"
+        );
+    }
+
+    // Monotone-scaling gate on the candidate's own executor section. The
+    // slack floor absorbs scheduler noise in short scaling runs.
+    let mut scaling_failures = Vec::new();
+    if scaling_live {
+        if let Some(exec) = new.get("executor") {
+            monotone_violations("executor", exec, tolerance.max(0.15), &mut scaling_failures);
+        }
     }
 
     let regressions: Vec<&Delta> = deltas.iter().filter(|d| d.regression).collect();
@@ -91,7 +173,10 @@ fn main() {
             arrow(d)
         );
     }
-    if !regressions.is_empty() {
+    for f in &scaling_failures {
+        println!("  SCALING REGRESSION {f}");
+    }
+    if !regressions.is_empty() || !scaling_failures.is_empty() {
         std::process::exit(1);
     }
     println!("no regressions");

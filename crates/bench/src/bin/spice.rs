@@ -16,8 +16,9 @@ use ape_core::module::SallenKeyLowPass;
 use ape_core::opamp::OpAmp;
 use ape_netlist::{Circuit, Technology};
 use ape_spice::{
-    ac_sweep_with, alloc_events, dc_operating_point_with, decade_frequencies, symbolic_cache_stats,
-    transient, AcOptions, Backend, DcOptions, OperatingPoint, TranOptions, Unknowns,
+    ac_sweep_on, ac_sweep_with, alloc_events, dc_operating_point_with, decade_frequencies,
+    symbolic_cache_stats, transient, AcOptions, Backend, DcOptions, OperatingPoint, TranOptions,
+    Unknowns,
 };
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -96,6 +97,10 @@ struct CaseResult {
     ac_dense: f64,
     /// Sparse AC wall time per sweep, indexed like [`THREADS`].
     ac_sparse: Vec<f64>,
+    /// Sparse AC wall time per sweep on explicit `Executor::new(w)` pools,
+    /// indexed like [`THREADS`] — real cross-thread chunking even where
+    /// `ac_sweep_with` would clamp to sequential.
+    ac_exec: Vec<f64>,
     tran_dense: f64,
     tran_sparse: f64,
     /// Solver allocation events in one steady-state sparse AC sweep.
@@ -133,6 +138,19 @@ fn run_case(
             time_it(samples, hist, || ac(Backend::Sparse, t))
         })
         .collect();
+    let ac_exec: Vec<f64> = THREADS
+        .iter()
+        .map(|&w| {
+            let exec = ape_exec::Executor::new(w);
+            let opts = AcOptions {
+                threads: w,
+                backend: Backend::Sparse,
+            };
+            time_it(samples, None, || {
+                ac_sweep_on(&exec, ckt, tech, &op, &freqs, opts).expect("executor AC sweep")
+            })
+        })
+        .collect();
     let before = alloc_events();
     ac(Backend::Sparse, 1);
     let ac_allocs = alloc_events() - before;
@@ -155,6 +173,7 @@ fn run_case(
         ac_points: freqs.len(),
         ac_dense,
         ac_sparse,
+        ac_exec,
         tran_dense,
         tran_sparse,
         ac_allocs,
@@ -221,6 +240,27 @@ fn json(results: &[CaseResult], samples: u32, lat: &Latencies) -> String {
         );
     }
     out.push_str("  ],\n");
+    // Worker-count scaling on explicit executors — the section `ape-bench
+    // report` gates for monotone throughput (auto-skipped when
+    // detected_parallelism is 1, where extra workers only add overhead).
+    out.push_str("  \"executor\": {\n");
+    let _ = writeln!(out, "    \"workers\": [1, 2, 4, 8],");
+    out.push_str("    \"circuits\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = write!(
+            out,
+            "      {{\"name\": \"{}\", \"ac_sweeps_per_s\": [{}]}}{}",
+            r.name,
+            r.ac_exec
+                .iter()
+                .map(|t| format!("{:.3}", 1.0 / t))
+                .collect::<Vec<_>>()
+                .join(", "),
+            if i + 1 < results.len() { ",\n" } else { "\n" }
+        );
+    }
+    out.push_str("    ]\n");
+    out.push_str("  },\n");
     let (hits, misses, repivots) = symbolic_cache_stats();
     let _ = writeln!(
         out,
@@ -291,6 +331,20 @@ fn main() {
     println!(
         "{}",
         render_table(&["circuit", "1t", "2t", "4t", "8t"], &rows)
+    );
+
+    let mut rows = Vec::new();
+    for r in &results {
+        let mut row = vec![r.name.to_string()];
+        for k in 0..THREADS.len() {
+            row.push(format!("{:.2}x", r.ac_exec[0] / r.ac_exec[k]));
+        }
+        rows.push(row);
+    }
+    println!("== Sparse AC sweep scaling on explicit executors (vs 1 worker) ==");
+    println!(
+        "{}",
+        render_table(&["circuit", "1w", "2w", "4w", "8w"], &rows)
     );
     println!(
         "detected parallelism: {} (scaling saturates there)",

@@ -131,6 +131,48 @@ pub fn incremental(seed: u64) -> CaseOutcome {
     })
 }
 
+/// Executor task-ordering fuzz: a seeded batch of design requests —
+/// hostile specs included — goes through `OpAmp::design_many_on` on
+/// executors of several worker counts, so the tasks interleave, steal,
+/// and fail in whatever order the scheduler produces. Every slot must
+/// agree bit for bit (Ok payloads via their `Debug` rendering, errors
+/// message for message) with the sequential `OpAmp::design` loop: task
+/// ordering is a performance knob, never an observable one.
+pub fn exec_order(seed: u64) -> CaseOutcome {
+    run_case("exec::design_many", seed, || {
+        use ape_core::opamp::{OpAmpSpec, OpAmpTopology};
+        let mut rng = Rng64::seed_from_u64(seed);
+        let tech = gen::technology(&mut rng);
+        let n = 2 + rng.range_usize(4); // 2..=5 requests per batch
+        let requests: Vec<(OpAmpTopology, OpAmpSpec)> = (0..n)
+            .map(|_| (gen::topology(&mut rng), gen::opamp_spec(&mut rng)))
+            .collect();
+        reset_thread_graph();
+        let sequential: Vec<String> = requests
+            .iter()
+            .map(|&(topo, spec)| format!("{:?}", OpAmp::design(&tech, topo, spec)))
+            .collect();
+        // Worker counts chosen to stress distinct schedules: 1 (tasks
+        // serialize but still cross the scope machinery), a seed-picked
+        // small count, and more workers than tasks (some steal nothing).
+        for workers in [1, 2 + rng.range_usize(2), n + 2] {
+            let exec = ape_exec::Executor::new(workers);
+            reset_thread_graph();
+            let parallel = OpAmp::design_many_on(&exec, &tech, &requests);
+            reset_thread_graph();
+            for (k, (seq, par)) in sequential.iter().zip(&parallel).enumerate() {
+                let par = format!("{par:?}");
+                if *seq != par {
+                    return Some(format!(
+                        "slot {k} diverged at {workers} workers:\n sequential: {seq}\n parallel:   {par}"
+                    ));
+                }
+            }
+        }
+        None
+    })
+}
+
 /// `estimate_netlist` on a generated circuit (including an out-of-range
 /// output node every few cases).
 pub fn netest(seed: u64) -> CaseOutcome {

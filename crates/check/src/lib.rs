@@ -18,6 +18,12 @@
 //! are applied through `OpAmp::redesign` on a warm graph and the result is
 //! required to match a cold from-scratch design bit for bit.
 //!
+//! [`drive::exec_order`] additionally fuzzes the shared work-stealing
+//! executor: seeded batches of design requests (hostile specs included)
+//! run through `OpAmp::design_many_on` at several worker counts, and
+//! every slot must match the sequential path bit for bit — task ordering
+//! must never be observable in results.
+//!
 //! [`fault::run`] additionally injects failing, panicking, and timed-out
 //! jobs into an [`ape_farm::Farm`] and asserts the pool, the single-flight
 //! cache, and all waiting submitters stay live.
@@ -69,17 +75,21 @@ pub fn run_all(base_seed: u64, total: usize) -> CheckReport {
     let n_parse = total * 35 / 100;
     let n_netest = total * 20 / 100;
     let n_spice = total * 15 / 100;
-    let n_design = total * 10 / 100;
-    let n_incr = total * 10 / 100;
-    let n_oblx = (total - n_parse - n_netest - n_spice - n_design - n_incr).max(1);
+    let n_design = total * 8 / 100;
+    let n_incr = total * 8 / 100;
+    let n_exec = (total * 4 / 100).max(2);
+    let n_oblx = total
+        .saturating_sub(n_parse + n_netest + n_spice + n_design + n_incr + n_exec)
+        .max(1);
 
     type Driver = fn(u64) -> drive::CaseOutcome;
-    let sections: [(&'static str, usize, Driver); 6] = [
+    let sections: [(&'static str, usize, Driver); 7] = [
         ("parse_spice", n_parse, drive::parse),
         ("estimate_netlist", n_netest, drive::netest),
         ("spice", n_spice, drive::spice),
         ("OpAmp::design", n_design, drive::design),
         ("OpAmp::redesign", n_incr, drive::incremental),
+        ("exec::design_many", n_exec, drive::exec_order),
         ("oblx::synthesize", n_oblx, drive::oblx),
     ];
     for (name, count, driver) in sections {

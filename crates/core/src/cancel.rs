@@ -164,6 +164,17 @@ impl Drop for CurrentGuard {
     }
 }
 
+/// A clone of this thread's current token, if one is installed.
+///
+/// Parallel fan-out sites use this to carry cancellation across the
+/// executor boundary: the submitting thread captures its token into each
+/// task closure, and the task re-installs it (via [`set_current`]) on
+/// whichever thread runs it, so worker-side checkpoints observe the same
+/// cancellation the sequential loop would.
+pub fn current() -> Option<CancelToken> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
 /// `true` when the thread-current token (if any) has been cancelled.
 pub fn current_cancelled() -> bool {
     CURRENT.with(|c| {

@@ -698,6 +698,82 @@ pub fn thread_shared_memo() -> Option<Arc<SharedMemo>> {
     SHARED_OVERRIDE.with(|s| s.borrow().clone())
 }
 
+/// Installs `memo` like [`set_thread_shared_memo`] — but only when it
+/// differs (by `Arc` identity) from what is already installed, preserving
+/// this thread's warm graph when nothing changes.
+///
+/// This is the per-task idiom on shared executor threads: a worker serves
+/// jobs from many sources (farm jobs, `evaluate_many` fan-outs), each of
+/// which asserts its memo before evaluating. Consecutive tasks from the
+/// same source keep the thread's memoized subtrees; a task from a
+/// different source swaps stores and pays one graph rebuild.
+pub fn ensure_thread_shared_memo(memo: Option<Arc<SharedMemo>>) {
+    let same = SHARED_OVERRIDE.with(|s| match (&*s.borrow(), &memo) {
+        (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+        (None, None) => true,
+        _ => false,
+    });
+    if !same {
+        set_thread_shared_memo(memo);
+    }
+}
+
+/// Evaluates independent components as executor tasks, returning results
+/// in input order.
+///
+/// Each task re-installs the submitting thread's [`SharedMemo`] (via
+/// [`ensure_thread_shared_memo`]) and cancellation token on whichever
+/// worker runs it, evaluates through that worker's thread graph, and
+/// publishes shared-eligible subtrees — so concurrent lanes warm each
+/// other exactly as sequential evaluation warms later iterations.
+/// Because every node is a pure memoized function of its fingerprint,
+/// the results are bit-identical to a sequential
+/// `components.iter().map(|c| with_thread_graph(tech, |g| g.evaluate(c)))`
+/// loop at any worker count (gated by `graph_equivalence.rs`).
+///
+/// With zero executor workers (single-core boxes) or a single component
+/// this *is* that sequential loop — same thread, same graph, same order.
+pub fn evaluate_many<C>(
+    exec: &ape_exec::Executor,
+    tech: &Technology,
+    components: &[C],
+) -> Vec<Result<C::Output, ApeError>>
+where
+    C: Component + Sync,
+{
+    if components.len() <= 1 || exec.workers() == 0 {
+        return components
+            .iter()
+            .map(|c| with_thread_graph(tech, |g| g.evaluate(c)))
+            .collect();
+    }
+    ape_probe::counter("ape.graph.evaluate_many", 1);
+    ape_probe::counter("ape.graph.evaluate_many_tasks", components.len() as u64);
+    let memo = thread_shared_memo();
+    let token = crate::cancel::current();
+    let mut results: Vec<Option<Result<C::Output, ApeError>>> = Vec::new();
+    results.resize_with(components.len(), || None);
+    exec.scope(|s| {
+        for (c, slot) in components.iter().zip(results.iter_mut()) {
+            let memo = memo.clone();
+            let token = token.clone();
+            s.spawn(move || {
+                // Carry the submitter's cancellation across the executor
+                // boundary; the guard restores the worker's own token.
+                let _cancel_guard = token.map(crate::cancel::set_current);
+                ensure_thread_shared_memo(memo);
+                *slot = Some(with_thread_graph(tech, |g| g.evaluate(c)));
+            });
+        }
+    });
+    // Every slot is written before `scope` returns; the fallback is
+    // unreachable but keeps the collection panic-free.
+    results
+        .into_iter()
+        .map(|r| r.unwrap_or(Err(ApeError::Cancelled)))
+        .collect()
+}
+
 /// Per-kind snapshots of this thread's shared graph (empty when none
 /// exists yet).
 pub fn thread_graph_stats() -> Vec<KindStats> {

@@ -156,37 +156,77 @@ impl Component for OpAmpNode {
         // channel-length stretching that manufacturable widths force on
         // low-current designs, at the cost of slew headroom. Walk down
         // until the area budget is met.
-        let mut last: Option<Result<OpAmp, ApeError>> = None;
-        for vov in [VOV_SIG, 0.15, 0.10, 0.07] {
+        let exec = ape_exec::Executor::global();
+        if exec.workers() > 0 {
+            // With executor workers available, evaluate every overdrive
+            // attempt concurrently and fold with the same selection rule
+            // as the sequential walk. Attempts are pure memoized
+            // functions, so computing the tail eagerly changes
+            // wall-clock, never the chosen result.
+            crate::cancel::check_current()?;
+            let attempts: Vec<OpAmpAttemptNode> = VOV_WALK
+                .iter()
+                .map(|&vov_sig| OpAmpAttemptNode {
+                    topology: self.topology,
+                    spec: self.spec,
+                    vov_sig,
+                })
+                .collect();
+            let results =
+                crate::graph::evaluate_many(exec, graph.technology(), &attempts).into_iter();
+            return fold_attempts(results, self.spec.area_max_m2);
+        }
+        let results = VOV_WALK.iter().map(|&vov_sig| {
             // Cancellation checkpoint between refinement attempts: a batch
             // driver abandoning this job loses at most one attempt's work.
-            crate::cancel::check_current()?;
-            let attempt = graph.evaluate(&OpAmpAttemptNode {
-                topology: self.topology,
-                spec: self.spec,
-                vov_sig: vov,
-            });
-            match attempt {
-                Ok(amp) => {
-                    let fits = amp.perf.gate_area_m2 <= self.spec.area_max_m2;
-                    let ret = Ok(amp);
-                    if fits {
-                        return ret;
-                    }
-                    last = Some(ret);
+            match crate::cancel::check_current() {
+                Ok(()) => graph.evaluate(&OpAmpAttemptNode {
+                    topology: self.topology,
+                    spec: self.spec,
+                    vov_sig,
+                }),
+                Err(e) => Err(e),
+            }
+        });
+        fold_attempts(results, self.spec.area_max_m2)
+    }
+}
+
+/// Selects the overdrive-walk winner from per-attempt results taken in
+/// [`VOV_WALK`] order: the first area-fitting `Ok` wins; otherwise the
+/// last `Ok` (closest to fitting — the walk shrinks area monotonically);
+/// otherwise the first non-cancellation `Err`. Cancellation always wins
+/// so an abandoned job unwinds promptly. Shared verbatim by the
+/// sequential walk and the executor fan-out so the two paths cannot
+/// diverge; the early `return` short-circuits the lazy sequential
+/// iterator exactly where the old loop stopped evaluating.
+fn fold_attempts(
+    results: impl Iterator<Item = Result<OpAmp, ApeError>>,
+    area_max_m2: f64,
+) -> Result<OpAmp, ApeError> {
+    let mut last: Option<Result<OpAmp, ApeError>> = None;
+    for attempt in results {
+        match attempt {
+            Ok(amp) => {
+                let fits = amp.perf.gate_area_m2 <= area_max_m2;
+                let ret = Ok(amp);
+                if fits {
+                    return ret;
                 }
-                Err(e) => {
-                    if last.is_none() {
-                        last = Some(Err(e));
-                    }
+                last = Some(ret);
+            }
+            Err(ApeError::Cancelled) => return Err(ApeError::Cancelled),
+            Err(e) => {
+                if last.is_none() {
+                    last = Some(Err(e));
                 }
             }
         }
-        last.unwrap_or(Err(ApeError::Infeasible {
-            component: "OpAmp",
-            message: "no overdrive candidate produced a design".into(),
-        }))
     }
+    last.unwrap_or(Err(ApeError::Infeasible {
+        component: "OpAmp",
+        message: "no overdrive candidate produced a design".into(),
+    }))
 }
 
 /// Estimation-graph node for one sizing pass at a fixed signal overdrive.
@@ -279,6 +319,10 @@ pub struct OpAmp {
 
 /// Overdrive used for signal devices throughout the op-amp sizing.
 const VOV_SIG: f64 = 0.25;
+/// The overdrive refinement walk, in preference order: the nominal
+/// signal overdrive first, then progressively lower values that trade
+/// slew headroom for gate area.
+const VOV_WALK: [f64; 4] = [VOV_SIG, 0.15, 0.10, 0.07];
 /// Overdrive used for bias mirrors.
 const VOV_BIAS: f64 = 0.35;
 
@@ -321,6 +365,49 @@ impl OpAmp {
         delta: &SpecDelta,
     ) -> Result<Self, ApeError> {
         Self::design(tech, previous.topology, delta.apply(&previous.spec))
+    }
+
+    /// Designs several independent op-amps, scheduling them as tasks on
+    /// the process-wide executor (see [`OpAmp::design_many_on`]). Results
+    /// come back in request order and are bit-identical to calling
+    /// [`OpAmp::design`] on each request sequentially.
+    ///
+    /// # Errors
+    ///
+    /// Each slot carries the same errors [`OpAmp::design`] would return
+    /// for that request; one request failing does not disturb the others.
+    pub fn design_many(
+        tech: &Technology,
+        requests: &[(OpAmpTopology, OpAmpSpec)],
+    ) -> Vec<Result<Self, ApeError>> {
+        Self::design_many_on(ape_exec::Executor::global(), tech, requests)
+    }
+
+    /// [`OpAmp::design_many`] on an explicit executor: each request
+    /// becomes one `l3.opamp` subtree evaluated through
+    /// [`evaluate_many`](crate::graph::evaluate_many), so independent
+    /// designs proceed concurrently while sharing subtrees through this
+    /// thread's [`SharedMemo`](crate::graph::SharedMemo) (when one is
+    /// installed). With zero executor workers this is exactly the
+    /// sequential loop.
+    ///
+    /// # Errors
+    ///
+    /// Per-slot, same as [`OpAmp::design`].
+    pub fn design_many_on(
+        exec: &ape_exec::Executor,
+        tech: &Technology,
+        requests: &[(OpAmpTopology, OpAmpSpec)],
+    ) -> Vec<Result<Self, ApeError>> {
+        let _span = ape_probe::span("ape.l3.opamp.many");
+        if let Err(e) = crate::cancel::check_current() {
+            return requests.iter().map(|_| Err(e.clone())).collect();
+        }
+        let nodes: Vec<OpAmpNode> = requests
+            .iter()
+            .map(|&(topology, spec)| OpAmpNode { topology, spec })
+            .collect();
+        crate::graph::evaluate_many(exec, tech, &nodes)
     }
 
     /// One sizing pass at a fixed signal overdrive.

@@ -288,6 +288,137 @@ fn shared_memo_results_are_bit_identical_to_cold() {
     assert_eq!(read_back, cold, "shared-store reader diverged from cold");
 }
 
+/// The executor fan-out contract: `OpAmp::design_many_on` must agree slot
+/// for slot, bit for bit, with the sequential `OpAmp::design` loop at
+/// every worker count — scheduling is a performance knob, never an
+/// observable one. Executors are built explicitly so real cross-thread
+/// stealing happens even on a single-core machine.
+#[test]
+fn design_many_is_bit_identical_to_sequential_at_any_worker_count() {
+    let tech = Technology::default_1p2um();
+    let requests: Vec<(OpAmpTopology, OpAmpSpec)> =
+        all_topologies().into_iter().map(|t| (t, spec())).collect();
+
+    reset_thread_graph();
+    let sequential: Vec<String> = requests
+        .iter()
+        .map(|&(t, s)| format!("{:?}", OpAmp::design(&tech, t, s)))
+        .collect();
+
+    for workers in [1usize, 2, 4, 8] {
+        let exec = ape_exec::Executor::new(workers);
+        reset_thread_graph();
+        let parallel = OpAmp::design_many_on(&exec, &tech, &requests);
+        reset_thread_graph();
+        for (k, (seq, par)) in sequential.iter().zip(&parallel).enumerate() {
+            assert_eq!(
+                *seq,
+                format!("{par:?}"),
+                "slot {k} diverged at {workers} workers"
+            );
+        }
+    }
+}
+
+/// Same contract one level down: raw `evaluate_many` over a grid of
+/// public level-1 sizing nodes, against the sequential per-node loop.
+#[test]
+fn evaluate_many_l1_grid_is_bit_identical_to_sequential() {
+    use ape_core::graph::{evaluate_many, with_thread_graph, SizeForIdVov};
+
+    let tech = Technology::default_1p2um();
+    let nodes: Vec<SizeForIdVov> = (1..=24)
+        .map(|k| SizeForIdVov {
+            pmos: k % 2 == 0,
+            id: k as f64 * 5e-6,
+            vov: 0.2 + 0.01 * k as f64,
+            l: 2.4e-6,
+            vds: 1.2,
+            vsb: 0.0,
+        })
+        .collect();
+
+    reset_thread_graph();
+    let sequential: Vec<String> = nodes
+        .iter()
+        .map(|n| format!("{:?}", with_thread_graph(&tech, |g| g.evaluate(n))))
+        .collect();
+
+    for workers in [1usize, 2, 4, 8] {
+        let exec = ape_exec::Executor::new(workers);
+        reset_thread_graph();
+        let parallel = evaluate_many(&exec, &tech, &nodes);
+        reset_thread_graph();
+        for (k, (seq, par)) in sequential.iter().zip(&parallel).enumerate() {
+            assert_eq!(
+                *seq,
+                format!("{par:?}"),
+                "L1 node {k} diverged at {workers} workers"
+            );
+        }
+    }
+}
+
+/// Level-4 modules behind a store warmed *by the executor fan-out*: a
+/// `design_many_on` run publishes its l1/l2/l3 subtrees into a
+/// [`SharedMemo`], and module designs reading through that store must
+/// still match a cold, storeless run bit for bit.
+#[test]
+fn l4_modules_are_unchanged_by_parallel_warm_up() {
+    use ape_core::graph::{set_thread_shared_memo, SharedMemo};
+    use std::sync::Arc;
+
+    type ModuleRender = fn(&Technology) -> String;
+    let tech = Technology::default_1p2um();
+    let modules: [(&str, ModuleRender); 4] = [
+        ("inverting amplifier", |t| {
+            format!("{:?}", InvertingAmplifier::design(t, 5.0, 50e3, 10e-12))
+        }),
+        ("audio amplifier", |t| {
+            format!("{:?}", AudioAmplifier::design(t, 100.0, 25e3, 10e-12))
+        }),
+        ("sallen-key low-pass", |t| {
+            format!("{:?}", SallenKeyLowPass::design(t, 2e3, 4, 10e-12))
+        }),
+        ("sample-and-hold", |t| {
+            format!("{:?}", SampleHold::design(t, 2.0, 50e3, 10e-12))
+        }),
+    ];
+
+    // Cold oracle: no store, fresh graph per module.
+    set_thread_shared_memo(None);
+    let cold: Vec<String> = modules
+        .iter()
+        .map(|(_, build)| {
+            reset_thread_graph();
+            build(&tech)
+        })
+        .collect();
+
+    // Warm the store through the executor: every task publishes its
+    // subtrees, then the module designs read through them.
+    let store = Arc::new(SharedMemo::new());
+    set_thread_shared_memo(Some(store.clone()));
+    let requests: Vec<(OpAmpTopology, OpAmpSpec)> =
+        all_topologies().into_iter().map(|t| (t, spec())).collect();
+    let exec = ape_exec::Executor::new(4);
+    let _ = OpAmp::design_many_on(&exec, &tech, &requests);
+    assert!(!store.is_empty(), "fan-out populated the shared store");
+    let warm: Vec<String> = modules
+        .iter()
+        .map(|(_, build)| {
+            reset_thread_graph();
+            build(&tech)
+        })
+        .collect();
+    set_thread_shared_memo(None);
+    reset_thread_graph();
+
+    for (((name, _), c), w) in modules.iter().zip(&cold).zip(&warm) {
+        assert_eq!(c, w, "{name} diverged behind the executor-warmed store");
+    }
+}
+
 fn rc_ladder(r: f64, stages: usize) -> Circuit {
     let mut c = Circuit::new("ladder");
     let mut prev = c.node("n0");

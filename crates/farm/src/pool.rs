@@ -1,7 +1,12 @@
-//! The worker pool: a fixed set of threads draining the bounded job queue,
+//! The worker pool: a dispatcher thread drains the bounded job queue and
+//! schedules each job as a task on the process-wide [`ape_exec`] executor,
 //! executing requests against a shared [`Technology`], publishing results
 //! into the single-flight [`ResultCache`], with per-job cancellation,
-//! deadlines, and panic isolation.
+//! deadlines, and panic isolation. A permit semaphore caps how many jobs
+//! are in flight at once ([`FarmConfig::workers`], clamped to the
+//! machine), so the farm shares threads with every other executor client
+//! — AC sweeps, `evaluate_many` fan-outs, other farms — instead of
+//! running a competing pool.
 
 use crate::cache::{Claim, ResultCache};
 use crate::job::{canonical_key, FarmError, Request, Response};
@@ -15,14 +20,18 @@ use ape_oblx::synthesize;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Configuration of a [`Farm`].
 #[derive(Debug, Clone)]
 pub struct FarmConfig {
-    /// Worker threads. Defaults to the machine's available parallelism.
+    /// Maximum jobs in flight at once. Defaults to the machine's available
+    /// parallelism, and is clamped to it at construction
+    /// ([`ape_exec::clamp_workers`]) — requesting more in-flight jobs than
+    /// the machine has cores buys queueing, not throughput. The clamped
+    /// value is visible as [`Farm::effective_workers`].
     pub workers: usize,
     /// Bounded queue capacity (backpressure threshold). Default 256.
     pub queue_capacity: usize,
@@ -145,6 +154,61 @@ struct WorkItem {
     enqueued: Instant,
 }
 
+/// A counting semaphore bounding in-flight jobs. The dispatcher acquires
+/// a permit *before* popping the queue, so while every permit is out,
+/// queued items stay in the queue — which is what makes
+/// [`Farm::try_submit`] backpressure observable.
+struct Permits {
+    avail: Mutex<usize>,
+    returned: Condvar,
+    total: usize,
+}
+
+impl Permits {
+    fn new(total: usize) -> Self {
+        Permits {
+            avail: Mutex::new(total),
+            returned: Condvar::new(),
+            total,
+        }
+    }
+
+    fn acquire(&self) {
+        let mut avail = self.avail.lock().unwrap_or_else(|e| e.into_inner());
+        while *avail == 0 {
+            avail = self.returned.wait(avail).unwrap_or_else(|e| e.into_inner());
+        }
+        *avail -= 1;
+    }
+
+    fn release(&self) {
+        let mut avail = self.avail.lock().unwrap_or_else(|e| e.into_inner());
+        *avail += 1;
+        self.returned.notify_all();
+    }
+
+    /// Blocks until every permit is back — i.e. no job is in flight.
+    fn wait_all_returned(&self) {
+        let mut avail = self.avail.lock().unwrap_or_else(|e| e.into_inner());
+        while *avail < self.total {
+            avail = self.returned.wait(avail).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Returns a job's permit when the task finishes — including a panic
+/// unwinding past `run_item`'s net (the executor's own `catch_unwind`
+/// stops it after this guard has dropped).
+struct PermitOnDrop {
+    shared: Arc<Shared>,
+}
+
+impl Drop for PermitOnDrop {
+    fn drop(&mut self) {
+        self.shared.permits.release();
+    }
+}
+
 struct Shared {
     queue: BoundedQueue<WorkItem>,
     cache: ResultCache,
@@ -155,6 +219,8 @@ struct Shared {
     /// Cross-worker estimation memo store when
     /// [`FarmConfig::shared_graph`] is set.
     shared_graph: Option<Arc<SharedMemo>>,
+    /// In-flight job bound (the farm's share of the process executor).
+    permits: Permits,
     inflight: AtomicUsize,
     isolate_sizing_cache: bool,
     isolate_solver_cache: bool,
@@ -262,23 +328,35 @@ impl JobHandle {
 #[derive(Debug)]
 pub struct Farm {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
+    dispatcher: Option<JoinHandle<()>>,
     cancel: CancelToken,
     job_timeout: Option<Duration>,
+    configured_workers: usize,
+    effective_workers: usize,
 }
 
 impl Farm {
-    /// Spawns `config.workers` worker threads over a bounded queue.
+    /// Builds a farm over a bounded queue: one dispatcher thread feeds
+    /// jobs to the process-wide [`ape_exec`] executor, with at most
+    /// `config.workers` (clamped to the machine's parallelism) in flight
+    /// at once.
     pub fn new(tech: Technology, config: FarmConfig) -> Self {
         let tech = Arc::new(tech);
         let mut tenants = HashMap::new();
         tenants.insert(tech.fingerprint(), tech.clone());
+        let configured_workers = config.workers.max(1);
+        // Clamp the in-flight bound to the machine: jobs beyond the core
+        // count would only time-slice each other on the shared executor.
+        // (There is no per-call work-item count for a long-lived pool, so
+        // that clamp term is unbounded here.)
+        let effective_workers = ape_exec::clamp_workers(configured_workers, usize::MAX);
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(config.queue_capacity),
             cache: ResultCache::new(),
             tech,
             tenants: RwLock::new(tenants),
             shared_graph: config.shared_graph.then(|| Arc::new(SharedMemo::new())),
+            permits: Permits::new(effective_workers),
             inflight: AtomicUsize::new(0),
             isolate_sizing_cache: config.isolate_sizing_cache,
             isolate_solver_cache: config.isolate_solver_cache,
@@ -287,32 +365,52 @@ impl Farm {
             job_latency_ns: ape_probe::Histogram::new(),
         });
         let cancel = CancelToken::new();
-        let mut workers = Vec::with_capacity(config.workers.max(1));
-        for i in 0..config.workers.max(1) {
-            let shared_i = shared.clone();
+        // The dispatcher is the farm's only dedicated thread. Spawning can
+        // fail under resource exhaustion; retry once after a short backoff
+        // (transient EAGAIN usually clears) before degrading.
+        let mut dispatcher = None;
+        for attempt in 0..2 {
+            let shared_d = shared.clone();
             match std::thread::Builder::new()
-                .name(format!("ape-farm-{i}"))
-                .spawn(move || worker_loop(&shared_i))
+                .name("ape-farm-dispatch".to_string())
+                .spawn(move || dispatcher_loop(&shared_d))
             {
-                Ok(handle) => workers.push(handle),
-                Err(_) => {
-                    // Run with however many threads the OS granted; the
-                    // farm still works (degraded) as long as one exists.
-                    ape_probe::counter("ape.farm.worker.spawn_failed", 1);
+                Ok(handle) => {
+                    dispatcher = Some(handle);
                     break;
+                }
+                Err(_) if attempt == 0 => {
+                    ape_probe::counter("ape.farm.dispatcher.spawn_retry", 1);
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => {
+                    ape_probe::counter("ape.farm.worker.spawn_failed", 1);
                 }
             }
         }
-        if workers.is_empty() {
-            // No worker will ever drain the queue: close it so every
+        if dispatcher.is_none() {
+            // Nothing will ever drain the queue: close it so every
             // submission resolves to `ShuttingDown` instead of hanging.
             shared.queue.close();
         }
         Farm {
             shared,
-            workers,
+            dispatcher,
             cancel,
             job_timeout: config.job_timeout,
+            configured_workers,
+            effective_workers,
+        }
+    }
+
+    /// The in-flight job bound actually in force: `config.workers` after
+    /// clamping to the machine's available parallelism. 0 when the farm is
+    /// degraded (its dispatcher could not be spawned).
+    pub fn effective_workers(&self) -> usize {
+        if self.dispatcher.is_some() {
+            self.effective_workers
+        } else {
+            0
         }
     }
 
@@ -379,6 +477,20 @@ impl Farm {
         let wait = self.queue_wait_ns();
         let lat = self.job_latency_ns();
         let mut out = String::from("=== ape-farm report ===\n");
+        let exec = ape_exec::Executor::global();
+        let _ = writeln!(
+            out,
+            "  pool: {} in-flight permits ({} configured), shared executor {} workers (parallelism {}){}",
+            self.effective_workers,
+            self.configured_workers,
+            exec.workers(),
+            exec.parallelism(),
+            if self.dispatcher.is_some() {
+                ""
+            } else {
+                " — DEGRADED: dispatcher spawn failed, submissions are rejected"
+            }
+        );
         let _ = writeln!(
             out,
             "  jobs: {} submitted, {} executed, {} cache hits, {} deduped, {} cancelled, {} panicked, {} rejected",
@@ -543,15 +655,17 @@ impl Farm {
         self.cancel.cancel();
     }
 
-    /// Closes the queue and joins every worker. Queued-but-unstarted jobs
-    /// still execute (close drains); new submissions fail with
-    /// [`FarmError::ShuttingDown`]. Called automatically on drop.
+    /// Closes the queue and joins the dispatcher, which first drains the
+    /// queue and then waits for every in-flight job's permit to return —
+    /// queued-but-unstarted jobs still execute (close drains); new
+    /// submissions fail with [`FarmError::ShuttingDown`]. Called
+    /// automatically on drop.
     pub fn shutdown(&mut self) {
         self.shared.queue.close();
-        for w in self.workers.drain(..) {
-            // A worker that panicked through catch_unwind's net (alloc
-            // failure etc.) is not worth propagating during teardown.
-            let _ = w.join();
+        if let Some(d) = self.dispatcher.take() {
+            // A dispatcher that somehow panicked is not worth propagating
+            // during teardown.
+            let _ = d.join();
         }
     }
 }
@@ -591,52 +705,81 @@ impl Drop for PublishOnDrop<'_> {
     }
 }
 
-fn worker_loop(shared: &Shared) {
+/// The farm's only dedicated thread: acquire a permit, pop one job,
+/// schedule it as a detached task on the process-wide executor, repeat.
+/// Acquiring *before* popping is load-bearing: while every permit is out,
+/// queued items stay queued, so [`Farm::try_submit`]'s backpressure
+/// contract holds. On a machine whose executor has no worker threads the
+/// spawn runs the job inline right here — the dispatcher then doubles as
+/// the single worker, and the permit bound degenerates to serial
+/// execution, which is all one core can do anyway.
+fn dispatcher_loop(shared: &Arc<Shared>) {
     let _span = ape_probe::span("ape.farm.worker");
-    // With a shared graph, attach this worker's thread-local estimation
-    // graph to the pool-wide memo store before the first job. This
-    // replaces per-worker graph warm-up: instead of every thread paying
-    // the same cold evaluations at pool start, the first worker to compute
-    // a subtree publishes it and the rest read through. The override
-    // outlives per-job `reset_thread_graph` calls, so isolation modes
-    // only clear the cheap local view.
-    if let Some(store) = &shared.shared_graph {
-        ape_core::graph::set_thread_shared_memo(Some(store.clone()));
-    }
-    while let Some(item) = shared.queue.pop() {
-        let mut guard = PublishOnDrop {
-            shared,
-            key: item.key,
-            armed: true,
+    loop {
+        shared.permits.acquire();
+        let Some(item) = shared.queue.pop() else {
+            // Queue closed and drained.
+            shared.permits.release();
+            break;
         };
-        let wait_ns = item.enqueued.elapsed().as_nanos() as f64;
-        shared.queue_wait_ns.record(wait_ns);
-        ape_probe::value("ape.farm.queue.wait_ns", wait_ns);
-        let inflight = shared.inflight.fetch_add(1, Ordering::Relaxed) + 1;
-        ape_probe::gauge("ape.farm.inflight", inflight as f64);
-        let t0 = Instant::now();
-        let result = run_item(shared, &item);
-        let latency_ns = t0.elapsed().as_nanos() as f64;
-        shared.job_latency_ns.record(latency_ns);
-        ape_probe::value("ape.farm.job.latency_ns", latency_ns);
-        shared.stats.executed.fetch_add(1, Ordering::Relaxed);
-        match &result {
-            Err(FarmError::Cancelled) => {
-                shared.stats.cancelled.fetch_add(1, Ordering::Relaxed);
-                ape_probe::counter("ape.farm.job.cancelled", 1);
-            }
-            Err(FarmError::Panicked(_)) => {
-                shared.stats.panicked.fetch_add(1, Ordering::Relaxed);
-                ape_probe::counter("ape.farm.job.panicked", 1);
-            }
-            Err(_) => ape_probe::counter("ape.farm.job.failed", 1),
-            Ok(_) => ape_probe::counter("ape.farm.job.ok", 1),
-        }
-        guard.armed = false;
-        shared.cache.publish(item.key, result);
-        let inflight = shared.inflight.fetch_sub(1, Ordering::Relaxed) - 1;
-        ape_probe::gauge("ape.farm.inflight", inflight as f64);
+        let task_shared = shared.clone();
+        ape_exec::Executor::global().spawn(move || {
+            let _permit = PermitOnDrop {
+                shared: task_shared.clone(),
+            };
+            run_job(&task_shared, &item);
+        });
     }
+    // Shutdown's contract is "every accepted job has published a result
+    // by the time `shutdown` returns": the dispatcher is joined there, so
+    // wait for the stragglers' permits before exiting.
+    shared.permits.wait_all_returned();
+}
+
+/// Executes one dequeued job on whatever thread the executor chose and
+/// publishes its outcome. This is the old per-worker loop body, minus the
+/// loop: thread affinity is gone, so per-thread state (the estimation
+/// graph's shared-memo attachment) is asserted per job instead of once at
+/// worker start.
+fn run_job(shared: &Shared, item: &WorkItem) {
+    // Attach (or detach) this thread's estimation graph to the farm's
+    // memo store. Executor threads are shared between farms and other
+    // clients, so this is per-job — but `ensure` compares by `Arc`
+    // identity, so consecutive jobs from the same farm keep the thread's
+    // warm graph and pay nothing.
+    ape_core::graph::ensure_thread_shared_memo(shared.shared_graph.clone());
+    let mut guard = PublishOnDrop {
+        shared,
+        key: item.key,
+        armed: true,
+    };
+    let wait_ns = item.enqueued.elapsed().as_nanos() as f64;
+    shared.queue_wait_ns.record(wait_ns);
+    ape_probe::value("ape.farm.queue.wait_ns", wait_ns);
+    let inflight = shared.inflight.fetch_add(1, Ordering::Relaxed) + 1;
+    ape_probe::gauge("ape.farm.inflight", inflight as f64);
+    let t0 = Instant::now();
+    let result = run_item(shared, item);
+    let latency_ns = t0.elapsed().as_nanos() as f64;
+    shared.job_latency_ns.record(latency_ns);
+    ape_probe::value("ape.farm.job.latency_ns", latency_ns);
+    shared.stats.executed.fetch_add(1, Ordering::Relaxed);
+    match &result {
+        Err(FarmError::Cancelled) => {
+            shared.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+            ape_probe::counter("ape.farm.job.cancelled", 1);
+        }
+        Err(FarmError::Panicked(_)) => {
+            shared.stats.panicked.fetch_add(1, Ordering::Relaxed);
+            ape_probe::counter("ape.farm.job.panicked", 1);
+        }
+        Err(_) => ape_probe::counter("ape.farm.job.failed", 1),
+        Ok(_) => ape_probe::counter("ape.farm.job.ok", 1),
+    }
+    guard.armed = false;
+    shared.cache.publish(item.key, result);
+    let inflight = shared.inflight.fetch_sub(1, Ordering::Relaxed) - 1;
+    ape_probe::gauge("ape.farm.inflight", inflight as f64);
 }
 
 fn run_item(shared: &Shared, item: &WorkItem) -> Result<Response, FarmError> {

@@ -253,6 +253,185 @@ fn ids_forward(
     (i, region, vth, vdsat, vov)
 }
 
+/// Structure-of-arrays bias storage for batched device evaluation.
+///
+/// The DC stamper and the AC chunk assembler gather all MOSFET terminal
+/// voltages of an iteration into contiguous lanes before evaluating,
+/// instead of chasing one element at a time through the AoS element
+/// list. The lanes are plain `Vec<f64>`, reusable across Newton
+/// iterations without reallocation (`clear` keeps capacity).
+#[derive(Debug, Default, Clone)]
+pub struct BiasBatch {
+    /// Gate-source voltages, volts.
+    pub vgs: Vec<f64>,
+    /// Drain-source voltages, volts.
+    pub vds: Vec<f64>,
+    /// Source-bulk voltages, volts.
+    pub vsb: Vec<f64>,
+}
+
+impl BiasBatch {
+    /// Empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops the lanes' contents, keeping their capacity.
+    pub fn clear(&mut self) {
+        self.vgs.clear();
+        self.vds.clear();
+        self.vsb.clear();
+    }
+
+    /// Appends one bias point, returning its lane index.
+    pub fn push(&mut self, bias: BiasPoint) -> usize {
+        let idx = self.vgs.len();
+        self.vgs.push(bias.vgs);
+        self.vds.push(bias.vds);
+        self.vsb.push(bias.vsb);
+        idx
+    }
+
+    /// Number of bias points in the batch.
+    pub fn len(&self) -> usize {
+        self.vgs.len()
+    }
+
+    /// True when no bias points have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.vgs.is_empty()
+    }
+
+    /// Reads lane `k` back as a [`BiasPoint`].
+    pub fn get(&self, k: usize) -> BiasPoint {
+        BiasPoint {
+            vgs: self.vgs[k],
+            vds: self.vds[k],
+            vsb: self.vsb[k],
+        }
+    }
+}
+
+/// Structure-of-arrays result lanes matching a [`BiasBatch`].
+///
+/// Each lane holds one field of [`DeviceEval`] for every evaluated
+/// point, so downstream consumers (the batched stamp path) read
+/// contiguous `gm`/`gds`/`gmb` streams instead of striding through an
+/// array of structs.
+#[derive(Debug, Default, Clone)]
+pub struct EvalBatch {
+    /// Drain currents, amperes.
+    pub ids: Vec<f64>,
+    /// `∂ids/∂vgs` lanes, siemens.
+    pub gm: Vec<f64>,
+    /// `∂ids/∂vds` lanes, siemens.
+    pub gds: Vec<f64>,
+    /// `∂ids/∂vbs` lanes, siemens.
+    pub gmb: Vec<f64>,
+    /// Operating regions.
+    pub region: Vec<Region>,
+    /// Effective thresholds, volts.
+    pub vth: Vec<f64>,
+    /// Saturation voltages, volts.
+    pub vdsat: Vec<f64>,
+    /// Smoothed overdrives, volts.
+    pub vov: Vec<f64>,
+}
+
+impl EvalBatch {
+    /// Empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops the lanes' contents, keeping their capacity.
+    pub fn clear(&mut self) {
+        self.ids.clear();
+        self.gm.clear();
+        self.gds.clear();
+        self.gmb.clear();
+        self.region.clear();
+        self.vth.clear();
+        self.vdsat.clear();
+        self.vov.clear();
+    }
+
+    /// Number of evaluated points.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when no evaluations have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Appends one evaluation across all lanes.
+    pub fn push(&mut self, e: DeviceEval) {
+        self.ids.push(e.ids);
+        self.gm.push(e.gm);
+        self.gds.push(e.gds);
+        self.gmb.push(e.gmb);
+        self.region.push(e.region);
+        self.vth.push(e.vth);
+        self.vdsat.push(e.vdsat);
+        self.vov.push(e.vov);
+    }
+
+    /// Reconstructs lane `k` as a [`DeviceEval`].
+    pub fn get(&self, k: usize) -> DeviceEval {
+        DeviceEval {
+            ids: self.ids[k],
+            gm: self.gm[k],
+            gds: self.gds[k],
+            gmb: self.gmb[k],
+            region: self.region[k],
+            vth: self.vth[k],
+            vdsat: self.vdsat[k],
+            vov: self.vov[k],
+        }
+    }
+}
+
+/// Evaluates one device across a whole batch of bias points.
+///
+/// Each lane runs exactly the scalar [`evaluate`] arithmetic, so the
+/// results are bit-identical to point-at-a-time evaluation — the batch
+/// form exists for the memory layout (contiguous output lanes), not for
+/// a different numerical path.
+pub fn evaluate_batch(
+    card: &MosModelCard,
+    geom: &MosGeometry,
+    biases: &BiasBatch,
+    out: &mut EvalBatch,
+) {
+    out.clear();
+    for k in 0..biases.len() {
+        out.push(evaluate(card, geom, biases.get(k)));
+    }
+}
+
+/// Evaluates a heterogeneous run of devices, one bias point each.
+///
+/// `devices` must yield exactly `biases.len()` `(card, geometry)` pairs,
+/// paired lane-for-lane with the batch. This is the shape the DC stamper
+/// uses: gather every MOSFET's terminal voltages for the current Newton
+/// iterate into a [`BiasBatch`], evaluate them all back-to-back, then
+/// stamp from the SoA result lanes. Lane `k` is bit-identical to
+/// `evaluate(cards[k], geoms[k], biases.get(k))`.
+pub fn evaluate_batch_with<'a, I>(devices: I, biases: &BiasBatch, out: &mut EvalBatch)
+where
+    I: IntoIterator<Item = (&'a MosModelCard, &'a MosGeometry)>,
+{
+    out.clear();
+    for (k, (card, geom)) in devices.into_iter().enumerate() {
+        if k >= biases.len() {
+            break;
+        }
+        out.push(evaluate(card, geom, biases.get(k)));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -567,6 +746,55 @@ mod tests {
         assert!((long.ids - short.ids).abs() / short.ids < 0.25);
         assert!(long.gds < short.gds / 2.0);
         assert!(long.gm / long.gds > short.gm / short.gds);
+    }
+
+    #[test]
+    fn batch_eval_is_bit_identical_to_scalar() {
+        let tech = Technology::default_1p2um();
+        let nmos = tech.nmos().unwrap();
+        let pmos = tech.pmos().unwrap();
+        let gn = MosGeometry::new(10e-6, 2.4e-6);
+        let gp = MosGeometry::new(24e-6, 2.4e-6);
+
+        let mut biases = BiasBatch::new();
+        let mut points = Vec::new();
+        for k in 0..40 {
+            let b = BiasPoint {
+                vgs: -2.0 + 0.13 * k as f64,
+                vds: -1.5 + 0.11 * k as f64,
+                vsb: 0.05 * (k % 5) as f64,
+            };
+            points.push(b);
+            biases.push(b);
+        }
+
+        // Homogeneous: one device, many points.
+        let mut out = EvalBatch::new();
+        evaluate_batch(nmos, &gn, &biases, &mut out);
+        assert_eq!(out.len(), points.len());
+        for (k, b) in points.iter().enumerate() {
+            let scalar = evaluate(nmos, &gn, *b);
+            assert_eq!(
+                format!("{:?}", out.get(k)),
+                format!("{scalar:?}"),
+                "homogeneous lane {k} diverged"
+            );
+        }
+
+        // Heterogeneous: alternating NMOS/PMOS lanes.
+        let devices: Vec<(&_, &_)> = (0..points.len())
+            .map(|k| if k % 2 == 0 { (nmos, &gn) } else { (pmos, &gp) })
+            .collect();
+        evaluate_batch_with(devices.iter().copied(), &biases, &mut out);
+        for (k, b) in points.iter().enumerate() {
+            let (card, geom) = devices[k];
+            let scalar = evaluate(card, geom, *b);
+            assert_eq!(
+                format!("{:?}", out.get(k)),
+                format!("{scalar:?}"),
+                "heterogeneous lane {k} diverged"
+            );
+        }
     }
 
     #[test]

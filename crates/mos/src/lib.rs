@@ -51,7 +51,10 @@ pub mod sizing;
 
 pub use caps::{junction_caps, meyer_caps, MosCaps};
 pub use error::MosError;
-pub use eval::{evaluate, lambda_eff, BiasPoint, DeviceEval, Region, LAMBDA_REF_LENGTH};
+pub use eval::{
+    evaluate, evaluate_batch, evaluate_batch_with, lambda_eff, BiasBatch, BiasPoint, DeviceEval,
+    EvalBatch, Region, LAMBDA_REF_LENGTH,
+};
 
 /// Thermal voltage kT/q at 300 K, volts.
 pub const VT_THERMAL: f64 = 0.025_852;

@@ -689,8 +689,10 @@ fn dispatch<W: Write>(
                 conn.write_line(&err_response(id, &err));
                 return false;
             }
-            conn.write_line(&ok_response(id, obj([("stopping", Value::Bool(true))])));
+            // Flip the state before acknowledging: a client that has read
+            // the reply must observe `is_shutting_down()` as true.
             state.begin_shutdown();
+            conn.write_line(&ok_response(id, obj([("stopping", Value::Bool(true))])));
             return true;
         }
         WireRequest::Design {

@@ -13,6 +13,7 @@ use crate::linalg::Matrix;
 use crate::linearize::stamp_small_signal;
 use crate::mna::Unknowns;
 use crate::sparse::{Backend, PatternBuilder, SparseFactor, SparseMatrix};
+use ape_exec::Executor;
 use ape_netlist::{Circuit, NodeId, Technology};
 
 /// The result of an AC sweep: node voltage phasors per frequency.
@@ -126,10 +127,13 @@ pub fn decade_frequencies(
 /// Options for [`ac_sweep_with`].
 #[derive(Debug, Clone, Copy)]
 pub struct AcOptions {
-    /// Worker threads for the frequency sweep: `1` = sequential (default),
-    /// `0` = one per available core. Results are identical for any thread
-    /// count — frequency points are independent and every worker shares
-    /// the same symbolic factorisation.
+    /// Parallel lanes for the frequency sweep: `1` = sequential (default),
+    /// `0` = one per available core. Requests are clamped to
+    /// `min(requested, detected_parallelism, points)` — asking for 8 lanes
+    /// on a 1-core box silently ran slower before; now it just runs
+    /// sequentially (and bumps the one-shot `ape.exec.clamped` counter).
+    /// Results are identical for any lane count — frequency points are
+    /// independent and every lane shares the same symbolic factorisation.
     pub threads: usize,
     /// Solver backend selection.
     pub backend: Backend,
@@ -160,12 +164,15 @@ pub fn ac_sweep(
     ac_sweep_with(circuit, tech, op, freqs, AcOptions::default())
 }
 
-/// [`ac_sweep`] with explicit backend/threading options.
+/// [`ac_sweep`] with explicit backend/threading options, running any
+/// fan-out on the shared process-wide executor ([`Executor::global`]).
 ///
 /// The circuit is stamped once into separate real `G` (conductance) and `C`
 /// (susceptance) matrices over one shared sparsity pattern; each frequency
 /// point then assembles `G + jωC` elementwise and refactors numerically,
-/// reusing the symbolic analysis computed at the first point.
+/// reusing the symbolic analysis computed at the first point. Contiguous
+/// frequency chunks are submitted as executor tasks — no thread is spawned
+/// per sweep, which used to dominate the cost on ≤26-unknown circuits.
 ///
 /// # Errors
 ///
@@ -176,6 +183,47 @@ pub fn ac_sweep_with(
     op: &OperatingPoint,
     freqs: &[f64],
     opts: AcOptions,
+) -> Result<AcSweep, SpiceError> {
+    let lanes = ape_exec::clamp_workers(opts.threads, freqs.len());
+    sweep_core(circuit, tech, op, freqs, opts, Executor::global(), lanes)
+}
+
+/// [`ac_sweep_with`] on an explicit executor, taking the requested lane
+/// count literally (clamped only to the point count, *not* to the
+/// detected parallelism).
+///
+/// This is the entry point for bit-identity gates and scaling benches:
+/// they construct `Executor::new(n)` pools with real worker threads and
+/// must exercise genuine cross-thread chunking even on a 1-core machine,
+/// where [`ac_sweep_with`] would legitimately clamp to sequential.
+///
+/// # Errors
+///
+/// See [`ac_sweep`].
+pub fn ac_sweep_on(
+    exec: &Executor,
+    circuit: &Circuit,
+    tech: &Technology,
+    op: &OperatingPoint,
+    freqs: &[f64],
+    opts: AcOptions,
+) -> Result<AcSweep, SpiceError> {
+    let lanes = match opts.threads {
+        0 => exec.parallelism(),
+        t => t,
+    }
+    .clamp(1, freqs.len().max(1));
+    sweep_core(circuit, tech, op, freqs, opts, exec, lanes)
+}
+
+fn sweep_core(
+    circuit: &Circuit,
+    tech: &Technology,
+    op: &OperatingPoint,
+    freqs: &[f64],
+    opts: AcOptions,
+    exec: &Executor,
+    lanes: usize,
 ) -> Result<AcSweep, SpiceError> {
     let _span = ape_probe::span("spice.ac");
     ape_probe::counter("spice.ac.sweeps", 1);
@@ -190,7 +238,7 @@ pub fn ac_sweep_with(
         });
     }
     let points = if opts.backend.use_sparse(n) {
-        sweep_sparse(circuit, tech, op, &u, freqs, opts)?
+        sweep_sparse(circuit, tech, op, &u, freqs, exec, lanes)?
     } else {
         sweep_dense(circuit, tech, op, &u, freqs)?
     };
@@ -237,14 +285,15 @@ fn sweep_dense(
 
 /// Sparse path: one union pattern for `G` and `C`, symbolic analysis done
 /// once on the calling thread, numeric refactorisation per point —
-/// optionally fanned out across threads in contiguous chunks.
+/// optionally fanned out as contiguous executor-task chunks.
 fn sweep_sparse(
     circuit: &Circuit,
     tech: &Technology,
     op: &OperatingPoint,
     u: &Unknowns,
     freqs: &[f64],
-    opts: AcOptions,
+    exec: &Executor,
+    lanes: usize,
 ) -> Result<Vec<Vec<Complex>>, SpiceError> {
     let n = u.dim();
     let n_nodes = u.n_nodes;
@@ -262,7 +311,7 @@ fn sweep_sparse(
     b.iter_mut().for_each(|v| *v = 0.0);
     stamp_small_signal(circuit, tech, op, u, &mut gsp, &mut csp, &mut b)?;
 
-    // Analyze once at the first frequency; every worker reuses the
+    // Analyze once at the first frequency; every lane reuses the
     // resulting pivot order for numeric-only refactorisation.
     let mut cmat = SparseMatrix::<Complex>::new(pattern.clone());
     let mut factor = SparseFactor::<Complex>::new();
@@ -276,16 +325,9 @@ fn sweep_sparse(
         ));
     };
 
-    let threads = match opts.threads {
-        0 => std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1),
-        t => t,
-    }
-    .clamp(1, freqs.len());
-
+    let lanes = lanes.clamp(1, freqs.len());
     let mut points: Vec<Vec<Complex>> = vec![Vec::new(); freqs.len()];
-    if threads <= 1 {
+    if lanes <= 1 {
         let mut rhs = vec![Complex::ZERO; n];
         solve_chunk(
             freqs,
@@ -301,20 +343,28 @@ fn sweep_sparse(
         return Ok(points);
     }
 
-    ape_probe::value("spice.ac.threads", threads as f64);
-    let chunk = freqs.len().div_ceil(threads);
-    let mut first_err: Option<SpiceError> = None;
-    std::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for (fs, out) in freqs.chunks(chunk).zip(points.chunks_mut(chunk)) {
+    ape_probe::value("spice.ac.threads", lanes as f64);
+    let chunk = freqs.len().div_ceil(lanes);
+    let n_chunks = freqs.len().div_ceil(chunk);
+    // One error slot per chunk; after the scope the lowest-index slot is
+    // exactly the error the sequential loop would have hit first (chunks
+    // are contiguous and each stops at its own first failure).
+    let mut errs: Vec<Option<SpiceError>> = Vec::new();
+    errs.resize_with(n_chunks, || None);
+    exec.scope(|s| {
+        for ((fs, out), err) in freqs
+            .chunks(chunk)
+            .zip(points.chunks_mut(chunk))
+            .zip(errs.iter_mut())
+        {
             let pattern = pattern.clone();
             let sym = sym.clone();
             let (gsp, csp, b) = (&gsp, &csp, &b);
-            handles.push(s.spawn(move || {
+            s.spawn(move || {
                 let mut cmat = SparseMatrix::<Complex>::new(pattern);
                 let mut factor = SparseFactor::<Complex>::with_symbolic(sym);
                 let mut rhs = vec![Complex::ZERO; n];
-                solve_chunk(
+                if let Err(e) = solve_chunk(
                     fs,
                     out,
                     gsp,
@@ -324,22 +374,13 @@ fn sweep_sparse(
                     &mut cmat,
                     &mut factor,
                     &mut rhs,
-                )
-            }));
-        }
-        for h in handles {
-            match h.join() {
-                Ok(Ok(())) => {}
-                Ok(Err(e)) => {
-                    first_err.get_or_insert(e);
+                ) {
+                    *err = Some(e);
                 }
-                Err(_) => {
-                    first_err.get_or_insert(SpiceError::Internal("ac worker thread panicked"));
-                }
-            }
+            });
         }
     });
-    match first_err {
+    match errs.into_iter().flatten().next() {
         Some(e) => Err(e),
         None => Ok(points),
     }
@@ -359,6 +400,21 @@ fn assemble(
     }
 }
 
+/// Rewrites only the susceptance lane (`im = ω·C`) of an already
+/// assembled `cmat`.
+///
+/// The real lane is pure conductance and frequency-independent, so after
+/// the first point of a chunk only the imaginary halves change. Writing
+/// `im` alone produces bit-identical entries (`re` keeps the exact bits
+/// `assemble` stored) and halves per-point assembly traffic — SoA in
+/// spirit: the complex value array is treated as separate re/im lanes.
+fn assemble_im(cmat: &mut SparseMatrix<Complex>, c: &SparseMatrix<f64>, f: f64) {
+    let w = 2.0 * std::f64::consts::PI * f;
+    for (dst, ca) in cmat.values_mut().iter_mut().zip(c.values()) {
+        dst.im = w * ca;
+    }
+}
+
 /// Solves a contiguous run of frequency points into `out`, reusing the
 /// caller's matrix, factor, and right-hand-side buffers.
 #[allow(clippy::too_many_arguments)]
@@ -374,7 +430,11 @@ fn solve_chunk(
     rhs: &mut [Complex],
 ) -> Result<(), SpiceError> {
     for (k, &f) in freqs.iter().enumerate() {
-        assemble(cmat, g, c, f);
+        if k == 0 {
+            assemble(cmat, g, c, f);
+        } else {
+            assemble_im(cmat, c, f);
+        }
         for (dst, &src) in rhs.iter_mut().zip(b) {
             *dst = Complex::real(src);
         }

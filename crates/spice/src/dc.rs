@@ -12,8 +12,11 @@ use crate::engine::{MatSnapshot, RealSolver};
 use crate::error::SpiceError;
 use crate::mna::Unknowns;
 use crate::sparse::{Backend, PatternBuilder};
-use crate::stamp::{g2, gtrans, Stamp};
-use ape_mos::{evaluate, junction_caps, meyer_caps, BiasPoint, DeviceEval, MosCaps};
+use crate::stamp::{g2, gtrans, BatchSink, Stamp};
+use ape_mos::{
+    evaluate, evaluate_batch_with, junction_caps, meyer_caps, BiasBatch, BiasPoint, DeviceEval,
+    EvalBatch, MosCaps,
+};
 use ape_netlist::{Circuit, ElementKind, NodeId, Technology};
 use std::collections::BTreeMap;
 
@@ -251,8 +254,31 @@ pub(crate) fn rhs_sources(circuit: &Circuit, u: &Unknowns, rhs: &mut [f64], sv: 
     }
 }
 
+/// Reusable scratch for the batched device stamping pass.
+///
+/// The gather/evaluate/stamp cycle of every Newton iteration runs
+/// through these buffers; owning them in the engine keeps the
+/// steady-state loop allocation-free. `clear` keeps capacity.
+#[derive(Debug, Default)]
+pub(crate) struct DeviceScratch {
+    biases: BiasBatch,
+    evals: EvalBatch,
+    sink: BatchSink<f64>,
+}
+
 /// Stamps the **dynamic** part: switch and MOSFET linearisations at `x`.
 /// Re-run every Newton iteration on top of the restored static part.
+///
+/// MOSFETs go through a two-pass SoA batch: pass A walks the elements in
+/// order gathering every device's terminal voltages into contiguous
+/// [`BiasBatch`] lanes (and surfaces model/polarity errors exactly where
+/// the scalar loop would), the whole batch is evaluated back-to-back,
+/// and pass B re-walks the elements stamping from the result lanes.
+/// Contiguous runs of MOSFET stamps are accumulated in a [`BatchSink`]
+/// and flushed through [`Stamp::stamp_batch`]; the flush replays the
+/// triples in gather order, so every matrix entry and RHS row sees the
+/// same additions in the same sequence as the element-at-a-time loop —
+/// the batch layout changes memory traffic, not one bit of arithmetic.
 pub(crate) fn stamp_devices<M: Stamp<f64>>(
     circuit: &Circuit,
     tech: &Technology,
@@ -260,7 +286,56 @@ pub(crate) fn stamp_devices<M: Stamp<f64>>(
     x: &[f64],
     m: &mut M,
     rhs: &mut [f64],
+    scratch: &mut DeviceScratch,
 ) -> Result<(), SpiceError> {
+    // Pass A: gather biases for every MOSFET, in element order.
+    scratch.biases.clear();
+    for e in circuit.elements() {
+        if let ElementKind::Mosfet {
+            polarity,
+            model,
+            geometry: _,
+            source,
+            bulk,
+        } = &e.kind
+        {
+            let card = tech
+                .model(model)
+                .ok_or_else(|| SpiceError::UnknownModel(model.clone()))?;
+            if card.polarity != *polarity {
+                // A PMOS device bound to an NMOS card (or vice versa)
+                // is a netlist mistake, not a solver bug: reject it as
+                // a typed error so fuzzed circuits cannot panic here.
+                return Err(SpiceError::BadCircuit(format!(
+                    "device polarity {:?} does not match model '{model}' ({:?})",
+                    polarity, card.polarity
+                )));
+            }
+            let vd = u.voltage(x, e.a);
+            let vg = u.voltage(x, e.b);
+            let vs = u.voltage(x, *source);
+            let vb = u.voltage(x, *bulk);
+            scratch.biases.push(BiasPoint {
+                vgs: vg - vs,
+                vds: vd - vs,
+                vsb: vs - vb,
+            });
+        }
+    }
+
+    // Evaluate the whole batch back-to-back (bit-identical per lane to
+    // scalar `evaluate`; pass A has already validated every model).
+    let devices = circuit.elements().iter().filter_map(|e| match &e.kind {
+        ElementKind::Mosfet {
+            model, geometry, ..
+        } => tech.model(model).map(|card| (card, geometry)),
+        _ => None,
+    });
+    evaluate_batch_with(devices, &scratch.biases, &mut scratch.evals);
+
+    // Pass B: stamp in element order from the SoA result lanes.
+    let mut lane = 0usize;
+    scratch.sink.clear();
     for e in circuit.elements() {
         let a = u.node_row(e.a);
         let b = u.node_row(e.b);
@@ -272,6 +347,10 @@ pub(crate) fn stamp_devices<M: Stamp<f64>>(
                 ron,
                 roff,
             } => {
+                // A switch interrupts the MOSFET run: flush what has
+                // been gathered so far to keep global stamp order.
+                m.stamp_batch(&scratch.sink.entries);
+                scratch.sink.clear();
                 let vc = u.voltage(x, *cp) - u.voltage(x, *cn);
                 let vab = u.voltage(x, e.a) - u.voltage(x, e.b);
                 // Smooth conductance transition over ~50 mV for NR stability.
@@ -289,56 +368,36 @@ pub(crate) fn stamp_devices<M: Stamp<f64>>(
                 let ieq = -k * vc;
                 inject(rhs, a, b, ieq);
             }
-            ElementKind::Mosfet {
-                polarity,
-                model,
-                geometry,
-                source,
-                bulk,
-            } => {
-                let card = tech
-                    .model(model)
-                    .ok_or_else(|| SpiceError::UnknownModel(model.clone()))?;
-                if card.polarity != *polarity {
-                    // A PMOS device bound to an NMOS card (or vice versa)
-                    // is a netlist mistake, not a solver bug: reject it as
-                    // a typed error so fuzzed circuits cannot panic here.
-                    return Err(SpiceError::BadCircuit(format!(
-                        "device polarity {:?} does not match model '{model}' ({:?})",
-                        polarity, card.polarity
-                    )));
-                }
-                let vd = u.voltage(x, e.a);
-                let vg = u.voltage(x, e.b);
-                let vs = u.voltage(x, *source);
-                let vb = u.voltage(x, *bulk);
-                let ev = evaluate(
-                    card,
-                    geometry,
-                    BiasPoint {
-                        vgs: vg - vs,
-                        vds: vd - vs,
-                        vsb: vs - vb,
-                    },
-                );
+            ElementKind::Mosfet { source, bulk, .. } => {
+                let gm = scratch.evals.gm[lane];
+                let gds = scratch.evals.gds[lane].max(0.0);
+                let gmb = scratch.evals.gmb[lane];
+                let ids = scratch.evals.ids[lane];
                 let d = a;
                 let s_row = u.node_row(*source);
                 let g_row = b;
                 let b_row = u.node_row(*bulk);
                 // Conductance gds between drain and source.
-                g2(m, d, s_row, ev.gds.max(0.0));
+                g2(&mut scratch.sink, d, s_row, gds);
                 // gm: current d → s controlled by (g, s).
-                gtrans(m, d, s_row, g_row, s_row, ev.gm);
+                gtrans(&mut scratch.sink, d, s_row, g_row, s_row, gm);
                 // gmb: current d → s controlled by (b, s).
-                gtrans(m, d, s_row, b_row, s_row, ev.gmb);
-                // Norton equivalent current.
-                let ieq =
-                    ev.ids - ev.gm * (vg - vs) - ev.gds.max(0.0) * (vd - vs) - ev.gmb * (vb - vs);
+                gtrans(&mut scratch.sink, d, s_row, b_row, s_row, gmb);
+                // Norton equivalent current. vgs/vds come back from the
+                // gathered lanes (the exact differences pass A formed);
+                // the bulk term re-reads x because the scalar loop used
+                // vb − vs, not −(vs − vb), and −0.0 matters here.
+                let bias = scratch.biases.get(lane);
+                let vbs = u.voltage(x, *bulk) - u.voltage(x, *source);
+                let ieq = ids - gm * bias.vgs - gds * bias.vds - gmb * vbs;
                 inject(rhs, d, s_row, ieq);
+                lane += 1;
             }
             _ => {}
         }
     }
+    m.stamp_batch(&scratch.sink.entries);
+    scratch.sink.clear();
     Ok(())
 }
 
@@ -364,7 +423,16 @@ pub(crate) fn build_real_solver(
     }
     stamp_linear_dc(circuit, u, &mut pb)?;
     let mut rhs_scratch = vec![0.0; n];
-    stamp_devices(circuit, tech, u, x, &mut pb, &mut rhs_scratch)?;
+    let mut dev_scratch = DeviceScratch::default();
+    stamp_devices(
+        circuit,
+        tech,
+        u,
+        x,
+        &mut pb,
+        &mut rhs_scratch,
+        &mut dev_scratch,
+    )?;
     extra(&mut pb);
     Ok(RealSolver::sparse(pb.build()))
 }
@@ -557,6 +625,7 @@ pub(crate) struct DcEngine<'a> {
     linear: MatSnapshot,
     rhs_unit: Vec<f64>,
     rhs: Vec<f64>,
+    scratch: DeviceScratch,
 }
 
 impl<'a> DcEngine<'a> {
@@ -582,6 +651,7 @@ impl<'a> DcEngine<'a> {
             linear,
             rhs_unit,
             rhs: vec![0.0; n],
+            scratch: DeviceScratch::default(),
         })
     }
 
@@ -611,6 +681,7 @@ impl<'a> DcEngine<'a> {
                 x,
                 &mut self.solver,
                 &mut self.rhs,
+                &mut self.scratch,
             )?;
             self.solver
                 .solve(&mut self.rhs)
@@ -673,6 +744,7 @@ impl<'a> DcEngine<'a> {
                     &x,
                     &mut self.solver,
                     &mut self.rhs,
+                    &mut self.scratch,
                 )?;
                 self.solver
                     .solve(&mut self.rhs)

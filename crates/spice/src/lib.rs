@@ -60,7 +60,7 @@ pub mod stamp;
 mod sweep;
 mod tran;
 
-pub use ac::{ac_sweep, ac_sweep_with, decade_frequencies, AcOptions, AcSweep};
+pub use ac::{ac_sweep, ac_sweep_on, ac_sweep_with, decade_frequencies, AcOptions, AcSweep};
 pub use complex::Complex;
 pub use dc::{dc_operating_point, dc_operating_point_with, DcOptions, MosOp, OperatingPoint};
 pub use error::SpiceError;

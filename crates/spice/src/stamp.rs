@@ -16,6 +16,49 @@ use crate::linalg::{Matrix, Scalar};
 pub trait Stamp<T> {
     /// Adds `v` to entry `(r, c)`.
     fn stamp(&mut self, r: usize, c: usize, v: T);
+
+    /// Adds a pre-gathered run of stamps in slice order.
+    ///
+    /// The batched device path accumulates `(row, col, value)` triples
+    /// into a contiguous scratch buffer (SoA-evaluated MOSFET lanes
+    /// expand into these) and hands them over in one call. The default
+    /// simply replays them through [`Stamp::stamp`] **in order**, which
+    /// keeps floating-point accumulation bit-identical to the
+    /// point-at-a-time path; backends may override to exploit the
+    /// contiguous layout but must preserve the addition order per entry.
+    fn stamp_batch(&mut self, entries: &[(usize, usize, T)])
+    where
+        T: Copy,
+    {
+        for &(r, c, v) in entries {
+            self.stamp(r, c, v);
+        }
+    }
+}
+
+/// A [`Stamp`] sink that records triples into a reusable scratch vector
+/// instead of writing a matrix.
+///
+/// The batched DC stamper points the shared element-stamping helpers
+/// ([`g2`], [`gtrans`]) at this sink to *gather* a device's stamps, then
+/// flushes the run into the real backend via [`Stamp::stamp_batch`].
+/// Keeping the helpers as the single source of stamp geometry means the
+/// batch path cannot drift from the scalar path.
+#[derive(Debug, Default)]
+pub(crate) struct BatchSink<T> {
+    pub(crate) entries: Vec<(usize, usize, T)>,
+}
+
+impl<T> BatchSink<T> {
+    pub(crate) fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+impl<T: Scalar> Stamp<T> for BatchSink<T> {
+    fn stamp(&mut self, r: usize, c: usize, v: T) {
+        self.entries.push((r, c, v));
+    }
 }
 
 impl<T: Scalar> Stamp<T> for Matrix<T> {

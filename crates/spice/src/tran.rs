@@ -7,7 +7,8 @@
 //! `DESIGN.md`. Steps that fail to converge are halved recursively.
 
 use crate::dc::{
-    build_real_solver, rhs_sources, stamp_devices, stamp_linear_dc, OperatingPoint, SourceValue,
+    build_real_solver, rhs_sources, stamp_devices, stamp_linear_dc, DeviceScratch, OperatingPoint,
+    SourceValue,
 };
 use crate::engine::{MatSnapshot, RealSolver};
 use crate::error::SpiceError;
@@ -227,6 +228,7 @@ pub fn transient(
         rhs: vec![0.0; n],
         caps,
         inds,
+        scratch: DeviceScratch::default(),
     };
 
     let mut times = vec![0.0];
@@ -265,6 +267,7 @@ struct TranEngine<'a> {
     rhs: Vec<f64>,
     caps: Vec<CapState>,
     inds: Vec<IndState>,
+    scratch: DeviceScratch,
 }
 
 impl TranEngine<'_> {
@@ -389,6 +392,7 @@ impl TranEngine<'_> {
                 x,
                 &mut self.solver,
                 &mut self.rhs,
+                &mut self.scratch,
             )?;
             self.solver
                 .solve(&mut self.rhs)

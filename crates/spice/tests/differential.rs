@@ -252,7 +252,35 @@ fn parallel_ac_is_bit_identical_to_sequential() {
         },
     )
     .expect("sequential");
-    for threads in [2, 4, 8] {
+    // Explicit executors with real worker threads: `ac_sweep_on` takes the
+    // lane count literally, so this exercises genuine cross-thread chunking
+    // even on a 1-core machine where `ac_sweep_with` would clamp to 1.
+    for workers in [1usize, 2, 4, 8] {
+        let exec = ape_exec::Executor::new(workers);
+        let par = ape_spice::ac_sweep_on(
+            &exec,
+            &ckt,
+            &tech,
+            &op,
+            &freqs,
+            AcOptions {
+                threads: workers.max(2),
+                backend: Backend::Sparse,
+            },
+        )
+        .expect("parallel");
+        for k in 0..freqs.len() {
+            let (a, b) = (seq.voltage(k, out), par.voltage(k, out));
+            // Same symbolic factorisation + same arithmetic order per
+            // point → bitwise equality, not just tolerance.
+            assert!(
+                a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits(),
+                "workers={workers} k={k}: {a:?} vs {b:?}"
+            );
+        }
+    }
+    // The public clamped path must agree as well, whatever it clamps to.
+    for threads in [2usize, 4, 8] {
         let par = ac_sweep_with(
             &ckt,
             &tech,
@@ -263,11 +291,9 @@ fn parallel_ac_is_bit_identical_to_sequential() {
                 backend: Backend::Sparse,
             },
         )
-        .expect("parallel");
+        .expect("clamped parallel");
         for k in 0..freqs.len() {
             let (a, b) = (seq.voltage(k, out), par.voltage(k, out));
-            // Same symbolic factorisation + same arithmetic order per
-            // point → bitwise equality, not just tolerance.
             assert!(
                 a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits(),
                 "threads={threads} k={k}: {a:?} vs {b:?}"
