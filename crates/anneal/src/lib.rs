@@ -264,8 +264,23 @@ where
     };
     let t0 = if t0.is_finite() { t0 } else { 1.0 };
 
+    // A non-finite cost would poison the loop twice over: a NaN best cost
+    // makes `best_cost > target_cost` false (the run would return after a
+    // single eval with no signal), and a NaN current cost makes every
+    // `delta` NaN, which rejects every subsequent move. Grade all
+    // non-finite costs as "infinitely bad" instead so the walk keeps
+    // moving and can escape into finite territory.
+    fn finite_or_inf(c: f64) -> f64 {
+        if c.is_finite() {
+            c
+        } else {
+            ape_probe::counter("anneal.non_finite_cost", 1);
+            f64::INFINITY
+        }
+    }
+
     let mut current = initial.clone();
-    let mut current_cost = cost(&current);
+    let mut current_cost = finite_or_inf(cost(&current));
     let mut best_state = current.clone();
     let mut best_cost = current_cost;
     let mut evals = 1usize;
@@ -287,11 +302,15 @@ where
                 break;
             }
             let cand = neighbor(&current, t / t0, &mut rng);
-            let cand_cost = cost(&cand);
+            let cand_cost = finite_or_inf(cost(&cand));
             evals += 1;
             moves_here += 1;
             let delta = cand_cost - current_cost;
-            let accept = delta <= 0.0 || rng.f64() < (-delta / t).exp();
+            // `inf - inf` is NaN: both states sit on the non-finite
+            // plateau, so the move is neutral — accept it (like any
+            // `delta <= 0` move, without drawing from the RNG) so the
+            // walk can wander off the plateau instead of freezing.
+            let accept = delta.is_nan() || delta <= 0.0 || rng.f64() < (-delta / t).exp();
             if accept {
                 current = cand;
                 current_cost = cand_cost;
@@ -704,6 +723,60 @@ mod tests {
         // Every eval after the initial one is a proposed move.
         assert_eq!(r.stats.moves, r.evals - 1);
         assert!(r.stats.final_temp <= 10.0);
+    }
+
+    #[test]
+    fn non_finite_initial_cost_does_not_poison_the_run() {
+        // The start (the box center, x = 0) sits inside a NaN crater; the
+        // finite landscape outside has minima at |x| = 2. Before the
+        // non-finite guard, the NaN initial cost made
+        // `best_cost > target_cost` false and the run returned after one
+        // eval; now the walk must escape the crater and find a finite
+        // optimum.
+        let ranges = VectorRanges::new(vec![(-5.0, 5.0)]).unwrap();
+        let r = anneal(
+            ranges.center(),
+            |s| {
+                let x = s[0];
+                if x.abs() < 1.0 {
+                    f64::NAN
+                } else {
+                    (x.abs() - 2.0).powi(2)
+                }
+            },
+            |s, t, rng| ranges.neighbor(s, t, rng),
+            &quick_opts(13),
+        );
+        assert!(r.evals > 1, "bailed after the initial eval");
+        assert!(r.best_cost.is_finite(), "best cost {}", r.best_cost);
+        assert!(r.best_cost < 0.1, "best cost {}", r.best_cost);
+        assert!((r.best_state[0].abs() - 2.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn non_finite_mid_run_cost_is_rejected_not_absorbed() {
+        // A NaN ridge in the middle of an otherwise smooth landscape: the
+        // annealer starts finite, occasionally proposes moves into the
+        // ridge, and must grade them as infinitely bad rather than letting
+        // NaN leak into `current_cost` (which would then reject every
+        // later move and freeze the walk wherever it stood).
+        let ranges = VectorRanges::new(vec![(-5.0, 5.0)]).unwrap();
+        let r = anneal(
+            ranges.center(),
+            |s| {
+                let x = s[0];
+                if (0.5..1.5).contains(&x) {
+                    f64::NAN
+                } else {
+                    (x - 3.0).powi(2)
+                }
+            },
+            |s, t, rng| ranges.neighbor(s, t, rng),
+            &quick_opts(17),
+        );
+        assert!(r.best_cost.is_finite());
+        assert!(r.best_cost < 0.1, "best cost {}", r.best_cost);
+        assert!((r.best_state[0] - 3.0).abs() < 0.5);
     }
 
     #[test]

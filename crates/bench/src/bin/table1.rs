@@ -32,7 +32,7 @@ fn main() {
         )
         .expect("spec is well-formed");
         let (gain, ugf, area, power, comment) = match &out.audit {
-            Some(a) => (
+            Ok(a) => (
                 a.measured.dc_gain.unwrap_or(0.0),
                 a.measured.ugf_hz.unwrap_or(0.0) * 1e-6,
                 a.measured.gate_area_um2(),
@@ -43,7 +43,7 @@ fn main() {
                     a.violations.join("; ")
                 },
             ),
-            None => (0.0, 0.0, 0.0, 0.0, "doesn't work.".to_string()),
+            Err(f) => (0.0, 0.0, 0.0, 0.0, format!("doesn't work ({}).", f.reason)),
         };
         rows.push(vec![
             task.name.to_string(),

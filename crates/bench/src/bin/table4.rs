@@ -53,7 +53,7 @@ fn main() {
         let out = synthesize(&tech, task.topology, &task.spec, &init, &opts)
             .expect("spec is well-formed");
         let (gain, ugf, area, power, comment) = match &out.audit {
-            Some(a) => (
+            Ok(a) => (
                 a.measured.dc_gain.unwrap_or(0.0),
                 a.measured.ugf_hz.unwrap_or(0.0) * 1e-6,
                 a.measured.gate_area_um2(),
@@ -64,7 +64,7 @@ fn main() {
                     a.violations.join("; ")
                 },
             ),
-            None => (0.0, 0.0, 0.0, 0.0, "doesn't work.".to_string()),
+            Err(f) => (0.0, 0.0, 0.0, 0.0, format!("doesn't work ({}).", f.reason)),
         };
         let speedup = if with_blind {
             let blind = synthesize(

@@ -68,7 +68,14 @@ pub fn direction_for(path: &str) -> Direction {
     if leaf == "count" || leaf == "schema" {
         return Direction::Informational;
     }
-    const HIGHER: [&str; 5] = ["per_s", "speedup", "hit", "pareto", "parallelism"];
+    const HIGHER: [&str; 6] = [
+        "per_s",
+        "speedup",
+        "hit",
+        "pareto",
+        "parallelism",
+        "success",
+    ];
     const LOWER: [&str; 8] = [
         "_ns", "latency", "wall", "alloc", "miss", "repivot", "wait", "failure",
     ];

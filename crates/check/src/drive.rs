@@ -299,3 +299,98 @@ pub fn oblx(seed: u64) -> CaseOutcome {
         }
     })
 }
+
+/// Every `ape-solve` engine on hostile boxes, costs, and budgets: solvers
+/// must respect the evaluation ceiling exactly, never report a NaN best
+/// cost (non-finite landscapes are graded as `+inf`), and always return a
+/// state inside the box.
+pub fn solver(seed: u64) -> CaseOutcome {
+    use ape_solve::{
+        Budget, CmaEs, NewtonPolish, ParticleSwarm, Portfolio, Problem, SaSolver, SolveResult,
+        Solver, VectorRanges,
+    };
+    run_case("solve::Solver", seed, || {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let dim = rng.range_usize(4);
+        let pairs: Vec<(f64, f64)> = (0..dim)
+            .map(|_| match rng.range_usize(4) {
+                // Hostile bounds: NaN/inf/reversed — must be rejected by
+                // `VectorRanges::new`, never survive into a solver.
+                0 => (gen::hostile_f64(&mut rng), gen::hostile_f64(&mut rng)),
+                1 => {
+                    let c = rng.range_f64(-5.0, 5.0);
+                    (c, c) // degenerate (pinned) axis
+                }
+                _ => {
+                    let lo = rng.range_f64(-10.0, 9.0);
+                    (lo, lo + rng.range_f64(1e-9, 10.0))
+                }
+            })
+            .collect();
+        let ranges = match VectorRanges::new(pairs) {
+            Ok(r) => r,
+            Err(msg) => {
+                return if msg.trim().is_empty() {
+                    Some("VectorRanges::new rejected with empty message".to_string())
+                } else {
+                    None
+                };
+            }
+        };
+        let mode = rng.range_usize(4);
+        let cost = move |x: &[f64]| match mode {
+            0 => x.iter().map(|v| v * v).sum::<f64>(),
+            1 => f64::NAN,
+            2 => {
+                if x.first().copied().unwrap_or(0.0) > 0.0 {
+                    f64::NAN
+                } else {
+                    x.iter().sum()
+                }
+            }
+            _ => f64::INFINITY,
+        };
+        let start: Vec<f64> = (0..ranges.len())
+            .map(|_| rng.range_f64(-1e3, 1e3))
+            .collect();
+        let problem = Problem::new(&ranges, &cost).with_start(start);
+        let budget = Budget {
+            max_evals: rng.range_usize(65),
+            seed: rng.next_u64(),
+        };
+        let result: SolveResult = match rng.range_usize(5) {
+            0 => SaSolver::default().solve(&problem, &budget, &mut ()),
+            1 => CmaEs::default().solve(&problem, &budget, &mut ()),
+            2 => ParticleSwarm::default().solve(&problem, &budget, &mut ()),
+            3 => NewtonPolish::default().solve(&problem, &budget, &mut ()),
+            _ => {
+                let exec = ape_exec::Executor::new(rng.range_usize(3));
+                let race = Portfolio::standard().race(&problem, &budget, &exec);
+                // A race spends up to members × budget in total, but each
+                // member individually stays under the ceiling.
+                for m in &race.members {
+                    if m.result.evals > budget.max_evals {
+                        return Some(format!(
+                            "portfolio member {} overspent: {} > {}",
+                            m.name, m.result.evals, budget.max_evals
+                        ));
+                    }
+                }
+                race.best
+            }
+        };
+        if result.evals > budget.max_evals {
+            return Some(format!(
+                "budget overrun: {} > {}",
+                result.evals, budget.max_evals
+            ));
+        }
+        if result.best_cost.is_nan() {
+            return Some("NaN best cost leaked through sanitisation".to_string());
+        }
+        if !ranges.contains(&result.best) {
+            return Some(format!("best state escaped the box: {:?}", result.best));
+        }
+        None
+    })
+}

@@ -18,6 +18,12 @@
 //! are applied through `OpAmp::redesign` on a warm graph and the result is
 //! required to match a cold from-scratch design bit for bit.
 //!
+//! [`drive::solver`] additionally fuzzes the `ape-solve` optimizer
+//! portfolio: hostile boxes (NaN/reversed/degenerate bounds), NaN and
+//! infinite cost landscapes, and tiny budgets through every solver and the
+//! raced portfolio, asserting the budget ceiling, NaN-freedom of the best
+//! cost, and box containment of the best state.
+//!
 //! [`drive::exec_order`] additionally fuzzes the shared work-stealing
 //! executor: seeded batches of design requests (hostile specs included)
 //! run through `OpAmp::design_many_on` at several worker counts, and
@@ -78,18 +84,20 @@ pub fn run_all(base_seed: u64, total: usize) -> CheckReport {
     let n_design = total * 8 / 100;
     let n_incr = total * 8 / 100;
     let n_exec = (total * 4 / 100).max(2);
+    let n_solve = (total * 5 / 100).max(2);
     let n_oblx = total
-        .saturating_sub(n_parse + n_netest + n_spice + n_design + n_incr + n_exec)
+        .saturating_sub(n_parse + n_netest + n_spice + n_design + n_incr + n_exec + n_solve)
         .max(1);
 
     type Driver = fn(u64) -> drive::CaseOutcome;
-    let sections: [(&'static str, usize, Driver); 7] = [
+    let sections: [(&'static str, usize, Driver); 8] = [
         ("parse_spice", n_parse, drive::parse),
         ("estimate_netlist", n_netest, drive::netest),
         ("spice", n_spice, drive::spice),
         ("OpAmp::design", n_design, drive::design),
         ("OpAmp::redesign", n_incr, drive::incremental),
         ("exec::design_many", n_exec, drive::exec_order),
+        ("solve::Solver", n_solve, drive::solver),
         ("oblx::synthesize", n_oblx, drive::oblx),
     ];
     for (name, count, driver) in sections {

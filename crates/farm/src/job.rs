@@ -282,6 +282,44 @@ mod tests {
     }
 
     #[test]
+    fn solver_choice_is_part_of_the_key() {
+        // `SynthesisOptions` is hashed through its `Debug` rendering, so a
+        // job resized by a different search engine must never hit a cached
+        // result computed by another one.
+        use ape_oblx::{InitialPoint, SolverChoice, SynthesisOptions};
+        let tech = Technology::default_1p2um();
+        let t = OpAmpTopology::miller(MirrorTopology::Simple, false);
+        let req_with = |solver: SolverChoice| Request::Synthesize {
+            topology: t,
+            spec: spec(),
+            init: InitialPoint::Blind,
+            opts: SynthesisOptions {
+                solver,
+                ..SynthesisOptions::default()
+            },
+        };
+        let keys: Vec<u64> = [
+            SolverChoice::Sa,
+            SolverChoice::CmaEs,
+            SolverChoice::ParticleSwarm,
+            SolverChoice::NewtonPolish,
+            SolverChoice::Portfolio,
+        ]
+        .into_iter()
+        .map(|s| canonical_key(&tech, &req_with(s)))
+        .collect();
+        for i in 0..keys.len() {
+            for j in (i + 1)..keys.len() {
+                assert_ne!(keys[i], keys[j], "solvers {i} and {j} collide");
+            }
+        }
+        assert_eq!(
+            canonical_key(&tech, &req_with(SolverChoice::Sa)),
+            canonical_key(&tech, &req_with(SolverChoice::default())),
+        );
+    }
+
+    #[test]
     fn technology_is_part_of_the_key() {
         let tech = Technology::default_1p2um();
         let mut tech2 = tech.clone();

@@ -32,6 +32,22 @@ impl AuditReport {
     }
 }
 
+/// Why the final audit produced no report: the simulation itself broke
+/// down (the "doesn't work" rows of Tables 1 and 4), as opposed to a
+/// design that simulates fine but violates its specifications — those are
+/// listed in [`AuditReport::violations`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditFailure {
+    /// Which stage failed and how (e.g. `"dc: singular matrix"`).
+    pub reason: String,
+}
+
+impl std::fmt::Display for AuditFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "audit failed: {}", self.reason)
+    }
+}
+
 /// Audits a candidate against `spec` with the full simulator.
 ///
 /// `tol` is the fractional slack on each specification (the paper accepts
@@ -42,6 +58,10 @@ impl AuditReport {
 /// [`OblxError::AuditFailed`] only when even the DC operating point cannot
 /// be computed — that is Table 1's "doesn't work" row. Spec violations are
 /// reported in the `violations` list, not as errors.
+/// [`OblxError::Cancelled`] when the thread-current cancellation token
+/// fires before or between the simulation stages: the full AC sweep is the
+/// most expensive step of a synthesis, and a batch shutdown should not
+/// have to wait for it.
 pub fn audit_candidate(
     tech: &Technology,
     topology: OpAmpTopology,
@@ -51,9 +71,12 @@ pub fn audit_candidate(
 ) -> Result<AuditReport, OblxError> {
     let _span = ape_probe::span("oblx.audit");
     ape_probe::counter("oblx.audits", 1);
+    ape_core::cancel::check_current().map_err(|_| OblxError::Cancelled)?;
     let (ckt, out) = build_candidate(tech, topology, spec, point)?;
     let op =
         dc_operating_point(&ckt, tech).map_err(|e| OblxError::AuditFailed(format!("dc: {e}")))?;
+    // The DC point is cheap; the sweep below is not. Re-check between them.
+    ape_core::cancel::check_current().map_err(|_| OblxError::Cancelled)?;
     let freqs = decade_frequencies(100.0, 2e9, 8)
         .map_err(|e| OblxError::AuditFailed(format!("freq grid: {e}")))?;
     let sweep = ac_sweep(&ckt, tech, &op, &freqs)
@@ -136,5 +159,17 @@ mod tests {
             Err(OblxError::AuditFailed(_)) => {} // "doesn't work" row
             Err(other) => panic!("unexpected error {other}"),
         }
+    }
+
+    #[test]
+    fn cancelled_token_aborts_the_audit() {
+        let tech = Technology::default_1p2um();
+        let amp = OpAmp::design(&tech, topo(), spec()).unwrap();
+        let point = design_point_from_ape(&tech, &amp);
+        let token = ape_core::cancel::CancelToken::new();
+        token.cancel();
+        let _guard = ape_core::cancel::set_current(token);
+        let r = audit_candidate(&tech, topo(), &spec(), &point, 0.25);
+        assert_eq!(r.unwrap_err(), OblxError::Cancelled);
     }
 }

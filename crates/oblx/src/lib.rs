@@ -59,11 +59,14 @@ mod synth;
 mod template;
 mod vars;
 
-pub use audit::{audit_candidate, AuditReport};
+pub use audit::{audit_candidate, AuditFailure, AuditReport};
 pub use cost::{satisfies, CostWeights};
 pub use error::OblxError;
 pub use eval::{evaluate_candidate, evaluate_candidate_with, CandidateEval, EvalFidelity};
-pub use synth::{synthesize, InitialPoint, SynthesisOptions, SynthesisOutcome};
+pub use synth::{
+    synthesize, synthesize_portfolio, InitialPoint, MemberSummary, PortfolioOutcome, SolverChoice,
+    SynthesisOptions, SynthesisOutcome,
+};
 pub use template::{build_candidate, candidate_area};
 pub use vars::{
     apply_point_to_opamp, blind_center, blind_ranges, design_point_from_ape, seeded_ranges,

@@ -1,14 +1,24 @@
-//! The synthesis driver: simulated annealing over the design variables.
+//! The synthesis driver: a portfolio of search engines over the design
+//! variables, simulated annealing (the ASTRX/OBLX default) among them.
 
-use crate::audit::{audit_candidate, AuditReport};
+use crate::audit::{audit_candidate, AuditFailure, AuditReport};
 use crate::cost::{cost, CostWeights};
 use crate::error::OblxError;
 use crate::eval::{evaluate_candidate_with, EvalFidelity};
 use crate::vars::{blind_center, blind_ranges, seeded_ranges, DesignPoint};
-use ape_anneal::{anneal_with_observer, AnnealOptions, Observer, Schedule, TempStats};
+use ape_anneal::{
+    anneal_with_observer, AnnealOptions, Observer, Schedule, TempStats, VectorRanges,
+};
+use ape_core::graph::{ensure_thread_shared_memo, thread_shared_memo, SharedMemo};
 use ape_core::opamp::{OpAmpSpec, OpAmpTopology};
 use ape_netlist::Technology;
+use ape_solve::{Budget, CancelAware, CmaEs, NewtonPolish, ParticleSwarm, Problem, Solver};
+use std::sync::Arc;
 use std::time::Instant;
+
+/// Feasible designs cost only their small objective terms; the search can
+/// stop once it is comfortably inside that region.
+const TARGET_COST: f64 = 0.04;
 
 /// Where the search starts and how wide the intervals are.
 #[derive(Debug, Clone, PartialEq)]
@@ -24,6 +34,29 @@ pub enum InitialPoint {
         /// Fractional interval half-width.
         interval_frac: f64,
     },
+}
+
+/// Which search engine sizes the template.
+///
+/// The default, [`SolverChoice::Sa`], is the simulated-annealing loop the
+/// paper's ASTRX/OBLX system uses, and its trajectories are bit-exact with
+/// the pre-portfolio versions of this crate. The alternatives run the same
+/// cost function through the `ape-solve` portfolio.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SolverChoice {
+    /// Simulated annealing (the ASTRX/OBLX engine). The default.
+    #[default]
+    Sa,
+    /// CMA-ES over the log-space interval box.
+    CmaEs,
+    /// Particle swarm over the log-space interval box.
+    ParticleSwarm,
+    /// Derivative-free Newton-style coordinate polish — strongest when
+    /// APE-seeded, where the start is already near the optimum.
+    NewtonPolish,
+    /// Race all of the above on the shared executor; first engine to reach
+    /// a feasible design wins and the others stop cooperatively.
+    Portfolio,
 }
 
 /// Options for a synthesis run.
@@ -42,6 +75,8 @@ pub struct SynthesisOptions {
     /// Candidate-evaluation fidelity. Defaults to [`EvalFidelity::AweOnly`],
     /// matching ASTRX/OBLX's AWE-based evaluation.
     pub fidelity: EvalFidelity,
+    /// Search engine. Defaults to [`SolverChoice::Sa`].
+    pub solver: SolverChoice,
 }
 
 impl Default for SynthesisOptions {
@@ -53,6 +88,7 @@ impl Default for SynthesisOptions {
             weights: CostWeights::default(),
             audit_tol: 0.25,
             fidelity: EvalFidelity::default(),
+            solver: SolverChoice::default(),
         }
     }
 }
@@ -66,9 +102,10 @@ pub struct SynthesisOutcome {
     pub cost: f64,
     /// Cost evaluations spent.
     pub evals: usize,
-    /// Full-simulation audit of the best point (`None` when even the DC
-    /// point fails — the "doesn't work" case).
-    pub audit: Option<AuditReport>,
+    /// Full-simulation audit of the best point. `Err` carries *why* the
+    /// audit produced no report (e.g. the DC point never converged — the
+    /// "doesn't work" case); a report with violations is still `Ok`.
+    pub audit: Result<AuditReport, AuditFailure>,
     /// Wall-clock time of the whole run including the audit.
     pub wall: std::time::Duration,
 }
@@ -76,11 +113,34 @@ pub struct SynthesisOutcome {
 impl SynthesisOutcome {
     /// `true` when the audited design meets every specification.
     pub fn meets_spec(&self) -> bool {
-        self.audit
-            .as_ref()
-            .map(AuditReport::meets_spec)
-            .unwrap_or(false)
+        matches!(&self.audit, Ok(r) if r.meets_spec())
     }
+}
+
+/// One portfolio member's contribution to a [`PortfolioOutcome`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemberSummary {
+    /// The member solver's name (`"sa"`, `"cma-es"`, `"pso"`, `"newton"`).
+    pub name: &'static str,
+    /// Best cost that member reached before the race was decided.
+    pub best_cost: f64,
+    /// Evaluations that member spent.
+    pub evals: usize,
+    /// Did that member reach a feasible design?
+    pub satisfied: bool,
+}
+
+/// Outcome of [`synthesize_portfolio`]: the winning design plus the race
+/// telemetry.
+#[derive(Debug, Clone)]
+pub struct PortfolioOutcome {
+    /// The winning member's synthesis outcome. Its `evals` field counts
+    /// the *total* across all members — that is what the run paid.
+    pub outcome: SynthesisOutcome,
+    /// Name of the winning member.
+    pub winner: &'static str,
+    /// Per-member telemetry, in portfolio order.
+    pub members: Vec<MemberSummary>,
 }
 
 /// Polls the thread-current cancellation token at every temperature
@@ -101,25 +161,13 @@ impl Observer for CancelObserver {
     }
 }
 
-/// Runs the annealing-based sizing of the two-stage template against
-/// `spec`, in the style of ASTRX/OBLX.
-///
-/// # Errors
-///
-/// * [`OblxError::BadSpec`] for malformed specs; everything downstream
-///   degrades gracefully into the outcome's audit field.
-/// * [`OblxError::Cancelled`] when the thread-current
-///   [`CancelToken`](ape_core::cancel::CancelToken) fires: the annealer
-///   stops at the next plateau boundary and the run is abandoned before
-///   the audit simulation.
-pub fn synthesize(
-    tech: &Technology,
+/// Spec validation plus interval/start construction, shared by every
+/// solver path.
+fn prepare(
     topology: OpAmpTopology,
     spec: &OpAmpSpec,
     init: &InitialPoint,
-    opts: &SynthesisOptions,
-) -> Result<SynthesisOutcome, OblxError> {
-    let _span = ape_probe::span("oblx.synthesize");
+) -> Result<(VectorRanges, Vec<f64>), OblxError> {
     // Every field participates in the cost function as a divisor or scale,
     // so infinities are as poisonous as NaN: an inf gain makes the gain
     // shortfall NaN and the annealer chases noise forever.
@@ -140,66 +188,232 @@ pub fn synthesize(
             spec.gain, spec.ugf_hz, spec.cl, spec.ibias, spec.area_max_m2, spec.zout_ohm
         )));
     }
-    let t0 = Instant::now();
-    let (ranges, start) = match init {
-        InitialPoint::Blind => (blind_ranges(topology)?, blind_center(topology)?.to_log()),
+    match init {
+        InitialPoint::Blind => Ok((blind_ranges(topology)?, blind_center(topology)?.to_log())),
         InitialPoint::ApeSeeded {
             point,
             interval_frac,
         } => {
             let r = seeded_ranges(topology, point, *interval_frac)?;
             let clamped = r.clamp(point.to_log());
-            (r, clamped)
+            Ok((r, clamped))
         }
-    };
+    }
+}
+
+/// Audits `best` and folds the result into the outcome's audit field:
+/// cancellation propagates as an error, any other audit breakdown is
+/// recorded with its reason.
+fn run_audit(
+    tech: &Technology,
+    topology: OpAmpTopology,
+    spec: &OpAmpSpec,
+    best: &DesignPoint,
+    tol: f64,
+) -> Result<Result<AuditReport, AuditFailure>, OblxError> {
+    match audit_candidate(tech, topology, spec, best, tol) {
+        Ok(report) => Ok(Ok(report)),
+        Err(OblxError::Cancelled) => Err(OblxError::Cancelled),
+        Err(e) => Ok(Err(AuditFailure {
+            reason: e.to_string(),
+        })),
+    }
+}
+
+/// Runs the optimisation-based sizing of the two-stage template against
+/// `spec`, in the style of ASTRX/OBLX. The engine is chosen by
+/// [`SynthesisOptions::solver`]; the default annealer reproduces the
+/// original ASTRX/OBLX behaviour bit-exactly.
+///
+/// # Errors
+///
+/// * [`OblxError::BadSpec`] for malformed specs; everything downstream
+///   degrades gracefully into the outcome's audit field.
+/// * [`OblxError::Cancelled`] when the thread-current
+///   [`CancelToken`](ape_core::cancel::CancelToken) fires: the search
+///   stops at its next cooperative poll and the run is abandoned before
+///   (or during) the audit simulation.
+pub fn synthesize(
+    tech: &Technology,
+    topology: OpAmpTopology,
+    spec: &OpAmpSpec,
+    init: &InitialPoint,
+    opts: &SynthesisOptions,
+) -> Result<SynthesisOutcome, OblxError> {
+    let _span = ape_probe::span("oblx.synthesize");
+    if opts.solver == SolverChoice::Portfolio {
+        return synthesize_portfolio(tech, topology, spec, init, opts).map(|p| p.outcome);
+    }
+    let t0 = Instant::now();
+    let (ranges, start) = prepare(topology, spec, init)?;
     let weights = opts.weights;
     let spec_c = *spec;
     let tech_c = tech.clone();
     let fidelity = opts.fidelity;
-    let initial_eval = evaluate_candidate_with(
-        &tech_c,
-        topology,
-        &spec_c,
-        &DesignPoint::from_log(&start),
-        fidelity,
-    );
-    let initial_cost = cost(&initial_eval, &spec_c, &weights);
-    let anneal_opts = AnnealOptions {
-        schedule: Schedule::Geometric {
-            t0: (initial_cost / 3.0).clamp(0.5, 1e3),
-            alpha: 0.9,
-            moves_per_temp: opts.moves_per_temp,
-            t_min: 1e-6,
-        },
-        max_evals: opts.max_evals,
-        seed: opts.seed,
-        // Feasible designs cost only their small objective terms; stop once
-        // the search is comfortably inside that region.
-        target_cost: 0.04,
+
+    let (best, best_cost, evals) = match opts.solver {
+        SolverChoice::Sa => {
+            let initial_eval = evaluate_candidate_with(
+                &tech_c,
+                topology,
+                &spec_c,
+                &DesignPoint::from_log(&start),
+                fidelity,
+            );
+            let initial_cost = cost(&initial_eval, &spec_c, tech_c.vdd, &weights);
+            let anneal_opts = AnnealOptions {
+                schedule: Schedule::Geometric {
+                    t0: (initial_cost / 3.0).clamp(0.5, 1e3),
+                    alpha: 0.9,
+                    moves_per_temp: opts.moves_per_temp,
+                    t_min: 1e-6,
+                },
+                max_evals: opts.max_evals,
+                seed: opts.seed,
+                target_cost: TARGET_COST,
+            };
+            let mut cancel_obs = CancelObserver { cancelled: false };
+            let result = anneal_with_observer(
+                start,
+                |s| {
+                    let p = DesignPoint::from_log(s);
+                    let e = evaluate_candidate_with(&tech_c, topology, &spec_c, &p, fidelity);
+                    cost(&e, &spec_c, tech_c.vdd, &weights)
+                },
+                |s, t, rng| ranges.neighbor(s, t, rng),
+                &anneal_opts,
+                &mut cancel_obs,
+            );
+            if cancel_obs.cancelled || ape_core::cancel::current_cancelled() {
+                return Err(OblxError::Cancelled);
+            }
+            (
+                DesignPoint::from_log(&result.best_state),
+                result.best_cost,
+                result.evals,
+            )
+        }
+        SolverChoice::CmaEs | SolverChoice::ParticleSwarm | SolverChoice::NewtonPolish => {
+            // Share the caller's memo if one is installed (a farm worker's
+            // cross-job cache); otherwise give the run its own, so parallel
+            // generations still deduplicate re-visited candidates.
+            let memo = thread_shared_memo().unwrap_or_else(|| Arc::new(SharedMemo::new()));
+            let solver_cost = move |s: &[f64]| {
+                ensure_thread_shared_memo(Some(memo.clone()));
+                let p = DesignPoint::from_log(s);
+                let e = evaluate_candidate_with(&tech_c, topology, &spec_c, &p, fidelity);
+                cost(&e, &spec_c, tech_c.vdd, &weights)
+            };
+            let feasible = |c: f64| c <= TARGET_COST;
+            let problem = Problem::new(&ranges, &solver_cost)
+                .with_satisfied(&feasible)
+                .with_start(start);
+            let budget = Budget {
+                max_evals: opts.max_evals,
+                seed: opts.seed,
+            };
+            let mut obs = CancelAware;
+            let r = match opts.solver {
+                SolverChoice::CmaEs => CmaEs::default().solve(&problem, &budget, &mut obs),
+                SolverChoice::ParticleSwarm => {
+                    ParticleSwarm::default().solve(&problem, &budget, &mut obs)
+                }
+                _ => NewtonPolish::default().solve(&problem, &budget, &mut obs),
+            };
+            if ape_core::cancel::current_cancelled() {
+                return Err(OblxError::Cancelled);
+            }
+            (DesignPoint::from_log(&r.best), r.best_cost, r.evals)
+        }
+        SolverChoice::Portfolio => unreachable!("handled above"),
     };
-    let mut cancel_obs = CancelObserver { cancelled: false };
-    let result = anneal_with_observer(
-        start,
-        |s| {
-            let p = DesignPoint::from_log(s);
-            let e = evaluate_candidate_with(&tech_c, topology, &spec_c, &p, fidelity);
-            cost(&e, &spec_c, &weights)
-        },
-        |s, t, rng| ranges.neighbor(s, t, rng),
-        &anneal_opts,
-        &mut cancel_obs,
-    );
-    if cancel_obs.cancelled || ape_core::cancel::current_cancelled() {
-        return Err(OblxError::Cancelled);
-    }
-    let best = DesignPoint::from_log(&result.best_state);
-    let audit = audit_candidate(tech, topology, spec, &best, opts.audit_tol).ok();
+
+    let audit = run_audit(tech, topology, spec, &best, opts.audit_tol)?;
     Ok(SynthesisOutcome {
         best,
-        cost: result.best_cost,
-        evals: result.evals,
+        cost: best_cost,
+        evals,
         audit,
         wall: t0.elapsed(),
+    })
+}
+
+/// Races the standard solver portfolio (annealing, CMA-ES, particle
+/// swarm, Newton polish) on the shared executor: every member gets the
+/// full evaluation budget and a decorrelated seed, the first member to
+/// reach a feasible design trips a shared flag, and the others stop at
+/// their next cooperative poll. Candidate evaluations funnel through one
+/// shared memo, so members re-visiting each other's design points pay
+/// nothing.
+///
+/// The returned outcome's `evals` counts the total across all members.
+///
+/// # Errors
+///
+/// Same as [`synthesize`]; cancellation via the thread-current token stops
+/// all members cooperatively.
+pub fn synthesize_portfolio(
+    tech: &Technology,
+    topology: OpAmpTopology,
+    spec: &OpAmpSpec,
+    init: &InitialPoint,
+    opts: &SynthesisOptions,
+) -> Result<PortfolioOutcome, OblxError> {
+    let _span = ape_probe::span("oblx.synthesize_portfolio");
+    let t0 = Instant::now();
+    let (ranges, start) = prepare(topology, spec, init)?;
+    let weights = opts.weights;
+    let spec_c = *spec;
+    let tech_c = tech.clone();
+    let fidelity = opts.fidelity;
+    let memo = thread_shared_memo().unwrap_or_else(|| Arc::new(SharedMemo::new()));
+    let solver_cost = move |s: &[f64]| {
+        ensure_thread_shared_memo(Some(memo.clone()));
+        let p = DesignPoint::from_log(s);
+        let e = evaluate_candidate_with(&tech_c, topology, &spec_c, &p, fidelity);
+        cost(&e, &spec_c, tech_c.vdd, &weights)
+    };
+    let feasible = |c: f64| c <= TARGET_COST;
+    let problem = Problem::new(&ranges, &solver_cost)
+        .with_satisfied(&feasible)
+        .with_start(start);
+    let budget = Budget {
+        max_evals: opts.max_evals,
+        seed: opts.seed,
+    };
+    let race =
+        ape_solve::Portfolio::standard().race(&problem, &budget, ape_exec::Executor::global());
+    if ape_core::cancel::current_cancelled() {
+        return Err(OblxError::Cancelled);
+    }
+    let total_evals = race.total_evals();
+    let members = race
+        .members
+        .iter()
+        .map(|m| MemberSummary {
+            name: m.name,
+            best_cost: m.result.best_cost,
+            evals: m.result.evals,
+            satisfied: m.result.satisfied,
+        })
+        .collect();
+    let winner = race
+        .members
+        .get(race.winner)
+        .map(|m| m.name)
+        .unwrap_or("none");
+    let best = DesignPoint::from_log(&race.best.best);
+    let audit = run_audit(tech, topology, spec, &best, opts.audit_tol)?;
+    Ok(PortfolioOutcome {
+        outcome: SynthesisOutcome {
+            best,
+            cost: race.best.best_cost,
+            evals: total_evals,
+            audit,
+            wall: t0.elapsed(),
+        },
+        winner,
+        members,
     })
 }
 
@@ -293,6 +507,34 @@ mod tests {
     }
 
     #[test]
+    fn pre_cancelled_token_aborts_every_solver_choice() {
+        let tech = Technology::default_1p2um();
+        for solver in [
+            SolverChoice::CmaEs,
+            SolverChoice::ParticleSwarm,
+            SolverChoice::NewtonPolish,
+            SolverChoice::Portfolio,
+        ] {
+            let token = ape_core::cancel::CancelToken::new();
+            token.cancel();
+            let _guard = ape_core::cancel::set_current(token);
+            let r = synthesize(
+                &tech,
+                topo(),
+                &spec(),
+                &InitialPoint::Blind,
+                &SynthesisOptions {
+                    max_evals: 60,
+                    moves_per_temp: 10,
+                    solver,
+                    ..SynthesisOptions::default()
+                },
+            );
+            assert_eq!(r.unwrap_err(), OblxError::Cancelled, "solver {solver:?}");
+        }
+    }
+
+    #[test]
     fn bad_spec_rejected() {
         let tech = Technology::default_1p2um();
         let mut s = spec();
@@ -305,5 +547,121 @@ mod tests {
             &SynthesisOptions::default(),
         );
         assert!(r.is_err());
+    }
+
+    /// The `SolverChoice::Sa` path must reproduce the pre-portfolio
+    /// annealing loop bit-exactly: same schedule scaling, same RNG
+    /// stream, same accounting. This pins the refactor.
+    #[test]
+    fn default_solver_is_bit_exact_with_the_legacy_anneal_loop() {
+        let tech = Technology::default_1p2um();
+        let opts = SynthesisOptions {
+            max_evals: 120,
+            moves_per_temp: 10,
+            seed: 23,
+            ..SynthesisOptions::default()
+        };
+        let out = synthesize(&tech, topo(), &spec(), &InitialPoint::Blind, &opts).unwrap();
+
+        // Hand-rolled copy of the original synthesize() search body.
+        let (ranges, start) = prepare(topo(), &spec(), &InitialPoint::Blind).unwrap();
+        let weights = opts.weights;
+        let spec_c = spec();
+        let initial_eval = evaluate_candidate_with(
+            &tech,
+            topo(),
+            &spec_c,
+            &DesignPoint::from_log(&start),
+            opts.fidelity,
+        );
+        let initial_cost = cost(&initial_eval, &spec_c, tech.vdd, &weights);
+        let anneal_opts = AnnealOptions {
+            schedule: Schedule::Geometric {
+                t0: (initial_cost / 3.0).clamp(0.5, 1e3),
+                alpha: 0.9,
+                moves_per_temp: opts.moves_per_temp,
+                t_min: 1e-6,
+            },
+            max_evals: opts.max_evals,
+            seed: opts.seed,
+            target_cost: 0.04,
+        };
+        let mut obs = CancelObserver { cancelled: false };
+        let reference = anneal_with_observer(
+            start,
+            |s| {
+                let p = DesignPoint::from_log(s);
+                let e = evaluate_candidate_with(&tech, topo(), &spec_c, &p, opts.fidelity);
+                cost(&e, &spec_c, tech.vdd, &weights)
+            },
+            |s, t, rng| ranges.neighbor(s, t, rng),
+            &anneal_opts,
+            &mut obs,
+        );
+        assert_eq!(
+            out.best.values,
+            DesignPoint::from_log(&reference.best_state).values
+        );
+        assert_eq!(out.cost, reference.best_cost);
+        assert_eq!(out.evals, reference.evals);
+    }
+
+    #[test]
+    fn seeded_portfolio_meets_spec_and_reports_members() {
+        let tech = Technology::default_1p2um();
+        let amp = OpAmp::design(&tech, topo(), spec()).unwrap();
+        let init = InitialPoint::ApeSeeded {
+            point: design_point_from_ape(&tech, &amp),
+            interval_frac: 0.2,
+        };
+        let opts = SynthesisOptions {
+            max_evals: 200,
+            moves_per_temp: 20,
+            seed: 7,
+            solver: SolverChoice::Portfolio,
+            ..SynthesisOptions::default()
+        };
+        let p = synthesize_portfolio(&tech, topo(), &spec(), &init, &opts).unwrap();
+        assert_eq!(p.members.len(), 4);
+        assert!(
+            p.members.iter().any(|m| m.name == p.winner),
+            "winner {} not among members",
+            p.winner
+        );
+        assert!(
+            p.outcome.evals >= p.members.iter().map(|m| m.evals).max().unwrap_or(0),
+            "total evals must cover every member"
+        );
+        assert!(p.outcome.meets_spec(), "audit: {:?}", p.outcome.audit);
+    }
+
+    #[test]
+    fn alternative_solvers_produce_usable_outcomes_when_seeded() {
+        let tech = Technology::default_1p2um();
+        let amp = OpAmp::design(&tech, topo(), spec()).unwrap();
+        let init = InitialPoint::ApeSeeded {
+            point: design_point_from_ape(&tech, &amp),
+            interval_frac: 0.2,
+        };
+        for solver in [
+            SolverChoice::CmaEs,
+            SolverChoice::ParticleSwarm,
+            SolverChoice::NewtonPolish,
+        ] {
+            let opts = SynthesisOptions {
+                max_evals: 150,
+                moves_per_temp: 20,
+                seed: 7,
+                solver,
+                ..SynthesisOptions::default()
+            };
+            let out = synthesize(&tech, topo(), &spec(), &init, &opts).unwrap();
+            assert!(out.evals <= 150, "{solver:?} overspent: {}", out.evals);
+            assert!(
+                out.cost.is_finite(),
+                "{solver:?} returned non-finite cost {}",
+                out.cost
+            );
+        }
     }
 }

@@ -1,0 +1,295 @@
+//! CMA-ES: covariance matrix adaptation evolution strategy.
+//!
+//! The standard (μ/μ_w, λ) formulation (Hansen's tutorial parameters) in
+//! normalized `z ∈ [0, 1]ⁿ` coordinates, with boundary repair by clamping.
+//! The covariance eigendecomposition is a cyclic Jacobi solver — the
+//! dimension here is the op-amp template's ~8–10 design variables, where
+//! Jacobi is exact, deterministic, and dependency-free.
+
+use crate::{
+    eval_generation, normal, BoxMap, Budget, Problem, Rng64, Run, SolveObserver, SolveResult,
+    Solver,
+};
+
+/// CMA-ES behind the [`Solver`] trait.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CmaEs {
+    /// Population size; `None` uses the standard `4 + ⌊3·ln n⌋`.
+    pub lambda: Option<usize>,
+    /// Initial step size in normalized coordinates (default `0.3`).
+    pub sigma0: f64,
+    /// Evaluate each generation as tasks on the shared executor. Results
+    /// are recorded in sampling order, so this changes wall-time only,
+    /// never the trajectory.
+    pub parallel: bool,
+}
+
+impl Default for CmaEs {
+    fn default() -> Self {
+        CmaEs {
+            lambda: None,
+            sigma0: 0.3,
+            parallel: false,
+        }
+    }
+}
+
+/// Eigendecomposition of a symmetric matrix by cyclic Jacobi rotations.
+/// Returns `(eigenvalues, v)` with eigenvectors in the *columns* of `v`.
+fn eigen_sym(a: &[Vec<f64>]) -> (Vec<f64>, Vec<Vec<f64>>) {
+    let n = a.len();
+    let mut m: Vec<Vec<f64>> = a.to_vec();
+    let mut v = vec![vec![0.0; n]; n];
+    for (i, row) in v.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+    for _sweep in 0..64 {
+        let off: f64 = (0..n)
+            .flat_map(|p| ((p + 1)..n).map(move |q| (p, q)))
+            .map(|(p, q)| m[p][q] * m[p][q])
+            .sum();
+        if off < 1e-22 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                if m[p][q].abs() < 1e-300 {
+                    continue;
+                }
+                let theta = (m[q][q] - m[p][p]) / (2.0 * m[p][q]);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                for row in m.iter_mut() {
+                    let (mkp, mkq) = (row[p], row[q]);
+                    row[p] = c * mkp - s * mkq;
+                    row[q] = s * mkp + c * mkq;
+                }
+                let (top, bot) = m.split_at_mut(q);
+                for (mpk, mqk) in top[p].iter_mut().zip(bot[0].iter_mut()) {
+                    let (a, b) = (*mpk, *mqk);
+                    *mpk = c * a - s * b;
+                    *mqk = s * a + c * b;
+                }
+                for row in v.iter_mut() {
+                    let (vkp, vkq) = (row[p], row[q]);
+                    row[p] = c * vkp - s * vkq;
+                    row[q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    let eig = (0..n).map(|i| m[i][i]).collect();
+    (eig, v)
+}
+
+impl Solver for CmaEs {
+    fn name(&self) -> &'static str {
+        "cma-es"
+    }
+
+    #[allow(clippy::needless_range_loop)]
+    fn solve(
+        &self,
+        problem: &Problem<'_>,
+        budget: &Budget,
+        observer: &mut dyn SolveObserver,
+    ) -> SolveResult {
+        let _span = ape_probe::span("solve.cma");
+        let n = problem.dim();
+        let mut run = Run::new(problem, budget, observer);
+        if n == 0 {
+            let _ = run.eval(&problem.start());
+            return run.finish();
+        }
+        let map = BoxMap::new(problem.ranges());
+        let mut rng = Rng64::seed_from_u64(budget.seed);
+        let nf = n as f64;
+        let lambda = self
+            .lambda
+            .unwrap_or(4 + (3.0 * nf.ln()).floor().max(0.0) as usize)
+            .max(4);
+        let mu = lambda / 2;
+        let raw_w: Vec<f64> = (0..mu)
+            .map(|i| (mu as f64 + 0.5).ln() - ((i + 1) as f64).ln())
+            .collect();
+        let wsum: f64 = raw_w.iter().sum();
+        let weights: Vec<f64> = raw_w.iter().map(|w| w / wsum).collect();
+        let mueff = 1.0 / weights.iter().map(|w| w * w).sum::<f64>();
+        let cs = (mueff + 2.0) / (nf + mueff + 5.0);
+        let ds = 1.0 + 2.0 * (((mueff - 1.0) / (nf + 1.0)).sqrt() - 1.0).max(0.0) + cs;
+        let cc = (4.0 + mueff / nf) / (nf + 4.0 + 2.0 * mueff / nf);
+        let c1 = 2.0 / ((nf + 1.3) * (nf + 1.3) + mueff);
+        let cmu =
+            (1.0 - c1).min(2.0 * (mueff - 2.0 + 1.0 / mueff) / ((nf + 2.0) * (nf + 2.0) + mueff));
+        let chi_n = nf.sqrt() * (1.0 - 1.0 / (4.0 * nf) + 1.0 / (21.0 * nf * nf));
+
+        let mut mean = map.to_z(&problem.start());
+        let mut sigma = self.sigma0.clamp(1e-6, 1.0);
+        let mut cov = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            cov[i][i] = 1.0;
+        }
+        let mut ps = vec![0.0f64; n];
+        let mut pc = vec![0.0f64; n];
+        let exec = if self.parallel {
+            Some(ape_exec::Executor::global())
+        } else {
+            None
+        };
+
+        // Seed the incumbent with the start point itself.
+        let start_x = problem.start();
+        let _ = run.eval(&start_x);
+
+        let mut generation = 0usize;
+        while !run.poll() {
+            let (eig, b) = eigen_sym(&cov);
+            let d: Vec<f64> = eig.iter().map(|&e| e.max(1e-20).sqrt()).collect();
+            // Sample λ candidates: x = mean + σ·B·(d∘z), clamped into the box.
+            let mut zs: Vec<Vec<f64>> = Vec::with_capacity(lambda);
+            let mut xs: Vec<Vec<f64>> = Vec::with_capacity(lambda);
+            for _ in 0..lambda {
+                let zn: Vec<f64> = (0..n).map(|_| normal(&mut rng)).collect();
+                let mut y = vec![0.0f64; n];
+                for i in 0..n {
+                    let mut acc = 0.0;
+                    for j in 0..n {
+                        acc += b[i][j] * d[j] * zn[j];
+                    }
+                    y[i] = acc;
+                }
+                let znew: Vec<f64> = mean
+                    .iter()
+                    .zip(&y)
+                    .map(|(m, yi)| (m + sigma * yi).clamp(0.0, 1.0))
+                    .collect();
+                xs.push(map.to_x(&znew));
+                zs.push(znew);
+            }
+            let costs = eval_generation(&mut run, &xs, exec);
+            if costs.len() < mu {
+                break; // budget exhausted mid-generation
+            }
+            let mut order: Vec<usize> = (0..costs.len()).collect();
+            order.sort_by(|&a, &b| {
+                costs[a]
+                    .partial_cmp(&costs[b])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
+            });
+            // Recombine on the clamped z positions (boundary repair).
+            let old_mean = mean.clone();
+            for i in 0..n {
+                mean[i] = weights.iter().zip(&order).map(|(w, &k)| w * zs[k][i]).sum();
+            }
+            let y_w: Vec<f64> = mean
+                .iter()
+                .zip(&old_mean)
+                .map(|(m, o)| (m - o) / sigma)
+                .collect();
+            // C^(-1/2)·y_w = B·diag(1/d)·Bᵀ·y_w for the σ path.
+            let mut bty = vec![0.0f64; n];
+            for j in 0..n {
+                let mut acc = 0.0;
+                for i in 0..n {
+                    acc += b[i][j] * y_w[i];
+                }
+                bty[j] = acc / d[j].max(1e-20);
+            }
+            let mut cinv_y = vec![0.0f64; n];
+            for i in 0..n {
+                let mut acc = 0.0;
+                for j in 0..n {
+                    acc += b[i][j] * bty[j];
+                }
+                cinv_y[i] = acc;
+            }
+            let cs_scale = (cs * (2.0 - cs) * mueff).sqrt();
+            for i in 0..n {
+                ps[i] = (1.0 - cs) * ps[i] + cs_scale * cinv_y[i];
+            }
+            let ps_norm = ps.iter().map(|v| v * v).sum::<f64>().sqrt();
+            generation += 1;
+            let denom = (1.0 - (1.0 - cs).powi(2 * generation as i32)).sqrt();
+            let hsig = ps_norm / denom.max(1e-12) / chi_n < 1.4 + 2.0 / (nf + 1.0);
+            let cc_scale = if hsig {
+                (cc * (2.0 - cc) * mueff).sqrt()
+            } else {
+                0.0
+            };
+            for i in 0..n {
+                pc[i] = (1.0 - cc) * pc[i] + cc_scale * y_w[i];
+            }
+            // Rank-1 + rank-μ covariance update.
+            let delta_hsig = if hsig { 0.0 } else { c1 * cc * (2.0 - cc) };
+            for i in 0..n {
+                for j in 0..n {
+                    let mut rank_mu = 0.0;
+                    for (w, &k) in weights.iter().zip(&order) {
+                        let yi = (zs[k][i] - old_mean[i]) / sigma;
+                        let yj = (zs[k][j] - old_mean[j]) / sigma;
+                        rank_mu += w * yi * yj;
+                    }
+                    cov[i][j] = (1.0 - c1 - cmu + delta_hsig) * cov[i][j]
+                        + c1 * pc[i] * pc[j]
+                        + cmu * rank_mu;
+                }
+            }
+            sigma *= ((cs / ds) * (ps_norm / chi_n - 1.0)).exp();
+            if !sigma.is_finite() {
+                break;
+            }
+            sigma = sigma.clamp(1e-12, 2.0);
+            if sigma < 1e-10 {
+                break; // converged to numerical rest
+            }
+        }
+        run.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VectorRanges;
+
+    #[test]
+    fn eigen_sym_recovers_known_spectrum() {
+        // [[2,1],[1,2]] has eigenvalues 1 and 3.
+        let a = vec![vec![2.0, 1.0], vec![1.0, 2.0]];
+        let (mut eig, v) = eigen_sym(&a);
+        eig.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        assert!((eig[0] - 1.0).abs() < 1e-9, "{eig:?}");
+        assert!((eig[1] - 3.0).abs() < 1e-9, "{eig:?}");
+        // Columns are orthonormal.
+        let dot = v[0][0] * v[0][1] + v[1][0] * v[1][1];
+        assert!(dot.abs() < 1e-9);
+    }
+
+    #[test]
+    fn cma_minimises_rosenbrock() {
+        let ranges = VectorRanges::new(vec![(-2.0, 2.0); 2]).unwrap();
+        let cost = |x: &[f64]| {
+            let (a, b) = (x[0], x[1]);
+            (1.0 - a) * (1.0 - a) + 100.0 * (b - a * a) * (b - a * a)
+        };
+        let p = Problem::new(&ranges, &cost);
+        let r = CmaEs::default().solve(&p, &Budget::evals(6000).with_seed(11), &mut ());
+        assert!(r.best_cost < 1e-3, "cost {}", r.best_cost);
+        assert!((r.best[0] - 1.0).abs() < 0.1 && (r.best[1] - 1.0).abs() < 0.1);
+        assert!(ranges.contains(&r.best));
+    }
+
+    #[test]
+    fn cma_survives_degenerate_and_tiny_boxes() {
+        // One live axis, one pinned axis.
+        let ranges = VectorRanges::new(vec![(-1.0, 1.0), (3.0, 3.0)]).unwrap();
+        let cost = |x: &[f64]| x[0] * x[0] + x[1];
+        let p = Problem::new(&ranges, &cost);
+        let r = CmaEs::default().solve(&p, &Budget::evals(500).with_seed(3), &mut ());
+        assert!(r.best[0].abs() < 0.1, "best {:?}", r.best);
+        assert_eq!(r.best[1], 3.0);
+        assert!(r.evals <= 500);
+    }
+}

@@ -1,0 +1,140 @@
+//! Particle swarm optimization with constriction-style coefficients.
+
+use crate::BoxMap;
+use crate::{eval_generation, Budget, Problem, Rng64, Run, SolveObserver, SolveResult, Solver};
+
+/// Particle swarm behind the [`Solver`] trait, in normalized `z ∈ [0, 1]ⁿ`
+/// coordinates with velocity clamping and box repair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParticleSwarm {
+    /// Swarm size; `None` uses `max(12, 3n)`.
+    pub particles: Option<usize>,
+    /// Inertia weight (default `0.7213`, the constriction value).
+    pub inertia: f64,
+    /// Cognitive (personal-best) acceleration (default `1.1931`).
+    pub cognitive: f64,
+    /// Social (global-best) acceleration (default `1.1931`).
+    pub social: f64,
+    /// Evaluate each iteration's positions as tasks on the shared
+    /// executor. Wall-time only; the trajectory is identical.
+    pub parallel: bool,
+}
+
+impl Default for ParticleSwarm {
+    fn default() -> Self {
+        ParticleSwarm {
+            particles: None,
+            inertia: 0.7213,
+            cognitive: 1.1931,
+            social: 1.1931,
+            parallel: false,
+        }
+    }
+}
+
+impl Solver for ParticleSwarm {
+    fn name(&self) -> &'static str {
+        "pso"
+    }
+
+    fn solve(
+        &self,
+        problem: &Problem<'_>,
+        budget: &Budget,
+        observer: &mut dyn SolveObserver,
+    ) -> SolveResult {
+        let _span = ape_probe::span("solve.pso");
+        let n = problem.dim();
+        let mut run = Run::new(problem, budget, observer);
+        if n == 0 {
+            let _ = run.eval(&problem.start());
+            return run.finish();
+        }
+        let map = BoxMap::new(problem.ranges());
+        let mut rng = Rng64::seed_from_u64(budget.seed);
+        let swarm = self.particles.unwrap_or((3 * n).max(12)).max(2);
+        let exec = if self.parallel {
+            Some(ape_exec::Executor::global())
+        } else {
+            None
+        };
+
+        // Particle 0 starts at the problem's start point; the rest scatter
+        // uniformly. Velocities start small so the first iterations refine
+        // rather than teleport.
+        let mut pos: Vec<Vec<f64>> = (0..swarm)
+            .map(|k| {
+                if k == 0 {
+                    map.to_z(&problem.start())
+                } else {
+                    (0..n).map(|_| rng.f64()).collect()
+                }
+            })
+            .collect();
+        let mut vel: Vec<Vec<f64>> = (0..swarm)
+            .map(|_| (0..n).map(|_| (rng.f64() - 0.5) * 0.2).collect())
+            .collect();
+        let mut pbest = pos.clone();
+        let mut pbest_cost = vec![f64::INFINITY; swarm];
+        let mut gbest = pos[0].clone();
+        let mut gbest_cost = f64::INFINITY;
+
+        while !run.poll() {
+            let xs: Vec<Vec<f64>> = pos.iter().map(|z| map.to_x(z)).collect();
+            let costs = eval_generation(&mut run, &xs, exec);
+            for (k, &c) in costs.iter().enumerate() {
+                if c < pbest_cost[k] {
+                    pbest_cost[k] = c;
+                    pbest[k] = pos[k].clone();
+                }
+                if c < gbest_cost {
+                    gbest_cost = c;
+                    gbest = pos[k].clone();
+                }
+            }
+            if costs.len() < xs.len() {
+                break; // budget exhausted mid-iteration
+            }
+            for k in 0..swarm {
+                for i in 0..n {
+                    let r1 = rng.f64();
+                    let r2 = rng.f64();
+                    let v = self.inertia * vel[k][i]
+                        + self.cognitive * r1 * (pbest[k][i] - pos[k][i])
+                        + self.social * r2 * (gbest[i] - pos[k][i]);
+                    vel[k][i] = v.clamp(-0.5, 0.5);
+                    pos[k][i] = (pos[k][i] + vel[k][i]).clamp(0.0, 1.0);
+                }
+            }
+        }
+        run.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VectorRanges;
+
+    #[test]
+    fn pso_minimises_sphere() {
+        let ranges = VectorRanges::new(vec![(-5.0, 5.0); 4]).unwrap();
+        let cost = |x: &[f64]| x.iter().map(|v| (v + 2.0) * (v + 2.0)).sum::<f64>();
+        let p = Problem::new(&ranges, &cost);
+        let r = ParticleSwarm::default().solve(&p, &Budget::evals(5000).with_seed(9), &mut ());
+        assert!(r.best_cost < 1e-3, "cost {}", r.best_cost);
+        assert!(ranges.contains(&r.best));
+    }
+
+    #[test]
+    fn pso_handles_rosenbrock_valley() {
+        let ranges = VectorRanges::new(vec![(-2.0, 2.0); 2]).unwrap();
+        let cost = |x: &[f64]| {
+            let (a, b) = (x[0], x[1]);
+            (1.0 - a) * (1.0 - a) + 100.0 * (b - a * a) * (b - a * a)
+        };
+        let p = Problem::new(&ranges, &cost);
+        let r = ParticleSwarm::default().solve(&p, &Budget::evals(8000).with_seed(4), &mut ());
+        assert!(r.best_cost < 0.05, "cost {}", r.best_cost);
+    }
+}

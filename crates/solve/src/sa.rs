@@ -1,0 +1,158 @@
+//! [`Solver`] adapter over the `ape-anneal` simulated-annealing kernel.
+
+use crate::{Budget, Problem, Progress, SolveObserver, SolveResult, Solver};
+use ape_anneal::{anneal_with_observer, AnnealOptions, Observer, Schedule, TempStats};
+
+/// Simulated annealing behind the [`Solver`] trait: one pre-evaluation of
+/// the start scales the geometric schedule ([`Schedule::geometric_auto`]),
+/// then the `ape-anneal` kernel runs the remaining budget with
+/// temperature-scaled box moves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SaSolver {
+    /// Moves evaluated per temperature plateau.
+    pub moves_per_temp: usize,
+}
+
+impl Default for SaSolver {
+    fn default() -> Self {
+        SaSolver { moves_per_temp: 40 }
+    }
+}
+
+/// Bridges the annealer's plateau hooks onto a [`SolveObserver`]: forwards
+/// progress, polls for cooperative stop, and latches satisfaction of the
+/// problem's early-exit predicate (the kernel itself only knows a scalar
+/// `target_cost`).
+struct Bridge<'o, 'p, 'a> {
+    outer: &'o mut dyn SolveObserver,
+    problem: &'p Problem<'a>,
+    evals: usize,
+    satisfied: bool,
+    stopped: bool,
+}
+
+impl Observer for Bridge<'_, '_, '_> {
+    fn on_temperature(&mut self, stats: &TempStats) {
+        self.evals += stats.moves;
+        self.outer.on_progress(&Progress {
+            evals: self.evals,
+            best_cost: stats.best_cost,
+        });
+        if !self.satisfied && self.problem.satisfied(stats.best_cost) {
+            self.satisfied = true;
+        }
+    }
+
+    fn should_stop(&mut self) -> bool {
+        if !self.stopped && self.outer.should_stop() {
+            self.stopped = true;
+        }
+        self.satisfied || self.stopped
+    }
+}
+
+impl Solver for SaSolver {
+    fn name(&self) -> &'static str {
+        "sa"
+    }
+
+    fn solve(
+        &self,
+        problem: &Problem<'_>,
+        budget: &Budget,
+        observer: &mut dyn SolveObserver,
+    ) -> SolveResult {
+        let _span = ape_probe::span("solve.sa");
+        let start = problem.start();
+        if budget.max_evals == 0 {
+            return SolveResult {
+                best: start,
+                best_cost: f64::INFINITY,
+                evals: 0,
+                satisfied: false,
+                stopped: false,
+                history: Vec::new(),
+            };
+        }
+        let initial_cost = problem.cost(&start);
+        let satisfied = problem.satisfied(initial_cost);
+        if satisfied || budget.max_evals == 1 || problem.dim() == 0 {
+            return SolveResult {
+                best: start,
+                best_cost: initial_cost,
+                evals: 1,
+                satisfied,
+                stopped: false,
+                history: vec![(1, initial_cost)],
+            };
+        }
+        let opts = AnnealOptions {
+            schedule: Schedule::geometric_auto(initial_cost, self.moves_per_temp.max(1)),
+            max_evals: budget.max_evals - 1,
+            seed: budget.seed,
+            target_cost: f64::NEG_INFINITY,
+        };
+        let mut bridge = Bridge {
+            outer: observer,
+            problem,
+            evals: 1,
+            satisfied: false,
+            stopped: false,
+        };
+        let ranges = problem.ranges();
+        let r = anneal_with_observer(
+            start.clone(),
+            |s: &Vec<f64>| problem.cost(s),
+            |s, t, rng| ranges.neighbor(s, t, rng),
+            &opts,
+            &mut bridge,
+        );
+        // Merge the schedule-scaling pre-eval back into the accounting; the
+        // kernel re-evaluated the same start as its own initial state.
+        let (best, best_cost) = if initial_cost <= r.best_cost {
+            (start, initial_cost)
+        } else {
+            (r.best_state, r.best_cost)
+        };
+        let mut history = vec![(1usize, initial_cost)];
+        history.extend(r.history.iter().map(|&(e, c)| (e + 1, c)));
+        SolveResult {
+            best,
+            best_cost,
+            evals: r.evals + 1,
+            satisfied: problem.satisfied(best_cost),
+            stopped: bridge.stopped,
+            history,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VectorRanges;
+
+    #[test]
+    fn sa_minimises_sphere_within_box() {
+        let ranges = VectorRanges::new(vec![(-4.0, 4.0); 3]).unwrap();
+        let cost = |x: &[f64]| x.iter().map(|v| (v - 1.0) * (v - 1.0)).sum::<f64>();
+        let p = Problem::new(&ranges, &cost);
+        let r = SaSolver::default().solve(&p, &Budget::evals(8000).with_seed(5), &mut ());
+        assert!(r.best_cost < 1e-2, "cost {}", r.best_cost);
+        assert!(ranges.contains(&r.best));
+        assert!(r.evals <= 8000);
+    }
+
+    #[test]
+    fn sa_stops_when_satisfied() {
+        let ranges = VectorRanges::new(vec![(-4.0, 4.0); 2]).unwrap();
+        let cost = |x: &[f64]| x.iter().map(|v| v * v).sum::<f64>();
+        let pred = |c: f64| c < 0.5;
+        let p = Problem::new(&ranges, &cost)
+            .with_satisfied(&pred)
+            .with_start(vec![3.0, 3.0]);
+        let r = SaSolver::default().solve(&p, &Budget::evals(50_000).with_seed(2), &mut ());
+        assert!(r.satisfied);
+        assert!(r.evals < 50_000, "ran the whole budget: {}", r.evals);
+    }
+}

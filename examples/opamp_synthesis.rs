@@ -22,7 +22,7 @@ fn describe(label: &str, out: &SynthesisOutcome) {
         out.cost
     );
     match &out.audit {
-        Some(a) => {
+        Ok(a) => {
             println!(
                 "audited: gain = {:.0}, UGF = {:.2} MHz, area = {:.0} um2, PM = {:.0} deg",
                 a.measured.dc_gain.unwrap_or(0.0),
@@ -36,7 +36,7 @@ fn describe(label: &str, out: &SynthesisOutcome) {
                 println!("verdict: violates — {}", a.violations.join("; "));
             }
         }
-        None => println!("verdict: doesn't work (no DC operating point)"),
+        Err(f) => println!("verdict: doesn't work ({})", f.reason),
     }
     println!();
 }

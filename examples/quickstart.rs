@@ -94,7 +94,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         outcome.wall.as_secs_f64(),
         outcome.meets_spec()
     );
-    if let Some(audit) = &outcome.audit {
+    if let Ok(audit) = &outcome.audit {
         println!(
             "audited: gain = {:.0}, UGF = {:.2} MHz, area = {:.0} um2",
             audit.measured.dc_gain.unwrap_or(0.0),

@@ -10,6 +10,8 @@
 //! * [`spice`] — the verifying circuit simulator (`ape-spice`)
 //! * [`awe`] — Asymptotic Waveform Evaluation (`ape-awe`)
 //! * [`anneal`] — the simulated-annealing kernel (`ape-anneal`)
+//! * [`solve`] — the optimizer portfolio behind a common `Solver` trait
+//!   (`ape-solve`)
 //! * [`ape`] — the hierarchical estimator, the paper's contribution
 //!   (`ape-core`)
 //! * [`oblx`] — the ASTRX/OBLX-style synthesis engine (`ape-oblx`)
@@ -52,4 +54,5 @@ pub use ape_netlist as netlist;
 pub use ape_oblx as oblx;
 pub use ape_probe as probe;
 pub use ape_serve as serve;
+pub use ape_solve as solve;
 pub use ape_spice as spice;
