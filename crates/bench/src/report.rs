@@ -76,8 +76,8 @@ pub fn direction_for(path: &str) -> Direction {
         "parallelism",
         "success",
     ];
-    const LOWER: [&str; 8] = [
-        "_ns", "latency", "wall", "alloc", "miss", "repivot", "wait", "failure",
+    const LOWER: [&str; 9] = [
+        "_ns", "latency", "wall", "alloc", "miss", "repivot", "wait", "failure", "rel_err",
     ];
     if HIGHER.iter().any(|m| path.contains(m)) {
         Direction::HigherIsBetter
@@ -212,6 +212,11 @@ mod tests {
             direction_for("circuits.0.ac_sweep_alloc_events"),
             Direction::LowerIsBetter
         );
+        assert_eq!(
+            direction_for("calibrated.max_rel_err"),
+            Direction::LowerIsBetter
+        );
+        assert_eq!(direction_for("corrections"), Direction::Informational);
         assert_eq!(direction_for("moves"), Direction::Informational);
         assert_eq!(
             direction_for("latency_ns.job.count"),

@@ -1,14 +1,13 @@
-//! Minimal JSON for the wire protocol: a value type, a strict
-//! recursive-descent parser, and a renderer whose `f64` output is Rust's
-//! shortest-roundtrip `Display` form.
+//! Minimal JSON: a value type, a strict recursive-descent parser, and a
+//! renderer whose `f64` output is Rust's shortest-roundtrip `Display` form.
 //!
-//! The renderer's float format is what makes the daemon's results
-//! *bit-exact*: `f64::Display` prints the shortest decimal string that
-//! parses back to the identical bits, so a client that parses our numbers
-//! with any correctly-rounded `strtod` recovers exactly the floats the
-//! estimator computed. (The bench crate has its own reader, `minijson`;
-//! this module is independent so `ape-serve` stays a leaf the bench and
-//! check harnesses can depend on.)
+//! The renderer's float format is what makes persisted calibration tables
+//! and the daemon's wire results *bit-exact*: `f64::Display` prints the
+//! shortest decimal string that parses back to the identical bits, so a
+//! reader with any correctly-rounded `strtod` recovers exactly the floats
+//! the estimator computed. This module started life in `ape-serve`; it
+//! lives here so calibration persistence and the wire protocol share one
+//! canonical encoding (`ape-serve` re-exports it as `ape_serve::json`).
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;

@@ -394,3 +394,187 @@ pub fn solver(seed: u64) -> CaseOutcome {
         None
     })
 }
+
+/// Hostile calibration tables through every layer that accepts one:
+/// construction (`Calibration::set`), persistence (`Calibration::parse`),
+/// fitting (`ape_calib::fit`), and application inside the estimation
+/// graph. Bad factors, non-finite response-surface terms, wrong arities
+/// and unknown equation ids must come back as typed errors; a table whose
+/// response surface overflows at apply time must fail the evaluation with
+/// a typed error and leave the thread memo unpoisoned — an uncalibrated
+/// redesign afterwards must still match the original bit for bit.
+pub fn calibration(seed: u64) -> CaseOutcome {
+    use ape_calib::{fit, Calibration, Sample};
+    use ape_core::graph::set_thread_calibration;
+    use std::sync::Arc;
+    run_case("calib::table", seed, || {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let tfp = rng.next_u64();
+        match rng.range_usize(4) {
+            // Hostile construction: set() must accept exactly the valid
+            // combinations and reject the rest with non-empty messages.
+            0 => {
+                let mut table = Calibration::identity(tfp, "fuzz");
+                for _ in 0..8 {
+                    let eq = match rng.range_usize(4) {
+                        0 => "l3.opamp",
+                        1 => "l2.mirror",
+                        2 => "bogus.equation",
+                        _ => "",
+                    };
+                    let metric = match rng.range_usize(4) {
+                        0 => "dc_gain",
+                        1 => "power_w",
+                        2 => "not_a_metric",
+                        _ => "",
+                    };
+                    let factor = match rng.range_usize(4) {
+                        0 => rng.range_f64(0.1, 10.0),
+                        _ => gen::hostile_f64(&mut rng),
+                    };
+                    let terms: Vec<f64> = (0..rng.range_usize(4))
+                        .map(|_| match rng.range_usize(3) {
+                            0 => gen::hostile_f64(&mut rng),
+                            _ => rng.range_f64(-2.0, 2.0),
+                        })
+                        .collect();
+                    let valid_names = !eq.is_empty()
+                        && !eq.starts_with("bogus")
+                        && (metric == "dc_gain" || metric == "power_w");
+                    let valid_factor = factor.is_finite() && factor > 0.0;
+                    let valid_terms = (terms.is_empty() || terms.len() == 2)
+                        && terms.iter().all(|t| t.is_finite());
+                    match table.set(eq, metric, factor, &terms) {
+                        Ok(()) => {
+                            if !(valid_names && valid_factor && valid_terms) {
+                                return Some(format!(
+                                    "set accepted a hostile entry: {eq}/{metric} \
+                                     factor {factor} terms {terms:?}"
+                                ));
+                            }
+                        }
+                        Err(e) => {
+                            if valid_names && valid_factor && valid_terms {
+                                return Some(format!("set rejected a valid entry: {e}"));
+                            }
+                            if let Some(f) = err_message_ok(&e) {
+                                return Some(f);
+                            }
+                        }
+                    }
+                }
+                // Whatever survived must round-trip bit-exactly.
+                let text = table.render();
+                match Calibration::parse(&text) {
+                    Err(e) => Some(format!("round-trip parse failed: {e}")),
+                    Ok(back) if back.fingerprint() != table.fingerprint() => {
+                        Some("round-trip changed the fingerprint".to_string())
+                    }
+                    Ok(_) => None,
+                }
+            }
+            // Hostile persistence: corrupted or garbage documents parse to
+            // typed errors, never panics.
+            1 => {
+                let mut table = Calibration::identity(tfp, "fuzz");
+                let _ = table.set("l3.opamp", "ugf_hz", 1.25, &[0.01, -0.02]);
+                let mut text = table.render();
+                match rng.range_usize(4) {
+                    0 => text = text.replace("factor", "fact\u{0}r"),
+                    1 => {
+                        let cut = rng.range_usize(text.len().max(1));
+                        text.truncate(cut);
+                    }
+                    2 => text = format!("{{\"garbage\": {}}}", rng.next_u64()),
+                    _ => text.push_str("]]}"),
+                }
+                match Calibration::parse(&text) {
+                    Ok(_) => None, // a mutation can still be a valid doc
+                    Err(e) => err_message_ok(&e),
+                }
+            }
+            // Hostile fitting: unknown ids are typed errors; degenerate
+            // samples are skipped; a valid fit is deterministic.
+            2 => {
+                let hostile = rng.range_usize(3) == 0;
+                let samples: Vec<Sample> = (0..rng.range_usize(12))
+                    .map(|_| {
+                        let eq = if hostile && rng.range_usize(3) == 0 {
+                            "l9.unknown"
+                        } else {
+                            "l3.opamp"
+                        };
+                        Sample::new(
+                            eq,
+                            "dc_gain",
+                            gen::hostile_f64(&mut rng),
+                            gen::hostile_f64(&mut rng),
+                        )
+                    })
+                    .collect();
+                let bad = samples.iter().any(|s| s.equation != "l3.opamp");
+                match (fit(tfp, "fuzz", &samples), fit(tfp, "fuzz", &samples)) {
+                    (Err(e), _) => {
+                        if bad {
+                            err_message_ok(&e)
+                        } else {
+                            Some(format!("fit rejected degenerate-only samples: {e}"))
+                        }
+                    }
+                    (Ok(a), Ok(b)) => {
+                        if bad {
+                            return Some("fit accepted an unknown equation id".to_string());
+                        }
+                        if a.fingerprint() != b.fingerprint() {
+                            return Some("fit is not deterministic".to_string());
+                        }
+                        None
+                    }
+                    (Ok(_), Err(e)) => Some(format!("fit nondeterministic: second run: {e}")),
+                }
+            }
+            // Application: an overflowing response surface must produce a
+            // typed error and leave the memo unpoisoned.
+            _ => {
+                let tech = gen::technology(&mut rng);
+                let topo = gen::topology(&mut rng);
+                let spec = gen::opamp_spec(&mut rng);
+                set_thread_calibration(None);
+                reset_thread_graph();
+                let base = format!("{:?}", OpAmp::design(&tech, topo, spec));
+                let mut poison = Calibration::identity(tech.fingerprint(), "poison");
+                // exp(1e4·ln v) overflows for any |ln v| ≳ 0.07.
+                if let Err(e) = poison.set("l3.opamp", "dc_gain", 1.0, &[1e4, 1e4]) {
+                    return Some(format!("valid poison table rejected: {e}"));
+                }
+                set_thread_calibration(Some(Arc::new(poison)));
+                let calibrated = OpAmp::design(&tech, topo, spec);
+                set_thread_calibration(None);
+                if let Err(e) = &calibrated {
+                    if let Some(f) = err_message_ok(e) {
+                        return Some(f);
+                    }
+                }
+                if let Ok(amp) = &calibrated {
+                    for (name, v) in [
+                        ("dc_gain", amp.perf.dc_gain),
+                        ("ugf", amp.perf.ugf_hz),
+                        ("bw", amp.perf.bw_hz),
+                    ] {
+                        if let Some(f) = finite_or(v, name) {
+                            return Some(f);
+                        }
+                    }
+                }
+                let again = format!("{:?}", OpAmp::design(&tech, topo, spec));
+                reset_thread_graph();
+                if again != base {
+                    return Some(format!(
+                        "memo poisoned by failed calibrated run:\n before: {base}\n after:  {again}"
+                    ));
+                }
+                None
+            }
+        }
+    })
+}

@@ -78,19 +78,22 @@ pub fn run_all(base_seed: u64, total: usize) -> CheckReport {
     let mut report = CheckReport::default();
     // Weights: parsing is microseconds, synthesis is milliseconds even at
     // a 4-eval budget. The split keeps a full 10k-case run in CI budget.
-    let n_parse = total * 35 / 100;
+    let n_parse = total * 30 / 100;
     let n_netest = total * 20 / 100;
     let n_spice = total * 15 / 100;
     let n_design = total * 8 / 100;
     let n_incr = total * 8 / 100;
     let n_exec = (total * 4 / 100).max(2);
     let n_solve = (total * 5 / 100).max(2);
+    let n_calib = (total * 5 / 100).max(2);
     let n_oblx = total
-        .saturating_sub(n_parse + n_netest + n_spice + n_design + n_incr + n_exec + n_solve)
+        .saturating_sub(
+            n_parse + n_netest + n_spice + n_design + n_incr + n_exec + n_solve + n_calib,
+        )
         .max(1);
 
     type Driver = fn(u64) -> drive::CaseOutcome;
-    let sections: [(&'static str, usize, Driver); 8] = [
+    let sections: [(&'static str, usize, Driver); 9] = [
         ("parse_spice", n_parse, drive::parse),
         ("estimate_netlist", n_netest, drive::netest),
         ("spice", n_spice, drive::spice),
@@ -98,6 +101,7 @@ pub fn run_all(base_seed: u64, total: usize) -> CheckReport {
         ("OpAmp::redesign", n_incr, drive::incremental),
         ("exec::design_many", n_exec, drive::exec_order),
         ("solve::Solver", n_solve, drive::solver),
+        ("calib::table", n_calib, drive::calibration),
         ("oblx::synthesize", n_oblx, drive::oblx),
     ];
     for (name, count, driver) in sections {

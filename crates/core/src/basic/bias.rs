@@ -34,6 +34,18 @@ impl Component for DcVoltNode {
         &["l1.id_vov"]
     }
 
+    fn calibrate(&self, out: &mut DcVolt, cal: &ape_calib::Calibration) -> Result<(), ApeError> {
+        crate::calibrate::apply_performance(
+            cal,
+            "l2.bias",
+            &[
+                crate::calibrate::ln_or_zero(self.vout),
+                crate::calibrate::ln_or_zero(self.ibias),
+            ],
+            &mut out.perf,
+        )
+    }
+
     fn compute(&self, graph: &EstimationGraph) -> Result<DcVolt, ApeError> {
         DcVolt::design_uncached(graph.technology(), self.vout, self.ibias)
     }

@@ -73,6 +73,18 @@ impl Component for DiffPairNode {
         &["l1.gm_id", "l1.id_vov"]
     }
 
+    fn calibrate(&self, out: &mut DiffPair, cal: &ape_calib::Calibration) -> Result<(), ApeError> {
+        crate::calibrate::apply_performance(
+            cal,
+            "l2.diffpair",
+            &[
+                crate::calibrate::ln_or_zero(self.adm),
+                crate::calibrate::ln_or_zero(self.itail),
+            ],
+            &mut out.perf,
+        )
+    }
+
     fn compute(&self, graph: &EstimationGraph) -> Result<DiffPair, ApeError> {
         DiffPair::design_uncached(
             graph.technology(),

@@ -35,6 +35,18 @@ impl Component for FollowerNode {
         &["l1.id_vov"]
     }
 
+    fn calibrate(&self, out: &mut Follower, cal: &ape_calib::Calibration) -> Result<(), ApeError> {
+        crate::calibrate::apply_performance(
+            cal,
+            "l2.follower",
+            &[
+                crate::calibrate::ln_or_zero(self.ibias),
+                crate::calibrate::ln_or_zero(self.cl),
+            ],
+            &mut out.perf,
+        )
+    }
+
     fn compute(&self, graph: &EstimationGraph) -> Result<Follower, ApeError> {
         Follower::design_uncached(graph.technology(), self.ibias, self.cl)
     }

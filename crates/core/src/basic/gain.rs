@@ -69,6 +69,18 @@ impl Component for GainNode {
         &["l1.gm_id", "l1.id_vov"]
     }
 
+    fn calibrate(&self, out: &mut GainStage, cal: &ape_calib::Calibration) -> Result<(), ApeError> {
+        crate::calibrate::apply_performance(
+            cal,
+            "l2.gain",
+            &[
+                crate::calibrate::ln_or_zero(self.gain.abs()),
+                crate::calibrate::ln_or_zero(self.ibias),
+            ],
+            &mut out.perf,
+        )
+    }
+
     fn compute(&self, graph: &EstimationGraph) -> Result<GainStage, ApeError> {
         GainStage::design_uncached(
             graph.technology(),

@@ -61,6 +61,22 @@ impl Component for MirrorNode {
         &["l1.id_vov"]
     }
 
+    fn calibrate(
+        &self,
+        out: &mut CurrentMirror,
+        cal: &ape_calib::Calibration,
+    ) -> Result<(), ApeError> {
+        crate::calibrate::apply_performance(
+            cal,
+            "l2.mirror",
+            &[
+                crate::calibrate::ln_or_zero(self.iref),
+                crate::calibrate::ln_or_zero(self.ratio),
+            ],
+            &mut out.perf,
+        )
+    }
+
     fn compute(&self, graph: &EstimationGraph) -> Result<CurrentMirror, ApeError> {
         CurrentMirror::design_uncached(graph.technology(), self.topology, self.iref, self.ratio)
     }

@@ -1,0 +1,171 @@
+//! Application of calibration corrections to composed performance.
+//!
+//! [`Component::calibrate`](crate::graph::Component::calibrate)
+//! implementations funnel through [`apply_performance`]: look up this
+//! equation's correction for each populated [`Performance`] metric and
+//! multiply it in. Absent corrections are *skipped entirely* — no
+//! multiply-by-one — so an identity table is bit-identical to
+//! uncalibrated estimation, which `graph_equivalence.rs` gates.
+//!
+//! Corrections are magnitude corrections: a factor scales the value
+//! while the sign the composition equations chose (e.g. inverting gain)
+//! is preserved, because fitted factors are validated positive.
+
+use crate::attrs::Performance;
+use crate::error::ApeError;
+use ape_calib::Calibration;
+
+/// `ln x` for positive finite `x`, else `0.0` — response-surface
+/// variables must stay finite for arbitrary (even hostile) specs, and a
+/// zero variable simply contributes nothing to the surface.
+#[must_use]
+pub fn ln_or_zero(x: f64) -> f64 {
+    if x.is_finite() && x > 0.0 {
+        x.ln()
+    } else {
+        0.0
+    }
+}
+
+/// Multiplies `value` by the correction for `(equation, metric)` at
+/// `vars`, if the table holds one.
+///
+/// # Errors
+///
+/// [`ApeError::NonFinite`] when the corrected value (or the applied
+/// factor itself, e.g. from an arity-mismatched response surface) is not
+/// finite.
+pub fn scale_value(
+    cal: &Calibration,
+    equation: &'static str,
+    metric: &'static str,
+    vars: &[f64],
+    value: f64,
+) -> Result<f64, ApeError> {
+    match cal.factor(equation, metric, vars) {
+        None => Ok(value),
+        Some(f) => {
+            let scaled = value * f;
+            if scaled.is_finite() {
+                Ok(scaled)
+            } else {
+                Err(ApeError::NonFinite {
+                    stage: equation,
+                    what: metric,
+                })
+            }
+        }
+    }
+}
+
+/// Applies every correction the table holds for `equation` to the
+/// populated fields of `perf`. Fields that are `None` stay `None` —
+/// a correction cannot invent a metric the equation did not compose.
+///
+/// # Errors
+///
+/// [`ApeError::NonFinite`] when any corrected field is not finite.
+pub fn apply_performance(
+    cal: &Calibration,
+    equation: &'static str,
+    vars: &[f64],
+    perf: &mut Performance,
+) -> Result<(), ApeError> {
+    let scale_opt = |field: &mut Option<f64>, metric: &'static str| -> Result<(), ApeError> {
+        if let Some(v) = *field {
+            *field = Some(scale_value(cal, equation, metric, vars, v)?);
+        }
+        Ok(())
+    };
+    scale_opt(&mut perf.dc_gain, "dc_gain")?;
+    scale_opt(&mut perf.ugf_hz, "ugf_hz")?;
+    scale_opt(&mut perf.bw_hz, "bw_hz")?;
+    scale_opt(&mut perf.zout_ohm, "zout_ohm")?;
+    scale_opt(&mut perf.cmrr_db, "cmrr_db")?;
+    scale_opt(&mut perf.slew_v_per_s, "slew_v_per_s")?;
+    scale_opt(&mut perf.ibias_a, "ibias_a")?;
+    scale_opt(&mut perf.vout_v, "vout_v")?;
+    scale_opt(&mut perf.delay_s, "delay_s")?;
+    perf.power_w = scale_value(cal, equation, "power_w", vars, perf.power_w)?;
+    perf.gate_area_m2 = scale_value(cal, equation, "gate_area_m2", vars, perf.gate_area_m2)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_table_changes_nothing_bitwise() {
+        let cal = Calibration::identity(1, "id");
+        let mut p = Performance {
+            dc_gain: Some(-19.0),
+            ugf_hz: Some(1.0 / 3.0),
+            power_w: 0.1 + 0.2, // not exactly 0.3
+            gate_area_m2: 5e-11,
+            ..Performance::default()
+        };
+        let before = p;
+        apply_performance(&cal, "l2.gain", &[], &mut p).unwrap();
+        assert_eq!(
+            p.dc_gain.unwrap().to_bits(),
+            before.dc_gain.unwrap().to_bits()
+        );
+        assert_eq!(
+            p.ugf_hz.unwrap().to_bits(),
+            before.ugf_hz.unwrap().to_bits()
+        );
+        assert_eq!(p.power_w.to_bits(), before.power_w.to_bits());
+    }
+
+    #[test]
+    fn factors_scale_only_their_metric_and_keep_sign() {
+        let mut cal = Calibration::identity(1, "t");
+        cal.set("l2.gain", "dc_gain", 1.25, &[]).unwrap();
+        let mut p = Performance {
+            dc_gain: Some(-8.0),
+            ugf_hz: Some(2e6),
+            power_w: 1e-3,
+            ..Performance::default()
+        };
+        apply_performance(&cal, "l2.gain", &[], &mut p).unwrap();
+        assert_eq!(p.dc_gain, Some(-10.0), "sign preserved, magnitude scaled");
+        assert_eq!(p.ugf_hz, Some(2e6), "uncorrected metrics untouched");
+        // A different equation's entries never apply.
+        let mut q = Performance {
+            dc_gain: Some(-8.0),
+            ..Performance::default()
+        };
+        apply_performance(&cal, "l2.diffpair", &[], &mut q).unwrap();
+        assert_eq!(q.dc_gain, Some(-8.0));
+    }
+
+    #[test]
+    fn arity_mismatch_surfaces_as_typed_non_finite() {
+        let mut cal = Calibration::identity(1, "t");
+        cal.set("l2.gain", "dc_gain", 1.1, &[0.1, 0.2]).unwrap();
+        let mut p = Performance {
+            dc_gain: Some(1.0),
+            ..Performance::default()
+        };
+        // Node passes one var where the surface wants two: typed error.
+        let err = apply_performance(&cal, "l2.gain", &[1.0], &mut p).unwrap_err();
+        assert!(matches!(
+            err,
+            ApeError::NonFinite {
+                stage: "l2.gain",
+                what: "dc_gain"
+            }
+        ));
+    }
+
+    #[test]
+    fn ln_or_zero_is_total() {
+        assert_eq!(ln_or_zero(1.0), 0.0);
+        assert!((ln_or_zero(std::f64::consts::E) - 1.0).abs() < 1e-15);
+        assert_eq!(ln_or_zero(0.0), 0.0);
+        assert_eq!(ln_or_zero(-3.0), 0.0);
+        assert_eq!(ln_or_zero(f64::NAN), 0.0);
+        assert_eq!(ln_or_zero(f64::INFINITY), 0.0);
+    }
+}

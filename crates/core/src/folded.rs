@@ -61,6 +61,22 @@ impl Component for FoldedNode {
         &["l1.gm_id", "l1.id_vov"]
     }
 
+    fn calibrate(
+        &self,
+        out: &mut FoldedCascodeOta,
+        cal: &ape_calib::Calibration,
+    ) -> Result<(), ApeError> {
+        crate::calibrate::apply_performance(
+            cal,
+            "l3.folded",
+            &[
+                crate::calibrate::ln_or_zero(self.spec.gain),
+                crate::calibrate::ln_or_zero(self.spec.ugf_hz),
+            ],
+            &mut out.perf,
+        )
+    }
+
     fn compute(&self, graph: &EstimationGraph) -> Result<FoldedCascodeOta, ApeError> {
         FoldedCascodeOta::design_uncached(graph.technology(), self.spec)
     }

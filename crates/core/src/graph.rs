@@ -44,6 +44,7 @@
 //! `ape.graph.<kind>.shared_hit` to see cross-thread reuse.
 
 use crate::error::ApeError;
+use ape_calib::Calibration;
 use ape_mos::fingerprint::Fingerprint;
 use ape_mos::sizing::{size_for_gm_id_at, size_for_id_vov_at, SizedMos};
 use ape_netlist::{MosModelCard, Technology};
@@ -101,6 +102,27 @@ pub trait Component {
     /// memoized — a failing node is recomputed on every request, matching
     /// the old sizing-cache contract.
     fn compute(&self, graph: &EstimationGraph) -> Result<Self::Output, ApeError>;
+
+    /// Applies this node's calibration corrections to a freshly computed
+    /// output. Runs between [`compute`](Self::compute) and memoization, so
+    /// what the memo holds *is* the calibrated value — sound because the
+    /// calibration table's fingerprint folds into every memo key (local
+    /// and shared), and an identity table applies no multiplications at
+    /// all, keeping bit-identity with uncalibrated evaluation.
+    ///
+    /// The default is a no-op: L1 sizing nodes share their device models
+    /// with the simulator bit-for-bit, so only composition nodes override
+    /// this.
+    ///
+    /// # Errors
+    ///
+    /// A correction producing a non-finite value must surface as a typed
+    /// error ([`ApeError::NonFinite`]); calibrate errors abort evaluation
+    /// *before* any memo insert, so a hostile table cannot poison the
+    /// memo.
+    fn calibrate(&self, _out: &mut Self::Output, _cal: &Calibration) -> Result<(), ApeError> {
+        Ok(())
+    }
 }
 
 /// Per-kind traffic counters.
@@ -179,12 +201,25 @@ struct KindMemo {
 }
 
 impl KindMemo {
-    fn new(kind: &'static str, children: &'static [&'static str], tech_fp: u64) -> Self {
+    fn new(
+        kind: &'static str,
+        children: &'static [&'static str],
+        tech_fp: u64,
+        calib_fp: u64,
+    ) -> Self {
         KindMemo {
             entries: HashMap::new(),
             stats: NodeStats::default(),
             children,
-            shared_tag: Fingerprint::new().u64(tech_fp).str(kind).finish(),
+            // The calibration fingerprint folds into the tag, so entries
+            // published under one table can never answer a lookup under
+            // another (re-registering a table invalidates by key, not by
+            // flushing).
+            shared_tag: Fingerprint::new()
+                .u64(tech_fp)
+                .u64(calib_fp)
+                .str(kind)
+                .finish(),
             hit_ctr: interned_counter(kind, "hit"),
             shared_hit_ctr: interned_counter(kind, "shared_hit"),
             miss_ctr: interned_counter(kind, "miss"),
@@ -394,12 +429,17 @@ pub struct EstimationGraph {
     kinds: RefCell<BTreeMap<&'static str, KindMemo>>,
     kind_capacity: usize,
     shared: Option<Arc<SharedMemo>>,
+    /// Correction table applied by [`Component::calibrate`]; `None` (and
+    /// `calib_fp == 0`) for uncalibrated estimation.
+    calib: Option<Arc<Calibration>>,
+    calib_fp: u64,
 }
 
 impl std::fmt::Debug for EstimationGraph {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EstimationGraph")
             .field("tech_fp", &self.tech_fp)
+            .field("calib_fp", &self.calib_fp)
             .field("kinds", &self.kinds.borrow().len())
             .field("nodes", &self.len())
             .finish()
@@ -426,6 +466,8 @@ impl EstimationGraph {
             kinds: RefCell::new(BTreeMap::new()),
             kind_capacity: kind_capacity.max(1),
             shared: None,
+            calib: None,
+            calib_fp: 0,
         }
     }
 
@@ -437,9 +479,43 @@ impl EstimationGraph {
         g
     }
 
+    /// Creates an empty graph that applies `calib` inside every node (see
+    /// [`Component::calibrate`]). The table's content fingerprint folds
+    /// into all memo keys.
+    pub fn with_calibration(tech: &Technology, calib: Arc<Calibration>) -> Self {
+        let mut g = Self::new(tech);
+        g.calib_fp = calib.fingerprint();
+        g.calib = Some(calib);
+        g
+    }
+
+    /// Attaches both a shared store and a calibration table.
+    pub fn with_shared_and_calibration(
+        tech: &Technology,
+        memo: Arc<SharedMemo>,
+        calib: Option<Arc<Calibration>>,
+    ) -> Self {
+        let mut g = Self::new(tech);
+        g.shared = Some(memo);
+        g.calib_fp = calib.as_ref().map_or(0, |c| c.fingerprint());
+        g.calib = calib;
+        g
+    }
+
     /// The attached cross-thread store, if any.
     pub fn shared_memo(&self) -> Option<&Arc<SharedMemo>> {
         self.shared.as_ref()
+    }
+
+    /// The applied calibration table, if any.
+    pub fn calibration(&self) -> Option<&Arc<Calibration>> {
+        self.calib.as_ref()
+    }
+
+    /// Content fingerprint of the applied calibration table (0 when
+    /// uncalibrated). Part of every memo key.
+    pub fn calibration_fingerprint(&self) -> u64 {
+        self.calib_fp
     }
 
     /// The bound technology.
@@ -484,9 +560,9 @@ impl EstimationGraph {
         let fp = component.fingerprint();
         let shared_tag = {
             let mut kinds = self.kinds.borrow_mut();
-            let memo = kinds
-                .entry(kind)
-                .or_insert_with(|| KindMemo::new(kind, component.children(), self.tech_fp));
+            let memo = kinds.entry(kind).or_insert_with(|| {
+                KindMemo::new(kind, component.children(), self.tech_fp, self.calib_fp)
+            });
             if let Some(found) = memo.entries.get(&fp) {
                 if let Some(out) = found.downcast_ref::<C::Output>() {
                     memo.stats.hits += 1;
@@ -515,9 +591,9 @@ impl EstimationGraph {
         }
         {
             let mut kinds = self.kinds.borrow_mut();
-            let memo = kinds
-                .entry(kind)
-                .or_insert_with(|| KindMemo::new(kind, component.children(), self.tech_fp));
+            let memo = kinds.entry(kind).or_insert_with(|| {
+                KindMemo::new(kind, component.children(), self.tech_fp, self.calib_fp)
+            });
             memo.stats.misses += 1;
             ape_probe::counter("ape.graph.miss", 1);
             ape_probe::counter(memo.miss_ctr, 1);
@@ -529,15 +605,22 @@ impl EstimationGraph {
         }
         // The memo lock is released: compute may recurse into evaluate()
         // for child nodes of this same graph.
-        let out = component.compute(self)?;
+        let mut out = component.compute(self)?;
+        // Corrections apply before memoization so memos hold calibrated
+        // values — keys include the table fingerprint, so calibrated and
+        // uncalibrated entries can never alias. A calibrate error aborts
+        // here, before any insert: hostile tables cannot poison the memo.
+        if let Some(cal) = &self.calib {
+            component.calibrate(&mut out, cal)?;
+        }
         if let Some(store) = &self.shared {
             store.insert(shared_tag, fp, Arc::new(out.clone()));
             ape_probe::counter("ape.graph.shared.insert", 1);
         }
         let mut kinds = self.kinds.borrow_mut();
-        let memo = kinds
-            .entry(kind)
-            .or_insert_with(|| KindMemo::new(kind, component.children(), self.tech_fp));
+        let memo = kinds.entry(kind).or_insert_with(|| {
+            KindMemo::new(kind, component.children(), self.tech_fp, self.calib_fp)
+        });
         Self::insert_local(memo, self.kind_capacity, fp, Rc::new(out.clone()));
         Ok(out)
     }
@@ -643,37 +726,48 @@ impl EstimationGraph {
 }
 
 thread_local! {
-    /// One shared graph slot per thread, tagged with the fingerprint of
-    /// the technology it was built for. Estimator entry points route
-    /// through it so repeated (sub)designs reuse memoized nodes, as the
-    /// paper's §4.1 object store does — generalised to every level.
-    static CURRENT: RefCell<Option<(u64, Rc<EstimationGraph>)>> = const { RefCell::new(None) };
+    /// One shared graph slot per thread, tagged with the fingerprints of
+    /// the technology *and calibration table* it was built for. Estimator
+    /// entry points route through it so repeated (sub)designs reuse
+    /// memoized nodes, as the paper's §4.1 object store does —
+    /// generalised to every level.
+    static CURRENT: RefCell<Option<(u64, u64, Rc<EstimationGraph>)>> = const { RefCell::new(None) };
     /// Cross-thread store this thread's graphs attach to at creation;
     /// installed by pool workers via [`set_thread_shared_memo`].
     static SHARED_OVERRIDE: RefCell<Option<Arc<SharedMemo>>> = const { RefCell::new(None) };
+    /// Calibration table this thread's graphs apply; installed via
+    /// [`set_thread_calibration`] (pool workers assert it per job).
+    static CALIB_OVERRIDE: RefCell<Option<Arc<Calibration>>> = const { RefCell::new(None) };
 }
 
 /// Runs `f` against this thread's shared graph for `tech`, creating it on
-/// first use and replacing it when the technology fingerprint changes.
-/// A [`SharedMemo`] installed via [`set_thread_shared_memo`] is attached
-/// to every graph created here.
+/// first use and replacing it when the technology fingerprint — or the
+/// installed calibration table's fingerprint — changes. A [`SharedMemo`]
+/// installed via [`set_thread_shared_memo`] and a [`Calibration`]
+/// installed via [`set_thread_calibration`] are attached to every graph
+/// created here.
 ///
 /// The slot's borrow is released before `f` runs, so nested
 /// `with_thread_graph` calls (an op-amp node designing a diff pair which
 /// sizes transistors) all see the same graph instance.
 pub fn with_thread_graph<R>(tech: &Technology, f: impl FnOnce(&EstimationGraph) -> R) -> R {
     let fp = tech.fingerprint();
+    let cal_fp = CALIB_OVERRIDE.with(|c| c.borrow().as_ref().map_or(0, |cal| cal.fingerprint()));
     let graph = CURRENT.with(|slot| {
         let mut slot = slot.borrow_mut();
         match &*slot {
-            Some((have, graph)) if *have == fp => Rc::clone(graph),
+            Some((have, have_cal, graph)) if *have == fp && *have_cal == cal_fp => Rc::clone(graph),
             _ => {
                 let shared = SHARED_OVERRIDE.with(|s| s.borrow().clone());
-                let graph = Rc::new(match shared {
-                    Some(memo) => EstimationGraph::with_shared(tech, memo),
-                    None => EstimationGraph::new(tech),
+                let calib = CALIB_OVERRIDE.with(|c| c.borrow().clone());
+                let graph = Rc::new(match (shared, calib) {
+                    (Some(memo), calib) => {
+                        EstimationGraph::with_shared_and_calibration(tech, memo, calib)
+                    }
+                    (None, Some(cal)) => EstimationGraph::with_calibration(tech, cal),
+                    (None, None) => EstimationGraph::new(tech),
                 });
-                *slot = Some((fp, Rc::clone(&graph)));
+                *slot = Some((fp, cal_fp, Rc::clone(&graph)));
                 graph
             }
         }
@@ -718,6 +812,35 @@ pub fn ensure_thread_shared_memo(memo: Option<Arc<SharedMemo>>) {
     }
 }
 
+/// Installs (or removes) the [`Calibration`] this thread's graphs apply.
+/// The current thread graph keeps running until the next
+/// [`with_thread_graph`] call notices the fingerprint change and rebuilds
+/// — entries under the old table stay keyed to it and can never answer a
+/// calibrated lookup (or vice versa).
+pub fn set_thread_calibration(calib: Option<Arc<Calibration>>) {
+    CALIB_OVERRIDE.with(|c| *c.borrow_mut() = calib);
+}
+
+/// The [`Calibration`] this thread's graphs apply, if any.
+pub fn thread_calibration() -> Option<Arc<Calibration>> {
+    CALIB_OVERRIDE.with(|c| c.borrow().clone())
+}
+
+/// Installs `calib` like [`set_thread_calibration`] — but only when its
+/// *content fingerprint* differs from what is already installed. Compared
+/// by fingerprint (not `Arc` identity) so a table reloaded from disk that
+/// fits bit-identically keeps this thread's warm graph.
+pub fn ensure_thread_calibration(calib: Option<Arc<Calibration>>) {
+    let same = CALIB_OVERRIDE.with(|c| match (&*c.borrow(), &calib) {
+        (Some(a), Some(b)) => a.fingerprint() == b.fingerprint(),
+        (None, None) => true,
+        _ => false,
+    });
+    if !same {
+        set_thread_calibration(calib);
+    }
+}
+
 /// Evaluates independent components as executor tasks, returning results
 /// in input order.
 ///
@@ -750,18 +873,21 @@ where
     ape_probe::counter("ape.graph.evaluate_many", 1);
     ape_probe::counter("ape.graph.evaluate_many_tasks", components.len() as u64);
     let memo = thread_shared_memo();
+    let calib = thread_calibration();
     let token = crate::cancel::current();
     let mut results: Vec<Option<Result<C::Output, ApeError>>> = Vec::new();
     results.resize_with(components.len(), || None);
     exec.scope(|s| {
         for (c, slot) in components.iter().zip(results.iter_mut()) {
             let memo = memo.clone();
+            let calib = calib.clone();
             let token = token.clone();
             s.spawn(move || {
                 // Carry the submitter's cancellation across the executor
                 // boundary; the guard restores the worker's own token.
                 let _cancel_guard = token.map(crate::cancel::set_current);
                 ensure_thread_shared_memo(memo);
+                ensure_thread_calibration(calib);
                 *slot = Some(with_thread_graph(tech, |g| g.evaluate(c)));
             });
         }
@@ -780,7 +906,7 @@ pub fn thread_graph_stats() -> Vec<KindStats> {
     CURRENT.with(|slot| {
         slot.borrow()
             .as_ref()
-            .map(|(_, g)| g.stats())
+            .map(|(_, _, g)| g.stats())
             .unwrap_or_default()
     })
 }
@@ -791,21 +917,21 @@ pub fn thread_graph_totals() -> NodeStats {
     CURRENT.with(|slot| {
         slot.borrow()
             .as_ref()
-            .map(|(_, g)| g.totals())
+            .map(|(_, _, g)| g.totals())
             .unwrap_or_default()
     })
 }
 
 /// Total memoized results in this thread's shared graph.
 pub fn thread_graph_len() -> usize {
-    CURRENT.with(|slot| slot.borrow().as_ref().map(|(_, g)| g.len()).unwrap_or(0))
+    CURRENT.with(|slot| slot.borrow().as_ref().map(|(_, _, g)| g.len()).unwrap_or(0))
 }
 
 /// [`EstimationGraph::report`] for this thread's shared graph. Replaces
 /// the old `shared_cache_report()`.
 pub fn graph_report() -> String {
     CURRENT.with(|slot| match &*slot.borrow() {
-        Some((_, g)) => g.report(),
+        Some((_, _, g)) => g.report(),
         None => "estimation graph: unused".into(),
     })
 }

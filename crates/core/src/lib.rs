@@ -51,6 +51,7 @@
 mod attrs;
 pub mod basic;
 pub mod cache;
+pub mod calibrate;
 pub mod cancel;
 mod error;
 pub mod folded;

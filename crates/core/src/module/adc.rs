@@ -41,6 +41,22 @@ impl Component for ComparatorNode {
         &["l3.opamp"]
     }
 
+    fn calibrate(
+        &self,
+        out: &mut Comparator,
+        cal: &ape_calib::Calibration,
+    ) -> Result<(), ApeError> {
+        crate::calibrate::apply_performance(
+            cal,
+            "l4.comparator",
+            &[
+                crate::calibrate::ln_or_zero(self.overdrive),
+                crate::calibrate::ln_or_zero(self.t_delay),
+            ],
+            &mut out.perf,
+        )
+    }
+
     fn compute(&self, graph: &EstimationGraph) -> Result<Comparator, ApeError> {
         Comparator::design_uncached(graph.technology(), self.overdrive, self.t_delay)
     }
@@ -69,6 +85,18 @@ impl Component for FlashAdcNode {
 
     fn children(&self) -> &'static [&'static str] {
         &["l4.comparator"]
+    }
+
+    fn calibrate(&self, out: &mut FlashAdc, cal: &ape_calib::Calibration) -> Result<(), ApeError> {
+        crate::calibrate::apply_performance(
+            cal,
+            "l4.adc",
+            &[
+                f64::from(self.bits),
+                crate::calibrate::ln_or_zero(self.t_delay),
+            ],
+            &mut out.perf,
+        )
     }
 
     fn compute(&self, graph: &EstimationGraph) -> Result<FlashAdc, ApeError> {

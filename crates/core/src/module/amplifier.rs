@@ -36,6 +36,22 @@ impl Component for InvertingAmpNode {
         &["l3.opamp"]
     }
 
+    fn calibrate(
+        &self,
+        out: &mut InvertingAmplifier,
+        cal: &ape_calib::Calibration,
+    ) -> Result<(), ApeError> {
+        crate::calibrate::apply_performance(
+            cal,
+            "l4.inverting_amp",
+            &[
+                crate::calibrate::ln_or_zero(self.gain.abs()),
+                crate::calibrate::ln_or_zero(self.bw),
+            ],
+            &mut out.perf,
+        )
+    }
+
     fn compute(&self, graph: &EstimationGraph) -> Result<InvertingAmplifier, ApeError> {
         InvertingAmplifier::design_uncached(graph.technology(), self.gain, self.bw, self.cl)
     }
@@ -68,6 +84,22 @@ impl Component for NonInvertingAmpNode {
         &["l3.opamp"]
     }
 
+    fn calibrate(
+        &self,
+        out: &mut NonInvertingAmplifier,
+        cal: &ape_calib::Calibration,
+    ) -> Result<(), ApeError> {
+        crate::calibrate::apply_performance(
+            cal,
+            "l4.noninverting_amp",
+            &[
+                crate::calibrate::ln_or_zero(self.gain),
+                crate::calibrate::ln_or_zero(self.bw),
+            ],
+            &mut out.perf,
+        )
+    }
+
     fn compute(&self, graph: &EstimationGraph) -> Result<NonInvertingAmplifier, ApeError> {
         NonInvertingAmplifier::design_uncached(graph.technology(), self.gain, self.bw, self.cl)
     }
@@ -98,6 +130,22 @@ impl Component for AudioAmpNode {
 
     fn children(&self) -> &'static [&'static str] {
         &["l3.opamp"]
+    }
+
+    fn calibrate(
+        &self,
+        out: &mut AudioAmplifier,
+        cal: &ape_calib::Calibration,
+    ) -> Result<(), ApeError> {
+        crate::calibrate::apply_performance(
+            cal,
+            "l4.audio_amp",
+            &[
+                crate::calibrate::ln_or_zero(self.gain),
+                crate::calibrate::ln_or_zero(self.bw),
+            ],
+            &mut out.perf,
+        )
     }
 
     fn compute(&self, graph: &EstimationGraph) -> Result<AudioAmplifier, ApeError> {

@@ -34,6 +34,15 @@ impl Component for R2rDacNode {
         &["l3.opamp"]
     }
 
+    fn calibrate(&self, out: &mut R2rDac, cal: &ape_calib::Calibration) -> Result<(), ApeError> {
+        crate::calibrate::apply_performance(
+            cal,
+            "l4.dac",
+            &[f64::from(self.bits), crate::calibrate::ln_or_zero(self.bw)],
+            &mut out.perf,
+        )
+    }
+
     fn compute(&self, graph: &EstimationGraph) -> Result<R2rDac, ApeError> {
         R2rDac::design_uncached(graph.technology(), self.bits, self.bw)
     }

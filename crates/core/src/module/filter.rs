@@ -49,6 +49,19 @@ impl Component for LowPassNode {
         &["l3.opamp"]
     }
 
+    fn calibrate(
+        &self,
+        out: &mut SallenKeyLowPass,
+        cal: &ape_calib::Calibration,
+    ) -> Result<(), ApeError> {
+        crate::calibrate::apply_performance(
+            cal,
+            "l4.filter_lp",
+            &[crate::calibrate::ln_or_zero(self.fc), self.order as f64],
+            &mut out.perf,
+        )
+    }
+
     fn compute(&self, graph: &EstimationGraph) -> Result<SallenKeyLowPass, ApeError> {
         SallenKeyLowPass::design_uncached(graph.technology(), self.fc, self.order, self.cl)
     }
@@ -79,6 +92,18 @@ impl Component for BandPassNode {
 
     fn children(&self) -> &'static [&'static str] {
         &["l3.opamp"]
+    }
+
+    fn calibrate(
+        &self,
+        out: &mut SallenKeyBandPass,
+        cal: &ape_calib::Calibration,
+    ) -> Result<(), ApeError> {
+        let vars = [crate::calibrate::ln_or_zero(self.f0), self.q];
+        // The centre frequency is reported as a struct field, not a
+        // `Performance` metric, so its correction is applied directly.
+        out.f0 = crate::calibrate::scale_value(cal, "l4.filter_bp", "f0_hz", &vars, out.f0)?;
+        crate::calibrate::apply_performance(cal, "l4.filter_bp", &vars, &mut out.perf)
     }
 
     fn compute(&self, graph: &EstimationGraph) -> Result<SallenKeyBandPass, ApeError> {

@@ -31,6 +31,22 @@ impl Component for IntegratorNode {
         &["l3.opamp"]
     }
 
+    fn calibrate(
+        &self,
+        out: &mut Integrator,
+        cal: &ape_calib::Calibration,
+    ) -> Result<(), ApeError> {
+        crate::calibrate::apply_performance(
+            cal,
+            "l4.integrator",
+            &[
+                crate::calibrate::ln_or_zero(self.unity_hz),
+                crate::calibrate::ln_or_zero(self.cl),
+            ],
+            &mut out.perf,
+        )
+    }
+
     fn compute(&self, graph: &EstimationGraph) -> Result<Integrator, ApeError> {
         Integrator::design_uncached(graph.technology(), self.unity_hz, self.cl)
     }
@@ -61,6 +77,23 @@ impl Component for SummingNode {
 
     fn children(&self) -> &'static [&'static str] {
         &["l3.opamp"]
+    }
+
+    fn calibrate(
+        &self,
+        out: &mut SummingAmplifier,
+        cal: &ape_calib::Calibration,
+    ) -> Result<(), ApeError> {
+        let gain_total: f64 = self.gains.iter().map(|g| g.abs()).sum();
+        crate::calibrate::apply_performance(
+            cal,
+            "l4.summing_amp",
+            &[
+                crate::calibrate::ln_or_zero(gain_total),
+                crate::calibrate::ln_or_zero(self.bw),
+            ],
+            &mut out.perf,
+        )
     }
 
     fn compute(&self, graph: &EstimationGraph) -> Result<SummingAmplifier, ApeError> {

@@ -39,6 +39,22 @@ impl Component for SampleHoldNode {
         &["l3.opamp"]
     }
 
+    fn calibrate(
+        &self,
+        out: &mut SampleHold,
+        cal: &ape_calib::Calibration,
+    ) -> Result<(), ApeError> {
+        crate::calibrate::apply_performance(
+            cal,
+            "l4.sample_hold",
+            &[
+                crate::calibrate::ln_or_zero(self.gain),
+                crate::calibrate::ln_or_zero(self.bw),
+            ],
+            &mut out.perf,
+        )
+    }
+
     fn compute(&self, graph: &EstimationGraph) -> Result<SampleHold, ApeError> {
         SampleHold::design_uncached(graph.technology(), self.gain, self.bw, self.cl)
     }

@@ -151,6 +151,21 @@ impl Component for OpAmpNode {
         &["l3.opamp.attempt"]
     }
 
+    // Corrections apply at the walk winner, not per attempt: the
+    // overdrive selection below compares *uncalibrated* attempt areas, so
+    // an `l3.opamp` table cannot flip which candidate wins.
+    fn calibrate(&self, out: &mut OpAmp, cal: &ape_calib::Calibration) -> Result<(), ApeError> {
+        crate::calibrate::apply_performance(
+            cal,
+            "l3.opamp",
+            &[
+                crate::calibrate::ln_or_zero(self.spec.gain),
+                crate::calibrate::ln_or_zero(self.spec.ugf_hz),
+            ],
+            &mut out.perf,
+        )
+    }
+
     fn compute(&self, graph: &EstimationGraph) -> Result<OpAmp, ApeError> {
         // Area-aware refinement: a lower signal overdrive shrinks the
         // channel-length stretching that manufacturable widths force on

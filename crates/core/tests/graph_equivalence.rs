@@ -461,3 +461,156 @@ fn netlist_incremental_short_circuits_and_stays_exact() {
         "distinct circuits must have distinct input fingerprints"
     );
 }
+
+/// An identity calibration table (registered but empty) must be provably
+/// bit-identical to running with no table at all: corrections are keyed
+/// into every memo entry, but an empty table corrects nothing.
+#[test]
+fn identity_calibration_is_bit_identical_to_uncalibrated() {
+    use ape_calib::Calibration;
+    use ape_core::graph::set_thread_calibration;
+    use std::sync::Arc;
+
+    let tech = Technology::default_1p2um();
+
+    set_thread_calibration(None);
+    reset_thread_graph();
+    let plain: Vec<String> = all_topologies()
+        .into_iter()
+        .map(|t| format!("{:?}", OpAmp::design(&tech, t, spec())))
+        .collect();
+    let plain_modules = format!(
+        "{:?} {:?}",
+        AudioAmplifier::design(&tech, 100.0, 25e3, 10e-12),
+        SallenKeyLowPass::design(&tech, 2e3, 4, 10e-12)
+    );
+
+    let identity = Calibration::identity(tech.fingerprint(), "identity");
+    assert!(identity.is_empty());
+    set_thread_calibration(Some(Arc::new(identity)));
+    reset_thread_graph();
+    let calibrated: Vec<String> = all_topologies()
+        .into_iter()
+        .map(|t| format!("{:?}", OpAmp::design(&tech, t, spec())))
+        .collect();
+    let calibrated_modules = format!(
+        "{:?} {:?}",
+        AudioAmplifier::design(&tech, 100.0, 25e3, 10e-12),
+        SallenKeyLowPass::design(&tech, 2e3, 4, 10e-12)
+    );
+    set_thread_calibration(None);
+    reset_thread_graph();
+
+    assert_eq!(plain, calibrated, "identity table changed an op-amp design");
+    assert_eq!(
+        plain_modules, calibrated_modules,
+        "identity table changed a module design"
+    );
+}
+
+/// Re-registering a different table under the same technology must
+/// invalidate every memoized estimate: answers under table B match a cold
+/// run under B even when the thread graph is still warm from table A.
+#[test]
+fn reregistered_calibration_invalidates_warm_memo() {
+    use ape_calib::Calibration;
+    use ape_core::graph::set_thread_calibration;
+    use std::sync::Arc;
+
+    let tech = Technology::default_1p2um();
+    let table = |factor: f64| {
+        let mut t = Calibration::identity(tech.fingerprint(), "swap");
+        t.set("l3.opamp", "dc_gain", factor, &[]).unwrap();
+        Arc::new(t)
+    };
+    let topo = OpAmpTopology::miller(MirrorTopology::Simple, false);
+
+    // Cold oracle under table B only.
+    set_thread_calibration(Some(table(1.5)));
+    reset_thread_graph();
+    let cold_b = format!("{:?}", OpAmp::design(&tech, topo, spec()));
+
+    // Warm under A, then swap to B without resetting the thread graph.
+    set_thread_calibration(Some(table(1.25)));
+    reset_thread_graph();
+    let under_a = format!("{:?}", OpAmp::design(&tech, topo, spec()));
+    set_thread_calibration(Some(table(1.5)));
+    let under_b = format!("{:?}", OpAmp::design(&tech, topo, spec()));
+    set_thread_calibration(None);
+    reset_thread_graph();
+
+    assert_ne!(under_a, under_b, "different tables must change the answer");
+    assert_eq!(
+        under_b, cold_b,
+        "warm memo from table A leaked into table B's answers"
+    );
+}
+
+/// Persistence round-trip: a saved table loads back with the same content
+/// fingerprint, and estimates under the reloaded table are bit-identical
+/// to the original — sequentially and fanned out on 1 and 8 workers over
+/// a shared memo.
+#[test]
+fn calibration_persistence_round_trip_is_bit_identical() {
+    use ape_calib::Calibration;
+    use ape_core::graph::{set_thread_calibration, set_thread_shared_memo, SharedMemo};
+    use std::sync::Arc;
+
+    let tech = Technology::default_1p2um();
+    let mut table = Calibration::identity(tech.fingerprint(), "round-trip");
+    table
+        .set("l3.opamp", "dc_gain", 1.07, &[0.013, -0.008])
+        .unwrap();
+    table.set("l3.opamp", "ugf_hz", 0.91, &[]).unwrap();
+    table.set("l2.mirror", "power_w", 1.02, &[]).unwrap();
+    table
+        .set("l4.audio_amp", "bw_hz", 0.83, &[0.05, 0.0])
+        .unwrap();
+
+    let reloaded = Calibration::parse(&table.render()).expect("canonical text parses");
+    assert_eq!(
+        reloaded.fingerprint(),
+        table.fingerprint(),
+        "render → parse must recover the table bit-exactly"
+    );
+
+    let requests: Vec<(OpAmpTopology, OpAmpSpec)> =
+        all_topologies().into_iter().map(|t| (t, spec())).collect();
+    let run = |cal: &Arc<Calibration>, workers: usize| -> Vec<String> {
+        set_thread_shared_memo(Some(Arc::new(SharedMemo::new())));
+        set_thread_calibration(Some(cal.clone()));
+        reset_thread_graph();
+        let out = if workers == 0 {
+            requests
+                .iter()
+                .map(|&(t, s)| format!("{:?}", OpAmp::design(&tech, t, s)))
+                .collect()
+        } else {
+            let exec = ape_exec::Executor::new(workers);
+            OpAmp::design_many_on(&exec, &tech, &requests)
+                .iter()
+                .map(|r| format!("{r:?}"))
+                .collect()
+        };
+        set_thread_calibration(None);
+        set_thread_shared_memo(None);
+        reset_thread_graph();
+        out
+    };
+
+    let original = Arc::new(table);
+    let reloaded = Arc::new(reloaded);
+    let baseline = run(&original, 0);
+    for workers in [1usize, 8] {
+        assert_eq!(
+            run(&original, workers),
+            baseline,
+            "original table diverged at {workers} workers"
+        );
+        assert_eq!(
+            run(&reloaded, workers),
+            baseline,
+            "reloaded table diverged at {workers} workers"
+        );
+    }
+}

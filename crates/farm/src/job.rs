@@ -126,6 +126,19 @@ pub enum FarmError {
     /// registered with [`Farm::register_technology`](crate::Farm::register_technology).
     /// The job is rejected before it touches the queue or the result cache.
     UnknownTechnology(u64),
+    /// A submission referenced a calibration fingerprint that was never
+    /// registered with [`Farm::register_calibration`](crate::Farm::register_calibration).
+    /// The job is rejected before it touches the queue or the result cache.
+    UnknownCalibration(u64),
+    /// A submission paired a calibration with a technology other than the
+    /// one the table was fitted for. Applying it would silently correct
+    /// with the wrong anchors, so the job is rejected up front.
+    CalibrationMismatch {
+        /// The selected technology's fingerprint.
+        expected: u64,
+        /// The technology fingerprint the calibration table carries.
+        got: u64,
+    },
 }
 
 impl std::fmt::Display for FarmError {
@@ -141,6 +154,13 @@ impl std::fmt::Display for FarmError {
             FarmError::UnknownTechnology(fp) => {
                 write!(f, "unknown technology fingerprint {fp:#018x}")
             }
+            FarmError::UnknownCalibration(fp) => {
+                write!(f, "unknown calibration fingerprint {fp:#018x}")
+            }
+            FarmError::CalibrationMismatch { expected, got } => write!(
+                f,
+                "calibration was fitted for technology {got:#018x}, job runs on {expected:#018x}"
+            ),
         }
     }
 }

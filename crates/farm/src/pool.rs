@@ -11,10 +11,12 @@
 use crate::cache::{Claim, ResultCache};
 use crate::job::{canonical_key, FarmError, Request, Response};
 use crate::queue::{BoundedQueue, TryPushError};
+use ape_calib::Calibration;
 use ape_core::cancel::{self, CancelToken};
 use ape_core::graph::SharedMemo;
 use ape_core::netest::estimate_netlist;
 use ape_core::opamp::OpAmp;
+use ape_mos::fingerprint::Fingerprint;
 use ape_netlist::Technology;
 use ape_oblx::synthesize;
 use std::collections::HashMap;
@@ -127,6 +129,12 @@ pub struct SubmitOptions {
     /// of the farm's default. Unknown fingerprints resolve the handle
     /// immediately to [`FarmError::UnknownTechnology`] without queueing.
     pub technology: Option<u64>,
+    /// Apply the registered calibration table with this fingerprint to the
+    /// job's estimates. Unknown fingerprints resolve the handle immediately
+    /// to [`FarmError::UnknownCalibration`]; a table fitted for a different
+    /// technology than the job's resolves to
+    /// [`FarmError::CalibrationMismatch`]. `None` = uncalibrated estimates.
+    pub calibration: Option<u64>,
     /// Parent the job's cancellation token under this caller-owned token
     /// instead of the farm root. The farm's per-job deadline still applies
     /// (composed as a timed child), but [`Farm::cancel_all`] no longer
@@ -145,6 +153,8 @@ struct WorkItem {
     key: u64,
     req: Request,
     tech: Arc<Technology>,
+    /// Calibration table the job's estimates run under (`None` = raw).
+    calib: Option<Arc<Calibration>>,
     cancel: CancelToken,
     /// Innermost open span on the submitting thread, captured so the
     /// worker-side `ape.farm.job` span parents under the submitting
@@ -216,6 +226,11 @@ struct Shared {
     /// Registered tenant technologies, keyed by fingerprint. The default
     /// technology is registered at construction; the map only grows.
     tenants: RwLock<HashMap<u64, Arc<Technology>>>,
+    /// Registered calibration tables, keyed by table fingerprint.
+    /// Re-registering a *different* table yields a different fingerprint,
+    /// so stale cached results are unreachable by construction — the
+    /// calibration fingerprint is folded into every job key.
+    calibrations: RwLock<HashMap<u64, Arc<Calibration>>>,
     /// Cross-worker estimation memo store when
     /// [`FarmConfig::shared_graph`] is set.
     shared_graph: Option<Arc<SharedMemo>>,
@@ -252,6 +267,14 @@ pub struct JobHandle {
 impl Shared {
     fn lookup_technology(&self, fp: u64) -> Option<Arc<Technology>> {
         self.tenants
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&fp)
+            .cloned()
+    }
+
+    fn lookup_calibration(&self, fp: u64) -> Option<Arc<Calibration>> {
+        self.calibrations
             .read()
             .unwrap_or_else(|e| e.into_inner())
             .get(&fp)
@@ -355,6 +378,7 @@ impl Farm {
             cache: ResultCache::new(),
             tech,
             tenants: RwLock::new(tenants),
+            calibrations: RwLock::new(HashMap::new()),
             shared_graph: config.shared_graph.then(|| Arc::new(SharedMemo::new())),
             permits: Permits::new(effective_workers),
             inflight: AtomicUsize::new(0),
@@ -439,6 +463,29 @@ impl Farm {
     /// Looks up a registered tenant technology by fingerprint.
     pub fn technology_by_fingerprint(&self, fp: u64) -> Option<Arc<Technology>> {
         self.shared.lookup_technology(fp)
+    }
+
+    /// Registers a calibration table and returns its fingerprint, the id a
+    /// [`SubmitOptions::calibration`] selection refers to. Registering the
+    /// same table twice is idempotent. A *changed* table (re-fitted against
+    /// fresh audits, say) has a different content fingerprint and so a
+    /// different id: jobs selecting it key differently from jobs that ran
+    /// under the old table, which is what makes the result cache (and the
+    /// workers' shared estimation memos) safe across re-registration.
+    pub fn register_calibration(&self, cal: Calibration) -> u64 {
+        let fp = cal.fingerprint();
+        let mut cals = self
+            .shared
+            .calibrations
+            .write()
+            .unwrap_or_else(|e| e.into_inner());
+        cals.entry(fp).or_insert_with(|| Arc::new(cal));
+        fp
+    }
+
+    /// Looks up a registered calibration table by fingerprint.
+    pub fn calibration_by_fingerprint(&self, fp: u64) -> Option<Arc<Calibration>> {
+        self.shared.lookup_calibration(fp)
     }
 
     /// The cross-worker shared estimation memo, when
@@ -595,8 +642,46 @@ impl Farm {
                 }
             },
         };
+        let calib = match opts.calibration {
+            None => None,
+            Some(fp) => match shared.lookup_calibration(fp) {
+                Some(c) if c.technology_fingerprint() == tech.fingerprint() => Some(c),
+                Some(c) => {
+                    shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                    ape_probe::counter("ape.farm.calibration_mismatch", 1);
+                    return JobHandle {
+                        key: 0,
+                        cancel: CancelToken::new(),
+                        shared: shared.clone(),
+                        immediate: Some(FarmError::CalibrationMismatch {
+                            expected: tech.fingerprint(),
+                            got: c.technology_fingerprint(),
+                        }),
+                    };
+                }
+                None => {
+                    shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                    ape_probe::counter("ape.farm.unknown_calibration", 1);
+                    return JobHandle {
+                        key: 0,
+                        cancel: CancelToken::new(),
+                        shared: shared.clone(),
+                        immediate: Some(FarmError::UnknownCalibration(fp)),
+                    };
+                }
+            },
+        };
         let fail_fast = opts.fail_fast;
-        let key = canonical_key(&tech, &req);
+        // A calibrated job computes different numbers from an uncalibrated
+        // one with the same payload, so the table's content fingerprint is
+        // part of the job's identity in the single-flight cache.
+        let key = match &calib {
+            None => canonical_key(&tech, &req),
+            Some(c) => Fingerprint::new()
+                .u64(canonical_key(&tech, &req))
+                .u64(c.fingerprint())
+                .finish(),
+        };
         let token = self.job_token(&opts);
         let handle = JobHandle {
             key,
@@ -620,6 +705,7 @@ impl Farm {
                     key,
                     req,
                     tech,
+                    calib,
                     cancel: token,
                     parent_span: ape_probe::current_span(),
                     enqueued: Instant::now(),
@@ -748,6 +834,11 @@ fn run_job(shared: &Shared, item: &WorkItem) {
     // identity, so consecutive jobs from the same farm keep the thread's
     // warm graph and pay nothing.
     ape_core::graph::ensure_thread_shared_memo(shared.shared_graph.clone());
+    // Install (or clear) the job's calibration table on this thread.
+    // Comparison is by content fingerprint, so consecutive jobs under the
+    // same table keep the warm graph; the fingerprint is also folded into
+    // every memo key, so a stale entry can never answer a calibrated job.
+    ape_core::graph::ensure_thread_calibration(item.calib.clone());
     let mut guard = PublishOnDrop {
         shared,
         key: item.key,

@@ -1,0 +1,176 @@
+//! Registry of composition-equation identifiers.
+//!
+//! Every L2/L3/L4 composition equation in the estimator carries a stable
+//! string id (the estimation-graph node kind that evaluates it). The
+//! calibration layer keys its correction tables by these ids, so the
+//! registry is the *schema* both sides validate against: a calibration
+//! table naming an unknown equation, an unknown metric, or a
+//! response-surface term vector of the wrong arity is rejected at load
+//! time instead of silently misapplying corrections.
+//!
+//! The registry lives here — in the lowest crate of the stack — because
+//! both `ape-calib` (table validation) and `ape-core` (application inside
+//! graph nodes) need it without depending on each other.
+
+/// One composition equation: its id, and the spec variables its optional
+/// response-surface terms are expressed in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EquationId {
+    /// Stable id — the estimation-graph node kind (e.g. `"l2.diffpair"`).
+    pub id: &'static str,
+    /// Names of the response-surface variables, in the order a node
+    /// supplies them at application time. `vars.len()` is the arity a
+    /// table's `terms` vector must match (or be empty for a pure factor).
+    pub vars: &'static [&'static str],
+}
+
+impl EquationId {
+    /// Number of response-surface variables this equation exposes.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.vars.len()
+    }
+}
+
+/// All calibratable composition equations.
+///
+/// L1 sizing nodes are deliberately absent: the device models are shared
+/// bit-for-bit with the simulator (see the crate docs), so est-vs-sim
+/// error lives entirely in these composition equations.
+pub const ALL: &[EquationId] = &[
+    EquationId {
+        id: "l2.bias",
+        vars: &["ln_vout", "ln_ibias"],
+    },
+    EquationId {
+        id: "l2.mirror",
+        vars: &["ln_iref", "ln_ratio"],
+    },
+    EquationId {
+        id: "l2.gain",
+        vars: &["ln_gain", "ln_ibias"],
+    },
+    EquationId {
+        id: "l2.diffpair",
+        vars: &["ln_adm", "ln_itail"],
+    },
+    EquationId {
+        id: "l2.follower",
+        vars: &["ln_ibias", "ln_cl"],
+    },
+    EquationId {
+        id: "l3.opamp",
+        vars: &["ln_gain", "ln_ugf"],
+    },
+    EquationId {
+        id: "l3.folded",
+        vars: &["ln_gain", "ln_ugf"],
+    },
+    EquationId {
+        id: "l4.sample_hold",
+        vars: &["ln_gain", "ln_bw"],
+    },
+    EquationId {
+        id: "l4.audio_amp",
+        vars: &["ln_gain", "ln_bw"],
+    },
+    EquationId {
+        id: "l4.adc",
+        vars: &["bits", "ln_delay"],
+    },
+    EquationId {
+        id: "l4.dac",
+        vars: &["bits", "ln_bw"],
+    },
+    EquationId {
+        id: "l4.filter_lp",
+        vars: &["ln_fc", "order"],
+    },
+    EquationId {
+        id: "l4.filter_bp",
+        vars: &["ln_f0", "q"],
+    },
+    EquationId {
+        id: "l4.integrator",
+        vars: &["ln_unity", "ln_cl"],
+    },
+    EquationId {
+        id: "l4.summing_amp",
+        vars: &["ln_gain", "ln_bw"],
+    },
+    EquationId {
+        id: "l4.inverting_amp",
+        vars: &["ln_gain", "ln_bw"],
+    },
+    EquationId {
+        id: "l4.noninverting_amp",
+        vars: &["ln_gain", "ln_bw"],
+    },
+    EquationId {
+        id: "l4.comparator",
+        vars: &["ln_overdrive", "ln_delay"],
+    },
+];
+
+/// Metric names a correction may target — the [`Performance`] field names
+/// plus the module-local `f0_hz` (band-pass center frequency).
+///
+/// [`Performance`]: https://docs.rs/ape-core (the `attrs::Performance` struct)
+pub const METRICS: &[&str] = &[
+    "dc_gain",
+    "ugf_hz",
+    "bw_hz",
+    "power_w",
+    "gate_area_m2",
+    "zout_ohm",
+    "cmrr_db",
+    "slew_v_per_s",
+    "ibias_a",
+    "vout_v",
+    "delay_s",
+    "f0_hz",
+];
+
+/// Looks up an equation by id.
+#[must_use]
+pub fn lookup(id: &str) -> Option<&'static EquationId> {
+    ALL.iter().find(|e| e.id == id)
+}
+
+/// Whether `name` is a known calibratable metric.
+#[must_use]
+pub fn is_metric(name: &str) -> bool {
+    METRICS.contains(&name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_resolvable() {
+        for (i, e) in ALL.iter().enumerate() {
+            assert_eq!(lookup(e.id), Some(e), "{}", e.id);
+            for other in &ALL[i + 1..] {
+                assert_ne!(e.id, other.id);
+            }
+        }
+        assert_eq!(lookup("l9.bogus"), None);
+    }
+
+    #[test]
+    fn metrics_cover_the_performance_fields() {
+        assert!(is_metric("dc_gain"));
+        assert!(is_metric("gate_area_m2"));
+        assert!(is_metric("f0_hz"));
+        assert!(!is_metric("dc-gain"));
+        assert!(!is_metric(""));
+    }
+
+    #[test]
+    fn arity_counts_vars() {
+        let e = lookup("l2.diffpair").unwrap();
+        assert_eq!(e.arity(), 2);
+        assert_eq!(e.vars, ["ln_adm", "ln_itail"]);
+    }
+}

@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 mod caps;
+pub mod eqid;
 mod error;
 mod eval;
 pub mod fingerprint;

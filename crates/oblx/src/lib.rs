@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 
 mod audit;
+pub mod calibrate;
 pub mod cost;
 mod error;
 mod eval;
@@ -60,6 +61,7 @@ mod template;
 mod vars;
 
 pub use audit::{audit_candidate, AuditFailure, AuditReport};
+pub use calibrate::{fit_opamp_calibration, seed_interval_frac};
 pub use cost::{satisfies, CostWeights};
 pub use error::OblxError;
 pub use eval::{evaluate_candidate, evaluate_candidate_with, CandidateEval, EvalFidelity};

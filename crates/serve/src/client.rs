@@ -102,6 +102,29 @@ impl Client {
         self.recv()
     }
 
+    /// Registers a calibration table (its canonical JSON document) and
+    /// returns the fingerprint string subsequent requests pass as their
+    /// `calibration` field.
+    pub fn register_calibration(&mut self, table: &ape_calib::Calibration) -> io::Result<String> {
+        let reply = self.call("register_calibration", obj([("table", table.to_json())]))?;
+        match reply.outcome {
+            Ok(result) => result
+                .get("calibration")
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "registration reply missing `calibration`",
+                    )
+                }),
+            Err(e) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("register_calibration failed: {e}"),
+            )),
+        }
+    }
+
     /// Liveness round-trip.
     pub fn ping(&mut self) -> io::Result<bool> {
         let reply = self.call("ping", obj([]))?;

@@ -12,8 +12,9 @@
 //! - [`server`] — the daemon: accept loop, admission control,
 //!   cancellation tree, `/metrics`.
 //! - [`client`] — a small blocking client (bench, checks, tests).
-//! - [`json`] — the self-contained JSON value/parser/renderer whose float
-//!   output round-trips bit-exactly.
+//! - [`json`] — the JSON value/parser/renderer whose float output
+//!   round-trips bit-exactly (shared with calibration persistence; lives
+//!   in `ape-calib`, re-exported here).
 //!
 //! # A one-minute session
 //!
@@ -41,9 +42,10 @@
 //! ```
 
 pub mod client;
-pub mod json;
 pub mod proto;
 pub mod server;
+
+pub use ape_calib::json;
 
 pub use client::{Client, Reply, ReplyError};
 pub use proto::{ErrorCode, WireError, WireRequest};

@@ -14,8 +14,9 @@
 //! |-----------------|----------------------------------------------------------------|
 //! | `ping`          | —                                                              |
 //! | `register_tech` | `base` (`"1p2um"`/`"0p5um"`), optional `name`/`vdd`/`vss`/`lmin`/`wmin` overrides |
-//! | `design`        | `topology{mirror,buffer}`, `spec{gain,ugf_hz,area_max_m2,ibias,cl[,zout_ohm]}`, optional `technology`, `deadline_ms` |
-//! | `estimate`      | `deck` (SPICE text), `output` (node name), optional `technology`, `deadline_ms` |
+//! | `register_calibration` | `table` (a calibration document as produced by `ape-calib`) |
+//! | `design`        | `topology{mirror,buffer}`, `spec{gain,ugf_hz,area_max_m2,ibias,cl[,zout_ohm]}`, optional `technology`, `calibration`, `deadline_ms` |
+//! | `estimate`      | `deck` (SPICE text), `output` (node name), optional `technology`, `calibration`, `deadline_ms` |
 //! | `cancel`        | `target` (the id of an in-flight request on this connection)   |
 //! | `stats`         | —                                                              |
 //! | `metrics`       | — (Prometheus text as a JSON string; also `GET /metrics`)      |
@@ -41,6 +42,11 @@ pub enum ErrorCode {
     Oversized,
     /// `technology` referenced an unregistered fingerprint.
     UnknownTechnology,
+    /// `calibration` referenced an unregistered table fingerprint.
+    UnknownCalibration,
+    /// `calibration` referenced a table fitted for a different technology
+    /// than the request runs on.
+    CalibrationMismatch,
     /// Admission control rejected the request (connection budget or farm
     /// queue full). Retry after draining in-flight work.
     Overloaded,
@@ -63,6 +69,8 @@ impl ErrorCode {
             ErrorCode::BadRequest => "bad_request",
             ErrorCode::Oversized => "oversized",
             ErrorCode::UnknownTechnology => "unknown_technology",
+            ErrorCode::UnknownCalibration => "unknown_calibration",
+            ErrorCode::CalibrationMismatch => "calibration_mismatch",
             ErrorCode::Overloaded => "overloaded",
             ErrorCode::DeadlineExceeded => "deadline_exceeded",
             ErrorCode::Cancelled => "cancelled",
@@ -78,6 +86,8 @@ impl ErrorCode {
             ErrorCode::BadRequest => 400,
             ErrorCode::Oversized => 413,
             ErrorCode::UnknownTechnology => 404,
+            ErrorCode::UnknownCalibration => 404,
+            ErrorCode::CalibrationMismatch => 409,
             ErrorCode::Overloaded => 429,
             ErrorCode::DeadlineExceeded => 504,
             ErrorCode::Cancelled => 499,
@@ -108,6 +118,11 @@ pub enum WireRequest {
         /// Field overrides applied on top of the base card.
         overrides: TechOverrides,
     },
+    /// Register a calibration table; answers its fingerprint.
+    RegisterCalibration {
+        /// The parsed calibration table.
+        table: ape_calib::Calibration,
+    },
     /// Size a two-stage op-amp.
     Design {
         /// Topology selections.
@@ -116,6 +131,8 @@ pub enum WireRequest {
         spec: OpAmpSpec,
         /// Tenant technology fingerprint (`None` = server default).
         technology: Option<u64>,
+        /// Registered calibration fingerprint (`None` = uncalibrated).
+        calibration: Option<u64>,
         /// Per-request deadline, milliseconds.
         deadline_ms: Option<u64>,
     },
@@ -127,6 +144,8 @@ pub enum WireRequest {
         output: String,
         /// Tenant technology fingerprint (`None` = server default).
         technology: Option<u64>,
+        /// Registered calibration fingerprint (`None` = uncalibrated).
+        calibration: Option<u64>,
         /// Per-request deadline, milliseconds.
         deadline_ms: Option<u64>,
     },
@@ -266,6 +285,21 @@ pub fn parse_request(line: &str) -> Result<(u64, WireRequest), (u64, WireError)>
             };
             WireRequest::RegisterTech { base, overrides }
         }
+        "register_calibration" => {
+            let table = doc.get("table").ok_or_else(|| {
+                (
+                    id,
+                    WireError::new(ErrorCode::BadRequest, "missing `table` object"),
+                )
+            })?;
+            let table = ape_calib::Calibration::from_json(table).map_err(|e| {
+                (
+                    id,
+                    WireError::new(ErrorCode::BadRequest, format!("bad calibration table: {e}")),
+                )
+            })?;
+            WireRequest::RegisterCalibration { table }
+        }
         "design" => {
             let topology = parse_topology(doc.get("topology")).map_err(|e| (id, e))?;
             let spec = parse_spec(doc.get("spec")).map_err(|e| (id, e))?;
@@ -273,6 +307,7 @@ pub fn parse_request(line: &str) -> Result<(u64, WireRequest), (u64, WireError)>
                 topology,
                 spec,
                 technology: parse_tech_ref(&doc).map_err(|e| (id, e))?,
+                calibration: parse_fp_ref(&doc, "calibration").map_err(|e| (id, e))?,
                 deadline_ms: parse_deadline(&doc).map_err(|e| (id, e))?,
             }
         }
@@ -301,6 +336,7 @@ pub fn parse_request(line: &str) -> Result<(u64, WireRequest), (u64, WireError)>
                 deck,
                 output,
                 technology: parse_tech_ref(&doc).map_err(|e| (id, e))?,
+                calibration: parse_fp_ref(&doc, "calibration").map_err(|e| (id, e))?,
                 deadline_ms: parse_deadline(&doc).map_err(|e| (id, e))?,
             }
         }
@@ -359,14 +395,20 @@ fn parse_deadline(doc: &Value) -> Result<Option<u64>, WireError> {
 /// `technology` on the wire is the hex string `register_tech` returned
 /// (`"0x…"`); decimal integers are accepted too.
 fn parse_tech_ref(doc: &Value) -> Result<Option<u64>, WireError> {
-    match doc.get("technology") {
+    parse_fp_ref(doc, "technology")
+}
+
+/// A fingerprint reference field (`technology`, `calibration`): the hex
+/// string the registration op returned (`"0x…"`), or a decimal integer.
+fn parse_fp_ref(doc: &Value, key: &str) -> Result<Option<u64>, WireError> {
+    match doc.get(key) {
         None | Some(Value::Null) => Ok(None),
         Some(Value::Str(text)) => {
             let digits = text.strip_prefix("0x").unwrap_or(text);
             u64::from_str_radix(digits, 16).map(Some).map_err(|_| {
                 WireError::new(
                     ErrorCode::BadRequest,
-                    format!("`technology` is not a fingerprint: `{text}`"),
+                    format!("`{key}` is not a fingerprint: `{text}`"),
                 )
             })
         }
@@ -377,7 +419,7 @@ fn parse_tech_ref(doc: &Value) -> Result<Option<u64>, WireError> {
             .ok_or_else(|| {
                 WireError::new(
                     ErrorCode::BadRequest,
-                    "`technology` must be a fingerprint string or integer",
+                    format!("`{key}` must be a fingerprint string or integer"),
                 )
             }),
     }
@@ -538,12 +580,14 @@ mod tests {
                 topology,
                 spec,
                 technology,
+                calibration,
                 deadline_ms,
             } => {
                 assert_eq!(topology.current_source, MirrorTopology::Wilson);
                 assert!(topology.buffer);
                 assert_eq!(spec.gain, 200.0);
                 assert_eq!(technology, None);
+                assert_eq!(calibration, None);
                 assert_eq!(deadline_ms, Some(250));
             }
             other => panic!("wrong op: {other:?}"),

@@ -666,6 +666,16 @@ fn dispatch<W: Write>(
                 obj([("technology", s(&proto::fingerprint_hex(fp)))]),
             ));
         }
+        WireRequest::RegisterCalibration { table } => {
+            let fp = state.farm.register_calibration(table);
+            state
+                .registry
+                .counter_add("ape.serve.register_calibration", 1);
+            conn.write_line(&ok_response(
+                id,
+                obj([("calibration", s(&proto::fingerprint_hex(fp)))]),
+            ));
+        }
         WireRequest::Cancel { target } => {
             let entry = conn
                 .cancel_map
@@ -699,6 +709,7 @@ fn dispatch<W: Write>(
             topology,
             spec,
             technology,
+            calibration,
             deadline_ms,
         } => {
             submit_job(
@@ -709,6 +720,7 @@ fn dispatch<W: Write>(
                 id,
                 Request::OpAmpDesign { topology, spec },
                 technology,
+                calibration,
                 deadline_ms,
             );
         }
@@ -716,6 +728,7 @@ fn dispatch<W: Write>(
             deck,
             output,
             technology,
+            calibration,
             deadline_ms,
         } => {
             // Parse on the connection thread: a bad deck never occupies a
@@ -749,6 +762,7 @@ fn dispatch<W: Write>(
                     output: node,
                 },
                 technology,
+                calibration,
                 deadline_ms,
             );
         }
@@ -765,6 +779,7 @@ fn submit_job<W: Write>(
     id: u64,
     req: Request,
     technology: Option<u64>,
+    calibration: Option<u64>,
     deadline_ms: Option<u64>,
 ) {
     // Gate 1: the connection's in-flight budget.
@@ -796,6 +811,7 @@ fn submit_job<W: Write>(
         req,
         SubmitOptions {
             technology,
+            calibration,
             token: Some(token),
             deadline,
             fail_fast: true,
@@ -837,6 +853,21 @@ fn map_farm_error(e: &FarmError, p: &Pending) -> WireError {
             format!(
                 "technology {} is not registered",
                 proto::fingerprint_hex(*fp)
+            ),
+        ),
+        FarmError::UnknownCalibration(fp) => WireError::new(
+            ErrorCode::UnknownCalibration,
+            format!(
+                "calibration {} is not registered",
+                proto::fingerprint_hex(*fp)
+            ),
+        ),
+        FarmError::CalibrationMismatch { expected, got } => WireError::new(
+            ErrorCode::CalibrationMismatch,
+            format!(
+                "calibration was fitted for technology {}, request runs on {}",
+                proto::fingerprint_hex(*got),
+                proto::fingerprint_hex(*expected)
             ),
         ),
         other => WireError::new(ErrorCode::Internal, other.to_string()),

@@ -360,3 +360,78 @@ fn pipelined_responses_preserve_request_order() {
     assert_eq!(ids, got, "farm-backed responses arrive in request order");
     server.stop();
 }
+
+#[test]
+fn calibration_round_trip_over_the_wire() {
+    let server = start(ServerConfig::default());
+    let mut c = Client::connect(server.addr()).unwrap();
+
+    // Baseline, uncalibrated.
+    let plain = c
+        .call("design", design_fields(200.0))
+        .unwrap()
+        .outcome
+        .expect("uncalibrated design ok");
+    let plain_gain = plain
+        .get("perf")
+        .and_then(|p| p.get("dc_gain"))
+        .and_then(Value::as_f64)
+        .expect("dc_gain present");
+
+    // Register a table that scales l3.opamp dc_gain by exactly 1.25.
+    let tech = Technology::default_1p2um();
+    let mut table = ape_calib::Calibration::identity(tech.fingerprint(), "wire");
+    table.set("l3.opamp", "dc_gain", 1.25, &[]).unwrap();
+    let fp_hex = c.register_calibration(&table).expect("registration ok");
+    assert_eq!(fp_hex, format!("{:#018x}", table.fingerprint()));
+
+    // The same design, calibrated: one f64 multiply by the factor.
+    let mut fields = design_fields(200.0);
+    if let Value::Obj(m) = &mut fields {
+        m.insert("calibration".to_string(), Value::Str(fp_hex.clone()));
+    }
+    let calibrated = c
+        .call("design", fields)
+        .unwrap()
+        .outcome
+        .expect("calibrated design ok");
+    let cal_gain = calibrated
+        .get("perf")
+        .and_then(|p| p.get("dc_gain"))
+        .and_then(Value::as_f64)
+        .expect("calibrated dc_gain present");
+    assert_eq!(cal_gain, plain_gain * 1.25, "correction factor applied");
+
+    // A second connection sees the same calibration registry.
+    let mut c2 = Client::connect(server.addr()).unwrap();
+    let mut fields = design_fields(200.0);
+    if let Value::Obj(m) = &mut fields {
+        m.insert("calibration".to_string(), Value::Str(fp_hex));
+    }
+    let again = c2
+        .call("design", fields)
+        .unwrap()
+        .outcome
+        .expect("cross-conn calibrated design");
+    assert_eq!(calibrated.render(), again.render());
+
+    // Unknown fingerprints and cross-technology tables are typed errors.
+    let mut fields = design_fields(200.0);
+    if let Value::Obj(m) = &mut fields {
+        m.insert("calibration".to_string(), s("0xdeadbeefdeadbeef"));
+    }
+    let err = c.call("design", fields).unwrap().outcome.unwrap_err();
+    assert!(is_code(&err, ErrorCode::UnknownCalibration), "{err}");
+
+    let foreign = ape_calib::Calibration::identity(0x1234, "wrong-tech");
+    let foreign_fp = c.register_calibration(&foreign).expect("foreign registers");
+    let mut fields = design_fields(200.0);
+    if let Value::Obj(m) = &mut fields {
+        m.insert("calibration".to_string(), Value::Str(foreign_fp));
+    }
+    let err = c.call("design", fields).unwrap().outcome.unwrap_err();
+    assert!(is_code(&err, ErrorCode::CalibrationMismatch), "{err}");
+
+    assert!(c.ping().unwrap(), "server still answers after typed errors");
+    server.stop();
+}

@@ -40,7 +40,7 @@ mod sa;
 
 pub use cma::CmaEs;
 pub use newton::NewtonPolish;
-pub use portfolio::{MemberRun, Portfolio, RaceResult};
+pub use portfolio::{MemberRun, Portfolio, RaceResult, NEWTON_POLISH_BUDGET_FRAC};
 pub use pso::ParticleSwarm;
 pub use sa::SaSolver;
 

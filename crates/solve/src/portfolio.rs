@@ -48,39 +48,82 @@ impl SolveObserver for RaceObserver<'_> {
     }
 }
 
+/// One portfolio member: a solver plus its share of the race budget.
+struct Member {
+    solver: Box<dyn Solver>,
+    /// Fraction of the race's `max_evals` this member may spend, in
+    /// `(0, 1]`. Local polishers converge (or stall) in far fewer
+    /// evaluations than the global searchers, so giving them the full
+    /// budget only wastes executor slots on a stalled walk.
+    evals_frac: f64,
+}
+
 /// A set of [`Solver`]s raced concurrently on an [`ape_exec::Executor`].
 ///
-/// Each member receives the full budget and a decorrelated seed
+/// Each member receives its own slice of the evaluation budget
+/// (`ceil(max_evals · evals_frac)`, at least 1) and a decorrelated seed
 /// (`budget.seed + i·golden`), so the race is deterministic per member:
-/// a member's trajectory depends only on the problem, the budget, and
+/// a member's trajectory depends only on the problem, its budget, and
 /// *when* the shared stop flag trips — never on worker scheduling of its
 /// own evaluations.
 pub struct Portfolio {
-    members: Vec<Box<dyn Solver>>,
+    members: Vec<Member>,
 }
 
+/// Budget share [`Portfolio::standard`] hands [`NewtonPolish`]: the local
+/// polish either converges quickly or stalls, so it races on a quarter of
+/// the evaluations the global searchers get.
+pub const NEWTON_POLISH_BUDGET_FRAC: f64 = 0.25;
+
 impl Portfolio {
-    /// Builds a portfolio from explicit members. Empty portfolios are
-    /// allowed but [`Portfolio::race`] on one returns a vacuous result.
+    /// Builds a portfolio from explicit members, each receiving the full
+    /// race budget. Empty portfolios are allowed but [`Portfolio::race`]
+    /// on one returns a vacuous result.
     pub fn new(members: Vec<Box<dyn Solver>>) -> Self {
-        Portfolio { members }
+        Portfolio::weighted(members.into_iter().map(|s| (s, 1.0)).collect())
+    }
+
+    /// Builds a portfolio with an explicit budget fraction per member.
+    /// Fractions are clamped to `(0, 1]`; each member's budget is
+    /// `ceil(max_evals · frac)` with a floor of one evaluation.
+    pub fn weighted(members: Vec<(Box<dyn Solver>, f64)>) -> Self {
+        Portfolio {
+            members: members
+                .into_iter()
+                .map(|(solver, f)| Member {
+                    solver,
+                    evals_frac: if f.is_finite() && f > 0.0 {
+                        f.min(1.0)
+                    } else {
+                        1.0
+                    },
+                })
+                .collect(),
+        }
     }
 
     /// The standard four-member portfolio: annealing, CMA-ES and particle
-    /// swarm (their generations fanned out on the executor), and the
-    /// Newton polish as a fast local racer.
+    /// swarm (their generations fanned out on the executor) on the full
+    /// budget, and the Newton polish as a fast local racer on
+    /// [`NEWTON_POLISH_BUDGET_FRAC`] of it.
     pub fn standard() -> Self {
-        Portfolio::new(vec![
-            Box::new(SaSolver::default()),
-            Box::new(CmaEs {
-                parallel: true,
-                ..CmaEs::default()
-            }),
-            Box::new(ParticleSwarm {
-                parallel: true,
-                ..ParticleSwarm::default()
-            }),
-            Box::new(NewtonPolish::default()),
+        Portfolio::weighted(vec![
+            (Box::new(SaSolver::default()), 1.0),
+            (
+                Box::new(CmaEs {
+                    parallel: true,
+                    ..CmaEs::default()
+                }),
+                1.0,
+            ),
+            (
+                Box::new(ParticleSwarm {
+                    parallel: true,
+                    ..ParticleSwarm::default()
+                }),
+                1.0,
+            ),
+            (Box::new(NewtonPolish::default()), NEWTON_POLISH_BUDGET_FRAC),
         ])
     }
 
@@ -132,16 +175,16 @@ impl Portfolio {
                 let seed = budget
                     .seed
                     .wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-                let member_budget = Budget {
-                    max_evals: budget.max_evals,
-                    seed,
-                };
+                #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
+                let max_evals =
+                    (((budget.max_evals as f64) * member.evals_frac).ceil() as usize).max(1);
+                let member_budget = Budget { max_evals, seed };
                 let stop = &stop;
                 let token = token.clone();
                 s.spawn(move || {
                     let _cancel_guard = token.map(ape_core::cancel::set_current);
                     let mut obs = RaceObserver { stop };
-                    let r = member.solve(problem, &member_budget, &mut obs);
+                    let r = member.solver.solve(problem, &member_budget, &mut obs);
                     if r.satisfied {
                         stop.store(true, Ordering::Release);
                     }
@@ -154,7 +197,7 @@ impl Portfolio {
             .iter()
             .zip(slots)
             .map(|(m, slot)| MemberRun {
-                name: m.name(),
+                name: m.solver.name(),
                 // The scope barrier guarantees every task ran to completion.
                 result: slot.unwrap_or(SolveResult {
                     best: problem.start(),
@@ -206,7 +249,11 @@ impl std::fmt::Debug for Portfolio {
         f.debug_struct("Portfolio")
             .field(
                 "members",
-                &self.members.iter().map(|m| m.name()).collect::<Vec<_>>(),
+                &self
+                    .members
+                    .iter()
+                    .map(|m| m.solver.name())
+                    .collect::<Vec<_>>(),
             )
             .finish()
     }
@@ -340,6 +387,99 @@ mod tests {
         for (ma, mb) in a.members.iter().zip(&b.members) {
             assert_eq!(ma.name, mb.name);
             assert_eq!(ma.result, mb.result, "member {} diverged", ma.name);
+        }
+    }
+
+    #[test]
+    fn newton_polish_races_on_a_quarter_budget() {
+        // No satisfied predicate, so nothing trips the stop flag and each
+        // member runs against its own ceiling. The polish member must be
+        // capped at ceil(frac·max_evals) while the global searchers keep
+        // the full allowance.
+        let ranges = VectorRanges::new(vec![(-2.0, 2.0); 2]).unwrap();
+        let cost = |x: &[f64]| x.iter().map(|v| v * v).sum::<f64>();
+        let p = Problem::new(&ranges, &cost);
+        let max_evals = 800;
+        let exec = ape_exec::Executor::new(2);
+        let r = Portfolio::standard().race(&p, &Budget::evals(max_evals).with_seed(11), &exec);
+        #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
+        let cap = ((max_evals as f64) * NEWTON_POLISH_BUDGET_FRAC).ceil() as usize;
+        let polish = r
+            .members
+            .iter()
+            .find(|m| m.name == NewtonPolish::default().name())
+            .expect("standard portfolio includes the polish");
+        assert!(
+            polish.result.evals <= cap,
+            "polish spent {} evals, cap is {cap}",
+            polish.result.evals
+        );
+        for m in &r.members {
+            assert!(m.result.evals <= max_evals, "{} over budget", m.name);
+        }
+    }
+
+    #[test]
+    fn weighted_budgets_keep_members_deterministic() {
+        // Heterogeneous fractions must not disturb per-member
+        // reproducibility: the same weighted race is bit-identical inline
+        // and on 3 workers, and the winner rule is unchanged.
+        let ranges = VectorRanges::new(vec![(-2.0, 2.0); 2]).unwrap();
+        let cost = |x: &[f64]| x.iter().map(|v| (v - 0.3) * (v - 0.3)).sum::<f64>();
+        let p = Problem::new(&ranges, &cost);
+        let budget = Budget::evals(500).with_seed(9);
+        let build = || {
+            Portfolio::weighted(vec![
+                (Box::new(SaSolver::default()) as Box<dyn Solver>, 1.0),
+                (Box::new(NewtonPolish::default()), 0.25),
+            ])
+        };
+        let a = {
+            let exec = ape_exec::Executor::new(0);
+            build().race(&p, &budget, &exec)
+        };
+        let b = {
+            let exec = ape_exec::Executor::new(3);
+            build().race(&p, &budget, &exec)
+        };
+        assert_eq!(a.winner, b.winner);
+        for (ma, mb) in a.members.iter().zip(&b.members) {
+            assert_eq!(ma.result, mb.result, "member {} diverged", ma.name);
+        }
+        // Winner selection still picks the lowest (best_cost, index) among
+        // satisfied members — or overall when nobody satisfied.
+        let expect = a
+            .members
+            .iter()
+            .enumerate()
+            .min_by(|(ai, x), (bi, y)| {
+                x.result
+                    .best_cost
+                    .partial_cmp(&y.result.best_cost)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(ai.cmp(bi))
+            })
+            .map(|(i, _)| i)
+            .unwrap();
+        assert_eq!(a.winner, expect);
+    }
+
+    #[test]
+    fn degenerate_fractions_fall_back_to_the_full_budget() {
+        // Non-finite or non-positive fractions are authoring mistakes, not
+        // crash vectors: they clamp to the full budget.
+        let ranges = VectorRanges::new(vec![(0.0, 1.0)]).unwrap();
+        let cost = |x: &[f64]| x[0];
+        let p = Problem::new(&ranges, &cost);
+        let exec = ape_exec::Executor::new(0);
+        for bad in [f64::NAN, f64::INFINITY, 0.0, -1.0] {
+            let portfolio = Portfolio::weighted(vec![(
+                Box::new(SaSolver::default()) as Box<dyn Solver>,
+                bad,
+            )]);
+            let r = portfolio.race(&p, &Budget::evals(40).with_seed(1), &exec);
+            assert!(r.members[0].result.evals <= 40);
+            assert!(r.members[0].result.evals > 10, "fraction {bad} starved");
         }
     }
 

@@ -14,6 +14,8 @@
 //!   (`ape-solve`)
 //! * [`ape`] — the hierarchical estimator, the paper's contribution
 //!   (`ape-core`)
+//! * [`calib`] — SPICE-anchored correction tables for the composition
+//!   equations (`ape-calib`)
 //! * [`oblx`] — the ASTRX/OBLX-style synthesis engine (`ape-oblx`)
 //! * [`farm`] — concurrent batch estimation and design-space sweeps
 //!   (`ape-farm`)
@@ -47,6 +49,7 @@
 
 pub use ape_anneal as anneal;
 pub use ape_awe as awe;
+pub use ape_calib as calib;
 pub use ape_core as ape;
 pub use ape_farm as farm;
 pub use ape_mos as mos;
